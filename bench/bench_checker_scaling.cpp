@@ -1,0 +1,96 @@
+// Experiment E8 — cost of DECIDING the hierarchy, and the two ablations
+// from DESIGN.md:
+//   (1) symmetry reduction: canonical (team, op)-multiset enumeration vs
+//       the naive partition x op-vector enumeration;
+//   (2) shared-prefix schedule evaluation: the |S(P)| tree grows as
+//       sum_k C(n,k) k! — the printed table shows the growth and the per-
+//       level node counts actually visited.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "sched/one_shot.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using rcons::spec::ObjectType;
+
+void print_scaling_table() {
+  rcons::Table growth({"n", "|S(P)|", "tas disc assignments (sym)",
+                       "tas disc assignments (naive)", "sym speedup"});
+  for (int n = 2; n <= 6; ++n) {
+    const ObjectType tas = rcons::spec::make_test_and_set();
+    const auto sym = rcons::hierarchy::check_discerning(tas, n, true);
+    const auto naive = rcons::hierarchy::check_discerning(tas, n, false);
+    growth.add_row(
+        {std::to_string(n),
+         std::to_string(rcons::sched::one_shot_count(n)),
+         std::to_string(sym.stats.assignments_tried),
+         std::to_string(naive.stats.assignments_tried),
+         std::to_string(naive.stats.assignments_tried /
+                        std::max<std::uint64_t>(
+                            1, sym.stats.assignments_tried))});
+  }
+  std::printf("E8: schedule-space growth and the symmetry-reduction "
+              "ablation (test&set, exhaustive scans)\n%s\n",
+              growth.render().c_str());
+
+  rcons::Table nodes({"type", "n", "condition", "holds", "tree nodes"});
+  const ObjectType cas3 = rcons::spec::make_cas(3);
+  const ObjectType t52 = rcons::spec::make_tnn(5, 2);
+  for (int n = 3; n <= 6; ++n) {
+    const auto d = rcons::hierarchy::check_discerning(cas3, n);
+    nodes.add_row({"cas3", std::to_string(n), "discerning",
+                   d.holds ? "yes" : "no",
+                   std::to_string(d.stats.schedule_nodes)});
+    const auto r = rcons::hierarchy::check_recording(t52, n);
+    nodes.add_row({"T_5_2", std::to_string(n), "recording",
+                   r.holds ? "yes" : "no",
+                   std::to_string(r.stats.schedule_nodes)});
+  }
+  std::printf("%s\n", nodes.render().c_str());
+}
+
+void BM_Discerning(benchmark::State& state, const ObjectType& type,
+                   bool use_symmetry) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rcons::hierarchy::check_discerning(type, n, use_symmetry));
+  }
+}
+
+void BM_Recording(benchmark::State& state, const ObjectType& type,
+                  bool use_symmetry) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rcons::hierarchy::check_recording(type, n, use_symmetry));
+  }
+}
+
+const ObjectType g_tas = rcons::spec::make_test_and_set();
+const ObjectType g_cas3 = rcons::spec::make_cas(3);
+const ObjectType g_x4 = rcons::spec::make_xn(4);
+
+}  // namespace
+
+// The exhaustive (condition fails => full scan) cells are the honest cost.
+BENCHMARK_CAPTURE(BM_Discerning, tas_sym, g_tas, true)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Discerning, tas_naive, g_tas, false)->Arg(3)->Arg(4);
+BENCHMARK_CAPTURE(BM_Discerning, x4_sym, g_x4, true)->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, tas_sym, g_tas, true)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, cas3_sym, g_cas3, true)->Arg(3)->Arg(4);
+BENCHMARK_CAPTURE(BM_Recording, x4_sym, g_x4, true)->Arg(3)->Arg(4);
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

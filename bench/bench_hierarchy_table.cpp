@@ -1,0 +1,101 @@
+// Experiment E1 — the claims table (the paper's implicit "Table 1"):
+// consensus number vs recoverable consensus number per type, computed by
+// the discerning / recording deciders. Prints the table on startup and
+// benchmarks the deciders on representative cells.
+//
+// Expected shape (paper + classical results):
+//   register 1/1; test&set, swap, fetch&add 2/1 (Golab's collapse to 1);
+//   cas, sticky unbounded/unbounded (no collapse); m-consensus objects
+//   (m+1)/m (readable, gap 1); T_{n,n'} n/(n-1 by recording; true rcons is
+//   n' — non-readable divergence); X_n stand-in profiled by the search.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using rcons::hierarchy::compute_profile;
+using rcons::hierarchy::TypeProfile;
+using rcons::spec::ObjectType;
+
+void print_claims_table() {
+  struct RowSpec {
+    ObjectType type;
+    int max_n;
+    const char* truth;  // the known ground truth (paper / literature)
+  };
+  const RowSpec rows[] = {
+      {rcons::spec::make_register(2), 4, "cons 1, rcons 1 (Herlihy)"},
+      {rcons::spec::make_test_and_set(), 4, "cons 2, rcons 1 (Golab)"},
+      {rcons::spec::make_swap(2), 4, "cons 2, rcons 1"},
+      {rcons::spec::make_fetch_and_add(4), 4, "cons 2, rcons 1"},
+      {rcons::spec::make_cas(3), 5, "cons inf, rcons inf"},
+      {rcons::spec::make_sticky_bit(), 5, "cons inf, rcons inf"},
+      {rcons::spec::make_consensus_object(2), 5, "readable gap-1 family"},
+      {rcons::spec::make_consensus_object(3), 6, "readable gap-1 family"},
+      {rcons::spec::make_tnn(4, 1), 5, "cons 4, rcons 1 (Lemmas 15/16)"},
+      {rcons::spec::make_tnn(4, 2), 5, "cons 4, rcons 2 (Lemmas 15/16)"},
+      {rcons::spec::make_tnn(5, 2), 6, "cons 5, rcons 2 (Lemmas 15/16)"},
+      {rcons::spec::make_queue(2), 4, "cons 2 (Herlihy); not readable"},
+      {rcons::spec::make_xn(4), 5, "X_4: cons 4, rcons 2 (gap 2)"},
+      {rcons::spec::make_xn(5), 6, "X_5: cons 5, rcons 3 (gap 2)"},
+  };
+
+  rcons::Table table({"type", "readable", "discerning level",
+                      "recording level", "ground truth"});
+  for (const RowSpec& row : rows) {
+    const TypeProfile p = compute_profile(row.type, row.max_n);
+    table.add_row({p.type_name, p.readable ? "yes" : "no",
+                   p.discerning.to_string() +
+                       (p.discerning.exact ? "" : " (cap)"),
+                   p.recording.to_string() +
+                       (p.recording.exact ? "" : " (cap)"),
+                   row.truth});
+  }
+  std::printf(
+      "E1: computed hierarchy levels (readable rows: levels ARE the "
+      "consensus numbers)\n%s\n",
+      table.render().c_str());
+}
+
+void BM_DiscerningCheck(benchmark::State& state, const ObjectType& type,
+                        int n) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::hierarchy::check_discerning(type, n));
+  }
+}
+
+void BM_RecordingCheck(benchmark::State& state, const ObjectType& type,
+                       int n) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::hierarchy::check_recording(type, n));
+  }
+}
+
+const ObjectType g_tas = rcons::spec::make_test_and_set();
+const ObjectType g_cas3 = rcons::spec::make_cas(3);
+const ObjectType g_tnn52 = rcons::spec::make_tnn(5, 2);
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DiscerningCheck, tas_n2, g_tas, 2);
+BENCHMARK_CAPTURE(BM_DiscerningCheck, tas_n3, g_tas, 3);
+BENCHMARK_CAPTURE(BM_DiscerningCheck, cas3_n4, g_cas3, 4);
+BENCHMARK_CAPTURE(BM_DiscerningCheck, tnn52_n5, g_tnn52, 5);
+BENCHMARK_CAPTURE(BM_RecordingCheck, tas_n2, g_tas, 2);
+BENCHMARK_CAPTURE(BM_RecordingCheck, cas3_n4, g_cas3, 4);
+BENCHMARK_CAPTURE(BM_RecordingCheck, tnn52_n4, g_tnn52, 4);
+
+int main(int argc, char** argv) {
+  print_claims_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

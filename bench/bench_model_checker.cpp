@@ -1,0 +1,118 @@
+// Experiment E4 — exhaustive model-checking cost across protocols and
+// crash regimes. Prints the per-protocol state-space sizes (the "table"
+// behind the SAFE verdicts in tests/algo_test.cpp) and benchmarks the
+// explorations.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "spec/catalog.hpp"
+#include "util/table.hpp"
+#include "valency/model_checker.hpp"
+
+namespace {
+
+using rcons::valency::check_safety_all_inputs;
+using rcons::valency::CrashMode;
+using rcons::valency::SafetyOptions;
+
+void print_state_space_table() {
+  struct Row {
+    const char* name;
+    std::unique_ptr<rcons::exec::Protocol> protocol;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"cas_consensus(2)",
+                  std::make_unique<rcons::algo::CasConsensus>(2)});
+  rows.push_back({"cas_consensus(3)",
+                  std::make_unique<rcons::algo::CasConsensus>(3)});
+  rows.push_back({"cas_consensus(4)",
+                  std::make_unique<rcons::algo::CasConsensus>(4)});
+  rows.push_back({"tas_racing",
+                  std::make_unique<rcons::algo::TasRacingConsensus>()});
+  rows.push_back({"tnn_rec(4,2)x2",
+                  std::make_unique<rcons::algo::TnnRecoverableConsensus>(
+                      4, 2, 2)});
+  rows.push_back({"tnn_rec(6,3)x3",
+                  std::make_unique<rcons::algo::TnnRecoverableConsensus>(
+                      6, 3, 3)});
+  rows.push_back({"recording(cas3)x2",
+                  std::make_unique<rcons::algo::RecordingConsensus>(
+                      rcons::spec::make_cas(3), 2)});
+  rows.push_back({"recording(cas3)x3",
+                  std::make_unique<rcons::algo::RecordingConsensus>(
+                      rcons::spec::make_cas(3), 3)});
+
+  rcons::Table table({"protocol", "crash mode", "verdict", "states",
+                      "configs"});
+  for (const auto& row : rows) {
+    for (const CrashMode mode :
+         {CrashMode::kNone, CrashMode::kIndividual, CrashMode::kBoth}) {
+      SafetyOptions options;
+      options.crash_mode = mode;
+      const auto r = check_safety_all_inputs(*row.protocol, options);
+      const char* mode_name = mode == CrashMode::kNone ? "none"
+                              : mode == CrashMode::kIndividual ? "individual"
+                                                               : "both";
+      table.add_row({row.name, mode_name,
+                     r.ok() ? "SAFE" : "VIOLATION",
+                     std::to_string(r.states_visited),
+                     std::to_string(r.configs_visited)});
+    }
+    table.add_separator();
+  }
+  std::printf("E4: exhaustive state spaces per protocol and crash regime\n%s\n",
+              table.render().c_str());
+}
+
+void BM_SafetyCheck(benchmark::State& state,
+                    const std::function<std::unique_ptr<rcons::exec::Protocol>()>&
+                        make,
+                    CrashMode mode) {
+  const auto protocol = make();
+  SafetyOptions options;
+  options.crash_mode = mode;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto r = check_safety_all_inputs(*protocol, options);
+    states = r.states_visited;
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, cas3_individual,
+    [] { return std::make_unique<rcons::algo::CasConsensus>(3); },
+    CrashMode::kIndividual);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tnn42_individual,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(4, 2, 2);
+    },
+    CrashMode::kIndividual);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, recording_cas3x2_individual,
+    [] {
+      return std::make_unique<rcons::algo::RecordingConsensus>(
+          rcons::spec::make_cas(3), 2);
+    },
+    CrashMode::kIndividual);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tas_racing_individual,
+    [] { return std::make_unique<rcons::algo::TasRacingConsensus>(); },
+    CrashMode::kIndividual);
+
+int main(int argc, char** argv) {
+  print_state_space_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment E7 — live-runtime behaviour under crash injection: decisions
+// per second, steps and crashes per decision, swept over the crash
+// probability, plus the object layer's contended throughput and the cost
+// of the linearizability checker. Prints the audit table (the runtime
+// counterpart of E4's exhaustive verdicts) before benchmarking.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "runtime/history.hpp"
+#include "runtime/live_object.hpp"
+#include "runtime/live_run.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_audit_table() {
+  rcons::Table table({"protocol", "crash prob", "rounds", "crashes",
+                      "steps/decision", "agr viol"});
+  rcons::algo::CasConsensus cas3(3);
+  rcons::algo::TnnRecoverableConsensus tnn(5, 2, 2);
+  rcons::algo::RecordingConsensus recording(rcons::spec::make_cas(3), 3);
+  rcons::algo::TasRacingConsensus racing;
+  const std::pair<const char*, rcons::exec::Protocol*> protocols[] = {
+      {"cas_consensus(3)", &cas3},
+      {"tnn_recoverable(5,2)", &tnn},
+      {"recording(cas3,3)", &recording},
+      {"tas_racing", &racing},
+  };
+  for (const auto& [name, protocol] : protocols) {
+    for (const double p : {0.0, 0.1, 0.3}) {
+      rcons::runtime::LiveRunOptions options;
+      options.rounds = 300;
+      options.crash_prob = p;
+      options.seed = 99;
+      const auto r = rcons::runtime::run_live_audit(*protocol, options);
+      table.add_row({name, std::to_string(p).substr(0, 4),
+                     std::to_string(r.rounds),
+                     std::to_string(r.total_crashes),
+                     r.total_decisions
+                         ? std::to_string(r.total_steps / r.total_decisions)
+                         : "-",
+                     std::to_string(r.agreement_violations)});
+    }
+    table.add_separator();
+  }
+  std::printf("E7: live audits (expected shape: zeros everywhere except "
+              "tas_racing at crash prob > 0)\n%s\n",
+              table.render().c_str());
+}
+
+void BM_LiveAudit(benchmark::State& state, rcons::exec::Protocol* protocol,
+                  double crash_prob) {
+  rcons::runtime::LiveRunOptions options;
+  options.rounds = 50;
+  options.crash_prob = crash_prob;
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    options.seed += 1;  // fresh crash pattern per iteration
+    const auto r = rcons::runtime::run_live_audit(*protocol, options);
+    decisions += r.total_decisions;
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+}
+
+void BM_LiveObjectContended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const rcons::spec::ObjectType cas = rcons::spec::make_cas(3);
+  const rcons::spec::OpId op = *cas.find_op("cas_0_1");
+  const rcons::spec::OpId undo = *cas.find_op("cas_1_0");
+  for (auto _ : state) {
+    rcons::runtime::PersistentArena arena;
+    rcons::runtime::LiveObject obj(cas, 0, arena);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int i = 0; i < 2000; ++i) {
+          obj.apply(i % 2 == 0 ? op : undo);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * 2000);
+}
+
+void BM_LinearizabilityCheck(benchmark::State& state) {
+  const int ops_per_thread = static_cast<int>(state.range(0));
+  const rcons::spec::ObjectType tnn = rcons::spec::make_tnn(6, 3);
+  // Record one contended history, then measure the checker alone.
+  rcons::runtime::PersistentArena arena;
+  rcons::runtime::LiveObject obj(tnn, *tnn.find_value("s"), arena);
+  rcons::runtime::HistoryRecorder recorder;
+  {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 4; ++t) {
+      pool.emplace_back([&, t] {
+        const rcons::spec::OpId ops[3] = {*tnn.find_op("op_0"),
+                                          *tnn.find_op("op_1"),
+                                          *tnn.find_op("op_R")};
+        for (int i = 0; i < ops_per_thread; ++i) {
+          obj.apply_recorded(ops[(t + i) % 3], t, recorder);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  const auto history = recorder.take();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::runtime::is_linearizable(
+        tnn, *tnn.find_value("s"), history));
+  }
+  state.counters["ops"] = static_cast<double>(history.size());
+}
+
+rcons::algo::CasConsensus g_cas3(3);
+rcons::algo::TnnRecoverableConsensus g_tnn(5, 2, 2);
+rcons::algo::RecordingConsensus g_recording(rcons::spec::make_cas(3), 3);
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_LiveAudit, cas3_p00, &g_cas3, 0.0);
+BENCHMARK_CAPTURE(BM_LiveAudit, cas3_p30, &g_cas3, 0.3);
+BENCHMARK_CAPTURE(BM_LiveAudit, tnn52_p30, &g_tnn, 0.3);
+BENCHMARK_CAPTURE(BM_LiveAudit, recording_cas3_p30, &g_recording, 0.3);
+BENCHMARK(BM_LiveObjectContended)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_LinearizabilityCheck)->Arg(3)->Arg(5);
+
+int main(int argc, char** argv) {
+  print_audit_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment E2 — Figure 3's type as an executable artifact.
+//
+// Prints the exact T_{5,2} state machine (compare against the paper's
+// Figure 3) and measures the sequential-specification layer: single
+// transitions, full one-shot schedules, and serialization round trips.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+
+namespace {
+
+using rcons::spec::ObjectType;
+
+void BM_SingleTransition(benchmark::State& state, const ObjectType& type) {
+  const int ops = type.op_count();
+  rcons::spec::ValueId v = 0;
+  int op = 0;
+  for (auto _ : state) {
+    const auto& e = type.apply(v, op);
+    v = e.next_value;
+    op = (op + 1) % ops;
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_OneShotSchedule(benchmark::State& state, const ObjectType& type,
+                        int length) {
+  std::vector<rcons::spec::OpId> schedule;
+  for (int i = 0; i < length; ++i) {
+    schedule.push_back(i % (type.op_count() - 1));  // skip trailing read
+  }
+  std::vector<rcons::spec::ResponseId> responses;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(type.apply_trace(0, schedule, responses));
+  }
+  state.SetItemsProcessed(state.iterations() * length);
+}
+
+void BM_SerializeRoundTrip(benchmark::State& state, const ObjectType& type) {
+  for (auto _ : state) {
+    const auto parsed =
+        rcons::spec::parse_type(rcons::spec::serialize_type(type));
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+
+const ObjectType g_t52 = rcons::spec::make_tnn(5, 2);
+const ObjectType g_t83 = rcons::spec::make_tnn(8, 3);
+const ObjectType g_cas3 = rcons::spec::make_cas(3);
+const ObjectType g_x4 = rcons::spec::make_xn(4);
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SingleTransition, t52, g_t52);
+BENCHMARK_CAPTURE(BM_SingleTransition, t83, g_t83);
+BENCHMARK_CAPTURE(BM_SingleTransition, cas3, g_cas3);
+BENCHMARK_CAPTURE(BM_SingleTransition, x4, g_x4);
+BENCHMARK_CAPTURE(BM_OneShotSchedule, t52_len4, g_t52, 4);
+BENCHMARK_CAPTURE(BM_OneShotSchedule, t52_len8, g_t52, 8);
+BENCHMARK_CAPTURE(BM_OneShotSchedule, t83_len8, g_t83, 8);
+BENCHMARK_CAPTURE(BM_SerializeRoundTrip, t52, g_t52);
+BENCHMARK_CAPTURE(BM_SerializeRoundTrip, x4, g_x4);
+
+int main(int argc, char** argv) {
+  std::printf("E2: the state machine of T_{5,2} (paper Figure 3)\n%s\n",
+              g_t52.describe().c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Benchmarks for the recoverable universal construction and the
+// recoverable locks: operations per second vs thread count, log replay
+// cost vs log length, re-invocation (recovery) cost, and lock acquisition
+// throughput under crash injection.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "runtime/rlock.hpp"
+#include "runtime/universal.hpp"
+#include "spec/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_UniversalSequentialApply(benchmark::State& state) {
+  const int log_capacity = static_cast<int>(state.range(0));
+  const rcons::spec::ObjectType faa =
+      rcons::spec::make_fetch_and_add(1 << 16);
+  const rcons::spec::OpId op = *faa.find_op("faa");
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rcons::runtime::PersistentArena arena;
+    rcons::runtime::UniversalObject obj(faa, 0, arena, log_capacity);
+    state.ResumeTiming();
+    for (int i = 0; i < log_capacity; ++i) {
+      benchmark::DoNotOptimize(obj.apply(op, 0, seq++));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * log_capacity);
+}
+
+void BM_UniversalContended(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int ops_per_thread = 64;
+  const rcons::spec::ObjectType faa =
+      rcons::spec::make_fetch_and_add(1 << 16);
+  const rcons::spec::OpId op = *faa.find_op("faa");
+  for (auto _ : state) {
+    rcons::runtime::PersistentArena arena;
+    rcons::runtime::UniversalObject obj(faa, 0, arena,
+                                        threads * ops_per_thread);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+          obj.apply(op, t, i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * ops_per_thread);
+}
+
+void BM_UniversalRecoveryReinvocation(benchmark::State& state) {
+  // Cost of the detectability path: re-applying an id already in the log.
+  const int log_length = static_cast<int>(state.range(0));
+  const rcons::spec::ObjectType faa =
+      rcons::spec::make_fetch_and_add(1 << 16);
+  const rcons::spec::OpId op = *faa.find_op("faa");
+  rcons::runtime::PersistentArena arena;
+  rcons::runtime::UniversalObject obj(faa, 0, arena, log_length + 1);
+  for (int i = 0; i < log_length; ++i) {
+    obj.apply(op, 0, static_cast<std::uint64_t>(i));
+  }
+  for (auto _ : state) {
+    // The first logged op: worst case is O(1), last is O(log length).
+    benchmark::DoNotOptimize(
+        obj.apply(op, 0, static_cast<std::uint64_t>(log_length - 1)));
+  }
+}
+
+template <typename Lock>
+void BM_LockThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int acquisitions = 200;
+  for (auto _ : state) {
+    rcons::runtime::PersistentArena arena;
+    Lock lock(arena, threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = 0; i < acquisitions; ++i) {
+          lock.acquire(t);
+          lock.release(t);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * acquisitions);
+}
+
+}  // namespace
+
+BENCHMARK(BM_UniversalSequentialApply)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_UniversalContended)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_UniversalRecoveryReinvocation)->Arg(16)->Arg(256);
+BENCHMARK_TEMPLATE(BM_LockThroughput, rcons::runtime::RecoverableTasLock)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+BENCHMARK_TEMPLATE(BM_LockThroughput, rcons::runtime::RecoverableTicketLock)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+BENCHMARK_MAIN();

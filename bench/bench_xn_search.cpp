@@ -1,0 +1,62 @@
+// The X_n hunt as a measured workload: machines evaluated per second by
+// the checker-guided search, and the per-profile cost that dominates it.
+// (The gap-2 machine shipped as make_xn(4) came out of exactly this loop;
+// see examples/xn_search for the interactive tool.)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/search.hpp"
+#include "spec/paper_types.hpp"
+
+namespace {
+
+void BM_SearchBurst(benchmark::State& state) {
+  const int mutations = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1000;
+  std::uint64_t machines = 0;
+  for (auto _ : state) {
+    rcons::hierarchy::MachineSearchOptions options;
+    options.restarts = 1;
+    options.mutations_per_restart = mutations;
+    options.seed = seed++;
+    options.max_n = 4;
+    const auto r = rcons::hierarchy::search_gap_machines(options);
+    machines += r.machines_evaluated;
+    benchmark::DoNotOptimize(r.best_gap);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(machines));
+}
+
+void BM_ProfileX4(benchmark::State& state) {
+  const auto x4 = rcons::spec::make_xn(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::hierarchy::compute_profile(x4, 5));
+  }
+}
+
+void BM_EraseCounterFamilyProfile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rcons::hierarchy::profile_erase_counter_family(2, 4));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SearchBurst)->Arg(20)->Arg(50);
+BENCHMARK(BM_ProfileX4);
+BENCHMARK(BM_EraseCounterFamilyProfile);
+
+int main(int argc, char** argv) {
+  const auto x4 = rcons::spec::make_xn(4);
+  const auto p = rcons::hierarchy::compute_profile(x4, 5);
+  std::printf("shipped X_4 profile: discerning %s, recording %s (gap %d)\n\n",
+              p.discerning.to_string().c_str(),
+              p.recording.to_string().c_str(),
+              p.discerning.value - p.recording.value);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "algo/cas_consensus.hpp"
+
+#include "spec/catalog.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+CasConsensus::CasConsensus(int n)
+    : ProtocolBase("cas_consensus(n=" + std::to_string(n) + ")", n) {
+  // Domain 3: r0 = undefined, r1 = decided 0, r2 = decided 1.
+  spec::ObjectType cas = spec::make_cas(3);
+  cas_to_[0] = *cas.find_op("cas_0_1");
+  cas_to_[1] = *cas.find_op("cas_0_2");
+  old_undef_ = *cas.find_response("old_0");
+  old_val_[0] = *cas.find_response("old_1");
+  old_val_[1] = *cas.find_response("old_2");
+  cell_ = add_object(std::move(cas), "r0");
+}
+
+exec::Action CasConsensus::poised(exec::ProcessId,
+                                  const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const int input = static_cast<int>(state.words[1]);
+  return exec::Action::invoke(cell_, cas_to_[input]);
+}
+
+exec::LocalState CasConsensus::advance(exec::ProcessId,
+                                       const exec::LocalState& state,
+                                       spec::ResponseId response) const {
+  const int input = static_cast<int>(state.words[1]);
+  if (response == old_undef_) {
+    return make_decided(input);  // won the race
+  }
+  if (response == old_val_[0]) return make_decided(0);
+  RCONS_CHECK(response == old_val_[1]);
+  return make_decided(1);
+}
+
+}  // namespace rcons::algo

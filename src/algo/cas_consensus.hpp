@@ -1,0 +1,32 @@
+// Recoverable consensus from a single compare-and-swap cell.
+//
+// The cell starts undefined; each process CASes it from undefined to its
+// own input and decides the cell's winner. Because CAS both decides the
+// race and durably records the winner in non-volatile state, a crashed
+// process simply re-runs its CAS: if it had already won, its retry returns
+// its own value. This is the canonical example of a type whose recoverable
+// consensus number equals its consensus number at every level (CAS is
+// n-recording for every n — experiment E1).
+#pragma once
+
+#include "algo/protocol_base.hpp"
+
+namespace rcons::algo {
+
+class CasConsensus : public ProtocolBase {
+ public:
+  explicit CasConsensus(int n);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  exec::ObjectId cell_;
+  spec::OpId cas_to_[2];          // cas undef -> value x
+  spec::ResponseId old_undef_;    // response when the CAS won
+  spec::ResponseId old_val_[2];   // response when value x was already set
+};
+
+}  // namespace rcons::algo

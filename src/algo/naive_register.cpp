@@ -1,0 +1,47 @@
+#include "algo/naive_register.hpp"
+
+#include "spec/catalog.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+namespace {
+constexpr std::int64_t kPcWrite = 0;
+constexpr std::int64_t kPcRead = 1;
+}  // namespace
+
+NaiveRegisterConsensus::NaiveRegisterConsensus(int n)
+    : ProtocolBase("naive_register(n=" + std::to_string(n) + ")", n) {
+  spec::ObjectType reg = spec::make_register(2);
+  write_[0] = *reg.find_op("write_0");
+  write_[1] = *reg.find_op("write_1");
+  read_ = *reg.find_op("read");
+  val_[0] = *reg.find_response("r0");
+  val_[1] = *reg.find_response("r1");
+  reg_ = add_object(std::move(reg), "r0");
+}
+
+exec::Action NaiveRegisterConsensus::poised(exec::ProcessId,
+                                            const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const std::int64_t pc = state.words[0];
+  const int input = static_cast<int>(state.words[1]);
+  if (pc == kPcWrite) return exec::Action::invoke(reg_, write_[input]);
+  RCONS_CHECK(pc == kPcRead);
+  return exec::Action::invoke(reg_, read_);
+}
+
+exec::LocalState NaiveRegisterConsensus::advance(
+    exec::ProcessId, const exec::LocalState& state,
+    spec::ResponseId response) const {
+  const std::int64_t pc = state.words[0];
+  if (pc == kPcWrite) {
+    exec::LocalState next = state;
+    next.words[0] = kPcRead;
+    return next;
+  }
+  RCONS_CHECK(pc == kPcRead);
+  return make_decided(response == val_[1] ? 1 : 0);
+}
+
+}  // namespace rcons::algo

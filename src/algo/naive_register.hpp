@@ -1,0 +1,32 @@
+// A deliberately broken register-only "consensus" protocol.
+//
+// Each process writes its input to one shared register and then reads it,
+// deciding whatever it reads. Two processes with different inputs can
+// interleave write/write/read/read so that both decide the second writer's
+// value — which *satisfies* agreement — or write/read/write/read so that
+// they decide different values. The model checker must find the violating
+// interleaving (it is the standard FLP-style sanity test for the checker,
+// and the registers-have-consensus-number-1 baseline of experiment E1).
+#pragma once
+
+#include "algo/protocol_base.hpp"
+
+namespace rcons::algo {
+
+class NaiveRegisterConsensus : public ProtocolBase {
+ public:
+  explicit NaiveRegisterConsensus(int n);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  exec::ObjectId reg_;
+  spec::OpId write_[2];
+  spec::OpId read_;
+  spec::ResponseId val_[2];
+};
+
+}  // namespace rcons::algo

@@ -1,0 +1,40 @@
+#include "algo/propose_consensus.hpp"
+
+#include "spec/catalog.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+NaiveProposeConsensus::NaiveProposeConsensus(int m, int processes)
+    : ProtocolBase("naive_propose(m=" + std::to_string(m) +
+                       ",procs=" + std::to_string(processes) + ")",
+                   processes) {
+  spec::ObjectType type = spec::make_consensus_object(m);
+  propose_[0] = *type.find_op("propose_0");
+  propose_[1] = *type.find_op("propose_1");
+  val_[0] = *type.find_response("0");
+  val_[1] = *type.find_response("1");
+  bot_ = *type.find_response("bot");
+  obj_ = add_object(std::move(type), "undec");
+}
+
+exec::Action NaiveProposeConsensus::poised(exec::ProcessId,
+                                           const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const int input = static_cast<int>(state.words[1]);
+  return exec::Action::invoke(obj_, propose_[input]);
+}
+
+exec::LocalState NaiveProposeConsensus::advance(
+    exec::ProcessId, const exec::LocalState& state,
+    spec::ResponseId response) const {
+  (void)state;
+  if (response == val_[0]) return make_decided(0);
+  if (response == val_[1]) return make_decided(1);
+  RCONS_CHECK(response == bot_);
+  // The wedged-object arm: fabricate 0 (mirrors the T_{n,n'} protocol's
+  // bot arm; with crash-recovery this arm is reachable and wrong).
+  return make_decided(0);
+}
+
+}  // namespace rcons::algo

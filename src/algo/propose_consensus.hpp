@@ -1,0 +1,39 @@
+// The naive consensus-object protocol — and why crash-recovery breaks it.
+//
+// An m-ported consensus object decides the first proposal and echoes it to
+// the next m-1 proposers, then wedges ("full", responding bot). The
+// obvious protocol — propose your input, decide the response — is
+// wait-free correct for up to m+1 processes (the (m+1)-th proposal still
+// echoes the winner). Under crash-recovery it is BROKEN for every process
+// count >= 2: a crashed process re-proposes, each retry burns a port, and
+// once the object wedges the bot arm fabricates a decision.
+//
+// This is the readable-type twin of the T_{n,n'} overload experiment (E5):
+// the type's recoverable consensus number is m (it is m-recording, E1),
+// but reaching that power needs the read-before-apply discipline of
+// RecordingConsensus, not naive re-proposing. The model checker exhibits
+// the exact crash schedule that kills this protocol.
+#pragma once
+
+#include "algo/protocol_base.hpp"
+
+namespace rcons::algo {
+
+class NaiveProposeConsensus : public ProtocolBase {
+ public:
+  /// `m` ports on the consensus object; `processes` participants.
+  NaiveProposeConsensus(int m, int processes);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  exec::ObjectId obj_;
+  spec::OpId propose_[2];
+  spec::ResponseId val_[2];
+  spec::ResponseId bot_;
+};
+
+}  // namespace rcons::algo

@@ -1,0 +1,56 @@
+#include "algo/protocol_base.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+ProtocolBase::ProtocolBase(std::string name, int process_count)
+    : name_(std::move(name)), process_count_(process_count) {
+  RCONS_CHECK(process_count >= 1);
+}
+
+const spec::ObjectType& ProtocolBase::object_type(exec::ObjectId obj) const {
+  RCONS_CHECK(obj >= 0 && obj < object_count());
+  return objects_[static_cast<std::size_t>(obj)];
+}
+
+spec::ValueId ProtocolBase::initial_value(exec::ObjectId obj) const {
+  RCONS_CHECK(obj >= 0 && obj < object_count());
+  return initial_values_[static_cast<std::size_t>(obj)];
+}
+
+exec::LocalState ProtocolBase::initial_state(exec::ProcessId pid,
+                                             int input) const {
+  RCONS_CHECK(pid >= 0 && pid < process_count());
+  RCONS_CHECK_MSG(input == 0 || input == 1, "binary consensus inputs only");
+  exec::LocalState s;
+  s.words = {0, input};
+  return s;
+}
+
+exec::ObjectId ProtocolBase::add_object(spec::ObjectType type,
+                                        std::string_view initial) {
+  const auto v = type.find_value(initial);
+  RCONS_CHECK_MSG(v.has_value(), "type ", type.name(), " has no value '",
+                  std::string(initial), "'");
+  objects_.push_back(std::move(type));
+  initial_values_.push_back(*v);
+  return object_count() - 1;
+}
+
+exec::LocalState ProtocolBase::make_decided(int value) {
+  exec::LocalState s;
+  s.words = {kDecidedPc, value};
+  return s;
+}
+
+bool ProtocolBase::is_decided(const exec::LocalState& s) {
+  return !s.words.empty() && s.words[0] == kDecidedPc;
+}
+
+int ProtocolBase::decision_of(const exec::LocalState& s) {
+  RCONS_CHECK(is_decided(s));
+  return static_cast<int>(s.words[1]);
+}
+
+}  // namespace rcons::algo

@@ -1,0 +1,56 @@
+// Shared plumbing for concrete protocols: object tables and local-state
+// conventions.
+//
+// Conventions used by every protocol in this module:
+//   * words[0] is the program counter (pc). pc == kDecidedPc means the
+//     process is in an output state and words[1] holds its decision.
+//   * words[1] holds the process's input until it is replaced by the
+//     decision (protocols that need the input later keep their own copy).
+// Protocols are strictly deterministic functions of (pid, local state),
+// as the model requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/protocol.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::algo {
+
+/// pc value marking an output state; words[1] = decided value.
+inline constexpr std::int64_t kDecidedPc = -1;
+
+class ProtocolBase : public exec::Protocol {
+ public:
+  ProtocolBase(std::string name, int process_count);
+
+  std::string name() const override { return name_; }
+  int process_count() const override { return process_count_; }
+  int object_count() const override {
+    return static_cast<int>(objects_.size());
+  }
+  const spec::ObjectType& object_type(exec::ObjectId obj) const override;
+  spec::ValueId initial_value(exec::ObjectId obj) const override;
+
+  /// Default initial state: pc = 0, words[1] = input.
+  exec::LocalState initial_state(exec::ProcessId pid, int input) const override;
+
+ protected:
+  /// Registers an object; returns its id. `initial` is a value *name* of
+  /// `type` (checked).
+  exec::ObjectId add_object(spec::ObjectType type, std::string_view initial);
+
+  /// Helpers for decided states.
+  static exec::LocalState make_decided(int value);
+  static bool is_decided(const exec::LocalState& s);
+  static int decision_of(const exec::LocalState& s);
+
+ private:
+  std::string name_;
+  int process_count_;
+  std::vector<spec::ObjectType> objects_;
+  std::vector<spec::ValueId> initial_values_;
+};
+
+}  // namespace rcons::algo

@@ -1,0 +1,233 @@
+#include "algo/recording_consensus.hpp"
+
+#include <sstream>
+
+#include "spec/catalog.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+namespace {
+// Phases of the per-node step program (words[0]).
+constexpr std::int64_t kPhaseWriteProp = 0;
+constexpr std::int64_t kPhaseRead1 = 1;
+constexpr std::int64_t kPhaseApply = 2;
+constexpr std::int64_t kPhaseRead2 = 3;
+constexpr std::int64_t kPhaseReadProp = 4;
+
+// words layout: [phase, input, path_pos, current_value, decoded_team]
+constexpr std::size_t kWInput = 1;
+constexpr std::size_t kWPathPos = 2;
+constexpr std::size_t kWValue = 3;
+constexpr std::size_t kWTeam = 4;
+}  // namespace
+
+RecordingConsensus::RecordingConsensus(const spec::ObjectType& type, int n)
+    : ProtocolBase("recording_consensus(" + type.name() +
+                       ",n=" + std::to_string(n) + ")",
+                   n) {
+  RCONS_CHECK_MSG(type.is_readable(),
+                  "recording consensus requires a readable type");
+  read_op_ = *type.read_op();
+  read_resp_value_.assign(static_cast<std::size_t>(type.response_count()), -1);
+  for (spec::ValueId v = 0; v < type.value_count(); ++v) {
+    read_resp_value_[static_cast<std::size_t>(
+        type.apply(v, read_op_).response)] = v;
+  }
+
+  // Proposal register vocabulary (identical across instances).
+  {
+    const spec::ObjectType reg = spec::make_register(3);
+    prop_write_[0] = *reg.find_op("write_1");
+    prop_write_[1] = *reg.find_op("write_2");
+    prop_read_ = *reg.find_op("read");
+    prop_resp_[0] = *reg.find_response("r0");
+    prop_resp_[1] = *reg.find_response("r1");
+    prop_resp_[2] = *reg.find_response("r2");
+  }
+
+  paths_.resize(static_cast<std::size_t>(n));
+  if (n >= 2) {
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    build_node(type, all);
+  }
+}
+
+int RecordingConsensus::build_node(const spec::ObjectType& type,
+                                   const std::vector<int>& pids) {
+  const int k = static_cast<int>(pids.size());
+  RCONS_CHECK(k >= 2);
+  const hierarchy::RecordingResult result =
+      hierarchy::check_recording_nonhiding(type, k);
+  RCONS_CHECK_MSG(result.holds, "type ", type.name(),
+                  " has no non-hiding ", k, "-recording witness");
+  const hierarchy::Assignment& witness = *result.witness;
+
+  Node node;
+  node.pids = pids;
+  node.u = witness.initial_value;
+  node.value_team = hierarchy::compute_value_teams(type, witness);
+  node.team_of_pid.assign(static_cast<std::size_t>(process_count()), -1);
+  node.op_of_pid.assign(static_cast<std::size_t>(process_count()), -1);
+  std::vector<int> team_members[2];
+  for (int i = 0; i < k; ++i) {
+    const int pid = pids[static_cast<std::size_t>(i)];
+    const int team = witness.team_of[static_cast<std::size_t>(i)];
+    node.team_of_pid[static_cast<std::size_t>(pid)] = team;
+    node.op_of_pid[static_cast<std::size_t>(pid)] =
+        witness.ops[static_cast<std::size_t>(i)];
+    team_members[team].push_back(pid);
+  }
+
+  // Children first so per-pid paths come out bottom-up.
+  for (int team = 0; team <= 1; ++team) {
+    if (team_members[team].size() >= 2) {
+      build_node(type, team_members[team]);
+    }
+  }
+
+  node.object = add_object(type, type.value_name(node.u));
+  node.prop[0] = add_object(spec::make_register(3), "r0");
+  node.prop[1] = add_object(spec::make_register(3), "r0");
+
+  nodes_.push_back(std::move(node));
+  const int idx = static_cast<int>(nodes_.size()) - 1;
+  for (int pid : pids) {
+    paths_[static_cast<std::size_t>(pid)].push_back(idx);
+  }
+  return idx;
+}
+
+exec::Action RecordingConsensus::poised(exec::ProcessId pid,
+                                        const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const auto& path = paths_[static_cast<std::size_t>(pid)];
+  if (path.empty()) {
+    // Single-process instance: decide the input directly.
+    return exec::Action::decided(static_cast<int>(state.words[kWInput]));
+  }
+  const std::int64_t phase = state.words[0];
+  const auto pos = static_cast<std::size_t>(state.words[kWPathPos]);
+  RCONS_CHECK(pos < path.size());
+  const Node& nd = node(path[pos]);
+  switch (phase) {
+    case kPhaseWriteProp: {
+      const int team = nd.team_of_pid[static_cast<std::size_t>(pid)];
+      const auto value = static_cast<std::size_t>(state.words[kWValue]);
+      RCONS_CHECK(value <= 1);
+      return exec::Action::invoke(nd.prop[team], prop_write_[value]);
+    }
+    case kPhaseRead1:
+    case kPhaseRead2:
+      return exec::Action::invoke(nd.object, read_op_);
+    case kPhaseApply:
+      return exec::Action::invoke(
+          nd.object, nd.op_of_pid[static_cast<std::size_t>(pid)]);
+    case kPhaseReadProp: {
+      const auto team = static_cast<std::size_t>(state.words[kWTeam]);
+      RCONS_CHECK(team <= 1);
+      return exec::Action::invoke(nd.prop[team], prop_read_);
+    }
+    default:
+      RCONS_CHECK_MSG(false, "bad phase ", phase);
+  }
+  return exec::Action::decided(0);  // unreachable
+}
+
+exec::LocalState RecordingConsensus::advance(exec::ProcessId pid,
+                                             const exec::LocalState& state,
+                                             spec::ResponseId response) const {
+  const auto& path = paths_[static_cast<std::size_t>(pid)];
+  RCONS_CHECK(!path.empty());
+  const std::int64_t phase = state.words[0];
+  const auto pos = static_cast<std::size_t>(state.words[kWPathPos]);
+  const Node& nd = node(path[pos]);
+  exec::LocalState next = state;
+
+  const auto decode_and_go_read_prop =
+      [&](spec::ResponseId read_resp) -> exec::LocalState {
+    const spec::ValueId v = read_resp_value_[static_cast<std::size_t>(read_resp)];
+    RCONS_CHECK(v >= 0);
+    if (v == static_cast<spec::ValueId>(nd.u)) {
+      // Object still at u: nobody has applied (non-hiding witness), so it
+      // is our turn to apply our operation.
+      next.words[0] = kPhaseApply;
+      return next;
+    }
+    const int team = nd.value_team[static_cast<std::size_t>(v)];
+    if (team < 0) {
+      // Unreachable for a valid witness; stay total rather than aborting so
+      // the model checker can surface the bug as an agreement/validity
+      // violation instead of killing the process.
+      return make_decided(0);
+    }
+    next.words[kWTeam] = team;
+    next.words[0] = kPhaseReadProp;
+    return next;
+  };
+
+  switch (phase) {
+    case kPhaseWriteProp:
+      next.words[0] = kPhaseRead1;
+      return next;
+    case kPhaseRead1:
+      return decode_and_go_read_prop(response);
+    case kPhaseApply:
+      next.words[0] = kPhaseRead2;
+      return next;
+    case kPhaseRead2: {
+      exec::LocalState after = decode_and_go_read_prop(response);
+      // After our own application the object cannot read as u again.
+      RCONS_CHECK_MSG(after.words.empty() || after.words[0] != kPhaseApply,
+                      "non-hiding witness read u after an application");
+      return after;
+    }
+    case kPhaseReadProp: {
+      int value = -1;
+      if (response == prop_resp_[1]) value = 0;
+      if (response == prop_resp_[2]) value = 1;
+      if (value < 0) {
+        // PROP[x] unset would mean the first team's proposal was missing —
+        // impossible for a correct witness; stay total (see above).
+        return make_decided(0);
+      }
+      next.words[kWValue] = value;
+      if (pos + 1 == path.size()) {
+        return make_decided(value);
+      }
+      next.words[kWPathPos] = static_cast<std::int64_t>(pos + 1);
+      next.words[0] = kPhaseWriteProp;
+      next.words[kWTeam] = -1;
+      return next;
+    }
+    default:
+      RCONS_CHECK_MSG(false, "bad phase ", phase);
+  }
+  return state;  // unreachable
+}
+
+std::string RecordingConsensus::describe_state(
+    exec::ProcessId pid, const exec::LocalState& state) const {
+  if (is_decided(state)) {
+    return "p" + std::to_string(pid) + "[decided " +
+           std::to_string(decision_of(state)) + "]";
+  }
+  static const char* kPhaseNames[] = {"write_prop", "read1", "apply", "read2",
+                                      "read_prop"};
+  std::ostringstream oss;
+  oss << "p" << pid << "[" << kPhaseNames[state.words[0]] << " node#"
+      << state.words[kWPathPos] << " v=" << state.words[kWValue] << "]";
+  return oss.str();
+}
+
+exec::LocalState RecordingConsensus::initial_state(exec::ProcessId pid,
+                                                   int input) const {
+  (void)pid;
+  RCONS_CHECK(input == 0 || input == 1);
+  exec::LocalState s;
+  s.words = {kPhaseWriteProp, input, 0, input, -1};
+  return s;
+}
+
+}  // namespace rcons::algo

@@ -1,0 +1,104 @@
+// Recoverable wait-free consensus from a readable n-recording type
+// (the algorithmic direction of the paper's Theorem 14; DFFR Theorem 8
+// style, restricted to NON-HIDING witnesses — see below).
+//
+// Construction. A non-hiding k-recording witness for a set of k processes
+// gives a crash-robust "first team" detector: the object starts at u, each
+// process applies its witness operation AT MOST ONCE, and any read
+//   * returning u means nobody has applied yet (non-hiding: no one-shot
+//     schedule returns to u), and
+//   * returning w != u identifies, via the disjoint U_0/U_1 sets, the team
+//     of the first process to apply — stably, because every prefix of the
+//     application sequence is itself a one-shot schedule starting with the
+//     same process.
+// At-most-once application survives crashes without any helper object: a
+// recovering process re-reads the object, and only applies if it still
+// reads u — if it had applied before the crash, the object can never show
+// u again.
+//
+// Consensus then runs on a binary tree of detectors. Each tree node holds
+// one recording object and two proposal registers; its two children are
+// the witness's two teams. A process resolves its leaf (its own input),
+// then at each ancestor node: writes its current value into its team's
+// proposal register, reads the object (applying its witness operation
+// first if the object still shows u), decodes the first team x, and adopts
+// PROP[x]. The first process to apply at a node wrote its team's proposal
+// beforehand, so PROP[x] is always set by the time any reader decodes x;
+// all members of team x propose the same value (inductive agreement within
+// the child), so PROP[x] is single-valued and stable, which also makes
+// crash re-execution idempotent. Everyone exits the root with the same
+// value.
+//
+// Scope note (documented substitution, DESIGN.md): DFFR's Theorem 8 also
+// covers HIDING witnesses (u in U_x with |T_xbar| = 1) via a subtler
+// protocol; this implementation requires a non-hiding witness at every
+// tree node and RCONS_CHECKs at construction. Every infinite-consensus-
+// number type in our catalog (cas, sticky, consensus objects) admits
+// non-hiding witnesses at all levels; the exhaustive model checker
+// verifies the resulting protocols end-to-end (experiments E5/E7).
+#pragma once
+
+#include <vector>
+
+#include "algo/protocol_base.hpp"
+#include "hierarchy/recording.hpp"
+
+namespace rcons::algo {
+
+class RecordingConsensus : public ProtocolBase {
+ public:
+  /// Builds the tree of detectors for `n` processes over `type`.
+  /// Requires: type is readable and has non-hiding k-recording witnesses
+  /// for every team size k that arises in the tree (RCONS_CHECKed).
+  RecordingConsensus(const spec::ObjectType& type, int n);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+  exec::LocalState initial_state(exec::ProcessId pid,
+                                 int input) const override;
+
+  /// Number of internal tree nodes (== number of recording objects used).
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  std::string describe_state(exec::ProcessId pid,
+                             const exec::LocalState& state) const override;
+
+ private:
+  struct Node {
+    std::vector<int> pids;  // members, sorted
+    exec::ObjectId object = -1;
+    exec::ObjectId prop[2] = {-1, -1};
+    spec::ValueId u = 0;
+    // Per-pid (indexed by global pid; -1 if not a member).
+    std::vector<int> team_of_pid;
+    std::vector<spec::OpId> op_of_pid;
+    // Object value -> first team (-1 = not reachable one-shot).
+    std::vector<int> value_team;
+  };
+
+  /// Recursively builds the node for `pids`; returns its index, or -1 for
+  /// singleton sets (leaves need no node).
+  int build_node(const spec::ObjectType& type, const std::vector<int>& pids);
+
+  const Node& node(int idx) const { return nodes_[static_cast<std::size_t>(idx)]; }
+
+  spec::OpId read_op_;
+  // Read response -> value of the recording type (response ids of the read
+  // op are value-injective by definition of readability).
+  std::vector<spec::ValueId> read_resp_value_;
+
+  // Proposal register vocabulary (shared by all prop registers; they are
+  // instances of register(3): r0 = unset, r1 = proposes 0, r2 = proposes 1).
+  spec::OpId prop_write_[2];
+  spec::OpId prop_read_;
+  spec::ResponseId prop_resp_[3];  // r0/r1/r2 read responses
+
+  std::vector<Node> nodes_;
+  // paths_[pid] = node indices from the lowest internal node containing pid
+  // up to the root.
+  std::vector<std::vector<int>> paths_;
+};
+
+}  // namespace rcons::algo

@@ -1,0 +1,34 @@
+#include "algo/sticky_consensus.hpp"
+
+#include "spec/catalog.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+StickyConsensus::StickyConsensus(int n)
+    : ProtocolBase("sticky_consensus(n=" + std::to_string(n) + ")", n) {
+  spec::ObjectType sticky = spec::make_sticky_bit();
+  write_[0] = *sticky.find_op("write_0");
+  write_[1] = *sticky.find_op("write_1");
+  is_[0] = *sticky.find_response("is_0");
+  is_[1] = *sticky.find_response("is_1");
+  bit_ = add_object(std::move(sticky), "undef");
+}
+
+exec::Action StickyConsensus::poised(exec::ProcessId,
+                                     const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const int input = static_cast<int>(state.words[1]);
+  return exec::Action::invoke(bit_, write_[input]);
+}
+
+exec::LocalState StickyConsensus::advance(exec::ProcessId,
+                                          const exec::LocalState& state,
+                                          spec::ResponseId response) const {
+  (void)state;
+  if (response == is_[0]) return make_decided(0);
+  RCONS_CHECK(response == is_[1]);
+  return make_decided(1);
+}
+
+}  // namespace rcons::algo

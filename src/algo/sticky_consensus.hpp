@@ -1,0 +1,31 @@
+// Recoverable consensus from a single sticky bit.
+//
+// The sticky register is the classic universal type (consensus number
+// infinity): the first write defines the value forever and every write
+// reports the defined value. That makes consensus one operation long —
+// write your input, decide the response — and crash-recovery is free:
+// re-executing the write after a crash returns the same (sticky) value.
+// The simplest possible illustration that "no collapse" types exist at
+// every level of the recoverable hierarchy (experiment E1's sticky row).
+#pragma once
+
+#include "algo/protocol_base.hpp"
+
+namespace rcons::algo {
+
+class StickyConsensus : public ProtocolBase {
+ public:
+  explicit StickyConsensus(int n);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  exec::ObjectId bit_;
+  spec::OpId write_[2];
+  spec::ResponseId is_[2];
+};
+
+}  // namespace rcons::algo

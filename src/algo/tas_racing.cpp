@@ -1,0 +1,76 @@
+#include "algo/tas_racing.hpp"
+
+#include "spec/catalog.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+namespace {
+constexpr std::int64_t kPcWrite = 0;   // poised to write own input register
+constexpr std::int64_t kPcTas = 1;     // poised to apply tas
+constexpr std::int64_t kPcPeek = 2;    // lost: poised to read other register
+}  // namespace
+
+TasRacingConsensus::TasRacingConsensus()
+    : ProtocolBase("tas_racing", /*process_count=*/2) {
+  spec::ObjectType tas = spec::make_test_and_set();
+  tas_op_ = *tas.find_op("tas");
+  tas_won_ = *tas.find_response("won");
+  tas_obj_ = add_object(std::move(tas), "0");
+
+  // Binary registers; r0 encodes input 0, r1 encodes input 1. The register
+  // starts at r0 but is always written before it is read.
+  for (int i = 0; i < 2; ++i) {
+    spec::ObjectType reg = spec::make_register(2);
+    reg_write_[0] = *reg.find_op("write_0");
+    reg_write_[1] = *reg.find_op("write_1");
+    reg_read_ = *reg.find_op("read");
+    reg_val_[0] = *reg.find_response("r0");
+    reg_val_[1] = *reg.find_response("r1");
+    reg_[i] = add_object(std::move(reg), "r0");
+  }
+}
+
+exec::Action TasRacingConsensus::poised(exec::ProcessId pid,
+                                        const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const std::int64_t pc = state.words[0];
+  const int input = static_cast<int>(state.words[1]);
+  switch (pc) {
+    case kPcWrite:
+      return exec::Action::invoke(reg_[pid], reg_write_[input]);
+    case kPcTas:
+      return exec::Action::invoke(tas_obj_, tas_op_);
+    case kPcPeek:
+      return exec::Action::invoke(reg_[1 - pid], reg_read_);
+    default:
+      RCONS_CHECK_MSG(false, "bad pc ", pc);
+  }
+  return exec::Action::decided(0);  // unreachable
+}
+
+exec::LocalState TasRacingConsensus::advance(exec::ProcessId,
+                                             const exec::LocalState& state,
+                                             spec::ResponseId response) const {
+  const std::int64_t pc = state.words[0];
+  const int input = static_cast<int>(state.words[1]);
+  exec::LocalState next = state;
+  switch (pc) {
+    case kPcWrite:
+      next.words[0] = kPcTas;
+      return next;
+    case kPcTas:
+      if (response == tas_won_) {
+        return make_decided(input);
+      }
+      next.words[0] = kPcPeek;
+      return next;
+    case kPcPeek:
+      return make_decided(response == reg_val_[1] ? 1 : 0);
+    default:
+      RCONS_CHECK_MSG(false, "bad pc ", pc);
+  }
+  return state;  // unreachable
+}
+
+}  // namespace rcons::algo

@@ -1,0 +1,37 @@
+// The classic 2-process test&set consensus protocol — and why recovery
+// breaks it (Golab, SPAA 2020: test&set has consensus number 2 but
+// recoverable consensus number 1).
+//
+// Protocol (crash-free correct): p_i writes its input to register R_i,
+// applies tas; the winner decides its own input, the loser reads the other
+// register and decides that. Under crash-recovery the winner can crash
+// after its tas but before deciding: on recovery it re-runs, loses its own
+// race, and adopts the other process's input — while the original loser has
+// already adopted the crashed winner's input. The model checker exhibits
+// this two-crash-free-steps-plus-one-crash violation (experiment E6).
+#pragma once
+
+#include "algo/protocol_base.hpp"
+
+namespace rcons::algo {
+
+class TasRacingConsensus : public ProtocolBase {
+ public:
+  TasRacingConsensus();
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  exec::ObjectId tas_obj_;
+  exec::ObjectId reg_[2];
+  spec::OpId tas_op_;
+  spec::ResponseId tas_won_;
+  spec::OpId reg_write_[2];  // write_0 / write_1 on the registers
+  spec::OpId reg_read_;
+  spec::ResponseId reg_val_[2];  // read responses "r0"/"r1"
+};
+
+}  // namespace rcons::algo

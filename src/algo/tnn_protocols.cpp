@@ -1,0 +1,119 @@
+#include "algo/tnn_protocols.hpp"
+
+#include "spec/paper_types.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::algo {
+
+namespace {
+// pc values for both protocols.
+constexpr std::int64_t kPcStart = 0;       // poised to apply op_R / op_x
+constexpr std::int64_t kPcAfterRead = 1;   // recoverable: poised to apply op_x
+}  // namespace
+
+TnnWaitFreeConsensus::TnnWaitFreeConsensus(int n, int nprime)
+    : ProtocolBase("tnn_wait_free(n=" + std::to_string(n) +
+                       ",n'=" + std::to_string(nprime) + ")",
+                   n),
+      n_(n) {
+  spec::ObjectType type = spec::make_tnn(n, nprime);
+  resp_0_ = *type.find_response("0");
+  resp_1_ = *type.find_response("1");
+  op_for_input_[0] = *type.find_op("op_0");
+  op_for_input_[1] = *type.find_op("op_1");
+  add_object(std::move(type), "s");
+}
+
+exec::Action TnnWaitFreeConsensus::poised(exec::ProcessId,
+                                          const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  RCONS_CHECK(state.words[0] == kPcStart);
+  const int input = static_cast<int>(state.words[1]);
+  return exec::Action::invoke(0, op_for_input_[input]);
+}
+
+exec::LocalState TnnWaitFreeConsensus::advance(
+    exec::ProcessId, const exec::LocalState& state,
+    spec::ResponseId response) const {
+  RCONS_CHECK(state.words[0] == kPcStart);
+  if (response == resp_0_) return make_decided(0);
+  if (response == resp_1_) return make_decided(1);
+  // The n-process one-shot protocol can never see bot (at most n operations
+  // are applied and the wipe response still reports the first input), but
+  // stay total: treat bot like the paper's recoverable protocol does.
+  return make_decided(0);
+}
+
+TnnRecoverableConsensus::TnnRecoverableConsensus(int n, int nprime,
+                                                 int processes)
+    : ProtocolBase("tnn_recoverable(n=" + std::to_string(n) +
+                       ",n'=" + std::to_string(nprime) +
+                       ",procs=" + std::to_string(processes) + ")",
+                   processes),
+      n_(n),
+      nprime_(nprime) {
+  spec::ObjectType type = spec::make_tnn(n, nprime);
+  op_r_ = *type.find_op("op_R");
+  op_for_input_[0] = *type.find_op("op_0");
+  op_for_input_[1] = *type.find_op("op_1");
+  resp_0_ = *type.find_response("0");
+  resp_1_ = *type.find_response("1");
+  resp_bot_ = *type.find_response("bot");
+  resp_s_ = *type.find_response("s");
+  // op_R on s_{v,i} with i <= n' returns the value's own name; map those
+  // responses to the decision v.
+  sval_decode_.assign(static_cast<std::size_t>(type.response_count()), -1);
+  for (int v = 0; v <= 1; ++v) {
+    for (int i = 1; i <= n - 1; ++i) {
+      const std::string name =
+          "s_" + std::to_string(v) + "_" + std::to_string(i);
+      if (auto r = type.find_response(name)) {
+        sval_decode_[static_cast<std::size_t>(*r)] = v;
+      }
+    }
+  }
+  add_object(std::move(type), "s");
+}
+
+exec::Action TnnRecoverableConsensus::poised(
+    exec::ProcessId, const exec::LocalState& state) const {
+  if (is_decided(state)) return exec::Action::decided(decision_of(state));
+  const std::int64_t pc = state.words[0];
+  if (pc == kPcStart) {
+    return exec::Action::invoke(0, op_r_);
+  }
+  RCONS_CHECK(pc == kPcAfterRead);
+  const int input = static_cast<int>(state.words[1]);
+  return exec::Action::invoke(0, op_for_input_[input]);
+}
+
+exec::LocalState TnnRecoverableConsensus::advance(
+    exec::ProcessId, const exec::LocalState& state,
+    spec::ResponseId response) const {
+  const std::int64_t pc = state.words[0];
+  if (pc == kPcStart) {
+    // Response of op_R.
+    if (response == resp_s_) {
+      exec::LocalState next = state;
+      next.words[0] = kPcAfterRead;
+      return next;
+    }
+    if (response == resp_bot_) {
+      // "If the operation returns bot, then the process decides 0 (we will
+      // argue that this never happens)" — it never happens with <= n'
+      // processes; with n'+1 processes this arm is what breaks agreement.
+      return make_decided(0);
+    }
+    const int v = sval_decode_[static_cast<std::size_t>(response)];
+    RCONS_CHECK_MSG(v >= 0, "unexpected op_R response");
+    return make_decided(v);
+  }
+  RCONS_CHECK(pc == kPcAfterRead);
+  // Response of op_x: decide the returned value.
+  if (response == resp_0_) return make_decided(0);
+  if (response == resp_1_) return make_decided(1);
+  RCONS_CHECK(response == resp_bot_);
+  return make_decided(0);
+}
+
+}  // namespace rcons::algo

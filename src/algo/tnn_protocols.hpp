@@ -1,0 +1,73 @@
+// The two consensus protocols of Section 4, built on one T_{n,n'} object.
+//
+// Wait-free protocol (n processes, crash-free): "A process with input x
+// applies op_x to O and decides the value returned by the operation." The
+// first operation fixes the value returned by the next n-1 operations, so
+// with at most n one-shot applications everyone sees the first process's
+// input.
+//
+// Recoverable protocol (n' processes, individual crash-recovery): "A
+// process with input x first applies op_R. If the operation returns a value
+// s_{v,i}, then the process decides v. If the operation returns bot, then
+// the process decides 0 (we will argue that this never happens). Otherwise,
+// the operation returns the initial value s. In this case, the process
+// applies op_x and then decides the value returned." With only n'
+// processes the counter can never exceed n', so op_R never breaks the
+// object; a crash between op_R and op_x merely repeats op_R.
+//
+// Running the recoverable protocol with MORE than n' processes is exactly
+// what Lemma 16 forbids; tnn_recoverable_overload() builds that
+// configuration so the model checker can exhibit the failure.
+#pragma once
+
+#include <memory>
+
+#include "algo/protocol_base.hpp"
+
+namespace rcons::algo {
+
+/// Section 4's one-shot wait-free consensus for `n` processes using a
+/// single T_{n,nprime} object.
+class TnnWaitFreeConsensus : public ProtocolBase {
+ public:
+  TnnWaitFreeConsensus(int n, int nprime);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  int n_;
+  spec::OpId op_for_input_[2];
+  spec::ResponseId resp_0_;
+  spec::ResponseId resp_1_;
+};
+
+/// Section 4's recoverable consensus protocol, run by `processes`
+/// processes over a single T_{n,nprime} object. Correct when
+/// processes <= nprime; building it with processes = nprime + 1 yields the
+/// Lemma 16 counterexample machine.
+class TnnRecoverableConsensus : public ProtocolBase {
+ public:
+  TnnRecoverableConsensus(int n, int nprime, int processes);
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override;
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override;
+
+ private:
+  int n_;
+  int nprime_;
+  spec::OpId op_r_;
+  spec::OpId op_for_input_[2];
+  spec::ResponseId resp_0_;
+  spec::ResponseId resp_1_;
+  spec::ResponseId resp_bot_;
+  spec::ResponseId resp_s_;
+  // decode[r] = decided value for response r of op_R on s_{v,i}, else -1.
+  std::vector<int> sval_decode_;
+};
+
+}  // namespace rcons::algo

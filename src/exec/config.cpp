@@ -1,0 +1,91 @@
+#include "exec/config.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::exec {
+
+Config Config::initial(const Protocol& protocol,
+                       const std::vector<int>& inputs) {
+  RCONS_CHECK_MSG(static_cast<int>(inputs.size()) == protocol.process_count(),
+                  "inputs size ", inputs.size(), " != process count ",
+                  protocol.process_count());
+  Config c;
+  c.values_.resize(static_cast<std::size_t>(protocol.object_count()));
+  for (ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
+    c.values_[static_cast<std::size_t>(obj)] = protocol.initial_value(obj);
+  }
+  c.locals_.resize(static_cast<std::size_t>(protocol.process_count()));
+  c.inputs_ = inputs;
+  for (ProcessId pid = 0; pid < protocol.process_count(); ++pid) {
+    c.locals_[static_cast<std::size_t>(pid)] =
+        protocol.initial_state(pid, inputs[static_cast<std::size_t>(pid)]);
+  }
+  return c;
+}
+
+spec::ValueId Config::value(ObjectId obj) const {
+  RCONS_CHECK(obj >= 0 && obj < object_count());
+  return values_[static_cast<std::size_t>(obj)];
+}
+
+void Config::set_value(ObjectId obj, spec::ValueId v) {
+  RCONS_CHECK(obj >= 0 && obj < object_count());
+  values_[static_cast<std::size_t>(obj)] = v;
+}
+
+const LocalState& Config::local(ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < process_count());
+  return locals_[static_cast<std::size_t>(pid)];
+}
+
+void Config::set_local(ProcessId pid, LocalState state) {
+  RCONS_CHECK(pid >= 0 && pid < process_count());
+  locals_[static_cast<std::size_t>(pid)] = std::move(state);
+}
+
+int Config::input(ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < process_count());
+  return inputs_[static_cast<std::size_t>(pid)];
+}
+
+bool Config::indistinguishable_to(const Config& other,
+                                  const std::vector<ProcessId>& group) const {
+  for (ProcessId pid : group) {
+    if (local(pid) != other.local(pid)) return false;
+  }
+  return true;
+}
+
+bool Config::same_object_values(const Config& other) const {
+  return values_ == other.values_;
+}
+
+std::uint64_t Config::hash() const {
+  std::uint64_t seed = hash_vector(values_);
+  for (const LocalState& s : locals_) {
+    hash_combine(seed, hash_vector(s.words));
+  }
+  return seed;
+}
+
+std::string Config::describe(const Protocol& protocol) const {
+  std::ostringstream oss;
+  oss << "objects{";
+  for (ObjectId obj = 0; obj < object_count(); ++obj) {
+    if (obj != 0) oss << ", ";
+    oss << "O" << obj << "="
+        << protocol.object_type(obj).value_name(value(obj));
+  }
+  oss << "} locals{";
+  for (ProcessId pid = 0; pid < process_count(); ++pid) {
+    if (pid != 0) oss << ", ";
+    oss << protocol.describe_state(pid, local(pid));
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace rcons::exec

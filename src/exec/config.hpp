@@ -1,0 +1,73 @@
+// Configurations (Section 2).
+//
+// "A configuration of a consensus algorithm consists of a state for each
+// process and a value for each object." Inputs are carried alongside so
+// that a crash can reset a process to *its* initial state (which depends on
+// its input); they are constant within an execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/protocol.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::exec {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// The initial configuration of `protocol` for the given binary inputs
+  /// (inputs.size() must equal protocol.process_count()).
+  static Config initial(const Protocol& protocol,
+                        const std::vector<int>& inputs);
+
+  int process_count() const { return static_cast<int>(locals_.size()); }
+  int object_count() const { return static_cast<int>(values_.size()); }
+
+  spec::ValueId value(ObjectId obj) const;
+  void set_value(ObjectId obj, spec::ValueId v);
+
+  const LocalState& local(ProcessId pid) const;
+  void set_local(ProcessId pid, LocalState state);
+
+  int input(ProcessId pid) const;
+
+  /// value(O, C) for all objects, in object order.
+  const std::vector<spec::ValueId>& values() const { return values_; }
+
+  /// Indistinguishability to a set of processes: every process in `group`
+  /// has the same state in both configurations (C ~Q C'). Object values are
+  /// deliberately NOT compared — the paper's lemmas pair this with a
+  /// separate "all objects have the same values" condition; see
+  /// same_object_values.
+  bool indistinguishable_to(const Config& other,
+                            const std::vector<ProcessId>& group) const;
+
+  /// "All of the objects have the same values in C and C'".
+  bool same_object_values(const Config& other) const;
+
+  /// Stable hash over object values and local states (not inputs, which are
+  /// fixed per exploration anyway). Used by the model checker's visited set.
+  std::uint64_t hash() const;
+
+  friend bool operator==(const Config&, const Config&) = default;
+
+  /// Debug rendering: object values by name + local states.
+  std::string describe(const Protocol& protocol) const;
+
+ private:
+  std::vector<spec::ValueId> values_;
+  std::vector<LocalState> locals_;
+  std::vector<int> inputs_;
+};
+
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const {
+    return static_cast<std::size_t>(c.hash());
+  }
+};
+
+}  // namespace rcons::exec

@@ -1,0 +1,66 @@
+// Events and schedules (Section 2).
+//
+// "An execution consists of an alternating sequence of configurations and
+// events, each of which is either a step or a crash of some process." A
+// schedule is the projection of an execution onto its events; we write
+// steps as the process id and crashes as c_i, matching the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/protocol.hpp"
+
+namespace rcons::exec {
+
+struct Event {
+  enum class Kind { kStep, kCrash };
+
+  Kind kind = Kind::kStep;
+  ProcessId pid = 0;
+
+  static Event step(ProcessId pid) { return Event{Kind::kStep, pid}; }
+  static Event crash(ProcessId pid) { return Event{Kind::kCrash, pid}; }
+
+  bool is_step() const { return kind == Kind::kStep; }
+  bool is_crash() const { return kind == Kind::kCrash; }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+using Schedule = std::vector<Event>;
+
+/// Renders a schedule in the paper's notation, e.g. "p0 p1 c1 p0".
+std::string schedule_to_string(const Schedule& schedule);
+
+/// Builds a crash-free schedule of steps from process ids.
+Schedule steps(const std::vector<ProcessId>& pids);
+
+/// The paper's lambda_k: the schedule c_k c_{k+1} ... c_{n-1} in which the
+/// processes with ids k..n-1 crash once each, in order.
+Schedule lambda_schedule(int k, int n);
+
+inline std::string schedule_to_string(const Schedule& schedule) {
+  std::string out;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i != 0) out += " ";
+    out += schedule[i].is_crash() ? "c" : "p";
+    out += std::to_string(schedule[i].pid);
+  }
+  return out.empty() ? "<>" : out;
+}
+
+inline Schedule steps(const std::vector<ProcessId>& pids) {
+  Schedule s;
+  s.reserve(pids.size());
+  for (ProcessId pid : pids) s.push_back(Event::step(pid));
+  return s;
+}
+
+inline Schedule lambda_schedule(int k, int n) {
+  Schedule s;
+  for (int i = k; i < n; ++i) s.push_back(Event::crash(i));
+  return s;
+}
+
+}  // namespace rcons::exec

@@ -1,0 +1,104 @@
+#include "exec/execute.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rcons::exec {
+
+EventOutcome apply_event(const Protocol& protocol, Config& config,
+                         Event event, DecisionLog& log) {
+  EventOutcome out;
+  out.event = event;
+  const ProcessId pid = event.pid;
+  RCONS_CHECK(pid >= 0 && pid < config.process_count());
+
+  if (event.is_crash()) {
+    config.set_local(pid, protocol.initial_state(pid, config.input(pid)));
+    return out;
+  }
+
+  const Action action = protocol.poised(pid, config.local(pid));
+  if (action.kind == Action::Kind::kDecided) {
+    // Steps in output states are no-ops.
+    return out;
+  }
+
+  out.was_invoke = true;
+  out.object = action.object;
+  out.op = action.op;
+  const spec::ObjectType& type = protocol.object_type(action.object);
+  const spec::Effect& effect = type.apply(config.value(action.object),
+                                          action.op);
+  out.response = effect.response;
+  config.set_value(action.object, effect.next_value);
+  LocalState next = protocol.advance(pid, config.local(pid), effect.response);
+  config.set_local(pid, std::move(next));
+
+  const Action after = protocol.poised(pid, config.local(pid));
+  if (after.kind == Action::Kind::kDecided) {
+    out.decision = after.decision;
+    log.record(pid, after.decision);
+  }
+  return out;
+}
+
+ExecutionResult run_schedule(const Protocol& protocol, Config start,
+                             const Schedule& schedule, DecisionLog log) {
+  if (log.decided.empty()) {
+    log = DecisionLog(start.process_count());
+  }
+  ExecutionResult result{std::move(start), std::move(log), {}};
+  result.outcomes.reserve(schedule.size());
+  for (const Event& event : schedule) {
+    result.outcomes.push_back(
+        apply_event(protocol, result.config, event, result.log));
+  }
+  return result;
+}
+
+std::optional<int> solo_terminating_decision(const Protocol& protocol,
+                                             Config start, ProcessId pid,
+                                             int max_steps) {
+  DecisionLog log(start.process_count());
+  Config config = std::move(start);
+  // Already in an output state?
+  {
+    const Action action = protocol.poised(pid, config.local(pid));
+    if (action.kind == Action::Kind::kDecided) return action.decision;
+  }
+  for (int i = 0; i < max_steps; ++i) {
+    const EventOutcome out =
+        apply_event(protocol, config, Event::step(pid), log);
+    if (out.decision.has_value()) return out.decision;
+  }
+  return std::nullopt;
+}
+
+std::string render_execution(const Protocol& protocol,
+                             const ExecutionResult& result) {
+  std::ostringstream oss;
+  for (const EventOutcome& out : result.outcomes) {
+    if (out.event.is_crash()) {
+      oss << "  c" << out.event.pid << "  (crash: p" << out.event.pid
+          << " resets to its initial state)\n";
+      continue;
+    }
+    oss << "  p" << out.event.pid;
+    if (out.was_invoke) {
+      const spec::ObjectType& type = protocol.object_type(out.object);
+      oss << "  applies " << type.op_name(out.op) << " on O" << out.object
+          << " -> " << type.response_name(out.response);
+    } else {
+      oss << "  (no-op: already in an output state)";
+    }
+    if (out.decision.has_value()) {
+      oss << "  [decides " << *out.decision << "]";
+    }
+    oss << "\n";
+  }
+  oss << "  final: " << result.config.describe(protocol) << "\n";
+  return oss.str();
+}
+
+}  // namespace rcons::exec

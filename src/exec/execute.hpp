@@ -1,0 +1,89 @@
+// The execution engine: applies events to configurations per the model.
+//
+// A step by p_i applies the operation p_i is poised to apply (or is a no-op
+// if p_i is in an output state); a crash c_i resets p_i's local state to its
+// initial state while every shared object keeps its value (non-volatile
+// memory). Decisions are properties of executions, not configurations: once
+// a process outputs v, "p_i has output v" holds in every extension, even if
+// p_i later crashes. ExecutionResult therefore carries the decision log
+// separately from the final configuration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/event.hpp"
+#include "exec/protocol.hpp"
+
+namespace rcons::exec {
+
+/// What happened when one event was applied.
+struct EventOutcome {
+  Event event;
+  /// For invoke steps: the object/op/response involved.
+  bool was_invoke = false;
+  ObjectId object = -1;
+  spec::OpId op = -1;
+  spec::ResponseId response = -1;
+  /// Set when this step moved the process into an output state.
+  std::optional<int> decision;
+};
+
+/// Per-execution decision bookkeeping.
+struct DecisionLog {
+  /// decided[pid] = last value output by pid in this execution, or -1.
+  std::vector<int> decided;
+  /// Union of all values ever output in this execution (survives crashes).
+  bool output_0 = false;
+  bool output_1 = false;
+
+  explicit DecisionLog(int process_count = 0)
+      : decided(static_cast<std::size_t>(process_count), -1) {}
+
+  void record(ProcessId pid, int value) {
+    decided[static_cast<std::size_t>(pid)] = value;
+    if (value == 0) output_0 = true;
+    if (value == 1) output_1 = true;
+  }
+
+  bool any_output() const { return output_0 || output_1; }
+  bool agreement_violated() const { return output_0 && output_1; }
+
+  /// True iff some process has output `v` in this execution.
+  bool has_output(int v) const { return v == 0 ? output_0 : output_1; }
+};
+
+/// Applies one event in place; returns what happened. A crash of a decided
+/// process erases its *state* but the decision stays recorded in `log`.
+EventOutcome apply_event(const Protocol& protocol, Config& config,
+                         Event event, DecisionLog& log);
+
+/// Result of running a schedule.
+struct ExecutionResult {
+  Config config;
+  DecisionLog log;
+  std::vector<EventOutcome> outcomes;
+};
+
+/// exec(C, sigma): runs the events of `schedule` from `start`.
+/// `log` seeds the decision bookkeeping (pass a fresh DecisionLog to treat
+/// `start` as the beginning of the execution).
+ExecutionResult run_schedule(const Protocol& protocol, Config start,
+                             const Schedule& schedule,
+                             DecisionLog log = DecisionLog{});
+
+/// Runs pid solo (steps only, no crashes) from `start` until it decides, up
+/// to `max_steps` steps. Returns the decided value, or nullopt if the bound
+/// was hit (which for a recoverable wait-free algorithm indicates a bug —
+/// solo crash-free runs must terminate).
+std::optional<int> solo_terminating_decision(const Protocol& protocol,
+                                             Config start, ProcessId pid,
+                                             int max_steps = 10000);
+
+/// Pretty-prints an execution (events, responses, decisions) for traces.
+std::string render_execution(const Protocol& protocol,
+                             const ExecutionResult& result);
+
+}  // namespace rcons::exec

@@ -1,0 +1,19 @@
+#include "exec/protocol.hpp"
+
+#include <sstream>
+
+namespace rcons::exec {
+
+std::string Protocol::describe_state(ProcessId pid,
+                                     const LocalState& state) const {
+  std::ostringstream oss;
+  oss << "p" << pid << "[";
+  for (std::size_t i = 0; i < state.words.size(); ++i) {
+    if (i != 0) oss << ",";
+    oss << state.words[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace rcons::exec

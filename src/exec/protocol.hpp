@@ -1,0 +1,110 @@
+// The algorithm model of Section 2.
+//
+// "An algorithm defines a set of objects, an initial value for each of these
+// objects, and an initial state for each process. Furthermore, for every
+// state of every process, an algorithm defines the next step that process
+// will apply. A step can be an operation applied to some object or a no op.
+// ... If a process takes a step when it is in an output state, that step is
+// always a no op."
+//
+// A Protocol realizes this: per-process deterministic state machines over
+// shared objects of finite deterministic types. Local states are small
+// integer vectors so the exhaustive tools can hash and memoize them; word 0
+// is conventionally a program counter but the framework does not care.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/object_type.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::exec {
+
+using ProcessId = int;
+using ObjectId = int;
+
+/// A process's volatile local state. Reset to the initial state on a crash.
+struct LocalState {
+  std::vector<std::int64_t> words;
+
+  friend bool operator==(const LocalState&, const LocalState&) = default;
+};
+
+struct LocalStateHash {
+  std::size_t operator()(const LocalState& s) const {
+    return static_cast<std::size_t>(hash_vector(s.words));
+  }
+};
+
+/// What a process is poised to do in its current local state.
+struct Action {
+  enum class Kind {
+    /// Apply `op` to object `object`.
+    kInvoke,
+    /// The process is in an output state with decision `decision`; any
+    /// further step is a no-op (per the model).
+    kDecided,
+  };
+
+  Kind kind = Kind::kInvoke;
+  ObjectId object = 0;
+  spec::OpId op = 0;
+  int decision = -1;
+
+  static Action invoke(ObjectId object, spec::OpId op) {
+    Action a;
+    a.kind = Kind::kInvoke;
+    a.object = object;
+    a.op = op;
+    return a;
+  }
+  static Action decided(int value) {
+    Action a;
+    a.kind = Kind::kDecided;
+    a.decision = value;
+    return a;
+  }
+};
+
+/// A deterministic consensus algorithm for a fixed number of processes over
+/// a fixed set of shared objects. Implementations must be stateless: all
+/// per-execution state lives in LocalState and the object values, so the
+/// exhaustive tools can replay and branch executions freely.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of processes p_0 .. p_{n-1}.
+  virtual int process_count() const = 0;
+
+  /// Number of shared objects O_0 .. O_{m-1}.
+  virtual int object_count() const = 0;
+
+  /// The (finite deterministic) type of each object.
+  virtual const spec::ObjectType& object_type(ObjectId obj) const = 0;
+
+  /// The initial value of each object.
+  virtual spec::ValueId initial_value(ObjectId obj) const = 0;
+
+  /// The initial local state of process `pid` with consensus input `input`
+  /// (binary consensus: input is 0 or 1). Crashes reset to exactly this.
+  virtual LocalState initial_state(ProcessId pid, int input) const = 0;
+
+  /// The next step the process will apply from `state` (deterministic).
+  virtual Action poised(ProcessId pid, const LocalState& state) const = 0;
+
+  /// The successor state after the process's invocation returns `response`.
+  /// Only called when poised(pid, state) is an invoke.
+  virtual LocalState advance(ProcessId pid, const LocalState& state,
+                             spec::ResponseId response) const = 0;
+
+  /// Optional human-readable rendering of a local state (for traces).
+  virtual std::string describe_state(ProcessId pid,
+                                     const LocalState& state) const;
+};
+
+}  // namespace rcons::exec

@@ -1,0 +1,109 @@
+#include "hierarchy/assignment.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace rcons::hierarchy {
+
+int Assignment::team_size(int team) const {
+  int count = 0;
+  for (int t : team_of) {
+    if (t == team) ++count;
+  }
+  return count;
+}
+
+std::string Assignment::describe(const spec::ObjectType& type) const {
+  std::ostringstream oss;
+  oss << "u=" << type.value_name(initial_value);
+  for (int team = 0; team <= 1; ++team) {
+    oss << "  T_" << team << "={";
+    bool first = true;
+    for (int i = 0; i < process_count(); ++i) {
+      if (team_of[static_cast<std::size_t>(i)] != team) continue;
+      if (!first) oss << ", ";
+      first = false;
+      oss << "p" << i << ":" << type.op_name(ops[static_cast<std::size_t>(i)]);
+    }
+    oss << "}";
+  }
+  return oss.str();
+}
+
+bool for_each_canonical_assignment(
+    const spec::ObjectType& type, int n,
+    const std::function<bool(const Assignment&)>& visit) {
+  RCONS_CHECK(n >= 2);
+  const unsigned ops = static_cast<unsigned>(type.op_count());
+  Assignment a;
+  a.team_of.resize(static_cast<std::size_t>(n));
+  a.ops.resize(static_cast<std::size_t>(n));
+
+  bool found = false;
+  for (spec::ValueId u = 0; u < type.value_count() && !found; ++u) {
+    a.initial_value = u;
+    // Team 0 gets processes 0..size0-1; by symmetry only team sizes and op
+    // multisets matter, and swapping team labels is also a symmetry of both
+    // conditions, so restrict to size0 <= size1.
+    for (int size0 = 1; size0 <= n / 2 && !found; ++size0) {
+      const int size1 = n - size0;
+      for (int i = 0; i < n; ++i) {
+        a.team_of[static_cast<std::size_t>(i)] = i < size0 ? 0 : 1;
+      }
+      for_each_multiset(ops, static_cast<unsigned>(size0),
+                        [&](const std::vector<int>& ops0) {
+        if (found) return;
+        for_each_multiset(ops, static_cast<unsigned>(size1),
+                          [&](const std::vector<int>& ops1) {
+          if (found) return;
+          if (size0 == size1 && ops1 < ops0) {
+            return;  // label-swap symmetry for equal team sizes
+          }
+          for (int i = 0; i < size0; ++i) {
+            a.ops[static_cast<std::size_t>(i)] =
+                ops0[static_cast<std::size_t>(i)];
+          }
+          for (int i = 0; i < size1; ++i) {
+            a.ops[static_cast<std::size_t>(size0 + i)] =
+                ops1[static_cast<std::size_t>(i)];
+          }
+          if (visit(a)) found = true;
+        });
+      });
+    }
+  }
+  return found;
+}
+
+bool for_each_assignment_naive(
+    const spec::ObjectType& type, int n,
+    const std::function<bool(const Assignment&)>& visit) {
+  RCONS_CHECK(n >= 2);
+  Assignment a;
+  a.team_of.resize(static_cast<std::size_t>(n));
+  a.ops.resize(static_cast<std::size_t>(n));
+
+  bool found = false;
+  for (spec::ValueId u = 0; u < type.value_count() && !found; ++u) {
+    a.initial_value = u;
+    for_each_bipartition(static_cast<unsigned>(n), /*ordered=*/true,
+                         [&](const std::vector<int>& team_of) {
+      if (found) return;
+      a.team_of = team_of;
+      for_each_assignment(static_cast<unsigned>(type.op_count()),
+                          static_cast<unsigned>(n),
+                          [&](const std::vector<int>& ops) {
+        if (found) return;
+        for (int i = 0; i < n; ++i) {
+          a.ops[static_cast<std::size_t>(i)] = ops[static_cast<std::size_t>(i)];
+        }
+        if (visit(a)) found = true;
+      });
+    });
+  }
+  return found;
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,61 @@
+// Shared vocabulary of the discerning / recording checkers.
+//
+// Both characterizations quantify existentially over the same three
+// choices (Section 2):
+//   * an initial value u of the type,
+//   * a partition of {p_0..p_{n-1}} into two nonempty teams T_0, T_1,
+//   * an operation o_i for each process p_i,
+// and then universally over the one-shot schedules S(P). An Assignment
+// packages one such choice; the enumerators produce canonical assignments
+// up to the process-relabelling symmetry (only the multiset of (team, op)
+// pairs matters, because S(P) is closed under permuting process ids).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+struct Assignment {
+  /// Initial value u.
+  spec::ValueId initial_value = 0;
+  /// team_of[i] in {0,1}: the team of process p_i. Both teams nonempty.
+  std::vector<int> team_of;
+  /// ops[i]: the operation o_i of process p_i.
+  std::vector<spec::OpId> ops;
+
+  int process_count() const { return static_cast<int>(team_of.size()); }
+
+  int team_size(int team) const;
+
+  std::string describe(const spec::ObjectType& type) const;
+};
+
+/// Enumeration statistics, reported by the checkers for the scaling bench.
+struct EnumerationStats {
+  std::uint64_t assignments_tried = 0;
+  std::uint64_t schedule_nodes = 0;
+};
+
+/// Enumerates canonical assignments for `n` processes over `type`
+/// (symmetry-reduced: processes are grouped by team and ops are
+/// non-decreasing within each team; team 0 is the smaller team, and for
+/// equal sizes the lexicographically smaller op multiset). Invokes `visit`
+/// until it returns true ("witness found; stop"); returns whether any visit
+/// returned true.
+bool for_each_canonical_assignment(
+    const spec::ObjectType& type, int n,
+    const std::function<bool(const Assignment&)>& visit);
+
+/// Naive enumeration (every partition x every op vector x every value),
+/// used for cross-validation and as the ablation baseline. Exponentially
+/// more assignments than the canonical enumeration.
+bool for_each_assignment_naive(
+    const spec::ObjectType& type, int n,
+    const std::function<bool(const Assignment&)>& visit);
+
+}  // namespace rcons::hierarchy

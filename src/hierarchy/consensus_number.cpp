@@ -1,0 +1,53 @@
+#include "hierarchy/consensus_number.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+std::string Level::to_string() const {
+  return (exact ? "" : ">= ") + std::to_string(value);
+}
+
+namespace {
+
+template <typename Check>
+Level scan_level(int max_n, const Check& holds_at) {
+  RCONS_CHECK(max_n >= 1);
+  Level level{1, true};
+  for (int n = 2; n <= max_n; ++n) {
+    if (!holds_at(n)) {
+      return level;  // monotone: no larger n can hold
+    }
+    level.value = n;
+  }
+  level.exact = false;  // still held at the cap
+  // A cap equal to 1 cannot certify exactness either way; treat value 1
+  // reached without any successful n >= 2 as exact (handled above).
+  if (level.value == 1) level.exact = true;
+  return level;
+}
+
+}  // namespace
+
+Level discerning_level(const spec::ObjectType& type, int max_n) {
+  return scan_level(max_n, [&](int n) {
+    return check_discerning(type, n).holds;
+  });
+}
+
+Level recording_level(const spec::ObjectType& type, int max_n) {
+  return scan_level(max_n, [&](int n) {
+    return check_recording(type, n).holds;
+  });
+}
+
+TypeProfile compute_profile(const spec::ObjectType& type, int max_n) {
+  TypeProfile profile;
+  profile.type_name = type.name();
+  profile.readable = type.is_readable();
+  profile.discerning = discerning_level(type, max_n);
+  profile.recording = recording_level(type, max_n);
+  return profile;
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,60 @@
+// Computing consensus numbers and recoverable consensus numbers.
+//
+// For deterministic readable types the two characterizations are exact:
+//   * consensus number  = max { n : T is n-discerning }   (Ruppert), and
+//   * recoverable consensus number = max { n : T is n-recording }
+//     (sufficiency: DFFR Theorem 8; necessity: this paper's Theorem 13),
+// with both maxima read as 1 when no n >= 2 qualifies (registers alone
+// solve 1-process consensus). Both conditions are monotone in n (dropping
+// a process from a team of size >= 2 preserves a witness), so the maxima
+// are found by scanning upward until the first failure; a property test
+// validates the monotonicity empirically across the catalog.
+//
+// For non-readable deterministic types the conditions remain *necessary*
+// (Ruppert; this paper's Theorem 13), so the computed limits are upper
+// bounds on the true numbers; TypeProfile records which interpretation
+// applies.
+#pragma once
+
+#include <string>
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+/// A possibly-capped level in a hierarchy: `value` with exact=false means
+/// "at least value" (the scan hit the cap while the condition still held,
+/// e.g. compare-and-swap which is n-discerning for every n).
+struct Level {
+  int value = 1;
+  bool exact = true;
+
+  std::string to_string() const;
+  friend bool operator==(const Level&, const Level&) = default;
+};
+
+/// max { n in [2, max_n] : T is n-discerning }, else 1.
+Level discerning_level(const spec::ObjectType& type, int max_n);
+
+/// max { n in [2, max_n] : T is n-recording }, else 1.
+Level recording_level(const spec::ObjectType& type, int max_n);
+
+/// The full computed profile of one type.
+struct TypeProfile {
+  std::string type_name;
+  bool readable = false;
+  Level discerning;
+  Level recording;
+
+  /// For readable types these ARE the consensus / recoverable consensus
+  /// numbers; for non-readable types they are upper bounds (see header
+  /// comment).
+  Level consensus_number() const { return discerning; }
+  Level recoverable_consensus_number() const { return recording; }
+};
+
+TypeProfile compute_profile(const spec::ObjectType& type, int max_n);
+
+}  // namespace rcons::hierarchy

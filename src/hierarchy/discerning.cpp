@@ -1,0 +1,119 @@
+#include "hierarchy/discerning.hpp"
+
+#include "hierarchy/flat_bitset.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+namespace {
+
+/// DFS over the one-shot schedule tree. Every tree node is a schedule in
+/// S(P); entering a node with last process j extends the shared prefix by
+/// one operation, so each schedule is simulated in O(1) amortized. At each
+/// nonempty node the pair (response_i, current value) is recorded into
+/// R_{first_team, i} for every process i applied so far — this realizes
+/// "v is the resulting value of the object" for every schedule at once.
+/// Returns false as soon as a pair lands in both teams' sets for some i.
+class DiscerningDfs {
+ public:
+  DiscerningDfs(const spec::ObjectType& type, const Assignment& a)
+      : type_(type),
+        a_(a),
+        n_(a.process_count()),
+        pair_bits_(static_cast<std::size_t>(type.response_count()) *
+                   static_cast<std::size_t>(type.value_count())),
+        responses_(static_cast<std::size_t>(n_), 0),
+        applied_() {
+    r_.resize(2);
+    for (auto& team_sets : r_) {
+      team_sets.resize(static_cast<std::size_t>(n_));
+      for (auto& set : team_sets) set.reset(pair_bits_);
+    }
+    applied_.reserve(static_cast<std::size_t>(n_));
+  }
+
+  bool run(std::uint64_t* nodes) {
+    const bool ok = visit(0u, a_.initial_value, /*first_team=*/-1);
+    if (nodes != nullptr) *nodes += node_count_;
+    return ok;
+  }
+
+ private:
+  bool visit(unsigned used_mask, spec::ValueId value, int first_team) {
+    ++node_count_;
+    if (first_team >= 0) {
+      // Record (response_i, value) for every process applied in this
+      // schedule; detect cross-team collisions eagerly.
+      for (int i : applied_) {
+        const std::size_t pair =
+            static_cast<std::size_t>(
+                responses_[static_cast<std::size_t>(i)]) *
+                static_cast<std::size_t>(type_.value_count()) +
+            static_cast<std::size_t>(value);
+        if (r_[static_cast<std::size_t>(1 - first_team)]
+              [static_cast<std::size_t>(i)].test(pair)) {
+          return false;
+        }
+        r_[static_cast<std::size_t>(first_team)][static_cast<std::size_t>(i)]
+            .set(pair);
+      }
+    }
+    for (int j = 0; j < n_; ++j) {
+      if (used_mask & (1u << j)) continue;
+      const spec::Effect& e =
+          type_.apply(value, a_.ops[static_cast<std::size_t>(j)]);
+      responses_[static_cast<std::size_t>(j)] = e.response;
+      applied_.push_back(j);
+      const int team =
+          first_team >= 0 ? first_team : a_.team_of[static_cast<std::size_t>(j)];
+      const bool ok = visit(used_mask | (1u << j), e.next_value, team);
+      applied_.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  const spec::ObjectType& type_;
+  const Assignment& a_;
+  int n_;
+  std::size_t pair_bits_;
+  std::vector<spec::ResponseId> responses_;
+  std::vector<int> applied_;
+  // r_[team][process]: the set R_{team, process} as a pair-indexed bitset.
+  std::vector<std::vector<FlatBitset>> r_;
+  std::uint64_t node_count_ = 0;
+};
+
+}  // namespace
+
+bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
+                           std::uint64_t* nodes) {
+  RCONS_CHECK(a.process_count() >= 2);
+  RCONS_CHECK(a.team_size(0) >= 1 && a.team_size(1) >= 1);
+  DiscerningDfs dfs(type, a);
+  return dfs.run(nodes);
+}
+
+DiscerningResult check_discerning(const spec::ObjectType& type, int n,
+                                  bool use_symmetry) {
+  RCONS_CHECK_MSG(n >= 2, "n-discerning is defined for n >= 2");
+  RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
+  DiscerningResult result;
+  const auto visit = [&](const Assignment& a) {
+    result.stats.assignments_tried += 1;
+    if (is_discerning_witness(type, a, &result.stats.schedule_nodes)) {
+      result.holds = true;
+      result.witness = a;
+      return true;
+    }
+    return false;
+  };
+  if (use_symmetry) {
+    for_each_canonical_assignment(type, n, visit);
+  } else {
+    for_each_assignment_naive(type, n, visit);
+  }
+  return result;
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,44 @@
+// The n-discerning decision procedure (Ruppert's characterization).
+//
+// A deterministic type T is n-discerning if there exist a value u, a
+// partition of the n processes into two nonempty teams T_0/T_1, and an
+// operation o_i per process such that for every process p_j the sets
+// R_{0,j} and R_{1,j} are disjoint, where R_{x,j} collects the pairs
+// (response of o_j, resulting object value) over every schedule in S(P)
+// that contains p_j and starts with a T_x process.
+//
+// Ruppert [SIAM J. Comput. 2000]: a deterministic READABLE type has
+// consensus number >= n iff it is n-discerning; for arbitrary deterministic
+// types n-discerning remains necessary. Since S(P), the values, and the
+// operations are all finite, the condition is decidable — this module
+// decides it by exhaustive search with process-relabelling symmetry
+// reduction and shared-prefix schedule evaluation.
+#pragma once
+
+#include <optional>
+
+#include "hierarchy/assignment.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+struct DiscerningResult {
+  bool holds = false;
+  /// A witnessing assignment when holds is true.
+  std::optional<Assignment> witness;
+  EnumerationStats stats;
+};
+
+/// Evaluates one candidate assignment: true iff every process's R_{0,j}
+/// and R_{1,j} are disjoint. `nodes` (if provided) accumulates the number
+/// of schedule-tree nodes visited.
+bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
+                           std::uint64_t* nodes = nullptr);
+
+/// Decides whether `type` is n-discerning (n >= 2).
+/// `use_symmetry` selects the canonical (default) or naive enumeration —
+/// the latter exists for cross-validation and ablation.
+DiscerningResult check_discerning(const spec::ObjectType& type, int n,
+                                  bool use_symmetry = true);
+
+}  // namespace rcons::hierarchy

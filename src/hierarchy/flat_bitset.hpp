@@ -1,0 +1,58 @@
+// A tiny fixed-capacity bitset over raw words, sized at runtime.
+//
+// The checkers track the sets R_{x,j} (pairs of response x value) and U_x
+// (values) as bitsets; capacities are response_count*value_count and
+// value_count respectively — tens to hundreds of bits — and the sets are
+// cleared once per candidate assignment, so a flat vector of words beats
+// std::unordered_set by orders of magnitude here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+class FlatBitset {
+ public:
+  FlatBitset() = default;
+
+  explicit FlatBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  void reset(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool test(std::size_t i) const {
+    RCONS_CHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    RCONS_CHECK(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  bool intersects(const FlatBitset& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return bits_; }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rcons::hierarchy

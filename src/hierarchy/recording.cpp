@@ -1,0 +1,148 @@
+#include "hierarchy/recording.hpp"
+
+#include "hierarchy/flat_bitset.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::hierarchy {
+
+namespace {
+
+class RecordingDfs {
+ public:
+  RecordingDfs(const spec::ObjectType& type, const Assignment& a,
+               bool require_nonhiding)
+      : type_(type),
+        a_(a),
+        n_(a.process_count()),
+        require_nonhiding_(require_nonhiding) {
+    u_[0].reset(static_cast<std::size_t>(type.value_count()));
+    u_[1].reset(static_cast<std::size_t>(type.value_count()));
+  }
+
+  bool run(std::uint64_t* nodes) {
+    bool ok = visit(0u, a_.initial_value, /*first_team=*/-1);
+    if (ok && !require_nonhiding_) {
+      // Condition (2): u in U_x forces |T_xbar| = 1. (With nonhiding
+      // requested, reaching u at all already failed the DFS.)
+      for (int x = 0; x <= 1 && ok; ++x) {
+        if (u_[static_cast<std::size_t>(x)].test(
+                static_cast<std::size_t>(a_.initial_value)) &&
+            a_.team_size(1 - x) != 1) {
+          ok = false;
+        }
+      }
+    }
+    if (nodes != nullptr) *nodes += node_count_;
+    return ok;
+  }
+
+  /// After a successful run: value -> first team decode table.
+  std::vector<int> value_teams() const {
+    std::vector<int> teams(static_cast<std::size_t>(type_.value_count()), -1);
+    for (int v = 0; v < type_.value_count(); ++v) {
+      for (int x = 0; x <= 1; ++x) {
+        if (u_[static_cast<std::size_t>(x)].test(static_cast<std::size_t>(v))) {
+          teams[static_cast<std::size_t>(v)] = x;
+        }
+      }
+    }
+    return teams;
+  }
+
+ private:
+  bool visit(unsigned used_mask, spec::ValueId value, int first_team) {
+    ++node_count_;
+    if (first_team >= 0) {
+      if (require_nonhiding_ && value == a_.initial_value) {
+        return false;  // some nonempty schedule hides the first team
+      }
+      // Condition (1): the resulting value must not be reachable from both
+      // first teams.
+      if (u_[static_cast<std::size_t>(1 - first_team)].test(
+              static_cast<std::size_t>(value))) {
+        return false;
+      }
+      u_[static_cast<std::size_t>(first_team)].set(
+          static_cast<std::size_t>(value));
+    }
+    for (int j = 0; j < n_; ++j) {
+      if (used_mask & (1u << j)) continue;
+      const spec::Effect& e =
+          type_.apply(value, a_.ops[static_cast<std::size_t>(j)]);
+      const int team =
+          first_team >= 0 ? first_team : a_.team_of[static_cast<std::size_t>(j)];
+      if (!visit(used_mask | (1u << j), e.next_value, team)) return false;
+    }
+    return true;
+  }
+
+  const spec::ObjectType& type_;
+  const Assignment& a_;
+  int n_;
+  bool require_nonhiding_;
+  FlatBitset u_[2];
+  std::uint64_t node_count_ = 0;
+};
+
+RecordingResult check_impl(const spec::ObjectType& type, int n,
+                           bool use_symmetry, bool require_nonhiding) {
+  RCONS_CHECK_MSG(n >= 2, "n-recording is defined for n >= 2");
+  RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
+  RecordingResult result;
+  const auto visit = [&](const Assignment& a) {
+    result.stats.assignments_tried += 1;
+    RecordingDfs dfs(type, a, require_nonhiding);
+    if (dfs.run(&result.stats.schedule_nodes)) {
+      result.holds = true;
+      result.witness = a;
+      return true;
+    }
+    return false;
+  };
+  if (use_symmetry) {
+    for_each_canonical_assignment(type, n, visit);
+  } else {
+    for_each_assignment_naive(type, n, visit);
+  }
+  return result;
+}
+
+}  // namespace
+
+bool is_recording_witness(const spec::ObjectType& type, const Assignment& a,
+                          std::uint64_t* nodes) {
+  RCONS_CHECK(a.process_count() >= 2);
+  RCONS_CHECK(a.team_size(0) >= 1 && a.team_size(1) >= 1);
+  RecordingDfs dfs(type, a, /*require_nonhiding=*/false);
+  return dfs.run(nodes);
+}
+
+bool is_nonhiding_recording_witness(const spec::ObjectType& type,
+                                    const Assignment& a,
+                                    std::uint64_t* nodes) {
+  RCONS_CHECK(a.process_count() >= 2);
+  RCONS_CHECK(a.team_size(0) >= 1 && a.team_size(1) >= 1);
+  RecordingDfs dfs(type, a, /*require_nonhiding=*/true);
+  return dfs.run(nodes);
+}
+
+RecordingResult check_recording(const spec::ObjectType& type, int n,
+                                bool use_symmetry) {
+  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/false);
+}
+
+RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
+                                          bool use_symmetry) {
+  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/true);
+}
+
+std::vector<int> compute_value_teams(const spec::ObjectType& type,
+                                     const Assignment& a) {
+  RecordingDfs dfs(type, a, /*require_nonhiding=*/false);
+  std::uint64_t nodes = 0;
+  const bool ok = dfs.run(&nodes);
+  RCONS_CHECK_MSG(ok, "compute_value_teams requires a valid witness");
+  return dfs.value_teams();
+}
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,66 @@
+// The n-recording decision procedure (DFFR's characterization; the
+// condition this paper proves *necessary* for n-process recoverable
+// wait-free consensus — Theorem 13 — making it exact for deterministic
+// readable types).
+//
+// A deterministic type T is n-recording if there exist a value u, a
+// partition into two nonempty teams T_0/T_1, and an operation o_i per
+// process such that
+//   (1) U_0 and U_1 are disjoint, where U_x is the set of resulting object
+//       values over every nonempty schedule in S(P) starting with a T_x
+//       process ("the value of the object records the team of the first
+//       process to apply its operation"), and
+//   (2) if u is itself in some U_x (the first team can be "hidden" by
+//       driving the object back to its initial value), then the opposite
+//       team has exactly one member.
+// Condition (2) is what separates recording from discerning in the
+// recoverable world: a hiding schedule must already contain every opposite-
+// team process, which is only harmless when that team is a singleton.
+#pragma once
+
+#include <optional>
+
+#include "hierarchy/assignment.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+struct RecordingResult {
+  bool holds = false;
+  std::optional<Assignment> witness;
+  EnumerationStats stats;
+};
+
+/// Evaluates one candidate assignment against conditions (1) and (2).
+bool is_recording_witness(const spec::ObjectType& type, const Assignment& a,
+                          std::uint64_t* nodes = nullptr);
+
+/// Like is_recording_witness but additionally requires the witness to be
+/// NON-HIDING: no nonempty one-shot schedule returns the object to u
+/// (u not in U_0 union U_1). Non-hiding witnesses make condition (2)
+/// vacuous and — crucially for the recording-based recoverable consensus
+/// algorithm — let a recovering process conclude from a read of u that it
+/// has not yet applied its operation, giving at-most-once application for
+/// free (see algo/recording_consensus.hpp).
+bool is_nonhiding_recording_witness(const spec::ObjectType& type,
+                                    const Assignment& a,
+                                    std::uint64_t* nodes = nullptr);
+
+/// Decides whether `type` is n-recording (n >= 2).
+RecordingResult check_recording(const spec::ObjectType& type, int n,
+                                bool use_symmetry = true);
+
+/// Decides whether `type` has a NON-HIDING n-recording witness (a strictly
+/// stronger property than n-recording).
+RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
+                                          bool use_symmetry = true);
+
+/// For a valid recording witness, computes the decode table mapping each
+/// object value to the team whose member applied first (per the U_x sets),
+/// or -1 for values unreachable by one-shot schedules. This is the lookup a
+/// consensus algorithm uses to turn a read of the object into the identity
+/// of the first team.
+std::vector<int> compute_value_teams(const spec::ObjectType& type,
+                                     const Assignment& a);
+
+}  // namespace rcons::hierarchy

@@ -1,0 +1,165 @@
+#include "hierarchy/search.hpp"
+
+#include <algorithm>
+
+#include "spec/builder.hpp"
+#include "util/rng.hpp"
+
+namespace rcons::hierarchy {
+
+std::vector<FamilyEntry> profile_erase_counter_family(int max_count_states,
+                                                      int max_n) {
+  std::vector<FamilyEntry> entries;
+  for (int k = 1; k <= max_count_states; ++k) {
+    for (bool wipe : {true, false}) {
+      for (bool with_erase : {true, false}) {
+        for (bool erase_only_a : {false, true}) {
+          if (!with_erase && erase_only_a) continue;  // no erase op to bias
+          spec::EraseCounterOptions options;
+          options.count_states = k;
+          options.wipe_at_overflow = wipe;
+          options.with_erase = with_erase;
+          options.erase_only_a = erase_only_a;
+          const spec::ObjectType type = spec::make_erase_counter(options);
+          entries.push_back(
+              FamilyEntry{options, compute_profile(type, max_n)});
+        }
+      }
+    }
+  }
+  return entries;
+}
+
+namespace {
+
+/// Genome of a candidate machine: per (value, team-op) the successor value
+/// and response. A Read op is appended when the genome is instantiated, so
+/// every candidate is readable by construction.
+struct Genome {
+  int values;
+  int ops;
+  int responses;
+  // flat [v * ops + op] -> {response, next}
+  std::vector<std::pair<int, int>> delta;
+
+  spec::ObjectType instantiate() const {
+    spec::TypeBuilder b("searched");
+    for (int v = 0; v < values; ++v) b.value("v" + std::to_string(v));
+    for (int o = 0; o < ops; ++o) b.op("o" + std::to_string(o));
+    for (int v = 0; v < values; ++v) {
+      for (int o = 0; o < ops; ++o) {
+        const auto& [resp, next] = delta[static_cast<std::size_t>(v * ops + o)];
+        b.on("v" + std::to_string(v), "o" + std::to_string(o))
+            .then("v" + std::to_string(next))
+            .returns("x" + std::to_string(resp));
+      }
+    }
+    b.make_read_op("read");
+    return b.build();
+  }
+};
+
+Genome random_genome(const MachineSearchOptions& options, Xoshiro256& rng) {
+  Genome g;
+  g.values = options.value_count;
+  g.ops = options.op_count;
+  g.responses = options.response_count;
+  g.delta.resize(static_cast<std::size_t>(g.values * g.ops));
+  for (auto& [resp, next] : g.delta) {
+    resp = static_cast<int>(rng.below(static_cast<std::uint64_t>(g.responses)));
+    next = static_cast<int>(rng.below(static_cast<std::uint64_t>(g.values)));
+  }
+  return g;
+}
+
+void mutate(Genome& g, Xoshiro256& rng) {
+  const auto idx = static_cast<std::size_t>(
+      rng.below(static_cast<std::uint64_t>(g.delta.size())));
+  if (rng.chance(0.5)) {
+    g.delta[idx].first =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(g.responses)));
+  } else {
+    g.delta[idx].second =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(g.values)));
+  }
+}
+
+/// Fitness: the gap dominates; among equal gaps prefer higher levels
+/// (pushes the search off the register-like floor where both levels are 1).
+long fitness(const TypeProfile& p) {
+  const int gap = p.discerning.value - p.recording.value;
+  return gap * 1000L + p.discerning.value * 10L + p.recording.value;
+}
+
+}  // namespace
+
+MachineSearchResult search_gap_machines(const MachineSearchOptions& options) {
+  Xoshiro256 rng(options.seed);
+  MachineSearchResult result;
+  result.best_gap = -1;
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    Genome current = random_genome(options, rng);
+    spec::ObjectType current_type = current.instantiate();
+    TypeProfile current_profile = compute_profile(current_type, options.max_n);
+    result.machines_evaluated += 1;
+    long current_fitness = fitness(current_profile);
+
+    for (int step = 0; step < options.mutations_per_restart; ++step) {
+      Genome candidate = current;
+      mutate(candidate, rng);
+      if (rng.chance(0.3)) mutate(candidate, rng);  // occasional double move
+      spec::ObjectType type = candidate.instantiate();
+      // Cheap pre-filter: a machine that is not even 2-discerning cannot
+      // beat anything interesting; skip the full profile.
+      TypeProfile profile;
+      if (!check_discerning(type, 2).holds) {
+        profile.type_name = type.name();
+        profile.readable = true;
+        profile.discerning = Level{1, true};
+        profile.recording = Level{1, true};
+      } else {
+        profile = compute_profile(type, options.max_n);
+      }
+      result.machines_evaluated += 1;
+      const long f = fitness(profile);
+      if (f >= current_fitness) {  // plateau moves allowed
+        current = std::move(candidate);
+        current_profile = profile;
+        current_type = std::move(type);
+        current_fitness = f;
+      }
+      const int gap =
+          current_profile.discerning.value - current_profile.recording.value;
+      if (gap > result.best_gap) {
+        result.best_gap = gap;
+        result.best_type = current_type;
+        result.best_profile = current_profile;
+      }
+    }
+  }
+  return result;
+}
+
+spec::ObjectType random_readable_type(int value_count, int op_count,
+                                      int response_count, std::uint64_t seed) {
+  MachineSearchOptions options;
+  options.value_count = value_count;
+  options.op_count = op_count;
+  options.response_count = response_count;
+  Xoshiro256 rng(seed);
+  return random_genome(options, rng).instantiate();
+}
+
+std::vector<FamilyEntry> rank_by_gap(std::vector<FamilyEntry> entries) {
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const FamilyEntry& a, const FamilyEntry& b) {
+    const int gap_a = a.profile.discerning.value - a.profile.recording.value;
+    const int gap_b = b.profile.discerning.value - b.profile.recording.value;
+    if (gap_a != gap_b) return gap_a > gap_b;
+    return a.options.count_states < b.options.count_states;
+  });
+  return entries;
+}
+
+}  // namespace rcons::hierarchy

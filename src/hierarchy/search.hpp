@@ -1,0 +1,67 @@
+// Profile search across parameterized type families.
+//
+// The paper's headline corollary needs a readable type whose consensus
+// number strictly exceeds its recoverable consensus number (DFFR's X_n has
+// gap exactly 2). This module maps the (discerning, recording) profiles of
+// the erase-counter family so the experiments can report computed gaps —
+// the checkers, not assumptions, are the ground truth (see DESIGN.md's
+// substitution table).
+#pragma once
+
+#include <vector>
+
+#include "hierarchy/consensus_number.hpp"
+#include "spec/paper_types.hpp"
+
+namespace rcons::hierarchy {
+
+struct FamilyEntry {
+  spec::EraseCounterOptions options;
+  TypeProfile profile;
+};
+
+/// Profiles every erase-counter variant with count_states in
+/// [1, max_count_states] x {wipe, saturate} x {with/without erase} x
+/// {symmetric, A-only erase}, scanning levels up to max_n.
+std::vector<FamilyEntry> profile_erase_counter_family(int max_count_states,
+                                                      int max_n);
+
+/// Among the profiled entries, the largest computed gap
+/// discerning.value - recording.value over readable members (ties broken
+/// toward smaller machines). Returns the entries sorted by gap descending.
+std::vector<FamilyEntry> rank_by_gap(std::vector<FamilyEntry> entries);
+
+/// Randomized search for readable types with a large gap between their
+/// discerning and recording levels (the shape of DFFR's X_n, whose machine
+/// is defined in [4] rather than in the paper under reproduction). The
+/// search draws random deterministic machines over `value_count` values
+/// (value 0 is u) and `op_count` team operations plus a Read, hill-climbing
+/// by single-transition mutations with the checkers as the fitness
+/// function. Every reported profile is checker-verified by construction.
+struct MachineSearchOptions {
+  int value_count = 8;
+  int op_count = 2;
+  int response_count = 6;
+  int max_n = 5;
+  std::uint64_t seed = 1;
+  int restarts = 20;
+  int mutations_per_restart = 400;
+};
+
+struct MachineSearchResult {
+  spec::ObjectType best_type;
+  TypeProfile best_profile;
+  int best_gap = 0;  // discerning.value - recording.value
+  std::uint64_t machines_evaluated = 0;
+};
+
+MachineSearchResult search_gap_machines(const MachineSearchOptions& options);
+
+/// One uniformly random readable deterministic machine over `value_count`
+/// values and `op_count` team operations plus a Read (the search's genome
+/// space). Used by the property tests to sweep checker invariants over
+/// arbitrary types.
+spec::ObjectType random_readable_type(int value_count, int op_count,
+                                      int response_count, std::uint64_t seed);
+
+}  // namespace rcons::hierarchy

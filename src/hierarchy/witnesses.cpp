@@ -1,0 +1,37 @@
+#include "hierarchy/witnesses.hpp"
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+
+namespace rcons::hierarchy {
+
+WitnessEnumeration enumerate_witnesses(const spec::ObjectType& type, int n,
+                                       WitnessKind kind,
+                                       std::size_t max_count) {
+  WitnessEnumeration result;
+  for_each_canonical_assignment(type, n, [&](const Assignment& a) {
+    result.assignments_tried += 1;
+    bool holds = false;
+    switch (kind) {
+      case WitnessKind::kDiscerning:
+        holds = is_discerning_witness(type, a);
+        break;
+      case WitnessKind::kRecording:
+        holds = is_recording_witness(type, a);
+        break;
+      case WitnessKind::kRecordingNonhiding:
+        holds = is_nonhiding_recording_witness(type, a);
+        break;
+    }
+    if (holds) {
+      result.total_found += 1;
+      if (result.witnesses.size() < max_count) {
+        result.witnesses.push_back(a);
+      }
+    }
+    return false;  // never stop early: we want them all
+  });
+  return result;
+}
+
+}  // namespace rcons::hierarchy

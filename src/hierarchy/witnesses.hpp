@@ -1,0 +1,37 @@
+// Witness enumeration: ALL (value, partition, op-assignment) witnesses of
+// the discerning / recording conditions, up to process-relabelling
+// symmetry, rather than just the first one found.
+//
+// Motivation: the recording-consensus tree (algo/recording_consensus)
+// needs non-hiding witnesses; experiments want witness COUNTS (how
+// constrained is a type?); and the examples print witnesses so a reader
+// can see *why* e.g. compare-and-swap records first teams at every level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/assignment.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::hierarchy {
+
+enum class WitnessKind {
+  kDiscerning,
+  kRecording,
+  kRecordingNonhiding,
+};
+
+struct WitnessEnumeration {
+  std::vector<Assignment> witnesses;  // up to max_count
+  std::uint64_t assignments_tried = 0;
+  std::uint64_t total_found = 0;  // counts past max_count too
+};
+
+/// Enumerates canonical witnesses of `kind` for (type, n); stores at most
+/// `max_count` of them but counts all.
+WitnessEnumeration enumerate_witnesses(const spec::ObjectType& type, int n,
+                                       WitnessKind kind,
+                                       std::size_t max_count = 16);
+
+}  // namespace rcons::hierarchy

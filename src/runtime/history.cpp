@@ -1,0 +1,66 @@
+#include "runtime/history.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::runtime {
+
+namespace {
+
+/// Wing-Gong search state: which operations have been linearized (bitmask)
+/// plus the abstract value they produced. A (mask, value) pair that failed
+/// once will fail again, so dead states are memoized.
+struct Searcher {
+  const spec::ObjectType& type;
+  const std::vector<OpRecord>& history;
+  std::unordered_set<std::uint64_t> dead;
+
+  bool solve(std::uint64_t done_mask, spec::ValueId value) {
+    const std::size_t n = history.size();
+    if (done_mask == (n == 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << n) - 1)) {
+      return true;
+    }
+    std::uint64_t key = done_mask;
+    hash_combine(key, static_cast<std::uint64_t>(value));
+    if (dead.contains(key)) return false;
+
+    // The earliest return among not-yet-linearized operations bounds which
+    // operations may linearize next: o is eligible iff no pending p
+    // returned before o was invoked.
+    std::uint64_t min_return = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done_mask & (std::uint64_t{1} << i)) continue;
+      min_return = std::min(min_return, history[i].return_ts);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done_mask & (std::uint64_t{1} << i)) continue;
+      const OpRecord& rec = history[i];
+      if (rec.invoke_ts > min_return) continue;  // some pending op precedes
+      const spec::Effect& e = type.apply(value, rec.op);
+      if (e.response != rec.response) continue;  // spec mismatch
+      if (solve(done_mask | (std::uint64_t{1} << i), e.next_value)) {
+        return true;
+      }
+    }
+    dead.insert(key);
+    return false;
+  }
+};
+
+}  // namespace
+
+bool is_linearizable(const spec::ObjectType& type, spec::ValueId initial,
+                     const std::vector<OpRecord>& history) {
+  RCONS_CHECK_MSG(history.size() <= 62,
+                  "history too long for the bitmask search");
+  for (const OpRecord& rec : history) {
+    RCONS_CHECK(rec.invoke_ts < rec.return_ts);
+  }
+  Searcher searcher{type, history, {}};
+  return searcher.solve(0, initial);
+}
+
+}  // namespace rcons::runtime

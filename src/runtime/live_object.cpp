@@ -1,0 +1,42 @@
+#include "runtime/live_object.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+LiveObject::LiveObject(const spec::ObjectType& type, spec::ValueId initial,
+                       PersistentArena& arena)
+    : type_(type), cell_(arena.allocate(initial)) {
+  RCONS_CHECK(initial >= 0 && initial < type.value_count());
+}
+
+spec::ResponseId LiveObject::apply(spec::OpId op) {
+  std::int64_t current = cell_->load();
+  while (true) {
+    const spec::Effect& e =
+        type_.apply(static_cast<spec::ValueId>(current), op);
+    if (e.next_value == static_cast<spec::ValueId>(current)) {
+      // Value-preserving application: the load is the linearization point.
+      return e.response;
+    }
+    const auto [prev, ok] = cell_->compare_exchange(current, e.next_value);
+    if (ok) {
+      return e.response;
+    }
+    current = prev;  // lost a race; retry against the value that beat us
+  }
+}
+
+spec::ResponseId LiveObject::apply_recorded(spec::OpId op, int thread,
+                                            HistoryRecorder& recorder) {
+  const std::uint64_t invoke_ts = recorder.begin();
+  const spec::ResponseId response = apply(op);
+  recorder.finish(thread, op, response, invoke_ts);
+  return response;
+}
+
+spec::ValueId LiveObject::raw_value() const {
+  return static_cast<spec::ValueId>(cell_->load());
+}
+
+}  // namespace rcons::runtime

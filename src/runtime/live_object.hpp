@@ -1,0 +1,44 @@
+// Linearizable live instances of finite deterministic types.
+//
+// An object's entire abstract value fits in one persistent cell, so a
+// lock-free CAS retry loop gives a linearizable (indeed, wait-free-per-
+// retry, lock-free overall) implementation of *any* type in the spec
+// catalog: read the packed value, look up the deterministic transition,
+// CAS the successor in. The linearization point of an operation is its
+// successful CAS (or the load, for value-preserving operations, which skip
+// the CAS entirely).
+#pragma once
+
+#include "runtime/history.hpp"
+#include "runtime/pmem.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::runtime {
+
+class LiveObject {
+ public:
+  /// The object stores `initial` and transitions per `type` (which must
+  /// outlive the object).
+  LiveObject(const spec::ObjectType& type, spec::ValueId initial,
+             PersistentArena& arena);
+
+  const spec::ObjectType& type() const { return type_; }
+
+  /// Atomically applies `op`; returns its response.
+  spec::ResponseId apply(spec::OpId op);
+
+  /// Like apply, but logs (invoke, op, response, return) into `recorder`
+  /// for offline linearizability checking.
+  spec::ResponseId apply_recorded(spec::OpId op, int thread,
+                                  HistoryRecorder& recorder);
+
+  /// Current value (linearizable read of the abstract state; distinct from
+  /// any Read *operation* the type may or may not support).
+  spec::ValueId raw_value() const;
+
+ private:
+  const spec::ObjectType& type_;
+  PVar* cell_;
+};
+
+}  // namespace rcons::runtime

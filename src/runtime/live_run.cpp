@@ -1,0 +1,155 @@
+#include "runtime/live_run.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "runtime/live_object.hpp"
+#include "runtime/pmem.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+namespace {
+
+struct RoundOutcome {
+  std::vector<int> decisions;  // every value output this round (any process)
+  std::uint64_t steps = 0;
+  std::uint64_t crashes = 0;
+};
+
+/// One thread body: play process `pid` until it decides (staying decided
+/// is the model's no-op loop, so we stop there) or exhausts its crash
+/// allowance and then decides crash-free.
+void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
+                  int input, std::vector<LiveObject>& objects,
+                  const LiveRunOptions& options, std::uint64_t round_seed,
+                  RoundOutcome& outcome, std::mutex& outcome_mu) {
+  Xoshiro256 rng(round_seed ^ (0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(pid + 1)));
+  exec::LocalState local = protocol.initial_state(pid, input);
+  int crashes = 0;
+  std::uint64_t steps = 0;
+
+  while (true) {
+    const exec::Action action = protocol.poised(pid, local);
+    if (action.kind == exec::Action::Kind::kDecided) {
+      {
+        std::lock_guard<std::mutex> lock(outcome_mu);
+        outcome.decisions.push_back(action.decision);
+      }
+      // A process can crash right after deciding, before anything durable
+      // records its output; on recovery it re-runs the whole algorithm.
+      // Correct recoverable algorithms re-decide the same value; broken
+      // ones (tas_racing) flip — which is what the audit is for.
+      if (crashes < options.max_crashes_per_process &&
+          rng.chance(options.crash_prob)) {
+        local = protocol.initial_state(pid, input);
+        ++crashes;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(outcome_mu);
+      outcome.steps += steps;
+      outcome.crashes += static_cast<std::uint64_t>(crashes);
+      return;
+    }
+    if (crashes < options.max_crashes_per_process &&
+        rng.chance(options.crash_prob)) {
+      // Crash: volatile state lost, shared objects retained.
+      local = protocol.initial_state(pid, input);
+      ++crashes;
+      continue;
+    }
+    const spec::ResponseId response =
+        objects[static_cast<std::size_t>(action.object)].apply(action.op);
+    local = protocol.advance(pid, local, response);
+    ++steps;
+  }
+}
+
+}  // namespace
+
+LiveRunResult run_live_audit(const exec::Protocol& protocol,
+                             const LiveRunOptions& options) {
+  const int n = protocol.process_count();
+  if (!options.fixed_inputs.empty()) {
+    RCONS_CHECK(static_cast<int>(options.fixed_inputs.size()) == n);
+  }
+
+  LiveRunResult result;
+  for (int round = 0; round < options.rounds; ++round) {
+    // Fresh persistent heap + objects per round.
+    PersistentArena arena;
+    std::vector<LiveObject> objects;
+    objects.reserve(static_cast<std::size_t>(protocol.object_count()));
+    for (exec::ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
+      objects.emplace_back(protocol.object_type(obj),
+                           protocol.initial_value(obj), arena);
+    }
+
+    std::vector<int> inputs(static_cast<std::size_t>(n));
+    if (!options.fixed_inputs.empty()) {
+      inputs = options.fixed_inputs;
+    } else {
+      // Spread deterministically over input vectors round by round.
+      const unsigned pattern =
+          static_cast<unsigned>((round * 2654435761u) >> 16) |
+          static_cast<unsigned>(round);
+      for (int i = 0; i < n; ++i) {
+        inputs[static_cast<std::size_t>(i)] =
+            static_cast<int>((pattern >> i) & 1u);
+      }
+    }
+
+    RoundOutcome outcome;
+    std::mutex outcome_mu;
+    const std::uint64_t round_seed =
+        options.seed + 0x100000001b3ULL * static_cast<std::uint64_t>(round);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(n));
+      for (int pid = 0; pid < n; ++pid) {
+        threads.emplace_back(play_process, std::cref(protocol), pid,
+                             inputs[static_cast<std::size_t>(pid)],
+                             std::ref(objects), std::cref(options), round_seed,
+                             std::ref(outcome), std::ref(outcome_mu));
+      }
+      for (auto& t : threads) t.join();
+    }
+
+    result.rounds += 1;
+    result.total_steps += outcome.steps;
+    result.total_crashes += outcome.crashes;
+    result.total_decisions += outcome.decisions.size();
+    result.pmem_persists +=
+        arena.stats().persists.load(std::memory_order_relaxed);
+
+    // Audit: all outputs equal; every output is someone's input.
+    unsigned input_mask = 0;
+    for (int v : inputs) input_mask |= 1u << v;
+    unsigned output_mask = 0;
+    for (int v : outcome.decisions) output_mask |= 1u << v;
+    if (output_mask == 0b11u) {
+      result.agreement_violations += 1;
+      if (result.first_violation.empty()) {
+        std::ostringstream oss;
+        oss << "round " << round << ": both 0 and 1 decided (inputs:";
+        for (int v : inputs) oss << " " << v;
+        oss << ")";
+        result.first_violation = oss.str();
+      }
+    }
+    if ((output_mask & ~input_mask) != 0) {
+      result.validity_violations += 1;
+      if (result.first_violation.empty()) {
+        result.first_violation =
+            "round " + std::to_string(round) + ": output not an input";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rcons::runtime

@@ -1,0 +1,10 @@
+#include "runtime/pmem.hpp"
+
+namespace rcons::runtime {
+
+PVar* PersistentArena::allocate(std::int64_t initial) {
+  cells_.push_back(std::make_unique<PVar>(initial, &stats_));
+  return cells_.back().get();
+}
+
+}  // namespace rcons::runtime

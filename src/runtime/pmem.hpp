@@ -1,0 +1,105 @@
+// Simulated persistent main memory.
+//
+// The paper's model assumes shared objects live in non-volatile memory:
+// they keep their values across crashes while per-process local state is
+// lost. On real PMEM hardware (or PMDK), stores additionally require
+// explicit flush/fence sequences to become durable; our simulated arena
+// keeps that structure — pvar<T> cells with persist() barriers and
+// durability counters — so the protocols are written against a
+// PMDK-shaped API, while durability itself is trivially provided by
+// process-shared DRAM (a documented substitution: the paper's model has no
+// cache layer, so flush ordering cannot change any result here; the
+// counters exist so experiments can report "persist operations per
+// decision", a cost a real deployment would pay).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+/// Statistics shared by all cells of one arena.
+struct PmemStats {
+  std::atomic<std::uint64_t> loads{0};
+  std::atomic<std::uint64_t> stores{0};
+  std::atomic<std::uint64_t> persists{0};
+  std::atomic<std::uint64_t> cas_attempts{0};
+
+  void reset() {
+    loads.store(0, std::memory_order_relaxed);
+    stores.store(0, std::memory_order_relaxed);
+    persists.store(0, std::memory_order_relaxed);
+    cas_attempts.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// A persistent 64-bit cell. All accesses are sequentially consistent —
+/// the model's steps are atomic operations on shared objects, and SC is
+/// the faithful (if conservative) realization.
+class PVar {
+ public:
+  explicit PVar(std::int64_t initial, PmemStats* stats)
+      : value_(initial), stats_(stats) {}
+
+  std::int64_t load() const {
+    stats_->loads.fetch_add(1, std::memory_order_relaxed);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  void store(std::int64_t v) {
+    stats_->stores.fetch_add(1, std::memory_order_relaxed);
+    value_.store(v, std::memory_order_seq_cst);
+    persist();
+  }
+
+  /// CAS with persist-on-success; returns the previous value and whether
+  /// the exchange happened.
+  std::pair<std::int64_t, bool> compare_exchange(std::int64_t expected,
+                                                 std::int64_t desired) {
+    stats_->cas_attempts.fetch_add(1, std::memory_order_relaxed);
+    std::int64_t e = expected;
+    const bool ok =
+        value_.compare_exchange_strong(e, desired, std::memory_order_seq_cst);
+    if (ok) persist();
+    return {e, ok};
+  }
+
+  /// Atomic fetch-and-add with persist; returns the previous value.
+  std::int64_t fetch_add(std::int64_t delta) {
+    stats_->stores.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t old = value_.fetch_add(delta, std::memory_order_seq_cst);
+    persist();
+    return old;
+  }
+
+  /// Durability barrier (flush + fence on real PMEM; counted no-op here).
+  void persist() { stats_->persists.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> value_;
+  PmemStats* stats_;
+};
+
+/// An arena of persistent cells with stable addresses.
+class PersistentArena {
+ public:
+  PersistentArena() = default;
+  PersistentArena(const PersistentArena&) = delete;
+  PersistentArena& operator=(const PersistentArena&) = delete;
+
+  /// Allocates a cell; the returned pointer is stable for the arena's life.
+  PVar* allocate(std::int64_t initial);
+
+  PmemStats& stats() { return stats_; }
+  std::size_t cell_count() const { return cells_.size(); }
+
+ private:
+  PmemStats stats_;
+  std::vector<std::unique_ptr<PVar>> cells_;
+};
+
+}  // namespace rcons::runtime

@@ -1,0 +1,101 @@
+#include "runtime/rlock.hpp"
+
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+RecoverableTasLock::RecoverableTasLock(PersistentArena& arena,
+                                       int max_processes)
+    : owner_(arena.allocate(kFree)) {
+  RCONS_CHECK(max_processes >= 1);
+}
+
+LockStep RecoverableTasLock::try_acquire(int pid) {
+  const std::int64_t current = owner_->load();
+  if (current == pid) {
+    // Recovery case: we already held the lock when we crashed.
+    return LockStep::kAcquired;
+  }
+  if (current == kFree) {
+    const auto [prev, ok] = owner_->compare_exchange(kFree, pid);
+    if (ok || prev == pid) return LockStep::kAcquired;
+  }
+  return LockStep::kWaiting;
+}
+
+void RecoverableTasLock::acquire(int pid) {
+  while (try_acquire(pid) != LockStep::kAcquired) {
+    std::this_thread::yield();
+  }
+}
+
+void RecoverableTasLock::release(int pid) {
+  RCONS_CHECK_MSG(owner_->load() == pid, "release by non-owner p", pid);
+  owner_->store(kFree);
+}
+
+bool RecoverableTasLock::holds(int pid) const {
+  return owner_->load() == pid;
+}
+
+RecoverableTicketLock::RecoverableTicketLock(PersistentArena& arena,
+                                             int max_processes)
+    : next_ticket_(arena.allocate(0)), now_serving_(arena.allocate(0)) {
+  RCONS_CHECK(max_processes >= 1);
+  my_ticket_.reserve(static_cast<std::size_t>(max_processes));
+  for (int i = 0; i < max_processes; ++i) {
+    my_ticket_.push_back(arena.allocate(kNoTicket));
+  }
+}
+
+LockStep RecoverableTicketLock::try_acquire(int pid) {
+  RCONS_CHECK(pid >= 0 &&
+              pid < static_cast<int>(my_ticket_.size()));
+  PVar* slot = my_ticket_[static_cast<std::size_t>(pid)];
+  std::int64_t ticket = slot->load();
+  if (ticket == kNoTicket) {
+    // Fresh acquisition: persist the ticket BEFORE it can be served, so a
+    // crash right after the draw still finds it in the slot.
+    ticket = next_ticket_->fetch_add(1);
+    slot->store(ticket);
+  }
+  const std::int64_t serving = now_serving_->load();
+  if (serving == ticket) return LockStep::kAcquired;
+  if (serving > ticket) {
+    // Our pre-crash release advanced serving but had not yet cleared the
+    // slot. Finish the release and report "not acquired" — the caller
+    // re-enters with a fresh ticket on the next attempt.
+    slot->store(kNoTicket);
+    return LockStep::kWaiting;
+  }
+  return LockStep::kWaiting;
+}
+
+void RecoverableTicketLock::acquire(int pid) {
+  while (try_acquire(pid) != LockStep::kAcquired) {
+    std::this_thread::yield();
+  }
+}
+
+void RecoverableTicketLock::release(int pid) {
+  RCONS_CHECK(pid >= 0 &&
+              pid < static_cast<int>(my_ticket_.size()));
+  PVar* slot = my_ticket_[static_cast<std::size_t>(pid)];
+  const std::int64_t ticket = slot->load();
+  RCONS_CHECK_MSG(ticket != kNoTicket && now_serving_->load() == ticket,
+                  "release by non-holder p", pid);
+  // Order matters for recovery: advance serving FIRST, then clear the
+  // slot; a crash in between is detected by serving > ticket.
+  now_serving_->store(ticket + 1);
+  slot->store(kNoTicket);
+}
+
+bool RecoverableTicketLock::holds(int pid) const {
+  const std::int64_t ticket =
+      my_ticket_[static_cast<std::size_t>(pid)]->load();
+  return ticket != kNoTicket && now_serving_->load() == ticket;
+}
+
+}  // namespace rcons::runtime

@@ -1,0 +1,93 @@
+#include "runtime/universal.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::runtime {
+
+UniversalObject::UniversalObject(const spec::ObjectType& type,
+                                 spec::ValueId initial,
+                                 PersistentArena& arena, int capacity)
+    : type_(type), initial_(initial) {
+  RCONS_CHECK(capacity >= 1);
+  RCONS_CHECK(initial >= 0 && initial < type.value_count());
+  log_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = 0; i < capacity; ++i) {
+    log_.push_back(arena.allocate(kEmpty));
+  }
+}
+
+std::int64_t UniversalObject::pack(spec::OpId op, int pid,
+                                   std::uint64_t seq) {
+  RCONS_CHECK(op >= 0 && op < 256);
+  RCONS_CHECK(pid >= 0 && pid < 256);
+  RCONS_CHECK(seq < (std::uint64_t{1} << 47));
+  return static_cast<std::int64_t>((seq << 16) |
+                                   (static_cast<std::uint64_t>(pid) << 8) |
+                                   static_cast<std::uint64_t>(op));
+}
+
+spec::OpId UniversalObject::unpack_op(std::int64_t desc) {
+  return static_cast<spec::OpId>(desc & 0xff);
+}
+
+int UniversalObject::unpack_pid(std::int64_t desc) {
+  return static_cast<int>((desc >> 8) & 0xff);
+}
+
+std::uint64_t UniversalObject::unpack_seq(std::int64_t desc) {
+  return static_cast<std::uint64_t>(desc) >> 16;
+}
+
+spec::ResponseId UniversalObject::apply(spec::OpId op, int pid,
+                                        std::uint64_t seq) {
+  const std::int64_t mine = pack(op, pid, seq);
+  spec::ValueId value = initial_;
+  for (std::size_t slot = 0; slot < log_.size(); ++slot) {
+    std::int64_t desc = log_[slot]->load();
+    if (desc == kEmpty) {
+      // Claim the first free slot. On failure another descriptor landed
+      // here first; fall through and replay it.
+      const auto [prev, ok] = log_[slot]->compare_exchange(kEmpty, mine);
+      desc = ok ? mine : prev;
+    }
+    if (desc == mine) {
+      // Our operation is linearized at this slot (either we just claimed
+      // it, or a pre-crash invocation did — detectability). The response
+      // is determined by the replayed state.
+      return type_.apply(value, op).response;
+    }
+    value = type_.apply(value, unpack_op(desc)).next_value;
+  }
+  RCONS_CHECK_MSG(false, "universal log full (capacity ", log_.size(), ")");
+  return 0;  // unreachable
+}
+
+bool UniversalObject::is_applied(int pid, std::uint64_t seq) const {
+  for (const PVar* cell : log_) {
+    const std::int64_t desc = cell->load();
+    if (desc == kEmpty) return false;  // log is prefix-filled
+    if (unpack_pid(desc) == pid && unpack_seq(desc) == seq) return true;
+  }
+  return false;
+}
+
+spec::ValueId UniversalObject::current_value() const {
+  spec::ValueId value = initial_;
+  for (const PVar* cell : log_) {
+    const std::int64_t desc = cell->load();
+    if (desc == kEmpty) break;
+    value = type_.apply(value, unpack_op(desc)).next_value;
+  }
+  return value;
+}
+
+int UniversalObject::log_length() const {
+  int length = 0;
+  for (const PVar* cell : log_) {
+    if (cell->load() == kEmpty) break;
+    ++length;
+  }
+  return length;
+}
+
+}  // namespace rcons::runtime

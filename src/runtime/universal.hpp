@@ -1,0 +1,78 @@
+// A recoverable wait-free universal construction with detectability.
+//
+// The paper's introduction leans on universality results for recoverable
+// consensus: Berryhill–Golab–Tripunitara (simultaneous crashes) and
+// Delporte-Gallet–Fatourou–Fauconnier–Ruppert [4] (individual crashes)
+// show that objects with recoverable consensus number >= n plus registers
+// implement every object, with DETECTABILITY: a process interrupted by a
+// crash can tell on recovery whether its operation linearized and, if so,
+// recover its response [Friedman et al., PPoPP'18].
+//
+// UniversalObject realizes this for any finite deterministic type over
+// compare-and-swap cells (recoverable consensus number infinity — E1):
+// operations are agreed into a persistent append-only log, one CAS cell
+// per slot, each slot holding a packed (op, pid, seq) descriptor. To apply
+// an operation a process scans the log: descriptors already present are
+// replayed through the sequential specification; the first empty slot is
+// claimed by CAS. The response is read off the replayed state at the
+// operation's own slot.
+//
+//   * Linearizable: the log order is the linearization order; a slot is
+//     claimed by exactly one descriptor (CAS).
+//   * Recoverable wait-free: one pass over a bounded log per attempt.
+//   * Detectable: the descriptor carries (pid, seq); a recovering process
+//     re-invokes apply with the same seq and, if its pre-crash CAS had
+//     succeeded, finds its own descriptor in the log and returns the
+//     original response without linearizing a second application.
+//
+// The log is bounded (capacity fixed at construction), matching the
+// bounded experiments here; a production variant would chain log blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/pmem.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::runtime {
+
+class UniversalObject {
+ public:
+  UniversalObject(const spec::ObjectType& type, spec::ValueId initial,
+                  PersistentArena& arena, int capacity = 1024);
+
+  const spec::ObjectType& type() const { return type_; }
+
+  /// Applies `op` on behalf of operation id (pid, seq). Re-invoking with
+  /// the same (pid, seq) — e.g. after a crash — is idempotent: it returns
+  /// the original response and does not linearize a second application.
+  /// pid in [0, 256), op in [0, 256), seq in [0, 2^47).
+  spec::ResponseId apply(spec::OpId op, int pid, std::uint64_t seq);
+
+  /// True iff operation (pid, seq) is already in the log (the detectability
+  /// query: "did my interrupted operation linearize?").
+  bool is_applied(int pid, std::uint64_t seq) const;
+
+  /// The abstract value after every logged operation (a replay).
+  spec::ValueId current_value() const;
+
+  /// Number of operations linearized so far.
+  int log_length() const;
+
+  int capacity() const { return static_cast<int>(log_.size()); }
+
+ private:
+  static constexpr std::int64_t kEmpty = -1;
+
+  static std::int64_t pack(spec::OpId op, int pid, std::uint64_t seq);
+  static spec::OpId unpack_op(std::int64_t desc);
+  static int unpack_pid(std::int64_t desc);
+  static std::uint64_t unpack_seq(std::int64_t desc);
+
+  const spec::ObjectType& type_;
+  spec::ValueId initial_;
+  std::vector<PVar*> log_;
+};
+
+}  // namespace rcons::runtime

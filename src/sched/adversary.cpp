@@ -1,0 +1,119 @@
+#include "sched/adversary.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::sched {
+
+bool AdversaryView::active(exec::ProcessId pid) const {
+  return protocol->poised(pid, config->local(pid)).kind !=
+         exec::Action::Kind::kDecided;
+}
+
+RoundRobinAdversary::RoundRobinAdversary(int n) : n_(n) { RCONS_CHECK(n >= 1); }
+
+std::optional<exec::Event> RoundRobinAdversary::next(
+    const AdversaryView& view) {
+  for (int tried = 0; tried < n_; ++tried) {
+    const int pid = cursor_;
+    cursor_ = (cursor_ + 1) % n_;
+    if (view.active(pid)) {
+      return exec::Event::step(pid);
+    }
+  }
+  return std::nullopt;  // everyone is in an output state
+}
+
+RandomCrashAdversary::RandomCrashAdversary(int n, double crash_prob,
+                                           std::uint64_t seed)
+    : n_(n), crash_prob_(crash_prob), rng_(seed) {
+  RCONS_CHECK(n >= 1);
+}
+
+std::optional<exec::Event> RandomCrashAdversary::next(
+    const AdversaryView& view) {
+  std::vector<int> undecided;
+  undecided.reserve(static_cast<std::size_t>(n_));
+  for (int pid = 0; pid < n_; ++pid) {
+    if (view.active(pid)) {
+      undecided.push_back(pid);
+    }
+  }
+  if (undecided.empty()) return std::nullopt;
+  if (rng_.chance(crash_prob_)) {
+    // Crashes may hit ANY process — including one that has already
+    // decided: a crash wipes its volatile state, so on recovery it re-runs
+    // the algorithm from scratch. (This is the adversary move behind
+    // Golab's test&set impossibility.)
+    return exec::Event::crash(static_cast<int>(rng_.below(
+        static_cast<std::uint64_t>(n_))));
+  }
+  const int pid = undecided[static_cast<std::size_t>(
+      rng_.below(undecided.size()))];
+  return exec::Event::step(pid);
+}
+
+DrivenRunResult drive(const exec::Protocol& protocol,
+                      const std::vector<int>& inputs, Adversary& adversary,
+                      const DrivenRunOptions& options) {
+  const int n = protocol.process_count();
+  DrivenRunResult result;
+  result.config = exec::Config::initial(protocol, inputs);
+  result.log = exec::DecisionLog(n);
+  CrashAccountant accountant(n, options.z >= 1 ? options.z : 1);
+
+  // Done when every process sits in an output state (a process that
+  // crashed after deciding is NOT done — it must re-run to completion).
+  const auto all_settled = [&] {
+    for (int pid = 0; pid < n; ++pid) {
+      if (protocol.poised(pid, result.config.local(pid)).kind !=
+          exec::Action::Kind::kDecided) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (result.events < options.max_events) {
+    if (all_settled()) {
+      result.all_decided = true;
+      return result;
+    }
+    AdversaryView view{&protocol, &result.config, &result.log, &accountant,
+                       result.events};
+    std::optional<exec::Event> event = adversary.next(view);
+    if (!event.has_value()) break;
+
+    if (event->is_crash()) {
+      const bool allowed = [&] {
+        switch (options.regime) {
+          case CrashRegime::kNone:
+            return false;
+          case CrashRegime::kBudgeted:
+            return accountant.crash_allowed(event->pid);
+          case CrashRegime::kUnbounded:
+            return true;
+        }
+        return false;
+      }();
+      if (!allowed) {
+        result.crashes_denied += 1;
+        continue;  // the adversary's crash was vetoed; let it pick again
+      }
+      if (options.regime == CrashRegime::kBudgeted) {
+        accountant.on_crash(event->pid);
+      }
+      result.crashes += 1;
+    } else {
+      accountant.on_step(event->pid);
+      result.steps += 1;
+    }
+    exec::apply_event(protocol, result.config, *event, result.log);
+    result.events += 1;
+  }
+
+  result.all_decided = all_settled();
+  result.hit_event_limit = result.events >= options.max_events;
+  return result;
+}
+
+}  // namespace rcons::sched

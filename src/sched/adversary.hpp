@@ -1,0 +1,107 @@
+// Adversaries: online schedulers that drive a protocol execution.
+//
+// "An execution is produced by an adversary, who decides which process will
+// take the next step in each configuration. The adversary also decides if
+// and when processes crash." These adversaries are used by the randomized
+// property tests and the live runtime audits; the exhaustive model checker
+// (src/valency) enumerates all adversary choices instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/execute.hpp"
+#include "sched/crash_budget.hpp"
+#include "util/rng.hpp"
+
+namespace rcons::sched {
+
+/// Observable state an adversary may consult when picking the next event.
+struct AdversaryView {
+  const exec::Protocol* protocol = nullptr;
+  const exec::Config* config = nullptr;
+  const exec::DecisionLog* log = nullptr;
+  const CrashAccountant* accountant = nullptr;
+  std::int64_t events_so_far = 0;
+
+  /// True iff pid is currently NOT in an output state (stepping it does
+  /// real work). Note this differs from the decision log: a process that
+  /// output a value and then crashed is active again, though its past
+  /// output stands.
+  bool active(exec::ProcessId pid) const;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Picks the next event, or nullopt to stop the run. Crash events chosen
+  /// here are only applied if permitted by the run's crash regime.
+  virtual std::optional<exec::Event> next(const AdversaryView& view) = 0;
+};
+
+/// Steps processes 0..n-1 cyclically, skipping decided processes; never
+/// crashes anyone; stops when all processes have decided.
+class RoundRobinAdversary : public Adversary {
+ public:
+  explicit RoundRobinAdversary(int n);
+  std::optional<exec::Event> next(const AdversaryView& view) override;
+
+ private:
+  int n_;
+  int cursor_ = 0;
+};
+
+/// Picks a uniformly random undecided process each round and crashes it
+/// (instead of stepping) with probability `crash_prob`, honouring the E_z*
+/// budget when one is installed. Stops when all processes have decided.
+class RandomCrashAdversary : public Adversary {
+ public:
+  RandomCrashAdversary(int n, double crash_prob, std::uint64_t seed);
+  std::optional<exec::Event> next(const AdversaryView& view) override;
+
+ private:
+  int n_;
+  double crash_prob_;
+  Xoshiro256 rng_;
+};
+
+/// How crashes are constrained during a driven run.
+enum class CrashRegime {
+  /// No crashes permitted at all (classic wait-free setting).
+  kNone,
+  /// Individual crashes, limited only by the E_z* accountant.
+  kBudgeted,
+  /// Individual crashes with no budget (adversary's discretion). Note that
+  /// under this regime a recoverable algorithm need not terminate; use
+  /// max_events to bound runs.
+  kUnbounded,
+};
+
+struct DrivenRunOptions {
+  CrashRegime regime = CrashRegime::kBudgeted;
+  int z = 1;
+  std::int64_t max_events = 1'000'000;
+};
+
+struct DrivenRunResult {
+  exec::Config config;
+  exec::DecisionLog log;
+  std::int64_t events = 0;
+  std::int64_t steps = 0;
+  std::int64_t crashes = 0;
+  std::int64_t crashes_denied = 0;  // adversary crash choices vetoed by regime
+  bool all_decided = false;
+  bool hit_event_limit = false;
+};
+
+/// Drives `protocol` from its initial configuration for `inputs` using the
+/// adversary, under the given crash regime.
+DrivenRunResult drive(const exec::Protocol& protocol,
+                      const std::vector<int>& inputs, Adversary& adversary,
+                      const DrivenRunOptions& options = {});
+
+}  // namespace rcons::sched

@@ -1,0 +1,119 @@
+#include "sched/crash_budget.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::sched {
+
+CrashAccountant::CrashAccountant(int n, int z)
+    : n_(n),
+      z_(z),
+      steps_(static_cast<std::size_t>(n), 0),
+      crashes_(static_cast<std::size_t>(n), 0),
+      steps_below_(static_cast<std::size_t>(n), 0) {
+  RCONS_CHECK_MSG(n >= 1, "need at least one process");
+  RCONS_CHECK_MSG(z >= 1, "the paper's execution sets require z >= 1");
+}
+
+void CrashAccountant::on_step(exec::ProcessId pid) {
+  RCONS_CHECK(pid >= 0 && pid < n_);
+  steps_[static_cast<std::size_t>(pid)] += 1;
+  for (int i = pid + 1; i < n_; ++i) {
+    steps_below_[static_cast<std::size_t>(i)] += 1;
+  }
+}
+
+void CrashAccountant::on_crash(exec::ProcessId pid) {
+  RCONS_CHECK_MSG(crash_allowed(pid), "crash by p", pid,
+                  " violates the E_z* budget");
+  crashes_[static_cast<std::size_t>(pid)] += 1;
+}
+
+void CrashAccountant::on_event(const exec::Event& event) {
+  if (event.is_crash()) {
+    on_crash(event.pid);
+  } else {
+    on_step(event.pid);
+  }
+}
+
+bool CrashAccountant::crash_allowed(exec::ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < n_);
+  if (pid == 0) return false;  // p_0 never crashes
+  const std::int64_t limit =
+      static_cast<std::int64_t>(z_) * n_ *
+      steps_below_[static_cast<std::size_t>(pid)];
+  return crashes_[static_cast<std::size_t>(pid)] + 1 <= limit;
+}
+
+std::int64_t CrashAccountant::crashes(exec::ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < n_);
+  return crashes_[static_cast<std::size_t>(pid)];
+}
+
+std::int64_t CrashAccountant::steps(exec::ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < n_);
+  return steps_[static_cast<std::size_t>(pid)];
+}
+
+std::int64_t CrashAccountant::steps_below(exec::ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < n_);
+  return steps_below_[static_cast<std::size_t>(pid)];
+}
+
+std::int64_t CrashAccountant::remaining_crash_budget(
+    exec::ProcessId pid) const {
+  RCONS_CHECK(pid >= 0 && pid < n_);
+  if (pid == 0) return 0;
+  const std::int64_t limit =
+      static_cast<std::int64_t>(z_) * n_ *
+      steps_below_[static_cast<std::size_t>(pid)];
+  return limit - crashes_[static_cast<std::size_t>(pid)];
+}
+
+namespace {
+
+/// Walks a schedule tallying steps/crashes; invokes `violation_check` after
+/// each event (for E_z*) or only at the end (for E_z). Returns true iff no
+/// violation was observed.
+bool check_schedule(const exec::Schedule& schedule, int n, int z,
+                    bool per_prefix) {
+  RCONS_CHECK(n >= 1 && z >= 1);
+  std::vector<std::int64_t> steps(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> crashes(static_cast<std::size_t>(n), 0);
+
+  const auto all_within_budget = [&] {
+    std::int64_t below = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0 && crashes[static_cast<std::size_t>(i)] >
+                       static_cast<std::int64_t>(z) * n * below) {
+        return false;
+      }
+      below += steps[static_cast<std::size_t>(i)];
+    }
+    return true;
+  };
+
+  for (const exec::Event& event : schedule) {
+    RCONS_CHECK(event.pid >= 0 && event.pid < n);
+    if (event.is_crash()) {
+      if (event.pid == 0) return false;  // p_0 never crashes
+      crashes[static_cast<std::size_t>(event.pid)] += 1;
+    } else {
+      steps[static_cast<std::size_t>(event.pid)] += 1;
+    }
+    if (per_prefix && !all_within_budget()) return false;
+  }
+  return per_prefix ? true : all_within_budget();
+}
+
+}  // namespace
+
+bool in_ez(const exec::Schedule& schedule, int n, int z) {
+  return check_schedule(schedule, n, z, /*per_prefix=*/false);
+}
+
+bool in_ez_star(const exec::Schedule& schedule, int n, int z) {
+  return check_schedule(schedule, n, z, /*per_prefix=*/true);
+}
+
+}  // namespace rcons::sched

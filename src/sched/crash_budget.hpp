@@ -1,0 +1,78 @@
+// The paper's crash-budget execution sets (Section 3).
+//
+// For a configuration C and integer z > 0:
+//   * E_z(C)  — executions from C with no crashes by p_0 in which, for every
+//     process p_i (i >= 1), the number of crashes by p_i is at most z*n
+//     times the number of steps collectively taken by p_0..p_{i-1} in the
+//     WHOLE execution.
+//   * E_z*(C) — the prefix-closed refinement: the same bound must hold in
+//     EVERY prefix.
+//
+// E_z*(C) is prefix-closed but E_z(C) is not (the paper's example:
+// exec(C, p1 c1 p0) is in E_1(C) but its prefix p1 c1 is not in E_1*(C)).
+// Intuitively, processes with smaller identifiers have higher priority:
+// they may crash less often, and p_0 never crashes, so in any infinite
+// execution some process takes infinitely many steps without crashing —
+// which is what lets the valency argument go through (Lemma 6).
+//
+// CrashAccountant tracks the budget incrementally so the model checker can
+// ask "may p_i crash now?" in O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/event.hpp"
+
+namespace rcons::sched {
+
+class CrashAccountant {
+ public:
+  /// n = number of processes, z = the budget multiplier (z >= 1).
+  CrashAccountant(int n, int z);
+
+  int process_count() const { return n_; }
+  int z() const { return z_; }
+
+  /// Records a step by `pid`.
+  void on_step(exec::ProcessId pid);
+
+  /// Records a crash by `pid`. RCONS_CHECKs that the crash is allowed under
+  /// the E_z* rule (call crash_allowed first when exploring).
+  void on_crash(exec::ProcessId pid);
+
+  /// Applies an event (step or crash).
+  void on_event(const exec::Event& event);
+
+  /// True iff appending a crash by `pid` right now keeps the execution in
+  /// E_z* — i.e. pid != 0 and crashes(pid)+1 <= z*n*steps_below(pid).
+  bool crash_allowed(exec::ProcessId pid) const;
+
+  /// Crashes taken by pid so far.
+  std::int64_t crashes(exec::ProcessId pid) const;
+
+  /// Steps taken by pid so far.
+  std::int64_t steps(exec::ProcessId pid) const;
+
+  /// Steps collectively taken by p_0 .. p_{pid-1} so far.
+  std::int64_t steps_below(exec::ProcessId pid) const;
+
+  /// Remaining crash allowance for pid under the current prefix
+  /// (z*n*steps_below(pid) - crashes(pid)); 0 for p_0.
+  std::int64_t remaining_crash_budget(exec::ProcessId pid) const;
+
+ private:
+  int n_;
+  int z_;
+  std::vector<std::int64_t> steps_;
+  std::vector<std::int64_t> crashes_;
+  // prefix_steps_[i] = steps by p_0..p_{i-1}; maintained incrementally.
+  std::vector<std::int64_t> steps_below_;
+};
+
+/// Whole-schedule membership tests (for completed schedules from some C;
+/// membership depends only on the schedule, not the configuration).
+bool in_ez(const exec::Schedule& schedule, int n, int z);
+bool in_ez_star(const exec::Schedule& schedule, int n, int z);
+
+}  // namespace rcons::sched

@@ -1,0 +1,50 @@
+#include "sched/one_shot.hpp"
+
+#include "util/assert.hpp"
+#include "util/combinatorics.hpp"
+
+namespace rcons::sched {
+
+std::uint64_t one_shot_count(int k) {
+  RCONS_CHECK(k >= 0);
+  return ordered_subset_count(static_cast<unsigned>(k));
+}
+
+void for_each_one_shot(
+    const std::vector<exec::ProcessId>& pids,
+    const std::function<void(const std::vector<exec::ProcessId>&)>& visit) {
+  std::vector<exec::ProcessId> mapped;
+  for_each_ordered_subset(
+      static_cast<unsigned>(pids.size()),
+      [&](const std::vector<int>& indices) {
+        mapped.clear();
+        mapped.reserve(indices.size());
+        for (int idx : indices) {
+          mapped.push_back(pids[static_cast<std::size_t>(idx)]);
+        }
+        visit(mapped);
+      });
+}
+
+void for_each_one_shot_starting_with(
+    const std::vector<exec::ProcessId>& pids,
+    const std::function<bool(exec::ProcessId)>& first_ok,
+    const std::function<void(const std::vector<exec::ProcessId>&)>& visit) {
+  for_each_one_shot(pids, [&](const std::vector<exec::ProcessId>& schedule) {
+    if (schedule.empty()) return;
+    if (!first_ok(schedule.front())) return;
+    visit(schedule);
+  });
+}
+
+std::vector<std::vector<exec::ProcessId>> all_one_shot(
+    const std::vector<exec::ProcessId>& pids) {
+  std::vector<std::vector<exec::ProcessId>> out;
+  out.reserve(one_shot_count(static_cast<int>(pids.size())));
+  for_each_one_shot(pids, [&](const std::vector<exec::ProcessId>& schedule) {
+    out.push_back(schedule);
+  });
+  return out;
+}
+
+}  // namespace rcons::sched

@@ -1,0 +1,39 @@
+// One-shot schedule space S(P') (Section 2).
+//
+// "For all P' subset of {p_0,..,p_{n-1}}, define S(P') as the set of
+// schedules that contain at most one instance of every process in P'."
+// These are exactly the ordered sequences of distinct processes from P'
+// (including the empty schedule); S(P') drives both the n-discerning and
+// n-recording definitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/event.hpp"
+
+namespace rcons::sched {
+
+/// |S(P')| for |P'| = k (includes the empty schedule).
+std::uint64_t one_shot_count(int k);
+
+/// Invokes `visit` for every schedule in S(pids) (sequences of distinct
+/// members of `pids`, including the empty one). The vector passed to
+/// `visit` is reused; copy if retained.
+void for_each_one_shot(
+    const std::vector<exec::ProcessId>& pids,
+    const std::function<void(const std::vector<exec::ProcessId>&)>& visit);
+
+/// Invokes `visit` for every NONEMPTY schedule in S(pids) whose first
+/// process satisfies `first_ok`.
+void for_each_one_shot_starting_with(
+    const std::vector<exec::ProcessId>& pids,
+    const std::function<bool(exec::ProcessId)>& first_ok,
+    const std::function<void(const std::vector<exec::ProcessId>&)>& visit);
+
+/// Materializes S(pids) as a vector of schedules (for tests / small k).
+std::vector<std::vector<exec::ProcessId>> all_one_shot(
+    const std::vector<exec::ProcessId>& pids);
+
+}  // namespace rcons::sched

@@ -1,0 +1,138 @@
+#include "spec/builder.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcons::spec {
+
+TypeBuilder::TypeBuilder(std::string name) { type_.name_ = std::move(name); }
+
+ValueId TypeBuilder::value(std::string_view name) {
+  if (auto existing = type_.find_value(name)) return *existing;
+  type_.value_names_.emplace_back(name);
+  grow_tables();
+  return type_.value_count() - 1;
+}
+
+OpId TypeBuilder::op(std::string_view name) {
+  if (auto existing = type_.find_op(name)) return *existing;
+  type_.op_names_.emplace_back(name);
+  grow_tables();
+  return type_.op_count() - 1;
+}
+
+ResponseId TypeBuilder::response(std::string_view name) {
+  if (auto existing = type_.find_response(name)) return *existing;
+  type_.response_names_.emplace_back(name);
+  return type_.response_count() - 1;
+}
+
+void TypeBuilder::grow_tables() {
+  // Rebuild the (row-major by value) table preserving existing entries;
+  // table_values_/table_ops_ remember the dimensions delta_ is currently
+  // laid out for, so growth is unambiguous.
+  const std::size_t v_now = static_cast<std::size_t>(type_.value_count());
+  const std::size_t o_now = static_cast<std::size_t>(type_.op_count());
+  const std::size_t v_old = table_values_;
+  const std::size_t o_old = table_ops_;
+  std::vector<Effect> old_delta = std::move(type_.delta_);
+  std::vector<bool> old_defined = std::move(defined_);
+  type_.delta_.assign(v_now * o_now, Effect{});
+  defined_.assign(v_now * o_now, false);
+  for (std::size_t v = 0; v < v_old; ++v) {
+    for (std::size_t o = 0; o < o_old; ++o) {
+      type_.delta_[v * o_now + o] = old_delta[v * o_old + o];
+      defined_[v * o_now + o] = old_defined[v * o_old + o];
+    }
+  }
+  table_values_ = v_now;
+  table_ops_ = o_now;
+}
+
+void TypeBuilder::set_transition(ValueId v, OpId op, ValueId next,
+                                 ResponseId resp) {
+  const std::size_t idx = static_cast<std::size_t>(v) *
+                              static_cast<std::size_t>(type_.op_count()) +
+                          static_cast<std::size_t>(op);
+  type_.delta_[idx] = Effect{resp, next};
+  defined_[idx] = true;
+}
+
+TypeBuilder::TransitionSetter TypeBuilder::on(std::string_view value,
+                                              std::string_view op) {
+  const auto v = type_.find_value(value);
+  const auto o = type_.find_op(op);
+  RCONS_CHECK_MSG(v.has_value(), "undeclared value '", std::string(value),
+                  "' in type ", type_.name());
+  RCONS_CHECK_MSG(o.has_value(), "undeclared op '", std::string(op),
+                  "' in type ", type_.name());
+  // Default: self-loop returning "ok" (overridable via then/returns).
+  set_transition(*v, *o, *v, response("ok"));
+  return TransitionSetter(this, *v, *o);
+}
+
+TypeBuilder::TransitionSetter& TypeBuilder::TransitionSetter::then(
+    std::string_view next_value) {
+  const auto next = builder_->type_.find_value(next_value);
+  RCONS_CHECK_MSG(next.has_value(), "undeclared value '",
+                  std::string(next_value), "' in type ",
+                  builder_->type_.name());
+  const std::size_t idx =
+      static_cast<std::size_t>(v_) *
+          static_cast<std::size_t>(builder_->type_.op_count()) +
+      static_cast<std::size_t>(op_);
+  builder_->type_.delta_[idx].next_value = *next;
+  return *this;
+}
+
+TypeBuilder::TransitionSetter& TypeBuilder::TransitionSetter::returns(
+    std::string_view resp) {
+  const ResponseId r = builder_->response(resp);
+  const std::size_t idx =
+      static_cast<std::size_t>(v_) *
+          static_cast<std::size_t>(builder_->type_.op_count()) +
+      static_cast<std::size_t>(op_);
+  builder_->type_.delta_[idx].response = r;
+  return *this;
+}
+
+OpId TypeBuilder::make_read_op(std::string_view name) {
+  const OpId read = op(name);
+  for (ValueId v = 0; v < type_.value_count(); ++v) {
+    const ResponseId r = response(type_.value_name(v));
+    set_transition(v, read, v, r);
+  }
+  return read;
+}
+
+void TypeBuilder::default_self_loop(std::string_view resp) {
+  const ResponseId r = response(resp);
+  for (ValueId v = 0; v < type_.value_count(); ++v) {
+    for (OpId op = 0; op < type_.op_count(); ++op) {
+      const std::size_t idx = static_cast<std::size_t>(v) *
+                                  static_cast<std::size_t>(type_.op_count()) +
+                              static_cast<std::size_t>(op);
+      if (!defined_[idx]) {
+        set_transition(v, op, v, r);
+      }
+    }
+  }
+}
+
+ObjectType TypeBuilder::build() const {
+  RCONS_CHECK_MSG(type_.value_count() > 0, "type ", type_.name(),
+                  " has no values");
+  RCONS_CHECK_MSG(type_.op_count() > 0, "type ", type_.name(), " has no ops");
+  for (ValueId v = 0; v < type_.value_count(); ++v) {
+    for (OpId op = 0; op < type_.op_count(); ++op) {
+      const std::size_t idx = static_cast<std::size_t>(v) *
+                                  static_cast<std::size_t>(type_.op_count()) +
+                              static_cast<std::size_t>(op);
+      RCONS_CHECK_MSG(defined_[idx], "type ", type_.name(),
+                      ": missing transition for value '", type_.value_name(v),
+                      "' op '", type_.op_name(op), "'");
+    }
+  }
+  return type_;
+}
+
+}  // namespace rcons::spec

@@ -1,0 +1,80 @@
+// Fluent construction of ObjectType state machines.
+//
+// Usage:
+//   TypeBuilder b("test_and_set");
+//   b.value("0"); b.value("1");
+//   b.op("tas"); b.op("read");
+//   b.on("0", "tas").then("1").returns("0");
+//   b.on("1", "tas").then("1").returns("1");
+//   b.make_read_op("read");          // adds read transitions for all values
+//   ObjectType t = b.build();        // validates totality
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::spec {
+
+class TypeBuilder {
+ public:
+  explicit TypeBuilder(std::string name);
+
+  /// Declares a value; returns its id. Re-declaring returns the existing id.
+  ValueId value(std::string_view name);
+
+  /// Declares an operation; returns its id.
+  OpId op(std::string_view name);
+
+  /// Declares (or interns) a response; returns its id.
+  ResponseId response(std::string_view name);
+
+  /// Transition setter with a small fluent helper.
+  class TransitionSetter {
+   public:
+    TransitionSetter& then(std::string_view next_value);
+    TransitionSetter& returns(std::string_view response);
+
+   private:
+    friend class TypeBuilder;
+    TransitionSetter(TypeBuilder* b, ValueId v, OpId op)
+        : builder_(b), v_(v), op_(op) {}
+    TypeBuilder* builder_;
+    ValueId v_;
+    OpId op_;
+  };
+
+  /// Starts defining the transition for (value, op). Both must already be
+  /// declared. Defaults: stays at the same value, returns response "ok".
+  TransitionSetter on(std::string_view value, std::string_view op);
+
+  /// Declares `name` as a Read operation: for every value v, the transition
+  /// is v --name--> v returning a response equal to v's name.
+  OpId make_read_op(std::string_view name);
+
+  /// Fills every not-yet-defined transition with a self-loop returning the
+  /// given response. Convenient for "dead" sink values.
+  void default_self_loop(std::string_view response);
+
+  /// Validates that every (value, op) pair has a transition and returns the
+  /// immutable type. Aborts (RCONS_CHECK) on incomplete specifications.
+  ObjectType build() const;
+
+ private:
+  friend class TransitionSetter;
+
+  void set_transition(ValueId v, OpId op, ValueId next, ResponseId resp);
+
+  ObjectType type_;
+  // Tracks which (v, op) transitions were explicitly set.
+  std::vector<bool> defined_;
+  // Dimensions delta_/defined_ are currently laid out for.
+  std::size_t table_values_ = 0;
+  std::size_t table_ops_ = 0;
+  void grow_tables();
+};
+
+}  // namespace rcons::spec

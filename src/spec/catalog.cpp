@@ -1,0 +1,281 @@
+#include "spec/catalog.hpp"
+
+#include <string>
+#include <vector>
+
+#include "spec/builder.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::spec {
+
+namespace {
+std::string idx_name(std::string_view prefix, int i) {
+  return std::string(prefix) + std::to_string(i);
+}
+}  // namespace
+
+ObjectType make_register(int domain) {
+  RCONS_CHECK(domain >= 2);
+  TypeBuilder b("register" + std::to_string(domain));
+  for (int i = 0; i < domain; ++i) b.value(idx_name("r", i));
+  for (int i = 0; i < domain; ++i) b.op(idx_name("write_", i));
+  for (int v = 0; v < domain; ++v) {
+    for (int i = 0; i < domain; ++i) {
+      b.on(idx_name("r", v), idx_name("write_", i))
+          .then(idx_name("r", i))
+          .returns("ok");
+    }
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_test_and_set() {
+  TypeBuilder b("test_and_set");
+  b.value("0");
+  b.value("1");
+  b.op("tas");
+  b.on("0", "tas").then("1").returns("won");
+  b.on("1", "tas").then("1").returns("lost");
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_swap(int domain) {
+  RCONS_CHECK(domain >= 2);
+  TypeBuilder b("swap" + std::to_string(domain));
+  for (int i = 0; i < domain; ++i) b.value(idx_name("r", i));
+  for (int i = 0; i < domain; ++i) b.op(idx_name("swap_", i));
+  for (int v = 0; v < domain; ++v) {
+    for (int i = 0; i < domain; ++i) {
+      // swap returns the old value.
+      b.on(idx_name("r", v), idx_name("swap_", i))
+          .then(idx_name("r", i))
+          .returns("old_" + std::to_string(v));
+    }
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_fetch_and_add(int modulus) {
+  RCONS_CHECK(modulus >= 2);
+  TypeBuilder b("fetch_and_add" + std::to_string(modulus));
+  for (int i = 0; i < modulus; ++i) b.value(idx_name("c", i));
+  b.op("faa");
+  for (int v = 0; v < modulus; ++v) {
+    b.on(idx_name("c", v), "faa")
+        .then(idx_name("c", (v + 1) % modulus))
+        .returns("old_" + std::to_string(v));
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_fetch_and_increment_saturating(int max) {
+  RCONS_CHECK(max >= 1);
+  TypeBuilder b("fetch_and_inc_sat" + std::to_string(max));
+  for (int i = 0; i <= max; ++i) b.value(idx_name("c", i));
+  b.op("fai");
+  for (int v = 0; v <= max; ++v) {
+    const int next = v < max ? v + 1 : max;
+    b.on(idx_name("c", v), "fai")
+        .then(idx_name("c", next))
+        .returns("old_" + std::to_string(v));
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_cas(int domain) {
+  RCONS_CHECK(domain >= 2);
+  TypeBuilder b("cas" + std::to_string(domain));
+  for (int i = 0; i < domain; ++i) b.value(idx_name("r", i));
+  for (int a = 0; a < domain; ++a) {
+    for (int c = 0; c < domain; ++c) {
+      if (a == c) continue;
+      b.op("cas_" + std::to_string(a) + "_" + std::to_string(c));
+    }
+  }
+  for (int v = 0; v < domain; ++v) {
+    for (int a = 0; a < domain; ++a) {
+      for (int c = 0; c < domain; ++c) {
+        if (a == c) continue;
+        const std::string opn =
+            "cas_" + std::to_string(a) + "_" + std::to_string(c);
+        // CAS returns the old value; swaps only when it matches `a`.
+        auto t = b.on(idx_name("r", v), opn);
+        t.returns("old_" + std::to_string(v));
+        if (v == a) t.then(idx_name("r", c));
+      }
+    }
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_sticky(int domain) {
+  RCONS_CHECK(domain >= 2);
+  TypeBuilder b("sticky" + std::to_string(domain));
+  b.value("undef");
+  for (int i = 0; i < domain; ++i) b.value(idx_name("s", i));
+  for (int i = 0; i < domain; ++i) b.op(idx_name("write_", i));
+  for (int i = 0; i < domain; ++i) {
+    // Writing an undefined sticky cell defines it and reports the new value;
+    // writing a defined cell is a no-op that reports the existing value.
+    b.on("undef", idx_name("write_", i))
+        .then(idx_name("s", i))
+        .returns("is_" + std::to_string(i));
+    for (int v = 0; v < domain; ++v) {
+      b.on(idx_name("s", v), idx_name("write_", i))
+          .returns("is_" + std::to_string(v));
+    }
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_sticky_bit() { return make_sticky(2); }
+
+ObjectType make_consensus_object(int m) {
+  RCONS_CHECK(m >= 1);
+  TypeBuilder b("consensus" + std::to_string(m));
+  // Values: undecided; decided_{v,k} = first proposal was v and k proposals
+  // have been accepted so far (k = 1..m); full.
+  b.value("undec");
+  for (int v = 0; v <= 1; ++v) {
+    for (int k = 1; k <= m; ++k) {
+      b.value("dec_" + std::to_string(v) + "_" + std::to_string(k));
+    }
+  }
+  b.value("full");
+  b.op("propose_0");
+  b.op("propose_1");
+  for (int x = 0; x <= 1; ++x) {
+    const std::string opn = "propose_" + std::to_string(x);
+    b.on("undec", opn)
+        .then("dec_" + std::to_string(x) + "_1")
+        .returns(std::to_string(x));
+    for (int v = 0; v <= 1; ++v) {
+      for (int k = 1; k <= m; ++k) {
+        const std::string state =
+            "dec_" + std::to_string(v) + "_" + std::to_string(k);
+        const std::string next =
+            k < m ? "dec_" + std::to_string(v) + "_" + std::to_string(k + 1)
+                  : "full";
+        b.on(state, opn).then(next).returns(std::to_string(v));
+      }
+    }
+    b.on("full", opn).returns("bot");
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+namespace {
+// Queue contents are encoded as strings over {a, b} ("" = empty); the
+// builder interns each distinct content as one value.
+std::string qval(const std::string& contents) {
+  return contents.empty() ? "[]" : "[" + contents + "]";
+}
+
+void build_queue_transitions(TypeBuilder& b, int capacity, bool with_peek) {
+  // Enumerate all contents up to the capacity.
+  std::vector<std::string> states{""};
+  for (int len = 1; len <= capacity; ++len) {
+    std::vector<std::string> next_states;
+    for (const auto& s : states) {
+      if (static_cast<int>(s.size()) == len - 1) {
+        next_states.push_back(s + "a");
+        next_states.push_back(s + "b");
+      }
+    }
+    states.insert(states.end(), next_states.begin(), next_states.end());
+  }
+  for (const auto& s : states) b.value(qval(s));
+  b.op("enq_a");
+  b.op("enq_b");
+  b.op("deq");
+  if (with_peek) b.op("peek");
+  for (const auto& s : states) {
+    for (char c : {'a', 'b'}) {
+      const std::string opn = std::string("enq_") + c;
+      if (static_cast<int>(s.size()) < capacity) {
+        b.on(qval(s), opn).then(qval(s + c)).returns("ok");
+      } else {
+        b.on(qval(s), opn).returns("full");
+      }
+    }
+    if (s.empty()) {
+      b.on(qval(s), "deq").returns("empty");
+      if (with_peek) b.on(qval(s), "peek").returns("empty");
+    } else {
+      b.on(qval(s), "deq")
+          .then(qval(s.substr(1)))
+          .returns(std::string("got_") + s[0]);
+      if (with_peek) {
+        b.on(qval(s), "peek").returns(std::string("front_") + s[0]);
+      }
+    }
+  }
+}
+}  // namespace
+
+ObjectType make_queue(int capacity) {
+  RCONS_CHECK(capacity >= 1 && capacity <= 6);
+  TypeBuilder b("queue" + std::to_string(capacity));
+  build_queue_transitions(b, capacity, /*with_peek=*/false);
+  return b.build();
+}
+
+ObjectType make_peek_queue(int capacity) {
+  RCONS_CHECK(capacity >= 1 && capacity <= 6);
+  TypeBuilder b("peek_queue" + std::to_string(capacity));
+  build_queue_transitions(b, capacity, /*with_peek=*/true);
+  return b.build();
+}
+
+ObjectType make_readable_queue(int capacity) {
+  RCONS_CHECK(capacity >= 1 && capacity <= 6);
+  TypeBuilder b("readable_queue" + std::to_string(capacity));
+  build_queue_transitions(b, capacity, /*with_peek=*/false);
+  b.make_read_op("read");
+  return b.build();
+}
+
+ObjectType make_stack(int capacity) {
+  RCONS_CHECK(capacity >= 1 && capacity <= 6);
+  TypeBuilder b("stack" + std::to_string(capacity));
+  // Contents encoded bottom-to-top as strings over {a, b}.
+  std::vector<std::string> states{""};
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (static_cast<int>(states[i].size()) < capacity) {
+      states.push_back(states[i] + "a");
+      states.push_back(states[i] + "b");
+    }
+  }
+  for (const auto& s : states) b.value(qval(s));
+  b.op("push_a");
+  b.op("push_b");
+  b.op("pop");
+  for (const auto& s : states) {
+    for (char c : {'a', 'b'}) {
+      const std::string opn = std::string("push_") + c;
+      if (static_cast<int>(s.size()) < capacity) {
+        b.on(qval(s), opn).then(qval(s + c)).returns("ok");
+      } else {
+        b.on(qval(s), opn).returns("full");
+      }
+    }
+    if (s.empty()) {
+      b.on(qval(s), "pop").returns("empty");
+    } else {
+      b.on(qval(s), "pop")
+          .then(qval(s.substr(0, s.size() - 1)))
+          .returns(std::string("got_") + s.back());
+    }
+  }
+  return b.build();
+}
+
+}  // namespace rcons::spec

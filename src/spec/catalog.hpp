@@ -1,0 +1,83 @@
+// Catalog of classic shared-object types, built as explicit state machines.
+//
+// These are the baselines against which the paper's results are phrased:
+//   * registers              — consensus number 1 (Herlihy)
+//   * test&set, swap, queue,
+//     fetch&add              — consensus number 2 (Herlihy); recoverable
+//                              consensus number 1 (Golab for T&S; our
+//                              checkers compute the rest)
+//   * compare&swap           — consensus number infinity
+//   * sticky objects         — consensus number infinity (Plotkin/Jayanti)
+//   * m-consensus objects    — consensus number m
+// Every type here has a Read operation unless documented otherwise, so the
+// discerning/recording characterizations apply exactly.
+#pragma once
+
+#include "spec/object_type.hpp"
+
+namespace rcons::spec {
+
+/// Read/write register over a finite domain of `domain` values
+/// ("r0".."r{domain-1}"); ops: write_i for each value, plus read.
+ObjectType make_register(int domain);
+
+/// Test-and-set bit: values {"0","1"}; ops {tas, read}. tas returns the old
+/// value and sets the bit.
+ObjectType make_test_and_set();
+
+/// Swap register over `domain` values: swap_i writes value i and returns
+/// the old value. Includes read.
+ObjectType make_swap(int domain);
+
+/// Fetch-and-add counter modulo `modulus`: op faa returns the old value and
+/// increments (wrapping). Includes read. (Wrapping keeps the type finite;
+/// algorithms in this repo never wrap.)
+ObjectType make_fetch_and_add(int modulus);
+
+/// Saturating fetch-and-increment: counts 0..max then sticks at max.
+/// Includes read. Closer to the unbounded F&I's behaviour on short
+/// executions than the wrapping version.
+ObjectType make_fetch_and_increment_saturating(int max);
+
+/// Compare-and-swap cell over `domain` values: ops cas_{a,b} for every
+/// ordered pair (a != b), each returning the old value; plus read.
+ObjectType make_cas(int domain);
+
+/// Sticky register over `domain` values: initial value "undef"; write_i
+/// sets the value only if still undefined and always returns the (possibly
+/// pre-existing) defined value. Includes read. Consensus number infinity.
+ObjectType make_sticky(int domain);
+
+/// Binary sticky bit (2-value sticky register), the classic universal type.
+ObjectType make_sticky_bit();
+
+/// One-shot m-process consensus object for binary inputs: propose_0 /
+/// propose_1 return the decided value; at most `m` proposals are accepted
+/// before the object wedges to a "full" state that returns "bot". Includes
+/// read. Has consensus number m (analogue of an m-ported consensus object).
+ObjectType make_consensus_object(int m);
+
+/// FIFO queue over items {"a","b"} with bounded capacity; ops enq_a, enq_b,
+/// deq (returns "empty" on empty). No read (queues are not readable);
+/// consensus number 2 via the classic two-process protocol.
+ObjectType make_queue(int capacity);
+
+/// Queue with a peek operation (readable-ish front observation). peek
+/// returns the front item without removing it. Still not "readable" in the
+/// formal sense (peek does not reveal the whole value), which makes it a
+/// useful negative test for read-op detection.
+ObjectType make_peek_queue(int capacity);
+
+/// Queue with a TRUE Read operation (returns the entire contents without
+/// changing them). Readability flips the checker semantics: for this type
+/// the discerning/recording levels ARE the consensus numbers, so the
+/// augmented queue's computed power is a fact, not an upper bound — a
+/// sharp contrast with make_queue (see EXPERIMENTS.md E1 notes).
+ObjectType make_readable_queue(int capacity);
+
+/// LIFO stack over items {"a","b"} with bounded capacity; ops push_a,
+/// push_b, pop (returns "empty" on empty). Not readable; consensus
+/// number 2 classically.
+ObjectType make_stack(int capacity);
+
+}  // namespace rcons::spec

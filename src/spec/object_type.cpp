@@ -1,0 +1,158 @@
+#include "spec/object_type.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rcons::spec {
+
+const std::string& ObjectType::value_name(ValueId v) const {
+  RCONS_CHECK_MSG(v >= 0 && v < value_count(), "bad value id ", v, " for ",
+                  name_);
+  return value_names_[static_cast<std::size_t>(v)];
+}
+
+const std::string& ObjectType::op_name(OpId op) const {
+  RCONS_CHECK_MSG(op >= 0 && op < op_count(), "bad op id ", op, " for ",
+                  name_);
+  return op_names_[static_cast<std::size_t>(op)];
+}
+
+const std::string& ObjectType::response_name(ResponseId r) const {
+  RCONS_CHECK_MSG(r >= 0 && r < response_count(), "bad response id ", r,
+                  " for ", name_);
+  return response_names_[static_cast<std::size_t>(r)];
+}
+
+namespace {
+template <typename Names>
+std::optional<int> find_name(const Names& names, std::string_view needle) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == needle) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<ValueId> ObjectType::find_value(std::string_view name) const {
+  return find_name(value_names_, name);
+}
+
+std::optional<OpId> ObjectType::find_op(std::string_view name) const {
+  return find_name(op_names_, name);
+}
+
+std::optional<ResponseId> ObjectType::find_response(
+    std::string_view name) const {
+  return find_name(response_names_, name);
+}
+
+const Effect& ObjectType::apply(ValueId v, OpId op) const {
+  RCONS_CHECK_MSG(v >= 0 && v < value_count(), "bad value id ", v);
+  RCONS_CHECK_MSG(op >= 0 && op < op_count(), "bad op id ", op);
+  return delta_[static_cast<std::size_t>(v) *
+                    static_cast<std::size_t>(op_count()) +
+                static_cast<std::size_t>(op)];
+}
+
+ValueId ObjectType::apply_all(ValueId v, const std::vector<OpId>& ops) const {
+  for (OpId op : ops) {
+    v = apply(v, op).next_value;
+  }
+  return v;
+}
+
+ValueId ObjectType::apply_trace(ValueId v, const std::vector<OpId>& ops,
+                                std::vector<ResponseId>& responses) const {
+  responses.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Effect& e = apply(v, ops[i]);
+    responses[i] = e.response;
+    v = e.next_value;
+  }
+  return v;
+}
+
+bool ObjectType::op_is_value_preserving(OpId op) const {
+  for (ValueId v = 0; v < value_count(); ++v) {
+    if (apply(v, op).next_value != v) return false;
+  }
+  return true;
+}
+
+bool ObjectType::op_is_read(OpId op) const {
+  if (!op_is_value_preserving(op)) return false;
+  // Response must identify the value: injective response function.
+  std::vector<ResponseId> seen;
+  seen.reserve(static_cast<std::size_t>(value_count()));
+  for (ValueId v = 0; v < value_count(); ++v) {
+    const ResponseId r = apply(v, op).response;
+    if (std::find(seen.begin(), seen.end(), r) != seen.end()) return false;
+    seen.push_back(r);
+  }
+  return true;
+}
+
+std::optional<OpId> ObjectType::read_op() const {
+  for (OpId op = 0; op < op_count(); ++op) {
+    if (op_is_read(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::vector<ValueId> ObjectType::reachable_values(ValueId from) const {
+  std::vector<bool> seen(static_cast<std::size_t>(value_count()), false);
+  std::vector<ValueId> stack{from};
+  seen[static_cast<std::size_t>(from)] = true;
+  std::vector<ValueId> out;
+  while (!stack.empty()) {
+    const ValueId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    for (OpId op = 0; op < op_count(); ++op) {
+      const ValueId next = apply(v, op).next_value;
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ObjectType::describe() const {
+  std::ostringstream oss;
+  oss << "type " << name_ << ": " << value_count() << " values, "
+      << op_count() << " ops, " << response_count() << " responses"
+      << (is_readable() ? " (readable)" : " (not readable)") << "\n";
+  for (ValueId v = 0; v < value_count(); ++v) {
+    for (OpId op = 0; op < op_count(); ++op) {
+      const Effect& e = apply(v, op);
+      oss << "  " << value_name(v) << " --" << op_name(op) << "--> "
+          << value_name(e.next_value) << "  (returns "
+          << response_name(e.response) << ")\n";
+    }
+  }
+  return oss.str();
+}
+
+std::string ObjectType::to_dot() const {
+  std::ostringstream oss;
+  oss << "digraph \"" << name_ << "\" {\n  rankdir=LR;\n";
+  for (ValueId v = 0; v < value_count(); ++v) {
+    oss << "  v" << v << " [label=\"" << value_name(v) << "\"];\n";
+  }
+  for (ValueId v = 0; v < value_count(); ++v) {
+    for (OpId op = 0; op < op_count(); ++op) {
+      const Effect& e = apply(v, op);
+      oss << "  v" << v << " -> v" << e.next_value << " [label=\""
+          << op_name(op) << " / " << response_name(e.response) << "\"];\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace rcons::spec

@@ -1,0 +1,112 @@
+// Sequential specifications of deterministic shared-object types.
+//
+// The paper's model (Section 2): "Each object has a type, which defines a
+// set of values, a set of operations ... and a set of responses. Every type
+// has a sequential specification that defines, for each value v and each
+// operation op, the response to that operation and a resulting value."
+// We restrict attention to *deterministic* types with finitely many values,
+// operations, and responses — exactly the setting of the paper's
+// characterizations — and represent a type as an explicit Mealy machine.
+//
+// A type is *readable* if it supports an operation that returns the current
+// value and does not change it. Readability is detected structurally: an
+// operation r is a Read if (a) it never changes the value and (b) its
+// response identifies the value uniquely (the response function is
+// injective on values).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcons::spec {
+
+/// Index of a value of a type (0 .. value_count()-1).
+using ValueId = int;
+/// Index of an operation of a type (0 .. op_count()-1).
+using OpId = int;
+/// Index of a response of a type (0 .. response_count()-1).
+using ResponseId = int;
+
+/// Result of applying one operation: the response returned to the caller
+/// and the resulting value of the object.
+struct Effect {
+  ResponseId response = 0;
+  ValueId next_value = 0;
+
+  friend bool operator==(const Effect&, const Effect&) = default;
+};
+
+/// A finite, deterministic object type. Immutable once built (see
+/// TypeBuilder). Copyable; copies are cheap enough for the catalog's use.
+class ObjectType {
+ public:
+  ObjectType() = default;
+
+  const std::string& name() const { return name_; }
+
+  int value_count() const { return static_cast<int>(value_names_.size()); }
+  int op_count() const { return static_cast<int>(op_names_.size()); }
+  int response_count() const {
+    return static_cast<int>(response_names_.size());
+  }
+
+  const std::string& value_name(ValueId v) const;
+  const std::string& op_name(OpId op) const;
+  const std::string& response_name(ResponseId r) const;
+
+  /// Looks up a value/op/response by name; nullopt if absent.
+  std::optional<ValueId> find_value(std::string_view name) const;
+  std::optional<OpId> find_op(std::string_view name) const;
+  std::optional<ResponseId> find_response(std::string_view name) const;
+
+  /// The sequential specification: deterministic, total.
+  const Effect& apply(ValueId v, OpId op) const;
+
+  /// Applies a sequence of operations starting from `v`; returns the final
+  /// value. (Responses discarded; see apply_trace for responses.)
+  ValueId apply_all(ValueId v, const std::vector<OpId>& ops) const;
+
+  /// Applies a sequence of operations starting from `v`; returns the final
+  /// value and fills `responses` (resized to ops.size()).
+  ValueId apply_trace(ValueId v, const std::vector<OpId>& ops,
+                      std::vector<ResponseId>& responses) const;
+
+  /// True if `op` never changes the object's value.
+  bool op_is_value_preserving(OpId op) const;
+
+  /// True if `op` is a Read: value-preserving and response injective on
+  /// values (the response determines the value).
+  bool op_is_read(OpId op) const;
+
+  /// The first Read operation, if the type is readable.
+  std::optional<OpId> read_op() const;
+
+  /// True if the type supports a Read operation.
+  bool is_readable() const { return read_op().has_value(); }
+
+  /// Set of values reachable from `from` by any operation sequence.
+  std::vector<ValueId> reachable_values(ValueId from) const;
+
+  /// Human-readable dump of the full sequential specification, one line per
+  /// (value, op) pair. Used to reproduce Figure 3.
+  std::string describe() const;
+
+  /// Graphviz dot rendering of the state machine (edges labelled
+  /// "op / response"). Used to reproduce Figure 3 graphically.
+  std::string to_dot() const;
+
+ private:
+  friend class TypeBuilder;
+
+  std::string name_;
+  std::vector<std::string> value_names_;
+  std::vector<std::string> op_names_;
+  std::vector<std::string> response_names_;
+  // delta_[v * op_count + op]
+  std::vector<Effect> delta_;
+};
+
+}  // namespace rcons::spec

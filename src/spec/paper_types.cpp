@@ -1,0 +1,191 @@
+#include "spec/paper_types.hpp"
+
+#include <string>
+
+#include "spec/builder.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::spec {
+
+namespace {
+std::string sxi(int x, int i) {
+  return "s_" + std::to_string(x) + "_" + std::to_string(i);
+}
+}  // namespace
+
+ObjectType make_tnn(int n, int nprime) {
+  RCONS_CHECK_MSG(n > nprime && nprime >= 1, "make_tnn requires n > n' >= 1");
+  TypeBuilder b("T_" + std::to_string(n) + "_" + std::to_string(nprime));
+
+  b.value("s");
+  for (int x = 0; x <= 1; ++x) {
+    for (int i = 1; i <= n - 1; ++i) b.value(sxi(x, i));
+  }
+  b.value("s_bot");
+
+  b.op("op_0");
+  b.op("op_1");
+  b.op("op_R");
+
+  for (int x = 0; x <= 1; ++x) {
+    const std::string opn = "op_" + std::to_string(x);
+    // op_x on s -> s_{x,1}, returns x.
+    b.on("s", opn).then(sxi(x, 1)).returns(std::to_string(x));
+    // op_x on s_{y,i} advances the counter and returns y, wiping to s_bot
+    // from s_{y,n-1}.
+    for (int y = 0; y <= 1; ++y) {
+      for (int i = 1; i <= n - 1; ++i) {
+        const std::string next = i < n - 1 ? sxi(y, i + 1) : "s_bot";
+        b.on(sxi(y, i), opn).then(next).returns(std::to_string(y));
+      }
+    }
+    b.on("s_bot", opn).returns("bot");
+  }
+
+  // op_R: a read unless the counter exceeds n', in which case it breaks the
+  // object (returns bot and wipes to s_bot).
+  b.on("s", "op_R").returns("s");
+  for (int y = 0; y <= 1; ++y) {
+    for (int i = 1; i <= n - 1; ++i) {
+      if (i <= nprime) {
+        b.on(sxi(y, i), "op_R").returns(sxi(y, i));
+      } else {
+        b.on(sxi(y, i), "op_R").then("s_bot").returns("bot");
+      }
+    }
+  }
+  b.on("s_bot", "op_R").returns("bot");
+
+  ObjectType t = b.build();
+  // T_{n,n'} must not be readable: op_R fails injectivity-or-preservation
+  // whenever some s_{y,i} with i > n' exists (i.e. n' < n-1); for
+  // n' = n-1 op_R *is* a Read and the type is readable by design.
+  if (nprime < n - 1) {
+    RCONS_CHECK_MSG(!t.is_readable(), "T_{n,n'} should not be readable");
+  }
+  return t;
+}
+
+ObjectType make_erase_counter(const EraseCounterOptions& options) {
+  const int k = options.count_states;
+  RCONS_CHECK(k >= 1);
+  std::string name = "erase_counter_k" + std::to_string(k);
+  if (!options.wipe_at_overflow) name += "_sat";
+  if (!options.with_erase) name += "_noe";
+  if (options.erase_only_a) name += "_easym";
+  TypeBuilder b(std::move(name));
+
+  const auto letter_state = [](char letter, int i) {
+    return std::string(1, letter) + "_" + std::to_string(i);
+  };
+
+  b.value("u");
+  for (char letter : {'A', 'B'}) {
+    for (int i = 1; i <= k; ++i) b.value(letter_state(letter, i));
+  }
+  b.value("bot");
+
+  b.op("a");
+  b.op("b");
+  if (options.with_erase) b.op("e");
+
+  // Team operations: the first of a/b applied to u fixes the letter; both
+  // then advance the letter's counter.
+  b.on("u", "a").then(letter_state('A', 1)).returns("first");
+  b.on("u", "b").then(letter_state('B', 1)).returns("first");
+  for (char letter : {'A', 'B'}) {
+    const std::string saw = std::string("saw") + letter;
+    for (int i = 1; i <= k; ++i) {
+      const std::string next =
+          i < k ? letter_state(letter, i + 1)
+                : (options.wipe_at_overflow ? std::string("bot")
+                                            : letter_state(letter, k));
+      b.on(letter_state(letter, i), "a").then(next).returns(saw);
+      b.on(letter_state(letter, i), "b").then(next).returns(saw);
+    }
+  }
+  b.on("bot", "a").returns("bot");
+  b.on("bot", "b").returns("bot");
+
+  if (options.with_erase) {
+    // e erases the counter back to u; its response reveals the erased state.
+    b.on("u", "e").returns("e_u");
+    for (char letter : {'A', 'B'}) {
+      for (int i = 1; i <= k; ++i) {
+        const std::string state = letter_state(letter, i);
+        auto t = b.on(state, "e");
+        t.returns("e_" + state);
+        if (letter == 'A' || !options.erase_only_a) t.then("u");
+      }
+    }
+    b.on("bot", "e").returns("bot");
+  }
+
+  b.make_read_op("read");
+  ObjectType t = b.build();
+  RCONS_CHECK(t.is_readable());
+  return t;
+}
+
+namespace {
+
+struct Edge {
+  int next0, resp0;  // o0: successor, response
+  int next1, resp1;  // o1: successor, response
+};
+
+ObjectType build_searched_machine(std::string name, const Edge* edges,
+                                  int values) {
+  TypeBuilder b(std::move(name));
+  for (int v = 0; v < values; ++v) b.value("v" + std::to_string(v));
+  b.op("o0");
+  b.op("o1");
+  for (int v = 0; v < values; ++v) {
+    const Edge& e = edges[v];
+    b.on("v" + std::to_string(v), "o0")
+        .then("v" + std::to_string(e.next0))
+        .returns("x" + std::to_string(e.resp0));
+    b.on("v" + std::to_string(v), "o1")
+        .then("v" + std::to_string(e.next1))
+        .returns("x" + std::to_string(e.resp1));
+  }
+  b.make_read_op("read");
+  ObjectType t = b.build();
+  RCONS_CHECK(t.is_readable());
+  return t;
+}
+
+}  // namespace
+
+ObjectType make_xn(int n) {
+  RCONS_CHECK_MSG(n == 4 || n == 5,
+                  "only the n = 4 and n = 5 instances have verified "
+                  "machines; see examples/xn_search to hunt for others");
+  // Both machines were discovered by the randomized checker-guided search
+  // (hierarchy/search, examples/xn_search; 8 values, 2 team ops + read)
+  // and verified by the exhaustive deciders:
+  //   X_4 (seed 3): 4-discerning, not 5-discerning; 2-recording, not
+  //     3-recording  ->  consensus number 4, recoverable consensus
+  //     number 2.
+  //   X_5 (seed 2): 5-discerning, not 6-discerning; 3-recording, not
+  //     4-recording  ->  consensus number 5, recoverable consensus
+  //     number 3.
+  // Exactly the profile of DFFR's X_n (cons n, rcons n-2), witnessing the
+  // paper's headline corollary. The machines are opaque (searched, not
+  // designed); the tests pin every claimed level, and data/x4.type /
+  // data/x5.type carry them in the interchange format.
+  if (n == 4) {
+    static constexpr Edge kX4[8] = {
+        {1, 3, 3, 5}, {6, 4, 4, 2}, {5, 5, 2, 0}, {7, 0, 1, 1},
+        {0, 1, 7, 3}, {6, 1, 1, 3}, {7, 5, 5, 3}, {4, 2, 3, 4},
+    };
+    return build_searched_machine("X4_searched", kX4, 8);
+  }
+  static constexpr Edge kX5[8] = {
+      {5, 1, 7, 4}, {0, 2, 6, 2}, {1, 4, 2, 3}, {1, 4, 6, 4},
+      {4, 3, 0, 0}, {5, 1, 4, 2}, {7, 3, 1, 3}, {2, 0, 7, 1},
+  };
+  return build_searched_machine("X5_searched", kX5, 8);
+}
+
+}  // namespace rcons::spec

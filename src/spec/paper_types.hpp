@@ -1,0 +1,68 @@
+// Object types defined in (or required by) the paper.
+//
+// * T_{n,n'} — Section 4, Figure 3. Non-readable, deterministic; consensus
+//   number n (Lemma 15) and recoverable consensus number n' (Lemma 16).
+//   Implemented verbatim from the paper's transition description.
+//
+// * X_n — the readable witness type from Delporte-Gallet, Fatourou,
+//   Fauconnier & Ruppert [4] with consensus number n that is
+//   (n-2)-recording but not (n-1)-recording; by the paper's Theorem 13 its
+//   recoverable consensus number is exactly n-2. The defining machine lives
+//   in [4], not in this paper, so we provide (a) a parameterized family of
+//   candidate machines ("erase counters") covering the design space the
+//   literature sketches, and (b) make_xn, the member of that family whose
+//   discerning/recording profile our checkers verify. The checkers — not
+//   this file — are the ground truth for its consensus numbers; the test
+//   suite asserts the computed profile.
+#pragma once
+
+#include "spec/object_type.hpp"
+
+namespace rcons::spec {
+
+/// The paper's type T_{n,n'} (Section 4, Figure 3), for n > n' >= 1.
+///
+/// Values: s (initial), s_{x,i} for x in {0,1} and i in 1..n-1, and s_bot
+/// (2n values total). Operations op_0, op_1, op_R:
+///   * op_x on s         -> s_{x,1},  returns x
+///   * op_x on s_{y,i}   -> s_{y,i+1} (s_bot when i = n-1), returns y
+///   * any op on s_bot   -> s_bot,    returns bot
+///   * op_R on s         -> s,        returns s
+///   * op_R on s_{y,i}   -> s_{y,i} and returns s_{y,i} when i <= n';
+///                          -> s_bot and returns bot when i > n'
+/// op_R is *not* a Read (it perturbs values s_{y,i} with i > n'), so the
+/// type is not readable.
+ObjectType make_tnn(int n, int nprime);
+
+/// Options for the erase-counter family of readable candidate types.
+struct EraseCounterOptions {
+  /// Number of per-letter counting states A_1..A_k / B_1..B_k.
+  int count_states = 2;
+  /// If true, the (k+1)-th team operation wipes the counter to a letterless
+  /// bot state; otherwise the counter saturates at X_k.
+  bool wipe_at_overflow = true;
+  /// If true, include the erase operation e (X_i -> u, response reveals the
+  /// erased state). Erasure is what creates "hiding" schedules.
+  bool with_erase = true;
+  /// If true, e erases only A-states (asymmetric hiding); B-states are left
+  /// unchanged by e.
+  bool erase_only_a = false;
+};
+
+/// Readable deterministic "erase counter": values u, A_1..A_k, B_1..B_k,
+/// bot; team operations a and b advance a counter that remembers which of
+/// a/b arrived first; e (optional) erases the counter back to u while
+/// returning the erased state; read is a true Read. The family's members
+/// realize a spectrum of (discerning, recording) profiles that the
+/// hierarchy checkers map out (see tests/hierarchy and the xn search tool).
+ObjectType make_erase_counter(const EraseCounterOptions& options);
+
+/// The X_4 witness: a readable deterministic type with consensus number 4
+/// and recoverable consensus number 2 — the paper's headline gap of 2
+/// (rcons = cons - 2) for n = 4. Discovered by the checker-guided machine
+/// search (examples/xn_search) and pinned by the exhaustive deciders in
+/// tests/hierarchy_test.cpp. Only n = 4 is provided; use the search tool
+/// to hunt instances at other n.
+ObjectType make_xn(int n);
+
+}  // namespace rcons::spec

@@ -1,0 +1,190 @@
+#include "spec/serialize.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "spec/builder.hpp"
+#include "util/strings.hpp"
+
+namespace rcons::spec {
+
+namespace {
+
+std::vector<std::string> tokens_of(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+ParseResult fail(int line, std::string message) {
+  ParseResult r;
+  r.error = std::move(message);
+  r.error_line = line;
+  return r;
+}
+
+}  // namespace
+
+ParseResult parse_type(std::string_view text) {
+  std::optional<TypeBuilder> builder;
+  int line_no = 0;
+
+  // Track declarations so transitions can be validated with good errors.
+  std::vector<std::string> values;
+  std::vector<std::string> ops;
+
+  const auto declared = [](const std::vector<std::string>& names,
+                           const std::string& name) {
+    for (const auto& n : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+
+  for (const auto& raw_line : split(std::string(text), '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> tok = tokens_of(line);
+
+    if (tok[0] == "type") {
+      if (builder.has_value()) {
+        return fail(line_no, "duplicate 'type' directive");
+      }
+      if (tok.size() != 2) return fail(line_no, "usage: type <name>");
+      builder.emplace(tok[1]);
+      continue;
+    }
+    if (!builder.has_value()) {
+      return fail(line_no, "the first directive must be 'type <name>'");
+    }
+
+    if (tok[0] == "value") {
+      if (tok.size() != 2) return fail(line_no, "usage: value <name>");
+      if (declared(values, tok[1])) {
+        return fail(line_no, "duplicate value '" + tok[1] + "'");
+      }
+      values.push_back(tok[1]);
+      builder->value(tok[1]);
+      continue;
+    }
+    if (tok[0] == "op") {
+      if (tok.size() != 2) return fail(line_no, "usage: op <name>");
+      if (declared(ops, tok[1])) {
+        return fail(line_no, "duplicate op '" + tok[1] + "'");
+      }
+      ops.push_back(tok[1]);
+      builder->op(tok[1]);
+      continue;
+    }
+    if (tok[0] == "readop") {
+      if (tok.size() != 2) return fail(line_no, "usage: readop <name>");
+      if (values.empty()) {
+        return fail(line_no, "readop must follow the value declarations");
+      }
+      ops.push_back(tok[1]);
+      builder->make_read_op(tok[1]);
+      continue;
+    }
+
+    // Transition: <value> <op> -> <next> / <response>
+    if (tok.size() == 6 && tok[2] == "->" && tok[4] == "/") {
+      if (!declared(values, tok[0])) {
+        return fail(line_no, "undeclared value '" + tok[0] + "'");
+      }
+      if (!declared(ops, tok[1])) {
+        return fail(line_no, "undeclared op '" + tok[1] + "'");
+      }
+      if (!declared(values, tok[3])) {
+        return fail(line_no, "undeclared value '" + tok[3] + "'");
+      }
+      builder->on(tok[0], tok[1]).then(tok[3]).returns(tok[5]);
+      continue;
+    }
+
+    return fail(line_no, "unrecognized directive '" + tok[0] + "'");
+  }
+
+  if (!builder.has_value()) {
+    return fail(line_no, "empty definition: missing 'type <name>'");
+  }
+  if (values.empty()) return fail(line_no, "no values declared");
+  if (ops.empty()) return fail(line_no, "no ops declared");
+
+  // Validate totality ourselves (TypeBuilder::build aborts on holes, which
+  // would be hostile for user-supplied text).
+  // Rebuild declared ops' transition coverage from the builder is private;
+  // instead probe via a dry check: attempt build in a child process is
+  // overkill, so replicate the check by parsing our own emitted text is
+  // circular. Track coverage here:
+  // (simplest: re-scan the text for transitions + readops)
+  std::vector<std::vector<bool>> covered(
+      values.size(), std::vector<bool>(ops.size(), false));
+  int scan_line = 0;
+  for (const auto& raw_line : split(std::string(text), '\n')) {
+    ++scan_line;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> tok = tokens_of(line);
+    if (tok[0] == "readop" && tok.size() == 2) {
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        for (std::size_t o = 0; o < ops.size(); ++o) {
+          if (ops[o] == tok[1]) covered[v][o] = true;
+        }
+      }
+    } else if (tok.size() == 6 && tok[2] == "->" && tok[4] == "/") {
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        for (std::size_t o = 0; o < ops.size(); ++o) {
+          if (values[v] == tok[0] && ops[o] == tok[1]) covered[v][o] = true;
+        }
+      }
+    }
+  }
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      if (!covered[v][o]) {
+        return fail(line_no, "missing transition for value '" + values[v] +
+                                 "' op '" + ops[o] + "'");
+      }
+    }
+  }
+
+  ParseResult result;
+  result.type = builder->build();
+  return result;
+}
+
+std::string serialize_type(const ObjectType& type) {
+  std::ostringstream oss;
+  oss << "# " << type.value_count() << " values, " << type.op_count()
+      << " ops" << (type.is_readable() ? " (readable)" : "") << "\n";
+  oss << "type " << type.name() << "\n";
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    oss << "value " << type.value_name(v) << "\n";
+  }
+  for (OpId op = 0; op < type.op_count(); ++op) {
+    oss << "op " << type.op_name(op) << "\n";
+  }
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    for (OpId op = 0; op < type.op_count(); ++op) {
+      const Effect& e = type.apply(v, op);
+      oss << type.value_name(v) << " " << type.op_name(op) << " -> "
+          << type.value_name(e.next_value) << " / "
+          << type.response_name(e.response) << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace rcons::spec

@@ -1,0 +1,50 @@
+// Text serialization of object types.
+//
+// Types can be saved and reloaded in a small line-oriented format, so
+// experiments can ship machine definitions (e.g. the searched X_4) as data
+// and users can define their own types without recompiling:
+//
+//   # comment
+//   type test_and_set
+//   value 0
+//   value 1
+//   op tas
+//   0 tas -> 1 / won
+//   1 tas -> 1 / lost
+//   readop read
+//
+// Directives:
+//   type <name>                  — exactly once, first non-comment line
+//   value <name>                 — declares a value (order = id order)
+//   op <name>                    — declares an operation
+//   readop <name>                — declares a Read operation (transitions
+//                                  generated for all values; place after
+//                                  all `value` lines)
+//   <value> <op> -> <next> / <response>   — one transition
+// Every (value, declared-op) pair must end up with a transition.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::spec {
+
+struct ParseResult {
+  std::optional<ObjectType> type;
+  std::string error;  // empty on success
+  int error_line = 0;
+
+  bool ok() const { return type.has_value(); }
+};
+
+/// Parses the text format above.
+ParseResult parse_type(std::string_view text);
+
+/// Serializes a type into the text format; parse_type(serialize_type(t))
+/// reproduces t exactly (same names, ids, and transitions).
+std::string serialize_type(const ObjectType& type);
+
+}  // namespace rcons::spec

@@ -1,0 +1,53 @@
+// Lightweight runtime checks used across the rcons libraries.
+//
+// RCONS_CHECK is an always-on invariant check (unlike <cassert>, it is not
+// compiled out in release builds): the exhaustive checkers and the model
+// checker rely on these invariants for the *meaning* of their results, so
+// disabling them in optimized benchmark builds would silently change what a
+// "verified" result means.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rcons {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "RCONS_CHECK failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, "  %s\n", msg.c_str());
+  }
+  std::abort();
+}
+
+namespace detail {
+// Builds the optional message lazily; only invoked on failure.
+template <typename... Args>
+std::string format_check_message(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+}  // namespace rcons
+
+#define RCONS_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::rcons::check_failed(#expr, __FILE__, __LINE__, std::string{}); \
+    }                                                                  \
+  } while (false)
+
+#define RCONS_CHECK_MSG(expr, ...)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::rcons::check_failed(                                         \
+          #expr, __FILE__, __LINE__,                                 \
+          ::rcons::detail::format_check_message(__VA_ARGS__));       \
+    }                                                                \
+  } while (false)

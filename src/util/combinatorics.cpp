@@ -1,0 +1,151 @@
+#include "util/combinatorics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rcons {
+
+std::uint64_t factorial(unsigned n) {
+  RCONS_CHECK_MSG(n <= 20, "factorial(", n, ") overflows uint64");
+  std::uint64_t r = 1;
+  for (unsigned i = 2; i <= n; ++i) r *= i;
+  return r;
+}
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t r = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    // Multiply before divide stays exact because r always holds C(n', i')
+    // for intermediate n', i'. Guard against overflow for large inputs.
+    RCONS_CHECK_MSG(r <= ~std::uint64_t{0} / (n - k + i), "binomial overflow");
+    r = r * (n - k + i) / i;
+  }
+  return r;
+}
+
+std::uint64_t ordered_subset_count(unsigned n) {
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k <= n; ++k) {
+    total += binomial(n, k) * factorial(k);
+  }
+  return total;
+}
+
+namespace {
+
+void ordered_subset_rec(unsigned n, std::vector<int>& current,
+                        std::vector<bool>& used,
+                        const std::function<void(const std::vector<int>&)>& visit) {
+  visit(current);
+  for (unsigned i = 0; i < n; ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    current.push_back(static_cast<int>(i));
+    ordered_subset_rec(n, current, used, visit);
+    current.pop_back();
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+void for_each_ordered_subset(
+    unsigned n, const std::function<void(const std::vector<int>&)>& visit) {
+  std::vector<int> current;
+  std::vector<bool> used(n, false);
+  ordered_subset_rec(n, current, used, visit);
+}
+
+void for_each_subset(unsigned n,
+                     const std::function<void(const std::vector<int>&)>& visit) {
+  RCONS_CHECK_MSG(n < 31, "subset enumeration limited to n < 31");
+  std::vector<int> members;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    members.clear();
+    for (unsigned i = 0; i < n; ++i) {
+      if (mask & (1u << i)) members.push_back(static_cast<int>(i));
+    }
+    visit(members);
+  }
+}
+
+void for_each_permutation(
+    std::vector<int> items,
+    const std::function<void(const std::vector<int>&)>& visit) {
+  std::sort(items.begin(), items.end());
+  do {
+    visit(items);
+  } while (std::next_permutation(items.begin(), items.end()));
+}
+
+void for_each_multiset(unsigned m, unsigned k,
+                       const std::function<void(const std::vector<int>&)>& visit) {
+  if (m == 0) {
+    if (k == 0) {
+      std::vector<int> empty;
+      visit(empty);
+    }
+    return;
+  }
+  std::vector<int> current(k, 0);
+  // Enumerate non-decreasing vectors lexicographically.
+  std::function<void(unsigned, int)> rec = [&](unsigned pos, int low) {
+    if (pos == k) {
+      visit(current);
+      return;
+    }
+    for (int v = low; v < static_cast<int>(m); ++v) {
+      current[pos] = v;
+      rec(pos + 1, v);
+    }
+  };
+  rec(0, 0);
+}
+
+void for_each_assignment(unsigned m, unsigned k,
+                         const std::function<void(const std::vector<int>&)>& visit) {
+  if (m == 0) {
+    if (k == 0) {
+      std::vector<int> empty;
+      visit(empty);
+    }
+    return;
+  }
+  std::vector<int> current(k, 0);
+  std::function<void(unsigned)> rec = [&](unsigned pos) {
+    if (pos == k) {
+      visit(current);
+      return;
+    }
+    for (int v = 0; v < static_cast<int>(m); ++v) {
+      current[pos] = v;
+      rec(pos + 1);
+    }
+  };
+  rec(0);
+}
+
+void for_each_bipartition(
+    unsigned n, bool ordered,
+    const std::function<void(const std::vector<int>&)>& visit) {
+  RCONS_CHECK(n >= 2);
+  RCONS_CHECK_MSG(n < 31, "bipartition enumeration limited to n < 31");
+  std::vector<int> team_of(n, 0);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 1; mask + 1 < limit; ++mask) {
+    // mask bit i set  =>  process i on team 1. Skip empty/full teams
+    // (loop bounds already exclude mask == 0 and mask == 2^n - 1).
+    if (!ordered && (mask & 1u)) {
+      continue;  // canonical orientation: process 0 on team 0
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      team_of[i] = (mask >> i) & 1u ? 1 : 0;
+    }
+    visit(team_of);
+  }
+}
+
+}  // namespace rcons

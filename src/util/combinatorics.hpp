@@ -1,0 +1,63 @@
+// Combinatorial enumeration primitives used by the hierarchy checkers.
+//
+// The n-discerning / n-recording definitions quantify over:
+//   * schedules in S(P): sequences of *distinct* processes (every nonempty
+//     ordered subset of P),
+//   * partitions of P into two nonempty teams,
+//   * operation assignments (one operation per process).
+// These helpers enumerate those spaces, plus the multiset reductions used
+// by the symmetry-aware fast path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rcons {
+
+/// n! as unsigned 64-bit; checked against overflow (n <= 20).
+std::uint64_t factorial(unsigned n);
+
+/// C(n, k) with overflow checks suitable for the small n used here.
+std::uint64_t binomial(unsigned n, unsigned k);
+
+/// |S(P)| for |P| = n: the number of sequences of distinct processes,
+/// including the empty sequence:  sum_{k=0}^{n} C(n,k) * k!.
+std::uint64_t ordered_subset_count(unsigned n);
+
+/// Invokes `visit` with every ordered sequence of distinct elements drawn
+/// from {0, .., n-1} (all "arrangements"), including the empty sequence.
+/// The vector passed to `visit` is reused between calls; copy if retained.
+void for_each_ordered_subset(unsigned n,
+                             const std::function<void(const std::vector<int>&)>& visit);
+
+/// Invokes `visit` with every subset of {0, .., n-1} encoded as a sorted
+/// vector, including the empty set.
+void for_each_subset(unsigned n,
+                     const std::function<void(const std::vector<int>&)>& visit);
+
+/// Invokes `visit` with every permutation of the given items.
+void for_each_permutation(std::vector<int> items,
+                          const std::function<void(const std::vector<int>&)>& visit);
+
+/// Invokes `visit` with every multiset of size k drawn from {0, .., m-1},
+/// encoded as a non-decreasing vector of length k.
+void for_each_multiset(unsigned m, unsigned k,
+                       const std::function<void(const std::vector<int>&)>& visit);
+
+/// Invokes `visit` with every function {0,..,k-1} -> {0,..,m-1}, encoded as
+/// a vector of length k with entries in [0, m). (Cartesian power.)
+void for_each_assignment(unsigned m, unsigned k,
+                         const std::function<void(const std::vector<int>&)>& visit);
+
+/// Invokes `visit(team_of)` for every partition of {0,..,n-1} into two
+/// nonempty teams, where team_of[i] in {0,1}. Partitions are enumerated up
+/// to the constraint that process 0 is always on team 0 *unless*
+/// `ordered` is true, in which case both orientations are produced.
+/// (The discerning/recording definitions name the teams T_0 and T_1 but are
+/// symmetric in most uses; the checkers need the ordered version because the
+/// hiding condition `u in U_x  =>  |T_xbar| = 1` is *not* symmetric.)
+void for_each_bipartition(unsigned n, bool ordered,
+                          const std::function<void(const std::vector<int>&)>& visit);
+
+}  // namespace rcons

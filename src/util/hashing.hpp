@@ -1,0 +1,59 @@
+// Hash utilities for the model checker's state sets and the checkers'
+// memo tables. We hash small integer vectors constantly, so the combiners
+// here are tuned for that shape (FNV-ish mixing with a strong finalizer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rcons {
+
+/// 64-bit avalanche mixer (the splitmix64 finalizer).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine a new value into a running hash seed.
+inline void hash_combine(std::uint64_t& seed, std::uint64_t value) {
+  seed ^= mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash a contiguous range of integral values.
+template <typename It>
+std::uint64_t hash_range(It first, It last, std::uint64_t seed = 0) {
+  for (; first != last; ++first) {
+    hash_combine(seed, static_cast<std::uint64_t>(*first));
+  }
+  return seed;
+}
+
+template <typename T>
+std::uint64_t hash_vector(const std::vector<T>& v, std::uint64_t seed = 0) {
+  hash_combine(seed, v.size());
+  return hash_range(v.begin(), v.end(), seed);
+}
+
+/// std::hash adapter for vector<int>-like keys in unordered containers.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    return static_cast<std::size_t>(hash_vector(v));
+  }
+};
+
+/// std::hash adapter for pair keys.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::uint64_t seed = 0;
+    hash_combine(seed, static_cast<std::uint64_t>(std::hash<A>{}(p.first)));
+    hash_combine(seed, static_cast<std::uint64_t>(std::hash<B>{}(p.second)));
+    return static_cast<std::size_t>(seed);
+  }
+};
+
+}  // namespace rcons

@@ -1,0 +1,70 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace rcons {
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string join_ints(const std::vector<int>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string repeat(std::string_view text, std::size_t count) {
+  std::string out;
+  out.reserve(text.size() * count);
+  for (std::size_t i = 0; i < count; ++i) out += text;
+  return out;
+}
+
+}  // namespace rcons

@@ -1,0 +1,33 @@
+// Small string helpers shared by the pretty printers and the report
+// generators. Nothing here allocates more than it must; inputs are taken by
+// string_view wherever the result does not outlive them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcons {
+
+/// Joins the items with the given separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Joins integral items with the given separator.
+std::string join_ints(const std::vector<int>& items, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Left-pads (or truncates) to exactly `width` display columns.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads (or truncates) to exactly `width` display columns.
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Repeats a string `count` times.
+std::string repeat(std::string_view text, std::size_t count);
+
+}  // namespace rcons

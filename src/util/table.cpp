@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rcons {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    if (row.cells.size() > widths.size()) {
+      widths.resize(row.cells.size(), 0);
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line += repeat("-", w + 2);
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  }();
+
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string_view cell =
+          c < cells.size() ? std::string_view(cells[c]) : std::string_view("");
+      line += " " + pad_right(cell, widths[c]) + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule;
+  out += render_cells(headers_);
+  out += rule;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].separator) {
+      // A trailing separator would duplicate the closing rule.
+      if (i + 1 < rows_.size()) out += rule;
+    } else {
+      out += render_cells(rows_[i].cells);
+    }
+  }
+  out += rule;
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+}  // namespace rcons

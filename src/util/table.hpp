@@ -1,0 +1,43 @@
+// ASCII table renderer used by the benchmark harnesses and examples to
+// print paper-style result tables (experiment E1's claims table, scaling
+// tables, etc.).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcons {
+
+/// A simple column-aligned table. Rows may be added with heterogeneous cell
+/// counts; missing cells render empty. Rendering pads every column to its
+/// widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table (with a header rule) to a string.
+  std::string render() const;
+
+  /// Convenience: renders straight to a stream.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rcons

@@ -1,0 +1,273 @@
+#include "valency/critical.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "exec/execute.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::valency {
+
+namespace {
+
+/// One admissible extension event together with its successor state and
+/// the updated past-decisions mask.
+struct Extension {
+  exec::Event event{};
+  BudgetState state;
+  DecisionMask past = 0;
+};
+
+std::vector<Extension> admissible_extensions(const exec::Protocol& protocol,
+                                             const ValencyAnalyzer& analyzer,
+                                             const BudgetState& state,
+                                             DecisionMask past) {
+  const int n = protocol.process_count();
+  std::vector<Extension> out;
+  out.reserve(static_cast<std::size_t>(2 * n));
+  for (int pid = 0; pid < n; ++pid) {
+    {
+      Extension ext;
+      ext.event = exec::Event::step(pid);
+      ext.state = state;
+      exec::DecisionLog log(n);
+      const exec::EventOutcome outc = exec::apply_event(
+          protocol, ext.state.config, ext.event, log);
+      for (int i = pid + 1; i < n; ++i) {
+        auto& c = ext.state.credits[static_cast<std::size_t>(i)];
+        c = std::min(analyzer.credit_cap(), c + analyzer.z() * n);
+      }
+      ext.past = past;
+      if (outc.decision.has_value()) {
+        ext.past |= *outc.decision == 0 ? kDecision0 : kDecision1;
+      }
+      out.push_back(std::move(ext));
+    }
+    if (analyzer.crash_allowed(state, pid)) {
+      Extension ext;
+      ext.event = exec::Event::crash(pid);
+      ext.state = state;
+      ext.state.credits[static_cast<std::size_t>(pid)] -= 1;
+      exec::DecisionLog log(n);
+      exec::apply_event(protocol, ext.state.config, ext.event, log);
+      ext.past = past;
+      out.push_back(std::move(ext));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ConfigClass classify_poised_configuration(const exec::Protocol& protocol,
+                                          const exec::Config& config,
+                                          exec::ObjectId object,
+                                          const std::vector<int>& team_of,
+                                          const std::vector<spec::OpId>& ops) {
+  const int n = protocol.process_count();
+  const spec::ObjectType& type = protocol.object_type(object);
+  const spec::ValueId u = config.value(object);
+
+  // U_x over nonempty one-shot schedules of the poised ops, first in T_x.
+  std::vector<bool> in_u[2];
+  in_u[0].assign(static_cast<std::size_t>(type.value_count()), false);
+  in_u[1].assign(static_cast<std::size_t>(type.value_count()), false);
+
+  std::vector<int> used;  // recursion bookkeeping
+  const std::function<void(unsigned, spec::ValueId, int)> dfs =
+      [&](unsigned mask, spec::ValueId value, int first_team) {
+        if (first_team >= 0) {
+          in_u[first_team][static_cast<std::size_t>(value)] = true;
+        }
+        for (int j = 0; j < n; ++j) {
+          if (mask & (1u << j)) continue;
+          const spec::Effect& e =
+              type.apply(value, ops[static_cast<std::size_t>(j)]);
+          const int team = first_team >= 0
+                               ? first_team
+                               : team_of[static_cast<std::size_t>(j)];
+          dfs(mask | (1u << j), e.next_value, team);
+        }
+      };
+  dfs(0u, u, -1);
+
+  ConfigClass result;
+  result.disjoint = true;
+  for (spec::ValueId v = 0; v < type.value_count(); ++v) {
+    if (in_u[0][static_cast<std::size_t>(v)]) result.u0.push_back(v);
+    if (in_u[1][static_cast<std::size_t>(v)]) result.u1.push_back(v);
+    if (in_u[0][static_cast<std::size_t>(v)] &&
+        in_u[1][static_cast<std::size_t>(v)]) {
+      result.disjoint = false;
+    }
+  }
+  for (int x = 0; x <= 1; ++x) {
+    if (in_u[x][static_cast<std::size_t>(u)]) result.hiding_v = x;
+  }
+
+  if (result.disjoint) {
+    bool hiding_ok = true;
+    if (result.hiding_v.has_value()) {
+      const int xbar = 1 - *result.hiding_v;
+      const int size_xbar = static_cast<int>(
+          std::count(team_of.begin(), team_of.end(), xbar));
+      hiding_ok = size_xbar == 1;
+    }
+    result.recording = hiding_ok;
+  }
+  return result;
+}
+
+std::optional<CriticalReport> find_critical_execution(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const CriticalSearchOptions& options) {
+  return find_critical_execution_from(
+      protocol, exec::Config::initial(protocol, inputs), options);
+}
+
+std::optional<CriticalReport> find_critical_execution_from(
+    const exec::Protocol& protocol, exec::Config start,
+    const CriticalSearchOptions& options) {
+  const int n = protocol.process_count();
+  ValencyAnalyzer analyzer(protocol, options.z, options.credit_cap,
+                           options.max_states);
+
+  BudgetState state = analyzer.initial_state(std::move(start));
+  DecisionMask past = 0;
+  if (analyzer.valence(state, past) != Valence::kBivalent) {
+    return std::nullopt;  // need a bivalent starting point (Observation 1)
+  }
+
+  exec::Schedule schedule;
+  std::unordered_set<std::uint64_t> walked;
+  walked.insert(state.hash());
+
+  for (std::size_t iter = 0; iter < options.max_walk_events; ++iter) {
+    std::vector<Extension> extensions =
+        admissible_extensions(protocol, analyzer, state, past);
+
+    // Criticality test: every one-event admissible extension univalent
+    // (judged over ALL processes, even when the walk itself is
+    // restricted).
+    const auto allowed = [&](const Extension& ext) {
+      if (options.allowed_pids.empty()) return true;
+      for (int pid : options.allowed_pids) {
+        if (pid == ext.event.pid) return true;
+      }
+      return false;
+    };
+    const Extension* bivalent_unvisited = nullptr;
+    const Extension* bivalent_any = nullptr;
+    bool all_univalent = true;
+    for (const Extension& ext : extensions) {
+      if (analyzer.valence(ext.state, ext.past) == Valence::kBivalent) {
+        all_univalent = false;
+        if (!allowed(ext)) continue;
+        if (bivalent_any == nullptr) bivalent_any = &ext;
+        if (bivalent_unvisited == nullptr &&
+            walked.find(ext.state.hash()) == walked.end()) {
+          bivalent_unvisited = &ext;
+        }
+      }
+    }
+
+    if (all_univalent) {
+      CriticalReport report;
+      report.schedule = std::move(schedule);
+      report.end_state = state;
+      report.team_of.assign(static_cast<std::size_t>(n), -1);
+      for (const Extension& ext : extensions) {
+        if (ext.event.is_crash()) continue;
+        const Valence v = analyzer.valence(ext.state, ext.past);
+        report.team_of[static_cast<std::size_t>(ext.event.pid)] =
+            v == Valence::kUnivalent0 ? 0 : (v == Valence::kUnivalent1 ? 1
+                                                                       : -1);
+      }
+      // Lemma 9: the common poised object.
+      report.poised_ops.assign(static_cast<std::size_t>(n), -1);
+      report.same_object = true;
+      exec::ObjectId object = -1;
+      for (int pid = 0; pid < n; ++pid) {
+        const exec::Action action =
+            protocol.poised(pid, state.config.local(pid));
+        if (action.kind != exec::Action::Kind::kInvoke) {
+          report.same_object = false;
+          break;
+        }
+        if (object < 0) object = action.object;
+        if (action.object != object) report.same_object = false;
+        report.poised_ops[static_cast<std::size_t>(pid)] = action.op;
+      }
+      report.object = object;
+      if (report.same_object) {
+        report.config_class = classify_poised_configuration(
+            protocol, state.config, object, report.team_of,
+            report.poised_ops);
+      }
+      return report;
+    }
+
+    // Keep walking: prefer an unvisited bivalent extension; fall back to a
+    // visited one (bounded by max_walk_events) to honour the definition.
+    const Extension* chosen =
+        bivalent_unvisited != nullptr ? bivalent_unvisited : bivalent_any;
+    if (chosen == nullptr) {
+      // Bivalent extensions exist but none by an allowed process: the
+      // restricted walk cannot make progress (Theorem 13's argument rules
+      // this out for its stages; report honestly rather than cheating).
+      return std::nullopt;
+    }
+    schedule.push_back(chosen->event);
+    past = chosen->past;
+    state = chosen->state;
+    walked.insert(state.hash());
+  }
+  return std::nullopt;  // walk budget exhausted
+}
+
+std::string CriticalReport::render(const exec::Protocol& protocol) const {
+  std::ostringstream oss;
+  oss << "critical execution alpha = " << exec::schedule_to_string(schedule)
+      << "\n";
+  oss << "teams at C-alpha:";
+  for (std::size_t i = 0; i < team_of.size(); ++i) {
+    oss << "  p" << i << " -> team "
+        << (team_of[i] >= 0 ? std::to_string(team_of[i]) : "?");
+  }
+  oss << "\n";
+  if (!same_object) {
+    oss << "processes are NOT all poised on one object (unexpected; "
+           "Lemma 9 violated?)\n";
+    return oss.str();
+  }
+  const spec::ObjectType& type = protocol.object_type(object);
+  oss << "common poised object: O" << object << " of type " << type.name()
+      << ", value " << type.value_name(end_state.config.value(object))
+      << "\n";
+  oss << "poised operations:";
+  for (std::size_t i = 0; i < poised_ops.size(); ++i) {
+    oss << "  p" << i << ":" << type.op_name(poised_ops[i]);
+  }
+  oss << "\n";
+  const auto render_set = [&](const std::vector<spec::ValueId>& vs) {
+    std::string s = "{";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += type.value_name(vs[i]);
+    }
+    return s + "}";
+  };
+  oss << "U_0 = " << render_set(config_class.u0)
+      << "  U_1 = " << render_set(config_class.u1)
+      << (config_class.disjoint ? "  (disjoint)" : "  (INTERSECT)") << "\n";
+  if (config_class.hiding_v.has_value()) {
+    oss << "configuration is " << *config_class.hiding_v << "-hiding\n";
+  }
+  oss << "configuration is "
+      << (config_class.recording ? "n-RECORDING" : "not n-recording") << "\n";
+  return oss.str();
+}
+
+}  // namespace rcons::valency

@@ -1,0 +1,98 @@
+// Critical executions and the configuration classification of Section 3.
+//
+// This module mechanizes the objects the paper's proofs construct:
+//   * a CRITICAL execution alpha (bivalent w.r.t. E_z*, every one-event
+//     admissible extension univalent — one-event suffices because
+//     univalence persists along extensions, Observation 2);
+//   * the TEAMS at C-alpha: p_i is on team v if alpha-p_i is v-univalent
+//     (Lemma 7 guarantees both teams are nonempty);
+//   * the common poised object O (Lemma 9: in a critical execution every
+//     process is poised to access the same object);
+//   * the classification of C-alpha as an n-RECORDING configuration,
+//     a v-HIDING configuration, or neither (Observation 11), computed from
+//     the sets U_x of O-values reachable by one-shot schedules of the
+//     poised operations.
+// Theorem 13's walk ends in an n-recording configuration whose poised
+// object witnesses that its *type* is n-recording; find_critical_execution
+// plus classify_critical let the tests and examples replay that argument
+// on concrete protocols and cross-check the result against the standalone
+// recording checker (experiment E3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/event.hpp"
+#include "exec/protocol.hpp"
+#include "valency/valence.hpp"
+
+namespace rcons::valency {
+
+struct CriticalSearchOptions {
+  int z = 1;
+  int credit_cap = 6;
+  /// Abort the greedy walk after this many events.
+  std::size_t max_walk_events = 2000;
+  std::size_t max_states = 2'000'000;
+  /// If nonempty, the greedy walk only takes events by these processes
+  /// (criticality itself is still judged against ALL one-event
+  /// extensions). Theorem 13's chain construction uses this to follow the
+  /// paper's "alpha_i contains only events by p_{n-i}..p_{n-1}" stages.
+  std::vector<int> allowed_pids;
+};
+
+struct ConfigClass {
+  /// U_x = O-values reachable by nonempty one-shot schedules of the poised
+  /// operations whose first process is on team x.
+  std::vector<spec::ValueId> u0;
+  std::vector<spec::ValueId> u1;
+  bool disjoint = false;
+  /// Set if u = value(O, C-alpha) is in U_v: the configuration is v-hiding.
+  std::optional<int> hiding_v;
+  /// The n-recording configuration condition of Section 3.
+  bool recording = false;
+};
+
+struct CriticalReport {
+  /// The critical execution's schedule (from the initial configuration).
+  exec::Schedule schedule;
+  BudgetState end_state;
+  /// team_of[i]: valence of alpha-p_i (0 or 1). Criticality makes these
+  /// well defined.
+  std::vector<int> team_of;
+  /// Lemma 9: all processes poised on the same object?
+  bool same_object = false;
+  exec::ObjectId object = -1;
+  std::vector<spec::OpId> poised_ops;  // per pid; valid when same_object
+  ConfigClass config_class;            // valid when same_object
+
+  std::string render(const exec::Protocol& protocol) const;
+};
+
+/// Greedily extends executions in E_z* from the initial configuration for
+/// `inputs` while they remain bivalent; returns the critical report, or
+/// nullopt if the initial configuration is not bivalent or the walk budget
+/// ran out (possible for adversarially cyclic protocols; not for the
+/// protocols in this repository).
+std::optional<CriticalReport> find_critical_execution(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const CriticalSearchOptions& options = {});
+
+/// As above but starting from an arbitrary configuration with FRESH crash
+/// budgets — the E_z*(D_i) re-rooting that Theorem 13's chain performs at
+/// every stage.
+std::optional<CriticalReport> find_critical_execution_from(
+    const exec::Protocol& protocol, exec::Config start,
+    const CriticalSearchOptions& options = {});
+
+/// Classifies a configuration in which every process is poised to apply an
+/// operation to `object`: computes U_0/U_1 for the given teams and poised
+/// ops and evaluates the recording / v-hiding conditions.
+ConfigClass classify_poised_configuration(const exec::Protocol& protocol,
+                                          const exec::Config& config,
+                                          exec::ObjectId object,
+                                          const std::vector<int>& team_of,
+                                          const std::vector<spec::OpId>& ops);
+
+}  // namespace rcons::valency

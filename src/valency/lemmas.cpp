@@ -1,0 +1,108 @@
+#include "valency/lemmas.hpp"
+
+#include <sstream>
+
+#include "sched/one_shot.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::valency {
+
+std::string verify_lemma7(const CriticalReport& report) {
+  bool team0 = false;
+  bool team1 = false;
+  for (std::size_t i = 0; i < report.team_of.size(); ++i) {
+    const int t = report.team_of[i];
+    if (t == 0) team0 = true;
+    if (t == 1) team1 = true;
+    if (t != 0 && t != 1) {
+      return "lemma 7: p" + std::to_string(i) +
+             " has no team (its one-step extension is not univalent)";
+    }
+  }
+  if (!team0) return "lemma 7: team 0 is empty";
+  if (!team1) return "lemma 7: team 1 is empty";
+  return {};
+}
+
+std::string verify_lemma8(const exec::Protocol& protocol,
+                          const CriticalReport& report, int z,
+                          int credit_cap) {
+  ValencyAnalyzer analyzer(protocol, z, credit_cap);
+  const BudgetState fresh = analyzer.initial_state(report.end_state.config);
+  if (analyzer.valence(fresh) != Valence::kBivalent) {
+    return "lemma 8: C-alpha is not bivalent w.r.t. E_z*(C-alpha)";
+  }
+  return {};
+}
+
+std::string verify_lemma9(const CriticalReport& report) {
+  if (!report.same_object) {
+    return "lemma 9: processes are poised on different objects";
+  }
+  return {};
+}
+
+std::string verify_lemma10(const exec::Protocol& protocol,
+                           const CriticalReport& report) {
+  if (!report.same_object) return "lemma 10: prerequisite (lemma 9) failed";
+  const int n = protocol.process_count();
+  const spec::ObjectType& type = protocol.object_type(report.object);
+  const spec::ValueId u = report.end_state.config.value(report.object);
+
+  const int vbar = report.team_of[static_cast<std::size_t>(n - 1)];
+  const int v = 1 - vbar;
+
+  // All (first process, remainder schedule) -> resulting O value, split by
+  // the first process's team.
+  struct Outcome {
+    int first = -1;
+    std::vector<int> rest;
+    spec::ValueId value = 0;
+  };
+  std::vector<Outcome> by_team[2];
+
+  for (int first = 0; first < n; ++first) {
+    std::vector<int> others;
+    for (int p = 0; p < n; ++p) {
+      if (p != first) others.push_back(p);
+    }
+    const int team = report.team_of[static_cast<std::size_t>(first)];
+    sched::for_each_one_shot(others, [&](const std::vector<int>& rest) {
+      spec::ValueId value =
+          type.apply(u, report.poised_ops[static_cast<std::size_t>(first)])
+              .next_value;
+      for (int p : rest) {
+        value =
+            type.apply(value, report.poised_ops[static_cast<std::size_t>(p)])
+                .next_value;
+      }
+      by_team[team].push_back(Outcome{first, rest, value});
+    });
+  }
+
+  std::ostringstream failures;
+  for (const Outcome& a : by_team[v]) {
+    for (const Outcome& b : by_team[vbar]) {
+      if (a.value != b.value) continue;
+      if (b.first == n - 1 && b.rest.empty()) continue;  // the allowed case
+      failures << "lemma 10: value " << type.value_name(a.value)
+               << " reachable from team " << v << " via p" << a.first
+               << " and from team " << vbar << " via p" << b.first
+               << " with a non-trivial schedule\n";
+    }
+  }
+  return failures.str();
+}
+
+std::string verify_section3_lemmas(const exec::Protocol& protocol,
+                                   const CriticalReport& report, int z) {
+  std::string out;
+  for (const std::string& failure :
+       {verify_lemma7(report), verify_lemma8(protocol, report, z),
+        verify_lemma9(report), verify_lemma10(protocol, report)}) {
+    out += failure;
+  }
+  return out;
+}
+
+}  // namespace rcons::valency

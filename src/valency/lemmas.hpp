@@ -1,0 +1,53 @@
+// Mechanical verification of the paper's Section 3 lemmas at a concrete
+// critical execution.
+//
+// find_critical_execution returns a CriticalReport; the verifiers here
+// re-establish, by direct enumeration, the properties the paper proves
+// about such executions:
+//   * Lemma 7  — both teams are nonempty.
+//   * Lemma 8  — the end configuration is bivalent with respect to
+//                E_z*(C-alpha) with FRESH budgets (strictly stronger than
+//                the execution being bivalent w.r.t. E_z*(C)).
+//   * Lemma 9  — every process is poised to apply an operation to the
+//                same object.
+//   * Lemma 10 — if schedules p_i R_i (team v first) and p_j R_j (team
+//                vbar first) drive O to the same value, then p_j is the
+//                highest-id process and R_j is empty, where vbar is
+//                p_{n-1}'s team.
+// Each verifier returns a human-readable failure description (empty =
+// verified), so tests can assert emptiness and examples can print the
+// outcome; a non-empty result on a correct recoverable algorithm would
+// contradict the paper.
+#pragma once
+
+#include <string>
+
+#include "exec/protocol.hpp"
+#include "valency/critical.hpp"
+
+namespace rcons::valency {
+
+/// Lemma 7: both teams nonempty (every process classified, both teams
+/// inhabited).
+std::string verify_lemma7(const CriticalReport& report);
+
+/// Lemma 8: C-alpha is bivalent w.r.t. E_z*(C-alpha) — i.e. with budgets
+/// restarted at the critical configuration.
+std::string verify_lemma8(const exec::Protocol& protocol,
+                          const CriticalReport& report, int z = 1,
+                          int credit_cap = 6);
+
+/// Lemma 9: one common poised object.
+std::string verify_lemma9(const CriticalReport& report);
+
+/// Lemma 10: enumerate all one-shot schedule pairs (p_i R_i, p_j R_j)
+/// with p_i on team v and p_j on team vbar (= p_{n-1}'s team) and check
+/// that equal resulting O-values force p_j = p_{n-1} and R_j empty.
+std::string verify_lemma10(const exec::Protocol& protocol,
+                           const CriticalReport& report);
+
+/// Runs all of the above; returns the concatenated failures.
+std::string verify_section3_lemmas(const exec::Protocol& protocol,
+                                   const CriticalReport& report, int z = 1);
+
+}  // namespace rcons::valency

@@ -1,0 +1,257 @@
+#include "valency/model_checker.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::valency {
+
+namespace {
+
+/// Exploration node: a configuration plus the monotone mask of values
+/// output so far (bit 0 = some process output 0, bit 1 = output 1).
+struct Node {
+  exec::Config config;
+  unsigned mask = 0;
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+struct NodeHash {
+  std::size_t operator()(const Node& n) const {
+    std::uint64_t seed = n.config.hash();
+    hash_combine(seed, n.mask);
+    return static_cast<std::size_t>(seed);
+  }
+};
+
+exec::Schedule reconstruct(
+    const std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash>&
+        parents,
+    Node node, const Node& root) {
+  std::vector<exec::Schedule> segments;
+  while (!(node == root)) {
+    const auto it = parents.find(node);
+    RCONS_CHECK(it != parents.end());
+    segments.push_back(it->second.second);
+    node = it->second.first;
+  }
+  exec::Schedule schedule;
+  for (auto seg = segments.rbegin(); seg != segments.rend(); ++seg) {
+    schedule.insert(schedule.end(), seg->begin(), seg->end());
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> all_binary_inputs(int n) {
+  RCONS_CHECK(n >= 1 && n < 20);
+  std::vector<std::vector<int>> out;
+  out.reserve(std::size_t{1} << n);
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<int> inputs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      inputs[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+    }
+    out.push_back(std::move(inputs));
+  }
+  return out;
+}
+
+SafetyResult check_safety(const exec::Protocol& protocol,
+                          const std::vector<int>& inputs,
+                          const SafetyOptions& options) {
+  const int n = protocol.process_count();
+  SafetyResult result;
+
+  unsigned valid_mask = 0;
+  for (int v : inputs) valid_mask |= 1u << v;
+
+  Node root{exec::Config::initial(protocol, inputs), 0};
+  std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash> parents;
+  std::deque<Node> frontier{root};
+  std::unordered_map<std::uint64_t, bool> seen_configs;  // stats only
+  std::unordered_map<Node, bool, NodeHash> visited;
+  visited.emplace(root, true);
+  seen_configs.emplace(root.config.hash(), true);
+
+  const auto fail = [&](const Node& at, std::string what) {
+    result.counterexample = reconstruct(parents, at, root);
+    result.violation = std::move(what);
+  };
+
+  while (!frontier.empty()) {
+    if (visited.size() > options.max_states) {
+      result.states_visited = visited.size();
+      result.configs_visited = seen_configs.size();
+      result.explored_fully = false;
+      return result;
+    }
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+
+    for (int pid = 0; pid < n; ++pid) {
+      // Step transition.
+      {
+        Node next = node;
+        exec::DecisionLog log(n);
+        const exec::EventOutcome out = exec::apply_event(
+            protocol, next.config, exec::Event::step(pid), log);
+        if (out.decision.has_value()) {
+          const int v = *out.decision;
+          if (((valid_mask >> v) & 1u) == 0) {
+            result.validity_ok = false;
+            parents.emplace(
+                Node{next.config, next.mask | (1u << v)},
+                std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
+            fail(Node{next.config, next.mask | (1u << v)},
+                 "validity: p" + std::to_string(pid) + " output " +
+                     std::to_string(v) + " which is nobody's input");
+            result.states_visited = visited.size();
+            result.configs_visited = seen_configs.size();
+            return result;
+          }
+          next.mask |= 1u << v;
+          if (next.mask == 0b11u) {
+            result.agreement_ok = false;
+            parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
+            fail(next, "agreement: both 0 and 1 were output");
+            result.states_visited = visited.size();
+            result.configs_visited = seen_configs.size();
+            return result;
+          }
+        }
+        if (visited.emplace(next, true).second) {
+          seen_configs.emplace(next.config.hash(), true);
+          parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
+          frontier.push_back(std::move(next));
+        }
+      }
+      // Individual crash transition.
+      if (options.effective_mode() == CrashMode::kIndividual ||
+          options.effective_mode() == CrashMode::kBoth) {
+        Node next = node;
+        exec::DecisionLog log(n);
+        exec::apply_event(protocol, next.config, exec::Event::crash(pid), log);
+        if (visited.emplace(next, true).second) {
+          seen_configs.emplace(next.config.hash(), true);
+          parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::crash(pid)}));
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+
+    // Simultaneous crash transition: every process crashes at once (whole-
+    // machine power failure). Rendered in counterexamples as the event run
+    // c_0 c_1 ... c_{n-1} with no interleaved steps.
+    if (options.effective_mode() == CrashMode::kSimultaneous ||
+        options.effective_mode() == CrashMode::kBoth) {
+      Node next = node;
+      exec::DecisionLog log(n);
+      exec::Schedule all_crash;
+      for (int pid = 0; pid < n; ++pid) {
+        all_crash.push_back(exec::Event::crash(pid));
+        exec::apply_event(protocol, next.config, exec::Event::crash(pid), log);
+      }
+      if (visited.emplace(next, true).second) {
+        seen_configs.emplace(next.config.hash(), true);
+        parents.emplace(next, std::make_pair(node, std::move(all_crash)));
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+
+  result.explored_fully = true;
+  result.states_visited = visited.size();
+  result.configs_visited = seen_configs.size();
+  return result;
+}
+
+SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
+                                     const SafetyOptions& options) {
+  SafetyResult merged;
+  merged.explored_fully = true;
+  for (const auto& inputs : all_binary_inputs(protocol.process_count())) {
+    SafetyResult r = check_safety(protocol, inputs, options);
+    merged.states_visited += r.states_visited;
+    merged.configs_visited += r.configs_visited;
+    merged.explored_fully = merged.explored_fully && r.explored_fully;
+    if (!r.ok()) {
+      merged.agreement_ok = r.agreement_ok;
+      merged.validity_ok = r.validity_ok;
+      merged.counterexample = std::move(r.counterexample);
+      merged.violation = std::move(r.violation);
+      return merged;
+    }
+  }
+  return merged;
+}
+
+LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
+                                              const std::vector<int>& inputs,
+                                              const LivenessOptions& options) {
+  const int n = protocol.process_count();
+  LivenessResult result;
+
+  Node root{exec::Config::initial(protocol, inputs), 0};
+  std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash> parents;
+  std::unordered_map<std::uint64_t, bool> probed_configs;
+  std::unordered_map<Node, bool, NodeHash> visited;
+  std::deque<Node> frontier{root};
+  visited.emplace(root, true);
+
+  while (!frontier.empty()) {
+    if (visited.size() > options.max_states) {
+      result.explored_fully = false;
+      return result;
+    }
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+
+    // Probe solo termination once per distinct configuration.
+    if (probed_configs.emplace(node.config.hash(), true).second) {
+      result.configs_probed += 1;
+      for (int pid = 0; pid < n; ++pid) {
+        const std::optional<int> decided = exec::solo_terminating_decision(
+            protocol, node.config, pid, options.solo_step_bound);
+        if (!decided.has_value()) {
+          result.wait_free = false;
+          result.stuck_pid = pid;
+          result.reaching_schedule = reconstruct(parents, node, root);
+          return result;
+        }
+      }
+    }
+
+    for (int pid = 0; pid < n; ++pid) {
+      {
+        Node next = node;
+        exec::DecisionLog log(n);
+        const exec::EventOutcome out = exec::apply_event(
+            protocol, next.config, exec::Event::step(pid), log);
+        if (out.decision.has_value()) next.mask |= 1u << *out.decision;
+        if (visited.emplace(next, true).second) {
+          parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
+          frontier.push_back(std::move(next));
+        }
+      }
+      if (options.allow_crashes) {
+        Node next = node;
+        exec::DecisionLog log(n);
+        exec::apply_event(protocol, next.config, exec::Event::crash(pid), log);
+        if (visited.emplace(next, true).second) {
+          parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::crash(pid)}));
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+  }
+
+  result.explored_fully = true;
+  return result;
+}
+
+}  // namespace rcons::valency

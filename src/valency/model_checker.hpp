@@ -1,0 +1,107 @@
+// Exhaustive safety and liveness verification of consensus protocols.
+//
+// Safety (agreement + validity) is checked over the FULL individual-crash
+// model: any process (including p_0) may crash at any time, with no budget.
+// This is strictly more adversarial than any E_z / E_z* set, so "safe here"
+// implies "safe in the paper's model"; conversely every counterexample
+// schedule found is a genuine execution of the model. The state space is
+// finite (finite types, finite local-state machines), so the check is
+// exact: it explores every reachable (configuration, outputs-so-far) pair.
+//
+// Agreement is checked in the strong form "at most one distinct value is
+// ever output in the execution" (this subsumes the paper's two-process
+// phrasing and additionally flags a single process outputting two values
+// across a crash).
+//
+// Recoverable wait-freedom is checked as: from every reachable
+// configuration, every process, run solo and crash-free, outputs within a
+// bounded number of its own steps. (The paper's condition asks exactly
+// that a process "either crashes or outputs a value after a finite number
+// of its own steps" from its initial state; quantifying over all reachable
+// configurations covers all recovery points.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/event.hpp"
+#include "exec/execute.hpp"
+#include "exec/protocol.hpp"
+
+namespace rcons::valency {
+
+/// Which crash events the exploration may inject (Section 1 distinguishes
+/// INDIVIDUAL crashes — any process, any time — from SIMULTANEOUS crashes,
+/// where all processes crash together, modelling whole-machine power
+/// failure. The paper's results are about individual crashes; the
+/// simultaneous mode exists to contrast the two regimes experimentally).
+enum class CrashMode {
+  kNone,          // classic wait-free analysis
+  kIndividual,    // any single process may crash at any step
+  kSimultaneous,  // only the all-processes-at-once crash event
+  kBoth,          // individual and simultaneous events
+};
+
+struct SafetyOptions {
+  CrashMode crash_mode = CrashMode::kIndividual;
+  /// Deprecated alias: allow_crashes = false forces CrashMode::kNone.
+  bool allow_crashes = true;
+  /// Abort exploration beyond this many (config, mask) states.
+  std::size_t max_states = 5'000'000;
+
+  CrashMode effective_mode() const {
+    return allow_crashes ? crash_mode : CrashMode::kNone;
+  }
+};
+
+struct SafetyResult {
+  bool explored_fully = false;   // false if max_states was hit
+  bool agreement_ok = true;
+  bool validity_ok = true;
+  std::size_t states_visited = 0;
+  std::size_t configs_visited = 0;
+  /// On violation: a schedule from the initial configuration reproducing it.
+  std::optional<exec::Schedule> counterexample;
+  std::string violation;  // human-readable description
+
+  bool ok() const { return agreement_ok && validity_ok; }
+};
+
+/// Exhaustively checks agreement and validity for the given inputs.
+SafetyResult check_safety(const exec::Protocol& protocol,
+                          const std::vector<int>& inputs,
+                          const SafetyOptions& options = {});
+
+/// Runs check_safety over every input vector in {0,1}^n.
+SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
+                                     const SafetyOptions& options = {});
+
+struct LivenessOptions {
+  bool allow_crashes = true;
+  std::size_t max_states = 2'000'000;
+  /// Solo-run step bound per (config, process) probe.
+  int solo_step_bound = 1000;
+};
+
+struct LivenessResult {
+  bool explored_fully = false;
+  bool wait_free = true;
+  std::size_t configs_probed = 0;
+  /// On violation: the process that failed to output solo.
+  int stuck_pid = -1;
+  std::optional<exec::Schedule> reaching_schedule;
+};
+
+/// Checks recoverable wait-freedom (solo termination from every reachable
+/// configuration) for the given inputs.
+LivenessResult check_recoverable_wait_freedom(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const LivenessOptions& options = {});
+
+/// All input vectors in {0,1}^n for an n-process protocol.
+std::vector<std::vector<int>> all_binary_inputs(int n);
+
+}  // namespace rcons::valency

@@ -1,0 +1,108 @@
+#include "valency/theorem13.hpp"
+
+#include <sstream>
+
+#include "exec/execute.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::valency {
+
+Theorem13Chain run_theorem13_chain(const exec::Protocol& protocol,
+                                   const std::vector<int>& inputs,
+                                   const CriticalSearchOptions& options) {
+  const int n = protocol.process_count();
+  Theorem13Chain chain;
+
+  exec::Config config = exec::Config::initial(protocol, inputs);
+  CriticalSearchOptions stage_options = options;
+  exec::Schedule bridge;  // events from the previous D_i' to this D_i
+
+  // Stage index i: at stage i > 0 only processes n-i..n-1 act (the paper's
+  // property (f)); i is bounded by n-1 because each hiding stage crashes
+  // one more prefix of processes.
+  for (int i = 0; i < n; ++i) {
+    const auto report =
+        find_critical_execution_from(protocol, config, stage_options);
+    if (!report.has_value()) {
+      chain.failure = "stage " + std::to_string(i) +
+                      ": no critical execution (D_i not bivalent or the "
+                      "restricted walk stalled)";
+      return chain;
+    }
+    chain.stages.push_back(ChainStage{bridge, *report});
+    const CriticalReport& r = chain.stages.back().report;
+
+    if (!r.same_object) {
+      chain.failure = "stage " + std::to_string(i) +
+                      ": processes poised on different objects (Lemma 9 "
+                      "violated — not a correct recoverable algorithm?)";
+      return chain;
+    }
+    if (r.config_class.recording) {
+      chain.reached_recording = true;
+      return chain;
+    }
+
+    // Build the next stage's D_{i+1}.
+    exec::DecisionLog log(n);
+    bridge.clear();
+    config = r.end_state.config;
+    if (r.config_class.hiding_v.has_value()) {
+      // v-hiding: crash the suffix processes lambda_{n-(i+1)} and restrict
+      // the next critical walk to them.
+      const int first = n - (i + 1);
+      if (first < 1) {
+        chain.failure = "stage " + std::to_string(i) +
+                        ": hiding chain exhausted all processes";
+        return chain;
+      }
+      for (const exec::Event& e : exec::lambda_schedule(first, n)) {
+        bridge.push_back(e);
+        exec::apply_event(protocol, config, e, log);
+      }
+      stage_options.allowed_pids.clear();
+      for (int pid = first; pid < n; ++pid) {
+        stage_options.allowed_pids.push_back(pid);
+      }
+    } else {
+      // "Neither" case (only arises at D_0' in the paper): step p_{n-1},
+      // crash it, and continue with p_{n-1} alone.
+      if (i != 0) {
+        chain.failure = "stage " + std::to_string(i) +
+                        ": 'neither' classification after stage 0 "
+                        "(unexpected per Observation 11 + Lemma 12)";
+        return chain;
+      }
+      for (const exec::Event& e :
+           {exec::Event::step(n - 1), exec::Event::crash(n - 1)}) {
+        bridge.push_back(e);
+        exec::apply_event(protocol, config, e, log);
+      }
+      stage_options.allowed_pids = {n - 1};
+    }
+  }
+  chain.failure = "chain did not terminate within n stages";
+  return chain;
+}
+
+std::string Theorem13Chain::render(const exec::Protocol& protocol) const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (!stages[i].bridge.empty()) {
+      oss << "bridge to D_" << i << ": "
+          << exec::schedule_to_string(stages[i].bridge) << "\n";
+    }
+    oss << "--- stage " << i << " (D_" << i << " -> D_" << i << "') ---\n"
+        << stages[i].report.render(protocol);
+  }
+  if (reached_recording) {
+    oss << "chain reached an n-RECORDING configuration after "
+        << stages.size() << " stage(s): the poised object's type is "
+        << "n-recording (Theorem 13).\n";
+  } else {
+    oss << "chain FAILED: " << failure << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace rcons::valency

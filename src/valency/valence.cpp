@@ -1,0 +1,147 @@
+#include "valency/valence.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "exec/execute.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::valency {
+
+std::uint64_t BudgetState::hash() const {
+  std::uint64_t seed = config.hash();
+  for (int c : credits) hash_combine(seed, static_cast<std::uint64_t>(c));
+  return seed;
+}
+
+namespace {
+struct BudgetStateHash {
+  std::size_t operator()(const BudgetState& s) const {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+}  // namespace
+
+ValencyAnalyzer::ValencyAnalyzer(const exec::Protocol& protocol, int z,
+                                 int credit_cap, std::size_t max_states)
+    : protocol_(protocol),
+      n_(protocol.process_count()),
+      z_(z),
+      credit_cap_(credit_cap),
+      max_states_(max_states) {
+  RCONS_CHECK(z >= 1);
+  RCONS_CHECK(credit_cap >= 1);
+}
+
+BudgetState ValencyAnalyzer::initial_state(exec::Config config) const {
+  BudgetState s;
+  s.config = std::move(config);
+  s.credits.assign(static_cast<std::size_t>(n_), 0);
+  return s;
+}
+
+bool ValencyAnalyzer::crash_allowed(const BudgetState& state,
+                                    exec::ProcessId pid) const {
+  return pid > 0 && state.credits[static_cast<std::size_t>(pid)] >= 1;
+}
+
+BudgetState ValencyAnalyzer::apply(const BudgetState& state,
+                                   const exec::Event& event) const {
+  BudgetState next = state;
+  exec::DecisionLog log(n_);
+  if (event.is_crash()) {
+    RCONS_CHECK_MSG(crash_allowed(state, event.pid),
+                    "inadmissible crash of p", event.pid);
+    next.credits[static_cast<std::size_t>(event.pid)] -= 1;
+    exec::apply_event(protocol_, next.config, event, log);
+    return next;
+  }
+  exec::apply_event(protocol_, next.config, event, log);
+  // A step by pid grants z*n crash credits to every higher-id process
+  // (credit_i = z*n*steps_below(i) - crashes(i), saturated at the cap).
+  for (int i = event.pid + 1; i < n_; ++i) {
+    auto& c = next.credits[static_cast<std::size_t>(i)];
+    c = std::min(credit_cap_, c + z_ * n_);
+  }
+  return next;
+}
+
+DecisionMask ValencyAnalyzer::reachable_decisions(const BudgetState& state) {
+  const std::uint64_t key = state.hash();
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    return it->second;
+  }
+
+  DecisionMask mask = 0;
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<BudgetState> frontier{state};
+  visited.insert(key);
+
+  bool truncated_here = false;
+  while (!frontier.empty() && mask != kBothDecisions) {
+    if (visited.size() > max_states_) {
+      truncated_here = true;
+      truncated_ = true;
+      break;
+    }
+    BudgetState node = std::move(frontier.front());
+    frontier.pop_front();
+    states_explored_ += 1;
+
+    for (int pid = 0; pid < n_; ++pid) {
+      // Step by pid (always admissible).
+      {
+        BudgetState next = node;
+        exec::DecisionLog log(n_);
+        const exec::EventOutcome out = exec::apply_event(
+            protocol_, next.config, exec::Event::step(pid), log);
+        for (int i = pid + 1; i < n_; ++i) {
+          auto& c = next.credits[static_cast<std::size_t>(i)];
+          c = std::min(credit_cap_, c + z_ * n_);
+        }
+        if (out.decision.has_value()) {
+          mask |= *out.decision == 0 ? kDecision0 : kDecision1;
+          if (mask == kBothDecisions) break;
+        }
+        if (visited.insert(next.hash()).second) {
+          frontier.push_back(std::move(next));
+        }
+      }
+      // Crash of pid, if the budget allows.
+      if (crash_allowed(node, pid)) {
+        BudgetState next = node;
+        next.credits[static_cast<std::size_t>(pid)] -= 1;
+        exec::DecisionLog log(n_);
+        exec::apply_event(protocol_, next.config, exec::Event::crash(pid),
+                          log);
+        if (visited.insert(next.hash()).second) {
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+  }
+
+  // Only memoize complete explorations: a truncated mask is a lower bound
+  // and must not poison later queries.
+  if (!truncated_here) {
+    memo_.emplace(key, mask);
+  }
+  return mask;
+}
+
+Valence ValencyAnalyzer::valence(const BudgetState& state, DecisionMask past) {
+  const DecisionMask mask = past | reachable_decisions(state);
+  switch (mask) {
+    case kBothDecisions:
+      return Valence::kBivalent;
+    case kDecision0:
+      return Valence::kUnivalent0;
+    case kDecision1:
+      return Valence::kUnivalent1;
+    default:
+      return Valence::kNone;
+  }
+}
+
+}  // namespace rcons::valency

@@ -1,0 +1,106 @@
+// Valency with respect to the crash-budget execution sets E_z* (Section 3).
+//
+// The paper defines valency for EXECUTIONS, not configurations: whether a
+// decision v is reachable from C-alpha by an extension beta with
+// alpha-beta in E_z*(C) depends on the crash budget already consumed by
+// alpha. A BudgetState therefore pairs the end configuration with the
+// remaining per-process crash credits (credit_i = z*n*steps_below(i) -
+// crashes(i); p_0 has no credit, ever).
+//
+// Credits grow without bound as low-id processes take steps, which would
+// make the reachability state space infinite; ValencyAnalyzer saturates
+// credits at a cap. Saturation is sound for bivalence (every execution it
+// considers is a genuine E_z* execution) and complete once the cap exceeds
+// the crashes any decision-reaching extension needs — for terminating
+// protocols a cap around the longest solo run suffices; the analyzer
+// reports whether any exploration was truncated so callers can raise the
+// cap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/event.hpp"
+#include "exec/protocol.hpp"
+
+namespace rcons::valency {
+
+/// Bit 0 set = a decision of 0 is reachable; bit 1 = decision of 1.
+using DecisionMask = unsigned;
+
+inline constexpr DecisionMask kDecision0 = 0b01;
+inline constexpr DecisionMask kDecision1 = 0b10;
+inline constexpr DecisionMask kBothDecisions = 0b11;
+
+struct BudgetState {
+  exec::Config config;
+  /// credits[i]: crashes p_i may still take (saturated at the cap);
+  /// credits[0] is always 0.
+  std::vector<int> credits;
+
+  friend bool operator==(const BudgetState&, const BudgetState&) = default;
+  std::uint64_t hash() const;
+};
+
+/// Valency classification of an execution end-state.
+enum class Valence {
+  kBivalent,
+  kUnivalent0,
+  kUnivalent1,
+  /// No decision reachable at all (cannot happen for a recoverable
+  /// wait-free algorithm under E_z*, but the analyzer stays total).
+  kNone,
+};
+
+class ValencyAnalyzer {
+ public:
+  /// z: the budget multiplier of E_z*. credit_cap: saturation bound on
+  /// per-process credits. max_states: exploration limit per query cache.
+  ValencyAnalyzer(const exec::Protocol& protocol, int z, int credit_cap = 6,
+                  std::size_t max_states = 2'000'000);
+
+  /// The initial budget state for exec from C with fresh budgets (the
+  /// empty execution from C).
+  BudgetState initial_state(exec::Config config) const;
+
+  /// Applies an event to a budget state (steps grant credits to higher
+  /// ids; crashes consume one credit). RCONS_CHECKs crash admissibility.
+  BudgetState apply(const BudgetState& state, const exec::Event& event) const;
+
+  /// True iff a crash of pid is admissible now (pid > 0, credit left).
+  bool crash_allowed(const BudgetState& state, exec::ProcessId pid) const;
+
+  /// The set of decisions reachable from `state` by executions that respect
+  /// the remaining budgets (including decisions taken by the very next
+  /// step). Exact up to credit saturation; memoized.
+  DecisionMask reachable_decisions(const BudgetState& state);
+
+  /// Classifies `state` given decisions already made along the way in
+  /// `past` (per the paper, "has decided" persists along the execution).
+  Valence valence(const BudgetState& state, DecisionMask past = 0);
+
+  /// True if any reachable_decisions exploration hit max_states (results
+  /// are then lower bounds on reachability).
+  bool truncated() const { return truncated_; }
+
+  std::size_t memo_size() const { return memo_.size(); }
+  std::uint64_t states_explored() const { return states_explored_; }
+
+  int z() const { return z_; }
+  int credit_cap() const { return credit_cap_; }
+
+ private:
+  const exec::Protocol& protocol_;
+  int n_;
+  int z_;
+  int credit_cap_;
+  std::size_t max_states_;
+  bool truncated_ = false;
+  std::uint64_t states_explored_ = 0;
+  std::unordered_map<std::uint64_t, DecisionMask> memo_;
+};
+
+}  // namespace rcons::valency

@@ -1,0 +1,114 @@
+// Randomized adversary sweeps: hundreds of seeded budgeted/unbounded crash
+// schedules against correct protocols, asserting agreement + validity on
+// every run. This complements the exhaustive checks with long, deep
+// executions (the exhaustive checker proves correctness; these runs
+// exercise the adversary/driver plumbing at scale and across budgets).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "sched/adversary.hpp"
+#include "spec/catalog.hpp"
+
+namespace rcons::sched {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  std::function<std::unique_ptr<exec::Protocol>()> make;
+  CrashRegime regime;
+  double crash_prob;
+};
+
+class AdversarySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(AdversarySweep, HundredSeedsStaySafe) {
+  const auto protocol = GetParam().make();
+  const int n = protocol->process_count();
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    RandomCrashAdversary adversary(n, GetParam().crash_prob, seed);
+    DrivenRunOptions options;
+    options.regime = GetParam().regime;
+    options.max_events = 200'000;
+    std::vector<int> inputs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      inputs[static_cast<std::size_t>(i)] =
+          static_cast<int>((seed >> i) & 1u);
+    }
+    const DrivenRunResult r = drive(*protocol, inputs, adversary, options);
+    ASSERT_FALSE(r.log.agreement_violated())
+        << GetParam().name << " seed " << seed;
+    unsigned valid = 0;
+    for (int v : inputs) valid |= 1u << v;
+    ASSERT_FALSE(r.log.output_0 && !(valid & 1u))
+        << GetParam().name << " seed " << seed;
+    ASSERT_FALSE(r.log.output_1 && !(valid & 2u))
+        << GetParam().name << " seed " << seed;
+    // Under the budgeted regime runs must terminate (recoverable
+    // wait-freedom + finite budget); unbounded runs may hit the cap.
+    if (GetParam().regime == CrashRegime::kBudgeted) {
+      ASSERT_TRUE(r.all_decided)
+          << GetParam().name << " seed " << seed << " events " << r.events;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, AdversarySweep,
+    ::testing::Values(
+        SweepCase{"cas3_budgeted",
+                  [] { return std::make_unique<algo::CasConsensus>(3); },
+                  CrashRegime::kBudgeted, 0.4},
+        SweepCase{"cas4_unbounded",
+                  [] { return std::make_unique<algo::CasConsensus>(4); },
+                  CrashRegime::kUnbounded, 0.3},
+        SweepCase{"tnn_5_2_budgeted",
+                  [] {
+                    return std::make_unique<algo::TnnRecoverableConsensus>(
+                        5, 2, 2);
+                  },
+                  CrashRegime::kBudgeted, 0.4},
+        SweepCase{"tnn_6_3_unbounded",
+                  [] {
+                    return std::make_unique<algo::TnnRecoverableConsensus>(
+                        6, 3, 3);
+                  },
+                  CrashRegime::kUnbounded, 0.25},
+        SweepCase{"recording_cas3x3_budgeted",
+                  [] {
+                    return std::make_unique<algo::RecordingConsensus>(
+                        spec::make_cas(3), 3);
+                  },
+                  CrashRegime::kBudgeted, 0.3},
+        SweepCase{"recording_sticky_x2_unbounded",
+                  [] {
+                    return std::make_unique<algo::RecordingConsensus>(
+                        spec::make_sticky_bit(), 2);
+                  },
+                  CrashRegime::kUnbounded, 0.35}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+TEST(AdversarySweep, BudgetedRunsRespectTheAccountantInvariant) {
+  // drive() vets every adversary crash request through the accountant;
+  // spot-check the resulting step/crash totals satisfy the E_z bound.
+  algo::CasConsensus protocol(3);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    RandomCrashAdversary adversary(3, 0.5, seed);
+    DrivenRunOptions options;
+    options.regime = CrashRegime::kBudgeted;
+    options.z = 1;
+    const DrivenRunResult r = drive(protocol, {0, 1, 0}, adversary, options);
+    // Total crashes bounded by z*n*(total steps) is a coarse corollary of
+    // the per-process budget.
+    ASSERT_LE(r.crashes, 1 * 3 * r.steps + 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcons::sched

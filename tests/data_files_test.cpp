@@ -1,0 +1,73 @@
+// The shipped data/*.type files must stay loadable and semantically equal
+// to their catalog sources (they are regenerated with
+// `rcons_cli export <name> > data/<name>.type`).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "hierarchy/consensus_number.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+
+namespace rcons::spec {
+namespace {
+
+std::string data_dir() {
+  // Tests run from the build tree; the data directory sits in the source
+  // tree next to it. Allow an override for out-of-tree runs.
+  if (const char* env = std::getenv("RCONS_DATA_DIR")) return env;
+  return std::string(RCONS_SOURCE_DIR) + "/data";
+}
+
+ObjectType load(const std::string& name) {
+  std::ifstream in(data_dir() + "/" + name + ".type");
+  EXPECT_TRUE(in.good()) << "missing data file " << name;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const ParseResult r = parse_type(buffer.str());
+  EXPECT_TRUE(r.ok()) << name << ": " << r.error;
+  return *r.type;
+}
+
+void expect_same_machine(const ObjectType& a, const ObjectType& b) {
+  ASSERT_EQ(a.value_count(), b.value_count());
+  ASSERT_EQ(a.op_count(), b.op_count());
+  for (ValueId v = 0; v < a.value_count(); ++v) {
+    for (OpId op = 0; op < a.op_count(); ++op) {
+      EXPECT_EQ(a.value_name(a.apply(v, op).next_value),
+                b.value_name(b.apply(v, op).next_value));
+      EXPECT_EQ(a.response_name(a.apply(v, op).response),
+                b.response_name(b.apply(v, op).response));
+    }
+  }
+}
+
+TEST(DataFiles, TasMatchesCatalog) {
+  expect_same_machine(load("tas"), make_test_and_set());
+}
+
+TEST(DataFiles, T52MatchesCatalog) {
+  expect_same_machine(load("t52"), make_tnn(5, 2));
+}
+
+TEST(DataFiles, X4MatchesCatalogAndKeepsItsProfile) {
+  const ObjectType x4 = load("x4");
+  expect_same_machine(x4, make_xn(4));
+  // The shipped machine keeps the headline profile even when loaded from
+  // text (guards against serialization subtly renaming/reordering).
+  EXPECT_EQ(hierarchy::discerning_level(x4, 5), (hierarchy::Level{4, true}));
+  EXPECT_EQ(hierarchy::recording_level(x4, 3), (hierarchy::Level{2, true}));
+}
+
+TEST(DataFiles, AllShippedFilesParse) {
+  for (const char* name :
+       {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "queue2"}) {
+    const ObjectType t = load(name);
+    EXPECT_GT(t.value_count(), 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rcons::spec

@@ -1,0 +1,166 @@
+// Unit tests for src/exec: configurations, event application, crash
+// semantics (objects persist, local state resets), decision logging, and
+// indistinguishability — the mechanics of Section 2's model.
+#include <gtest/gtest.h>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/naive_register.hpp"
+#include "algo/tas_racing.hpp"
+#include "exec/config.hpp"
+#include "exec/event.hpp"
+#include "exec/execute.hpp"
+
+namespace rcons::exec {
+namespace {
+
+TEST(Config, InitialValuesAndStates) {
+  algo::CasConsensus protocol(2);
+  const Config c = Config::initial(protocol, {0, 1});
+  EXPECT_EQ(c.process_count(), 2);
+  EXPECT_EQ(c.object_count(), 1);
+  EXPECT_EQ(c.value(0), protocol.initial_value(0));
+  EXPECT_EQ(c.local(0), protocol.initial_state(0, 0));
+  EXPECT_EQ(c.local(1), protocol.initial_state(1, 1));
+  EXPECT_EQ(c.input(0), 0);
+  EXPECT_EQ(c.input(1), 1);
+}
+
+TEST(Config, HashChangesWithValueAndLocal) {
+  algo::CasConsensus protocol(2);
+  Config a = Config::initial(protocol, {0, 1});
+  Config b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set_value(0, a.value(0) == 0 ? 1 : 0);
+  EXPECT_NE(a.hash(), b.hash());
+  Config c = a;
+  LocalState changed = c.local(0);
+  changed.words[0] += 7;
+  c.set_local(0, changed);
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(Config, IndistinguishabilityIsPerProcess) {
+  algo::CasConsensus protocol(2);
+  Config a = Config::initial(protocol, {0, 1});
+  Config b = a;
+  LocalState changed = b.local(1);
+  changed.words[0] += 1;
+  b.set_local(1, changed);
+  EXPECT_TRUE(a.indistinguishable_to(b, {0}));
+  EXPECT_FALSE(a.indistinguishable_to(b, {1}));
+  EXPECT_FALSE(a.indistinguishable_to(b, {0, 1}));
+  EXPECT_TRUE(a.same_object_values(b));
+}
+
+TEST(Execute, StepAppliesOperationAndDecides) {
+  algo::CasConsensus protocol(2);
+  Config c = Config::initial(protocol, {1, 0});
+  DecisionLog log(2);
+  const EventOutcome out = apply_event(protocol, c, Event::step(0), log);
+  EXPECT_TRUE(out.was_invoke);
+  ASSERT_TRUE(out.decision.has_value());
+  EXPECT_EQ(*out.decision, 1);  // p0 wins the CAS and decides its input
+  EXPECT_TRUE(log.has_output(1));
+  EXPECT_FALSE(log.has_output(0));
+}
+
+TEST(Execute, SecondProcessAdoptsWinner) {
+  algo::CasConsensus protocol(2);
+  const ExecutionResult r = run_schedule(
+      protocol, Config::initial(protocol, {1, 0}), steps({0, 1}));
+  EXPECT_TRUE(r.log.has_output(1));
+  EXPECT_FALSE(r.log.has_output(0));
+  EXPECT_EQ(r.log.decided[0], 1);
+  EXPECT_EQ(r.log.decided[1], 1);
+}
+
+TEST(Execute, CrashResetsLocalStateButNotObjects) {
+  algo::TasRacingConsensus protocol;
+  Config c = Config::initial(protocol, {0, 1});
+  DecisionLog log(2);
+  // p1 writes its register and performs tas.
+  apply_event(protocol, c, Event::step(1), log);
+  apply_event(protocol, c, Event::step(1), log);
+  const Config before_crash = c;
+  apply_event(protocol, c, Event::crash(1), log);
+  EXPECT_TRUE(c.same_object_values(before_crash)) << "objects are NVM";
+  EXPECT_EQ(c.local(1), protocol.initial_state(1, 1)) << "local state reset";
+  EXPECT_TRUE(c.indistinguishable_to(before_crash, {0}));
+}
+
+TEST(Execute, DecisionSurvivesCrashInLog) {
+  algo::CasConsensus protocol(2);
+  Config c = Config::initial(protocol, {1, 1});
+  DecisionLog log(2);
+  apply_event(protocol, c, Event::step(0), log);  // p0 decides 1
+  EXPECT_TRUE(log.has_output(1));
+  apply_event(protocol, c, Event::crash(0), log);
+  // The paper: "for every execution alpha' starting from C' ... p_i has
+  // output the value v" — outputs are properties of the execution.
+  EXPECT_TRUE(log.has_output(1));
+  // But the process state is reset: it is no longer in an output state.
+  EXPECT_EQ(c.local(0), protocol.initial_state(0, 1));
+}
+
+TEST(Execute, StepsInOutputStatesAreNoOps) {
+  algo::CasConsensus protocol(2);
+  Config c = Config::initial(protocol, {1, 0});
+  DecisionLog log(2);
+  apply_event(protocol, c, Event::step(0), log);
+  const Config decided = c;
+  const EventOutcome out = apply_event(protocol, c, Event::step(0), log);
+  EXPECT_FALSE(out.was_invoke);
+  EXPECT_FALSE(out.decision.has_value());
+  EXPECT_EQ(c, decided);
+}
+
+TEST(Execute, AgreementViolationDetectedByLog) {
+  algo::NaiveRegisterConsensus protocol(2);
+  // write0, write1, then p0 reads (sees r1 -> decides 1)? No: p0 writes 0,
+  // p0 reads -> decides 0; then p1 writes 1, reads -> decides 1.
+  const ExecutionResult r = run_schedule(
+      protocol, Config::initial(protocol, {0, 1}), steps({0, 0, 1, 1}));
+  EXPECT_TRUE(r.log.agreement_violated());
+}
+
+TEST(Execute, SoloTerminatingDecision) {
+  algo::CasConsensus protocol(3);
+  const Config c = Config::initial(protocol, {0, 1, 1});
+  EXPECT_EQ(solo_terminating_decision(protocol, c, 0), 0);
+  EXPECT_EQ(solo_terminating_decision(protocol, c, 1), 1);
+  // After p0 runs, everyone's solo run decides p0's value.
+  const ExecutionResult r = run_schedule(protocol, c, steps({0}));
+  EXPECT_EQ(solo_terminating_decision(protocol, r.config, 1), 0);
+  EXPECT_EQ(solo_terminating_decision(protocol, r.config, 2), 0);
+}
+
+TEST(Execute, ScheduleNotation) {
+  Schedule s = steps({0, 1});
+  s.push_back(Event::crash(1));
+  s.push_back(Event::step(0));
+  EXPECT_EQ(schedule_to_string(s), "p0 p1 c1 p0");
+  EXPECT_EQ(schedule_to_string({}), "<>");
+}
+
+TEST(Execute, LambdaSchedule) {
+  const Schedule s = lambda_schedule(2, 5);  // c2 c3 c4
+  ASSERT_EQ(s.size(), 3u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_TRUE(s[i].is_crash());
+    EXPECT_EQ(s[i].pid, static_cast<int>(i) + 2);
+  }
+}
+
+TEST(Execute, RenderExecutionMentionsEvents) {
+  algo::CasConsensus protocol(2);
+  Schedule s = steps({0});
+  s.push_back(Event::crash(0));
+  const ExecutionResult r =
+      run_schedule(protocol, Config::initial(protocol, {1, 0}), s);
+  const std::string text = render_execution(protocol, r);
+  EXPECT_NE(text.find("decides 1"), std::string::npos);
+  EXPECT_NE(text.find("crash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcons::exec

@@ -1,0 +1,104 @@
+// Lemma-level reproduction (experiment E3 continued): for each correct
+// recoverable protocol, find a critical execution and mechanically verify
+// the Section 3 lemmas AT that execution — Lemma 7 (teams nonempty),
+// Lemma 8 (bivalence w.r.t. fresh budgets), Lemma 9 (common poised
+// object), Lemma 10 (cross-team value collisions only via p_{n-1} alone).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "spec/catalog.hpp"
+#include "valency/critical.hpp"
+#include "valency/lemmas.hpp"
+
+namespace rcons::valency {
+namespace {
+
+struct LemmaCase {
+  std::string name;
+  std::function<std::unique_ptr<exec::Protocol>()> make;
+  std::vector<int> inputs;
+};
+
+class Section3Lemmas : public ::testing::TestWithParam<LemmaCase> {};
+
+TEST_P(Section3Lemmas, AllLemmasHoldAtTheCriticalExecution) {
+  const auto protocol = GetParam().make();
+  const auto report = find_critical_execution(*protocol, GetParam().inputs);
+  ASSERT_TRUE(report.has_value()) << GetParam().name;
+  const std::string failures = verify_section3_lemmas(*protocol, *report);
+  EXPECT_TRUE(failures.empty()) << GetParam().name << ":\n" << failures;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, Section3Lemmas,
+    ::testing::Values(
+        LemmaCase{"cas2",
+                  [] { return std::make_unique<algo::CasConsensus>(2); },
+                  {0, 1}},
+        LemmaCase{"cas3",
+                  [] { return std::make_unique<algo::CasConsensus>(3); },
+                  {0, 1, 1}},
+        LemmaCase{"cas3_alt",
+                  [] { return std::make_unique<algo::CasConsensus>(3); },
+                  {1, 1, 0}},
+        LemmaCase{"tnn_4_2",
+                  [] {
+                    return std::make_unique<algo::TnnRecoverableConsensus>(
+                        4, 2, 2);
+                  },
+                  {0, 1}},
+        LemmaCase{"tnn_5_3",
+                  [] {
+                    return std::make_unique<algo::TnnRecoverableConsensus>(
+                        5, 3, 3);
+                  },
+                  {0, 1, 1}},
+        LemmaCase{"recording_cas_2",
+                  [] {
+                    return std::make_unique<algo::RecordingConsensus>(
+                        spec::make_cas(3), 2);
+                  },
+                  {1, 0}},
+        LemmaCase{"recording_sticky_2",
+                  [] {
+                    return std::make_unique<algo::RecordingConsensus>(
+                        spec::make_sticky_bit(), 2);
+                  },
+                  {0, 1}}),
+    [](const ::testing::TestParamInfo<LemmaCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Section3LemmasDetail, Lemma7FlagsMissingTeam) {
+  CriticalReport report;
+  report.team_of = {0, 0};
+  EXPECT_NE(verify_lemma7(report).find("team 1 is empty"), std::string::npos);
+  report.team_of = {0, -1};
+  EXPECT_NE(verify_lemma7(report).find("no team"), std::string::npos);
+}
+
+TEST(Section3LemmasDetail, Lemma9FlagsSplitObjects) {
+  CriticalReport report;
+  report.same_object = false;
+  EXPECT_FALSE(verify_lemma9(report).empty());
+}
+
+TEST(Section3LemmasDetail, Lemma10HoldsAcrossZ) {
+  algo::TnnRecoverableConsensus protocol(4, 2, 2);
+  for (int z = 1; z <= 3; ++z) {
+    CriticalSearchOptions options;
+    options.z = z;
+    const auto report = find_critical_execution(protocol, {0, 1}, options);
+    ASSERT_TRUE(report.has_value()) << "z=" << z;
+    EXPECT_TRUE(verify_lemma10(protocol, *report).empty()) << "z=" << z;
+    EXPECT_TRUE(verify_lemma8(protocol, *report, z).empty()) << "z=" << z;
+  }
+}
+
+}  // namespace
+}  // namespace rcons::valency

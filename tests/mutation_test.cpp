@@ -1,0 +1,147 @@
+// Checker-sensitivity (mutation) tests: deliberately corrupt correct
+// protocols and types and assert the verifiers CATCH the corruption. A
+// verifier that passes everything is worthless; these tests pin its teeth.
+#include <gtest/gtest.h>
+
+#include "algo/cas_consensus.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "spec/builder.hpp"
+#include "spec/catalog.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons {
+namespace {
+
+// A cas-consensus variant whose loser arm decides its OWN input instead of
+// the winner's value: validity holds, agreement must break.
+class StubbornCasConsensus : public algo::CasConsensus {
+ public:
+  explicit StubbornCasConsensus(int n) : algo::CasConsensus(n) {}
+
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override {
+    exec::LocalState next = algo::CasConsensus::advance(pid, state, response);
+    // Corrupt the adoption: always decide own input.
+    next.words[1] = state.words[1];
+    return next;
+  }
+};
+
+TEST(Mutation, StubbornCasIsCaughtCrashFree) {
+  StubbornCasConsensus protocol(2);
+  valency::SafetyOptions options;
+  options.crash_mode = valency::CrashMode::kNone;
+  const auto r = valency::check_safety(protocol, {0, 1}, options);
+  EXPECT_FALSE(r.agreement_ok);
+  ASSERT_TRUE(r.counterexample.has_value());
+}
+
+// A cas-consensus variant that decides a constant: breaks validity.
+class ConstantCasConsensus : public algo::CasConsensus {
+ public:
+  explicit ConstantCasConsensus(int n) : algo::CasConsensus(n) {}
+
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override {
+    exec::LocalState next = algo::CasConsensus::advance(pid, state, response);
+    next.words[1] = 0;  // always output 0
+    return next;
+  }
+};
+
+TEST(Mutation, ConstantDeciderFailsValidity) {
+  ConstantCasConsensus protocol(2);
+  const auto r = valency::check_safety(protocol, {1, 1});
+  EXPECT_FALSE(r.validity_ok);
+}
+
+// A protocol that spins forever when it loses the CAS: recoverable
+// wait-freedom must fail.
+class SpinningCasConsensus : public algo::CasConsensus {
+ public:
+  explicit SpinningCasConsensus(int n) : algo::CasConsensus(n) {}
+
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override {
+    exec::LocalState next = algo::CasConsensus::advance(pid, state, response);
+    if (next.words[0] == -1 &&
+        next.words[1] != state.words[1]) {
+      // Lost the race: refuse to decide and retry forever.
+      return state;
+    }
+    return next;
+  }
+};
+
+TEST(Mutation, SpinnerFailsRecoverableWaitFreedom) {
+  SpinningCasConsensus protocol(2);
+  valency::LivenessOptions options;
+  options.solo_step_bound = 200;
+  const auto r =
+      valency::check_recoverable_wait_freedom(protocol, {0, 1}, options);
+  EXPECT_FALSE(r.wait_free);
+  EXPECT_GE(r.stuck_pid, 0);
+}
+
+// Type mutation: break test&set's winner response so both appliers see the
+// same response/value pairs — 2-discerning must vanish.
+TEST(Mutation, DegenerateTasLosesItsDiscerningLevel) {
+  spec::TypeBuilder b("broken_tas");
+  b.value("0");
+  b.value("1");
+  b.op("tas");
+  b.on("0", "tas").then("1").returns("same");
+  b.on("1", "tas").then("1").returns("same");
+  b.make_read_op("read");
+  const spec::ObjectType broken = b.build();
+  EXPECT_FALSE(hierarchy::check_discerning(broken, 2).holds);
+  EXPECT_EQ(hierarchy::discerning_level(broken, 3),
+            (hierarchy::Level{1, true}));
+}
+
+// Type mutation: give cas3 a "reset" op that maps everything back to r0 —
+// the EXISTENTIAL witnesses must survive (adding operations can only help).
+TEST(Mutation, AddingOperationsNeverLowersLevels) {
+  spec::TypeBuilder b("cas3_with_reset");
+  const spec::ObjectType cas = spec::make_cas(3);
+  for (spec::ValueId v = 0; v < cas.value_count(); ++v) {
+    b.value(cas.value_name(v));
+  }
+  for (spec::OpId op = 0; op < cas.op_count(); ++op) {
+    b.op(cas.op_name(op));
+  }
+  for (spec::ValueId v = 0; v < cas.value_count(); ++v) {
+    for (spec::OpId op = 0; op < cas.op_count(); ++op) {
+      const spec::Effect& e = cas.apply(v, op);
+      b.on(cas.value_name(v), cas.op_name(op))
+          .then(cas.value_name(e.next_value))
+          .returns(cas.response_name(e.response));
+    }
+  }
+  b.op("reset");
+  for (spec::ValueId v = 0; v < cas.value_count(); ++v) {
+    b.on(cas.value_name(v), "reset").then("r0").returns("ok");
+  }
+  const spec::ObjectType augmented = b.build();
+  for (int n = 2; n <= 4; ++n) {
+    EXPECT_TRUE(hierarchy::check_discerning(augmented, n).holds) << n;
+    EXPECT_TRUE(hierarchy::check_recording(augmented, n).holds) << n;
+  }
+}
+
+// Witness mutation: swapping one process's op in a valid witness to Read
+// should (for test&set at n = 2) destroy it — pins that the evaluator
+// actually looks at the ops.
+TEST(Mutation, TamperedWitnessIsRejected) {
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const auto result = hierarchy::check_discerning(tas, 2);
+  ASSERT_TRUE(result.witness.has_value());
+  hierarchy::Assignment tampered = *result.witness;
+  tampered.ops[0] = *tas.find_op("read");
+  EXPECT_FALSE(hierarchy::is_discerning_witness(tas, tampered));
+}
+
+}  // namespace
+}  // namespace rcons

@@ -1,0 +1,146 @@
+// Property tests over RANDOM types, plus the Theorem 13 chain and the
+// sticky-bit protocol.
+//
+// The random-type sweeps check checker-level theorems on arbitrary
+// readable machines (not just the curated catalog):
+//   * n-recording implies n-discerning (rcons <= cons, at witness level:
+//     disjoint final values make the (response, value) pairs disjoint);
+//   * non-hiding n-recording implies n-recording;
+//   * both conditions are monotone (downward closed) in n;
+//   * canonical and naive enumerations agree.
+#include <gtest/gtest.h>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/sticky_consensus.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "hierarchy/search.hpp"
+#include "valency/model_checker.hpp"
+#include "valency/theorem13.hpp"
+
+namespace rcons {
+namespace {
+
+class RandomTypeSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  spec::ObjectType type() const {
+    return hierarchy::random_readable_type(6, 2, 4, GetParam());
+  }
+};
+
+TEST_P(RandomTypeSweep, RecordingImpliesDiscerning) {
+  const spec::ObjectType t = type();
+  for (int n = 2; n <= 3; ++n) {
+    if (hierarchy::check_recording(t, n).holds) {
+      EXPECT_TRUE(hierarchy::check_discerning(t, n).holds)
+          << t.describe() << " n=" << n;
+    }
+  }
+}
+
+TEST_P(RandomTypeSweep, NonhidingImpliesRecording) {
+  const spec::ObjectType t = type();
+  for (int n = 2; n <= 3; ++n) {
+    if (hierarchy::check_recording_nonhiding(t, n).holds) {
+      EXPECT_TRUE(hierarchy::check_recording(t, n).holds) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(RandomTypeSweep, BothConditionsAreDownwardClosed) {
+  const spec::ObjectType t = type();
+  for (int n = 3; n <= 4; ++n) {
+    if (hierarchy::check_discerning(t, n).holds) {
+      EXPECT_TRUE(hierarchy::check_discerning(t, n - 1).holds) << "n=" << n;
+    }
+    if (hierarchy::check_recording(t, n).holds) {
+      EXPECT_TRUE(hierarchy::check_recording(t, n - 1).holds) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(RandomTypeSweep, CanonicalAndNaiveAgree) {
+  const spec::ObjectType t = type();
+  EXPECT_EQ(hierarchy::check_discerning(t, 2, true).holds,
+            hierarchy::check_discerning(t, 2, false).holds);
+  EXPECT_EQ(hierarchy::check_recording(t, 2, true).holds,
+            hierarchy::check_recording(t, 2, false).holds);
+}
+
+TEST_P(RandomTypeSweep, WitnessesVerifyAndDecodeTablesAreSane) {
+  const spec::ObjectType t = type();
+  const auto r = hierarchy::check_recording(t, 2);
+  if (!r.holds) return;
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(hierarchy::is_recording_witness(t, *r.witness));
+  const std::vector<int> teams = hierarchy::compute_value_teams(t, *r.witness);
+  for (int team : teams) {
+    EXPECT_GE(team, -1);
+    EXPECT_LE(team, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTypeSweep,
+                         ::testing::Range<std::uint64_t>(1, 41),
+                         ::testing::PrintToStringParamName());
+
+// ---------------------------------------------------------------------------
+// Theorem 13 chain
+// ---------------------------------------------------------------------------
+
+TEST(Theorem13Chain, CasConsensusReachesRecordingAtStage0) {
+  algo::CasConsensus protocol(3);
+  const auto chain =
+      valency::run_theorem13_chain(protocol, {0, 1, 1});
+  EXPECT_TRUE(chain.reached_recording) << chain.failure;
+  ASSERT_EQ(chain.stages.size(), 1u);
+  EXPECT_TRUE(chain.stages[0].report.config_class.recording);
+  const std::string text = chain.render(protocol);
+  EXPECT_NE(text.find("n-RECORDING configuration"), std::string::npos);
+}
+
+TEST(Theorem13Chain, TnnRecoverableReachesRecording) {
+  algo::TnnRecoverableConsensus protocol(5, 3, 3);
+  const auto chain = valency::run_theorem13_chain(protocol, {0, 1, 1});
+  EXPECT_TRUE(chain.reached_recording) << chain.failure;
+  // The endpoint certifies the type is n-recording for n = processes.
+  const auto& report = chain.stages.back().report;
+  ASSERT_TRUE(report.same_object);
+  EXPECT_TRUE(hierarchy::check_recording(
+                  protocol.object_type(report.object), 3)
+                  .holds);
+}
+
+TEST(Theorem13Chain, UnanimousInputsFailHonestly) {
+  algo::CasConsensus protocol(2);
+  const auto chain = valency::run_theorem13_chain(protocol, {0, 0});
+  EXPECT_FALSE(chain.reached_recording);
+  EXPECT_FALSE(chain.failure.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sticky-bit protocol
+// ---------------------------------------------------------------------------
+
+TEST(StickyConsensus, SafeAndLiveUnderAllCrashRegimes) {
+  for (int n = 2; n <= 4; ++n) {
+    algo::StickyConsensus protocol(n);
+    valency::SafetyOptions options;
+    options.crash_mode = valency::CrashMode::kBoth;
+    const auto r = valency::check_safety_all_inputs(protocol, options);
+    EXPECT_TRUE(r.ok()) << "n=" << n << ": " << r.violation;
+    EXPECT_TRUE(valency::check_recoverable_wait_freedom(
+                    protocol, valency::all_binary_inputs(n)[1])
+                    .wait_free);
+  }
+}
+
+TEST(StickyConsensus, Theorem13ChainAgrees) {
+  algo::StickyConsensus protocol(3);
+  const auto chain = valency::run_theorem13_chain(protocol, {1, 0, 1});
+  EXPECT_TRUE(chain.reached_recording) << chain.failure;
+}
+
+}  // namespace
+}  // namespace rcons

@@ -1,0 +1,75 @@
+// The consensus-object overload story (readable twin of E5): the naive
+// propose protocol is wait-free correct up to m+1 processes, breaks at
+// m+2 even crash-free, and breaks at ANY process count >= 2 under
+// crash-recovery — while the recording-tree algorithm over the same type
+// is crash-robust at its recording level.
+#include <gtest/gtest.h>
+
+#include "algo/propose_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "spec/catalog.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::algo {
+namespace {
+
+valency::SafetyOptions crash_free() {
+  valency::SafetyOptions o;
+  o.crash_mode = valency::CrashMode::kNone;
+  return o;
+}
+
+TEST(NaivePropose, CrashFreeSafeUpToMPlus1Processes) {
+  for (int m = 1; m <= 3; ++m) {
+    for (int procs = 2; procs <= m + 1; ++procs) {
+      NaiveProposeConsensus protocol(m, procs);
+      const auto r = valency::check_safety_all_inputs(protocol, crash_free());
+      EXPECT_TRUE(r.ok()) << "m=" << m << " procs=" << procs << ": "
+                          << r.violation;
+    }
+  }
+}
+
+TEST(NaivePropose, CrashFreeBreaksAtMPlus2Processes) {
+  // The (m+2)-th proposer meets a wedged object; the bot arm fabricates 0.
+  for (int m = 1; m <= 3; ++m) {
+    NaiveProposeConsensus protocol(m, m + 2);
+    const auto r = valency::check_safety_all_inputs(protocol, crash_free());
+    EXPECT_FALSE(r.ok()) << "m=" << m;
+  }
+}
+
+TEST(NaivePropose, CrashRecoveryBreaksEvenTwoProcesses) {
+  // Retries burn ports: with individual crashes even 2 processes overflow
+  // an m-ported object. The type's rcons is m (it is m-recording) — the
+  // POWER is there, the naive protocol just cannot harvest it.
+  for (int m = 1; m <= 3; ++m) {
+    NaiveProposeConsensus protocol(m, 2);
+    const auto r = valency::check_safety_all_inputs(protocol);
+    EXPECT_FALSE(r.ok()) << "m=" << m;
+    ASSERT_TRUE(r.counterexample.has_value());
+    bool has_crash = false;
+    for (const auto& e : *r.counterexample) has_crash |= e.is_crash();
+    EXPECT_TRUE(has_crash) << "m=" << m;
+  }
+}
+
+TEST(NaivePropose, RecordingTreeOverTheSameTypeIsCrashRobust) {
+  const spec::ObjectType c2 = spec::make_consensus_object(2);
+  RecordingConsensus protocol(c2, 2);
+  const auto r = valency::check_safety_all_inputs(protocol);
+  EXPECT_TRUE(r.ok()) << r.violation;
+  EXPECT_TRUE(
+      valency::check_recoverable_wait_freedom(protocol, {0, 1}).wait_free);
+}
+
+TEST(NaivePropose, SimultaneousCrashesAlsoBreakIt) {
+  NaiveProposeConsensus protocol(2, 2);
+  valency::SafetyOptions options;
+  options.crash_mode = valency::CrashMode::kSimultaneous;
+  const auto r = valency::check_safety_all_inputs(protocol, options);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace rcons::algo

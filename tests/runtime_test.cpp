@@ -1,0 +1,189 @@
+// Tests for the live runtime: persistent cells, lock-free live objects,
+// and the threaded crash-injection audit (experiment E7's machinery).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "runtime/live_object.hpp"
+#include "runtime/live_run.hpp"
+#include "runtime/pmem.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+
+namespace rcons::runtime {
+namespace {
+
+TEST(Pmem, StoreLoadRoundTrip) {
+  PersistentArena arena;
+  PVar* cell = arena.allocate(41);
+  EXPECT_EQ(cell->load(), 41);
+  cell->store(7);
+  EXPECT_EQ(cell->load(), 7);
+  EXPECT_GE(arena.stats().persists.load(), 1u);
+}
+
+TEST(Pmem, CompareExchangeSemantics) {
+  PersistentArena arena;
+  PVar* cell = arena.allocate(1);
+  auto [old1, ok1] = cell->compare_exchange(1, 2);
+  EXPECT_TRUE(ok1);
+  EXPECT_EQ(old1, 1);
+  auto [old2, ok2] = cell->compare_exchange(1, 3);
+  EXPECT_FALSE(ok2);
+  EXPECT_EQ(old2, 2);
+  EXPECT_EQ(cell->load(), 2);
+}
+
+TEST(Pmem, ArenaAddressesAreStable) {
+  PersistentArena arena;
+  PVar* first = arena.allocate(0);
+  for (int i = 0; i < 100; ++i) arena.allocate(i);
+  first->store(123);
+  EXPECT_EQ(first->load(), 123);
+  EXPECT_EQ(arena.cell_count(), 101u);
+}
+
+TEST(LiveObject, SequentialSemanticsMatchSpec) {
+  const spec::ObjectType tnn = spec::make_tnn(5, 2);
+  PersistentArena arena;
+  LiveObject obj(tnn, *tnn.find_value("s"), arena);
+  const spec::OpId op1 = *tnn.find_op("op_1");
+  const spec::OpId opr = *tnn.find_op("op_R");
+  EXPECT_EQ(tnn.response_name(obj.apply(op1)), "1");
+  EXPECT_EQ(tnn.value_name(obj.raw_value()), "s_1_1");
+  EXPECT_EQ(tnn.response_name(obj.apply(opr)), "s_1_1");
+  EXPECT_EQ(tnn.response_name(obj.apply(op1)), "1");
+  EXPECT_EQ(tnn.response_name(obj.apply(op1)), "1");
+  // Counter now at 3 > n' = 2: op_R breaks the object.
+  EXPECT_EQ(tnn.response_name(obj.apply(opr)), "bot");
+  EXPECT_EQ(tnn.value_name(obj.raw_value()), "s_bot");
+}
+
+TEST(LiveObject, ConcurrentTasHasExactlyOneWinner) {
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const spec::OpId tas_op = *tas.find_op("tas");
+  const spec::ResponseId won = *tas.find_response("won");
+  for (int round = 0; round < 50; ++round) {
+    PersistentArena arena;
+    LiveObject obj(tas, *tas.find_value("0"), arena);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        if (obj.apply(tas_op) == won) winners.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+TEST(LiveObject, ConcurrentCountingIsLinearizable) {
+  // 4 threads x 25 saturating increments: every response old_k for
+  // k in 0..99 must be returned exactly once.
+  const spec::ObjectType fai = spec::make_fetch_and_increment_saturating(200);
+  const spec::OpId op = *fai.find_op("fai");
+  PersistentArena arena;
+  LiveObject obj(fai, *fai.find_value("c0"), arena);
+  std::vector<int> seen(100, 0);
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        const spec::ResponseId r = obj.apply(op);
+        const std::string& name = fai.response_name(r);
+        const int k = std::stoi(name.substr(4));  // "old_K"
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_LT(k, 100);
+        seen[static_cast<std::size_t>(k)] += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(k)], 1) << "old_" << k;
+  }
+}
+
+TEST(LiveRun, CasConsensusCleanUnderCrashes) {
+  algo::CasConsensus protocol(3);
+  LiveRunOptions options;
+  options.crash_prob = 0.25;
+  options.rounds = 400;
+  options.seed = 7;
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+  EXPECT_GT(r.total_crashes, 0u);
+  EXPECT_GE(r.total_decisions, static_cast<std::uint64_t>(3 * r.rounds));
+}
+
+TEST(LiveRun, TnnRecoverableCleanUnderCrashes) {
+  algo::TnnRecoverableConsensus protocol(5, 2, 2);
+  LiveRunOptions options;
+  options.crash_prob = 0.3;
+  options.rounds = 400;
+  options.seed = 11;
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+  EXPECT_GT(r.total_crashes, 0u);
+}
+
+TEST(LiveRun, RecordingConsensusCleanUnderCrashes) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  algo::RecordingConsensus protocol(cas, 3);
+  LiveRunOptions options;
+  options.crash_prob = 0.2;
+  options.rounds = 300;
+  options.seed = 13;
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+}
+
+TEST(LiveRun, TasRacingBreaksUnderCrashes) {
+  algo::TasRacingConsensus protocol;
+  LiveRunOptions options;
+  options.crash_prob = 0.3;
+  options.rounds = 1000;
+  options.seed = 42;
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_GT(r.agreement_violations, 0)
+      << "Golab's collapse should show up in a 1000-round crash audit";
+}
+
+TEST(LiveRun, TasRacingCleanWithoutCrashes) {
+  algo::TasRacingConsensus protocol;
+  LiveRunOptions options;
+  options.crash_prob = 0.0;
+  options.rounds = 500;
+  options.seed = 42;
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+  EXPECT_EQ(r.total_crashes, 0u);
+}
+
+TEST(LiveRun, FixedInputsRespectValidity) {
+  algo::CasConsensus protocol(2);
+  LiveRunOptions options;
+  options.crash_prob = 0.1;
+  options.rounds = 100;
+  options.fixed_inputs = {1, 1};
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+}
+
+TEST(LiveRun, PersistCountsAreReported) {
+  algo::CasConsensus protocol(2);
+  LiveRunOptions options;
+  options.rounds = 10;
+  const LiveRunResult r = run_live_audit(protocol, options);
+  EXPECT_GT(r.pmem_persists, 0u);
+}
+
+}  // namespace
+}  // namespace rcons::runtime

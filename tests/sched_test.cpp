@@ -1,0 +1,208 @@
+// Unit tests for src/sched: the E_z / E_z* crash-budget sets (including
+// the paper's own prefix-closure example), one-shot schedule enumeration,
+// and the adversary-driven runner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "sched/adversary.hpp"
+#include "sched/crash_budget.hpp"
+#include "sched/one_shot.hpp"
+
+namespace rcons::sched {
+namespace {
+
+using exec::Event;
+using exec::Schedule;
+
+Schedule parse(std::initializer_list<const char*> tokens) {
+  Schedule s;
+  for (const char* tok : tokens) {
+    const int pid = tok[1] - '0';
+    s.push_back(tok[0] == 'c' ? Event::crash(pid) : Event::step(pid));
+  }
+  return s;
+}
+
+TEST(CrashBudget, PaperPrefixClosureExample) {
+  // Section 3: with n = 2, exec(C, p1 c1 p0) is in E_1(C) but NOT in
+  // E_1*(C), because after the prefix p1 c1 the crash count of p1 (1)
+  // exceeds z*n times the steps of p0 so far (0).
+  const Schedule s = parse({"p1", "c1", "p0"});
+  EXPECT_TRUE(in_ez(s, 2, 1));
+  EXPECT_FALSE(in_ez_star(s, 2, 1));
+}
+
+TEST(CrashBudget, P0NeverCrashes) {
+  EXPECT_FALSE(in_ez(parse({"p1", "c0"}), 2, 1));
+  EXPECT_FALSE(in_ez_star(parse({"p1", "c0"}), 2, 1));
+}
+
+TEST(CrashBudget, StarIsSubsetOfPlain) {
+  // Every E_z* schedule is an E_z schedule.
+  const std::vector<Schedule> samples = {
+      parse({"p0", "c1"}),
+      parse({"p0", "p1", "c1", "c1"}),
+      parse({"p0", "c1", "p0", "c1", "p1"}),
+      parse({"p1", "p0", "c1"}),
+  };
+  for (const auto& s : samples) {
+    if (in_ez_star(s, 2, 1)) {
+      EXPECT_TRUE(in_ez(s, 2, 1));
+    }
+  }
+}
+
+TEST(CrashBudget, BudgetScalesWithZ) {
+  // p0 takes 1 step; p1 may crash at most z*n = 2z times.
+  Schedule s = parse({"p0"});
+  for (int i = 0; i < 2; ++i) s.push_back(Event::crash(1));
+  EXPECT_TRUE(in_ez_star(s, 2, 1));
+  s.push_back(Event::crash(1));  // third crash
+  EXPECT_FALSE(in_ez_star(s, 2, 1));
+  EXPECT_TRUE(in_ez_star(s, 2, 2));  // z = 2 allows up to 4
+}
+
+TEST(CrashBudget, HigherIdsCountAllLowerSteps) {
+  // n = 3: crashes of p2 are bounded by z*n*(steps of p0 AND p1).
+  const Schedule s = parse({"p1", "c2", "c2", "c2"});
+  EXPECT_TRUE(in_ez_star(s, 3, 1));  // 3 <= 1*3*1
+  Schedule s4 = s;
+  s4.push_back(Event::crash(2));
+  EXPECT_FALSE(in_ez_star(s4, 3, 1));  // 4 > 3
+}
+
+TEST(CrashBudget, AccountantMatchesWholeScheduleCheck) {
+  // Property: incremental accounting agrees with in_ez_star on a sweep of
+  // random-ish schedules.
+  const int n = 3;
+  const int z = 1;
+  std::uint64_t lcg = 12345;
+  for (int trial = 0; trial < 500; ++trial) {
+    Schedule s;
+    CrashAccountant acct(n, z);
+    bool star_ok = true;
+    for (int len = 0; len < 12; ++len) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      const int pid = static_cast<int>((lcg >> 33) % n);
+      const bool crash = ((lcg >> 17) & 3u) == 0;  // 25% crashes
+      const Event e = crash ? Event::crash(pid) : Event::step(pid);
+      s.push_back(e);
+      if (crash) {
+        if (pid == 0 || !acct.crash_allowed(pid)) {
+          star_ok = false;
+          break;
+        }
+        acct.on_crash(pid);
+      } else {
+        acct.on_step(pid);
+      }
+    }
+    if (star_ok) {
+      EXPECT_TRUE(in_ez_star(s, n, z)) << trial;
+    } else {
+      EXPECT_FALSE(in_ez_star(s, n, z)) << trial;
+    }
+  }
+}
+
+TEST(CrashBudget, AccountantBookkeeping) {
+  CrashAccountant acct(3, 2);
+  EXPECT_FALSE(acct.crash_allowed(0));
+  EXPECT_FALSE(acct.crash_allowed(2));  // no steps below yet
+  acct.on_step(0);
+  EXPECT_EQ(acct.steps_below(1), 1);
+  EXPECT_EQ(acct.steps_below(2), 1);
+  EXPECT_EQ(acct.remaining_crash_budget(2), 6);  // z*n*1 = 6
+  acct.on_step(2);
+  EXPECT_EQ(acct.steps_below(1), 1) << "p2's steps don't fund p1";
+  EXPECT_TRUE(acct.crash_allowed(1));
+  acct.on_crash(1);
+  EXPECT_EQ(acct.crashes(1), 1);
+  EXPECT_EQ(acct.remaining_crash_budget(1), 5);
+}
+
+TEST(OneShot, CountMatchesEnumeration) {
+  for (int k = 0; k <= 5; ++k) {
+    std::vector<int> pids;
+    for (int i = 0; i < k; ++i) pids.push_back(i * 2);  // arbitrary ids
+    std::set<std::vector<int>> seen;
+    for_each_one_shot(pids, [&](const std::vector<int>& s) {
+      EXPECT_TRUE(seen.insert(s).second);
+    });
+    EXPECT_EQ(seen.size(), one_shot_count(k));
+  }
+}
+
+TEST(OneShot, SchedulesUseGivenPids) {
+  for_each_one_shot({3, 7}, [&](const std::vector<int>& s) {
+    for (int pid : s) {
+      EXPECT_TRUE(pid == 3 || pid == 7);
+    }
+  });
+}
+
+TEST(OneShot, StartingWithFilter) {
+  int count = 0;
+  for_each_one_shot_starting_with(
+      {0, 1, 2}, [](int pid) { return pid == 1; },
+      [&](const std::vector<int>& s) {
+        EXPECT_EQ(s.front(), 1);
+        ++count;
+      });
+  // Nonempty schedules starting with p1: 1 + 2 + 2 = 5
+  // (p1; p1,p0; p1,p2; p1,p0,p2; p1,p2,p0).
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Adversary, RoundRobinDrivesToAllDecided) {
+  algo::CasConsensus protocol(3);
+  RoundRobinAdversary adv(3);
+  const DrivenRunResult r = drive(protocol, {1, 0, 1}, adv);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_FALSE(r.log.agreement_violated());
+  EXPECT_EQ(r.crashes, 0);
+  EXPECT_EQ(r.log.decided[0], 1);  // p0 stepped first under round-robin
+}
+
+TEST(Adversary, RandomCrashAdversaryRespectsBudget) {
+  algo::CasConsensus protocol(3);
+  RandomCrashAdversary adv(3, 0.4, /*seed=*/99);
+  DrivenRunOptions options;
+  options.regime = CrashRegime::kBudgeted;
+  const DrivenRunResult r = drive(protocol, {0, 1, 0}, adv, options);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_FALSE(r.log.agreement_violated());
+}
+
+TEST(Adversary, CrashRegimeNoneVetoesAllCrashes) {
+  algo::CasConsensus protocol(2);
+  RandomCrashAdversary adv(2, 0.9, /*seed=*/7);
+  DrivenRunOptions options;
+  options.regime = CrashRegime::kNone;
+  const DrivenRunResult r = drive(protocol, {0, 1}, adv, options);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_EQ(r.crashes, 0);
+  EXPECT_GT(r.crashes_denied, 0);
+}
+
+TEST(Adversary, UnboundedCrashesCanBreakTasRacing) {
+  // Golab's result realized empirically: with unbounded individual crashes
+  // the TAS racing protocol eventually violates agreement for some seed.
+  algo::TasRacingConsensus protocol;
+  bool violated = false;
+  for (std::uint64_t seed = 0; seed < 50 && !violated; ++seed) {
+    RandomCrashAdversary adv(2, 0.3, seed);
+    DrivenRunOptions options;
+    options.regime = CrashRegime::kUnbounded;
+    options.max_events = 10000;
+    const DrivenRunResult r = drive(protocol, {0, 1}, adv, options);
+    violated = r.log.agreement_violated();
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace rcons::sched

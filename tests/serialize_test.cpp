@@ -1,0 +1,133 @@
+// Tests for the type text format: parsing, error reporting, round trips
+// across the whole catalog, and semantic equivalence after a round trip.
+#include <gtest/gtest.h>
+
+#include "hierarchy/consensus_number.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+
+namespace rcons::spec {
+namespace {
+
+constexpr const char* kTasText = R"(
+# the classic test&set bit
+type tas_from_text
+value 0
+value 1
+op tas
+0 tas -> 1 / won
+1 tas -> 1 / lost
+readop read
+)";
+
+TEST(Parse, AcceptsWellFormedDefinition) {
+  const ParseResult r = parse_type(kTasText);
+  ASSERT_TRUE(r.ok()) << r.error << " at line " << r.error_line;
+  EXPECT_EQ(r.type->name(), "tas_from_text");
+  EXPECT_EQ(r.type->value_count(), 2);
+  EXPECT_EQ(r.type->op_count(), 2);
+  EXPECT_TRUE(r.type->is_readable());
+  const Effect& e = r.type->apply(*r.type->find_value("0"),
+                                  *r.type->find_op("tas"));
+  EXPECT_EQ(r.type->response_name(e.response), "won");
+  EXPECT_EQ(r.type->value_name(e.next_value), "1");
+}
+
+TEST(Parse, ParsedTasHasConsensusNumber2) {
+  const ParseResult r = parse_type(kTasText);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(hierarchy::discerning_level(*r.type, 3),
+            (hierarchy::Level{2, true}));
+  EXPECT_EQ(hierarchy::recording_level(*r.type, 3),
+            (hierarchy::Level{1, true}));
+}
+
+TEST(Parse, RejectsMissingTypeDirective) {
+  const ParseResult r = parse_type("value a\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error_line, 1);
+}
+
+TEST(Parse, RejectsDuplicateType) {
+  const ParseResult r = parse_type("type a\ntype b\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error_line, 2);
+}
+
+TEST(Parse, RejectsUndeclaredNames) {
+  const ParseResult r = parse_type(
+      "type t\nvalue a\nop go\na go -> BOGUS / x\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("BOGUS"), std::string::npos);
+  EXPECT_EQ(r.error_line, 4);
+}
+
+TEST(Parse, RejectsIncompleteTransitionTable) {
+  const ParseResult r = parse_type("type t\nvalue a\nvalue b\nop go\n"
+                                   "a go -> b / x\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("missing transition"), std::string::npos);
+}
+
+TEST(Parse, RejectsDuplicateDeclarations) {
+  EXPECT_FALSE(parse_type("type t\nvalue a\nvalue a\n").ok());
+  EXPECT_FALSE(parse_type("type t\nvalue a\nop o\nop o\n").ok());
+}
+
+TEST(Parse, RejectsGarbageDirective) {
+  const ParseResult r = parse_type("type t\nfrobnicate x\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parse, CommentsAndBlankLinesIgnored) {
+  const ParseResult r =
+      parse_type("\n# header\ntype t\n  # indented comment\nvalue a\nop o\n"
+                 "a o -> a / ok\n\n");
+  EXPECT_TRUE(r.ok()) << r.error;
+}
+
+class RoundTrip : public ::testing::TestWithParam<ObjectType> {};
+
+TEST_P(RoundTrip, SerializeParsePreservesEverything) {
+  const ObjectType& original = GetParam();
+  const ParseResult r = parse_type(serialize_type(original));
+  ASSERT_TRUE(r.ok()) << original.name() << ": " << r.error << " at line "
+                      << r.error_line;
+  const ObjectType& reparsed = *r.type;
+  ASSERT_EQ(reparsed.value_count(), original.value_count());
+  ASSERT_EQ(reparsed.op_count(), original.op_count());
+  EXPECT_EQ(reparsed.name(), original.name());
+  EXPECT_EQ(reparsed.is_readable(), original.is_readable());
+  for (ValueId v = 0; v < original.value_count(); ++v) {
+    EXPECT_EQ(reparsed.value_name(v), original.value_name(v));
+    for (OpId op = 0; op < original.op_count(); ++op) {
+      const Effect& a = original.apply(v, op);
+      const Effect& b = reparsed.apply(v, op);
+      EXPECT_EQ(reparsed.value_name(b.next_value),
+                original.value_name(a.next_value));
+      EXPECT_EQ(reparsed.response_name(b.response),
+                original.response_name(a.response));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, RoundTrip,
+    ::testing::Values(make_register(2), make_register(4),
+                      make_test_and_set(), make_swap(3), make_fetch_and_add(5),
+                      make_fetch_and_increment_saturating(3), make_cas(3),
+                      make_sticky(3), make_consensus_object(3), make_queue(2),
+                      make_peek_queue(2), make_tnn(5, 2), make_tnn(4, 3),
+                      make_xn(4)),
+    [](const ::testing::TestParamInfo<ObjectType>& info) {
+      std::string name = info.param.name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rcons::spec

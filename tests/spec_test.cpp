@@ -1,0 +1,295 @@
+// Unit tests for src/spec: the type machinery, the catalog, and — most
+// importantly — an edge-by-edge check of T_{5,2} against Figure 3 of the
+// paper (experiment E2).
+#include <gtest/gtest.h>
+
+#include "spec/builder.hpp"
+#include "spec/catalog.hpp"
+#include "spec/object_type.hpp"
+#include "spec/paper_types.hpp"
+
+namespace rcons::spec {
+namespace {
+
+// Applies op (by name) to value (by name); returns "response->next_value".
+std::string edge(const ObjectType& t, const std::string& value,
+                 const std::string& op) {
+  const Effect& e = t.apply(*t.find_value(value), *t.find_op(op));
+  return t.response_name(e.response) + "->" + t.value_name(e.next_value);
+}
+
+TEST(Builder, BuildsTotalMachine) {
+  TypeBuilder b("toy");
+  b.value("a");
+  b.value("b");
+  b.op("go");
+  b.on("a", "go").then("b").returns("moved");
+  b.on("b", "go").returns("stuck");
+  const ObjectType t = b.build();
+  EXPECT_EQ(t.value_count(), 2);
+  EXPECT_EQ(t.op_count(), 1);
+  EXPECT_EQ(edge(t, "a", "go"), "moved->b");
+  EXPECT_EQ(edge(t, "b", "go"), "stuck->b");
+}
+
+TEST(Builder, MakeReadOpIsARead) {
+  TypeBuilder b("toy");
+  b.value("a");
+  b.value("b");
+  b.op("go");
+  b.on("a", "go").then("b").returns("x");
+  b.on("b", "go").returns("x");
+  b.make_read_op("read");
+  const ObjectType t = b.build();
+  EXPECT_TRUE(t.is_readable());
+  EXPECT_TRUE(t.op_is_read(*t.find_op("read")));
+  EXPECT_FALSE(t.op_is_read(*t.find_op("go")));
+}
+
+TEST(Builder, InterningIsIdempotent) {
+  TypeBuilder b("toy");
+  EXPECT_EQ(b.value("v"), b.value("v"));
+  EXPECT_EQ(b.op("o"), b.op("o"));
+  EXPECT_EQ(b.response("r"), b.response("r"));
+}
+
+TEST(ObjectType, ApplyAllAndTrace) {
+  const ObjectType t = make_fetch_and_add(5);
+  const ValueId c0 = *t.find_value("c0");
+  const OpId faa = *t.find_op("faa");
+  EXPECT_EQ(t.apply_all(c0, {faa, faa, faa}), *t.find_value("c3"));
+  std::vector<ResponseId> responses;
+  t.apply_trace(c0, {faa, faa}, responses);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(t.response_name(responses[0]), "old_0");
+  EXPECT_EQ(t.response_name(responses[1]), "old_1");
+}
+
+TEST(ObjectType, ReachableValues) {
+  const ObjectType t = make_test_and_set();
+  const auto from0 = t.reachable_values(*t.find_value("0"));
+  EXPECT_EQ(from0.size(), 2u);
+  const auto from1 = t.reachable_values(*t.find_value("1"));
+  EXPECT_EQ(from1.size(), 1u);  // 1 is absorbing
+}
+
+TEST(Catalog, RegisterSemantics) {
+  const ObjectType r = make_register(3);
+  EXPECT_TRUE(r.is_readable());
+  EXPECT_EQ(edge(r, "r0", "write_2"), "ok->r2");
+  EXPECT_EQ(edge(r, "r2", "write_1"), "ok->r1");
+  EXPECT_EQ(edge(r, "r1", "read"), "r1->r1");
+}
+
+TEST(Catalog, TestAndSetSemantics) {
+  const ObjectType t = make_test_and_set();
+  EXPECT_TRUE(t.is_readable());
+  EXPECT_EQ(edge(t, "0", "tas"), "won->1");
+  EXPECT_EQ(edge(t, "1", "tas"), "lost->1");
+}
+
+TEST(Catalog, SwapReturnsOldValue) {
+  const ObjectType s = make_swap(2);
+  EXPECT_EQ(edge(s, "r0", "swap_1"), "old_0->r1");
+  EXPECT_EQ(edge(s, "r1", "swap_0"), "old_1->r0");
+  EXPECT_EQ(edge(s, "r1", "swap_1"), "old_1->r1");
+}
+
+TEST(Catalog, FetchAndAddWraps) {
+  const ObjectType f = make_fetch_and_add(3);
+  EXPECT_EQ(edge(f, "c2", "faa"), "old_2->c0");
+}
+
+TEST(Catalog, SaturatingFetchAndIncrementSticksAtMax) {
+  const ObjectType f = make_fetch_and_increment_saturating(2);
+  EXPECT_EQ(edge(f, "c1", "fai"), "old_1->c2");
+  EXPECT_EQ(edge(f, "c2", "fai"), "old_2->c2");
+}
+
+TEST(Catalog, CasMatchesAndMisses) {
+  const ObjectType c = make_cas(3);
+  EXPECT_TRUE(c.is_readable());
+  EXPECT_EQ(edge(c, "r0", "cas_0_2"), "old_0->r2");  // match: swings
+  EXPECT_EQ(edge(c, "r1", "cas_0_2"), "old_1->r1");  // miss: unchanged
+}
+
+TEST(Catalog, StickyDefinesOnce) {
+  const ObjectType s = make_sticky(2);
+  EXPECT_EQ(edge(s, "undef", "write_1"), "is_1->s1");
+  EXPECT_EQ(edge(s, "s1", "write_0"), "is_1->s1");  // already defined
+  EXPECT_EQ(edge(s, "s0", "write_0"), "is_0->s0");
+}
+
+TEST(Catalog, ConsensusObjectDecidesFirstProposal) {
+  const ObjectType c = make_consensus_object(3);
+  EXPECT_EQ(edge(c, "undec", "propose_1"), "1->dec_1_1");
+  EXPECT_EQ(edge(c, "dec_1_1", "propose_0"), "1->dec_1_2");
+  EXPECT_EQ(edge(c, "dec_1_3", "propose_0"), "1->full");
+  EXPECT_EQ(edge(c, "full", "propose_0"), "bot->full");
+}
+
+TEST(Catalog, QueueFifoOrder) {
+  const ObjectType q = make_queue(2);
+  EXPECT_FALSE(q.is_readable());
+  EXPECT_EQ(edge(q, "[]", "enq_a"), "ok->[a]");
+  EXPECT_EQ(edge(q, "[a]", "enq_b"), "ok->[ab]");
+  EXPECT_EQ(edge(q, "[ab]", "deq"), "got_a->[b]");
+  EXPECT_EQ(edge(q, "[b]", "deq"), "got_b->[]");
+  EXPECT_EQ(edge(q, "[]", "deq"), "empty->[]");
+  EXPECT_EQ(edge(q, "[ab]", "enq_a"), "full->[ab]");
+}
+
+TEST(Catalog, PeekQueueObservesFrontWithoutRemoving) {
+  const ObjectType q = make_peek_queue(2);
+  EXPECT_EQ(edge(q, "[ab]", "peek"), "front_a->[ab]");
+  EXPECT_EQ(edge(q, "[]", "peek"), "empty->[]");
+  // peek does not reveal the whole queue contents, so the type is still
+  // not readable in the formal sense.
+  EXPECT_FALSE(q.is_readable());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: the state machine of T_{5,2} (experiment E2). Every edge below
+// is read off the paper's figure / Section 4 description.
+// ---------------------------------------------------------------------------
+
+class Tnn52Figure3 : public ::testing::Test {
+ protected:
+  const ObjectType t = make_tnn(5, 2);
+};
+
+TEST_F(Tnn52Figure3, ShapeMatchesPaper) {
+  // 2n = 10 values: s, s_bot, s_{x,i} for x in {0,1}, i in 1..4.
+  EXPECT_EQ(t.value_count(), 10);
+  EXPECT_EQ(t.op_count(), 3);
+  EXPECT_FALSE(t.is_readable());
+}
+
+TEST_F(Tnn52Figure3, OpXFromInitialValue) {
+  EXPECT_EQ(edge(t, "s", "op_0"), "0->s_0_1");
+  EXPECT_EQ(edge(t, "s", "op_1"), "1->s_1_1");
+}
+
+TEST_F(Tnn52Figure3, OpXAdvancesCounterAndReturnsFirstInput) {
+  EXPECT_EQ(edge(t, "s_0_1", "op_0"), "0->s_0_2");
+  EXPECT_EQ(edge(t, "s_0_1", "op_1"), "0->s_0_2");  // returns x=0, not 1
+  EXPECT_EQ(edge(t, "s_1_2", "op_0"), "1->s_1_3");
+  EXPECT_EQ(edge(t, "s_0_3", "op_1"), "0->s_0_4");
+}
+
+TEST_F(Tnn52Figure3, OpXWipesFromTopCounter) {
+  EXPECT_EQ(edge(t, "s_0_4", "op_0"), "0->s_bot");
+  EXPECT_EQ(edge(t, "s_0_4", "op_1"), "0->s_bot");
+  EXPECT_EQ(edge(t, "s_1_4", "op_0"), "1->s_bot");
+}
+
+TEST_F(Tnn52Figure3, BotIsAbsorbing) {
+  EXPECT_EQ(edge(t, "s_bot", "op_0"), "bot->s_bot");
+  EXPECT_EQ(edge(t, "s_bot", "op_1"), "bot->s_bot");
+  EXPECT_EQ(edge(t, "s_bot", "op_R"), "bot->s_bot");
+}
+
+TEST_F(Tnn52Figure3, OpRReadsLowCountersOnly) {
+  EXPECT_EQ(edge(t, "s", "op_R"), "s->s");
+  EXPECT_EQ(edge(t, "s_0_1", "op_R"), "s_0_1->s_0_1");
+  EXPECT_EQ(edge(t, "s_0_2", "op_R"), "s_0_2->s_0_2");
+  EXPECT_EQ(edge(t, "s_1_2", "op_R"), "s_1_2->s_1_2");
+}
+
+TEST_F(Tnn52Figure3, OpRBreaksHighCounters) {
+  // i > n' = 2: op_R returns bot and wipes to s_bot.
+  EXPECT_EQ(edge(t, "s_0_3", "op_R"), "bot->s_bot");
+  EXPECT_EQ(edge(t, "s_0_4", "op_R"), "bot->s_bot");
+  EXPECT_EQ(edge(t, "s_1_3", "op_R"), "bot->s_bot");
+  EXPECT_EQ(edge(t, "s_1_4", "op_R"), "bot->s_bot");
+}
+
+TEST(Tnn, GeneralShape) {
+  for (int n = 2; n <= 6; ++n) {
+    for (int np = 1; np < n; ++np) {
+      const ObjectType t = make_tnn(n, np);
+      EXPECT_EQ(t.value_count(), 2 * n) << t.name();
+      EXPECT_EQ(t.op_count(), 3) << t.name();
+    }
+  }
+}
+
+TEST(Tnn, ReadableExactlyWhenNPrimeIsNMinus1) {
+  // With n' = n-1 there are no counters above n', so op_R is a true Read.
+  EXPECT_TRUE(make_tnn(4, 3).is_readable());
+  EXPECT_FALSE(make_tnn(4, 2).is_readable());
+  EXPECT_FALSE(make_tnn(4, 1).is_readable());
+}
+
+TEST(Tnn, FirstOperationDeterminesNextNMinus1Responses) {
+  // The paper's agreement argument: the first op fixes the responses of
+  // the next n-1 operations.
+  const ObjectType t = make_tnn(5, 2);
+  ValueId v = t.apply(*t.find_value("s"), *t.find_op("op_1")).next_value;
+  for (int k = 0; k < 4; ++k) {
+    const Effect& e = t.apply(v, *t.find_op(k % 2 == 0 ? "op_0" : "op_1"));
+    EXPECT_EQ(t.response_name(e.response), "1") << "k=" << k;
+    v = e.next_value;
+  }
+  EXPECT_EQ(t.value_name(v), "s_bot");
+}
+
+TEST(EraseCounter, SymmetricEraseRestoresU) {
+  EraseCounterOptions options;
+  options.count_states = 2;
+  const ObjectType t = make_erase_counter(options);
+  EXPECT_TRUE(t.is_readable());
+  EXPECT_EQ(edge(t, "u", "a"), "first->A_1");
+  EXPECT_EQ(edge(t, "A_1", "b"), "sawA->A_2");
+  EXPECT_EQ(edge(t, "A_2", "a"), "sawA->bot");
+  EXPECT_EQ(edge(t, "A_1", "e"), "e_A_1->u");
+  EXPECT_EQ(edge(t, "B_2", "e"), "e_B_2->u");
+  EXPECT_EQ(edge(t, "bot", "e"), "bot->bot");
+}
+
+TEST(EraseCounter, AsymmetricEraseOnlyRestoresAStates) {
+  EraseCounterOptions options;
+  options.count_states = 2;
+  options.erase_only_a = true;
+  const ObjectType t = make_erase_counter(options);
+  EXPECT_EQ(edge(t, "A_1", "e"), "e_A_1->u");
+  EXPECT_EQ(edge(t, "B_1", "e"), "e_B_1->B_1");
+}
+
+TEST(EraseCounter, SaturatingVariantHasNoBotTransition) {
+  EraseCounterOptions options;
+  options.count_states = 2;
+  options.wipe_at_overflow = false;
+  const ObjectType t = make_erase_counter(options);
+  EXPECT_EQ(edge(t, "A_2", "a"), "sawA->A_2");
+}
+
+TEST(Catalog, StackLifoOrder) {
+  const ObjectType s = make_stack(2);
+  EXPECT_FALSE(s.is_readable());
+  EXPECT_EQ(edge(s, "[]", "push_a"), "ok->[a]");
+  EXPECT_EQ(edge(s, "[a]", "push_b"), "ok->[ab]");
+  EXPECT_EQ(edge(s, "[ab]", "pop"), "got_b->[a]");
+  EXPECT_EQ(edge(s, "[a]", "pop"), "got_a->[]");
+  EXPECT_EQ(edge(s, "[]", "pop"), "empty->[]");
+  EXPECT_EQ(edge(s, "[ab]", "push_a"), "full->[ab]");
+}
+
+TEST(Catalog, ReadableQueueIsActuallyReadable) {
+  const ObjectType q = make_readable_queue(2);
+  EXPECT_TRUE(q.is_readable());
+  EXPECT_EQ(edge(q, "[ab]", "read"), "[ab]->[ab]");
+  EXPECT_EQ(edge(q, "[a]", "enq_b"), "ok->[ab]");
+}
+
+TEST(ObjectType, DescribeAndDotContainAllEdges) {
+  const ObjectType t = make_test_and_set();
+  const std::string desc = t.describe();
+  EXPECT_NE(desc.find("0 --tas--> 1"), std::string::npos);
+  const std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("tas / won"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcons::spec

@@ -1,0 +1,249 @@
+// Parameterized property sweeps across protocols, crash regimes, and
+// hierarchy levels.
+//
+// These are the repository's property tests: each suite states one
+// invariant ("correct recoverable protocols are safe under every crash
+// regime", "levels computed by the two enumeration strategies agree",
+// "E_z* acceptance is monotone in z", ...) and sweeps it across instances.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "sched/crash_budget.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: every correct recoverable protocol is safe and recoverable
+// wait-free under none / individual / simultaneous / both crash regimes.
+// ---------------------------------------------------------------------------
+
+struct ProtocolCase {
+  std::string name;
+  std::function<std::unique_ptr<exec::Protocol>()> make;
+};
+
+class RecoverableProtocolSweep
+    : public ::testing::TestWithParam<ProtocolCase> {};
+
+TEST_P(RecoverableProtocolSweep, SafeUnderEveryCrashRegime) {
+  const auto protocol = GetParam().make();
+  for (const valency::CrashMode mode :
+       {valency::CrashMode::kNone, valency::CrashMode::kIndividual,
+        valency::CrashMode::kSimultaneous, valency::CrashMode::kBoth}) {
+    valency::SafetyOptions options;
+    options.crash_mode = mode;
+    const auto r = valency::check_safety_all_inputs(*protocol, options);
+    EXPECT_TRUE(r.ok()) << GetParam().name << " mode "
+                        << static_cast<int>(mode) << ": " << r.violation;
+    EXPECT_TRUE(r.explored_fully) << GetParam().name;
+  }
+}
+
+TEST_P(RecoverableProtocolSweep, RecoverableWaitFree) {
+  const auto protocol = GetParam().make();
+  for (const auto& inputs :
+       valency::all_binary_inputs(protocol->process_count())) {
+    const auto r = valency::check_recoverable_wait_freedom(*protocol, inputs);
+    EXPECT_TRUE(r.wait_free) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CorrectProtocols, RecoverableProtocolSweep,
+    ::testing::Values(
+        ProtocolCase{"cas2",
+                     [] { return std::make_unique<algo::CasConsensus>(2); }},
+        ProtocolCase{"cas3",
+                     [] { return std::make_unique<algo::CasConsensus>(3); }},
+        ProtocolCase{"tnn_3_1",
+                     [] {
+                       return std::make_unique<algo::TnnRecoverableConsensus>(
+                           3, 1, 1);
+                     }},
+        ProtocolCase{"tnn_3_2",
+                     [] {
+                       return std::make_unique<algo::TnnRecoverableConsensus>(
+                           3, 2, 2);
+                     }},
+        ProtocolCase{"tnn_4_2",
+                     [] {
+                       return std::make_unique<algo::TnnRecoverableConsensus>(
+                           4, 2, 2);
+                     }},
+        ProtocolCase{"tnn_5_3",
+                     [] {
+                       return std::make_unique<algo::TnnRecoverableConsensus>(
+                           5, 3, 3);
+                     }},
+        ProtocolCase{"recording_cas_2",
+                     [] {
+                       return std::make_unique<algo::RecordingConsensus>(
+                           spec::make_cas(3), 2);
+                     }},
+        ProtocolCase{"recording_sticky_2",
+                     [] {
+                       return std::make_unique<algo::RecordingConsensus>(
+                           spec::make_sticky_bit(), 2);
+                     }}),
+    [](const ::testing::TestParamInfo<ProtocolCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: the T_{n,n'} gap — every overload by one process fails, every
+// nominal configuration succeeds (Lemma 16 across the (n, n') grid).
+// ---------------------------------------------------------------------------
+
+class TnnGapSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TnnGapSweep, NominalSafeOverloadBroken) {
+  const auto [n, np] = GetParam();
+  if (np >= 2) {
+    algo::TnnRecoverableConsensus nominal(n, np, np);
+    EXPECT_TRUE(valency::check_safety_all_inputs(nominal).ok())
+        << "T_{" << n << "," << np << "} nominal";
+  }
+  algo::TnnRecoverableConsensus overload(n, np, np + 1);
+  EXPECT_FALSE(valency::check_safety_all_inputs(overload).ok())
+      << "T_{" << n << "," << np << "} overloaded";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TnnGapSweep,
+    ::testing::Values(std::pair{3, 1}, std::pair{3, 2}, std::pair{4, 1},
+                      std::pair{4, 2}, std::pair{4, 3}, std::pair{5, 2},
+                      std::pair{5, 4}, std::pair{6, 2}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+      return "T_" + std::to_string(info.param.first) + "_" +
+             std::to_string(info.param.second);
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: broken protocols are broken exactly in the regime theory says.
+// ---------------------------------------------------------------------------
+
+TEST(BrokenProtocolSweep, TasRacingFailsUnderBothCrashKinds) {
+  algo::TasRacingConsensus protocol;
+  for (const valency::CrashMode mode : {valency::CrashMode::kIndividual,
+                                        valency::CrashMode::kSimultaneous}) {
+    valency::SafetyOptions options;
+    options.crash_mode = mode;
+    const auto r = valency::check_safety(protocol, {0, 1}, options);
+    EXPECT_FALSE(r.ok()) << "mode " << static_cast<int>(mode);
+  }
+  // ...but is perfectly safe crash-free.
+  valency::SafetyOptions none;
+  none.crash_mode = valency::CrashMode::kNone;
+  EXPECT_TRUE(valency::check_safety_all_inputs(protocol, none).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 4: crash-budget monotonicity — if a schedule is admitted by E_z*
+// it is admitted by E_{z+1}*, and by E_z.
+// ---------------------------------------------------------------------------
+
+class BudgetMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetMonotonicity, StarAcceptanceGrowsWithZ) {
+  const int n = GetParam();
+  std::uint64_t lcg = 0xabcdef12u + static_cast<std::uint64_t>(n);
+  for (int trial = 0; trial < 300; ++trial) {
+    exec::Schedule s;
+    for (int len = 0; len < 14; ++len) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      const int pid = static_cast<int>((lcg >> 33) % n);
+      const bool crash = ((lcg >> 13) & 3u) == 0;
+      s.push_back(crash ? exec::Event::crash(pid) : exec::Event::step(pid));
+    }
+    for (int z = 1; z <= 3; ++z) {
+      if (sched::in_ez_star(s, n, z)) {
+        EXPECT_TRUE(sched::in_ez_star(s, n, z + 1));
+        EXPECT_TRUE(sched::in_ez(s, n, z));
+      }
+      if (sched::in_ez(s, n, z)) {
+        EXPECT_TRUE(sched::in_ez(s, n, z + 1));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(N, BudgetMonotonicity, ::testing::Values(2, 3, 4),
+                         ::testing::PrintToStringParamName());
+
+// ---------------------------------------------------------------------------
+// Sweep 5: the computed hierarchy levels across the catalog match the
+// known ground truth (E1 claims table as assertions).
+// ---------------------------------------------------------------------------
+
+struct LevelCase {
+  std::string name;
+  std::function<spec::ObjectType()> make;
+  int max_n;
+  hierarchy::Level expect_discerning;
+  hierarchy::Level expect_recording;
+};
+
+class HierarchyLevelSweep : public ::testing::TestWithParam<LevelCase> {};
+
+TEST_P(HierarchyLevelSweep, LevelsMatchGroundTruth) {
+  const spec::ObjectType type = GetParam().make();
+  const hierarchy::TypeProfile p =
+      hierarchy::compute_profile(type, GetParam().max_n);
+  EXPECT_EQ(p.discerning, GetParam().expect_discerning) << type.name();
+  EXPECT_EQ(p.recording, GetParam().expect_recording) << type.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, HierarchyLevelSweep,
+    ::testing::Values(
+        LevelCase{"register2", [] { return spec::make_register(2); }, 3,
+                  {1, true}, {1, true}},
+        LevelCase{"register3", [] { return spec::make_register(3); }, 2,
+                  {1, true}, {1, true}},
+        LevelCase{"tas", [] { return spec::make_test_and_set(); }, 4,
+                  {2, true}, {1, true}},
+        LevelCase{"swap2", [] { return spec::make_swap(2); }, 3,
+                  {2, true}, {1, true}},
+        LevelCase{"swap3", [] { return spec::make_swap(3); }, 3,
+                  {2, true}, {1, true}},
+        LevelCase{"faa4", [] { return spec::make_fetch_and_add(4); }, 3,
+                  {2, true}, {1, true}},
+        LevelCase{"fai3",
+                  [] { return spec::make_fetch_and_increment_saturating(3); },
+                  3, {2, true}, {1, true}},
+        LevelCase{"cas2", [] { return spec::make_cas(2); }, 3,
+                  {2, true}, {1, true}},
+        LevelCase{"cas3", [] { return spec::make_cas(3); }, 4,
+                  {4, false}, {4, false}},
+        LevelCase{"sticky2", [] { return spec::make_sticky_bit(); }, 4,
+                  {4, false}, {4, false}},
+        LevelCase{"sticky3", [] { return spec::make_sticky(3); }, 3,
+                  {3, false}, {3, false}},
+        LevelCase{"consensus2", [] { return spec::make_consensus_object(2); },
+                  5, {3, true}, {2, true}},
+        LevelCase{"consensus3", [] { return spec::make_consensus_object(3); },
+                  6, {4, true}, {3, true}},
+        LevelCase{"tnn_4_2", [] { return spec::make_tnn(4, 2); }, 5,
+                  {4, true}, {3, true}},
+        LevelCase{"tnn_5_2", [] { return spec::make_tnn(5, 2); }, 6,
+                  {5, true}, {4, true}},
+        LevelCase{"x4", [] { return spec::make_xn(4); }, 5,
+                  {4, true}, {2, true}}),
+    [](const ::testing::TestParamInfo<LevelCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace rcons

@@ -1,0 +1,153 @@
+// Tests for the recoverable universal construction (runtime/universal):
+// sequential semantics, linearizability under contention, recoverable
+// re-invocation (detectability), and crash-storm stress.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/history.hpp"
+#include "runtime/universal.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "util/rng.hpp"
+
+namespace rcons::runtime {
+namespace {
+
+TEST(Universal, SequentialSemanticsMatchDirectApplication) {
+  const spec::ObjectType q = spec::make_queue(2);
+  PersistentArena arena;
+  UniversalObject obj(q, *q.find_value("[]"), arena, 16);
+
+  const spec::OpId enq_a = *q.find_op("enq_a");
+  const spec::OpId enq_b = *q.find_op("enq_b");
+  const spec::OpId deq = *q.find_op("deq");
+
+  EXPECT_EQ(q.response_name(obj.apply(enq_a, 0, 1)), "ok");
+  EXPECT_EQ(q.response_name(obj.apply(enq_b, 0, 2)), "ok");
+  EXPECT_EQ(q.response_name(obj.apply(deq, 1, 1)), "got_a");
+  EXPECT_EQ(q.response_name(obj.apply(deq, 1, 2)), "got_b");
+  EXPECT_EQ(q.response_name(obj.apply(deq, 0, 3)), "empty");
+  EXPECT_EQ(q.value_name(obj.current_value()), "[]");
+  EXPECT_EQ(obj.log_length(), 5);
+}
+
+TEST(Universal, ReinvocationIsIdempotent) {
+  // Detectability: re-applying the same (pid, seq) — the post-crash path —
+  // returns the original response and does not linearize again.
+  const spec::ObjectType tas = spec::make_test_and_set();
+  PersistentArena arena;
+  UniversalObject obj(tas, *tas.find_value("0"), arena, 8);
+  const spec::OpId op = *tas.find_op("tas");
+
+  const auto first = obj.apply(op, 3, 7);
+  EXPECT_EQ(tas.response_name(first), "won");
+  for (int retry = 0; retry < 5; ++retry) {
+    EXPECT_EQ(obj.apply(op, 3, 7), first);
+  }
+  EXPECT_EQ(obj.log_length(), 1);
+  EXPECT_TRUE(obj.is_applied(3, 7));
+  EXPECT_FALSE(obj.is_applied(3, 8));
+  // A genuinely new operation still linearizes.
+  EXPECT_EQ(tas.response_name(obj.apply(op, 4, 1)), "lost");
+  EXPECT_EQ(obj.log_length(), 2);
+}
+
+TEST(Universal, IsAppliedAnswersTheDetectabilityQuery) {
+  const spec::ObjectType reg = spec::make_register(2);
+  PersistentArena arena;
+  UniversalObject obj(reg, *reg.find_value("r0"), arena, 8);
+  EXPECT_FALSE(obj.is_applied(0, 1));
+  obj.apply(*reg.find_op("write_1"), 0, 1);
+  EXPECT_TRUE(obj.is_applied(0, 1));
+}
+
+TEST(Universal, ConcurrentTasThroughUniversalHasOneWinner) {
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const spec::OpId op = *tas.find_op("tas");
+  const spec::ResponseId won = *tas.find_response("won");
+  for (int round = 0; round < 30; ++round) {
+    PersistentArena arena;
+    UniversalObject obj(tas, *tas.find_value("0"), arena, 16);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        if (obj.apply(op, t, 1) == won) winners.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    EXPECT_EQ(obj.log_length(), 4);
+  }
+}
+
+TEST(Universal, ContendedHistoriesAreLinearizable) {
+  const spec::ObjectType tnn = spec::make_tnn(6, 3);
+  for (int round = 0; round < 15; ++round) {
+    PersistentArena arena;
+    UniversalObject obj(tnn, *tnn.find_value("s"), arena, 32);
+    HistoryRecorder recorder;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        const spec::OpId ops[3] = {*tnn.find_op("op_0"), *tnn.find_op("op_1"),
+                                   *tnn.find_op("op_R")};
+        for (std::uint64_t i = 0; i < 3; ++i) {
+          const spec::OpId op = ops[(t + i) % 3];
+          const std::uint64_t ts = recorder.begin();
+          const spec::ResponseId r = obj.apply(op, t, i);
+          recorder.finish(t, op, r, ts);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_TRUE(is_linearizable(tnn, *tnn.find_value("s"), recorder.take()))
+        << "round " << round;
+  }
+}
+
+TEST(Universal, CrashStormWithRetriesStaysConsistent) {
+  // Threads "crash" (abandon the call) at random points and re-invoke with
+  // the SAME seq, mimicking the recovery path. Every operation id must end
+  // up applied exactly once and the final value must equal the replay of
+  // the log.
+  const spec::ObjectType faa = spec::make_fetch_and_add(64);
+  const spec::OpId op = *faa.find_op("faa");
+  PersistentArena arena;
+  UniversalObject obj(faa, *faa.find_value("c0"), arena, 64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      for (std::uint64_t seq = 0; seq < 8; ++seq) {
+        spec::ResponseId first_response = -1;
+        // Retry loop: each iteration is an invocation; "crash" = retry.
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const spec::ResponseId r = obj.apply(op, t, seq);
+          if (first_response < 0) {
+            first_response = r;
+          } else {
+            EXPECT_EQ(r, first_response) << "non-idempotent re-invocation";
+          }
+          if (!rng.chance(0.5)) break;  // no crash this time
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(obj.log_length(), 32);  // 4 threads x 8 ops, once each
+  EXPECT_EQ(faa.value_name(obj.current_value()), "c32");
+}
+
+TEST(Universal, LogFullAborts) {
+  const spec::ObjectType tas = spec::make_test_and_set();
+  PersistentArena arena;
+  UniversalObject obj(tas, *tas.find_value("0"), arena, 2);
+  obj.apply(*tas.find_op("tas"), 0, 1);
+  obj.apply(*tas.find_op("tas"), 0, 2);
+  EXPECT_DEATH(obj.apply(*tas.find_op("tas"), 0, 3), "universal log full");
+}
+
+}  // namespace
+}  // namespace rcons::runtime

@@ -1,0 +1,236 @@
+// Unit tests for src/util: combinatorics, RNG determinism, hashing,
+// strings, and the table renderer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/combinatorics.hpp"
+#include "util/hashing.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rcons {
+namespace {
+
+TEST(Combinatorics, FactorialSmallValues) {
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(1), 1u);
+  EXPECT_EQ(factorial(5), 120u);
+  EXPECT_EQ(factorial(10), 3628800u);
+  EXPECT_EQ(factorial(20), 2432902008176640000ULL);
+}
+
+TEST(Combinatorics, BinomialBasics) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Combinatorics, OrderedSubsetCountMatchesFormula) {
+  // |S(P)| = sum_k C(n,k) k!: 1, 2, 5, 16, 65, 326, 1957 (OEIS A000522).
+  EXPECT_EQ(ordered_subset_count(0), 1u);
+  EXPECT_EQ(ordered_subset_count(1), 2u);
+  EXPECT_EQ(ordered_subset_count(2), 5u);
+  EXPECT_EQ(ordered_subset_count(3), 16u);
+  EXPECT_EQ(ordered_subset_count(4), 65u);
+  EXPECT_EQ(ordered_subset_count(5), 326u);
+  EXPECT_EQ(ordered_subset_count(6), 1957u);
+}
+
+TEST(Combinatorics, OrderedSubsetEnumerationIsExactAndDistinct) {
+  for (unsigned n = 0; n <= 5; ++n) {
+    std::set<std::vector<int>> seen;
+    for_each_ordered_subset(n, [&](const std::vector<int>& s) {
+      EXPECT_TRUE(seen.insert(s).second) << "duplicate sequence";
+      std::set<int> members(s.begin(), s.end());
+      EXPECT_EQ(members.size(), s.size()) << "repeated process in sequence";
+    });
+    EXPECT_EQ(seen.size(), ordered_subset_count(n));
+  }
+}
+
+TEST(Combinatorics, SubsetEnumerationCountsPowerSet) {
+  int count = 0;
+  for_each_subset(4, [&](const std::vector<int>&) { ++count; });
+  EXPECT_EQ(count, 16);
+}
+
+TEST(Combinatorics, PermutationEnumeration) {
+  std::set<std::vector<int>> seen;
+  for_each_permutation({2, 0, 1}, [&](const std::vector<int>& p) {
+    seen.insert(p);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Combinatorics, MultisetEnumerationCountsStarsAndBars) {
+  // Multisets of size k from m symbols: C(m+k-1, k).
+  for (unsigned m = 1; m <= 4; ++m) {
+    for (unsigned k = 0; k <= 4; ++k) {
+      std::uint64_t count = 0;
+      for_each_multiset(m, k, [&](const std::vector<int>& ms) {
+        ++count;
+        for (std::size_t i = 1; i < ms.size(); ++i) {
+          EXPECT_LE(ms[i - 1], ms[i]) << "multiset not sorted";
+        }
+      });
+      EXPECT_EQ(count, binomial(m + k - 1, k)) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinatorics, AssignmentEnumerationCountsPower) {
+  std::uint64_t count = 0;
+  for_each_assignment(3, 4, [&](const std::vector<int>&) { ++count; });
+  EXPECT_EQ(count, 81u);
+}
+
+TEST(Combinatorics, BipartitionCounts) {
+  // Ordered: 2^n - 2 (all nonempty/nonfull masks). Unordered: half.
+  int ordered = 0;
+  for_each_bipartition(4, true, [&](const std::vector<int>&) { ++ordered; });
+  EXPECT_EQ(ordered, 14);
+  int unordered = 0;
+  for_each_bipartition(4, false, [&](const std::vector<int>& team_of) {
+    EXPECT_EQ(team_of[0], 0) << "canonical orientation pins p0 to team 0";
+    ++unordered;
+  });
+  EXPECT_EQ(unordered, 7);
+}
+
+TEST(Combinatorics, BipartitionTeamsNonempty) {
+  for_each_bipartition(3, true, [&](const std::vector<int>& team_of) {
+    int t0 = 0;
+    int t1 = 0;
+    for (int t : team_of) (t == 0 ? t0 : t1)++;
+    EXPECT_GE(t0, 1);
+    EXPECT_GE(t1, 1);
+  });
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Hashing, VectorHashDistinguishesContentAndLength) {
+  EXPECT_NE(hash_vector(std::vector<int>{1, 2, 3}),
+            hash_vector(std::vector<int>{1, 2, 4}));
+  EXPECT_NE(hash_vector(std::vector<int>{1, 2}),
+            hash_vector(std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(hash_vector(std::vector<int>{5, 6}),
+            hash_vector(std::vector<int>{5, 6}));
+}
+
+TEST(Hashing, FewCollisionsOnSmallVectors) {
+  std::unordered_set<std::uint64_t> hashes;
+  int total = 0;
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int c = 0; c < 16; ++c) {
+        hashes.insert(hash_vector(std::vector<int>{a, b, c}));
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(hashes.size()), total);
+}
+
+TEST(Strings, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> items{"a", "bb", "", "c"};
+  EXPECT_EQ(join(items, ","), "a,bb,,c");
+  EXPECT_EQ(split("a,bb,,c", ','), items);
+}
+
+TEST(Strings, JoinInts) {
+  EXPECT_EQ(join_ints({1, 2, 3}, " "), "1 2 3");
+  EXPECT_EQ(join_ints({}, " "), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcde", 3), "abc");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"type", "cons", "rcons"});
+  t.add_row({"test_and_set", "2", "1"});
+  t.add_row({"cas3", ">= 6", ">= 6"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("test_and_set"), std::string::npos);
+  EXPECT_NE(out.find(">= 6"), std::string::npos);
+  // Every rendered line has equal width.
+  std::size_t width = std::string::npos;
+  for (const auto& line : split(out, '\n')) {
+    if (line.empty()) continue;
+    if (width == std::string::npos) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+}  // namespace
+}  // namespace rcons

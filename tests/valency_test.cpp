@@ -1,0 +1,245 @@
+// Tests for the valency machinery of Section 3 (experiment E3): budgeted
+// valence w.r.t. E_z*, critical executions, teams (Lemma 7), the common
+// poised object (Lemma 9), and the n-recording / v-hiding configuration
+// classification (Observation 11) feeding Theorem 13.
+#include <gtest/gtest.h>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "hierarchy/recording.hpp"
+#include "spec/catalog.hpp"
+#include "valency/critical.hpp"
+#include "valency/model_checker.hpp"
+#include "valency/valence.hpp"
+
+namespace rcons::valency {
+namespace {
+
+TEST(Valence, MixedInputsAreBivalent) {
+  // Observation 1: an initial configuration with both inputs present is
+  // bivalent.
+  algo::CasConsensus protocol(2);
+  ValencyAnalyzer analyzer(protocol, /*z=*/1);
+  const BudgetState s =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 1}));
+  EXPECT_EQ(analyzer.valence(s), Valence::kBivalent);
+}
+
+TEST(Valence, UnanimousInputsAreUnivalent) {
+  algo::CasConsensus protocol(2);
+  ValencyAnalyzer analyzer(protocol, 1);
+  const BudgetState s0 =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 0}));
+  EXPECT_EQ(analyzer.valence(s0), Valence::kUnivalent0);
+  const BudgetState s1 =
+      analyzer.initial_state(exec::Config::initial(protocol, {1, 1}));
+  EXPECT_EQ(analyzer.valence(s1), Valence::kUnivalent1);
+}
+
+TEST(Valence, OneCasStepDecidesTheValency) {
+  algo::CasConsensus protocol(2);
+  ValencyAnalyzer analyzer(protocol, 1);
+  BudgetState s =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 1}));
+  const BudgetState after_p0 = analyzer.apply(s, exec::Event::step(0));
+  EXPECT_EQ(analyzer.valence(after_p0), Valence::kUnivalent0);
+  const BudgetState after_p1 = analyzer.apply(s, exec::Event::step(1));
+  EXPECT_EQ(analyzer.valence(after_p1), Valence::kUnivalent1);
+}
+
+TEST(Valence, PastDecisionsCountTowardValency) {
+  // "p_i has decided v" persists along the execution even if p_i crashes.
+  algo::CasConsensus protocol(2);
+  ValencyAnalyzer analyzer(protocol, 1);
+  BudgetState s =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 1}));
+  s = analyzer.apply(s, exec::Event::step(0));  // p0 decides 0
+  EXPECT_EQ(analyzer.valence(s, kDecision0), Valence::kUnivalent0);
+}
+
+TEST(Valence, CrashBudgetMechanics) {
+  algo::CasConsensus protocol(3);
+  ValencyAnalyzer analyzer(protocol, /*z=*/1, /*credit_cap=*/4);
+  BudgetState s =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 1, 1}));
+  // Fresh budgets: nobody can crash (p0 never can).
+  EXPECT_FALSE(analyzer.crash_allowed(s, 0));
+  EXPECT_FALSE(analyzer.crash_allowed(s, 1));
+  EXPECT_FALSE(analyzer.crash_allowed(s, 2));
+  // A step by p0 funds p1 and p2 (saturated at the cap).
+  s = analyzer.apply(s, exec::Event::step(0));
+  EXPECT_FALSE(analyzer.crash_allowed(s, 0));
+  EXPECT_TRUE(analyzer.crash_allowed(s, 1));
+  EXPECT_TRUE(analyzer.crash_allowed(s, 2));
+  EXPECT_EQ(s.credits[1], 3);  // one step grants z*n = 3 credits (cap 4)
+  // Crashing consumes a credit.
+  const BudgetState after = analyzer.apply(s, exec::Event::crash(2));
+  EXPECT_EQ(after.credits[2], s.credits[2] - 1);
+}
+
+TEST(Valence, StepsByHighIdsDoNotFundLowIds) {
+  algo::CasConsensus protocol(3);
+  ValencyAnalyzer analyzer(protocol, 1);
+  BudgetState s =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 1, 1}));
+  s = analyzer.apply(s, exec::Event::step(2));
+  EXPECT_FALSE(analyzer.crash_allowed(s, 1));
+  EXPECT_FALSE(analyzer.crash_allowed(s, 2));
+}
+
+TEST(Critical, CasConsensusIsCriticalImmediately) {
+  // Every first step of cas_consensus applies a CAS, so the empty
+  // execution is already critical; the teams split by input and the poised
+  // object is the CAS cell.
+  algo::CasConsensus protocol(2);
+  const auto report = find_critical_execution(protocol, {0, 1});
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->schedule.empty());
+  EXPECT_EQ(report->team_of[0], 0);
+  EXPECT_EQ(report->team_of[1], 1);
+  EXPECT_TRUE(report->same_object);
+  EXPECT_EQ(report->object, 0);
+}
+
+TEST(Critical, BothTeamsNonempty) {
+  // Lemma 7 at work on a protocol with a real pre-critical phase.
+  algo::TnnRecoverableConsensus protocol(4, 2, 2);
+  const auto report = find_critical_execution(protocol, {0, 1});
+  ASSERT_TRUE(report.has_value());
+  bool team0 = false;
+  bool team1 = false;
+  for (int t : report->team_of) {
+    if (t == 0) team0 = true;
+    if (t == 1) team1 = true;
+  }
+  EXPECT_TRUE(team0);
+  EXPECT_TRUE(team1);
+}
+
+TEST(Critical, AllProcessesPoisedOnTheSameObject) {
+  // Lemma 9 on three protocols.
+  {
+    algo::CasConsensus protocol(3);
+    const auto r = find_critical_execution(protocol, {0, 1, 1});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->same_object);
+  }
+  {
+    algo::TnnRecoverableConsensus protocol(5, 2, 2);
+    const auto r = find_critical_execution(protocol, {0, 1});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->same_object);
+  }
+  {
+    const spec::ObjectType cas = spec::make_cas(3);
+    algo::RecordingConsensus protocol(cas, 2);
+    const auto r = find_critical_execution(protocol, {1, 0});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->same_object);
+  }
+}
+
+TEST(Critical, ClassificationIsNRecordingAndMatchesChecker) {
+  // Theorem 13's punchline: the critical configuration of a correct
+  // recoverable algorithm is n-recording, and therefore the poised
+  // object's TYPE is n-recording — which the standalone checker confirms.
+  algo::CasConsensus protocol(2);
+  const auto report = find_critical_execution(protocol, {0, 1});
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->same_object);
+  EXPECT_TRUE(report->config_class.disjoint);
+  EXPECT_TRUE(report->config_class.recording);
+  const spec::ObjectType& type = protocol.object_type(report->object);
+  EXPECT_TRUE(hierarchy::check_recording(type, 2).holds)
+      << "checker disagrees with the critical-configuration classification";
+}
+
+TEST(Critical, RecordingConsensusCriticalConfigIsRecording) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  algo::RecordingConsensus protocol(cas, 2);
+  const auto report = find_critical_execution(protocol, {0, 1});
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->same_object);
+  EXPECT_TRUE(report->config_class.recording);
+}
+
+TEST(Critical, TnnRecoverableCriticalConfigIsRecording) {
+  algo::TnnRecoverableConsensus protocol(4, 2, 2);
+  const auto report = find_critical_execution(protocol, {0, 1});
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->same_object);
+  EXPECT_TRUE(report->config_class.disjoint);
+  EXPECT_TRUE(report->config_class.recording);
+}
+
+TEST(Critical, RenderMentionsTeamsAndObject) {
+  algo::CasConsensus protocol(2);
+  const auto report = find_critical_execution(protocol, {0, 1});
+  ASSERT_TRUE(report.has_value());
+  const std::string text = report->render(protocol);
+  EXPECT_NE(text.find("teams at C-alpha"), std::string::npos);
+  EXPECT_NE(text.find("n-RECORDING"), std::string::npos);
+}
+
+TEST(Critical, UnanimousInputsHaveNoCriticalExecution) {
+  algo::CasConsensus protocol(2);
+  EXPECT_FALSE(find_critical_execution(protocol, {1, 1}).has_value());
+}
+
+TEST(Classify, HandBuiltHidingConfiguration) {
+  // A 2-process configuration poised on a swap register where one process
+  // swaps the initial value back in: u is in that team's U-set, so the
+  // configuration is hiding for it (and still "recording" because the
+  // opposite team is a singleton — the |T_xbar| = 1 escape hatch).
+  algo::CasConsensus dummy(2);  // only used as an object-table carrier
+  (void)dummy;
+  const spec::ObjectType swap = spec::make_swap(2);
+
+  // Build a tiny fake protocol-free classification call: use the generic
+  // entry point with explicit teams/ops over a real config.
+  class SwapHolder : public algo::ProtocolBase {
+   public:
+    SwapHolder() : ProtocolBase("swap_holder", 2) {
+      add_object(spec::make_swap(2), "r0");
+    }
+    exec::Action poised(exec::ProcessId,
+                        const exec::LocalState&) const override {
+      return exec::Action::invoke(0, 0);
+    }
+    exec::LocalState advance(exec::ProcessId, const exec::LocalState& s,
+                             spec::ResponseId) const override {
+      return s;
+    }
+  };
+  SwapHolder holder;
+  const auto config = exec::Config::initial(holder, {0, 1});
+  const spec::OpId swap0 = *swap.find_op("swap_0");
+  const spec::OpId swap1 = *swap.find_op("swap_1");
+  // p0 (team 0) swaps in r0 = u: hiding for team 0. p1 (team 1) swaps in
+  // r1, but the schedule (p1, p0) also restores u — BOTH teams can hide,
+  // and the U-sets intersect, so the configuration is not recording.
+  const ConfigClass c = classify_poised_configuration(
+      holder, config, 0, {0, 1}, {swap0, swap1});
+  ASSERT_TRUE(c.hiding_v.has_value());
+  EXPECT_FALSE(c.disjoint);
+  EXPECT_FALSE(c.recording);
+  // U_0 = {r0, r1} (p0 alone -> r0; p0 then p1 -> r1) = U_1.
+  EXPECT_EQ(c.u0.size(), 2u);
+  EXPECT_EQ(c.u1.size(), 2u);
+}
+
+TEST(Analyzer, MemoizationKicksIn) {
+  algo::CasConsensus protocol(2);
+  ValencyAnalyzer analyzer(protocol, 1);
+  const BudgetState s =
+      analyzer.initial_state(exec::Config::initial(protocol, {0, 1}));
+  analyzer.reachable_decisions(s);
+  const auto explored_once = analyzer.states_explored();
+  analyzer.reachable_decisions(s);
+  EXPECT_EQ(analyzer.states_explored(), explored_once) << "memo miss";
+  EXPECT_FALSE(analyzer.truncated());
+}
+
+}  // namespace
+}  // namespace rcons::valency

@@ -1,0 +1,177 @@
+// Tests for witness enumeration (hierarchy/witnesses) and for the
+// linearizability checker + history recorder (runtime/history).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "hierarchy/witnesses.hpp"
+#include "runtime/history.hpp"
+#include "runtime/live_object.hpp"
+#include "runtime/pmem.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+
+namespace rcons {
+namespace {
+
+using hierarchy::enumerate_witnesses;
+using hierarchy::WitnessKind;
+
+TEST(Witnesses, EveryEnumeratedWitnessChecksOut) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  const auto e = enumerate_witnesses(cas, 3, WitnessKind::kRecording, 64);
+  EXPECT_GT(e.total_found, 0u);
+  for (const auto& w : e.witnesses) {
+    EXPECT_TRUE(hierarchy::is_recording_witness(cas, w));
+  }
+}
+
+TEST(Witnesses, NonhidingIsASubsetOfRecording) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  const auto all = enumerate_witnesses(cas, 2, WitnessKind::kRecording, 1024);
+  const auto nh =
+      enumerate_witnesses(cas, 2, WitnessKind::kRecordingNonhiding, 1024);
+  EXPECT_LE(nh.total_found, all.total_found);
+  EXPECT_GT(nh.total_found, 0u);
+  for (const auto& w : nh.witnesses) {
+    EXPECT_TRUE(hierarchy::is_recording_witness(cas, w));
+    EXPECT_TRUE(hierarchy::is_nonhiding_recording_witness(cas, w));
+  }
+}
+
+TEST(Witnesses, NonWitnessTypeHasNone) {
+  const spec::ObjectType reg = spec::make_register(2);
+  const auto e = enumerate_witnesses(reg, 2, WitnessKind::kDiscerning, 8);
+  EXPECT_EQ(e.total_found, 0u);
+  EXPECT_TRUE(e.witnesses.empty());
+  EXPECT_GT(e.assignments_tried, 0u);
+}
+
+TEST(Witnesses, MaxCountCapsStorageNotCounting) {
+  const spec::ObjectType sticky = spec::make_sticky_bit();
+  const auto capped = enumerate_witnesses(sticky, 2, WitnessKind::kRecording,
+                                          /*max_count=*/1);
+  EXPECT_EQ(capped.witnesses.size(), 1u);
+  EXPECT_GE(capped.total_found, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability
+// ---------------------------------------------------------------------------
+
+runtime::OpRecord rec(int thread, spec::OpId op, spec::ResponseId resp,
+                      std::uint64_t invoke, std::uint64_t ret) {
+  return runtime::OpRecord{thread, op, resp, invoke, ret};
+}
+
+TEST(Linearizability, SequentialHistoryAccepted) {
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const spec::OpId op = *tas.find_op("tas");
+  const spec::ResponseId won = *tas.find_response("won");
+  const spec::ResponseId lost = *tas.find_response("lost");
+  const std::vector<runtime::OpRecord> h = {
+      rec(0, op, won, 1, 2),
+      rec(1, op, lost, 3, 4),
+  };
+  EXPECT_TRUE(runtime::is_linearizable(tas, *tas.find_value("0"), h));
+}
+
+TEST(Linearizability, WrongOrderRejected) {
+  // Thread 1 "lost" strictly before thread 0 "won": impossible.
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const spec::OpId op = *tas.find_op("tas");
+  const spec::ResponseId won = *tas.find_response("won");
+  const spec::ResponseId lost = *tas.find_response("lost");
+  const std::vector<runtime::OpRecord> h = {
+      rec(1, op, lost, 1, 2),
+      rec(0, op, won, 3, 4),
+  };
+  EXPECT_FALSE(runtime::is_linearizable(tas, *tas.find_value("0"), h));
+}
+
+TEST(Linearizability, OverlappingOpsMayCommuteEitherWay) {
+  // Two overlapping tas ops: one won, one lost — fine in either real-time
+  // arrangement because they overlap.
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const spec::OpId op = *tas.find_op("tas");
+  const spec::ResponseId won = *tas.find_response("won");
+  const spec::ResponseId lost = *tas.find_response("lost");
+  const std::vector<runtime::OpRecord> h = {
+      rec(0, op, lost, 1, 10),
+      rec(1, op, won, 2, 9),
+  };
+  EXPECT_TRUE(runtime::is_linearizable(tas, *tas.find_value("0"), h));
+}
+
+TEST(Linearizability, TwoWinnersRejected) {
+  const spec::ObjectType tas = spec::make_test_and_set();
+  const spec::OpId op = *tas.find_op("tas");
+  const spec::ResponseId won = *tas.find_response("won");
+  const std::vector<runtime::OpRecord> h = {
+      rec(0, op, won, 1, 10),
+      rec(1, op, won, 2, 9),
+  };
+  EXPECT_FALSE(runtime::is_linearizable(tas, *tas.find_value("0"), h));
+}
+
+TEST(Linearizability, CounterHistoryChecked) {
+  const spec::ObjectType faa = spec::make_fetch_and_add(8);
+  const spec::OpId op = *faa.find_op("faa");
+  const auto old_resp = [&](int k) {
+    return *faa.find_response("old_" + std::to_string(k));
+  };
+  // Three overlapping increments returning 0, 1, 2 in some overlap.
+  std::vector<runtime::OpRecord> ok = {
+      rec(0, op, old_resp(1), 1, 8),
+      rec(1, op, old_resp(0), 2, 7),
+      rec(2, op, old_resp(2), 3, 9),
+  };
+  EXPECT_TRUE(runtime::is_linearizable(faa, *faa.find_value("c0"), ok));
+  // A duplicated old-value is impossible.
+  std::vector<runtime::OpRecord> bad = {
+      rec(0, op, old_resp(0), 1, 8),
+      rec(1, op, old_resp(0), 2, 7),
+  };
+  EXPECT_FALSE(runtime::is_linearizable(faa, *faa.find_value("c0"), bad));
+}
+
+TEST(Linearizability, LiveObjectStressHistoriesAreLinearizable) {
+  // End-to-end: hammer a live T_{5,2} object from 4 threads, record the
+  // history, and verify it against the sequential spec.
+  const spec::ObjectType tnn = spec::make_tnn(5, 2);
+  for (int round = 0; round < 20; ++round) {
+    runtime::PersistentArena arena;
+    runtime::LiveObject obj(tnn, *tnn.find_value("s"), arena);
+    runtime::HistoryRecorder recorder;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        const spec::OpId ops[3] = {*tnn.find_op("op_0"), *tnn.find_op("op_1"),
+                                   *tnn.find_op("op_R")};
+        for (int i = 0; i < 3; ++i) {
+          obj.apply_recorded(ops[(t + i) % 3], t, recorder);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const auto history = recorder.take();
+    ASSERT_EQ(history.size(), 12u);
+    EXPECT_TRUE(
+        runtime::is_linearizable(tnn, *tnn.find_value("s"), history))
+        << "round " << round;
+  }
+}
+
+TEST(Linearizability, RecorderTimestampsAreOrdered) {
+  runtime::HistoryRecorder recorder;
+  const auto t1 = recorder.begin();
+  recorder.finish(0, 0, 0, t1);
+  const auto history = recorder.take();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_LT(history[0].invoke_ts, history[0].return_ts);
+}
+
+}  // namespace
+}  // namespace rcons

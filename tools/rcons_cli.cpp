@@ -1,0 +1,344 @@
+// rcons_cli — command-line driver for the rcons library.
+//
+//   rcons_cli list
+//   rcons_cli show     <type>            describe a type's state machine
+//   rcons_cli export   <type>            emit the .type interchange format
+//   rcons_cli dot      <type>            emit Graphviz dot
+//   rcons_cli profile  <type> [max_n]    compute discerning/recording levels
+//   rcons_cli witnesses <type> <n> [discerning|recording|nonhiding] [max]
+//   rcons_cli verify   <protocol...>     exhaustively model-check a protocol
+//       protocols: cas <n> | tas | naive <n> | sticky <n>
+//                  | propose <m> <procs> | tnn <n> <n'> <procs>
+//                  | tnnwf <n> <n'> | recording <type> <n>
+//   rcons_cli critical <protocol...>     valency trace (Figures 1-2 style)
+//   rcons_cli search   [restarts] [mutations] [seed]
+//
+// <type> is either a catalog name (see `list`) or a path to a .type file.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/naive_register.hpp"
+#include "algo/propose_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/sticky_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/search.hpp"
+#include "hierarchy/witnesses.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+#include "valency/critical.hpp"
+#include "valency/lemmas.hpp"
+#include "valency/model_checker.hpp"
+#include "valency/theorem13.hpp"
+
+namespace {
+
+using rcons::spec::ObjectType;
+
+const std::map<std::string, std::function<ObjectType()>>& catalog() {
+  static const auto* kCatalog =
+      new std::map<std::string, std::function<ObjectType()>>{
+          {"register2", [] { return rcons::spec::make_register(2); }},
+          {"register3", [] { return rcons::spec::make_register(3); }},
+          {"tas", [] { return rcons::spec::make_test_and_set(); }},
+          {"swap2", [] { return rcons::spec::make_swap(2); }},
+          {"swap3", [] { return rcons::spec::make_swap(3); }},
+          {"faa4", [] { return rcons::spec::make_fetch_and_add(4); }},
+          {"fai3",
+           [] { return rcons::spec::make_fetch_and_increment_saturating(3); }},
+          {"cas2", [] { return rcons::spec::make_cas(2); }},
+          {"cas3", [] { return rcons::spec::make_cas(3); }},
+          {"sticky2", [] { return rcons::spec::make_sticky_bit(); }},
+          {"sticky3", [] { return rcons::spec::make_sticky(3); }},
+          {"consensus2", [] { return rcons::spec::make_consensus_object(2); }},
+          {"consensus3", [] { return rcons::spec::make_consensus_object(3); }},
+          {"queue2", [] { return rcons::spec::make_queue(2); }},
+          {"readable_queue2",
+           [] { return rcons::spec::make_readable_queue(2); }},
+          {"stack2", [] { return rcons::spec::make_stack(2); }},
+          {"peek_queue2", [] { return rcons::spec::make_peek_queue(2); }},
+          {"t31", [] { return rcons::spec::make_tnn(3, 1); }},
+          {"t42", [] { return rcons::spec::make_tnn(4, 2); }},
+          {"t52", [] { return rcons::spec::make_tnn(5, 2); }},
+          {"t64", [] { return rcons::spec::make_tnn(6, 4); }},
+          {"x4", [] { return rcons::spec::make_xn(4); }},
+          {"x5", [] { return rcons::spec::make_xn(5); }},
+      };
+  return *kCatalog;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "rcons_cli: %s\n", message.c_str());
+  return 2;
+}
+
+/// Resolves a catalog name or a .type file path.
+bool resolve_type(const std::string& what, ObjectType* out,
+                  std::string* error) {
+  const auto it = catalog().find(what);
+  if (it != catalog().end()) {
+    *out = it->second();
+    return true;
+  }
+  std::ifstream in(what);
+  if (!in) {
+    *error = "unknown type '" + what + "' (not a catalog name; file not "
+             "readable). Try `rcons_cli list`.";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const rcons::spec::ParseResult parsed =
+      rcons::spec::parse_type(buffer.str());
+  if (!parsed.ok()) {
+    *error = what + ":" + std::to_string(parsed.error_line) + ": " +
+             parsed.error;
+    return false;
+  }
+  *out = *parsed.type;
+  return true;
+}
+
+std::unique_ptr<rcons::exec::Protocol> make_protocol(int argc, char** argv,
+                                                     std::string* error) {
+  if (argc < 1) {
+    *error = "missing protocol";
+    return nullptr;
+  }
+  const std::string kind = argv[0];
+  const auto arg = [&](int i, int fallback) {
+    return argc > i ? std::atoi(argv[i]) : fallback;
+  };
+  if (kind == "cas") {
+    return std::make_unique<rcons::algo::CasConsensus>(arg(1, 2));
+  }
+  if (kind == "tas") {
+    return std::make_unique<rcons::algo::TasRacingConsensus>();
+  }
+  if (kind == "naive") {
+    return std::make_unique<rcons::algo::NaiveRegisterConsensus>(arg(1, 2));
+  }
+  if (kind == "tnn") {
+    const int n = arg(1, 4);
+    const int np = arg(2, 2);
+    return std::make_unique<rcons::algo::TnnRecoverableConsensus>(
+        n, np, arg(3, np));
+  }
+  if (kind == "tnnwf") {
+    return std::make_unique<rcons::algo::TnnWaitFreeConsensus>(arg(1, 4),
+                                                               arg(2, 2));
+  }
+  if (kind == "propose") {
+    return std::make_unique<rcons::algo::NaiveProposeConsensus>(arg(1, 2),
+                                                                arg(2, 2));
+  }
+  if (kind == "sticky") {
+    return std::make_unique<rcons::algo::StickyConsensus>(arg(1, 2));
+  }
+  if (kind == "recording") {
+    ObjectType type;
+    std::string type_error;
+    if (argc < 2 || !resolve_type(argv[1], &type, &type_error)) {
+      *error = "recording <type> <n>: " + type_error;
+      return nullptr;
+    }
+    return std::make_unique<rcons::algo::RecordingConsensus>(type, arg(2, 2));
+  }
+  *error = "unknown protocol '" + kind + "'";
+  return nullptr;
+}
+
+int cmd_list() {
+  for (const auto& [name, make] : catalog()) {
+    const ObjectType t = make();
+    std::printf("%-16s %2d values, %d ops%s\n", name.c_str(),
+                t.value_count(), t.op_count(),
+                t.is_readable() ? ", readable" : "");
+  }
+  return 0;
+}
+
+int cmd_profile(const ObjectType& type, int max_n) {
+  const rcons::hierarchy::TypeProfile p =
+      rcons::hierarchy::compute_profile(type, max_n);
+  std::printf("type %s (%s)\n", p.type_name.c_str(),
+              p.readable ? "readable" : "NOT readable");
+  std::printf("  discerning level: %s%s\n",
+              p.discerning.to_string().c_str(),
+              p.readable ? "   == consensus number (Ruppert)"
+                         : "   (upper bound on the consensus number)");
+  std::printf("  recording level:  %s%s\n", p.recording.to_string().c_str(),
+              p.readable
+                  ? "   == recoverable consensus number (DFFR + Ovens)"
+                  : "   (upper bound on the recoverable consensus number)");
+  return 0;
+}
+
+int cmd_witnesses(const ObjectType& type, int n, const std::string& kind_name,
+                  std::size_t max_count) {
+  rcons::hierarchy::WitnessKind kind =
+      rcons::hierarchy::WitnessKind::kDiscerning;
+  if (kind_name == "recording") {
+    kind = rcons::hierarchy::WitnessKind::kRecording;
+  } else if (kind_name == "nonhiding") {
+    kind = rcons::hierarchy::WitnessKind::kRecordingNonhiding;
+  } else if (kind_name != "discerning") {
+    return fail("witness kind must be discerning|recording|nonhiding");
+  }
+  const auto e =
+      rcons::hierarchy::enumerate_witnesses(type, n, kind, max_count);
+  std::printf("%llu %s witnesses at n=%d (%llu canonical assignments "
+              "tried); showing %zu:\n",
+              static_cast<unsigned long long>(e.total_found),
+              kind_name.c_str(), n,
+              static_cast<unsigned long long>(e.assignments_tried),
+              e.witnesses.size());
+  for (const auto& w : e.witnesses) {
+    std::printf("  %s\n", w.describe(type).c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(rcons::exec::Protocol& protocol) {
+  std::printf("protocol %s: %d processes, %d objects\n",
+              protocol.name().c_str(), protocol.process_count(),
+              protocol.object_count());
+  for (const auto mode : {rcons::valency::CrashMode::kNone,
+                          rcons::valency::CrashMode::kIndividual,
+                          rcons::valency::CrashMode::kBoth}) {
+    rcons::valency::SafetyOptions options;
+    options.crash_mode = mode;
+    const auto r = rcons::valency::check_safety_all_inputs(protocol, options);
+    const char* mode_name =
+        mode == rcons::valency::CrashMode::kNone ? "crash-free " :
+        mode == rcons::valency::CrashMode::kIndividual ? "individual " :
+                                                         "indiv+simul";
+    std::printf("  safety  [%s]: %s (%zu states)\n", mode_name,
+                r.ok() ? "SAFE" : "VIOLATION", r.states_visited);
+    if (!r.ok()) {
+      std::printf("    %s\n    schedule: %s\n", r.violation.c_str(),
+                  rcons::exec::schedule_to_string(*r.counterexample).c_str());
+    }
+  }
+  bool live = true;
+  for (const auto& inputs :
+       rcons::valency::all_binary_inputs(protocol.process_count())) {
+    live = live &&
+           rcons::valency::check_recoverable_wait_freedom(protocol, inputs)
+               .wait_free;
+  }
+  std::printf("  recoverable wait-freedom: %s\n", live ? "YES" : "NO");
+  return 0;
+}
+
+int cmd_critical(rcons::exec::Protocol& protocol) {
+  std::vector<int> inputs(static_cast<std::size_t>(protocol.process_count()),
+                          1);
+  inputs[0] = 0;
+  const auto report =
+      rcons::valency::find_critical_execution(protocol, inputs);
+  if (!report.has_value()) {
+    return fail("no critical execution found (not bivalent?)");
+  }
+  std::printf("%s", report->render(protocol).c_str());
+  const std::string failures =
+      rcons::valency::verify_section3_lemmas(protocol, *report);
+  std::printf("section 3 lemma check: %s\n",
+              failures.empty() ? "all verified" : failures.c_str());
+  return 0;
+}
+
+int cmd_chain(rcons::exec::Protocol& protocol) {
+  std::vector<int> inputs(static_cast<std::size_t>(protocol.process_count()),
+                          1);
+  inputs[0] = 0;
+  const auto chain =
+      rcons::valency::run_theorem13_chain(protocol, inputs);
+  std::printf("%s", chain.render(protocol).c_str());
+  return chain.reached_recording ? 0 : 1;
+}
+
+int cmd_search(int restarts, int mutations, std::uint64_t seed) {
+  rcons::hierarchy::MachineSearchOptions options;
+  options.restarts = restarts;
+  options.mutations_per_restart = mutations;
+  options.seed = seed;
+  const auto r = rcons::hierarchy::search_gap_machines(options);
+  std::printf("evaluated %llu machines; best gap %d (discerning %s, "
+              "recording %s)\n",
+              static_cast<unsigned long long>(r.machines_evaluated),
+              r.best_gap, r.best_profile.discerning.to_string().c_str(),
+              r.best_profile.recording.to_string().c_str());
+  if (r.best_gap >= 1) {
+    std::printf("%s", rcons::spec::serialize_type(r.best_type).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: rcons_cli "
+                 "list|show|export|dot|profile|witnesses|verify|critical|"
+                 "search ...\n(see the header of tools/rcons_cli.cpp)\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "search") {
+    return cmd_search(argc > 2 ? std::atoi(argv[2]) : 10,
+                      argc > 3 ? std::atoi(argv[3]) : 200,
+                      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4]))
+                               : 1);
+  }
+  if (cmd == "verify" || cmd == "critical" || cmd == "chain") {
+    std::string error;
+    auto protocol = make_protocol(argc - 2, argv + 2, &error);
+    if (!protocol) return fail(error);
+    if (cmd == "verify") return cmd_verify(*protocol);
+    if (cmd == "chain") return cmd_chain(*protocol);
+    return cmd_critical(*protocol);
+  }
+
+  if (argc < 3) return fail("command '" + cmd + "' needs a type argument");
+  ObjectType type;
+  std::string error;
+  if (!resolve_type(argv[2], &type, &error)) return fail(error);
+
+  if (cmd == "show") {
+    std::printf("%s", type.describe().c_str());
+    return 0;
+  }
+  if (cmd == "export") {
+    std::printf("%s", rcons::spec::serialize_type(type).c_str());
+    return 0;
+  }
+  if (cmd == "dot") {
+    std::printf("%s", type.to_dot().c_str());
+    return 0;
+  }
+  if (cmd == "profile") {
+    return cmd_profile(type, argc > 3 ? std::atoi(argv[3]) : 5);
+  }
+  if (cmd == "witnesses") {
+    if (argc < 4) return fail("witnesses <type> <n> [kind] [max]");
+    return cmd_witnesses(type, std::atoi(argv[3]),
+                         argc > 4 ? argv[4] : "discerning",
+                         argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5]))
+                                  : 8);
+  }
+  return fail("unknown command '" + cmd + "'");
+}
