@@ -1,0 +1,16 @@
+// Umbrella header for the rcons static-analysis layer (rcons::analysis).
+//
+// The layer has three parts:
+//   * diagnostic.hpp — Diagnostic / Report, text + JSON rendering;
+//   * rules.hpp      — the rule registry (stable IDs, severities, the
+//                      paper precondition each rule guards);
+//   * type_lint.hpp / protocol_lint.hpp — the two analyzer front ends.
+//
+// See DESIGN.md ("Static analysis") for the full rule catalog and
+// README.md for `rcons_cli lint` usage.
+#pragma once
+
+#include "analysis/diagnostic.hpp"    // IWYU pragma: export
+#include "analysis/protocol_lint.hpp" // IWYU pragma: export
+#include "analysis/rules.hpp"         // IWYU pragma: export
+#include "analysis/type_lint.hpp"     // IWYU pragma: export

@@ -1,0 +1,111 @@
+#include "analysis/diagnostic.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rcons::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Report::merge(const Report& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+int Report::count(Severity s) const {
+  int n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+bool Report::has_findings_at_least(Severity threshold) const {
+  for (const auto& d : diagnostics_) {
+    if (d.severity >= threshold) return true;
+  }
+  return false;
+}
+
+std::string Report::render_text(bool include_notes) const {
+  std::ostringstream oss;
+  for (const auto& d : diagnostics_) {
+    if (!include_notes && d.severity == Severity::kNote) continue;
+    oss << d.subject << ": " << severity_name(d.severity) << "[" << d.rule
+        << " " << d.rule_name << "]";
+    if (!d.location.empty()) oss << " at " << d.location;
+    oss << ": " << d.message;
+    if (!d.hint.empty()) oss << " (hint: " << d.hint << ")";
+    oss << "\n";
+  }
+  oss << error_count() << " error(s), " << warning_count()
+      << " warning(s), " << note_count() << " note(s)\n";
+  return oss.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Report::render_json() const {
+  std::ostringstream oss;
+  oss << "{\"findings\":[";
+  bool first = true;
+  for (const auto& d : diagnostics_) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "{\"rule\":\"" << json_escape(d.rule) << "\""
+        << ",\"name\":\"" << json_escape(d.rule_name) << "\""
+        << ",\"severity\":\"" << severity_name(d.severity) << "\""
+        << ",\"subject\":\"" << json_escape(d.subject) << "\""
+        << ",\"location\":\"" << json_escape(d.location) << "\""
+        << ",\"message\":\"" << json_escape(d.message) << "\""
+        << ",\"hint\":\"" << json_escape(d.hint) << "\"}";
+  }
+  oss << "],\"errors\":" << error_count()
+      << ",\"warnings\":" << warning_count()
+      << ",\"notes\":" << note_count() << "}";
+  return oss.str();
+}
+
+}  // namespace rcons::analysis

@@ -1,0 +1,78 @@
+// Diagnostics for the rcons static-analysis layer.
+//
+// Every finding produced by the linters (src/analysis/type_lint,
+// src/analysis/protocol_lint) is a Diagnostic: a stable rule ID, a
+// severity, the subject it was found in (a type or protocol name), a
+// free-form location within the subject (a value/op name or a source
+// line), a message, and a fix hint. Findings accumulate in a Report,
+// which renders itself human-readable or as JSON and answers the only
+// question a CI gate needs: "any findings at or above this severity?"
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcons::analysis {
+
+/// Ordered: higher is worse. kNote findings are informational (op
+/// classifications, truncation notices) and never gate anything by
+/// default; kError findings fail `rcons_cli lint`.
+enum class Severity {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* severity_name(Severity s);
+
+/// One finding. `rule` is the stable ID from rules.hpp (e.g. "TS001");
+/// `location` narrows the finding inside `subject` (e.g. "value 'v2'",
+/// "line 14", "process 1, input 0").
+struct Diagnostic {
+  std::string rule;
+  std::string rule_name;
+  Severity severity = Severity::kNote;
+  std::string subject;
+  std::string location;
+  std::string message;
+  std::string hint;
+};
+
+/// An ordered collection of findings about one or more subjects.
+class Report {
+ public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+  /// Appends all of `other`'s findings (multi-target CLI runs).
+  void merge(const Report& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  int count(Severity s) const;
+  int error_count() const { return count(Severity::kError); }
+  int warning_count() const { return count(Severity::kWarning); }
+  int note_count() const { return count(Severity::kNote); }
+
+  /// True iff some finding has severity >= `threshold`.
+  bool has_findings_at_least(Severity threshold) const;
+
+  /// Human-readable rendering, one line per finding plus a summary line:
+  ///   subject: error[TS001 unreachable-value] at value 'v2': ... (hint: ...)
+  std::string render_text(bool include_notes = true) const;
+
+  /// JSON rendering:
+  ///   {"findings":[{"rule":...,"name":...,"severity":...,"subject":...,
+  ///     "location":...,"message":...,"hint":...}, ...],
+  ///    "errors":N,"warnings":N,"notes":N}
+  std::string render_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included). Exposed for tools that assemble larger JSON documents.
+std::string json_escape(const std::string& s);
+
+}  // namespace rcons::analysis

@@ -1,0 +1,247 @@
+#include "analysis/protocol_lint.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::analysis {
+
+namespace {
+
+using exec::Action;
+using exec::LocalState;
+using exec::ObjectId;
+using exec::ProcessId;
+using exec::Protocol;
+
+/// One node of the solo-with-crashes exploration. `persisted` records
+/// whether any step so far observably changed a shared object's value; it
+/// survives crashes (durable writes do), unlike the local state.
+struct Node {
+  std::vector<spec::ValueId> objects;
+  LocalState local;
+  int crashes = 0;
+  bool persisted = false;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& key) const {
+    return static_cast<std::size_t>(hash_vector(key));
+  }
+};
+
+std::vector<std::int64_t> node_key(const Node& n) {
+  std::vector<std::int64_t> key;
+  key.reserve(n.objects.size() + n.local.words.size() + 3);
+  key.push_back(n.crashes * 2 + (n.persisted ? 1 : 0));
+  for (spec::ValueId v : n.objects) key.push_back(v);
+  key.push_back(std::numeric_limits<std::int64_t>::min());  // separator
+  key.insert(key.end(), n.local.words.begin(), n.local.words.end());
+  return key;
+}
+
+std::string where(ProcessId pid, int input) {
+  return "process " + std::to_string(pid) + ", input " +
+         std::to_string(input);
+}
+
+/// Everything observed while exploring one (process, input).
+struct Exploration {
+  std::set<int> decisions;
+  bool decided_without_persist = false;
+  bool bound_hit = false;
+  bool invalid_action = false;
+  std::string invalid_action_detail;
+  std::set<int> invalid_decisions;
+};
+
+Exploration explore(const Protocol& protocol, ProcessId pid, int input,
+                    const ProtocolLintOptions& options,
+                    std::vector<bool>& objects_used) {
+  Exploration out;
+  const int object_count = protocol.object_count();
+
+  Node start;
+  start.objects.reserve(static_cast<std::size_t>(object_count));
+  for (ObjectId obj = 0; obj < object_count; ++obj) {
+    start.objects.push_back(protocol.initial_value(obj));
+  }
+  start.local = protocol.initial_state(pid, input);
+
+  std::unordered_set<std::vector<std::int64_t>, NodeKeyHash> visited;
+  std::deque<Node> queue;
+  visited.insert(node_key(start));
+  queue.push_back(std::move(start));
+
+  while (!queue.empty()) {
+    if (static_cast<int>(visited.size()) > options.max_states) {
+      out.bound_hit = true;
+      break;
+    }
+    const Node node = std::move(queue.front());
+    queue.pop_front();
+
+    const auto enqueue = [&](Node next) {
+      if (visited.insert(node_key(next)).second) {
+        queue.push_back(std::move(next));
+      }
+    };
+
+    // A crash is possible from any state: local state resets, objects and
+    // the durable-write flag survive.
+    if (node.crashes < options.crash_budget) {
+      Node next = node;
+      next.local = protocol.initial_state(pid, input);
+      next.crashes = node.crashes + 1;
+      enqueue(std::move(next));
+    }
+
+    const Action action = protocol.poised(pid, node.local);
+    if (action.kind == Action::Kind::kDecided) {
+      out.decisions.insert(action.decision);
+      if (action.decision != 0 && action.decision != 1) {
+        out.invalid_decisions.insert(action.decision);
+      }
+      if (!node.persisted) out.decided_without_persist = true;
+      continue;  // output states only no-op (and crash, handled above)
+    }
+
+    if (action.object < 0 || action.object >= object_count) {
+      out.invalid_action = true;
+      out.invalid_action_detail =
+          "poised on object " + std::to_string(action.object) + " of " +
+          std::to_string(object_count);
+      continue;
+    }
+    const spec::ObjectType& type = protocol.object_type(action.object);
+    if (action.op < 0 || action.op >= type.op_count()) {
+      out.invalid_action = true;
+      out.invalid_action_detail =
+          "poised on op " + std::to_string(action.op) + " of type '" +
+          type.name() + "' (" + std::to_string(type.op_count()) + " ops)";
+      continue;
+    }
+    objects_used[static_cast<std::size_t>(action.object)] = true;
+
+    const spec::ValueId value =
+        node.objects[static_cast<std::size_t>(action.object)];
+    const spec::Effect& effect = type.apply(value, action.op);
+    Node next = node;
+    next.objects[static_cast<std::size_t>(action.object)] = effect.next_value;
+    next.persisted = node.persisted || effect.next_value != value;
+    next.local = protocol.advance(pid, node.local, effect.response);
+    enqueue(std::move(next));
+  }
+  return out;
+}
+
+}  // namespace
+
+Report lint_protocol(const Protocol& protocol,
+                     const ProtocolLintOptions& options) {
+  Report report;
+  const std::string subject = protocol.name();
+  const int n = protocol.process_count();
+  const int object_count = protocol.object_count();
+
+  // Object table sanity first; a broken table would poison the exploration.
+  bool table_ok = true;
+  for (ObjectId obj = 0; obj < object_count; ++obj) {
+    const spec::ObjectType& type = protocol.object_type(obj);
+    const spec::ValueId init = protocol.initial_value(obj);
+    if (init < 0 || init >= type.value_count()) {
+      report.add(make_diagnostic(
+          kRuleInvalidAction, subject, "object " + std::to_string(obj),
+          "initial value " + std::to_string(init) + " outside type '" +
+              type.name() + "' (" + std::to_string(type.value_count()) +
+              " values)",
+          "fix the protocol's object table"));
+      table_ok = false;
+    }
+  }
+  if (!table_ok) return report;
+
+  std::vector<bool> objects_used(static_cast<std::size_t>(object_count),
+                                 false);
+  bool any_bound_hit = false;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    for (int input = 0; input <= 1; ++input) {
+      const Exploration e =
+          explore(protocol, pid, input, options, objects_used);
+
+      if (e.invalid_action) {
+        report.add(make_diagnostic(
+            kRuleInvalidAction, subject, where(pid, input),
+            e.invalid_action_detail,
+            "poised() must return object/op ids inside the object table"));
+      }
+      for (int d : e.invalid_decisions) {
+        report.add(make_diagnostic(
+            kRuleInvalidDecision, subject, where(pid, input),
+            "output state decides " + std::to_string(d) +
+                ", not a binary consensus value",
+            "decisions must be 0 or 1"));
+      }
+      if (e.bound_hit) {
+        any_bound_hit = true;
+        report.add(make_diagnostic(
+            kRuleStateBoundHit, subject, where(pid, input),
+            "exploration truncated at " + std::to_string(options.max_states) +
+                " states",
+            "raise ProtocolLintOptions::max_states for exhaustive claims"));
+      }
+      if (e.decisions.empty() && !e.bound_hit && !e.invalid_action) {
+        report.add(make_diagnostic(
+            kRuleNoOutputState, subject, where(pid, input),
+            "no output state reachable running solo (with up to " +
+                std::to_string(options.crash_budget) +
+                " crash(es)): the process can never decide",
+            "solo crash-free runs must terminate for recoverable "
+            "wait-freedom"));
+      }
+      if (e.decided_without_persist) {
+        report.add(make_diagnostic(
+            kRuleDecideBeforePersist, subject, where(pid, input),
+            "a path outputs a decision before any observable durable "
+            "write: a crash at the output state leaves no trace of the "
+            "decision",
+            "record the decision in a shared object before entering the "
+            "output state (see the durable-decision note in live_run.hpp)"));
+      }
+      if (e.decisions.size() > 1) {
+        std::string vals;
+        for (int d : e.decisions) {
+          if (!vals.empty()) vals += ", ";
+          vals += std::to_string(d);
+        }
+        report.add(make_diagnostic(
+            kRuleCrashDivergentDecision, subject, where(pid, input),
+            "crash-recovery paths output different decisions {" + vals +
+                "} for the same input",
+            "recovery must re-derive the pre-crash decision from durable "
+            "state (this is how test&set loses its consensus power under "
+            "recovery)"));
+      }
+    }
+  }
+
+  for (ObjectId obj = 0; obj < object_count; ++obj) {
+    if (objects_used[static_cast<std::size_t>(obj)]) continue;
+    report.add(make_diagnostic(
+        kRuleDeadObject, subject, "object " + std::to_string(obj),
+        "never used by any reachable poised action of any process" +
+            std::string(any_bound_hit ? " (within the explored bound)" : ""),
+        "remove the object or fix the states that should reach it"));
+  }
+
+  return report;
+}
+
+}  // namespace rcons::analysis

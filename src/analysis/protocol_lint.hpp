@@ -1,0 +1,49 @@
+// Static analysis of protocol state machines.
+//
+// Each process of an exec::Protocol is a deterministic state machine over
+// shared objects; the linter explores, per (process, input), the exact
+// product of (shared-object values x local state) for that process running
+// solo, extended with a bounded number of crash resets (volatile local
+// state lost, object values and past durable writes retained — the
+// paper's crash model). Solo-with-crashes is deliberately *semantic*: it
+// only ever feeds advance() responses the objects can really produce, so
+// protocols that RCONS_CHECK globally-impossible responses stay safe,
+// while the explored graph still contains every solo and post-crash
+// recovery path — which is exactly where the PLxxx rules live:
+//
+//   * reachability   — output states must be reachable (PL004), every
+//                      object should be touched by someone (PL001), and
+//                      actions/decisions must stay in range (PL002/PL003);
+//   * persist-before-decide — a path that outputs a decision before any
+//                      observable durable state change violates the
+//                      durable-decision invariant of the live runtime
+//                      (PL006);
+//   * crash stability — two crash-recovery paths of the same process with
+//                      the same input must not output different decisions
+//                      (PL007); this statically convicts tas_racing, the
+//                      protocol Golab's theorem dooms.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "exec/protocol.hpp"
+
+namespace rcons::analysis {
+
+struct ProtocolLintOptions {
+  /// Crash resets allowed per explored path. One crash is always
+  /// admissible in the crash-budget model once any process has taken a
+  /// step; larger budgets make PL007 stricter but begin to flag protocols
+  /// (e.g. T_{n,n'}) whose correctness legitimately depends on the
+  /// paper's crash budgets.
+  int crash_budget = 1;
+
+  /// Bound on explored (object values x local state) nodes per
+  /// (process, input). Hitting it downgrades absence claims to PL005.
+  int max_states = 50000;
+};
+
+/// Runs every protocol rule against `protocol`.
+Report lint_protocol(const exec::Protocol& protocol,
+                     const ProtocolLintOptions& options = {});
+
+}  // namespace rcons::analysis

@@ -1,0 +1,88 @@
+#include "analysis/rules.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace rcons::analysis {
+
+const std::vector<RuleInfo>& all_rules() {
+  static const auto* kRules = new std::vector<RuleInfo>{
+      {kRuleUnreachableValue, "unreachable-value", Severity::kError,
+       "value unreachable from the designated initial value; the machine "
+       "can never enter it, so its rows are dead spec (error only when the "
+       "file designates `initial`; note when the initial value is assumed)"},
+      {kRuleDeadOp, "dead-op", Severity::kError,
+       "op is a constant-response self-loop everywhere: it cannot change "
+       "or observe the value, so it adds schedules without adding power"},
+      {kRuleAliasedResponse, "aliased-response", Severity::kError,
+       "value-preserving op whose responses alias distinct values; it "
+       "cannot serve as the Read the paper's readable-type "
+       "characterizations (n-discerning / n-recording exactness) require"},
+      {kRuleShadowedRead, "shadowed-read", Severity::kWarning,
+       "op is a Read on every reachable value but aliased on unreachable "
+       "ones, so ObjectType::op_is_read rejects it and the type silently "
+       "loses its readability-based exactness guarantees"},
+      {kRuleUnusedResponse, "unused-response", Severity::kWarning,
+       "declared response never produced by any transition"},
+      {kRuleNondeterministicRow, "nondeterministic-row", Severity::kError,
+       "transition row redefines an earlier (value, op) row; the textual "
+       "spec is non-deterministic and the parser silently keeps the last "
+       "row, violating the model's determinism assumption"},
+      {kRuleOpClassification, "op-classification", Severity::kNote,
+       "informational: classifies each op as read / accessor / idempotent "
+       "/ mutator with its self-loop count"},
+      {kRuleTotalityAudit, "totality-audit", Severity::kError,
+       "transition table is not a total deterministic function "
+       "values x ops -> (response, value)"},
+      {kRuleDeadObject, "dead-object", Severity::kWarning,
+       "shared object never used by any reachable poised action"},
+      {kRuleInvalidAction, "invalid-action", Severity::kError,
+       "reachable state poised on an out-of-range object or op id; the "
+       "execution engine would abort"},
+      {kRuleInvalidDecision, "invalid-decision", Severity::kError,
+       "reachable output state decides a non-binary value; binary "
+       "consensus validity cannot hold"},
+      {kRuleNoOutputState, "no-output-state", Severity::kError,
+       "no output state reachable for some (process, input): the process "
+       "can never decide, so (recoverable) wait-freedom fails"},
+      {kRuleStateBoundHit, "state-bound-hit", Severity::kNote,
+       "informational: response-nondeterministic exploration truncated at "
+       "the state bound; path findings are best-effort"},
+      {kRuleDecideBeforePersist, "decide-before-persist", Severity::kWarning,
+       "some path decides without any observable durable write, so a crash "
+       "at the output state erases every trace of the decision "
+       "(persist-before-decide invariant of the live runtime)"},
+      {kRuleCrashDivergentDecision, "crash-divergent-decision",
+       Severity::kWarning,
+       "crash-recovery paths of one (process, input) output different "
+       "decisions; recovery fails to re-derive the decision from durable "
+       "state"},
+  };
+  return *kRules;
+}
+
+const RuleInfo& rule(const char* id) {
+  for (const RuleInfo& r : all_rules()) {
+    if (std::strcmp(r.id, id) == 0) return r;
+  }
+  RCONS_CHECK(false && "unknown lint rule id");
+  return all_rules().front();  // unreachable
+}
+
+Diagnostic make_diagnostic(const char* id, std::string subject,
+                           std::string location, std::string message,
+                           std::string hint) {
+  const RuleInfo& info = rule(id);
+  Diagnostic d;
+  d.rule = info.id;
+  d.rule_name = info.name;
+  d.severity = info.severity;
+  d.subject = std::move(subject);
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+}  // namespace rcons::analysis

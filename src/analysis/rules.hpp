@@ -1,0 +1,95 @@
+// The rule registry: the single source of truth for every lint rule.
+//
+// Each rule has a stable ID (TSxxx for type-spec rules, PLxxx for protocol
+// rules), a kebab-case name, a default severity, and a one-line summary of
+// the paper precondition or runtime invariant it guards. The linters fetch
+// rules from here so IDs, names, and severities cannot drift between the
+// analyzers, the tests, and the documentation (DESIGN.md's rule catalog is
+// generated from the same table by `rcons_cli lint --rules`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace rcons::analysis {
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  Severity severity;
+  /// What the rule checks, and which precondition it guards.
+  const char* summary;
+};
+
+// ---- Type-spec rules (over spec::ObjectType / .type files) ----
+
+/// Value unreachable from the declared initial value. Error when the file
+/// designates an initial value (the spec is then self-contradictory);
+/// note when the initial value is assumed (id 0) — searched machines such
+/// as X_4 legitimately carry values only reachable when chosen as initial.
+inline constexpr const char* kRuleUnreachableValue = "TS001";
+/// Operation whose every transition is an identical self-loop with one
+/// constant response: applying it can neither change nor observe anything.
+inline constexpr const char* kRuleDeadOp = "TS002";
+/// Value-preserving op whose responses alias two distinct values: it looks
+/// like a Read but cannot identify the value, so it fails the structural
+/// readability detector (ObjectType::op_is_read) — and readability is the
+/// precondition for the paper's exact characterizations.
+inline constexpr const char* kRuleAliasedResponse = "TS003";
+/// Value-preserving op injective on reachable values but aliased on
+/// unreachable ones: semantically a Read, yet op_is_read rejects it, so
+/// the type silently drops out of the readable-exactness regime.
+inline constexpr const char* kRuleShadowedRead = "TS004";
+/// Declared response never produced by any transition.
+inline constexpr const char* kRuleUnusedResponse = "TS005";
+/// Two transition rows for the same (value, op) pair: the textual spec is
+/// non-deterministic (the parser lets the last row win, silently).
+inline constexpr const char* kRuleNondeterministicRow = "TS006";
+/// Informational classification of each op: read / accessor / idempotent
+/// mutator / mutator, plus its self-loop count.
+inline constexpr const char* kRuleOpClassification = "TS007";
+/// Defensive audit of the transition table: size = values x ops and every
+/// next-value/response id in range (determinism + totality).
+inline constexpr const char* kRuleTotalityAudit = "TS008";
+
+// ---- Protocol rules (over exec::Protocol state machines) ----
+
+/// Shared object never referenced by any reachable poised action.
+inline constexpr const char* kRuleDeadObject = "PL001";
+/// Reachable state poised on an out-of-range object or op id.
+inline constexpr const char* kRuleInvalidAction = "PL002";
+/// Reachable output state whose decision is not a binary-consensus value.
+inline constexpr const char* kRuleInvalidDecision = "PL003";
+/// No output state reachable for some (process, input) even though the
+/// response-nondeterministic exploration was exhaustive: the process can
+/// never decide.
+inline constexpr const char* kRuleNoOutputState = "PL004";
+/// The exploration hit its state bound; path-sensitive findings for the
+/// affected process are best-effort (over-approximation truncated).
+inline constexpr const char* kRuleStateBoundHit = "PL005";
+/// A path from the initial state reaches an output state without a single
+/// observable durable write: the decision exists only in volatile local
+/// state, violating the persist-before-decide invariant the live runtime
+/// documents (live_run.hpp) — a crash erases every trace of the decision.
+inline constexpr const char* kRuleDecideBeforePersist = "PL006";
+/// Two crash-recovery paths of the same (process, input) output different
+/// decisions: recovery does not re-derive the pre-crash decision from
+/// durable state (the exact failure mode that gives test&set recoverable
+/// consensus number 1 despite consensus number 2).
+inline constexpr const char* kRuleCrashDivergentDecision = "PL007";
+
+/// All rules, in catalog order.
+const std::vector<RuleInfo>& all_rules();
+
+/// Lookup by ID; aborts on unknown IDs (programming error).
+const RuleInfo& rule(const char* id);
+
+/// Convenience: a Diagnostic pre-filled from the registry entry for `id`
+/// (severity can still be overridden by the caller afterwards).
+Diagnostic make_diagnostic(const char* id, std::string subject,
+                           std::string location, std::string message,
+                           std::string hint);
+
+}  // namespace rcons::analysis

@@ -1,0 +1,223 @@
+#include "analysis/type_lint.hpp"
+
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+
+namespace rcons::analysis {
+
+namespace {
+
+using spec::Effect;
+using spec::ObjectType;
+using spec::OpId;
+using spec::ResponseId;
+using spec::ValueId;
+
+std::vector<bool> reachable_mask(const ObjectType& type, ValueId initial) {
+  std::vector<bool> mask(static_cast<std::size_t>(type.value_count()), false);
+  for (ValueId v : type.reachable_values(initial)) {
+    mask[static_cast<std::size_t>(v)] = true;
+  }
+  return mask;
+}
+
+bool op_preserves_all_values(const ObjectType& type, OpId op) {
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    if (type.apply(v, op).next_value != v) return false;
+  }
+  return true;
+}
+
+/// Returns a pair of distinct values sharing a response under `op`,
+/// restricted to values where `mask` is true; (-1, -1) if injective there.
+std::pair<ValueId, ValueId> find_alias(const ObjectType& type, OpId op,
+                                       const std::vector<bool>& mask) {
+  std::vector<ValueId> owner(static_cast<std::size_t>(type.response_count()),
+                             -1);
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    if (!mask[static_cast<std::size_t>(v)]) continue;
+    const ResponseId r = type.apply(v, op).response;
+    ValueId& first = owner[static_cast<std::size_t>(r)];
+    if (first != -1) return {first, v};
+    first = v;
+  }
+  return {-1, -1};
+}
+
+/// True if applying `op` twice always lands where applying it once does.
+bool op_is_idempotent(const ObjectType& type, OpId op) {
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    const ValueId once = type.apply(v, op).next_value;
+    if (type.apply(once, op).next_value != once) return false;
+  }
+  return true;
+}
+
+void audit_table(const ObjectType& type, Report& report) {
+  if (type.value_count() <= 0 || type.op_count() <= 0) {
+    report.add(make_diagnostic(
+        kRuleTotalityAudit, type.name(), "",
+        "type declares no values or no ops", "declare at least one value "
+        "and one operation"));
+    return;
+  }
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    for (OpId op = 0; op < type.op_count(); ++op) {
+      const Effect& e = type.apply(v, op);
+      if (e.next_value < 0 || e.next_value >= type.value_count() ||
+          e.response < 0 || e.response >= type.response_count()) {
+        report.add(make_diagnostic(
+            kRuleTotalityAudit, type.name(),
+            "value '" + type.value_name(v) + "', op '" + type.op_name(op) +
+                "'",
+            "transition leaves the declared value/response space",
+            "rebuild the type through TypeBuilder, which validates ids"));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Report lint_type(const ObjectType& type, const TypeLintOptions& options) {
+  Report report;
+  audit_table(type, report);
+  if (!report.empty()) return report;  // table unusable; rules would lie
+
+  const ValueId initial = options.initial.value_or(0);
+  const std::vector<bool> reachable = reachable_mask(type, initial);
+  const std::vector<bool> all(static_cast<std::size_t>(type.value_count()),
+                              true);
+
+  // TS006 — non-deterministic rows observed by the parser.
+  for (const spec::DuplicateRow& dup : options.duplicate_rows) {
+    report.add(make_diagnostic(
+        kRuleNondeterministicRow, type.name(),
+        "line " + std::to_string(dup.line),
+        "row redefines (" + dup.value + ", " + dup.op + ") first specified " +
+            (dup.first_line > 0 ? "on line " + std::to_string(dup.first_line)
+                                : "by a readop directive"),
+        "delete one of the rows; the parser silently keeps the last"));
+  }
+
+  // TS001 — values unreachable from the initial value.
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    if (reachable[static_cast<std::size_t>(v)]) continue;
+    Diagnostic d = make_diagnostic(
+        kRuleUnreachableValue, type.name(), "value '" + type.value_name(v) +
+            "'",
+        "unreachable from " +
+            std::string(options.initial.has_value() ? "declared initial "
+                                                    : "assumed initial ") +
+            "value '" + type.value_name(initial) + "'",
+        options.initial.has_value()
+            ? "remove the value or fix the transitions that should reach it"
+            : "declare `initial <value>` to make reachability checkable");
+    // Without a designated initial value this is only a smell: any value
+    // can serve as an object's initial value in an assignment.
+    if (!options.initial.has_value()) d.severity = Severity::kNote;
+    report.add(d);
+  }
+
+  // Per-op rules.
+  for (OpId op = 0; op < type.op_count(); ++op) {
+    const bool preserving = op_preserves_all_values(type, op);
+
+    // TS002 — dead op: self-loop everywhere with one constant response.
+    bool dead = preserving;
+    if (dead) {
+      const ResponseId r0 = type.apply(0, op).response;
+      for (ValueId v = 1; v < type.value_count() && dead; ++v) {
+        if (type.apply(v, op).response != r0) dead = false;
+      }
+      if (type.value_count() < 2) dead = false;  // trivially constant
+    }
+    if (dead) {
+      report.add(make_diagnostic(
+          kRuleDeadOp, type.name(), "op '" + type.op_name(op) + "'",
+          "every transition is a self-loop returning '" +
+              type.response_name(type.apply(0, op).response) +
+              "': the op can neither change nor observe the value",
+          "remove the op; it only inflates the schedule space S(P)"));
+    }
+
+    // TS003 / TS004 — aliased responses on value-preserving ops.
+    if (preserving && !dead && !type.op_is_read(op)) {
+      const auto [a, b] = find_alias(type, op, reachable);
+      if (a != -1) {
+        report.add(make_diagnostic(
+            kRuleAliasedResponse, type.name(), "op '" + type.op_name(op) +
+                "'",
+            "value-preserving but responses alias values '" +
+                type.value_name(a) + "' and '" + type.value_name(b) +
+                "': cannot serve as a Read",
+            "give each value a distinct response to restore readability"));
+      } else if (find_alias(type, op, all).first != -1) {
+        const auto [ua, ub] = find_alias(type, op, all);
+        report.add(make_diagnostic(
+            kRuleShadowedRead, type.name(), "op '" + type.op_name(op) + "'",
+            "a Read on every reachable value, but values '" +
+                type.value_name(ua) + "' and '" + type.value_name(ub) +
+                "' (at least one unreachable) share a response, so "
+                "op_is_read rejects it",
+            "disambiguate the unreachable values' responses or delete them"));
+      }
+    }
+
+    // TS007 — informational classification.
+    if (options.classify_ops) {
+      int self_loops = 0;
+      for (ValueId v = 0; v < type.value_count(); ++v) {
+        if (type.apply(v, op).next_value == v) ++self_loops;
+      }
+      const char* kind = type.op_is_read(op)          ? "read"
+                         : preserving                 ? "accessor"
+                         : op_is_idempotent(type, op) ? "idempotent mutator"
+                                                      : "mutator";
+      report.add(make_diagnostic(
+          kRuleOpClassification, type.name(), "op '" + type.op_name(op) + "'",
+          std::string(kind) + ", " + std::to_string(self_loops) + "/" +
+              std::to_string(type.value_count()) + " self-loops",
+          ""));
+    }
+  }
+
+  // TS005 — declared responses never produced.
+  std::vector<bool> used(static_cast<std::size_t>(type.response_count()),
+                         false);
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    for (OpId op = 0; op < type.op_count(); ++op) {
+      used[static_cast<std::size_t>(type.apply(v, op).response)] = true;
+    }
+  }
+  for (ResponseId r = 0; r < type.response_count(); ++r) {
+    if (used[static_cast<std::size_t>(r)]) continue;
+    report.add(make_diagnostic(
+        kRuleUnusedResponse, type.name(), "response '" +
+            type.response_name(r) + "'",
+        "declared but never produced by any transition",
+        "remove the response or add the transition that should return it"));
+  }
+
+  return report;
+}
+
+Report lint_type_text(std::string_view text, std::string_view subject_hint) {
+  const spec::ParseResult parsed = spec::parse_type(text);
+  if (!parsed.ok()) {
+    Report report;
+    report.add(make_diagnostic(
+        kRuleTotalityAudit, std::string(subject_hint),
+        "line " + std::to_string(parsed.error_line), parsed.error,
+        "fix the file until `rcons_cli show <file>` accepts it"));
+    return report;
+  }
+  TypeLintOptions options;
+  options.initial = parsed.declared_initial;
+  options.duplicate_rows = parsed.duplicates;
+  return lint_type(*parsed.type, options);
+}
+
+}  // namespace rcons::analysis

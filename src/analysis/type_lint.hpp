@@ -1,0 +1,52 @@
+// Static analysis of sequential type specifications.
+//
+// The paper's exact characterizations — Ruppert's n-discerning condition
+// for consensus numbers and DFFR's n-recording condition for recoverable
+// consensus numbers — hold only for *deterministic readable* types. A
+// .type file can silently leave that regime (an aliased "read" defeats
+// the structural readability detector; a duplicated row makes the spec
+// non-deterministic) or carry dead weight (unreachable values, inert
+// ops) that inflates every exhaustive decision procedure downstream.
+// lint_type audits an ObjectType against the TSxxx rules in rules.hpp;
+// lint_type_text additionally sees text-level facts (duplicate rows, the
+// `initial` directive) that do not survive parsing into an ObjectType.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "spec/object_type.hpp"
+#include "spec/serialize.hpp"
+
+namespace rcons::analysis {
+
+struct TypeLintOptions {
+  /// The value reachability questions start from. When unset, value 0 is
+  /// assumed (the catalog's convention) and TS001 downgrades to a note:
+  /// without a designated initial value, an "unreachable" value may still
+  /// be a legitimate initial value for some assignment (the searched X_n
+  /// machines ship such values).
+  std::optional<spec::ValueId> initial;
+
+  /// Duplicate transition rows observed by the parser (TS006). Filled in
+  /// automatically by lint_type_text.
+  std::vector<spec::DuplicateRow> duplicate_rows;
+
+  /// Emit the per-op TS007 classification notes.
+  bool classify_ops = true;
+};
+
+/// Runs every type-spec rule against `type`.
+Report lint_type(const spec::ObjectType& type, const TypeLintOptions& options);
+
+/// Parses `text` as a .type file and lints it, wiring the parser's
+/// duplicate-row and `initial` observations into the rules. On a parse
+/// error the report carries a single TS008 error describing it (a file
+/// that does not parse is by definition not a total deterministic spec).
+/// `subject_hint` names the report subject when parsing fails before the
+/// type name is known (e.g. the file path).
+Report lint_type_text(std::string_view text, std::string_view subject_hint);
+
+}  // namespace rcons::analysis

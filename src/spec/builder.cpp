@@ -65,8 +65,11 @@ TypeBuilder::TransitionSetter TypeBuilder::on(std::string_view value,
                   "' in type ", type_.name());
   RCONS_CHECK_MSG(o.has_value(), "undeclared op '", std::string(op),
                   "' in type ", type_.name());
-  // Default: self-loop returning "ok" (overridable via then/returns).
-  set_transition(*v, *o, *v, response("ok"));
+  // Default: self-loop returning "ok" (overridable via then/returns). The
+  // "ok" response is interned lazily in build() so that types where every
+  // transition sets an explicit response do not carry a dead "ok" (the
+  // linter's TS005 flags declared-but-never-produced responses).
+  set_transition(*v, *o, *v, kPendingDefaultResponse);
   return TransitionSetter(this, *v, *o);
 }
 
@@ -122,6 +125,7 @@ ObjectType TypeBuilder::build() const {
   RCONS_CHECK_MSG(type_.value_count() > 0, "type ", type_.name(),
                   " has no values");
   RCONS_CHECK_MSG(type_.op_count() > 0, "type ", type_.name(), " has no ops");
+  ObjectType built = type_;
   for (ValueId v = 0; v < type_.value_count(); ++v) {
     for (OpId op = 0; op < type_.op_count(); ++op) {
       const std::size_t idx = static_cast<std::size_t>(v) *
@@ -130,9 +134,18 @@ ObjectType TypeBuilder::build() const {
       RCONS_CHECK_MSG(defined_[idx], "type ", type_.name(),
                       ": missing transition for value '", type_.value_name(v),
                       "' op '", type_.op_name(op), "'");
+      if (built.delta_[idx].response == kPendingDefaultResponse) {
+        // Intern the default "ok" now that we know it is actually used.
+        if (auto existing = built.find_response("ok")) {
+          built.delta_[idx].response = *existing;
+        } else {
+          built.response_names_.emplace_back("ok");
+          built.delta_[idx].response = built.response_count() - 1;
+        }
+      }
     }
   }
-  return type_;
+  return built;
 }
 
 }  // namespace rcons::spec

@@ -66,6 +66,10 @@ class TypeBuilder {
  private:
   friend class TransitionSetter;
 
+  /// Sentinel response for transitions set by on() whose returns() was not
+  /// (yet) called; replaced by an interned "ok" in build().
+  static constexpr ResponseId kPendingDefaultResponse = -1;
+
   void set_transition(ValueId v, OpId op, ValueId next, ResponseId resp);
 
   ObjectType type_;

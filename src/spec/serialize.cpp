@@ -1,6 +1,8 @@
 #include "spec/serialize.hpp"
 
+#include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "spec/builder.hpp"
@@ -43,6 +45,17 @@ ParseResult parse_type(std::string_view text) {
   // Track declarations so transitions can be validated with good errors.
   std::vector<std::string> values;
   std::vector<std::string> ops;
+  // Coverage of (value, op) pairs, keyed by name, valued by the line that
+  // defined the pair (0 for readop-generated rows). Doubles as the totality
+  // check and the duplicate-row detector. Tracking incrementally (rather
+  // than re-scanning) matches TypeBuilder semantics exactly: a readop only
+  // generates transitions for values declared *before* it, so a value
+  // declared after a readop is correctly reported as missing transitions
+  // instead of slipping past the check and aborting in build().
+  std::map<std::pair<std::string, std::string>, int> covered;
+
+  std::vector<DuplicateRow> duplicates;
+  std::optional<std::string> initial_name;
 
   const auto declared = [](const std::vector<std::string>& names,
                            const std::string& name) {
@@ -88,13 +101,28 @@ ParseResult parse_type(std::string_view text) {
       builder->op(tok[1]);
       continue;
     }
+    if (tok[0] == "initial") {
+      if (tok.size() != 2) return fail(line_no, "usage: initial <value>");
+      if (!declared(values, tok[1])) {
+        return fail(line_no, "undeclared value '" + tok[1] + "'");
+      }
+      if (initial_name.has_value()) {
+        return fail(line_no, "duplicate 'initial' directive");
+      }
+      initial_name = tok[1];
+      continue;
+    }
     if (tok[0] == "readop") {
       if (tok.size() != 2) return fail(line_no, "usage: readop <name>");
       if (values.empty()) {
         return fail(line_no, "readop must follow the value declarations");
       }
+      if (declared(ops, tok[1])) {
+        return fail(line_no, "duplicate op '" + tok[1] + "'");
+      }
       ops.push_back(tok[1]);
       builder->make_read_op(tok[1]);
+      for (const auto& v : values) covered[{v, tok[1]}] = 0;
       continue;
     }
 
@@ -108,6 +136,13 @@ ParseResult parse_type(std::string_view text) {
       }
       if (!declared(values, tok[3])) {
         return fail(line_no, "undeclared value '" + tok[3] + "'");
+      }
+      const auto [it, inserted] = covered.try_emplace({tok[0], tok[1]},
+                                                      line_no);
+      if (!inserted) {
+        duplicates.push_back(DuplicateRow{line_no, it->second, tok[0],
+                                          tok[1]});
+        it->second = line_no;
       }
       builder->on(tok[0], tok[1]).then(tok[3]).returns(tok[5]);
       continue;
@@ -124,44 +159,21 @@ ParseResult parse_type(std::string_view text) {
 
   // Validate totality ourselves (TypeBuilder::build aborts on holes, which
   // would be hostile for user-supplied text).
-  // Rebuild declared ops' transition coverage from the builder is private;
-  // instead probe via a dry check: attempt build in a child process is
-  // overkill, so replicate the check by parsing our own emitted text is
-  // circular. Track coverage here:
-  // (simplest: re-scan the text for transitions + readops)
-  std::vector<std::vector<bool>> covered(
-      values.size(), std::vector<bool>(ops.size(), false));
-  int scan_line = 0;
-  for (const auto& raw_line : split(std::string(text), '\n')) {
-    ++scan_line;
-    std::string_view line = trim(raw_line);
-    if (line.empty() || line.front() == '#') continue;
-    const std::vector<std::string> tok = tokens_of(line);
-    if (tok[0] == "readop" && tok.size() == 2) {
-      for (std::size_t v = 0; v < values.size(); ++v) {
-        for (std::size_t o = 0; o < ops.size(); ++o) {
-          if (ops[o] == tok[1]) covered[v][o] = true;
-        }
-      }
-    } else if (tok.size() == 6 && tok[2] == "->" && tok[4] == "/") {
-      for (std::size_t v = 0; v < values.size(); ++v) {
-        for (std::size_t o = 0; o < ops.size(); ++o) {
-          if (values[v] == tok[0] && ops[o] == tok[1]) covered[v][o] = true;
-        }
-      }
-    }
-  }
-  for (std::size_t v = 0; v < values.size(); ++v) {
-    for (std::size_t o = 0; o < ops.size(); ++o) {
-      if (!covered[v][o]) {
-        return fail(line_no, "missing transition for value '" + values[v] +
-                                 "' op '" + ops[o] + "'");
+  for (const auto& v : values) {
+    for (const auto& o : ops) {
+      if (!covered.count({v, o})) {
+        return fail(line_no, "missing transition for value '" + v + "' op '" +
+                                 o + "'");
       }
     }
   }
 
   ParseResult result;
   result.type = builder->build();
+  result.duplicates = std::move(duplicates);
+  if (initial_name.has_value()) {
+    result.declared_initial = result.type->find_value(*initial_name);
+  }
   return result;
 }
 

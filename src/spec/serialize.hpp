@@ -17,25 +17,45 @@
 //   type <name>                  — exactly once, first non-comment line
 //   value <name>                 — declares a value (order = id order)
 //   op <name>                    — declares an operation
+//   initial <name>               — optional: designates the initial value
+//                                  (defaults to the first declared value;
+//                                  tools like the linter use this to decide
+//                                  reachability questions)
 //   readop <name>                — declares a Read operation (transitions
 //                                  generated for all values; place after
 //                                  all `value` lines)
 //   <value> <op> -> <next> / <response>   — one transition
-// Every (value, declared-op) pair must end up with a transition.
+// Every (value, declared-op) pair must end up with a transition. A repeated
+// row for the same (value, op) pair is accepted (last row wins, matching
+// TypeBuilder), but every earlier row is reported in ParseResult::duplicates
+// so the linter can flag the specification as non-deterministic.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "spec/object_type.hpp"
 
 namespace rcons::spec {
 
+/// A transition row that redefined an already-specified (value, op) pair.
+struct DuplicateRow {
+  int line = 0;        // line of the overriding row
+  int first_line = 0;  // line that first defined the pair (0 for readop)
+  std::string value;
+  std::string op;
+};
+
 struct ParseResult {
   std::optional<ObjectType> type;
   std::string error;  // empty on success
   int error_line = 0;
+  /// Redefined transition rows, in file order (empty for clean files).
+  std::vector<DuplicateRow> duplicates;
+  /// Value named by an `initial` directive, if the file had one.
+  std::optional<ValueId> declared_initial;
 
   bool ok() const { return type.has_value(); }
 };

@@ -1,0 +1,419 @@
+// Tests for the rcons::analysis linters: every rule in the registry must
+// fire on its fixture (with the registered ID and severity) and must stay
+// quiet on the shipped catalog types and protocols. The broken .type
+// fixtures live in tests/fixtures/; broken protocols are defined locally
+// because no shipped protocol is (or should be) broken enough.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/naive_register.hpp"
+#include "algo/propose_consensus.hpp"
+#include "algo/protocol_base.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/sticky_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "analysis/analysis.hpp"
+#include "spec/builder.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+
+namespace rcons::analysis {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(RCONS_SOURCE_DIR) + "/tests/fixtures/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// True iff the report contains a finding for `rule_id` at exactly the
+/// severity the registry declares for it.
+bool fires(const Report& report, const char* rule_id) {
+  const Severity expected = rule(rule_id).severity;
+  return std::any_of(report.diagnostics().begin(), report.diagnostics().end(),
+                     [&](const Diagnostic& d) {
+                       return d.rule == rule_id && d.severity == expected;
+                     });
+}
+
+// ---- Rule registry ----
+
+TEST(Rules, IdsAreUniqueAndNamed) {
+  std::set<std::string> ids;
+  for (const RuleInfo& info : all_rules()) {
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
+    EXPECT_STRNE(info.name, "");
+    EXPECT_STRNE(info.summary, "");
+  }
+  EXPECT_GE(ids.size(), 15u);
+}
+
+TEST(Rules, LookupMatchesRegistry) {
+  EXPECT_STREQ(rule(kRuleUnreachableValue).id, "TS001");
+  EXPECT_EQ(rule(kRuleUnreachableValue).severity, Severity::kError);
+  EXPECT_EQ(rule(kRuleOpClassification).severity, Severity::kNote);
+  EXPECT_EQ(rule(kRuleCrashDivergentDecision).severity, Severity::kWarning);
+}
+
+// ---- Broken fixtures: each must trip its rule at error severity ----
+
+TEST(TypeLintFixtures, UnreachableValueWithDeclaredInitialIsError) {
+  const Report r = lint_type_text(read_fixture("broken_unreachable_value.type"),
+                                  "broken_unreachable_value.type");
+  EXPECT_TRUE(fires(r, kRuleUnreachableValue)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(TypeLintFixtures, DeadOpIsError) {
+  const Report r = lint_type_text(read_fixture("broken_dead_op.type"),
+                                  "broken_dead_op.type");
+  EXPECT_TRUE(fires(r, kRuleDeadOp)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(TypeLintFixtures, AliasedResponseIsError) {
+  const Report r = lint_type_text(read_fixture("broken_aliased_response.type"),
+                                  "broken_aliased_response.type");
+  EXPECT_TRUE(fires(r, kRuleAliasedResponse)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(TypeLintFixtures, NondeterministicRowIsError) {
+  const Report r =
+      lint_type_text(read_fixture("broken_nondeterministic_row.type"),
+                     "broken_nondeterministic_row.type");
+  EXPECT_TRUE(fires(r, kRuleNondeterministicRow)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+// ---- Rules not covered by the fixtures ----
+
+TEST(TypeLint, UnreachableValueWithoutInitialIsOnlyANote) {
+  // Same machine as the fixture but no `initial` directive: the orphan
+  // value could legitimately serve as an initial value in an assignment.
+  spec::TypeBuilder b("no_initial");
+  b.value("v0");
+  b.value("v1");
+  b.value("orphan");
+  b.op("flip");
+  b.on("v0", "flip").then("v1").returns("moved");
+  b.on("v1", "flip").then("v0").returns("moved");
+  b.on("orphan", "flip").then("v0").returns("escaped");
+  const Report r = lint_type(b.build(), TypeLintOptions{});
+  bool found_note = false;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == kRuleUnreachableValue) {
+      EXPECT_EQ(d.severity, Severity::kNote);
+      found_note = true;
+    }
+  }
+  EXPECT_TRUE(found_note) << r.render_text();
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(TypeLint, ShadowedReadIsWarning) {
+  // `look` is injective on the reachable values {a, b} but aliases the
+  // unreachable value c, so op_is_read rejects it: TS004, not TS003.
+  spec::TypeBuilder b("shadowed");
+  b.value("a");
+  b.value("b");
+  b.value("c");
+  b.op("look");
+  b.op("go");
+  b.on("a", "look").returns("ra");
+  b.on("b", "look").returns("rb");
+  b.on("c", "look").returns("ra");
+  b.on("a", "go").then("b").returns("done");
+  b.on("b", "go").then("a").returns("done");
+  b.on("c", "go").then("a").returns("done");
+  const spec::ObjectType t = b.build();
+  EXPECT_FALSE(t.op_is_read(*t.find_op("look")));
+  const Report r = lint_type(t, TypeLintOptions{});
+  EXPECT_TRUE(fires(r, kRuleShadowedRead)) << r.render_text();
+  EXPECT_FALSE(fires(r, kRuleAliasedResponse)) << r.render_text();
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(TypeLint, UnusedResponseIsWarning) {
+  spec::TypeBuilder b("unused_resp");
+  b.value("a");
+  b.op("spin");
+  b.response("never_returned");
+  b.on("a", "spin").returns("done");
+  const Report r = lint_type(b.build(), TypeLintOptions{});
+  EXPECT_TRUE(fires(r, kRuleUnusedResponse)) << r.render_text();
+}
+
+TEST(TypeLint, ParseErrorSurfacesAsTotalityAudit) {
+  const Report r = lint_type_text("type t\nfrobnicate\n", "garbage.type");
+  ASSERT_EQ(r.diagnostics().size(), 1u);
+  EXPECT_EQ(r.diagnostics()[0].rule, kRuleTotalityAudit);
+  EXPECT_EQ(r.diagnostics()[0].severity, Severity::kError);
+  EXPECT_EQ(r.diagnostics()[0].subject, "garbage.type");
+  EXPECT_EQ(r.diagnostics()[0].location, "line 2");
+}
+
+TEST(TypeLint, ClassifiesOpsOfTestAndSet) {
+  const Report r = lint_type(spec::make_test_and_set(), TypeLintOptions{});
+  // tas is an idempotent mutator, read is a read; both get TS007 notes.
+  int classifications = 0;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == kRuleOpClassification) ++classifications;
+  }
+  EXPECT_EQ(classifications, 2) << r.render_text();
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kWarning))
+      << r.render_text();
+}
+
+TEST(TypeLint, CatalogTypesHaveNoErrors) {
+  for (const spec::ObjectType& t :
+       {spec::make_register(4), spec::make_test_and_set(), spec::make_swap(3),
+        spec::make_fetch_and_add(5), spec::make_cas(3), spec::make_sticky(3),
+        spec::make_consensus_object(3), spec::make_queue(2),
+        spec::make_tnn(5, 2), spec::make_xn(4)}) {
+    const Report r = lint_type(t, TypeLintOptions{});
+    EXPECT_FALSE(r.has_findings_at_least(Severity::kError))
+        << t.name() << ":\n" << r.render_text();
+  }
+}
+
+TEST(TypeLint, PeekQueueIsCorrectlyConvictedAsNonReadable) {
+  // peek only reveals the front of the queue, so distinct contents with
+  // equal fronts share a response: the type deliberately sits outside the
+  // readable regime where the paper's characterizations are exact, and
+  // TS003 is the linter saying so. This is the type-side calibration case
+  // (as tas_racing is for PL007).
+  const Report r = lint_type(spec::make_peek_queue(2), TypeLintOptions{});
+  EXPECT_TRUE(fires(r, kRuleAliasedResponse)) << r.render_text();
+}
+
+// ---- Report rendering ----
+
+TEST(Report, RenderTextIncludesRuleAndSummaryLine) {
+  Report r;
+  r.add(make_diagnostic(kRuleDeadOp, "subj", "op 'x'", "msg", "do better"));
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("error[TS002"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos) << text;
+}
+
+TEST(Report, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, RenderJsonIsStructurallySound) {
+  Report r;
+  r.add(make_diagnostic(kRuleDeadOp, "has \"quotes\"", "op 'x'",
+                        "line1\nline2", ""));
+  const std::string json = r.render_json();
+  // Minimal structural validation: balanced braces/brackets outside of
+  // strings and no raw control characters.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control char";
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << json;
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+}
+
+TEST(Report, MergeAndThreshold) {
+  Report a;
+  a.add(make_diagnostic(kRuleOpClassification, "s", "", "note", ""));
+  Report b;
+  b.add(make_diagnostic(kRuleUnusedResponse, "s", "", "warn", ""));
+  a.merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_TRUE(a.has_findings_at_least(Severity::kNote));
+  EXPECT_TRUE(a.has_findings_at_least(Severity::kWarning));
+  EXPECT_FALSE(a.has_findings_at_least(Severity::kError));
+}
+
+// ---- Protocol lint: shipped protocols ----
+
+TEST(ProtocolLint, ShippedProtocolsHaveNoErrors) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  const algo::CasConsensus cas2(2);
+  const algo::StickyConsensus sticky3(3);
+  const algo::NaiveProposeConsensus propose(2, 2);
+  const algo::TasRacingConsensus tas_racing;
+  const algo::NaiveRegisterConsensus naive(2);
+  const algo::RecordingConsensus recording(cas, 2);
+  const algo::TnnWaitFreeConsensus tnn_wf(5, 2);
+  const algo::TnnRecoverableConsensus tnn_rec(5, 2, 2);
+  for (const exec::Protocol* p :
+       {static_cast<const exec::Protocol*>(&cas2),
+        static_cast<const exec::Protocol*>(&sticky3),
+        static_cast<const exec::Protocol*>(&propose),
+        static_cast<const exec::Protocol*>(&tas_racing),
+        static_cast<const exec::Protocol*>(&naive),
+        static_cast<const exec::Protocol*>(&recording),
+        static_cast<const exec::Protocol*>(&tnn_wf),
+        static_cast<const exec::Protocol*>(&tnn_rec)}) {
+    const Report r = lint_protocol(*p);
+    EXPECT_FALSE(r.has_findings_at_least(Severity::kError))
+        << p->name() << ":\n" << r.render_text();
+  }
+}
+
+TEST(ProtocolLint, CasConsensusIsCompletelyClean) {
+  const Report r = lint_protocol(algo::CasConsensus(2));
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kWarning))
+      << r.render_text();
+}
+
+TEST(ProtocolLint, TasRacingDecisionDivergesAcrossACrash) {
+  // The calibration result: one crash is enough for a solo tas_racing
+  // process to re-run the race and decide differently — the static
+  // counterpart of algo_test's CrashRecoveryViolatesAgreement and the
+  // reason test&set has recoverable consensus number 1.
+  const Report r = lint_protocol(algo::TasRacingConsensus());
+  EXPECT_TRUE(fires(r, kRuleCrashDivergentDecision)) << r.render_text();
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kError)) << r.render_text();
+}
+
+TEST(ProtocolLint, TasRacingIsStableWithoutCrashes) {
+  ProtocolLintOptions options;
+  options.crash_budget = 0;
+  const Report r = lint_protocol(algo::TasRacingConsensus(), options);
+  EXPECT_FALSE(fires(r, kRuleCrashDivergentDecision)) << r.render_text();
+}
+
+TEST(ProtocolLint, NaiveRegisterDecidesBeforePersisting) {
+  // Input 0 never changes the register away from its initial value, so the
+  // decision exists only in volatile local state.
+  const Report r = lint_protocol(algo::NaiveRegisterConsensus(2));
+  EXPECT_TRUE(fires(r, kRuleDecideBeforePersist)) << r.render_text();
+}
+
+// ---- Protocol lint: locally-broken protocols ----
+
+/// A protocol poised on an op id the object's type does not have.
+class BadOpProtocol : public algo::ProtocolBase {
+ public:
+  BadOpProtocol() : ProtocolBase("bad_op", 1) {
+    add_object(spec::make_test_and_set(), "0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState&) const override {
+    return exec::Action::invoke(0, 99);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return state;
+  }
+};
+
+/// A protocol that "decides" a value outside {0, 1}.
+class BadDecisionProtocol : public algo::ProtocolBase {
+ public:
+  BadDecisionProtocol() : ProtocolBase("bad_decision", 1) {
+    add_object(spec::make_test_and_set(), "0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke(0, 0);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState&,
+                           spec::ResponseId) const override {
+    return make_decided(7);
+  }
+};
+
+/// A protocol that spins on a read forever and never reaches an output
+/// state (the solo state space is finite, so the exploration is exact).
+class NeverDecidesProtocol : public algo::ProtocolBase {
+ public:
+  NeverDecidesProtocol() : ProtocolBase("never_decides", 1) {
+    spec::ObjectType tas = spec::make_test_and_set();
+    read_ = *tas.find_op("read");
+    add_object(std::move(tas), "0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState&) const override {
+    return exec::Action::invoke(0, read_);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return state;
+  }
+
+ private:
+  spec::OpId read_;
+};
+
+/// A two-object protocol that only ever touches object 0.
+class DeadObjectProtocol : public algo::ProtocolBase {
+ public:
+  DeadObjectProtocol() : ProtocolBase("dead_object", 1) {
+    spec::ObjectType tas = spec::make_test_and_set();
+    tas_ = *tas.find_op("tas");
+    add_object(tas, "0");
+    add_object(std::move(tas), "0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke(0, tas_);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState&,
+                           spec::ResponseId) const override {
+    return make_decided(0);
+  }
+
+ private:
+  spec::OpId tas_;
+};
+
+TEST(ProtocolLint, OutOfRangeOpIsError) {
+  const Report r = lint_protocol(BadOpProtocol());
+  EXPECT_TRUE(fires(r, kRuleInvalidAction)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(ProtocolLint, NonBinaryDecisionIsError) {
+  const Report r = lint_protocol(BadDecisionProtocol());
+  EXPECT_TRUE(fires(r, kRuleInvalidDecision)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(ProtocolLint, NeverDecidingProcessIsError) {
+  const Report r = lint_protocol(NeverDecidesProtocol());
+  EXPECT_TRUE(fires(r, kRuleNoOutputState)) << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(ProtocolLint, UntouchedObjectIsWarning) {
+  const Report r = lint_protocol(DeadObjectProtocol());
+  EXPECT_TRUE(fires(r, kRuleDeadObject)) << r.render_text();
+}
+
+}  // namespace
+}  // namespace rcons::analysis

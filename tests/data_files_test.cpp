@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analysis.hpp"
 #include "hierarchy/consensus_number.hpp"
 #include "spec/catalog.hpp"
 #include "spec/paper_types.hpp"
@@ -66,6 +67,24 @@ TEST(DataFiles, AllShippedFilesParse) {
        {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "queue2"}) {
     const ObjectType t = load(name);
     EXPECT_GT(t.value_count(), 0) << name;
+  }
+}
+
+TEST(DataFiles, AllShippedFilesLintClean) {
+  // The same gate `rcons_cli lint` (and CI) enforces: shipped specs must
+  // carry zero error-severity findings. Notes and warnings are allowed —
+  // x4/x5-style machines legitimately keep values that are only reachable
+  // when chosen as an object's initial value.
+  for (const char* name :
+       {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "queue2"}) {
+    std::ifstream in(data_dir() + "/" + name + ".type");
+    ASSERT_TRUE(in.good()) << "missing data file " << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const analysis::Report report =
+        analysis::lint_type_text(buffer.str(), name);
+    EXPECT_EQ(report.error_count(), 0)
+        << name << ":\n" << report.render_text();
   }
 }
 

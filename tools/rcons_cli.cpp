@@ -12,6 +12,11 @@
 //                  | tnnwf <n> <n'> | recording <type> <n>
 //   rcons_cli critical <protocol...>     valency trace (Figures 1-2 style)
 //   rcons_cli search   [restarts] [mutations] [seed]
+//   rcons_cli lint     [--format=text|json] [--threshold=error|warning|note]
+//                      <type>... | protocol <protocol...>
+//                                        static analysis (see DESIGN.md);
+//                                        exits 1 on findings >= threshold
+//   rcons_cli lint --rules               print the rule catalog
 //
 // <type> is either a catalog name (see `list`) or a path to a .type file.
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include <string>
 
 #include "algo/cas_consensus.hpp"
+#include "analysis/analysis.hpp"
 #include "algo/naive_register.hpp"
 #include "algo/propose_consensus.hpp"
 #include "algo/recording_consensus.hpp"
@@ -269,6 +275,86 @@ int cmd_chain(rcons::exec::Protocol& protocol) {
   return chain.reached_recording ? 0 : 1;
 }
 
+int cmd_lint(int argc, char** argv) {
+  using rcons::analysis::Report;
+  using rcons::analysis::Severity;
+
+  bool json = false;
+  Severity threshold = Severity::kError;
+  std::vector<std::string> targets;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      for (const auto& r : rcons::analysis::all_rules()) {
+        std::printf("%-6s %-26s %-8s %s\n", r.id, r.name,
+                    rcons::analysis::severity_name(r.severity), r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      return fail("unknown format '" + arg.substr(9) + "' (json|text)");
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      const std::string level = arg.substr(12);
+      if (level == "error") {
+        threshold = Severity::kError;
+      } else if (level == "warning") {
+        threshold = Severity::kWarning;
+      } else if (level == "note") {
+        threshold = Severity::kNote;
+      } else {
+        return fail("unknown threshold '" + level + "'");
+      }
+    } else if (arg == "protocol") {
+      // The rest of the argv names one protocol; lint it and stop.
+      std::string error;
+      auto protocol = make_protocol(argc - i - 1, argv + i + 1, &error);
+      if (!protocol) return fail(error);
+      targets.clear();
+      targets.push_back("protocol");
+      Report report = rcons::analysis::lint_protocol(*protocol);
+      std::printf("%s", json ? report.render_json().c_str()
+                             : report.render_text().c_str());
+      if (json) std::printf("\n");
+      return report.has_findings_at_least(threshold) ? 1 : 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail("unknown lint flag '" + arg + "'");
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) {
+    return fail("lint needs at least one <type>, .type file, or "
+                "'protocol <spec...>'");
+  }
+
+  Report report;
+  for (const std::string& target : targets) {
+    // Files get the text front end (sees duplicate rows and `initial`);
+    // catalog names lint the built ObjectType directly.
+    if (catalog().count(target) != 0) {
+      report.merge(rcons::analysis::lint_type(catalog().at(target)(),
+                                              rcons::analysis::TypeLintOptions{}));
+      continue;
+    }
+    std::ifstream in(target);
+    if (!in) {
+      return fail("unknown type '" + target + "' (not a catalog name; file "
+                  "not readable)");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    report.merge(rcons::analysis::lint_type_text(buffer.str(), target));
+  }
+  std::printf("%s", json ? report.render_json().c_str()
+                         : report.render_text().c_str());
+  if (json) std::printf("\n");
+  return report.has_findings_at_least(threshold) ? 1 : 0;
+}
+
 int cmd_search(int restarts, int mutations, std::uint64_t seed) {
   rcons::hierarchy::MachineSearchOptions options;
   options.restarts = restarts;
@@ -293,11 +379,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
                  "list|show|export|dot|profile|witnesses|verify|critical|"
-                 "search ...\n(see the header of tools/rcons_cli.cpp)\n");
+                 "search|lint ...\n(see the header of tools/rcons_cli.cpp)\n");
     return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
+  if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
   if (cmd == "search") {
     return cmd_search(argc > 2 ? std::atoi(argv[2]) : 10,
                       argc > 3 ? std::atoi(argv[3]) : 200,
