@@ -57,21 +57,23 @@ void print_scaling_table() {
 }
 
 void BM_Discerning(benchmark::State& state, const ObjectType& type,
-                   bool use_symmetry) {
+                   bool use_symmetry, int threads) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rcons::hierarchy::check_discerning(type, n, use_symmetry));
+        rcons::hierarchy::check_discerning(type, n, use_symmetry, threads));
   }
+  state.counters["threads"] = threads;
 }
 
 void BM_Recording(benchmark::State& state, const ObjectType& type,
-                  bool use_symmetry) {
+                  bool use_symmetry, int threads) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rcons::hierarchy::check_recording(type, n, use_symmetry));
+        rcons::hierarchy::check_recording(type, n, use_symmetry, threads));
   }
+  state.counters["threads"] = threads;
 }
 
 const ObjectType g_tas = rcons::spec::make_test_and_set();
@@ -81,12 +83,22 @@ const ObjectType g_x4 = rcons::spec::make_xn(4);
 }  // namespace
 
 // The exhaustive (condition fails => full scan) cells are the honest cost.
-BENCHMARK_CAPTURE(BM_Discerning, tas_sym, g_tas, true)->Arg(3)->Arg(4)->Arg(5);
-BENCHMARK_CAPTURE(BM_Discerning, tas_naive, g_tas, false)->Arg(3)->Arg(4);
-BENCHMARK_CAPTURE(BM_Discerning, x4_sym, g_x4, true)->Arg(4)->Arg(5);
-BENCHMARK_CAPTURE(BM_Recording, tas_sym, g_tas, true)->Arg(3)->Arg(4)->Arg(5);
-BENCHMARK_CAPTURE(BM_Recording, cas3_sym, g_cas3, true)->Arg(3)->Arg(4);
-BENCHMARK_CAPTURE(BM_Recording, x4_sym, g_x4, true)->Arg(3)->Arg(4);
+BENCHMARK_CAPTURE(BM_Discerning, tas_sym, g_tas, true, 1)
+    ->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Discerning, tas_naive, g_tas, false, 1)->Arg(3)->Arg(4);
+BENCHMARK_CAPTURE(BM_Discerning, x4_sym, g_x4, true, 1)->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, tas_sym, g_tas, true, 1)
+    ->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, cas3_sym, g_cas3, true, 1)->Arg(3)->Arg(4);
+BENCHMARK_CAPTURE(BM_Recording, x4_sym, g_x4, true, 1)->Arg(3)->Arg(4);
+
+// Batched parallel-scan counterparts — identical witnesses and stats
+// (tests/parallel_diff_test.cpp), the exhaustive scans just fan out.
+BENCHMARK_CAPTURE(BM_Discerning, tas_sym_threads4, g_tas, true, 4)
+    ->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, tas_sym_threads4, g_tas, true, 4)
+    ->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, x4_sym_threads4, g_x4, true, 4)->Arg(3)->Arg(4);
 
 int main(int argc, char** argv) {
   print_scaling_table();

@@ -73,10 +73,11 @@ void print_state_space_table() {
 void BM_SafetyCheck(benchmark::State& state,
                     const std::function<std::unique_ptr<rcons::exec::Protocol>()>&
                         make,
-                    CrashMode mode) {
+                    CrashMode mode, int threads) {
   const auto protocol = make();
   SafetyOptions options;
   options.crash_mode = mode;
+  options.threads = threads;
   std::size_t states = 0;
   for (auto _ : state) {
     const auto r = check_safety_all_inputs(*protocol, options);
@@ -84,6 +85,31 @@ void BM_SafetyCheck(benchmark::State& state,
     benchmark::DoNotOptimize(r.ok());
   }
   state.counters["states"] = static_cast<double>(states);
+  state.counters["threads"] = threads;
+}
+
+/// One mixed-input exploration — the parallel frontier engine's target
+/// workload (check_safety_all_inputs additionally amortizes across input
+/// vectors; this isolates a single BFS).
+void BM_SingleInputSafety(
+    benchmark::State& state,
+    const std::function<std::unique_ptr<rcons::exec::Protocol>()>& make,
+    CrashMode mode, int threads) {
+  const auto protocol = make();
+  std::vector<int> inputs(
+      static_cast<std::size_t>(protocol->process_count()), 1);
+  inputs[0] = 0;
+  SafetyOptions options;
+  options.crash_mode = mode;
+  options.threads = threads;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto r = rcons::valency::check_safety(*protocol, inputs, options);
+    states = r.states_visited;
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["threads"] = threads;
 }
 
 }  // namespace
@@ -91,24 +117,63 @@ void BM_SafetyCheck(benchmark::State& state,
 BENCHMARK_CAPTURE(
     BM_SafetyCheck, cas3_individual,
     [] { return std::make_unique<rcons::algo::CasConsensus>(3); },
-    CrashMode::kIndividual);
+    CrashMode::kIndividual, 1);
 BENCHMARK_CAPTURE(
     BM_SafetyCheck, tnn42_individual,
     [] {
       return std::make_unique<rcons::algo::TnnRecoverableConsensus>(4, 2, 2);
     },
-    CrashMode::kIndividual);
+    CrashMode::kIndividual, 1);
 BENCHMARK_CAPTURE(
     BM_SafetyCheck, recording_cas3x2_individual,
     [] {
       return std::make_unique<rcons::algo::RecordingConsensus>(
           rcons::spec::make_cas(3), 2);
     },
-    CrashMode::kIndividual);
+    CrashMode::kIndividual, 1);
 BENCHMARK_CAPTURE(
     BM_SafetyCheck, tas_racing_individual,
     [] { return std::make_unique<rcons::algo::TasRacingConsensus>(); },
-    CrashMode::kIndividual);
+    CrashMode::kIndividual, 1);
+
+// 4-thread parallel-engine counterparts (bit-identical results; see
+// tests/parallel_diff_test.cpp). BENCH_model_checker.json records both.
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, cas3_individual_threads4,
+    [] { return std::make_unique<rcons::algo::CasConsensus>(3); },
+    CrashMode::kIndividual, 4);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tnn42_individual_threads4,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(4, 2, 2);
+    },
+    CrashMode::kIndividual, 4);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, recording_cas3x2_individual_threads4,
+    [] {
+      return std::make_unique<rcons::algo::RecordingConsensus>(
+          rcons::spec::make_cas(3), 2);
+    },
+    CrashMode::kIndividual, 4);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tas_racing_individual_threads4,
+    [] { return std::make_unique<rcons::algo::TasRacingConsensus>(); },
+    CrashMode::kIndividual, 4);
+
+// The largest single exploration: one mixed-input BFS of tnn_rec(6,3)x3
+// under individual crashes — the speedup target for the parallel frontier.
+BENCHMARK_CAPTURE(
+    BM_SingleInputSafety, tnn63_individual,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(6, 3, 3);
+    },
+    CrashMode::kIndividual, 1);
+BENCHMARK_CAPTURE(
+    BM_SingleInputSafety, tnn63_individual_threads4,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(6, 3, 3);
+    },
+    CrashMode::kIndividual, 4);
 
 int main(int argc, char** argv) {
   print_state_space_table();

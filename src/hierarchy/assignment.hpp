@@ -32,6 +32,8 @@ struct Assignment {
 
   int team_size(int team) const;
 
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+
   std::string describe(const spec::ObjectType& type) const;
 };
 

@@ -29,24 +29,25 @@ Level scan_level(int max_n, const Check& holds_at) {
 
 }  // namespace
 
-Level discerning_level(const spec::ObjectType& type, int max_n) {
+Level discerning_level(const spec::ObjectType& type, int max_n, int threads) {
   return scan_level(max_n, [&](int n) {
-    return check_discerning(type, n).holds;
+    return check_discerning(type, n, /*use_symmetry=*/true, threads).holds;
   });
 }
 
-Level recording_level(const spec::ObjectType& type, int max_n) {
+Level recording_level(const spec::ObjectType& type, int max_n, int threads) {
   return scan_level(max_n, [&](int n) {
-    return check_recording(type, n).holds;
+    return check_recording(type, n, /*use_symmetry=*/true, threads).holds;
   });
 }
 
-TypeProfile compute_profile(const spec::ObjectType& type, int max_n) {
+TypeProfile compute_profile(const spec::ObjectType& type, int max_n,
+                            int threads) {
   TypeProfile profile;
   profile.type_name = type.name();
   profile.readable = type.is_readable();
-  profile.discerning = discerning_level(type, max_n);
-  profile.recording = recording_level(type, max_n);
+  profile.discerning = discerning_level(type, max_n, threads);
+  profile.recording = recording_level(type, max_n, threads);
   return profile;
 }
 

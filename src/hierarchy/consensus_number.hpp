@@ -35,11 +35,15 @@ struct Level {
   friend bool operator==(const Level&, const Level&) = default;
 };
 
-/// max { n in [2, max_n] : T is n-discerning }, else 1.
-Level discerning_level(const spec::ObjectType& type, int max_n);
+/// max { n in [2, max_n] : T is n-discerning }, else 1. `threads` follows
+/// the SafetyOptions contract (1 = serial, > 1 = parallel bit-identical,
+/// 0 = hardware threads) and applies to each per-n checker scan.
+Level discerning_level(const spec::ObjectType& type, int max_n,
+                       int threads = 1);
 
 /// max { n in [2, max_n] : T is n-recording }, else 1.
-Level recording_level(const spec::ObjectType& type, int max_n);
+Level recording_level(const spec::ObjectType& type, int max_n,
+                      int threads = 1);
 
 /// The full computed profile of one type.
 struct TypeProfile {
@@ -55,6 +59,7 @@ struct TypeProfile {
   Level recoverable_consensus_number() const { return recording; }
 };
 
-TypeProfile compute_profile(const spec::ObjectType& type, int max_n);
+TypeProfile compute_profile(const spec::ObjectType& type, int max_n,
+                            int threads = 1);
 
 }  // namespace rcons::hierarchy

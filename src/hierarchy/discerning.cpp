@@ -1,6 +1,7 @@
 #include "hierarchy/discerning.hpp"
 
 #include "hierarchy/flat_bitset.hpp"
+#include "hierarchy/parallel_scan.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::hierarchy {
@@ -95,9 +96,21 @@ bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
 }
 
 DiscerningResult check_discerning(const spec::ObjectType& type, int n,
-                                  bool use_symmetry) {
+                                  bool use_symmetry, int threads) {
   RCONS_CHECK_MSG(n >= 2, "n-discerning is defined for n >= 2");
   RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
+  if (threads != 1) {
+    detail::AssignmentScan scan = detail::scan_assignments_parallel(
+        type, n, use_symmetry, threads,
+        [&type](const Assignment& a, std::uint64_t* nodes) {
+      return is_discerning_witness(type, a, nodes);
+    });
+    DiscerningResult result;
+    result.holds = scan.holds;
+    result.witness = std::move(scan.witness);
+    result.stats = scan.stats;
+    return result;
+  }
   DiscerningResult result;
   const auto visit = [&](const Assignment& a) {
     result.stats.assignments_tried += 1;

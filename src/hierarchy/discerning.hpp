@@ -37,8 +37,10 @@ bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
 
 /// Decides whether `type` is n-discerning (n >= 2).
 /// `use_symmetry` selects the canonical (default) or naive enumeration —
-/// the latter exists for cross-validation and ablation.
+/// the latter exists for cross-validation and ablation. `threads` follows
+/// the SafetyOptions contract: 1 = serial scan, > 1 = batch-parallel scan
+/// with bit-identical witness and stats, 0 = hardware threads.
 DiscerningResult check_discerning(const spec::ObjectType& type, int n,
-                                  bool use_symmetry = true);
+                                  bool use_symmetry = true, int threads = 1);
 
 }  // namespace rcons::hierarchy

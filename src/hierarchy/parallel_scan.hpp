@@ -1,0 +1,97 @@
+// Internal: batch-parallel evaluation of an assignment enumeration.
+//
+// The discerning/recording checkers share one loop shape: enumerate
+// assignments in a fixed canonical order, evaluate each independently, stop
+// at the first witness, and report prefix-inclusive statistics (every
+// assignment up to AND including the witness counts toward
+// assignments_tried / schedule_nodes). Because evaluation of one assignment
+// never depends on another, the loop parallelizes by batches: the
+// enumerator fills a batch, the pool evaluates it, and a sequential reduce
+// in enumeration order replays the serial engine's bookkeeping exactly —
+// same witness, same stats, for every thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "hierarchy/assignment.hpp"
+#include "spec/object_type.hpp"
+#include "util/parallel.hpp"
+
+namespace rcons::hierarchy::detail {
+
+struct AssignmentScan {
+  bool holds = false;
+  std::optional<Assignment> witness;
+  EnumerationStats stats;
+};
+
+/// Runs `evaluate(assignment, &nodes)` over the canonical (or naive)
+/// enumeration using `threads` pool threads. Returns the first witness in
+/// enumeration order with statistics identical to the serial scan.
+inline AssignmentScan scan_assignments_parallel(
+    const spec::ObjectType& type, int n, bool use_symmetry, int threads,
+    const std::function<bool(const Assignment&, std::uint64_t*)>& evaluate) {
+  util::ThreadPool pool(threads);
+  const std::size_t batch_cap =
+      static_cast<std::size_t>(pool.thread_count()) * 32;
+
+  AssignmentScan out;
+  std::vector<Assignment> batch;
+  batch.reserve(batch_cap);
+  std::vector<std::uint64_t> nodes;
+  std::vector<char> is_witness;
+
+  const auto flush = [&]() -> bool {
+    if (batch.empty()) return false;
+    nodes.assign(batch.size(), 0);
+    is_witness.assign(batch.size(), 0);
+    // Indices past a known witness cannot be the FIRST witness and do not
+    // contribute to the prefix-inclusive stats, so they may be skipped;
+    // indices before it must still be evaluated for their node counts.
+    std::atomic<std::size_t> first_found{batch.size()};
+    pool.parallel_for(
+        batch.size(), 1,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (i > first_found.load(std::memory_order_relaxed)) continue;
+        if (evaluate(batch[i], &nodes[i])) {
+          is_witness[i] = 1;
+          std::size_t cur = first_found.load(std::memory_order_relaxed);
+          while (i < cur && !first_found.compare_exchange_weak(
+                                cur, i, std::memory_order_relaxed)) {
+          }
+        }
+      }
+    });
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out.stats.assignments_tried += 1;
+      out.stats.schedule_nodes += nodes[i];
+      if (is_witness[i] != 0) {
+        out.holds = true;
+        out.witness = batch[i];
+        return true;
+      }
+    }
+    batch.clear();
+    return false;
+  };
+
+  const auto visit = [&](const Assignment& a) {
+    batch.push_back(a);
+    if (batch.size() >= batch_cap) return flush();
+    return false;
+  };
+  if (use_symmetry) {
+    for_each_canonical_assignment(type, n, visit);
+  } else {
+    for_each_assignment_naive(type, n, visit);
+  }
+  if (!out.holds) flush();
+  return out;
+}
+
+}  // namespace rcons::hierarchy::detail

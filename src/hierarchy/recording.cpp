@@ -1,6 +1,7 @@
 #include "hierarchy/recording.hpp"
 
 #include "hierarchy/flat_bitset.hpp"
+#include "hierarchy/parallel_scan.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::hierarchy {
@@ -85,9 +86,23 @@ class RecordingDfs {
 };
 
 RecordingResult check_impl(const spec::ObjectType& type, int n,
-                           bool use_symmetry, bool require_nonhiding) {
+                           bool use_symmetry, bool require_nonhiding,
+                           int threads) {
   RCONS_CHECK_MSG(n >= 2, "n-recording is defined for n >= 2");
   RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
+  if (threads != 1) {
+    detail::AssignmentScan scan = detail::scan_assignments_parallel(
+        type, n, use_symmetry, threads,
+        [&type, require_nonhiding](const Assignment& a, std::uint64_t* nodes) {
+      RecordingDfs dfs(type, a, require_nonhiding);
+      return dfs.run(nodes);
+    });
+    RecordingResult result;
+    result.holds = scan.holds;
+    result.witness = std::move(scan.witness);
+    result.stats = scan.stats;
+    return result;
+  }
   RecordingResult result;
   const auto visit = [&](const Assignment& a) {
     result.stats.assignments_tried += 1;
@@ -127,13 +142,15 @@ bool is_nonhiding_recording_witness(const spec::ObjectType& type,
 }
 
 RecordingResult check_recording(const spec::ObjectType& type, int n,
-                                bool use_symmetry) {
-  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/false);
+                                bool use_symmetry, int threads) {
+  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/false,
+                    threads);
 }
 
 RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
-                                          bool use_symmetry) {
-  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/true);
+                                          bool use_symmetry, int threads) {
+  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/true,
+                    threads);
 }
 
 std::vector<int> compute_value_teams(const spec::ObjectType& type,

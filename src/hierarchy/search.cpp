@@ -3,13 +3,15 @@
 #include <algorithm>
 
 #include "spec/builder.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace rcons::hierarchy {
 
 std::vector<FamilyEntry> profile_erase_counter_family(int max_count_states,
-                                                      int max_n) {
-  std::vector<FamilyEntry> entries;
+                                                      int max_n,
+                                                      int threads) {
+  std::vector<spec::EraseCounterOptions> variants;
   for (int k = 1; k <= max_count_states; ++k) {
     for (bool wipe : {true, false}) {
       for (bool with_erase : {true, false}) {
@@ -20,12 +22,24 @@ std::vector<FamilyEntry> profile_erase_counter_family(int max_count_states,
           options.wipe_at_overflow = wipe;
           options.with_erase = with_erase;
           options.erase_only_a = erase_only_a;
-          const spec::ObjectType type = spec::make_erase_counter(options);
-          entries.push_back(
-              FamilyEntry{options, compute_profile(type, max_n)});
+          variants.push_back(options);
         }
       }
     }
+  }
+  std::vector<FamilyEntry> entries(variants.size());
+  const auto profile_one = [&](std::size_t i) {
+    const spec::ObjectType type = spec::make_erase_counter(variants[i]);
+    entries[i] = FamilyEntry{variants[i], compute_profile(type, max_n)};
+  };
+  if (threads == 1) {
+    for (std::size_t i = 0; i < variants.size(); ++i) profile_one(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(variants.size(), 1,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) profile_one(i);
+    });
   }
   return entries;
 }
@@ -91,51 +105,94 @@ long fitness(const TypeProfile& p) {
   return gap * 1000L + p.discerning.value * 10L + p.recording.value;
 }
 
+/// One hill-climbing restart, driven by its own RNG stream. The outcome is
+/// a pure function of (options, restart), independent of how restarts are
+/// scheduled across threads.
+struct RestartOutcome {
+  int best_gap = -1;
+  spec::ObjectType best_type;
+  TypeProfile best_profile;
+  std::uint64_t machines_evaluated = 0;
+};
+
+RestartOutcome run_restart(const MachineSearchOptions& options, int restart) {
+  SplitMix64 mix(options.seed ^
+                 (0x9e3779b97f4a7c15ULL *
+                  static_cast<std::uint64_t>(restart + 1)));
+  Xoshiro256 rng(mix.next());
+
+  RestartOutcome out;
+  Genome current = random_genome(options, rng);
+  spec::ObjectType current_type = current.instantiate();
+  TypeProfile current_profile = compute_profile(current_type, options.max_n);
+  out.machines_evaluated += 1;
+  long current_fitness = fitness(current_profile);
+
+  for (int step = 0; step < options.mutations_per_restart; ++step) {
+    Genome candidate = current;
+    mutate(candidate, rng);
+    if (rng.chance(0.3)) mutate(candidate, rng);  // occasional double move
+    spec::ObjectType type = candidate.instantiate();
+    // Cheap pre-filter: a machine that is not even 2-discerning cannot
+    // beat anything interesting; skip the full profile.
+    TypeProfile profile;
+    if (!check_discerning(type, 2).holds) {
+      profile.type_name = type.name();
+      profile.readable = true;
+      profile.discerning = Level{1, true};
+      profile.recording = Level{1, true};
+    } else {
+      profile = compute_profile(type, options.max_n);
+    }
+    out.machines_evaluated += 1;
+    const long f = fitness(profile);
+    if (f >= current_fitness) {  // plateau moves allowed
+      current = std::move(candidate);
+      current_profile = profile;
+      current_type = std::move(type);
+      current_fitness = f;
+    }
+    const int gap =
+        current_profile.discerning.value - current_profile.recording.value;
+    if (gap > out.best_gap) {
+      out.best_gap = gap;
+      out.best_type = current_type;
+      out.best_profile = current_profile;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 MachineSearchResult search_gap_machines(const MachineSearchOptions& options) {
-  Xoshiro256 rng(options.seed);
+  std::vector<RestartOutcome> outcomes(
+      static_cast<std::size_t>(options.restarts));
+  if (options.threads == 1) {
+    for (int restart = 0; restart < options.restarts; ++restart) {
+      outcomes[static_cast<std::size_t>(restart)] =
+          run_restart(options, restart);
+    }
+  } else {
+    util::ThreadPool pool(options.threads);
+    pool.parallel_for(outcomes.size(), 1,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        outcomes[i] = run_restart(options, static_cast<int>(i));
+      }
+    });
+  }
+
+  // Reduce in restart order with a strict improvement rule: the winner is
+  // the earliest restart achieving the maximal gap, for any thread count.
   MachineSearchResult result;
   result.best_gap = -1;
-
-  for (int restart = 0; restart < options.restarts; ++restart) {
-    Genome current = random_genome(options, rng);
-    spec::ObjectType current_type = current.instantiate();
-    TypeProfile current_profile = compute_profile(current_type, options.max_n);
-    result.machines_evaluated += 1;
-    long current_fitness = fitness(current_profile);
-
-    for (int step = 0; step < options.mutations_per_restart; ++step) {
-      Genome candidate = current;
-      mutate(candidate, rng);
-      if (rng.chance(0.3)) mutate(candidate, rng);  // occasional double move
-      spec::ObjectType type = candidate.instantiate();
-      // Cheap pre-filter: a machine that is not even 2-discerning cannot
-      // beat anything interesting; skip the full profile.
-      TypeProfile profile;
-      if (!check_discerning(type, 2).holds) {
-        profile.type_name = type.name();
-        profile.readable = true;
-        profile.discerning = Level{1, true};
-        profile.recording = Level{1, true};
-      } else {
-        profile = compute_profile(type, options.max_n);
-      }
-      result.machines_evaluated += 1;
-      const long f = fitness(profile);
-      if (f >= current_fitness) {  // plateau moves allowed
-        current = std::move(candidate);
-        current_profile = profile;
-        current_type = std::move(type);
-        current_fitness = f;
-      }
-      const int gap =
-          current_profile.discerning.value - current_profile.recording.value;
-      if (gap > result.best_gap) {
-        result.best_gap = gap;
-        result.best_type = current_type;
-        result.best_profile = current_profile;
-      }
+  for (RestartOutcome& out : outcomes) {
+    result.machines_evaluated += out.machines_evaluated;
+    if (out.best_gap > result.best_gap) {
+      result.best_gap = out.best_gap;
+      result.best_type = std::move(out.best_type);
+      result.best_profile = std::move(out.best_profile);
     }
   }
   return result;

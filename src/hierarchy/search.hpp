@@ -22,9 +22,12 @@ struct FamilyEntry {
 
 /// Profiles every erase-counter variant with count_states in
 /// [1, max_count_states] x {wipe, saturate} x {with/without erase} x
-/// {symmetric, A-only erase}, scanning levels up to max_n.
+/// {symmetric, A-only erase}, scanning levels up to max_n. `threads`
+/// follows the SafetyOptions contract (1 = serial, > 1 = one profile per
+/// pool task with bit-identical entries, 0 = hardware threads).
 std::vector<FamilyEntry> profile_erase_counter_family(int max_count_states,
-                                                      int max_n);
+                                                      int max_n,
+                                                      int threads = 1);
 
 /// Among the profiled entries, the largest computed gap
 /// discerning.value - recording.value over readable members (ties broken
@@ -46,6 +49,11 @@ struct MachineSearchOptions {
   std::uint64_t seed = 1;
   int restarts = 20;
   int mutations_per_restart = 400;
+  /// Restart-level parallelism. Every restart draws from its own
+  /// (seed, restart)-indexed RNG stream, so the search result is a pure
+  /// function of the options — identical for every thread count (and
+  /// restarts may run in any order across the pool). 0 = hardware threads.
+  int threads = 1;
 };
 
 struct MachineSearchResult {

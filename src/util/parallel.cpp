@@ -1,0 +1,192 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rcons::util {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = hardware_threads();
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] {
+      worker_loop(static_cast<std::size_t>(i));
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  RCONS_CHECK(task != nullptr);
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  {
+    // Publish under wake_mutex_ so sleeping threads cannot miss the update
+    // between their predicate check and their wait.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+  done_cv_.notify_all();  // wait_idle may want to help with this task
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  // Own deque first (front = oldest, keeps FIFO fairness for own work)...
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mutex);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+    }
+  }
+  // ...then steal from siblings, newest first.
+  if (task == nullptr) {
+    for (std::size_t i = 1; i < queues_.size() && task == nullptr; ++i) {
+      const std::size_t victim = (self + i) % queues_.size();
+      std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.back());
+        queues_[victim]->tasks.pop_back();
+      }
+    }
+  }
+  if (task == nullptr) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (try_run_one(0)) continue;
+    // Nothing queued but tasks still running in workers: sleep until they
+    // finish or one of them submits more work we could help with.
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_relaxed) > 0;
+    });
+  }
+}
+
+std::size_t ThreadPool::chunk_size(std::size_t count,
+                                   std::size_t min_grain) const {
+  if (count == 0) return 1;
+  min_grain = std::max<std::size_t>(1, min_grain);
+  // ~4 chunks per thread: enough slack for dynamic load balancing without
+  // drowning in per-chunk overhead.
+  const std::size_t target =
+      static_cast<std::size_t>(thread_count()) * 4;
+  return std::max(min_grain, (count + target - 1) / target);
+}
+
+std::size_t ThreadPool::chunk_count(std::size_t count,
+                                    std::size_t min_grain) const {
+  if (count == 0) return 0;
+  const std::size_t size = chunk_size(count, min_grain);
+  return (count + size - 1) / size;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t min_grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t size = chunk_size(count, min_grain);
+  const std::size_t chunks = (count + size - 1) / size;
+  if (chunks == 1 || thread_count() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c, c * size, std::min(count, (c + 1) * size));
+    }
+    return;
+  }
+
+  // Shared by the caller and the helper tasks; shared_ptr-owned so a helper
+  // that is only dequeued after the call returns (it will find no chunks
+  // left) never touches freed state.
+  struct State {
+    std::function<void(std::size_t, std::size_t, std::size_t)> body;
+    std::size_t count = 0;
+    std::size_t size = 0;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<State>();
+  state->body = body;
+  state->count = count;
+  state->size = size;
+  state->chunks = chunks;
+
+  const auto drain = [](State& s) {
+    while (true) {
+      const std::size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s.chunks) return;
+      s.body(c, c * s.size, std::min(s.count, (c + 1) * s.size));
+      if (s.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          s.chunks) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.all_done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(thread_count()) - 1,
+                            chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state, drain] { drain(*state); });
+  }
+  drain(*state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->finished.load(std::memory_order_acquire) == state->chunks;
+  });
+}
+
+}  // namespace rcons::util

@@ -1,0 +1,90 @@
+// A small work-stealing thread pool for the exhaustive checkers.
+//
+// Design constraints (see DESIGN.md §7):
+//   * Determinism lives in the CALLERS, never here: every parallel engine
+//     built on this pool merges its results with a deterministic reduction
+//     keyed by item index, so verdicts are bit-identical for every thread
+//     count. The pool itself makes no ordering promises.
+//   * Bounded fan-out: parallel_for enqueues at most thread_count() - 1
+//     helper tasks per call regardless of the item count; chunks are
+//     claimed from a shared atomic cursor, which doubles as dynamic load
+//     balancing for irregular per-item costs.
+//   * The submitting thread always participates (a pool constructed with
+//     threads == 1 spawns no OS threads and degenerates to a plain loop),
+//     so nested parallel_for calls cannot deadlock: the nested caller
+//     drains its own chunks even if every worker is busy.
+//   * No exceptions may escape a task; the checkers abort via RCONS_CHECK.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcons::util {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+int hardware_threads();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` worker threads (the caller is the remaining
+  /// thread). threads <= 0 means hardware_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers plus the participating caller.
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues one task onto a worker deque (round-robin). Idle workers
+  /// steal from their siblings' deques.
+  void submit(std::function<void()> task);
+
+  /// Runs queued tasks on the calling thread until every submitted task
+  /// has finished.
+  void wait_idle();
+
+  /// Runs body(chunk, begin, end) over a fixed chunking of [0, count);
+  /// blocks until every chunk has run. The chunking (see chunk_count) is a
+  /// pure function of (count, min_grain, thread_count()), never of timing,
+  /// so per-chunk result buffers can be merged deterministically.
+  void parallel_for(
+      std::size_t count, std::size_t min_grain,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& body);
+
+  /// The chunk geometry parallel_for will use for these parameters.
+  std::size_t chunk_size(std::size_t count, std::size_t min_grain) const;
+  std::size_t chunk_count(std::size_t count, std::size_t min_grain) const;
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops one task (own deque front, else steal a sibling's back) and runs
+  /// it. `self` indexes queues_; the caller thread uses queue 0.
+  bool try_run_one(std::size_t self);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // [0] = caller's, [i>0] = worker i-1
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;   // workers sleep here
+  std::condition_variable done_cv_;   // wait_idle sleeps here
+  std::atomic<std::size_t> queued_{0};   // tasks sitting in deques
+  std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace rcons::util

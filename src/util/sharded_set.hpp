@@ -1,0 +1,105 @@
+// A sharded concurrent hash map specialized for "first discovery wins"
+// frontier deduplication.
+//
+// The parallel explorers (DESIGN.md §7) key every reachable search node by
+// its hash and store the node's DISCOVERY KEY — the (level, slot) position
+// at which the serial engine would first have created it. Concurrent
+// expansion threads race to insert, and insert_min keeps the minimum key,
+// so after a level barrier the map holds exactly the assignment the serial
+// engine would have produced, independent of thread interleaving. Shard
+// granularity bounds contention; each shard is a mutex-protected
+// unordered_map (deliberately boring: the determinism story must not rest
+// on a clever lock-free structure).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace rcons::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Less = std::less<Value>>
+class ShardedMinMap {
+ public:
+  /// `parallelism_hint` is the expected number of concurrent writers;
+  /// shard count is a power of two comfortably above it.
+  explicit ShardedMinMap(int parallelism_hint) {
+    std::size_t shards = 1;
+    const std::size_t want =
+        8 * static_cast<std::size_t>(parallelism_hint < 1 ? 1
+                                                          : parallelism_hint);
+    while (shards < want && shards < 1024) shards <<= 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    mask_ = shards - 1;
+  }
+
+  /// Inserts (key, value), or lowers the stored value if `value` is
+  /// smaller. Returns true iff `value` is the stored value afterwards,
+  /// i.e. this call (currently) holds the discovery. A later insert_min
+  /// with a smaller value can still displace it, so winners must be
+  /// re-confirmed with lookup() after all writers have quiesced.
+  bool insert_min(const Key& key, const Value& value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto [it, inserted] = s.map.try_emplace(key, value);
+    if (inserted) return true;
+    if (Less{}(value, it->second)) {
+      it->second = value;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> lookup(const Key& key) const {
+    const Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Total entries across shards. Only meaningful when no writer is active.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      total += s->map.size();
+    }
+    return total;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return *shards_[index_of(key)];
+  }
+  const Shard& shard_for(const Key& key) const {
+    return *shards_[index_of(key)];
+  }
+  std::size_t index_of(const Key& key) const {
+    // Shard on the high bits (Fibonacci-scrambled) so the shard index and
+    // the in-shard bucket index use decorrelated bits of the same hash.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(Hash{}(key)) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> 32) & mask_;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace rcons::util

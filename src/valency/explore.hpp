@@ -1,0 +1,113 @@
+// Internal vocabulary shared by the serial and parallel exploration
+// engines in model_checker.cpp / model_checker_parallel.cpp.
+//
+// Both engines enumerate the same search graph over (configuration,
+// outputs-so-far-mask) nodes and MUST agree bit-for-bit on every field of
+// their results (the differential suite in tests/parallel_diff_test.cpp
+// pins this). The shared pieces here are the node type, the fixed
+// transition order, and the violation message formats; keeping them in one
+// place is what makes "identical violation strings" a structural property
+// rather than a testing accident.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "exec/config.hpp"
+#include "exec/event.hpp"
+#include "util/hashing.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::valency::detail {
+
+/// The parallel engines (model_checker_parallel.cpp). Reached only through
+/// check_safety / check_safety_all_inputs / check_recoverable_wait_freedom
+/// when options.threads != 1.
+SafetyResult check_safety_parallel(const exec::Protocol& protocol,
+                                   const std::vector<int>& inputs,
+                                   const SafetyOptions& options);
+SafetyResult check_safety_all_inputs_parallel(const exec::Protocol& protocol,
+                                              const SafetyOptions& options);
+LivenessResult check_liveness_parallel(const exec::Protocol& protocol,
+                                       const std::vector<int>& inputs,
+                                       const LivenessOptions& options);
+
+/// Exploration node: a configuration plus the monotone mask of values
+/// output so far (bit v = some process output v in this execution).
+struct Node {
+  exec::Config config;
+  unsigned mask = 0;
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+struct NodeHash {
+  std::size_t operator()(const Node& n) const {
+    std::uint64_t seed = n.config.hash();
+    hash_combine(seed, n.mask);
+    return static_cast<std::size_t>(seed);
+  }
+};
+
+/// Transition indexing, identical to the serial expansion order:
+///   t = 2*pid     -> step(pid)
+///   t = 2*pid + 1 -> crash(pid)        (individual-crash modes only)
+///   t = 2*n       -> simultaneous crash c_0 .. c_{n-1}  (safety only)
+/// A node's transitions are explored in increasing t; a level's nodes in
+/// increasing frontier index. "slot" = node_index * transitions_per_node
+/// + t totally orders one level's expansions exactly as the serial FIFO
+/// engine performs them.
+inline int transitions_per_node(int n) { return 2 * n + 1; }
+
+inline bool transition_is_step(int t, int n) { return t < 2 * n && t % 2 == 0; }
+inline bool transition_is_crash(int t, int n) {
+  return t < 2 * n && t % 2 == 1;
+}
+inline bool transition_is_simultaneous(int t, int n) { return t == 2 * n; }
+inline int transition_pid(int t) { return t / 2; }
+
+/// The schedule segment a transition contributes to a counterexample.
+inline exec::Schedule transition_segment(int t, int n) {
+  if (transition_is_simultaneous(t, n)) {
+    exec::Schedule all_crash;
+    for (int pid = 0; pid < n; ++pid) {
+      all_crash.push_back(exec::Event::crash(pid));
+    }
+    return all_crash;
+  }
+  const int pid = transition_pid(t);
+  return {transition_is_step(t, n) ? exec::Event::step(pid)
+                                   : exec::Event::crash(pid)};
+}
+
+/// "agreement: distinct values 0 and 1 were output" — shared by both
+/// engines so violation strings match bit-for-bit. `mask` is the
+/// outputs-so-far mask at the moment of the violation (>= 2 bits set).
+inline std::string agreement_message(unsigned mask) {
+  std::string values;
+  for (int v = 0; v < 32; ++v) {
+    if ((mask >> v) & 1u) {
+      if (!values.empty()) values += " and ";
+      values += std::to_string(v);
+    }
+  }
+  return "agreement: distinct values " + values + " were output";
+}
+
+inline std::string validity_message(int pid, int value) {
+  return "validity: p" + std::to_string(pid) + " output " +
+         std::to_string(value) + " which is nobody's input";
+}
+
+/// Every node the engines ever store satisfies popcount(mask) <= 1 and
+/// contains no invalid output bit: an expansion that would produce a
+/// >= 2-bit or invalid mask is reported as a violation BEFORE the node is
+/// inserted. The parallel engine's reconstruction of the serial visited
+/// counts relies on this invariant (a violating node can never collide
+/// with an already-visited one).
+inline bool node_mask_invariant(unsigned mask) {
+  return std::popcount(mask) <= 1;
+}
+
+}  // namespace rcons::valency::detail

@@ -1,31 +1,19 @@
 #include "valency/model_checker.hpp"
 
+#include <bit>
 #include <deque>
 #include <unordered_map>
 
 #include "util/assert.hpp"
 #include "util/hashing.hpp"
+#include "valency/explore.hpp"
 
 namespace rcons::valency {
 
 namespace {
 
-/// Exploration node: a configuration plus the monotone mask of values
-/// output so far (bit 0 = some process output 0, bit 1 = output 1).
-struct Node {
-  exec::Config config;
-  unsigned mask = 0;
-
-  friend bool operator==(const Node&, const Node&) = default;
-};
-
-struct NodeHash {
-  std::size_t operator()(const Node& n) const {
-    std::uint64_t seed = n.config.hash();
-    hash_combine(seed, n.mask);
-    return static_cast<std::size_t>(seed);
-  }
-};
+using detail::Node;
+using detail::NodeHash;
 
 exec::Schedule reconstruct(
     const std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash>&
@@ -47,6 +35,36 @@ exec::Schedule reconstruct(
 
 }  // namespace
 
+SafetyVerdict safety_verdict(const SafetyResult& result) {
+  if (!result.ok()) return SafetyVerdict::kViolation;
+  return result.explored_fully ? SafetyVerdict::kSafe
+                               : SafetyVerdict::kInconclusive;
+}
+
+std::string_view safety_verdict_name(const SafetyResult& result) {
+  switch (safety_verdict(result)) {
+    case SafetyVerdict::kSafe: return "SAFE";
+    case SafetyVerdict::kViolation: return "VIOLATION";
+    case SafetyVerdict::kInconclusive: break;
+  }
+  return "INCONCLUSIVE";
+}
+
+LivenessVerdict liveness_verdict(const LivenessResult& result) {
+  if (!result.wait_free) return LivenessVerdict::kNotWaitFree;
+  return result.explored_fully ? LivenessVerdict::kWaitFree
+                               : LivenessVerdict::kInconclusive;
+}
+
+std::string_view liveness_verdict_name(const LivenessResult& result) {
+  switch (liveness_verdict(result)) {
+    case LivenessVerdict::kWaitFree: return "YES";
+    case LivenessVerdict::kNotWaitFree: return "NO";
+    case LivenessVerdict::kInconclusive: break;
+  }
+  return "INCONCLUSIVE";
+}
+
 std::vector<std::vector<int>> all_binary_inputs(int n) {
   RCONS_CHECK(n >= 1 && n < 20);
   std::vector<std::vector<int>> out;
@@ -64,6 +82,9 @@ std::vector<std::vector<int>> all_binary_inputs(int n) {
 SafetyResult check_safety(const exec::Protocol& protocol,
                           const std::vector<int>& inputs,
                           const SafetyOptions& options) {
+  if (options.threads != 1) {
+    return detail::check_safety_parallel(protocol, inputs, options);
+  }
   const int n = protocol.process_count();
   SafetyResult result;
 
@@ -108,17 +129,19 @@ SafetyResult check_safety(const exec::Protocol& protocol,
                 Node{next.config, next.mask | (1u << v)},
                 std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
             fail(Node{next.config, next.mask | (1u << v)},
-                 "validity: p" + std::to_string(pid) + " output " +
-                     std::to_string(v) + " which is nobody's input");
+                 detail::validity_message(pid, v));
             result.states_visited = visited.size();
             result.configs_visited = seen_configs.size();
             return result;
           }
           next.mask |= 1u << v;
-          if (next.mask == 0b11u) {
+          // Agreement in the strong multivalued form: any TWO distinct
+          // values ever output violate (a plain `mask == 0b11` check would
+          // silently pass e.g. outputs {1, 2}, whose mask is 0b110).
+          if (std::popcount(next.mask) >= 2) {
             result.agreement_ok = false;
             parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
-            fail(next, "agreement: both 0 and 1 were output");
+            fail(next, detail::agreement_message(next.mask));
             result.states_visited = visited.size();
             result.configs_visited = seen_configs.size();
             return result;
@@ -172,6 +195,9 @@ SafetyResult check_safety(const exec::Protocol& protocol,
 
 SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
                                      const SafetyOptions& options) {
+  if (options.threads != 1) {
+    return detail::check_safety_all_inputs_parallel(protocol, options);
+  }
   SafetyResult merged;
   merged.explored_fully = true;
   for (const auto& inputs : all_binary_inputs(protocol.process_count())) {
@@ -193,6 +219,9 @@ SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
 LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
                                               const std::vector<int>& inputs,
                                               const LivenessOptions& options) {
+  if (options.threads != 1) {
+    return detail::check_liveness_parallel(protocol, inputs, options);
+  }
   const int n = protocol.process_count();
   LivenessResult result;
 

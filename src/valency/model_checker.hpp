@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exec/config.hpp"
@@ -51,6 +52,14 @@ struct SafetyOptions {
   bool allow_crashes = true;
   /// Abort exploration beyond this many (config, mask) states.
   std::size_t max_states = 5'000'000;
+  /// Exploration threads. 1 (the default) runs the original serial
+  /// engine; > 1 runs the level-synchronous parallel engine, whose
+  /// deterministic reduction makes EVERY result field — verdict,
+  /// violation string, counterexample schedule, states_visited,
+  /// configs_visited, explored_fully — bit-identical to the serial
+  /// engine's for any thread count (see DESIGN.md §7; pinned by
+  /// tests/parallel_diff_test.cpp). 0 means util::hardware_threads().
+  int threads = 1;
 
   CrashMode effective_mode() const {
     return allow_crashes ? crash_mode : CrashMode::kNone;
@@ -70,6 +79,15 @@ struct SafetyResult {
   bool ok() const { return agreement_ok && validity_ok; }
 };
 
+/// Three-way reading of a SafetyResult. A truncated exploration that found
+/// no violation proves NOTHING — callers must surface kInconclusive, never
+/// "safe" (pinned by tests for both engines).
+enum class SafetyVerdict { kSafe, kViolation, kInconclusive };
+
+SafetyVerdict safety_verdict(const SafetyResult& result);
+/// "SAFE" | "VIOLATION" | "INCONCLUSIVE" (what rcons_cli prints).
+std::string_view safety_verdict_name(const SafetyResult& result);
+
 /// Exhaustively checks agreement and validity for the given inputs.
 SafetyResult check_safety(const exec::Protocol& protocol,
                           const std::vector<int>& inputs,
@@ -84,6 +102,9 @@ struct LivenessOptions {
   std::size_t max_states = 2'000'000;
   /// Solo-run step bound per (config, process) probe.
   int solo_step_bound = 1000;
+  /// Same contract as SafetyOptions::threads: 1 = serial engine, > 1 =
+  /// parallel engine with bit-identical results, 0 = hardware threads.
+  int threads = 1;
 };
 
 struct LivenessResult {
@@ -94,6 +115,14 @@ struct LivenessResult {
   int stuck_pid = -1;
   std::optional<exec::Schedule> reaching_schedule;
 };
+
+/// Three-way reading of a LivenessResult, mirroring safety_verdict: a
+/// truncated scan that found no stuck process is kInconclusive.
+enum class LivenessVerdict { kWaitFree, kNotWaitFree, kInconclusive };
+
+LivenessVerdict liveness_verdict(const LivenessResult& result);
+/// "YES" | "NO" | "INCONCLUSIVE" (what rcons_cli prints).
+std::string_view liveness_verdict_name(const LivenessResult& result);
 
 /// Checks recoverable wait-freedom (solo termination from every reachable
 /// configuration) for the given inputs.

@@ -1,0 +1,461 @@
+// The parallel exploration engine (DESIGN.md §7).
+//
+// Both checkers run LEVEL-SYNCHRONOUS breadth-first search, which is
+// exactly the order the serial FIFO engine visits nodes in. Each level:
+//
+//   1. EXPAND (parallel): the frontier is chunked across the pool. Every
+//      (node k, transition t) expansion is tagged with its SLOT
+//      k * transitions_per_node + t — the position at which the serial
+//      engine would perform it. Successors race into a sharded
+//      ShardedMinMap keyed by the node; the map keeps the minimum
+//      (level, slot) discovery key, so after the barrier the map holds the
+//      serial engine's first-discovery assignment regardless of thread
+//      interleaving. Violations are detected per-expansion (they depend
+//      only on the node and the transition, never on visited-set state),
+//      and each chunk keeps its smallest violating slot.
+//
+//   2. REDUCE (sequential, cheap): confirmed winners are sorted by slot —
+//      yielding the exact frontier order the serial engine would enqueue —
+//      and a sweep over the frontier replays the serial engine's
+//      bookkeeping: pop-time max_states checks, per-config stats, and the
+//      earliest violating slot. Because the sweep consumes winners in slot
+//      order, every count it reports equals the serial engine's count at
+//      the same point, including mid-level truncations and violations.
+//
+// The result: verdicts, violation strings, counterexample schedules and
+// all statistics are bit-identical to the serial engine for every thread
+// count. Wasted work on early exit is bounded by one level.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/execute.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+#include "util/sharded_set.hpp"
+#include "valency/explore.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::valency::detail {
+
+namespace {
+
+/// The position at which the serial engine first creates a node: level,
+/// then slot within the level's expansion sequence. Previous levels always
+/// order before the current one, so a rediscovery of an old node never
+/// displaces it.
+struct DiscoveryKey {
+  std::uint32_t level = 0;
+  std::uint64_t slot = 0;
+};
+
+struct DiscoveryKeyLess {
+  bool operator()(const DiscoveryKey& a, const DiscoveryKey& b) const {
+    if (a.level != b.level) return a.level < b.level;
+    return a.slot < b.slot;
+  }
+};
+
+/// One stored search node: the node plus its discovery edge (index of the
+/// parent in the previous level and the transition taken), from which
+/// counterexample schedules are reconstructed without a parents hash map.
+struct Stored {
+  Node node;
+  std::uint32_t parent = 0;
+  std::uint16_t transition = 0;
+};
+
+std::uint64_t slot_of(const Stored& s, int tpn) {
+  return static_cast<std::uint64_t>(s.parent) *
+             static_cast<std::uint64_t>(tpn) +
+         s.transition;
+}
+
+exec::Schedule path_to(const std::vector<std::vector<Stored>>& levels,
+                       std::size_t level, std::size_t index, int n) {
+  std::vector<exec::Schedule> segments;
+  while (level > 0) {
+    const Stored& s = levels[level][index];
+    segments.push_back(transition_segment(s.transition, n));
+    index = s.parent;
+    --level;
+  }
+  exec::Schedule schedule;
+  for (auto seg = segments.rbegin(); seg != segments.rend(); ++seg) {
+    schedule.insert(schedule.end(), seg->begin(), seg->end());
+  }
+  return schedule;
+}
+
+using VisitedMap = util::ShardedMinMap<Node, DiscoveryKey, NodeHash,
+                                       DiscoveryKeyLess>;
+
+struct Candidate {
+  Node node;
+  std::uint64_t slot = 0;
+};
+
+constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+
+/// Confirms which candidates still own their map entry (a later chunk may
+/// have found a smaller slot for the same node) and orders them by slot —
+/// the serial enqueue order of the next frontier.
+std::vector<Stored> confirm_winners(
+    std::vector<std::vector<Candidate>>& chunk_candidates,
+    const VisitedMap& discovered, std::uint32_t next_level, int tpn) {
+  std::vector<Stored> winners;
+  for (auto& chunk : chunk_candidates) {
+    for (Candidate& cand : chunk) {
+      const auto key = discovered.lookup(cand.node);
+      RCONS_CHECK(key.has_value());
+      if (key->level == next_level && key->slot == cand.slot) {
+        winners.push_back(
+            Stored{std::move(cand.node),
+                   static_cast<std::uint32_t>(cand.slot /
+                                              static_cast<std::uint64_t>(tpn)),
+                   static_cast<std::uint16_t>(cand.slot %
+                                              static_cast<std::uint64_t>(tpn))});
+      }
+    }
+    chunk.clear();
+  }
+  std::sort(winners.begin(), winners.end(),
+            [tpn](const Stored& a, const Stored& b) {
+    return slot_of(a, tpn) < slot_of(b, tpn);
+  });
+  return winners;
+}
+
+SafetyResult safety_impl(const exec::Protocol& protocol,
+                         const std::vector<int>& inputs,
+                         const SafetyOptions& options,
+                         util::ThreadPool& pool) {
+  const int n = protocol.process_count();
+  const int tpn = transitions_per_node(n);
+  const CrashMode mode = options.effective_mode();
+  const bool individual =
+      mode == CrashMode::kIndividual || mode == CrashMode::kBoth;
+  const bool simultaneous =
+      mode == CrashMode::kSimultaneous || mode == CrashMode::kBoth;
+
+  unsigned valid_mask = 0;
+  for (int v : inputs) valid_mask |= 1u << v;
+
+  SafetyResult result;
+
+  std::vector<std::vector<Stored>> levels;
+  levels.push_back(
+      {Stored{Node{exec::Config::initial(protocol, inputs), 0}, 0, 0}});
+
+  VisitedMap discovered(pool.thread_count());
+  discovered.insert_min(levels[0][0].node, DiscoveryKey{0, 0});
+  std::unordered_set<std::uint64_t> seen_configs;
+  seen_configs.insert(levels[0][0].node.config.hash());
+  std::size_t stored_count = 1;
+
+  struct FoundViolation {
+    std::uint64_t slot = kNoSlot;
+    bool validity = false;  // else: agreement
+    int pid = -1;
+    int value = -1;
+    unsigned mask = 0;  // outputs mask at the violation (agreement message)
+  };
+
+  for (std::uint32_t level = 0;; ++level) {
+    if (levels[level].empty()) break;
+    const std::vector<Stored>& frontier = levels[level];
+    RCONS_CHECK(frontier.size() <=
+                std::numeric_limits<std::uint32_t>::max());
+
+    const std::size_t chunks = pool.chunk_count(frontier.size(), 1);
+    std::vector<std::vector<Candidate>> chunk_candidates(chunks);
+    std::vector<FoundViolation> chunk_violation(chunks);
+
+    pool.parallel_for(
+        frontier.size(), 1,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      std::vector<Candidate>& candidates = chunk_candidates[chunk];
+      FoundViolation& violation = chunk_violation[chunk];
+      for (std::size_t k = begin;
+           k < end && violation.slot == kNoSlot; ++k) {
+        const Node& node = frontier[k].node;
+        for (int t = 0; t < tpn; ++t) {
+          if (transition_is_crash(t, n) && !individual) continue;
+          if (transition_is_simultaneous(t, n) && !simultaneous) continue;
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(k) *
+                  static_cast<std::uint64_t>(tpn) +
+              static_cast<std::uint64_t>(t);
+          Node next = node;
+          exec::DecisionLog log(n);
+          if (transition_is_step(t, n)) {
+            const int pid = transition_pid(t);
+            const exec::EventOutcome out = exec::apply_event(
+                protocol, next.config, exec::Event::step(pid), log);
+            if (out.decision.has_value()) {
+              const int v = *out.decision;
+              if (((valid_mask >> v) & 1u) == 0) {
+                violation = FoundViolation{slot, /*validity=*/true, pid, v,
+                                           next.mask | (1u << v)};
+                break;  // later slots in this chunk can never matter
+              }
+              next.mask |= 1u << v;
+              if (std::popcount(next.mask) >= 2) {
+                violation = FoundViolation{slot, /*validity=*/false, pid, v,
+                                           next.mask};
+                break;
+              }
+            }
+          } else if (transition_is_crash(t, n)) {
+            exec::apply_event(protocol, next.config,
+                              exec::Event::crash(transition_pid(t)), log);
+          } else {
+            for (int pid = 0; pid < n; ++pid) {
+              exec::apply_event(protocol, next.config,
+                                exec::Event::crash(pid), log);
+            }
+          }
+          if (discovered.insert_min(next, DiscoveryKey{level + 1, slot})) {
+            candidates.push_back(Candidate{std::move(next), slot});
+          }
+        }
+      }
+    });
+
+    // ---- Deterministic reduction ----
+    const FoundViolation* violation = nullptr;
+    for (const FoundViolation& v : chunk_violation) {
+      if (v.slot != kNoSlot && (violation == nullptr ||
+                                v.slot < violation->slot)) {
+        violation = &v;
+      }
+    }
+
+    std::vector<Stored> winners =
+        confirm_winners(chunk_candidates, discovered, level + 1, tpn);
+
+    // Sweep the frontier in serial pop order, merging winners (= serial
+    // visited-set insertions) in slot order as we go.
+    std::size_t wi = 0;
+    const auto merge_below = [&](std::uint64_t slot_limit) {
+      while (wi < winners.size() && slot_of(winners[wi], tpn) < slot_limit) {
+        seen_configs.insert(winners[wi].node.config.hash());
+        ++wi;
+      }
+    };
+    for (std::size_t k = 0; k < frontier.size(); ++k) {
+      merge_below(static_cast<std::uint64_t>(k) *
+                  static_cast<std::uint64_t>(tpn));
+      if (stored_count + wi > options.max_states) {
+        result.explored_fully = false;
+        result.states_visited = stored_count + wi;
+        result.configs_visited = seen_configs.size();
+        return result;
+      }
+      if (violation != nullptr &&
+          violation->slot < (static_cast<std::uint64_t>(k) + 1) *
+                                static_cast<std::uint64_t>(tpn)) {
+        merge_below(violation->slot);
+        if (violation->validity) {
+          result.validity_ok = false;
+          result.violation =
+              validity_message(violation->pid, violation->value);
+        } else {
+          result.agreement_ok = false;
+          result.violation = agreement_message(violation->mask);
+        }
+        exec::Schedule schedule = path_to(
+            levels, level,
+            static_cast<std::size_t>(violation->slot /
+                                     static_cast<std::uint64_t>(tpn)),
+            n);
+        const exec::Schedule segment = transition_segment(
+            static_cast<int>(violation->slot %
+                             static_cast<std::uint64_t>(tpn)),
+            n);
+        schedule.insert(schedule.end(), segment.begin(), segment.end());
+        result.counterexample = std::move(schedule);
+        result.states_visited = stored_count + wi;
+        result.configs_visited = seen_configs.size();
+        return result;
+      }
+    }
+    merge_below(kNoSlot);
+    stored_count += winners.size();
+    levels.push_back(std::move(winners));
+  }
+
+  result.explored_fully = true;
+  result.states_visited = stored_count;
+  result.configs_visited = seen_configs.size();
+  return result;
+}
+
+LivenessResult liveness_impl(const exec::Protocol& protocol,
+                             const std::vector<int>& inputs,
+                             const LivenessOptions& options,
+                             util::ThreadPool& pool) {
+  const int n = protocol.process_count();
+  const int tpn = 2 * n;  // step/crash interleaved; no simultaneous event
+
+  LivenessResult result;
+
+  std::vector<std::vector<Stored>> levels;
+  levels.push_back(
+      {Stored{Node{exec::Config::initial(protocol, inputs), 0}, 0, 0}});
+
+  VisitedMap discovered(pool.thread_count());
+  discovered.insert_min(levels[0][0].node, DiscoveryKey{0, 0});
+  std::unordered_set<std::uint64_t> probed_configs;
+  std::size_t stored_count = 1;
+
+  for (std::uint32_t level = 0;; ++level) {
+    if (levels[level].empty()) break;
+    const std::vector<Stored>& frontier = levels[level];
+    RCONS_CHECK(frontier.size() <=
+                std::numeric_limits<std::uint32_t>::max());
+
+    // Probe jobs: the first node (in pop order) of each configuration not
+    // yet probed — exactly the set the serial engine would probe while
+    // draining this level.
+    std::vector<std::size_t> probe_nodes;
+    {
+      std::unordered_set<std::uint64_t> claimed;
+      for (std::size_t k = 0; k < frontier.size(); ++k) {
+        const std::uint64_t h = frontier[k].node.config.hash();
+        if (probed_configs.count(h) == 0 && claimed.insert(h).second) {
+          probe_nodes.push_back(k);
+        }
+      }
+    }
+    std::vector<int> probe_stuck(probe_nodes.size(), -1);
+    pool.parallel_for(
+        probe_nodes.size(), 1,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const exec::Config& config = frontier[probe_nodes[i]].node.config;
+        for (int pid = 0; pid < n; ++pid) {
+          if (!exec::solo_terminating_decision(protocol, config, pid,
+                                               options.solo_step_bound)
+                   .has_value()) {
+            probe_stuck[i] = pid;
+            break;
+          }
+        }
+      }
+    });
+
+    const std::size_t chunks = pool.chunk_count(frontier.size(), 1);
+    std::vector<std::vector<Candidate>> chunk_candidates(chunks);
+    pool.parallel_for(
+        frontier.size(), 1,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      std::vector<Candidate>& candidates = chunk_candidates[chunk];
+      for (std::size_t k = begin; k < end; ++k) {
+        const Node& node = frontier[k].node;
+        for (int t = 0; t < tpn; ++t) {
+          if (transition_is_crash(t, n) && !options.allow_crashes) continue;
+          const std::uint64_t slot =
+              static_cast<std::uint64_t>(k) *
+                  static_cast<std::uint64_t>(tpn) +
+              static_cast<std::uint64_t>(t);
+          const int pid = transition_pid(t);
+          Node next = node;
+          exec::DecisionLog log(n);
+          if (transition_is_step(t, n)) {
+            const exec::EventOutcome out = exec::apply_event(
+                protocol, next.config, exec::Event::step(pid), log);
+            if (out.decision.has_value()) next.mask |= 1u << *out.decision;
+          } else {
+            exec::apply_event(protocol, next.config, exec::Event::crash(pid),
+                              log);
+          }
+          if (discovered.insert_min(next, DiscoveryKey{level + 1, slot})) {
+            candidates.push_back(Candidate{std::move(next), slot});
+          }
+        }
+      }
+    });
+
+    // ---- Deterministic reduction ----
+    std::vector<Stored> winners =
+        confirm_winners(chunk_candidates, discovered, level + 1, tpn);
+
+    std::size_t wi = 0;
+    std::size_t pi = 0;
+    for (std::size_t k = 0; k < frontier.size(); ++k) {
+      while (wi < winners.size() &&
+             slot_of(winners[wi], tpn) <
+                 static_cast<std::uint64_t>(k) *
+                     static_cast<std::uint64_t>(tpn)) {
+        ++wi;
+      }
+      if (stored_count + wi > options.max_states) {
+        result.explored_fully = false;
+        return result;
+      }
+      if (pi < probe_nodes.size() && probe_nodes[pi] == k) {
+        probed_configs.insert(frontier[k].node.config.hash());
+        result.configs_probed += 1;
+        if (probe_stuck[pi] >= 0) {
+          result.wait_free = false;
+          result.stuck_pid = probe_stuck[pi];
+          result.reaching_schedule = path_to(levels, level, k, n);
+          return result;
+        }
+        ++pi;
+      }
+    }
+    stored_count += winners.size();
+    levels.push_back(std::move(winners));
+  }
+
+  result.explored_fully = true;
+  return result;
+}
+
+}  // namespace
+
+SafetyResult check_safety_parallel(const exec::Protocol& protocol,
+                                   const std::vector<int>& inputs,
+                                   const SafetyOptions& options) {
+  util::ThreadPool pool(options.threads);
+  return safety_impl(protocol, inputs, options, pool);
+}
+
+SafetyResult check_safety_all_inputs_parallel(const exec::Protocol& protocol,
+                                              const SafetyOptions& options) {
+  // Inputs are checked sequentially, each with the full pool applied to
+  // its frontier: the merge (including the early exit on the first
+  // violating input) is then exactly the serial driver's, with no work
+  // wasted past a violation.
+  util::ThreadPool pool(options.threads);
+  SafetyResult merged;
+  merged.explored_fully = true;
+  for (const auto& inputs : all_binary_inputs(protocol.process_count())) {
+    SafetyResult r = safety_impl(protocol, inputs, options, pool);
+    merged.states_visited += r.states_visited;
+    merged.configs_visited += r.configs_visited;
+    merged.explored_fully = merged.explored_fully && r.explored_fully;
+    if (!r.ok()) {
+      merged.agreement_ok = r.agreement_ok;
+      merged.validity_ok = r.validity_ok;
+      merged.counterexample = std::move(r.counterexample);
+      merged.violation = std::move(r.violation);
+      return merged;
+    }
+  }
+  return merged;
+}
+
+LivenessResult check_liveness_parallel(const exec::Protocol& protocol,
+                                       const std::vector<int>& inputs,
+                                       const LivenessOptions& options) {
+  util::ThreadPool pool(options.threads);
+  return liveness_impl(protocol, inputs, options, pool);
+}
+
+}  // namespace rcons::valency::detail

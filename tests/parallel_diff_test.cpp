@@ -1,0 +1,523 @@
+// The differential suite for the parallel exploration engine (DESIGN.md §7).
+//
+// Contract under test: for every thread count, the parallel engines return
+// results BIT-IDENTICAL to the serial engines — same verdicts, same
+// violation strings, same counterexample schedules, same visit statistics,
+// same truncation behavior — across the protocol catalog, every crash
+// mode, the hierarchy deciders, the level/profile/family computations, and
+// the randomized machine search.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/naive_register.hpp"
+#include "algo/propose_consensus.hpp"
+#include "algo/protocol_base.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/sticky_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/discerning.hpp"
+#include "hierarchy/recording.hpp"
+#include "hierarchy/search.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+#include "util/assert.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::valency {
+namespace {
+
+const int kThreadCounts[] = {2, 4, 8};
+
+// ---------------------------------------------------------------------------
+// Test-local protocols.
+
+/// Each process performs one register read, then outputs its OWN consensus
+/// input — the simplest protocol that can output two distinct non-binary
+/// values. With inputs {1, 2} the outputs mask is 0b110: a mask == 0b11
+/// agreement check misses it; the popcount >= 2 check must not.
+class DecideOwnInput : public algo::ProtocolBase {
+ public:
+  explicit DecideOwnInput(int n) : ProtocolBase("decide_own_input", n) {
+    spec::ObjectType reg = spec::make_register(2);
+    read_ = *reg.find_op("read");
+    reg_ = add_object(std::move(reg), "r0");
+  }
+
+  /// Unlike the base (which asserts binary inputs), accept any input value:
+  /// this protocol exists to feed the checker inputs like {1, 2}.
+  exec::LocalState initial_state(exec::ProcessId,
+                                 int input) const override {
+    return exec::LocalState{{0, input}};
+  }
+
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke(reg_, read_);
+  }
+
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return make_decided(static_cast<int>(state.words[1]));
+  }
+
+ private:
+  exec::ObjectId reg_ = 0;
+  spec::OpId read_ = 0;
+};
+
+/// Spins reading a register that is never written: solo runs never output,
+/// so recoverable wait-freedom fails at the initial configuration. Gives
+/// the liveness diff a deterministic NO case.
+class SpinForever : public algo::ProtocolBase {
+ public:
+  explicit SpinForever(int n) : ProtocolBase("spin_forever", n) {
+    spec::ObjectType reg = spec::make_register(2);
+    read_ = *reg.find_op("read");
+    reg_ = add_object(std::move(reg), "r0");
+  }
+
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke(reg_, read_);
+  }
+
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return state;  // never advances, never decides
+  }
+
+ private:
+  exec::ObjectId reg_ = 0;
+  spec::OpId read_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Field-by-field comparisons.
+
+void ExpectSameSafety(const SafetyResult& serial, const SafetyResult& other) {
+  EXPECT_EQ(serial.explored_fully, other.explored_fully);
+  EXPECT_EQ(serial.agreement_ok, other.agreement_ok);
+  EXPECT_EQ(serial.validity_ok, other.validity_ok);
+  EXPECT_EQ(serial.states_visited, other.states_visited);
+  EXPECT_EQ(serial.configs_visited, other.configs_visited);
+  EXPECT_EQ(serial.violation, other.violation);
+  ASSERT_EQ(serial.counterexample.has_value(),
+            other.counterexample.has_value());
+  if (serial.counterexample.has_value()) {
+    EXPECT_EQ(exec::schedule_to_string(*serial.counterexample),
+              exec::schedule_to_string(*other.counterexample));
+  }
+  EXPECT_EQ(safety_verdict(serial), safety_verdict(other));
+}
+
+void ExpectSameLiveness(const LivenessResult& serial,
+                        const LivenessResult& other) {
+  EXPECT_EQ(serial.explored_fully, other.explored_fully);
+  EXPECT_EQ(serial.wait_free, other.wait_free);
+  EXPECT_EQ(serial.configs_probed, other.configs_probed);
+  EXPECT_EQ(serial.stuck_pid, other.stuck_pid);
+  ASSERT_EQ(serial.reaching_schedule.has_value(),
+            other.reaching_schedule.has_value());
+  if (serial.reaching_schedule.has_value()) {
+    EXPECT_EQ(exec::schedule_to_string(*serial.reaching_schedule),
+              exec::schedule_to_string(*other.reaching_schedule));
+  }
+  EXPECT_EQ(liveness_verdict(serial), liveness_verdict(other));
+}
+
+using ProtocolFactory = std::function<std::unique_ptr<exec::Protocol>()>;
+
+/// The catalog the differential sweep runs over: safe and violating, tiny
+/// and mid-sized, crash-sensitive and crash-oblivious.
+std::vector<std::pair<std::string, ProtocolFactory>> protocol_catalog() {
+  return {
+      {"cas2", [] { return std::make_unique<algo::CasConsensus>(2); }},
+      {"cas3", [] { return std::make_unique<algo::CasConsensus>(3); }},
+      {"tas", [] { return std::make_unique<algo::TasRacingConsensus>(); }},
+      {"naive2",
+       [] { return std::make_unique<algo::NaiveRegisterConsensus>(2); }},
+      {"sticky2", [] { return std::make_unique<algo::StickyConsensus>(2); }},
+      {"propose22",
+       [] { return std::make_unique<algo::NaiveProposeConsensus>(2, 2); }},
+      {"tnn42", [] {
+         return std::make_unique<algo::TnnRecoverableConsensus>(4, 2, 2);
+       }},
+      {"tnnwf42",
+       [] { return std::make_unique<algo::TnnWaitFreeConsensus>(4, 2); }},
+      {"recording_cas3", [] {
+         return std::make_unique<algo::RecordingConsensus>(spec::make_cas(3),
+                                                           2);
+       }},
+  };
+}
+
+std::vector<int> mixed_inputs(int n) {
+  std::vector<int> inputs(static_cast<std::size_t>(n), 1);
+  inputs[0] = 0;
+  return inputs;
+}
+
+// ---------------------------------------------------------------------------
+// Safety.
+
+TEST(ParallelDiff, SafetyAcrossCatalogModesAndThreadCounts) {
+  const CrashMode kModes[] = {CrashMode::kNone, CrashMode::kIndividual,
+                              CrashMode::kSimultaneous, CrashMode::kBoth};
+  for (const auto& [name, make] : protocol_catalog()) {
+    const auto protocol = make();
+    const std::vector<int> inputs = mixed_inputs(protocol->process_count());
+    for (const CrashMode mode : kModes) {
+      SafetyOptions options;
+      options.crash_mode = mode;
+      const SafetyResult serial = check_safety(*protocol, inputs, options);
+      for (const int threads : kThreadCounts) {
+        SCOPED_TRACE(name + " mode=" +
+                     std::to_string(static_cast<int>(mode)) +
+                     " threads=" + std::to_string(threads));
+        options.threads = threads;
+        ExpectSameSafety(serial, check_safety(*protocol, inputs, options));
+      }
+      options.threads = 1;
+    }
+  }
+}
+
+TEST(ParallelDiff, SafetyAllInputsFanOut) {
+  for (const auto& [name, make] : protocol_catalog()) {
+    const auto protocol = make();
+    SafetyOptions options;
+    options.crash_mode = CrashMode::kIndividual;
+    const SafetyResult serial = check_safety_all_inputs(*protocol, options);
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+      options.threads = threads;
+      ExpectSameSafety(serial, check_safety_all_inputs(*protocol, options));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation: max_states must produce the SAME explored_fully=false cut in
+// both engines, and callers must read it as inconclusive, never safe.
+
+TEST(ParallelDiff, TruncationIsIdenticalInBothEngines) {
+  for (const char* name : {"cas2", "tnn42"}) {
+    ProtocolFactory make;
+    for (auto& [n, f] : protocol_catalog()) {
+      if (n == name) make = f;
+    }
+    const auto protocol = make();
+    const std::vector<int> inputs = mixed_inputs(protocol->process_count());
+    for (const std::size_t max_states : {0u, 1u, 5u, 50u, 500u}) {
+      SafetyOptions options;
+      options.crash_mode = CrashMode::kBoth;
+      options.max_states = max_states;
+      const SafetyResult serial = check_safety(*protocol, inputs, options);
+      for (const int threads : kThreadCounts) {
+        SCOPED_TRACE(std::string(name) +
+                     " max_states=" + std::to_string(max_states) +
+                     " threads=" + std::to_string(threads));
+        options.threads = threads;
+        ExpectSameSafety(serial, check_safety(*protocol, inputs, options));
+      }
+      if (!serial.explored_fully && serial.ok()) {
+        EXPECT_EQ(safety_verdict(serial), SafetyVerdict::kInconclusive);
+        EXPECT_EQ(safety_verdict_name(serial), "INCONCLUSIVE");
+      }
+    }
+  }
+}
+
+TEST(ParallelDiff, TruncatedSafeExplorationIsInconclusiveNotSafe) {
+  algo::CasConsensus protocol(2);
+  SafetyOptions options;
+  options.max_states = 3;  // cas2 has 28 states under individual crashes
+  for (const int threads : {1, 2, 4, 8}) {
+    options.threads = threads;
+    const SafetyResult r = check_safety(protocol, {0, 1}, options);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.explored_fully);
+    EXPECT_EQ(safety_verdict(r), SafetyVerdict::kInconclusive);
+    EXPECT_EQ(safety_verdict_name(r), "INCONCLUSIVE");
+  }
+}
+
+TEST(ParallelDiff, LivenessTruncationIsInconclusive) {
+  algo::CasConsensus protocol(2);
+  LivenessOptions options;
+  options.max_states = 2;
+  for (const int threads : {1, 2, 4, 8}) {
+    options.threads = threads;
+    const LivenessResult r =
+        check_recoverable_wait_freedom(protocol, {0, 1}, options);
+    EXPECT_TRUE(r.wait_free);
+    EXPECT_FALSE(r.explored_fully);
+    EXPECT_EQ(liveness_verdict(r), LivenessVerdict::kInconclusive);
+    EXPECT_EQ(liveness_verdict_name(r), "INCONCLUSIVE");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness.
+
+TEST(ParallelDiff, LivenessAcrossCatalogAndThreadCounts) {
+  auto catalog = protocol_catalog();
+  catalog.push_back(
+      {"spin2", [] { return std::make_unique<SpinForever>(2); }});
+  for (const auto& [name, make] : catalog) {
+    const auto protocol = make();
+    const std::vector<int> inputs = mixed_inputs(protocol->process_count());
+    LivenessOptions options;
+    options.solo_step_bound = 200;
+    const LivenessResult serial =
+        check_recoverable_wait_freedom(*protocol, inputs, options);
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+      options.threads = threads;
+      ExpectSameLiveness(
+          serial, check_recoverable_wait_freedom(*protocol, inputs, options));
+    }
+  }
+}
+
+TEST(ParallelDiff, LivenessTruncationMatchesAcrossEngines) {
+  algo::TnnRecoverableConsensus protocol(4, 2, 2);
+  for (const std::size_t max_states : {0u, 1u, 50u}) {
+    LivenessOptions options;
+    options.max_states = max_states;
+    const LivenessResult serial =
+        check_recoverable_wait_freedom(protocol, {0, 1}, options);
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE("max_states=" + std::to_string(max_states) +
+                   " threads=" + std::to_string(threads));
+      options.threads = threads;
+      ExpectSameLiveness(
+          serial, check_recoverable_wait_freedom(protocol, {0, 1}, options));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The agreement-check regression: two distinct NON-binary outputs.
+
+TEST(ParallelDiff, AgreementCatchesNonBinaryOutputPair) {
+  DecideOwnInput protocol(2);
+  SafetyOptions options;
+  options.crash_mode = CrashMode::kNone;
+  // Inputs {1, 2}: both outputs are valid, but they differ — the outputs
+  // mask is 0b110, which a literal `mask == 0b11` test never flags.
+  const SafetyResult serial = check_safety(protocol, {1, 2}, options);
+  EXPECT_FALSE(serial.agreement_ok);
+  EXPECT_TRUE(serial.validity_ok);
+  EXPECT_EQ(serial.violation,
+            "agreement: distinct values 1 and 2 were output");
+  ASSERT_TRUE(serial.counterexample.has_value());
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    options.threads = threads;
+    ExpectSameSafety(serial, check_safety(protocol, {1, 2}, options));
+  }
+
+  // Agreeing non-binary inputs stay safe.
+  options.threads = 1;
+  const SafetyResult same = check_safety(protocol, {2, 2}, options);
+  EXPECT_TRUE(same.ok());
+  EXPECT_TRUE(same.explored_fully);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy deciders: same witnesses, same stats, every thread count.
+
+std::vector<std::pair<std::string, spec::ObjectType>> type_catalog() {
+  std::vector<std::pair<std::string, spec::ObjectType>> types;
+  types.emplace_back("tas", spec::make_test_and_set());
+  types.emplace_back("cas2", spec::make_cas(2));
+  types.emplace_back("swap2", spec::make_swap(2));
+  types.emplace_back("t42", spec::make_tnn(4, 2));
+  types.emplace_back("sticky2", spec::make_sticky_bit());
+  return types;
+}
+
+TEST(ParallelDiff, DiscerningCheckerMatchesSerial) {
+  for (const auto& [name, type] : type_catalog()) {
+    for (const int n : {2, 3}) {
+      const hierarchy::DiscerningResult serial =
+          hierarchy::check_discerning(type, n);
+      for (const int threads : kThreadCounts) {
+        SCOPED_TRACE(name + " n=" + std::to_string(n) +
+                     " threads=" + std::to_string(threads));
+        const hierarchy::DiscerningResult parallel =
+            hierarchy::check_discerning(type, n, /*use_symmetry=*/true,
+                                        threads);
+        EXPECT_EQ(serial.holds, parallel.holds);
+        EXPECT_EQ(serial.witness, parallel.witness);
+        EXPECT_EQ(serial.stats.assignments_tried,
+                  parallel.stats.assignments_tried);
+        EXPECT_EQ(serial.stats.schedule_nodes, parallel.stats.schedule_nodes);
+      }
+    }
+  }
+}
+
+TEST(ParallelDiff, RecordingCheckerMatchesSerial) {
+  for (const auto& [name, type] : type_catalog()) {
+    for (const int n : {2, 3}) {
+      for (const bool nonhiding : {false, true}) {
+        const hierarchy::RecordingResult serial =
+            nonhiding ? hierarchy::check_recording_nonhiding(type, n)
+                      : hierarchy::check_recording(type, n);
+        for (const int threads : kThreadCounts) {
+          SCOPED_TRACE(name + " n=" + std::to_string(n) +
+                       " nonhiding=" + std::to_string(nonhiding) +
+                       " threads=" + std::to_string(threads));
+          const hierarchy::RecordingResult parallel =
+              nonhiding ? hierarchy::check_recording_nonhiding(
+                              type, n, /*use_symmetry=*/true, threads)
+                        : hierarchy::check_recording(
+                              type, n, /*use_symmetry=*/true, threads);
+          EXPECT_EQ(serial.holds, parallel.holds);
+          EXPECT_EQ(serial.witness, parallel.witness);
+          EXPECT_EQ(serial.stats.assignments_tried,
+                    parallel.stats.assignments_tried);
+          EXPECT_EQ(serial.stats.schedule_nodes,
+                    parallel.stats.schedule_nodes);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDiff, NaiveEnumerationAlsoMatchesSerial) {
+  const spec::ObjectType type = spec::make_test_and_set();
+  const hierarchy::DiscerningResult serial =
+      hierarchy::check_discerning(type, 3, /*use_symmetry=*/false);
+  const hierarchy::DiscerningResult parallel = hierarchy::check_discerning(
+      type, 3, /*use_symmetry=*/false, /*threads=*/4);
+  EXPECT_EQ(serial.holds, parallel.holds);
+  EXPECT_EQ(serial.witness, parallel.witness);
+  EXPECT_EQ(serial.stats.assignments_tried, parallel.stats.assignments_tried);
+  EXPECT_EQ(serial.stats.schedule_nodes, parallel.stats.schedule_nodes);
+}
+
+TEST(ParallelDiff, LevelsAndProfilesMatchSerial) {
+  for (const auto& [name, type] : type_catalog()) {
+    const hierarchy::Level d1 = hierarchy::discerning_level(type, 4);
+    const hierarchy::Level r1 = hierarchy::recording_level(type, 4);
+    const hierarchy::TypeProfile p1 = hierarchy::compute_profile(type, 4);
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+      EXPECT_EQ(d1, hierarchy::discerning_level(type, 4, threads));
+      EXPECT_EQ(r1, hierarchy::recording_level(type, 4, threads));
+      const hierarchy::TypeProfile p2 =
+          hierarchy::compute_profile(type, 4, threads);
+      EXPECT_EQ(p1.type_name, p2.type_name);
+      EXPECT_EQ(p1.readable, p2.readable);
+      EXPECT_EQ(p1.discerning, p2.discerning);
+      EXPECT_EQ(p1.recording, p2.recording);
+    }
+  }
+}
+
+TEST(ParallelDiff, EraseCounterFamilyMatchesSerial) {
+  const auto serial = hierarchy::profile_erase_counter_family(2, 3);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto parallel =
+        hierarchy::profile_erase_counter_family(2, 3, threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].options.count_states,
+                parallel[i].options.count_states);
+      EXPECT_EQ(serial[i].options.wipe_at_overflow,
+                parallel[i].options.wipe_at_overflow);
+      EXPECT_EQ(serial[i].options.with_erase, parallel[i].options.with_erase);
+      EXPECT_EQ(serial[i].options.erase_only_a,
+                parallel[i].options.erase_only_a);
+      EXPECT_EQ(serial[i].profile.type_name, parallel[i].profile.type_name);
+      EXPECT_EQ(serial[i].profile.discerning, parallel[i].profile.discerning);
+      EXPECT_EQ(serial[i].profile.recording, parallel[i].profile.recording);
+    }
+  }
+}
+
+TEST(ParallelDiff, MachineSearchMatchesSerialForEveryThreadCount) {
+  hierarchy::MachineSearchOptions options;
+  options.value_count = 4;
+  options.op_count = 2;
+  options.response_count = 3;
+  options.max_n = 3;
+  options.seed = 7;
+  options.restarts = 4;
+  options.mutations_per_restart = 25;
+  const hierarchy::MachineSearchResult serial =
+      hierarchy::search_gap_machines(options);
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    options.threads = threads;
+    const hierarchy::MachineSearchResult parallel =
+        hierarchy::search_gap_machines(options);
+    EXPECT_EQ(serial.best_gap, parallel.best_gap);
+    EXPECT_EQ(serial.machines_evaluated, parallel.machines_evaluated);
+    EXPECT_EQ(serial.best_profile.discerning, parallel.best_profile.discerning);
+    EXPECT_EQ(serial.best_profile.recording, parallel.best_profile.recording);
+    EXPECT_EQ(spec::serialize_type(serial.best_type),
+              spec::serialize_type(parallel.best_type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verdict helper pins.
+
+TEST(ParallelDiff, SafetyVerdictNames) {
+  SafetyResult r;
+  r.explored_fully = true;
+  EXPECT_EQ(safety_verdict(r), SafetyVerdict::kSafe);
+  EXPECT_EQ(safety_verdict_name(r), "SAFE");
+  r.explored_fully = false;
+  EXPECT_EQ(safety_verdict(r), SafetyVerdict::kInconclusive);
+  EXPECT_EQ(safety_verdict_name(r), "INCONCLUSIVE");
+  r.agreement_ok = false;  // a found violation trumps truncation
+  EXPECT_EQ(safety_verdict(r), SafetyVerdict::kViolation);
+  EXPECT_EQ(safety_verdict_name(r), "VIOLATION");
+}
+
+TEST(ParallelDiff, LivenessVerdictNames) {
+  LivenessResult r;
+  r.explored_fully = true;
+  EXPECT_EQ(liveness_verdict(r), LivenessVerdict::kWaitFree);
+  EXPECT_EQ(liveness_verdict_name(r), "YES");
+  r.explored_fully = false;
+  EXPECT_EQ(liveness_verdict(r), LivenessVerdict::kInconclusive);
+  EXPECT_EQ(liveness_verdict_name(r), "INCONCLUSIVE");
+  r.wait_free = false;
+  EXPECT_EQ(liveness_verdict(r), LivenessVerdict::kNotWaitFree);
+  EXPECT_EQ(liveness_verdict_name(r), "NO");
+}
+
+TEST(ParallelDiff, CappedLevelPrintsAtLeast) {
+  EXPECT_EQ((hierarchy::Level{3, false}).to_string(), ">= 3");
+  EXPECT_EQ((hierarchy::Level{1, true}).to_string(), "1");
+}
+
+// Threads = 0 means "hardware count" and must still be bit-identical.
+TEST(ParallelDiff, ZeroThreadsMeansHardwareAndStaysIdentical) {
+  algo::CasConsensus protocol(2);
+  SafetyOptions options;
+  const SafetyResult serial = check_safety(protocol, {0, 1}, options);
+  options.threads = 0;
+  ExpectSameSafety(serial, check_safety(protocol, {0, 1}, options));
+}
+
+}  // namespace
+}  // namespace rcons::valency

@@ -1,0 +1,190 @@
+// Randomized differential stress for the parallel exploration engine.
+//
+// Generates ~200 seeded random protocols — random readable object machines
+// driven by random per-process programs, with optional spin loops and
+// out-of-range decisions — and checks that the parallel safety and
+// liveness engines reproduce the serial engines field-for-field on every
+// one. The final soak case runs a mid-sized exploration at 8 threads
+// repeatedly; under the TSan CI configuration it doubles as a data-race
+// hunt through the pool, the sharded visited map, and the reduction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/protocol_base.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "exec/event.hpp"
+#include "hierarchy/search.hpp"
+#include "util/rng.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::valency {
+namespace {
+
+/// A random one-shot program over one random readable object: each process
+/// applies `steps` random operations, then outputs a pseudo-random function
+/// of its last response and input. Some instances spin forever on a
+/// designated (pc, response) pair; some output values outside {inputs},
+/// so the sweep exercises safe runs, agreement violations, validity
+/// violations, and liveness failures alike.
+class RandomProtocol : public algo::ProtocolBase {
+ public:
+  explicit RandomProtocol(std::uint64_t seed)
+      : RandomProtocol(Params::draw(seed)) {}
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    const auto pc = state.words[0];
+    if (pc >= params_.steps) {
+      const std::int64_t last_response = state.words.size() > 2
+                                             ? state.words[2]
+                                             : 0;
+      const int decision = static_cast<int>(
+          (last_response * params_.decide_mul + state.words[1] +
+           params_.decide_add) %
+          params_.decide_mod);
+      return exec::Action::decided(decision);
+    }
+    return exec::Action::invoke(
+        obj_, params_.op_at[static_cast<std::size_t>(
+                  pid * params_.steps + static_cast<int>(pc))]);
+  }
+
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId response) const override {
+    exec::LocalState next = state;
+    if (params_.spin_pc >= 0 && state.words[0] == params_.spin_pc &&
+        response == params_.spin_response) {
+      return next;  // spin: stay at this pc forever
+    }
+    next.words[0] += 1;
+    next.words.resize(3, 0);
+    next.words[2] = response;
+    return next;
+  }
+
+ private:
+  struct Params {
+    int n = 2;
+    int steps = 2;
+    spec::ObjectType type;
+    std::vector<spec::OpId> op_at;  // [pid * steps + pc]
+    std::int64_t decide_mul = 1;
+    std::int64_t decide_add = 0;
+    std::int64_t decide_mod = 2;
+    int spin_pc = -1;  // -1: no spin loop
+    spec::ResponseId spin_response = 0;
+
+    static Params draw(std::uint64_t seed) {
+      Xoshiro256 rng(seed);
+      Params p;
+      p.n = 2 + static_cast<int>(rng.below(2));      // 2..3
+      p.steps = 1 + static_cast<int>(rng.below(3));  // 1..3
+      const int value_count = 3 + static_cast<int>(rng.below(2));
+      const int op_count = 2;
+      const int response_count = 3;
+      p.type = hierarchy::random_readable_type(value_count, op_count,
+                                               response_count, rng.next());
+      p.op_at.resize(static_cast<std::size_t>(p.n * p.steps));
+      for (auto& op : p.op_at) {
+        // op_count team ops plus the appended read op.
+        op = static_cast<spec::OpId>(rng.below(
+            static_cast<std::uint64_t>(p.type.op_count())));
+      }
+      p.decide_mul = static_cast<std::int64_t>(1 + rng.below(3));
+      p.decide_add = static_cast<std::int64_t>(rng.below(3));
+      p.decide_mod = static_cast<std::int64_t>(2 + rng.below(2));  // 2..3
+      if (rng.chance(0.3)) {
+        p.spin_pc = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(p.steps)));
+        p.spin_response = static_cast<spec::ResponseId>(rng.below(
+            static_cast<std::uint64_t>(p.type.response_count())));
+      }
+      return p;
+    }
+  };
+
+  explicit RandomProtocol(Params params)
+      : ProtocolBase("random_protocol", params.n), params_(std::move(params)) {
+    obj_ = add_object(params_.type, params_.type.value_name(0));
+  }
+
+  Params params_;
+  exec::ObjectId obj_ = 0;
+};
+
+void ExpectSameSafety(const SafetyResult& serial, const SafetyResult& other) {
+  ASSERT_EQ(serial.explored_fully, other.explored_fully);
+  ASSERT_EQ(serial.agreement_ok, other.agreement_ok);
+  ASSERT_EQ(serial.validity_ok, other.validity_ok);
+  ASSERT_EQ(serial.states_visited, other.states_visited);
+  ASSERT_EQ(serial.configs_visited, other.configs_visited);
+  ASSERT_EQ(serial.violation, other.violation);
+  ASSERT_EQ(serial.counterexample.has_value(),
+            other.counterexample.has_value());
+  if (serial.counterexample.has_value()) {
+    ASSERT_EQ(exec::schedule_to_string(*serial.counterexample),
+              exec::schedule_to_string(*other.counterexample));
+  }
+}
+
+void ExpectSameLiveness(const LivenessResult& serial,
+                        const LivenessResult& other) {
+  ASSERT_EQ(serial.explored_fully, other.explored_fully);
+  ASSERT_EQ(serial.wait_free, other.wait_free);
+  ASSERT_EQ(serial.configs_probed, other.configs_probed);
+  ASSERT_EQ(serial.stuck_pid, other.stuck_pid);
+  ASSERT_EQ(serial.reaching_schedule.has_value(),
+            other.reaching_schedule.has_value());
+  if (serial.reaching_schedule.has_value()) {
+    ASSERT_EQ(exec::schedule_to_string(*serial.reaching_schedule),
+              exec::schedule_to_string(*other.reaching_schedule));
+  }
+}
+
+TEST(ParallelStress, TwoHundredRandomProtocolsMatchSerial) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RandomProtocol protocol(seed);
+    std::vector<int> inputs(
+        static_cast<std::size_t>(protocol.process_count()), 1);
+    inputs[0] = 0;
+
+    SafetyOptions safety;
+    safety.crash_mode = static_cast<CrashMode>(seed % 4);
+    safety.max_states = (seed % 5 == 0) ? 40 : 50'000;  // truncate some runs
+    const SafetyResult safety_serial = check_safety(protocol, inputs, safety);
+    safety.threads = 2 + static_cast<int>(seed % 7);  // 2..8
+    ExpectSameSafety(safety_serial, check_safety(protocol, inputs, safety));
+
+    LivenessOptions liveness;
+    liveness.solo_step_bound = 64;
+    liveness.max_states = (seed % 7 == 0) ? 25 : 50'000;
+    const LivenessResult liveness_serial =
+        check_recoverable_wait_freedom(protocol, inputs, liveness);
+    liveness.threads = 2 + static_cast<int>(seed % 7);
+    ExpectSameLiveness(
+        liveness_serial,
+        check_recoverable_wait_freedom(protocol, inputs, liveness));
+  }
+}
+
+// Many-thread soak on a mid-sized real protocol. Under the TSan CI build
+// this hammers the pool / sharded-map / reduction paths for data races.
+TEST(ParallelStress, EightThreadSoakStaysIdentical) {
+  algo::TnnRecoverableConsensus protocol(4, 2, 2);
+  SafetyOptions options;
+  options.crash_mode = CrashMode::kBoth;
+  const SafetyResult serial = check_safety(protocol, {0, 1}, options);
+  options.threads = 8;
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    ExpectSameSafety(serial, check_safety(protocol, {0, 1}, options));
+  }
+}
+
+}  // namespace
+}  // namespace rcons::valency

@@ -1,13 +1,17 @@
 // Unit tests for src/util: combinatorics, RNG determinism, hashing,
-// strings, and the table renderer.
+// strings, the table renderer, the thread pool, and the sharded min-map.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "util/combinatorics.hpp"
 #include "util/hashing.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/sharded_set.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -229,6 +233,103 @@ TEST(Table, RendersAlignedColumns) {
     if (line.empty()) continue;
     if (width == std::string::npos) width = line.size();
     EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Parallel, HardwareThreadsIsPositive) {
+  EXPECT_GE(util::hardware_threads(), 1);
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, 1,
+                    [&](std::size_t chunk, std::size_t begin,
+                        std::size_t end) {
+    EXPECT_LT(chunk, pool.chunk_count(kCount, 1));
+    EXPECT_LE(begin, end);
+    EXPECT_LE(end, kCount);
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ParallelForOnEmptyRangeNeverInvokesBody) {
+  util::ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 1, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, ChunkingIsAPureFunctionOfCountAndThreads) {
+  // Deterministic reductions index per-chunk buffers, so the chunk
+  // geometry must not depend on runtime scheduling.
+  util::ThreadPool a(4);
+  util::ThreadPool b(4);
+  for (const std::size_t count : {1u, 7u, 64u, 1000u, 4097u}) {
+    EXPECT_EQ(a.chunk_count(count, 1), b.chunk_count(count, 1));
+    EXPECT_EQ(a.chunk_size(count, 1), b.chunk_size(count, 1));
+    EXPECT_GE(a.chunk_size(count, 1) * a.chunk_count(count, 1), count);
+  }
+}
+
+TEST(Parallel, SubmitAndWaitIdleRunsEveryTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(Parallel, SingleThreadPoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::size_t covered = 0;
+  pool.parallel_for(10, 1, [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(ShardedMinMap, KeepsTheMinimumValuePerKey) {
+  util::ShardedMinMap<int, int> map(4);
+  EXPECT_TRUE(map.insert_min(7, 30));
+  EXPECT_FALSE(map.insert_min(7, 40));  // larger: rejected
+  EXPECT_TRUE(map.insert_min(7, 10));   // smaller: displaces
+  EXPECT_EQ(map.lookup(7), std::optional<int>(10));
+  EXPECT_EQ(map.lookup(8), std::nullopt);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_GE(map.shard_count(), 8u);
+}
+
+TEST(ShardedMinMap, ConcurrentRacesConvergeToTheMinimum) {
+  util::ThreadPool pool(8);
+  util::ShardedMinMap<int, int> map(pool.thread_count());
+  constexpr int kKeys = 64;
+  // 8 * 200 racing inserts per key; the final value must be the global
+  // minimum proposed for that key, independent of interleaving.
+  pool.parallel_for(8 * 200, 1,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (int key = 0; key < kKeys; ++key) {
+        map.insert_min(key, static_cast<int>(i) + key);
+      }
+    }
+  });
+  ASSERT_EQ(map.size(), static_cast<std::size_t>(kKeys));
+  for (int key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(map.lookup(key), std::optional<int>(key));
   }
 }
 

@@ -18,6 +18,11 @@
 //                                        exits 1 on findings >= threshold
 //   rcons_cli lint --rules               print the rule catalog
 //
+// The global flag --threads=N (any position) selects exploration
+// parallelism for verify/profile/search. The default is the hardware
+// thread count; --threads=1 runs the original serial engines. Results are
+// bit-identical for every thread count (see DESIGN.md §7).
+//
 // <type> is either a catalog name (see `list`) or a path to a .type file.
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +33,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "algo/cas_consensus.hpp"
 #include "analysis/analysis.hpp"
@@ -43,6 +49,7 @@
 #include "spec/catalog.hpp"
 #include "spec/paper_types.hpp"
 #include "spec/serialize.hpp"
+#include "util/parallel.hpp"
 #include "valency/critical.hpp"
 #include "valency/lemmas.hpp"
 #include "valency/model_checker.hpp"
@@ -51,6 +58,10 @@
 namespace {
 
 using rcons::spec::ObjectType;
+
+/// Exploration threads for verify/profile/search, from --threads=N.
+/// Initialized in main to the hardware thread count.
+int g_threads = 1;
 
 const std::map<std::string, std::function<ObjectType()>>& catalog() {
   static const auto* kCatalog =
@@ -177,7 +188,7 @@ int cmd_list() {
 
 int cmd_profile(const ObjectType& type, int max_n) {
   const rcons::hierarchy::TypeProfile p =
-      rcons::hierarchy::compute_profile(type, max_n);
+      rcons::hierarchy::compute_profile(type, max_n, g_threads);
   std::printf("type %s (%s)\n", p.type_name.c_str(),
               p.readable ? "readable" : "NOT readable");
   std::printf("  discerning level: %s%s\n",
@@ -225,26 +236,40 @@ int cmd_verify(rcons::exec::Protocol& protocol) {
                           rcons::valency::CrashMode::kBoth}) {
     rcons::valency::SafetyOptions options;
     options.crash_mode = mode;
+    options.threads = g_threads;
     const auto r = rcons::valency::check_safety_all_inputs(protocol, options);
     const char* mode_name =
         mode == rcons::valency::CrashMode::kNone ? "crash-free " :
         mode == rcons::valency::CrashMode::kIndividual ? "individual " :
                                                          "indiv+simul";
+    // A truncated exploration proves nothing: INCONCLUSIVE, never "SAFE".
     std::printf("  safety  [%s]: %s (%zu states)\n", mode_name,
-                r.ok() ? "SAFE" : "VIOLATION", r.states_visited);
+                std::string(rcons::valency::safety_verdict_name(r)).c_str(),
+                r.states_visited);
     if (!r.ok()) {
       std::printf("    %s\n    schedule: %s\n", r.violation.c_str(),
                   rcons::exec::schedule_to_string(*r.counterexample).c_str());
     }
   }
-  bool live = true;
+  bool stuck = false;
+  bool inconclusive = false;
   for (const auto& inputs :
        rcons::valency::all_binary_inputs(protocol.process_count())) {
-    live = live &&
-           rcons::valency::check_recoverable_wait_freedom(protocol, inputs)
-               .wait_free;
+    rcons::valency::LivenessOptions options;
+    options.threads = g_threads;
+    const auto r =
+        rcons::valency::check_recoverable_wait_freedom(protocol, inputs,
+                                                       options);
+    switch (rcons::valency::liveness_verdict(r)) {
+      case rcons::valency::LivenessVerdict::kNotWaitFree: stuck = true; break;
+      case rcons::valency::LivenessVerdict::kInconclusive:
+        inconclusive = true;
+        break;
+      case rcons::valency::LivenessVerdict::kWaitFree: break;
+    }
   }
-  std::printf("  recoverable wait-freedom: %s\n", live ? "YES" : "NO");
+  std::printf("  recoverable wait-freedom: %s\n",
+              stuck ? "NO" : (inconclusive ? "INCONCLUSIVE" : "YES"));
   return 0;
 }
 
@@ -360,6 +385,7 @@ int cmd_search(int restarts, int mutations, std::uint64_t seed) {
   options.restarts = restarts;
   options.mutations_per_restart = mutations;
   options.seed = seed;
+  options.threads = g_threads;
   const auto r = rcons::hierarchy::search_gap_machines(options);
   std::printf("evaluated %llu machines; best gap %d (discerning %s, "
               "recording %s)\n",
@@ -375,6 +401,27 @@ int cmd_search(int restarts, int mutations, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract the global --threads=N flag (any position) before dispatch.
+  g_threads = rcons::util::hardware_threads();
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return fail("--threads wants a count >= 0");
+      }
+      const int threads = std::atoi(value.c_str());
+      g_threads = threads == 0 ? rcons::util::hardware_threads() : threads;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  args.push_back(nullptr);
+  argc = static_cast<int>(args.size()) - 1;
+  argv = args.data();
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
