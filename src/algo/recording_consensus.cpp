@@ -22,10 +22,13 @@ constexpr std::size_t kWValue = 3;
 constexpr std::size_t kWTeam = 4;
 }  // namespace
 
-RecordingConsensus::RecordingConsensus(const spec::ObjectType& type, int n)
+RecordingConsensus::RecordingConsensus(const spec::ObjectType& type, int n,
+                                       bool relax_proposal_writes)
     : ProtocolBase("recording_consensus(" + type.name() +
-                       ",n=" + std::to_string(n) + ")",
-                   n) {
+                       ",n=" + std::to_string(n) +
+                       (relax_proposal_writes ? ",relaxed" : "") + ")",
+                   n),
+      relax_proposal_writes_(relax_proposal_writes) {
   RCONS_CHECK_MSG(type.is_readable(),
                   "recording consensus requires a readable type");
   read_op_ = *type.read_op();
@@ -116,7 +119,10 @@ exec::Action RecordingConsensus::poised(exec::ProcessId pid,
       const int team = nd.team_of_pid[static_cast<std::size_t>(pid)];
       const auto value = static_cast<std::size_t>(state.words[kWValue]);
       RCONS_CHECK(value <= 1);
-      return exec::Action::invoke(nd.prop[team], prop_write_[value]);
+      return relax_proposal_writes_
+                 ? exec::Action::invoke_relaxed(nd.prop[team],
+                                                prop_write_[value])
+                 : exec::Action::invoke(nd.prop[team], prop_write_[value]);
     }
     case kPhaseRead1:
     case kPhaseRead2:

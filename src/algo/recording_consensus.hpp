@@ -50,7 +50,15 @@ class RecordingConsensus : public ProtocolBase {
   /// Builds the tree of detectors for `n` processes over `type`.
   /// Requires: type is readable and has non-hiding k-recording witnesses
   /// for every team size k that arises in the tree (RCONS_CHECKed).
-  RecordingConsensus(const spec::ObjectType& type, int n);
+  ///
+  /// `relax_proposal_writes` is a deliberate fault-injection knob for the
+  /// persistency analyses: when true, the proposal-register writes are
+  /// issued as relaxed (unpersisted) invokes, exactly as if the persist()
+  /// after the store had been forgotten. The resulting protocol is caught
+  /// statically by rule RC004 and at runtime by the strict boundary-crash
+  /// audit; it must never be used outside those tests.
+  explicit RecordingConsensus(const spec::ObjectType& type, int n,
+                              bool relax_proposal_writes = false);
 
   exec::Action poised(exec::ProcessId pid,
                       const exec::LocalState& state) const override;
@@ -84,6 +92,7 @@ class RecordingConsensus : public ProtocolBase {
 
   const Node& node(int idx) const { return nodes_[static_cast<std::size_t>(idx)]; }
 
+  bool relax_proposal_writes_ = false;
   spec::OpId read_op_;
   // Read response -> value of the recording type (response ids of the read
   // op are value-injective by definition of readability).

@@ -57,6 +57,14 @@ class TnnRecoverableConsensus : public ProtocolBase {
   exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
                            spec::ResponseId response) const override;
 
+  /// The correct configuration (processes <= nprime) tolerates repeated
+  /// individual crashes — a crash merely repeats op_R — so it declares a
+  /// budget for rule RC006 to audit. The overload configuration is the
+  /// Lemma 16 counterexample and claims nothing.
+  int declared_crash_budget() const override {
+    return process_count() <= nprime_ ? 2 : -1;
+  }
+
  private:
   int n_;
   int nprime_;

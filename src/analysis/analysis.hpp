@@ -4,13 +4,16 @@
 //   * diagnostic.hpp — Diagnostic / Report, text + JSON rendering;
 //   * rules.hpp      — the rule registry (stable IDs, severities, the
 //                      paper precondition each rule guards);
-//   * type_lint.hpp / protocol_lint.hpp — the two analyzer front ends.
+//   * type_lint.hpp / protocol_lint.hpp — the TS/PL analyzer front ends;
+//   * recovery_audit.hpp — the RC crash-recovery soundness audit over the
+//                      shadow-persistency semantics.
 //
 // See DESIGN.md ("Static analysis") for the full rule catalog and
 // README.md for `rcons_cli lint` usage.
 #pragma once
 
-#include "analysis/diagnostic.hpp"    // IWYU pragma: export
-#include "analysis/protocol_lint.hpp" // IWYU pragma: export
-#include "analysis/rules.hpp"         // IWYU pragma: export
-#include "analysis/type_lint.hpp"     // IWYU pragma: export
+#include "analysis/diagnostic.hpp"     // IWYU pragma: export
+#include "analysis/protocol_lint.hpp"  // IWYU pragma: export
+#include "analysis/recovery_audit.hpp" // IWYU pragma: export
+#include "analysis/rules.hpp"          // IWYU pragma: export
+#include "analysis/type_lint.hpp"      // IWYU pragma: export

@@ -135,7 +135,11 @@ Exploration explore(const Protocol& protocol, ProcessId pid, int input,
     const spec::Effect& effect = type.apply(value, action.op);
     Node next = node;
     next.objects[static_cast<std::size_t>(action.object)] = effect.next_value;
-    next.persisted = node.persisted || effect.next_value != value;
+    // Only durable writes count as observable persistence: a relaxed
+    // store can still be dropped by a crash, so it is no evidence that
+    // the decision left a trace (rule PL006's invariant).
+    next.persisted =
+        node.persisted || (effect.next_value != value && action.durable);
     next.local = protocol.advance(pid, node.local, effect.response);
     enqueue(std::move(next));
   }

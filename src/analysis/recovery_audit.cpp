@@ -1,0 +1,469 @@
+#include "analysis/recovery_audit.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "util/hashing.hpp"
+#include "util/parallel.hpp"
+
+namespace rcons::analysis {
+
+namespace {
+
+using exec::Action;
+using exec::LocalState;
+using exec::ObjectId;
+using exec::ProcessId;
+using exec::Protocol;
+
+bool same_action(const Action& a, const Action& b) {
+  return a.kind == b.kind && a.object == b.object && a.op == b.op &&
+         a.decision == b.decision && a.durable == b.durable;
+}
+
+/// Shadow-persistency configuration of one solo process: volatile front
+/// values, persisted shadows, and the (volatile) local state.
+struct ShadowState {
+  std::vector<spec::ValueId> vol;
+  std::vector<spec::ValueId> shadow;
+  LocalState local;
+};
+
+std::vector<std::int64_t> state_key(const ShadowState& s) {
+  std::vector<std::int64_t> key;
+  key.reserve(s.vol.size() + s.shadow.size() + s.local.words.size() + 2);
+  for (spec::ValueId v : s.vol) key.push_back(v);
+  key.push_back(std::numeric_limits<std::int64_t>::min());
+  for (spec::ValueId v : s.shadow) key.push_back(v);
+  key.push_back(std::numeric_limits<std::int64_t>::min());
+  key.insert(key.end(), s.local.words.begin(), s.local.words.end());
+  return key;
+}
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& key) const {
+    return static_cast<std::size_t>(hash_vector(key));
+  }
+};
+
+/// One deterministic replay from a given shadow configuration to the
+/// process's decision (or a cycle / step bound).
+struct RunOutcome {
+  bool decided = false;
+  int decision = -1;
+  bool bound_hit = false;
+  bool invalid = false;  // out-of-range action; PL002's domain
+
+  bool nondet = false;
+  std::string nondet_detail;
+
+  // Persist-gap facts along the path (first occurrence each).
+  int relaxed_write_step = -1;
+  ObjectId relaxed_write_obj = -1;
+  int taint_step = -1;
+  ObjectId taint_obj = -1;
+  int tainted_write_step = -1;
+  ObjectId tainted_write_obj = -1;
+
+  /// Pre-step snapshots; if decided, the last entry is the output state
+  /// itself (every entry is a legal crash point).
+  std::vector<ShadowState> points;
+  std::vector<spec::ValueId> final_shadow;
+  long long steps = 0;
+};
+
+/// Crash transition: volatile values revert to their shadows, local state
+/// resets. This is the strict (drop) semantics.
+ShadowState crashed(const Protocol& protocol, ProcessId pid, int input,
+                    const ShadowState& s) {
+  ShadowState next;
+  next.vol = s.shadow;
+  next.shadow = s.shadow;
+  next.local = protocol.initial_state(pid, input);
+  return next;
+}
+
+/// Hypothetical flush-then-crash transition: as if every pending store
+/// had reached its barrier just before the crash (RC004's comparison
+/// point).
+ShadowState crashed_flushed(const Protocol& protocol, ProcessId pid,
+                            int input, const ShadowState& s) {
+  ShadowState next;
+  next.vol = s.vol;
+  next.shadow = s.vol;
+  next.local = protocol.initial_state(pid, input);
+  return next;
+}
+
+RunOutcome run(const Protocol& protocol, ProcessId pid, int /*input*/,
+               ShadowState state, const RecoveryAuditOptions& options,
+               long long& unit_steps) {
+  RunOutcome out;
+  const int object_count = protocol.object_count();
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited;
+  bool taint = false;
+
+  while (true) {
+    if (out.steps >= options.max_steps || unit_steps >= options.max_total_steps) {
+      out.bound_hit = true;
+      return out;
+    }
+    if (!visited.insert(state_key(state)).second) {
+      return out;  // cycle without deciding
+    }
+
+    const Action action = protocol.poised(pid, state.local);
+    if (!same_action(action, protocol.poised(pid, state.local))) {
+      out.nondet = true;
+      out.nondet_detail = "poised() returned two different actions for the "
+                          "same local state";
+      return out;
+    }
+
+    out.points.push_back(state);
+
+    if (action.kind == Action::Kind::kDecided) {
+      out.decided = true;
+      out.decision = action.decision;
+      out.final_shadow = state.shadow;
+      return out;
+    }
+    if (action.object < 0 || action.object >= object_count) {
+      out.invalid = true;
+      return out;
+    }
+    const spec::ObjectType& type = protocol.object_type(action.object);
+    if (action.op < 0 || action.op >= type.op_count()) {
+      out.invalid = true;
+      return out;
+    }
+
+    const std::size_t obj = static_cast<std::size_t>(action.object);
+    const spec::ValueId vol = state.vol[obj];
+    const spec::ValueId shadow = state.shadow[obj];
+    const spec::Effect& effect = type.apply(vol, action.op);
+
+    if (vol != shadow &&
+        type.apply(shadow, action.op).response != effect.response) {
+      // The response observed data that exists only in the volatile front
+      // value — a crash here would make this observation unrepeatable.
+      taint = true;
+      if (out.taint_step < 0) {
+        out.taint_step = static_cast<int>(out.steps);
+        out.taint_obj = action.object;
+      }
+    }
+    const bool writes = effect.next_value != vol;
+    if (writes && taint && out.tainted_write_step < 0) {
+      out.tainted_write_step = static_cast<int>(out.steps);
+      out.tainted_write_obj = action.object;
+    }
+    if (writes && !action.durable && out.relaxed_write_step < 0) {
+      out.relaxed_write_step = static_cast<int>(out.steps);
+      out.relaxed_write_obj = action.object;
+    }
+
+    state.vol[obj] = effect.next_value;
+    if (action.durable) state.shadow[obj] = effect.next_value;
+
+    const LocalState next_local =
+        protocol.advance(pid, state.local, effect.response);
+    if (next_local != protocol.advance(pid, state.local, effect.response)) {
+      out.nondet = true;
+      out.nondet_detail = "advance() returned two different states for the "
+                          "same (state, response)";
+      return out;
+    }
+    state.local = next_local;
+    ++out.steps;
+    ++unit_steps;
+  }
+}
+
+std::string where(ProcessId pid, int input) {
+  return "process " + std::to_string(pid) + ", input " + std::to_string(input);
+}
+
+std::string object_ref(const Protocol& protocol, ObjectId obj) {
+  return "object " + std::to_string(obj) + " ('" +
+         protocol.object_type(obj).name() + "')";
+}
+
+std::string shadow_diff(const std::vector<spec::ValueId>& a,
+                        const std::vector<spec::ValueId>& b) {
+  std::string out;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (!out.empty()) out += ", ";
+    out += "object " + std::to_string(i) + ": " + std::to_string(a[i]) +
+           " vs " + std::to_string(b[i]);
+  }
+  return out;
+}
+
+/// Audits one (process, input) unit; findings go to `report` (at most one
+/// finding per rule per unit, first occurrence wins, so reports stay
+/// stable and small).
+void audit_unit(const Protocol& protocol, ProcessId pid, int input,
+                const RecoveryAuditOptions& options, Report& report) {
+  const std::string subject = protocol.name();
+  const std::string loc = where(pid, input);
+  const int declared = protocol.declared_crash_budget();
+  const int budget = declared >= 0 ? declared : options.crash_budget;
+  long long unit_steps = 0;
+
+  bool saw_bound = false;
+  bool rc2_done = false, rc3_done = false, rc6_done = false;
+
+  const auto nondet_finding = [&](const RunOutcome& r) {
+    report.add(make_diagnostic(
+        kRuleRecoveryDeterminism, subject, loc, r.nondet_detail,
+        "poised()/advance() must be pure functions of the handed-in state; "
+        "hidden mutable state cannot survive the paper's crash-reset "
+        "semantics"));
+  };
+
+  // Decision-stability violations are the declared-budget contract when
+  // the protocol annotates one (RC006); otherwise they are RC002.
+  const auto stability_finding = [&](int crashes_used, const std::string& msg) {
+    if (declared >= 0) {
+      if (rc6_done) return;
+      rc6_done = true;
+      report.add(make_diagnostic(
+          kRuleCrashBudget, subject, loc,
+          "declares crash budget z=" + std::to_string(declared) +
+              " (solo E_z projection) but with " +
+              std::to_string(crashes_used) + " crash(es) " + msg,
+          "either the budget annotation overclaims or the recovery path "
+          "fails to re-derive its state from NVM"));
+    } else {
+      if (rc2_done) return;
+      rc2_done = true;
+      report.add(make_diagnostic(
+          kRuleDecisionStability, subject, loc, msg,
+          "record the decision durably and re-derive it from shared "
+          "objects alone on recovery"));
+    }
+  };
+
+  ShadowState start;
+  start.vol.reserve(static_cast<std::size_t>(protocol.object_count()));
+  for (ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
+    start.vol.push_back(protocol.initial_value(obj));
+  }
+  start.shadow = start.vol;
+  start.local = protocol.initial_state(pid, input);
+
+  const RunOutcome primary =
+      run(protocol, pid, input, start, options, unit_steps);
+  if (primary.nondet) {
+    nondet_finding(primary);
+    return;  // replays are meaningless past this point
+  }
+  if (primary.invalid) return;  // PL002 reports the broken action table
+  saw_bound = saw_bound || primary.bound_hit;
+
+  // Persist-gap facts are collected over every replay (primary and
+  // recoveries); report after the crash battery below.
+  int relaxed_step = primary.relaxed_write_step;
+  ObjectId relaxed_obj = primary.relaxed_write_obj;
+  int taint_write_step = primary.tainted_write_step;
+  ObjectId taint_write_obj = primary.tainted_write_obj;
+  ObjectId taint_obj = primary.taint_obj;
+  const auto merge_gap_facts = [&](const RunOutcome& r) {
+    if (relaxed_step < 0 && r.relaxed_write_step >= 0) {
+      relaxed_step = r.relaxed_write_step;
+      relaxed_obj = r.relaxed_write_obj;
+    }
+    if (taint_write_step < 0 && r.tainted_write_step >= 0) {
+      taint_write_step = r.tainted_write_step;
+      taint_write_obj = r.tainted_write_obj;
+      taint_obj = r.taint_obj;
+    }
+  };
+
+  if (budget >= 1 && primary.decided) {
+    const std::size_t decided_point = primary.points.size() - 1;
+    for (std::size_t k = 0; k < primary.points.size(); ++k) {
+      const ShadowState& at = primary.points[k];
+      const RunOutcome rec1 = run(protocol, pid, input,
+                                  crashed(protocol, pid, input, at), options,
+                                  unit_steps);
+      if (rec1.nondet) {
+        nondet_finding(rec1);
+        return;
+      }
+      saw_bound = saw_bound || rec1.bound_hit;
+      if (rec1.invalid) continue;
+      merge_gap_facts(rec1);
+
+      const bool post_decision = k == decided_point;
+      if (!rec1.decided && !rec1.bound_hit && post_decision) {
+        stability_finding(
+            1, "a crash at the output state leads to a recovery that never "
+               "re-decides (decided " +
+                   std::to_string(primary.decision) + " before the crash)");
+      }
+      if (rec1.decided && rec1.decision != primary.decision) {
+        if (post_decision) {
+          stability_finding(
+              1, "recovery after a crash at the output state decides " +
+                     std::to_string(rec1.decision) + ", not the already-" +
+                     "output " + std::to_string(primary.decision));
+        } else if (declared >= 0) {
+          stability_finding(
+              1, "a crash at step " + std::to_string(k) +
+                     " makes the recovery decide " +
+                     std::to_string(rec1.decision) + " where the crash-free "
+                     "run decides " + std::to_string(primary.decision));
+        }
+        // Pre-decision divergence without a declared budget is PL007's
+        // finding; the RC family does not duplicate it.
+      }
+
+      // RC004: if the state at this legal crash point holds an unflushed
+      // store, compare dropping it against the flushed hypothetical; any
+      // behavioral difference proves the gap is observable.
+      if (at.vol != at.shadow) {
+        const RunOutcome kept = run(protocol, pid, input,
+                                    crashed_flushed(protocol, pid, input, at),
+                                    options, unit_steps);
+        saw_bound = saw_bound || kept.bound_hit;
+        if (!kept.nondet && !kept.invalid && relaxed_step < 0 &&
+            (kept.decided != rec1.decided ||
+             (kept.decided && kept.decision != rec1.decision))) {
+          relaxed_step = static_cast<int>(k);
+          for (std::size_t i = 0; i < at.vol.size(); ++i) {
+            if (at.vol[i] != at.shadow[i]) {
+              relaxed_obj = static_cast<ObjectId>(i);
+              break;
+            }
+          }
+        }
+      }
+
+      if (budget >= 2 && rec1.decided && !rc3_done) {
+        for (std::size_t j = 0; j < rec1.points.size(); ++j) {
+          const RunOutcome rec2 =
+              run(protocol, pid, input,
+                  crashed(protocol, pid, input, rec1.points[j]), options,
+                  unit_steps);
+          if (rec2.nondet) {
+            nondet_finding(rec2);
+            return;
+          }
+          saw_bound = saw_bound || rec2.bound_hit;
+          if (!rec2.decided || rec2.invalid) continue;
+          merge_gap_facts(rec2);
+          if (rec2.decision != rec1.decision) {
+            stability_finding(
+                2, "a second crash during recovery (first crash at step " +
+                       std::to_string(k) + ", second at recovery step " +
+                       std::to_string(j) + ") decides " +
+                       std::to_string(rec2.decision) + ", not " +
+                       std::to_string(rec1.decision));
+            continue;
+          }
+          if (rec2.final_shadow != rec1.final_shadow && !rc3_done) {
+            rc3_done = true;
+            report.add(make_diagnostic(
+                kRuleRecoveryIdempotence, subject, loc,
+                "re-executing the recovery prefix after a second crash "
+                "(first at step " +
+                    std::to_string(k) + ", second at recovery step " +
+                    std::to_string(j) +
+                    ") reaches a different persisted state: " +
+                    shadow_diff(rec1.final_shadow, rec2.final_shadow),
+                "recovery must be NVM-idempotent: every retry writes the "
+                "same durable values (use CAS/sticky writes, not "
+                "accumulating updates)"));
+          }
+          if (unit_steps >= options.max_total_steps) break;
+        }
+      }
+      if (unit_steps >= options.max_total_steps) {
+        saw_bound = true;
+        break;
+      }
+    }
+  }
+
+  // RC005 subsumes RC004 for the same unit: the observed-and-propagated
+  // report pinpoints the same unflushed store with strictly more context.
+  if (taint_write_step >= 0) {
+    report.add(make_diagnostic(
+        kRuleVolatileTaint, subject, loc,
+        "step " + std::to_string(taint_write_step) +
+            " writes to a shared object while holding local state derived "
+            "from an unpersisted value of " +
+            object_ref(protocol, taint_obj) +
+            ": volatile data lost at a crash flows into NVM without being "
+            "re-read",
+        "persist the observed store before acting on its value, or re-read "
+        "the object after a durable barrier"));
+  } else if (relaxed_step >= 0) {
+    report.add(make_diagnostic(
+        kRulePersistGap, subject, loc,
+        "step " + std::to_string(relaxed_step) +
+            " leaves a value-changing store to " +
+            object_ref(protocol, relaxed_obj) +
+            " without its persist barrier: a crash at any later step "
+            "boundary silently drops it (and other processes can observe "
+            "it first)",
+        "issue the persist barrier as part of the step "
+        "(Action::invoke instead of invoke_relaxed, or an explicit "
+        "PVar::persist in the runtime)"));
+  }
+
+  if (saw_bound) {
+    report.add(make_diagnostic(
+        kRuleStateBoundHit, subject, loc,
+        "recovery audit truncated by its step budget; RC findings for this "
+        "unit are best-effort",
+        "raise RecoveryAuditOptions::max_steps/max_total_steps for "
+        "exhaustive claims"));
+  }
+}
+
+}  // namespace
+
+Report audit_recovery(const exec::Protocol& protocol,
+                      const RecoveryAuditOptions& options) {
+  const int n = protocol.process_count();
+  const std::size_t units = static_cast<std::size_t>(n) * 2;
+
+  // Object-table sanity: lint_protocol reports broken tables (PL002); the
+  // audit just declines to replay them.
+  for (ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
+    const spec::ValueId init = protocol.initial_value(obj);
+    if (init < 0 || init >= protocol.object_type(obj).value_count()) {
+      return Report{};
+    }
+  }
+
+  // One report buffer per (process, input) unit, filled in parallel and
+  // merged in unit order — the same deterministic-reduction contract as
+  // every PR-2 engine, so findings are bit-identical for every thread
+  // count.
+  std::vector<Report> buffers(units);
+  util::ThreadPool pool(options.threads);
+  pool.parallel_for(units, 1,
+                    [&](std::size_t /*chunk*/, std::size_t begin,
+                        std::size_t end) {
+                      for (std::size_t u = begin; u < end; ++u) {
+                        const ProcessId pid = static_cast<ProcessId>(u / 2);
+                        const int input = static_cast<int>(u % 2);
+                        audit_unit(protocol, pid, input, options, buffers[u]);
+                      }
+                    });
+
+  Report report;
+  for (const Report& buffer : buffers) report.merge(buffer);
+  return report;
+}
+
+}  // namespace rcons::analysis

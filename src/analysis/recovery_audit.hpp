@@ -1,0 +1,85 @@
+// Crash-recovery soundness audit (rules RC001–RC006).
+//
+// The paper's central modeling assumption is what survives a crash: shared
+// objects persist, volatile local state is lost, and a recoverable
+// protocol must re-derive everything it needs from NVM. The TS/PL rule
+// families check specs and solo executions against that model; this audit
+// checks the *recovery discipline itself*, over a shadow-persistency
+// semantics in which every shared object carries a volatile front value
+// and a persisted shadow. Durable invokes (exec::Action::invoke) flush
+// the shadow as part of the step — the paper's per-step persistence —
+// while relaxed invokes (Action::invoke_relaxed) leave the shadow stale
+// until a later durable action on the same object, and a crash reverts
+// every object to its shadow (exactly what the strict live runtime,
+// RCONS_PMEM_STRICT, does with real threads).
+//
+// Because protocols and types are deterministic, each (process, input)
+// solo run is a single path; the audit replays it, injects crashes at
+// every step boundary (and second crashes at every boundary of the
+// resulting recovery), and compares decisions and persisted state:
+//
+//   RC001 recovery-determinism — poised/advance must be pure functions of
+//         the handed-in state: a protocol whose step function consults
+//         hidden mutable state (anything not reachable from NVM plus the
+//         reset local state) breaks every replay-based guarantee.
+//   RC002 decision-stability  — a crash at an output state must lead the
+//         recovery to re-derive the same decision from shared objects
+//         alone.
+//   RC003 recovery-idempotence — re-executing the recovery prefix after a
+//         second crash must reach the same persisted NVM state as the
+//         once-crashed recovery (non-idempotent recovery silently
+//         mutates NVM on every retry).
+//   RC004 persist-gap         — a value-changing relaxed store is crash-
+//         droppable at every subsequent step boundary until its barrier;
+//         the store can be observed (by another process, or by recovery
+//         re-reading NVM) before it is durable.
+//   RC005 volatile-taint      — an operation response that *observed* an
+//         unpersisted value (the response differs from what the persisted
+//         shadow would produce) flows into a later value-changing shared
+//         write: volatile data, lost at a crash, contaminates NVM. When
+//         this fires the underlying gap is reported as RC005 only (it
+//         subsumes RC004 for that run).
+//   RC006 crash-budget        — a protocol declaring an E_z-style budget
+//         (Protocol::declared_crash_budget, the solo projection of the
+//         paper's execution sets; see sched::CrashAccountant) must keep
+//         every decision-stability guarantee on every explored schedule
+//         within that budget; violations of the declared contract are
+//         reported here instead of RC002.
+//
+// The audit parallelizes over (process, input) units on the PR-2 thread
+// pool; per-unit reports are merged in unit order, so findings are
+// bit-identical for every thread count (see DESIGN.md §8).
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "exec/protocol.hpp"
+
+namespace rcons::analysis {
+
+struct RecoveryAuditOptions {
+  /// Crashes injected per explored path when the protocol declares no
+  /// budget of its own (declared_crash_budget() >= 0 takes precedence).
+  /// Budget 1 enables the single-crash rules (RC002, RC004, RC005);
+  /// budget >= 2 additionally enables the double-crash idempotence rule
+  /// (RC003).
+  int crash_budget = 2;
+
+  /// Bound on steps per deterministic replay; a run that exceeds it (or
+  /// cycles without deciding) is abandoned and absence claims degrade to
+  /// a state-bound note.
+  int max_steps = 4096;
+
+  /// Global step budget per (process, input) unit across all replays.
+  long long max_total_steps = 1 << 20;
+
+  /// Worker threads for the unit-parallel audit; <= 0 means hardware
+  /// concurrency, 1 is the serial engine. Findings are identical for
+  /// every value.
+  int threads = 1;
+};
+
+/// Runs every RC rule against `protocol`.
+Report audit_recovery(const exec::Protocol& protocol,
+                      const RecoveryAuditOptions& options = {});
+
+}  // namespace rcons::analysis

@@ -58,6 +58,34 @@ const std::vector<RuleInfo>& all_rules() {
        "crash-recovery paths of one (process, input) output different "
        "decisions; recovery fails to re-derive the decision from durable "
        "state"},
+      {kRuleRecoveryDeterminism, "recovery-determinism", Severity::kError,
+       "poised()/advance() are not pure functions of the handed-in state; "
+       "the post-crash step function depends on hidden state that is "
+       "neither in NVM nor in the reset local state, so no replay-based "
+       "guarantee can hold"},
+      {kRuleDecisionStability, "decision-stability", Severity::kWarning,
+       "a crash at an output state leads recovery to a different decision "
+       "or to none: the decided value is not re-derivable from shared "
+       "objects alone (the failure mode that costs test&set its "
+       "recoverable consensus power)"},
+      {kRuleRecoveryIdempotence, "recovery-idempotence", Severity::kWarning,
+       "re-executing the recovery prefix after a second crash reaches a "
+       "different persisted NVM state; recovery mutates NVM on every "
+       "retry instead of being idempotent"},
+      {kRulePersistGap, "persist-gap", Severity::kError,
+       "a value-changing store reaches a crash point before its persist "
+       "barrier, so it can be observed by another process or by post-crash "
+       "recovery and then silently dropped (reproducible at runtime under "
+       "RCONS_PMEM_STRICT)"},
+      {kRuleVolatileTaint, "volatile-taint", Severity::kError,
+       "an operation response observed an unpersisted value and the "
+       "resulting local state flows into a later shared-object write "
+       "without being re-read from NVM (subsumes RC004 for the same run)"},
+      {kRuleCrashBudget, "crash-budget", Severity::kError,
+       "a protocol declaring an E_z crash budget loses decision stability "
+       "on an explored schedule within that budget; the annotation "
+       "overclaims (audited in the solo E_z projection, see "
+       "sched::CrashAccountant)"},
   };
   return *kRules;
 }

@@ -80,6 +80,31 @@ inline constexpr const char* kRuleDecideBeforePersist = "PL006";
 /// consensus number 1 despite consensus number 2).
 inline constexpr const char* kRuleCrashDivergentDecision = "PL007";
 
+// ---- Crash-recovery rules (shadow-persistency audit, recovery_audit) ----
+
+/// poised()/advance() are not pure functions of the handed-in state: the
+/// post-crash step function depends on hidden mutable state that is
+/// neither in NVM nor in the reset local state.
+inline constexpr const char* kRuleRecoveryDeterminism = "RC001";
+/// A crash at an output state leads recovery to a different decision (or
+/// none): the decided value is not re-derivable from shared objects alone.
+inline constexpr const char* kRuleDecisionStability = "RC002";
+/// Re-executing the recovery prefix after a second crash reaches a
+/// different persisted NVM state: recovery mutates NVM on every retry.
+inline constexpr const char* kRuleRecoveryIdempotence = "RC003";
+/// A value-changing store reaches a crash point before its persist
+/// barrier: it can be observed (by another process or by post-crash
+/// recovery) and then silently dropped.
+inline constexpr const char* kRulePersistGap = "RC004";
+/// An operation response observed an unpersisted value and the resulting
+/// local state flows into a later shared-object write without being
+/// re-read from NVM.
+inline constexpr const char* kRuleVolatileTaint = "RC005";
+/// A protocol declaring an E_z crash budget (declared_crash_budget)
+/// loses a decision-stability guarantee on an explored schedule within
+/// that budget: the annotation overclaims.
+inline constexpr const char* kRuleCrashBudget = "RC006";
+
 /// All rules, in catalog order.
 const std::vector<RuleInfo>& all_rules();
 

@@ -52,12 +52,25 @@ struct Action {
   ObjectId object = 0;
   spec::OpId op = 0;
   int decision = -1;
+  /// Whether the invocation carries its persist barrier. The paper's
+  /// model persists every operation as part of the step, so plain
+  /// invoke() (durable) is the default and every engine treats it as
+  /// before. invoke_relaxed() marks a store that becomes durable only at
+  /// a later barrier — the shadow-persistency analyses (rules RC004 and
+  /// RC005) and the strict live runtime give such writes crash-drop
+  /// semantics.
+  bool durable = true;
 
   static Action invoke(ObjectId object, spec::OpId op) {
     Action a;
     a.kind = Kind::kInvoke;
     a.object = object;
     a.op = op;
+    return a;
+  }
+  static Action invoke_relaxed(ObjectId object, spec::OpId op) {
+    Action a = invoke(object, op);
+    a.durable = false;
     return a;
   }
   static Action decided(int value) {
@@ -105,6 +118,14 @@ class Protocol {
   /// Optional human-readable rendering of a local state (for traces).
   virtual std::string describe_state(ProcessId pid,
                                      const LocalState& state) const;
+
+  /// Optional crash-budget annotation: the maximum number of crashes per
+  /// process per execution this protocol claims to tolerate (the solo
+  /// projection of the paper's E_z sets; see sched::CrashAccountant for
+  /// the full budget arithmetic). Rule RC006 audits the claim by
+  /// exhaustive solo exploration within the declared budget. Return -1
+  /// (the default) to declare nothing.
+  virtual int declared_crash_budget() const { return -1; }
 };
 
 }  // namespace rcons::exec

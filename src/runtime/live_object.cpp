@@ -10,7 +10,7 @@ LiveObject::LiveObject(const spec::ObjectType& type, spec::ValueId initial,
   RCONS_CHECK(initial >= 0 && initial < type.value_count());
 }
 
-spec::ResponseId LiveObject::apply(spec::OpId op) {
+spec::ResponseId LiveObject::apply(spec::OpId op, bool durable) {
   std::int64_t current = cell_->load();
   while (true) {
     const spec::Effect& e =
@@ -21,6 +21,9 @@ spec::ResponseId LiveObject::apply(spec::OpId op) {
     }
     const auto [prev, ok] = cell_->compare_exchange(current, e.next_value);
     if (ok) {
+      // The barrier is dirty-gated, so in non-strict mode (where the CAS
+      // already persisted) this costs nothing extra.
+      if (durable) cell_->persist();
       return e.response;
     }
     current = prev;  // lost a race; retry against the value that beat us
@@ -37,6 +40,10 @@ spec::ResponseId LiveObject::apply_recorded(spec::OpId op, int thread,
 
 spec::ValueId LiveObject::raw_value() const {
   return static_cast<spec::ValueId>(cell_->load());
+}
+
+void LiveObject::crash_drop() {
+  cell_->drop_unpersisted(cell_->volatile_value());
 }
 
 }  // namespace rcons::runtime

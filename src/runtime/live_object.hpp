@@ -24,8 +24,12 @@ class LiveObject {
 
   const spec::ObjectType& type() const { return type_; }
 
-  /// Atomically applies `op`; returns its response.
-  spec::ResponseId apply(spec::OpId op);
+  /// Atomically applies `op`; returns its response. `durable` (the
+  /// default) issues the persist barrier that makes a value-changing
+  /// application survive strict-mode crashes; `durable = false` leaves
+  /// the new value volatile in strict mode (in non-strict mode the CAS
+  /// itself persists, so the flag is behavior-neutral there).
+  spec::ResponseId apply(spec::OpId op, bool durable = true);
 
   /// Like apply, but logs (invoke, op, response, return) into `recorder`
   /// for offline linearizability checking.
@@ -35,6 +39,13 @@ class LiveObject {
   /// Current value (linearizable read of the abstract state; distinct from
   /// any Read *operation* the type may or may not support).
   spec::ValueId raw_value() const;
+
+  /// Crash injection (strict mode): reverts the cell to its persisted
+  /// shadow unless a concurrent writer has replaced the volatile value.
+  void crash_drop();
+
+  /// The backing cell (for audits and persist-boundary harnesses).
+  PVar* cell() { return cell_; }
 
  private:
   const spec::ObjectType& type_;

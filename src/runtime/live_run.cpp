@@ -32,6 +32,18 @@ void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
   exec::LocalState local = protocol.initial_state(pid, input);
   int crashes = 0;
   std::uint64_t steps = 0;
+  // Objects this process wrote without a persist barrier (relaxed exec
+  // actions in strict mode). A crash drops them: each cell reverts to its
+  // persisted shadow unless someone has since replaced the value. Entries
+  // for cells a later durable action flushed are harmless (drop no-ops on
+  // a clean cell).
+  std::vector<LiveObject*> dirty;
+  const auto crash = [&] {
+    for (LiveObject* obj : dirty) obj->crash_drop();
+    dirty.clear();
+    local = protocol.initial_state(pid, input);
+    ++crashes;
+  };
 
   while (true) {
     const exec::Action action = protocol.poised(pid, local);
@@ -46,8 +58,7 @@ void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
       // ones (tas_racing) flip — which is what the audit is for.
       if (crashes < options.max_crashes_per_process &&
           rng.chance(options.crash_prob)) {
-        local = protocol.initial_state(pid, input);
-        ++crashes;
+        crash();
         continue;
       }
       std::lock_guard<std::mutex> lock(outcome_mu);
@@ -57,13 +68,14 @@ void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
     }
     if (crashes < options.max_crashes_per_process &&
         rng.chance(options.crash_prob)) {
-      // Crash: volatile state lost, shared objects retained.
-      local = protocol.initial_state(pid, input);
-      ++crashes;
+      // Crash: volatile state lost, shared objects retained (minus any
+      // unpersisted stores in strict mode).
+      crash();
       continue;
     }
-    const spec::ResponseId response =
-        objects[static_cast<std::size_t>(action.object)].apply(action.op);
+    LiveObject& obj = objects[static_cast<std::size_t>(action.object)];
+    const spec::ResponseId response = obj.apply(action.op, action.durable);
+    if (!action.durable) dirty.push_back(&obj);
     local = protocol.advance(pid, local, response);
     ++steps;
   }
@@ -81,7 +93,7 @@ LiveRunResult run_live_audit(const exec::Protocol& protocol,
   LiveRunResult result;
   for (int round = 0; round < options.rounds; ++round) {
     // Fresh persistent heap + objects per round.
-    PersistentArena arena;
+    PersistentArena arena(options.strict_persistency);
     std::vector<LiveObject> objects;
     objects.reserve(static_cast<std::size_t>(protocol.object_count()));
     for (exec::ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
@@ -125,6 +137,8 @@ LiveRunResult run_live_audit(const exec::Protocol& protocol,
     result.total_decisions += outcome.decisions.size();
     result.pmem_persists +=
         arena.stats().persists.load(std::memory_order_relaxed);
+    result.dropped_stores +=
+        arena.stats().dropped.load(std::memory_order_relaxed);
 
     // Audit: all outputs equal; every output is someone's input.
     unsigned input_mask = 0;
@@ -146,6 +160,205 @@ LiveRunResult run_live_audit(const exec::Protocol& protocol,
       if (result.first_violation.empty()) {
         result.first_violation =
             "round " + std::to_string(round) + ": output not an input";
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// One serialized boundary-crash run: round-robin schedule, `victim`
+/// crashes exactly at its persist boundary `b` (after completing its
+/// (b+1)-th invoke, or at its output state when b equals its invoke
+/// count). Returns false if the victim decided and the boundary was never
+/// reached (no more boundaries to test for this victim).
+bool boundary_run(const exec::Protocol& protocol,
+                  const std::vector<int>& inputs, int victim, int b,
+                  const BoundaryCrashOptions& options,
+                  BoundaryCrashResult& result) {
+  const int n = protocol.process_count();
+  PersistentArena arena(options.strict_persistency);
+  std::vector<LiveObject> objects;
+  objects.reserve(static_cast<std::size_t>(protocol.object_count()));
+  for (exec::ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
+    objects.emplace_back(protocol.object_type(obj),
+                         protocol.initial_value(obj), arena);
+  }
+
+  std::vector<exec::LocalState> locals;
+  for (int pid = 0; pid < n; ++pid) {
+    locals.push_back(
+        protocol.initial_state(pid, inputs[static_cast<std::size_t>(pid)]));
+  }
+  std::vector<bool> recorded(static_cast<std::size_t>(n), false);
+  std::vector<int> decisions;
+  std::vector<LiveObject*> victim_dirty;
+  int victim_invokes = 0;
+  bool crash_fired = false;
+  int gap_countdown = -1;  // >= 0: victim crash pending after N other-steps
+  std::uint64_t steps = 0;
+  std::uint64_t crashes = 0;
+
+  const auto fire_crash = [&] {
+    for (LiveObject* obj : victim_dirty) obj->crash_drop();
+    victim_dirty.clear();
+    locals[static_cast<std::size_t>(victim)] = protocol.initial_state(
+        victim, inputs[static_cast<std::size_t>(victim)]);
+    recorded[static_cast<std::size_t>(victim)] = false;
+    crash_fired = true;
+    gap_countdown = -1;
+    ++crashes;
+  };
+
+  while (true) {
+    if (steps > options.max_steps_per_run) {
+      result.liveness_violations += 1;
+      if (result.first_violation.empty()) {
+        result.first_violation = "victim " + std::to_string(victim) +
+                                 ", boundary " + std::to_string(b) +
+                                 ": step budget exhausted (no termination)";
+      }
+      break;
+    }
+    bool all_done = true;
+    bool others_active = false;
+    for (int pid = 0; pid < n; ++pid) {
+      const std::size_t p = static_cast<std::size_t>(pid);
+      const exec::Action action = protocol.poised(pid, locals[p]);
+      const bool done = action.kind == exec::Action::Kind::kDecided &&
+                        recorded[p] &&
+                        (pid != victim || crash_fired || gap_countdown < 0);
+      if (!done) all_done = false;
+      if (pid != victim && action.kind != exec::Action::Kind::kDecided) {
+        others_active = true;
+      }
+    }
+    // The boundary can be unreachable (victim decided in fewer steps).
+    if (all_done && !crash_fired && gap_countdown < 0 &&
+        victim_invokes < b) {
+      break;
+    }
+    if (all_done && gap_countdown < 0) break;
+
+    for (int pid = 0; pid < n; ++pid) {
+      const std::size_t p = static_cast<std::size_t>(pid);
+      if (pid == victim && gap_countdown >= 0) {
+        // Inside the open persist gap: the victim is about to crash; it
+        // takes no steps, and the crash fires once the others had their
+        // look (or have nothing left to do).
+        if (gap_countdown == 0 || !others_active) fire_crash();
+        continue;
+      }
+      const exec::Action action = protocol.poised(pid, locals[p]);
+      if (action.kind == exec::Action::Kind::kDecided) {
+        if (!recorded[p]) {
+          recorded[p] = true;
+          decisions.push_back(action.decision);
+        }
+        // Crash exactly at the output boundary.
+        if (pid == victim && !crash_fired && victim_invokes == b) {
+          fire_crash();
+        }
+        continue;
+      }
+      LiveObject& obj = objects[static_cast<std::size_t>(action.object)];
+      const spec::ResponseId response = obj.apply(action.op, action.durable);
+      if (pid == victim && !action.durable) victim_dirty.push_back(&obj);
+      locals[p] = protocol.advance(pid, locals[p], response);
+      ++steps;
+      if (pid != victim && gap_countdown > 0) --gap_countdown;
+      if (pid == victim) {
+        ++victim_invokes;
+        if (!crash_fired && victim_invokes == b + 1) {
+          if (action.durable) {
+            // Durable steps persist atomically; the boundary crash lands
+            // right after the completed step.
+            fire_crash();
+          } else {
+            // Relaxed store: leave the gap open so the other processes
+            // can observe the unpersisted value before it is dropped.
+            gap_countdown = options.interleave_steps;
+          }
+        }
+      }
+    }
+  }
+
+  result.runs += 1;
+  result.total_steps += steps;
+  result.total_crashes += crashes;
+  result.dropped_stores +=
+      arena.stats().dropped.load(std::memory_order_relaxed);
+
+  unsigned input_mask = 0;
+  for (int v : inputs) input_mask |= 1u << v;
+  unsigned output_mask = 0;
+  for (int v : decisions) output_mask |= 1u << v;
+  if (output_mask == 0b11u) {
+    result.agreement_violations += 1;
+    if (result.first_violation.empty()) {
+      std::ostringstream oss;
+      oss << "victim " << victim << ", boundary " << b
+          << ": both 0 and 1 decided (inputs:";
+      for (int v : inputs) oss << " " << v;
+      oss << ")";
+      result.first_violation = oss.str();
+    }
+  }
+  if ((output_mask & ~input_mask) != 0) {
+    result.validity_violations += 1;
+    if (result.first_violation.empty()) {
+      result.first_violation = "victim " + std::to_string(victim) +
+                               ", boundary " + std::to_string(b) +
+                               ": output not an input";
+    }
+  }
+  return crash_fired;
+}
+
+}  // namespace
+
+BoundaryCrashResult run_boundary_crash_audit(
+    const exec::Protocol& protocol, const BoundaryCrashOptions& options) {
+  const int n = protocol.process_count();
+  BoundaryCrashResult result;
+
+  std::vector<std::vector<int>> patterns;
+  if (n <= 4) {
+    for (unsigned bits = 0; bits < (1u << n); ++bits) {
+      std::vector<int> inputs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        inputs[static_cast<std::size_t>(i)] =
+            static_cast<int>((bits >> i) & 1u);
+      }
+      patterns.push_back(std::move(inputs));
+    }
+  } else {
+    Xoshiro256 rng(options.seed);
+    for (int k = 0; k < 16; ++k) {
+      std::vector<int> inputs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        inputs[static_cast<std::size_t>(i)] =
+            static_cast<int>(rng.next() & 1u);
+      }
+      patterns.push_back(std::move(inputs));
+    }
+  }
+
+  for (const std::vector<int>& inputs : patterns) {
+    for (int victim = 0; victim < n; ++victim) {
+      // b walks the victim's persist boundaries until one is unreachable
+      // (the victim decided first); the boundary-at-output-state case is
+      // b == the victim's invoke count and is covered before the break.
+      for (int b = 0;; ++b) {
+        const int stalls_before = result.liveness_violations;
+        if (!boundary_run(protocol, inputs, victim, b, options, result)) {
+          break;
+        }
+        // A stalled run proves the violation; later boundaries of the
+        // same victim would only stall again at full step budget each.
+        if (result.liveness_violations > stalls_before) break;
       }
     }
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exec/protocol.hpp"
+#include "runtime/pmem.hpp"
 #include "util/rng.hpp"
 
 namespace rcons::runtime {
@@ -37,6 +38,11 @@ struct LiveRunOptions {
   /// bit i of (r * kInputMix) — a cheap deterministic spread across input
   /// vectors; set fixed_inputs to override.
   std::vector<int> fixed_inputs;  // empty = derive per round
+  /// Shadow-persistency mode for the round arenas. In strict mode a
+  /// crash additionally drops the crashing process's unpersisted stores
+  /// (relaxed exec actions); defaults to the RCONS_PMEM_STRICT
+  /// environment switch so the whole suite can be re-run strict.
+  bool strict_persistency = PersistentArena::strict_mode_from_env();
 };
 
 struct LiveRunResult {
@@ -45,6 +51,8 @@ struct LiveRunResult {
   std::uint64_t total_crashes = 0;
   std::uint64_t total_decisions = 0;
   std::uint64_t pmem_persists = 0;
+  /// Unpersisted stores reverted by strict-mode crash injection.
+  std::uint64_t dropped_stores = 0;
   int agreement_violations = 0;
   int validity_violations = 0;
   /// Description of the first violation, if any.
@@ -58,5 +66,48 @@ struct LiveRunResult {
 /// Runs `protocol` live for options.rounds rounds and audits every round.
 LiveRunResult run_live_audit(const exec::Protocol& protocol,
                              const LiveRunOptions& options);
+
+struct BoundaryCrashOptions {
+  /// Strict shadow persistency for the run arenas (the audit is about
+  /// persist boundaries, so this defaults on regardless of the
+  /// environment).
+  bool strict_persistency = true;
+  /// Steps the other processes take inside a victim's open persist gap
+  /// (between a relaxed store and the crash that drops it) — this is how
+  /// an unpersisted value gets observed before it disappears.
+  int interleave_steps = 2;
+  /// Safety valve for protocols that stop terminating after a drop; an
+  /// exhausted budget counts as a liveness violation.
+  std::uint64_t max_steps_per_run = 100000;
+  std::uint64_t seed = 0xb0a4d;
+};
+
+struct BoundaryCrashResult {
+  int runs = 0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_crashes = 0;
+  std::uint64_t dropped_stores = 0;
+  int agreement_violations = 0;
+  int validity_violations = 0;
+  int liveness_violations = 0;  // step budget exhausted after a crash
+  std::string first_violation;
+
+  bool ok() const {
+    return agreement_violations == 0 && validity_violations == 0 &&
+           liveness_violations == 0;
+  }
+};
+
+/// Deterministic, serialized crash-at-every-persist-boundary audit: for
+/// every input pattern, every victim process, and every boundary index b,
+/// replays a round-robin execution in which the victim crashes exactly at
+/// its b-th persist boundary (immediately after its b-th step; if that
+/// step was a relaxed store, the other processes first take
+/// `interleave_steps` steps inside the open gap, then the store is
+/// dropped). Agreement and validity are audited on every run. Unlike
+/// run_live_audit this is single-threaded and schedule-exact, so drops
+/// cannot race and every violation replays.
+BoundaryCrashResult run_boundary_crash_audit(
+    const exec::Protocol& protocol, const BoundaryCrashOptions& options = {});
 
 }  // namespace rcons::runtime

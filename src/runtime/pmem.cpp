@@ -1,10 +1,24 @@
 #include "runtime/pmem.hpp"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
 namespace rcons::runtime {
 
 PVar* PersistentArena::allocate(std::int64_t initial) {
-  cells_.push_back(std::make_unique<PVar>(initial, &stats_));
+  cells_.push_back(std::make_unique<PVar>(initial, &stats_, strict_));
   return cells_.back().get();
+}
+
+bool PersistentArena::strict_mode_from_env() {
+  const char* raw = std::getenv("RCONS_PMEM_STRICT");
+  if (raw == nullptr) return false;
+  std::string v(raw);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return !(v.empty() || v == "0" || v == "off" || v == "false" || v == "no");
 }
 
 }  // namespace rcons::runtime

@@ -1,16 +1,31 @@
-// Simulated persistent main memory.
+// Simulated persistent main memory with a shadow-persistency model.
 //
 // The paper's model assumes shared objects live in non-volatile memory:
 // they keep their values across crashes while per-process local state is
 // lost. On real PMEM hardware (or PMDK), stores additionally require
 // explicit flush/fence sequences to become durable; our simulated arena
-// keeps that structure — pvar<T> cells with persist() barriers and
+// keeps that structure — PVar cells with persist() barriers and
 // durability counters — so the protocols are written against a
-// PMDK-shaped API, while durability itself is trivially provided by
-// process-shared DRAM (a documented substitution: the paper's model has no
-// cache layer, so flush ordering cannot change any result here; the
-// counters exist so experiments can report "persist operations per
-// decision", a cost a real deployment would pay).
+// PMDK-shaped API.
+//
+// Each cell carries *two* values: the volatile front value (what loads and
+// CASes observe) and a persisted shadow (what survives a crash). In the
+// default, non-strict mode every durable primitive (store, successful
+// compare_exchange, fetch_add) flushes the shadow as part of the
+// operation, so crashes can never drop anything and the arena behaves
+// exactly like the paper's cache-less model — a documented substitution.
+// In *strict* mode (RCONS_PMEM_STRICT=1/ON, or an explicit constructor
+// flag) only store() and an explicit persist() flush; relaxed stores and
+// CAS/fetch_add results stay volatile until a barrier, and crash
+// injection may call drop_unpersisted() to revert a cell to its shadow —
+// making a missing persist barrier (lint rule RC004) reproducible as a
+// real runtime failure.
+//
+// persist() counts toward PmemStats::persists only when it actually
+// flushes a dirty cell; redundant barriers (and the internal flush a CAS
+// retry loop performs once per *successful* exchange) are free, so the
+// "persist operations per decision" experiments count durability work,
+// not call sites.
 #pragma once
 
 #include <atomic>
@@ -28,12 +43,15 @@ struct PmemStats {
   std::atomic<std::uint64_t> stores{0};
   std::atomic<std::uint64_t> persists{0};
   std::atomic<std::uint64_t> cas_attempts{0};
+  /// Unpersisted values reverted by crash injection (strict mode only).
+  std::atomic<std::uint64_t> dropped{0};
 
   void reset() {
     loads.store(0, std::memory_order_relaxed);
     stores.store(0, std::memory_order_relaxed);
     persists.store(0, std::memory_order_relaxed);
     cas_attempts.store(0, std::memory_order_relaxed);
+    dropped.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -42,52 +60,104 @@ struct PmemStats {
 /// the faithful (if conservative) realization.
 class PVar {
  public:
-  explicit PVar(std::int64_t initial, PmemStats* stats)
-      : value_(initial), stats_(stats) {}
+  PVar(std::int64_t initial, PmemStats* stats, bool strict)
+      : value_(initial), persisted_(initial), stats_(stats), strict_(strict) {}
 
   std::int64_t load() const {
     stats_->loads.fetch_add(1, std::memory_order_relaxed);
     return value_.load(std::memory_order_seq_cst);
   }
 
+  /// Durable store: the value is persisted before the call returns (in
+  /// both modes — this is the pre-split store() behavior).
   void store(std::int64_t v) {
-    stats_->stores.fetch_add(1, std::memory_order_relaxed);
-    value_.store(v, std::memory_order_seq_cst);
+    store_relaxed(v);
     persist();
   }
 
-  /// CAS with persist-on-success; returns the previous value and whether
-  /// the exchange happened.
+  /// Volatile store: updates the front value only. In non-strict mode a
+  /// crash can still never drop it (crash injection never calls
+  /// drop_unpersisted there), but the shadow stays stale until the next
+  /// barrier, so persist-per-decision counts attribute the flush to the
+  /// barrier that performs it.
+  void store_relaxed(std::int64_t v) {
+    stats_->stores.fetch_add(1, std::memory_order_relaxed);
+    value_.store(v, std::memory_order_seq_cst);
+  }
+
+  /// CAS; returns the previous value and whether the exchange happened.
+  /// Non-strict mode persists on success (pre-split behavior); strict
+  /// mode leaves the new value volatile until an explicit persist().
   std::pair<std::int64_t, bool> compare_exchange(std::int64_t expected,
                                                  std::int64_t desired) {
     stats_->cas_attempts.fetch_add(1, std::memory_order_relaxed);
     std::int64_t e = expected;
     const bool ok =
         value_.compare_exchange_strong(e, desired, std::memory_order_seq_cst);
-    if (ok) persist();
+    if (ok && !strict_) persist();
     return {e, ok};
   }
 
-  /// Atomic fetch-and-add with persist; returns the previous value.
+  /// Atomic fetch-and-add; returns the previous value. Durable in
+  /// non-strict mode, volatile-until-barrier in strict mode.
   std::int64_t fetch_add(std::int64_t delta) {
     stats_->stores.fetch_add(1, std::memory_order_relaxed);
     const std::int64_t old = value_.fetch_add(delta, std::memory_order_seq_cst);
-    persist();
+    if (!strict_) persist();
     return old;
   }
 
-  /// Durability barrier (flush + fence on real PMEM; counted no-op here).
-  void persist() { stats_->persists.fetch_add(1, std::memory_order_relaxed); }
+  /// Durability barrier (flush + fence on real PMEM): copies the front
+  /// value into the shadow. Counted only when the cell was dirty.
+  void persist() {
+    const std::int64_t v = value_.load(std::memory_order_seq_cst);
+    const std::int64_t prev = persisted_.exchange(v, std::memory_order_seq_cst);
+    if (prev != v) stats_->persists.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Crash injection: reverts the front value to the shadow, but only if
+  /// the front still holds `expected_volatile` (so a concurrent writer who
+  /// has since replaced the value is never clobbered). Returns true if a
+  /// value was dropped.
+  bool drop_unpersisted(std::int64_t expected_volatile) {
+    std::int64_t shadow = persisted_.load(std::memory_order_seq_cst);
+    if (shadow == expected_volatile) return false;
+    std::int64_t e = expected_volatile;
+    if (!value_.compare_exchange_strong(e, shadow,
+                                        std::memory_order_seq_cst)) {
+      return false;
+    }
+    stats_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// The value a crash would leave behind (test/audit accessor; not
+  /// stats-counted).
+  std::int64_t persisted_value() const {
+    return persisted_.load(std::memory_order_seq_cst);
+  }
+
+  /// The front value without touching load counters (test accessor).
+  std::int64_t volatile_value() const {
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  bool strict() const { return strict_; }
 
  private:
   alignas(64) std::atomic<std::int64_t> value_;
+  std::atomic<std::int64_t> persisted_;
   PmemStats* stats_;
+  bool strict_;
 };
 
 /// An arena of persistent cells with stable addresses.
 class PersistentArena {
  public:
-  PersistentArena() = default;
+  /// Default: strict mode from the RCONS_PMEM_STRICT environment variable
+  /// (unset/0/off/false = non-strict).
+  PersistentArena() : PersistentArena(strict_mode_from_env()) {}
+  explicit PersistentArena(bool strict) : strict_(strict) {}
   PersistentArena(const PersistentArena&) = delete;
   PersistentArena& operator=(const PersistentArena&) = delete;
 
@@ -96,10 +166,15 @@ class PersistentArena {
 
   PmemStats& stats() { return stats_; }
   std::size_t cell_count() const { return cells_.size(); }
+  bool strict() const { return strict_; }
+
+  /// True iff RCONS_PMEM_STRICT is set to anything but 0/off/false/no.
+  static bool strict_mode_from_env();
 
  private:
   PmemStats stats_;
   std::vector<std::unique_ptr<PVar>> cells_;
+  bool strict_ = false;
 };
 
 }  // namespace rcons::runtime

@@ -20,6 +20,10 @@ LockStep RecoverableTasLock::try_acquire(int pid) {
   }
   if (current == kFree) {
     const auto [prev, ok] = owner_->compare_exchange(kFree, pid);
+    // Ownership must be durable before the critical section starts, or a
+    // strict-mode crash would free a lock its holder still believes it
+    // owns (the recovery case above depends on the persisted owner).
+    if (ok) owner_->persist();
     if (ok || prev == pid) return LockStep::kAcquired;
   }
   return LockStep::kWaiting;
@@ -59,6 +63,9 @@ LockStep RecoverableTicketLock::try_acquire(int pid) {
     // Fresh acquisition: persist the ticket BEFORE it can be served, so a
     // crash right after the draw still finds it in the slot.
     ticket = next_ticket_->fetch_add(1);
+    // The draw itself must be durable: a strict-mode crash that dropped
+    // the counter bump would hand the same ticket out twice.
+    next_ticket_->persist();
     slot->store(ticket);
   }
   const std::int64_t serving = now_serving_->load();

@@ -48,6 +48,11 @@ spec::ResponseId UniversalObject::apply(spec::OpId op, int pid,
       // Claim the first free slot. On failure another descriptor landed
       // here first; fall through and replay it.
       const auto [prev, ok] = log_[slot]->compare_exchange(kEmpty, mine);
+      // Flush the slot whether we claimed it or lost the race: a
+      // descriptor must be durable before anyone replays past it, or a
+      // strict-mode crash could rewrite linearized history. Dirty-gated,
+      // so this is free once the slot is persisted.
+      log_[slot]->persist();
       desc = ok ? mine : prev;
     }
     if (desc == mine) {

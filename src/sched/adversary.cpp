@@ -61,6 +61,22 @@ DrivenRunResult drive(const exec::Protocol& protocol,
   result.log = exec::DecisionLog(n);
   CrashAccountant accountant(n, options.z >= 1 ? options.z : 1);
 
+  // Strict shadow persistency: the persisted value of each object plus a
+  // bitmask of processes with unpersisted (relaxed) writes to it. A
+  // durable invoke flushes the object (whole-cell barrier, any writer); a
+  // crash reverts every object the victim wrote relaxed.
+  const int object_count = protocol.object_count();
+  std::vector<spec::ValueId> persisted;
+  std::vector<std::uint64_t> relaxed_writers;
+  if (options.strict_persistency) {
+    RCONS_CHECK(n <= 64);
+    persisted.reserve(static_cast<std::size_t>(object_count));
+    for (exec::ObjectId obj = 0; obj < object_count; ++obj) {
+      persisted.push_back(result.config.value(obj));
+    }
+    relaxed_writers.assign(static_cast<std::size_t>(object_count), 0);
+  }
+
   // Done when every process sits in an output state (a process that
   // crashed after deciding is NOT done — it must re-run to completion).
   const auto all_settled = [&] {
@@ -107,8 +123,46 @@ DrivenRunResult drive(const exec::Protocol& protocol,
       accountant.on_step(event->pid);
       result.steps += 1;
     }
+    if (options.strict_persistency && !event->is_crash()) {
+      // Peek the poised action so we know which object the step touches
+      // and whether the invoke carries its persist barrier.
+      const exec::Action action =
+          protocol.poised(event->pid, result.config.local(event->pid));
+      if (action.kind == exec::Action::Kind::kInvoke) {
+        const auto obj = static_cast<std::size_t>(action.object);
+        const spec::ValueId before = result.config.value(action.object);
+        exec::apply_event(protocol, result.config, *event, result.log);
+        result.events += 1;
+        if (action.durable) {
+          // Whole-cell barrier: the step's persist flushes the object no
+          // matter who wrote it last.
+          persisted[obj] = result.config.value(action.object);
+          relaxed_writers[obj] = 0;
+        } else if (result.config.value(action.object) != before) {
+          relaxed_writers[obj] |= std::uint64_t{1} << event->pid;
+        }
+        continue;
+      }
+      // Decided processes no-op; fall through to the shared apply below.
+    }
     exec::apply_event(protocol, result.config, *event, result.log);
     result.events += 1;
+    if (options.strict_persistency && event->is_crash()) {
+      // Drop the victim's unpersisted stores: every object whose dirty
+      // value it contributed to reverts to its persisted value. Reverting
+      // co-written cells too is deliberate — the shadow model persists
+      // whole cells, and an adversary may always crash the co-writers at
+      // the same boundary.
+      const std::uint64_t bit = std::uint64_t{1} << event->pid;
+      for (std::size_t obj = 0; obj < relaxed_writers.size(); ++obj) {
+        if (relaxed_writers[obj] & bit) {
+          result.config.set_value(static_cast<exec::ObjectId>(obj),
+                                  persisted[obj]);
+          relaxed_writers[obj] = 0;
+          result.dropped_stores += 1;
+        }
+      }
+    }
   }
 
   result.all_decided = all_settled();

@@ -85,6 +85,14 @@ struct DrivenRunOptions {
   CrashRegime regime = CrashRegime::kBudgeted;
   int z = 1;
   std::int64_t max_events = 1'000'000;
+  /// Strict shadow persistency: a crash additionally reverts every object
+  /// whose last value change came from the crashing process's *relaxed*
+  /// invokes (Action::invoke_relaxed) to its persisted value — the
+  /// exec-layer counterpart of RCONS_PMEM_STRICT in the live runtime.
+  /// Durable invokes (the default for every shipped protocol) persist as
+  /// part of the step, so this is behavior-neutral unless a protocol
+  /// actually opens a persist gap.
+  bool strict_persistency = false;
 };
 
 struct DrivenRunResult {
@@ -94,6 +102,7 @@ struct DrivenRunResult {
   std::int64_t steps = 0;
   std::int64_t crashes = 0;
   std::int64_t crashes_denied = 0;  // adversary crash choices vetoed by regime
+  std::int64_t dropped_stores = 0;  // strict-mode crash drops
   bool all_decided = false;
   bool hit_event_limit = false;
 };

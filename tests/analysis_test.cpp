@@ -23,6 +23,7 @@
 #include "spec/builder.hpp"
 #include "spec/catalog.hpp"
 #include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
 
 namespace rcons::analysis {
 namespace {
@@ -56,7 +57,7 @@ TEST(Rules, IdsAreUniqueAndNamed) {
     EXPECT_STRNE(info.name, "");
     EXPECT_STRNE(info.summary, "");
   }
-  EXPECT_GE(ids.size(), 15u);
+  EXPECT_GE(ids.size(), 21u);  // 8 TS + 7 PL + 6 RC
 }
 
 TEST(Rules, LookupMatchesRegistry) {
@@ -413,6 +414,307 @@ TEST(ProtocolLint, NeverDecidingProcessIsError) {
 TEST(ProtocolLint, UntouchedObjectIsWarning) {
   const Report r = lint_protocol(DeadObjectProtocol());
   EXPECT_TRUE(fires(r, kRuleDeadObject)) << r.render_text();
+}
+
+// ---- Recovery audit (RC rules) ----
+//
+// Every RC fixture pairs a clean .type file in data/broken/ with a
+// deliberately broken protocol below; each pair must trip exactly its
+// one RC rule, so the rules stay disjoint and the fixtures stay honest
+// calibration points.
+
+spec::ObjectType load_rc_type(const std::string& name) {
+  const std::string path =
+      std::string(RCONS_SOURCE_DIR) + "/data/broken/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const spec::ParseResult parsed = spec::parse_type(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+  return *parsed.type;
+}
+
+/// The distinct RC rule ids present in a report.
+std::set<std::string> rc_rules_fired(const Report& report) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule.rfind("RC", 0) == 0) out.insert(d.rule);
+  }
+  return out;
+}
+
+/// RC001: poised() consults a hidden mutable counter, so re-evaluating
+/// it for the same local state yields a different action.
+class NondetPoisedProtocol : public algo::ProtocolBase {
+ public:
+  NondetPoisedProtocol() : ProtocolBase("rc001_fixture", 1) {
+    spec::ObjectType t = load_rc_type("rc001_flipflop.type");
+    flip_ = *t.find_op("flip");
+    read_ = *t.find_op("read");
+    add_object(std::move(t), "v0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    ++calls_;
+    return exec::Action::invoke(0, calls_ % 2 == 1 ? flip_ : read_);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return make_decided(static_cast<int>(state.words[1]));
+  }
+
+ private:
+  mutable int calls_ = 0;
+  spec::OpId flip_;
+  spec::OpId read_;
+};
+
+/// RC002 (and, with a declared budget, RC006): grab the one-shot object
+/// and decide by the race outcome — a crash at the output state makes
+/// the solo recovery lose its own earlier race and decide differently.
+class UnstableRaceProtocol : public algo::ProtocolBase {
+ public:
+  explicit UnstableRaceProtocol(bool declare_budget)
+      : ProtocolBase(declare_budget ? "rc006_fixture" : "rc002_fixture", 1),
+        declare_budget_(declare_budget) {
+    spec::ObjectType t = load_rc_type(declare_budget
+                                          ? "rc006_budget.type"
+                                          : "rc002_one_shot.type");
+    grab_ = *t.find_op("grab");
+    won_ = *t.find_response("won");
+    add_object(std::move(t), "free");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke(0, grab_);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState&,
+                           spec::ResponseId response) const override {
+    return make_decided(response == won_ ? 0 : 1);
+  }
+  int declared_crash_budget() const override {
+    return declare_budget_ ? 1 : -1;
+  }
+
+ private:
+  bool declare_budget_;
+  spec::OpId grab_;
+  spec::ResponseId won_;
+};
+
+/// RC003: bump a persistent counter, then decide the input. Every
+/// recovery agrees on the decision but leaves a different counter in
+/// NVM — the retry is not idempotent.
+class CounterBumpProtocol : public algo::ProtocolBase {
+ public:
+  CounterBumpProtocol() : ProtocolBase("rc003_fixture", 1) {
+    spec::ObjectType t = load_rc_type("rc003_counter.type");
+    inc_ = *t.find_op("inc");
+    add_object(std::move(t), "c0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke(0, inc_);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return make_decided(static_cast<int>(state.words[1]));
+  }
+
+ private:
+  spec::OpId inc_;
+};
+
+/// RC004: set the flag with a relaxed invoke and never issue the
+/// barrier; the dirty value is never read back, so only the persist gap
+/// itself is reported.
+class RelaxedFlagProtocol : public algo::ProtocolBase {
+ public:
+  RelaxedFlagProtocol() : ProtocolBase("rc004_fixture", 1) {
+    spec::ObjectType t = load_rc_type("rc004_scratch.type");
+    set_ = *t.find_op("set");
+    add_object(std::move(t), "v0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    return exec::Action::invoke_relaxed(0, set_);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return make_decided(static_cast<int>(state.words[1]));
+  }
+
+ private:
+  spec::OpId set_;
+};
+
+/// RC005: write the scratch object relaxed, read the unpersisted value
+/// back, then perform a durable write to a second object while holding
+/// that tainted local state (RC005 subsumes the underlying RC004 gap).
+class TaintedWriteProtocol : public algo::ProtocolBase {
+ public:
+  TaintedWriteProtocol() : ProtocolBase("rc005_fixture", 1) {
+    spec::ObjectType t = load_rc_type("rc005_taint.type");
+    set_ = *t.find_op("set");
+    read_ = *t.find_op("read");
+    add_object(t, "v0");
+    add_object(std::move(t), "v0");
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    switch (state.words[0]) {
+      case 0: return exec::Action::invoke_relaxed(0, set_);
+      case 1: return exec::Action::invoke(0, read_);
+      default: return exec::Action::invoke(1, set_);
+    }
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    if (state.words[0] >= 2) {
+      return make_decided(static_cast<int>(state.words[1]));
+    }
+    exec::LocalState next = state;
+    next.words[0] += 1;
+    return next;
+  }
+
+ private:
+  spec::OpId set_;
+  spec::OpId read_;
+};
+
+TEST(RecoveryAudit, FixtureTypesThemselvesLintClean) {
+  // The defects live in the protocols, not the types: each rc00X .type
+  // file must carry zero error-severity TS findings.
+  for (const char* name :
+       {"rc001_flipflop.type", "rc002_one_shot.type", "rc003_counter.type",
+        "rc004_scratch.type", "rc005_taint.type", "rc006_budget.type"}) {
+    const std::string path =
+        std::string(RCONS_SOURCE_DIR) + "/data/broken/" + name;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing fixture " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const Report r = lint_type_text(buffer.str(), name);
+    EXPECT_EQ(r.error_count(), 0) << name << ":\n" << r.render_text();
+  }
+}
+
+TEST(RecoveryAudit, NondetPoisedFiresExactlyRC001) {
+  const Report r = audit_recovery(NondetPoisedProtocol());
+  EXPECT_TRUE(fires(r, kRuleRecoveryDeterminism)) << r.render_text();
+  EXPECT_EQ(rc_rules_fired(r), std::set<std::string>{"RC001"})
+      << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(RecoveryAudit, UnstableRaceFiresExactlyRC002) {
+  const Report r = audit_recovery(UnstableRaceProtocol(false));
+  EXPECT_TRUE(fires(r, kRuleDecisionStability)) << r.render_text();
+  EXPECT_EQ(rc_rules_fired(r), std::set<std::string>{"RC002"})
+      << r.render_text();
+  // RC002 is a warning (the tas_racing calibration must stay error-clean).
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kError)) << r.render_text();
+}
+
+TEST(RecoveryAudit, CounterBumpFiresExactlyRC003) {
+  const Report r = audit_recovery(CounterBumpProtocol());
+  EXPECT_TRUE(fires(r, kRuleRecoveryIdempotence)) << r.render_text();
+  EXPECT_EQ(rc_rules_fired(r), std::set<std::string>{"RC003"})
+      << r.render_text();
+}
+
+TEST(RecoveryAudit, RelaxedFlagFiresExactlyRC004) {
+  const Report r = audit_recovery(RelaxedFlagProtocol());
+  EXPECT_TRUE(fires(r, kRulePersistGap)) << r.render_text();
+  EXPECT_EQ(rc_rules_fired(r), std::set<std::string>{"RC004"})
+      << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(RecoveryAudit, TaintedWriteFiresExactlyRC005) {
+  const Report r = audit_recovery(TaintedWriteProtocol());
+  EXPECT_TRUE(fires(r, kRuleVolatileTaint)) << r.render_text();
+  // The taint finding subsumes the persist gap it rode in on.
+  EXPECT_EQ(rc_rules_fired(r), std::set<std::string>{"RC005"})
+      << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(RecoveryAudit, DeclaredBudgetRoutesInstabilityToRC006) {
+  const Report r = audit_recovery(UnstableRaceProtocol(true));
+  EXPECT_TRUE(fires(r, kRuleCrashBudget)) << r.render_text();
+  EXPECT_EQ(rc_rules_fired(r), std::set<std::string>{"RC006"})
+      << r.render_text();
+  EXPECT_TRUE(r.has_findings_at_least(Severity::kError));
+}
+
+TEST(RecoveryAudit, ShippedProtocolsAreErrorClean) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  const algo::CasConsensus cas2(2);
+  const algo::StickyConsensus sticky3(3);
+  const algo::NaiveProposeConsensus propose(2, 2);
+  const algo::TasRacingConsensus tas_racing;
+  const algo::NaiveRegisterConsensus naive(2);
+  const algo::RecordingConsensus recording(cas, 2);
+  const algo::TnnWaitFreeConsensus tnn_wf(5, 2);
+  const algo::TnnRecoverableConsensus tnn_rec(5, 2, 2);
+  for (const exec::Protocol* p :
+       {static_cast<const exec::Protocol*>(&cas2),
+        static_cast<const exec::Protocol*>(&sticky3),
+        static_cast<const exec::Protocol*>(&propose),
+        static_cast<const exec::Protocol*>(&tas_racing),
+        static_cast<const exec::Protocol*>(&naive),
+        static_cast<const exec::Protocol*>(&recording),
+        static_cast<const exec::Protocol*>(&tnn_wf),
+        static_cast<const exec::Protocol*>(&tnn_rec)}) {
+    const Report r = audit_recovery(*p);
+    EXPECT_FALSE(r.has_findings_at_least(Severity::kError))
+        << p->name() << ":\n" << r.render_text();
+  }
+}
+
+TEST(RecoveryAudit, TasRacingIsUnstableAcrossAnOutputCrash) {
+  // The RC-side calibration twin of ProtocolLint.TasRacingDecision
+  // DivergesAcrossACrash: a solo tas_racing winner that crashes after
+  // deciding re-runs the race, loses against its own past application,
+  // and decides differently — RC002, at warning severity.
+  const Report r = audit_recovery(algo::TasRacingConsensus());
+  EXPECT_TRUE(fires(r, kRuleDecisionStability)) << r.render_text();
+  EXPECT_FALSE(r.has_findings_at_least(Severity::kError)) << r.render_text();
+}
+
+TEST(RecoveryAudit, RelaxedRecordingConsensusIsCaughtByRC004) {
+  // The acceptance demo: "forgetting" the persist on the proposal-
+  // register writes (relax_proposal_writes) must be caught statically by
+  // RC004 — the runtime twin lives in runtime_test.cpp.
+  const spec::ObjectType cas = spec::make_cas(3);
+  const Report broken =
+      audit_recovery(algo::RecordingConsensus(cas, 2, true));
+  EXPECT_TRUE(fires(broken, kRulePersistGap)) << broken.render_text();
+  EXPECT_TRUE(broken.has_findings_at_least(Severity::kError));
+
+  const Report clean = audit_recovery(algo::RecordingConsensus(cas, 2));
+  EXPECT_FALSE(fires(clean, kRulePersistGap)) << clean.render_text();
+}
+
+TEST(RecoveryAudit, ReportsAreBitIdenticalAcrossThreadCounts) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  const algo::RecordingConsensus relaxed(cas, 2, true);
+  RecoveryAuditOptions base;
+  const std::string reference = audit_recovery(relaxed, base).render_text();
+  for (int threads : {2, 4, 8}) {
+    RecoveryAuditOptions options;
+    options.threads = threads;
+    EXPECT_EQ(audit_recovery(relaxed, options).render_text(), reference)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// End-to-end regression for `rcons_cli lint --format=json`: stdout must be
+// one well-formed JSON document — all progress chatter goes to stderr —
+// even with --threads > 1 and with the RC recovery audit running on
+// protocol targets. The test shells out to the real binary (path injected
+// by CMake as RCONS_CLI_BIN) and validates stdout with a strict little
+// JSON parser, so any stray printf to stdout breaks it.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+/// Runs a command line, captures stdout (popen shares our stderr), and
+/// returns the process exit code through `exit_code`.
+std::string capture_stdout(const std::string& command, int* exit_code) {
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  if (pipe != nullptr) {
+    char buffer[4096];
+    std::size_t got;
+    while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      out.append(buffer, got);
+    }
+    const int status = pclose(pipe);
+    *exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  }
+  return out;
+}
+
+/// Strict recursive-descent JSON validator (values, objects, arrays,
+/// strings with escapes, numbers, true/false/null). Returns false on the
+/// first deviation — trailing garbage included.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse_document() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool parse_value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::string s(lit);
+    if (text_.compare(pos_, s.size(), s) != 0) return false;
+    pos_ += s.size();
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string cli() { return std::string(RCONS_CLI_BIN); }
+
+TEST(CliJson, TypeTargetStdoutIsPureJson) {
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " lint --format=json --threads=4 tas cas2 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"errors\":0"), std::string::npos) << out;
+}
+
+TEST(CliJson, ProtocolTargetStdoutIsPureJsonDespiteProgress) {
+  // Protocol targets run the PL lint plus the threaded RC recovery audit;
+  // both announce progress on stderr, which must never leak into the JSON
+  // stream on stdout.
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " lint --format=json --threads=4 protocol recording cas3 2"
+              " 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"findings\""), std::string::npos) << out;
+}
+
+TEST(CliJson, RulesCatalogListsTheRcFamily) {
+  int exit_code = -1;
+  const std::string out =
+      capture_stdout(cli() + " lint --rules 2>/dev/null", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  for (const char* id : {"RC001", "RC002", "RC003", "RC004", "RC005",
+                         "RC006"}) {
+    EXPECT_NE(out.find(id), std::string::npos) << "missing " << id;
+  }
+}
+
+}  // namespace

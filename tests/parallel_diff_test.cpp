@@ -22,6 +22,7 @@
 #include "algo/sticky_consensus.hpp"
 #include "algo/tas_racing.hpp"
 #include "algo/tnn_protocols.hpp"
+#include "analysis/recovery_audit.hpp"
 #include "hierarchy/consensus_number.hpp"
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
@@ -473,6 +474,32 @@ TEST(ParallelDiff, MachineSearchMatchesSerialForEveryThreadCount) {
     EXPECT_EQ(serial.best_profile.recording, parallel.best_profile.recording);
     EXPECT_EQ(spec::serialize_type(serial.best_type),
               spec::serialize_type(parallel.best_type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The RC recovery audit joins the bit-identical contract: same findings,
+// same order, same rendering, for every thread count.
+
+TEST(ParallelDiff, RecoveryAuditMatchesSerialAcrossCatalog) {
+  auto catalog = protocol_catalog();
+  // Finding-rich entries: the clean catalog mostly produces empty reports,
+  // which would make this diff vacuous.
+  catalog.push_back({"recording_cas3_relaxed", [] {
+                       return std::make_unique<algo::RecordingConsensus>(
+                           spec::make_cas(3), 2, /*relax_proposal_writes=*/true);
+                     }});
+  for (const auto& [name, make] : catalog) {
+    const auto protocol = make();
+    analysis::RecoveryAuditOptions options;
+    const std::string serial =
+        analysis::audit_recovery(*protocol, options).render_text();
+    for (const int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+      options.threads = threads;
+      EXPECT_EQ(analysis::audit_recovery(*protocol, options).render_text(),
+                serial);
+    }
   }
 }
 

@@ -185,5 +185,131 @@ TEST(LiveRun, PersistCountsAreReported) {
   EXPECT_GT(r.pmem_persists, 0u);
 }
 
+// ---- Strict shadow persistency (RCONS_PMEM_STRICT semantics) ----
+
+TEST(Pmem, StrictRelaxedStoreStaysVolatileUntilBarrier) {
+  PersistentArena arena(/*strict=*/true);
+  PVar* cell = arena.allocate(1);
+  cell->store_relaxed(5);
+  EXPECT_EQ(cell->volatile_value(), 5);
+  EXPECT_EQ(cell->persisted_value(), 1);
+  EXPECT_TRUE(cell->drop_unpersisted(5));
+  EXPECT_EQ(cell->load(), 1);
+  EXPECT_EQ(arena.stats().dropped.load(), 1u);
+  cell->store_relaxed(7);
+  cell->persist();
+  EXPECT_EQ(cell->persisted_value(), 7);
+  EXPECT_FALSE(cell->drop_unpersisted(7)) << "clean cell: nothing to drop";
+}
+
+TEST(Pmem, StrictCasIsVolatileUntilBarrier) {
+  PersistentArena strict(/*strict=*/true);
+  PVar* a = strict.allocate(0);
+  EXPECT_TRUE(a->compare_exchange(0, 9).second);
+  EXPECT_EQ(a->persisted_value(), 0);
+  a->persist();
+  EXPECT_EQ(a->persisted_value(), 9);
+
+  // Non-strict keeps the pre-split behavior: success persists in-op.
+  PersistentArena lax(/*strict=*/false);
+  PVar* b = lax.allocate(0);
+  EXPECT_TRUE(b->compare_exchange(0, 9).second);
+  EXPECT_EQ(b->persisted_value(), 9);
+}
+
+TEST(Pmem, DropRespectsConcurrentOverwrite) {
+  PersistentArena arena(/*strict=*/true);
+  PVar* cell = arena.allocate(0);
+  cell->store_relaxed(3);
+  // Another writer replaced the value after the crashing process's store:
+  // the drop must not clobber the newer value.
+  cell->store_relaxed(4);
+  EXPECT_FALSE(cell->drop_unpersisted(3));
+  EXPECT_EQ(cell->volatile_value(), 4);
+}
+
+TEST(Pmem, PersistCountsOnlyDirtyFlushes) {
+  // The CAS double-count regression: failed CASes and redundant barriers
+  // must not inflate the persist count.
+  PersistentArena arena(/*strict=*/false);
+  PVar* cell = arena.allocate(0);
+  EXPECT_TRUE(cell->compare_exchange(0, 1).second);
+  EXPECT_EQ(arena.stats().persists.load(), 1u);
+  EXPECT_FALSE(cell->compare_exchange(0, 2).second);
+  EXPECT_EQ(arena.stats().persists.load(), 1u) << "failed CAS flushed";
+  cell->persist();
+  cell->persist();
+  EXPECT_EQ(arena.stats().persists.load(), 1u) << "clean barrier counted";
+  cell->store(1);  // same value: the dirty gate keeps the barrier free
+  EXPECT_EQ(arena.stats().persists.load(), 1u);
+  cell->store(5);
+  EXPECT_EQ(arena.stats().persists.load(), 2u);
+}
+
+TEST(LiveRun, StrictModeKeepsShippedProtocolsClean) {
+  // Shipped protocols issue every store durably, so strict-mode crash
+  // injection has nothing to drop and the audits stay clean (the
+  // DESIGN.md §8 behavior-identity argument) — independent of whether CI
+  // also sets RCONS_PMEM_STRICT.
+  algo::CasConsensus cas3(3);
+  const spec::ObjectType cas = spec::make_cas(3);
+  algo::RecordingConsensus recording(cas, 3);
+  algo::TnnRecoverableConsensus tnn(5, 2, 2);
+  for (const exec::Protocol* p :
+       {static_cast<const exec::Protocol*>(&cas3),
+        static_cast<const exec::Protocol*>(&recording),
+        static_cast<const exec::Protocol*>(&tnn)}) {
+    LiveRunOptions options;
+    options.strict_persistency = true;
+    options.crash_prob = 0.25;
+    options.rounds = 200;
+    options.seed = 23;
+    const LiveRunResult r = run_live_audit(*p, options);
+    EXPECT_TRUE(r.ok()) << p->name() << ": " << r.first_violation;
+    EXPECT_GT(r.total_crashes, 0u) << p->name();
+    EXPECT_EQ(r.dropped_stores, 0u) << p->name();
+  }
+}
+
+// ---- Crash-at-every-persist-boundary audit ----
+
+TEST(BoundaryCrash, CasConsensusSurvivesEveryBoundary) {
+  algo::CasConsensus protocol(2);
+  const BoundaryCrashResult r = run_boundary_crash_audit(protocol);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+  EXPECT_GT(r.runs, 0);
+  EXPECT_GT(r.total_crashes, 0u);
+  EXPECT_EQ(r.dropped_stores, 0u);
+}
+
+TEST(BoundaryCrash, RecordingConsensusSurvivesEveryBoundary) {
+  const spec::ObjectType cas = spec::make_cas(3);
+  algo::RecordingConsensus protocol(cas, 2);
+  const BoundaryCrashResult r = run_boundary_crash_audit(protocol);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+  EXPECT_GT(r.total_crashes, 0u);
+  EXPECT_EQ(r.dropped_stores, 0u);
+}
+
+TEST(BoundaryCrash, TnnRecoverableSurvivesEveryBoundary) {
+  algo::TnnRecoverableConsensus protocol(4, 2, 2);
+  const BoundaryCrashResult r = run_boundary_crash_audit(protocol);
+  EXPECT_TRUE(r.ok()) << r.first_violation;
+  EXPECT_GT(r.total_crashes, 0u);
+}
+
+TEST(BoundaryCrash, RelaxedRecordingConsensusIsCaughtAtRuntime) {
+  // The runtime half of the acceptance demo (the static half is
+  // RecoveryAudit.RelaxedRecordingConsensusIsCaughtByRC004): with the
+  // proposal-write persists "forgotten", the strict boundary audit must
+  // actually drop stores and surface a violation.
+  const spec::ObjectType cas = spec::make_cas(3);
+  algo::RecordingConsensus protocol(cas, 2, /*relax_proposal_writes=*/true);
+  const BoundaryCrashResult r = run_boundary_crash_audit(protocol);
+  EXPECT_GT(r.dropped_stores, 0u);
+  EXPECT_FALSE(r.ok())
+      << "dropping unpersisted proposal writes must break an audit";
+}
+
 }  // namespace
 }  // namespace rcons::runtime

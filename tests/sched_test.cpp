@@ -6,10 +6,12 @@
 #include <set>
 
 #include "algo/cas_consensus.hpp"
+#include "algo/recording_consensus.hpp"
 #include "algo/tas_racing.hpp"
 #include "sched/adversary.hpp"
 #include "sched/crash_budget.hpp"
 #include "sched/one_shot.hpp"
+#include "spec/catalog.hpp"
 
 namespace rcons::sched {
 namespace {
@@ -186,6 +188,54 @@ TEST(Adversary, CrashRegimeNoneVetoesAllCrashes) {
   EXPECT_TRUE(r.all_decided);
   EXPECT_EQ(r.crashes, 0);
   EXPECT_GT(r.crashes_denied, 0);
+}
+
+/// Plays a fixed event prefix, then falls back to round-robin.
+class ScriptedAdversary : public Adversary {
+ public:
+  ScriptedAdversary(Schedule script, int n)
+      : script_(std::move(script)), fallback_(n) {}
+  std::optional<exec::Event> next(const AdversaryView& view) override {
+    if (pos_ < script_.size()) return script_[pos_++];
+    return fallback_.next(view);
+  }
+
+ private:
+  Schedule script_;
+  std::size_t pos_ = 0;
+  RoundRobinAdversary fallback_;
+};
+
+TEST(Adversary, StrictPersistencyDropsRelaxedWritesOnCrash) {
+  // recording_consensus with relax_proposal_writes: p0's first step is a
+  // relaxed proposal write, so crashing p0 immediately afterwards must
+  // revert the register (exactly one drop) — and only in strict mode.
+  algo::RecordingConsensus protocol(spec::make_cas(3), 2,
+                                    /*relax_proposal_writes=*/true);
+  for (const bool strict : {true, false}) {
+    ScriptedAdversary adv(parse({"p0", "c0"}), 2);
+    DrivenRunOptions options;
+    options.regime = CrashRegime::kUnbounded;
+    options.strict_persistency = strict;
+    const DrivenRunResult r = drive(protocol, {1, 1}, adv, options);
+    EXPECT_TRUE(r.all_decided) << "strict=" << strict;
+    EXPECT_EQ(r.dropped_stores, strict ? 1 : 0);
+  }
+}
+
+TEST(Adversary, StrictPersistencyIsNeutralForDurableProtocols) {
+  // Every shipped protocol invokes durably, so strict mode never finds
+  // anything to drop and the run is event-for-event identical.
+  algo::CasConsensus protocol(3);
+  for (const bool strict : {false, true}) {
+    RandomCrashAdversary adv(3, 0.4, /*seed=*/99);
+    DrivenRunOptions options;
+    options.strict_persistency = strict;
+    const DrivenRunResult r = drive(protocol, {0, 1, 0}, adv, options);
+    EXPECT_TRUE(r.all_decided);
+    EXPECT_FALSE(r.log.agreement_violated());
+    EXPECT_EQ(r.dropped_stores, 0);
+  }
 }
 
 TEST(Adversary, UnboundedCrashesCanBreakTasRacing) {

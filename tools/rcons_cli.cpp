@@ -15,6 +15,8 @@
 //   rcons_cli lint     [--format=text|json] [--threshold=error|warning|note]
 //                      <type>... | protocol <protocol...>
 //                                        static analysis (see DESIGN.md);
+//                                        protocol targets also run the RC
+//                                        crash-recovery audit;
 //                                        exits 1 on findings >= threshold
 //   rcons_cli lint --rules               print the rule catalog
 //
@@ -334,13 +336,25 @@ int cmd_lint(int argc, char** argv) {
         return fail("unknown threshold '" + level + "'");
       }
     } else if (arg == "protocol") {
-      // The rest of the argv names one protocol; lint it and stop.
+      // The rest of the argv names one protocol; lint it and stop. The
+      // protocol front end runs both the PL lint and the RC recovery
+      // audit (DESIGN.md §8). All progress goes to stderr so
+      // --format=json keeps stdout machine-parseable.
       std::string error;
       auto protocol = make_protocol(argc - i - 1, argv + i + 1, &error);
       if (!protocol) return fail(error);
       targets.clear();
       targets.push_back("protocol");
+      std::fprintf(stderr, "rcons_cli: linting protocol %s (PL rules)\n",
+                   protocol->name().c_str());
       Report report = rcons::analysis::lint_protocol(*protocol);
+      std::fprintf(stderr,
+                   "rcons_cli: auditing protocol %s (RC rules, %d threads)\n",
+                   protocol->name().c_str(), g_threads);
+      rcons::analysis::RecoveryAuditOptions audit_options;
+      audit_options.threads = g_threads;
+      report.merge(
+          rcons::analysis::audit_recovery(*protocol, audit_options));
       std::printf("%s", json ? report.render_json().c_str()
                              : report.render_text().c_str());
       if (json) std::printf("\n");
