@@ -1,12 +1,14 @@
 #include "analysis/recovery_audit.hpp"
 
 #include <cstdint>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "analysis/rules.hpp"
+#include "trace/replay.hpp"
 #include "util/hashing.hpp"
 #include "util/parallel.hpp"
 
@@ -188,6 +190,21 @@ std::string where(ProcessId pid, int input) {
   return "process " + std::to_string(pid) + ", input " + std::to_string(input);
 }
 
+/// `count` solo steps of `pid` (witness-schedule building block).
+exec::Schedule solo_steps(ProcessId pid, long long count) {
+  exec::Schedule out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    out.push_back(exec::Event::step(pid));
+  }
+  return out;
+}
+
+exec::Schedule operator+(exec::Schedule a, const exec::Schedule& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
 std::string object_ref(const Protocol& protocol, ObjectId obj) {
   return "object " + std::to_string(obj) + " ('" +
          protocol.object_type(obj).name() + "')";
@@ -209,15 +226,30 @@ std::string shadow_diff(const std::vector<spec::ValueId>& a,
 /// finding per rule per unit, first occurrence wins, so reports stay
 /// stable and small).
 void audit_unit(const Protocol& protocol, ProcessId pid, int input,
-                const RecoveryAuditOptions& options, Report& report) {
+                const RecoveryAuditOptions& options, Report& report,
+                std::vector<trace::Counterexample>* traces) {
   const std::string subject = protocol.name();
   const std::string loc = where(pid, input);
   const int declared = protocol.declared_crash_budget();
   const int budget = declared >= 0 ? declared : options.crash_budget;
+  const exec::Schedule crash_sched{exec::Event::crash(pid)};
   long long unit_steps = 0;
 
   bool saw_bound = false;
   bool rc2_done = false, rc3_done = false, rc6_done = false;
+
+  // One replayable .trace per warning/error finding: the exact solo
+  // schedule that demonstrates the violation, finalized (verdict + shadow
+  // hash) by the deterministic replay. RC001 is the one exception — a
+  // nondeterministic protocol has no deterministic replay by definition.
+  const auto capture = [&](exec::Schedule witness, const char* rule,
+                           std::string note) {
+    if (traces != nullptr) {
+      traces->push_back(trace::capture_rc(protocol, pid, input,
+                                          std::move(witness), rule,
+                                          loc + ": " + std::move(note)));
+    }
+  };
 
   const auto nondet_finding = [&](const RunOutcome& r) {
     report.add(make_diagnostic(
@@ -229,17 +261,20 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
 
   // Decision-stability violations are the declared-budget contract when
   // the protocol annotates one (RC006); otherwise they are RC002.
-  const auto stability_finding = [&](int crashes_used, const std::string& msg) {
+  const auto stability_finding = [&](int crashes_used, const std::string& msg,
+                                     exec::Schedule witness) {
     if (declared >= 0) {
       if (rc6_done) return;
       rc6_done = true;
-      report.add(make_diagnostic(
-          kRuleCrashBudget, subject, loc,
+      const std::string message =
           "declares crash budget z=" + std::to_string(declared) +
-              " (solo E_z projection) but with " +
-              std::to_string(crashes_used) + " crash(es) " + msg,
+          " (solo E_z projection) but with " + std::to_string(crashes_used) +
+          " crash(es) " + msg;
+      report.add(make_diagnostic(
+          kRuleCrashBudget, subject, loc, message,
           "either the budget annotation overclaims or the recovery path "
           "fails to re-derive its state from NVM"));
+      capture(std::move(witness), kRuleCrashBudget, message);
     } else {
       if (rc2_done) return;
       rc2_done = true;
@@ -247,6 +282,7 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
           kRuleDecisionStability, subject, loc, msg,
           "record the decision durably and re-derive it from shared "
           "objects alone on recovery"));
+      capture(std::move(witness), kRuleDecisionStability, msg);
     }
   };
 
@@ -274,15 +310,30 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
   int taint_write_step = primary.tainted_write_step;
   ObjectId taint_write_obj = primary.tainted_write_obj;
   ObjectId taint_obj = primary.taint_obj;
-  const auto merge_gap_facts = [&](const RunOutcome& r) {
+  // Witnesses crash right after the offending store, so the replay shows
+  // the drop event for the unflushed object.
+  exec::Schedule relaxed_witness;
+  if (relaxed_step >= 0) {
+    relaxed_witness = solo_steps(pid, relaxed_step + 1) + crash_sched;
+  }
+  exec::Schedule taint_witness;
+  if (taint_write_step >= 0) {
+    taint_witness = solo_steps(pid, taint_write_step + 1) + crash_sched;
+  }
+  const auto merge_gap_facts = [&](const RunOutcome& r,
+                                   const exec::Schedule& prefix) {
     if (relaxed_step < 0 && r.relaxed_write_step >= 0) {
       relaxed_step = r.relaxed_write_step;
       relaxed_obj = r.relaxed_write_obj;
+      relaxed_witness =
+          prefix + solo_steps(pid, r.relaxed_write_step + 1) + crash_sched;
     }
     if (taint_write_step < 0 && r.tainted_write_step >= 0) {
       taint_write_step = r.tainted_write_step;
       taint_write_obj = r.tainted_write_obj;
       taint_obj = r.taint_obj;
+      taint_witness =
+          prefix + solo_steps(pid, r.tainted_write_step + 1) + crash_sched;
     }
   };
 
@@ -299,27 +350,34 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
       }
       saw_bound = saw_bound || rec1.bound_hit;
       if (rec1.invalid) continue;
-      merge_gap_facts(rec1);
+      const exec::Schedule rec1_prefix =
+          solo_steps(pid, static_cast<long long>(k)) + crash_sched;
+      merge_gap_facts(rec1, rec1_prefix);
+      const exec::Schedule rec1_witness =
+          rec1_prefix + solo_steps(pid, rec1.steps);
 
       const bool post_decision = k == decided_point;
       if (!rec1.decided && !rec1.bound_hit && post_decision) {
         stability_finding(
             1, "a crash at the output state leads to a recovery that never "
                "re-decides (decided " +
-                   std::to_string(primary.decision) + " before the crash)");
+                   std::to_string(primary.decision) + " before the crash)",
+            rec1_witness);
       }
       if (rec1.decided && rec1.decision != primary.decision) {
         if (post_decision) {
           stability_finding(
               1, "recovery after a crash at the output state decides " +
                      std::to_string(rec1.decision) + ", not the already-" +
-                     "output " + std::to_string(primary.decision));
+                     "output " + std::to_string(primary.decision),
+              rec1_witness);
         } else if (declared >= 0) {
           stability_finding(
               1, "a crash at step " + std::to_string(k) +
                      " makes the recovery decide " +
                      std::to_string(rec1.decision) + " where the crash-free "
-                     "run decides " + std::to_string(primary.decision));
+                     "run decides " + std::to_string(primary.decision),
+              rec1_witness);
         }
         // Pre-decision divergence without a declared budget is PL007's
         // finding; the RC family does not duplicate it.
@@ -337,6 +395,7 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
             (kept.decided != rec1.decided ||
              (kept.decided && kept.decision != rec1.decision))) {
           relaxed_step = static_cast<int>(k);
+          relaxed_witness = rec1_witness;
           for (std::size_t i = 0; i < at.vol.size(); ++i) {
             if (at.vol[i] != at.shadow[i]) {
               relaxed_obj = static_cast<ObjectId>(i);
@@ -358,29 +417,35 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
           }
           saw_bound = saw_bound || rec2.bound_hit;
           if (!rec2.decided || rec2.invalid) continue;
-          merge_gap_facts(rec2);
+          const exec::Schedule rec2_prefix =
+              rec1_prefix + solo_steps(pid, static_cast<long long>(j)) +
+              crash_sched;
+          merge_gap_facts(rec2, rec2_prefix);
           if (rec2.decision != rec1.decision) {
             stability_finding(
                 2, "a second crash during recovery (first crash at step " +
                        std::to_string(k) + ", second at recovery step " +
                        std::to_string(j) + ") decides " +
                        std::to_string(rec2.decision) + ", not " +
-                       std::to_string(rec1.decision));
+                       std::to_string(rec1.decision),
+                rec2_prefix + solo_steps(pid, rec2.steps));
             continue;
           }
           if (rec2.final_shadow != rec1.final_shadow && !rc3_done) {
             rc3_done = true;
-            report.add(make_diagnostic(
-                kRuleRecoveryIdempotence, subject, loc,
+            const std::string message =
                 "re-executing the recovery prefix after a second crash "
                 "(first at step " +
-                    std::to_string(k) + ", second at recovery step " +
-                    std::to_string(j) +
-                    ") reaches a different persisted state: " +
-                    shadow_diff(rec1.final_shadow, rec2.final_shadow),
+                std::to_string(k) + ", second at recovery step " +
+                std::to_string(j) + ") reaches a different persisted state: " +
+                shadow_diff(rec1.final_shadow, rec2.final_shadow);
+            report.add(make_diagnostic(
+                kRuleRecoveryIdempotence, subject, loc, message,
                 "recovery must be NVM-idempotent: every retry writes the "
                 "same durable values (use CAS/sticky writes, not "
                 "accumulating updates)"));
+            capture(rec2_prefix + solo_steps(pid, rec2.steps),
+                    kRuleRecoveryIdempotence, message);
           }
           if (unit_steps >= options.max_total_steps) break;
         }
@@ -395,28 +460,32 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
   // RC005 subsumes RC004 for the same unit: the observed-and-propagated
   // report pinpoints the same unflushed store with strictly more context.
   if (taint_write_step >= 0) {
-    report.add(make_diagnostic(
-        kRuleVolatileTaint, subject, loc,
+    const std::string message =
         "step " + std::to_string(taint_write_step) +
-            " writes to a shared object while holding local state derived "
-            "from an unpersisted value of " +
-            object_ref(protocol, taint_obj) +
-            ": volatile data lost at a crash flows into NVM without being "
-            "re-read",
+        " writes to a shared object while holding local state derived "
+        "from an unpersisted value of " +
+        object_ref(protocol, taint_obj) +
+        ": volatile data lost at a crash flows into NVM without being "
+        "re-read";
+    report.add(make_diagnostic(
+        kRuleVolatileTaint, subject, loc, message,
         "persist the observed store before acting on its value, or re-read "
         "the object after a durable barrier"));
+    capture(std::move(taint_witness), kRuleVolatileTaint, message);
   } else if (relaxed_step >= 0) {
-    report.add(make_diagnostic(
-        kRulePersistGap, subject, loc,
+    const std::string message =
         "step " + std::to_string(relaxed_step) +
-            " leaves a value-changing store to " +
-            object_ref(protocol, relaxed_obj) +
-            " without its persist barrier: a crash at any later step "
-            "boundary silently drops it (and other processes can observe "
-            "it first)",
+        " leaves a value-changing store to " +
+        object_ref(protocol, relaxed_obj) +
+        " without its persist barrier: a crash at any later step "
+        "boundary silently drops it (and other processes can observe "
+        "it first)";
+    report.add(make_diagnostic(
+        kRulePersistGap, subject, loc, message,
         "issue the persist barrier as part of the step "
         "(Action::invoke instead of invoke_relaxed, or an explicit "
         "PVar::persist in the runtime)"));
+    capture(std::move(relaxed_witness), kRulePersistGap, message);
   }
 
   if (saw_bound) {
@@ -433,23 +502,30 @@ void audit_unit(const Protocol& protocol, ProcessId pid, int input,
 
 Report audit_recovery(const exec::Protocol& protocol,
                       const RecoveryAuditOptions& options) {
+  return audit_recovery_traced(protocol, options).report;
+}
+
+RecoveryAuditResult audit_recovery_traced(const exec::Protocol& protocol,
+                                          const RecoveryAuditOptions& options) {
   const int n = protocol.process_count();
   const std::size_t units = static_cast<std::size_t>(n) * 2;
+  RecoveryAuditResult result;
 
   // Object-table sanity: lint_protocol reports broken tables (PL002); the
   // audit just declines to replay them.
   for (ObjectId obj = 0; obj < protocol.object_count(); ++obj) {
     const spec::ValueId init = protocol.initial_value(obj);
     if (init < 0 || init >= protocol.object_type(obj).value_count()) {
-      return Report{};
+      return result;
     }
   }
 
-  // One report buffer per (process, input) unit, filled in parallel and
-  // merged in unit order — the same deterministic-reduction contract as
-  // every PR-2 engine, so findings are bit-identical for every thread
-  // count.
+  // One report buffer (and counterexample list) per (process, input) unit,
+  // filled in parallel and merged in unit order — the same deterministic-
+  // reduction contract as every PR-2 engine, so findings AND captured
+  // traces are bit-identical for every thread count.
   std::vector<Report> buffers(units);
+  std::vector<std::vector<trace::Counterexample>> traces(units);
   util::ThreadPool pool(options.threads);
   pool.parallel_for(units, 1,
                     [&](std::size_t /*chunk*/, std::size_t begin,
@@ -457,13 +533,19 @@ Report audit_recovery(const exec::Protocol& protocol,
                       for (std::size_t u = begin; u < end; ++u) {
                         const ProcessId pid = static_cast<ProcessId>(u / 2);
                         const int input = static_cast<int>(u % 2);
-                        audit_unit(protocol, pid, input, options, buffers[u]);
+                        audit_unit(protocol, pid, input, options, buffers[u],
+                                   &traces[u]);
                       }
                     });
 
-  Report report;
-  for (const Report& buffer : buffers) report.merge(buffer);
-  return report;
+  for (std::size_t u = 0; u < units; ++u) {
+    result.report.merge(buffers[u]);
+    result.counterexamples.insert(
+        result.counterexamples.end(),
+        std::make_move_iterator(traces[u].begin()),
+        std::make_move_iterator(traces[u].end()));
+  }
+  return result;
 }
 
 }  // namespace rcons::analysis

@@ -51,8 +51,11 @@
 // bit-identical for every thread count (see DESIGN.md §8).
 #pragma once
 
+#include <vector>
+
 #include "analysis/diagnostic.hpp"
 #include "exec/protocol.hpp"
+#include "trace/counterexample.hpp"
 
 namespace rcons::analysis {
 
@@ -78,8 +81,23 @@ struct RecoveryAuditOptions {
   int threads = 1;
 };
 
+/// The audit's findings plus one replayable counterexample per
+/// warning/error finding: the exact solo schedule (steps and crash
+/// injections) that demonstrates the rule violation, finalized with the
+/// deterministic replay verdict and shadow-state hash (DESIGN.md §9).
+/// Counterexamples follow the findings' unit-merge order, so the list is
+/// bit-identical for every thread count.
+struct RecoveryAuditResult {
+  Report report;
+  std::vector<trace::Counterexample> counterexamples;
+};
+
 /// Runs every RC rule against `protocol`.
 Report audit_recovery(const exec::Protocol& protocol,
                       const RecoveryAuditOptions& options = {});
+
+/// As audit_recovery, but also captures replayable witness schedules.
+RecoveryAuditResult audit_recovery_traced(
+    const exec::Protocol& protocol, const RecoveryAuditOptions& options = {});
 
 }  // namespace rcons::analysis

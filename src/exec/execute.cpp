@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::exec {
@@ -15,12 +16,21 @@ EventOutcome apply_event(const Protocol& protocol, Config& config,
 
   if (event.is_crash()) {
     config.set_local(pid, protocol.initial_state(pid, config.input(pid)));
+    // In the model a crash resets and immediately recovers (shared memory
+    // persists, volatile local state is lost), so the two trace events are
+    // adjacent and share the post-reset hash.
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kCrash, pid, -1, -1, -1, -1,
+                                  config.hash(), -1});
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kRecover, pid, -1, -1, -1, -1,
+                                  config.hash(), -1});
     return out;
   }
 
   const Action action = protocol.poised(pid, config.local(pid));
   if (action.kind == Action::Kind::kDecided) {
     // Steps in output states are no-ops.
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kStep, pid, -1, -1, -1, -1,
+                                  config.hash(), -1});
     return out;
   }
 
@@ -35,10 +45,16 @@ EventOutcome apply_event(const Protocol& protocol, Config& config,
   LocalState next = protocol.advance(pid, config.local(pid), effect.response);
   config.set_local(pid, std::move(next));
 
+  RCONS_TRACE(trace::TraceEvent{trace::Kind::kStep, pid, action.object,
+                                action.op, effect.response, -1, config.hash(),
+                                -1});
+
   const Action after = protocol.poised(pid, config.local(pid));
   if (after.kind == Action::Kind::kDecided) {
     out.decision = after.decision;
     log.record(pid, after.decision);
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kDecide, pid, -1, -1, -1,
+                                  after.decision, config.hash(), -1});
   }
   return out;
 }

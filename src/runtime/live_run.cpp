@@ -8,6 +8,7 @@
 
 #include "runtime/live_object.hpp"
 #include "runtime/pmem.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::runtime {
@@ -26,7 +27,13 @@ struct RoundOutcome {
 void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
                   int input, std::vector<LiveObject>& objects,
                   const LiveRunOptions& options, std::uint64_t round_seed,
-                  RoundOutcome& outcome, std::mutex& outcome_mu) {
+                  RoundOutcome& outcome, std::mutex& outcome_mu,
+                  trace::TraceBuffer* trace_buf) {
+  // Per-worker buffer (or disabled): live threads never share a sink. The
+  // coordinator merges the buffers in pid order after the joins. Live
+  // events carry no state hash — the runtime has no instantaneous global
+  // snapshot to hash without serializing the very races it exists to run.
+  trace::ScopedSink trace_sink(trace_buf);
   Xoshiro256 rng(round_seed ^ (0x9e3779b97f4a7c15ULL *
                                static_cast<std::uint64_t>(pid + 1)));
   exec::LocalState local = protocol.initial_state(pid, input);
@@ -39,10 +46,20 @@ void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
   // a clean cell).
   std::vector<LiveObject*> dirty;
   const auto crash = [&] {
-    for (LiveObject* obj : dirty) obj->crash_drop();
+    for (LiveObject* obj : dirty) {
+      obj->crash_drop();
+      RCONS_TRACE(trace::TraceEvent{
+          trace::Kind::kDrop, pid,
+          static_cast<std::int32_t>(obj - objects.data()), -1, -1, -1, 0,
+          -1});
+    }
     dirty.clear();
     local = protocol.initial_state(pid, input);
     ++crashes;
+    RCONS_TRACE(
+        trace::TraceEvent{trace::Kind::kCrash, pid, -1, -1, -1, -1, 0, -1});
+    RCONS_TRACE(
+        trace::TraceEvent{trace::Kind::kRecover, pid, -1, -1, -1, -1, 0, -1});
   };
 
   while (true) {
@@ -52,6 +69,8 @@ void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
         std::lock_guard<std::mutex> lock(outcome_mu);
         outcome.decisions.push_back(action.decision);
       }
+      RCONS_TRACE(trace::TraceEvent{trace::Kind::kDecide, pid, -1, -1, -1,
+                                    action.decision, 0, -1});
       // A process can crash right after deciding, before anything durable
       // records its output; on recovery it re-runs the whole algorithm.
       // Correct recoverable algorithms re-decide the same value; broken
@@ -76,6 +95,12 @@ void play_process(const exec::Protocol& protocol, exec::ProcessId pid,
     LiveObject& obj = objects[static_cast<std::size_t>(action.object)];
     const spec::ResponseId response = obj.apply(action.op, action.durable);
     if (!action.durable) dirty.push_back(&obj);
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kStep, pid, action.object,
+                                  action.op, response, -1, 0, -1});
+    if (action.durable) {
+      RCONS_TRACE(trace::TraceEvent{trace::Kind::kPersist, pid, action.object,
+                                    -1, -1, -1, 0, -1});
+    }
     local = protocol.advance(pid, local, response);
     ++steps;
   }
@@ -119,6 +144,14 @@ LiveRunResult run_live_audit(const exec::Protocol& protocol,
     std::mutex outcome_mu;
     const std::uint64_t round_seed =
         options.seed + 0x100000001b3ULL * static_cast<std::uint64_t>(round);
+    // When the caller installed a trace sink, each worker gets a private
+    // buffer; the merge below is in pid order, so the caller's stream is
+    // grouped deterministically by process (event order WITHIN a process
+    // is its program order; cross-process interleaving is not recorded —
+    // it is exactly what the live runtime leaves to the hardware).
+    trace::TraceBuffer* parent_sink = trace::thread_sink();
+    std::vector<trace::TraceBuffer> worker_traces(
+        parent_sink != nullptr ? static_cast<std::size_t>(n) : 0);
     {
       std::vector<std::thread> threads;
       threads.reserve(static_cast<std::size_t>(n));
@@ -126,9 +159,17 @@ LiveRunResult run_live_audit(const exec::Protocol& protocol,
         threads.emplace_back(play_process, std::cref(protocol), pid,
                              inputs[static_cast<std::size_t>(pid)],
                              std::ref(objects), std::cref(options), round_seed,
-                             std::ref(outcome), std::ref(outcome_mu));
+                             std::ref(outcome), std::ref(outcome_mu),
+                             parent_sink != nullptr
+                                 ? &worker_traces[static_cast<std::size_t>(pid)]
+                                 : nullptr);
       }
       for (auto& t : threads) t.join();
+    }
+    if (parent_sink != nullptr) {
+      for (const trace::TraceBuffer& buf : worker_traces) {
+        parent_sink->merge_from(buf);
+      }
     }
 
     result.rounds += 1;
@@ -201,7 +242,13 @@ bool boundary_run(const exec::Protocol& protocol,
   std::uint64_t crashes = 0;
 
   const auto fire_crash = [&] {
-    for (LiveObject* obj : victim_dirty) obj->crash_drop();
+    for (LiveObject* obj : victim_dirty) {
+      obj->crash_drop();
+      RCONS_TRACE(trace::TraceEvent{
+          trace::Kind::kDrop, victim,
+          static_cast<std::int32_t>(obj - objects.data()), -1, -1, -1, 0,
+          -1});
+    }
     victim_dirty.clear();
     locals[static_cast<std::size_t>(victim)] = protocol.initial_state(
         victim, inputs[static_cast<std::size_t>(victim)]);
@@ -209,6 +256,10 @@ bool boundary_run(const exec::Protocol& protocol,
     crash_fired = true;
     gap_countdown = -1;
     ++crashes;
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kCrash, victim, -1, -1, -1, -1,
+                                  0, -1});
+    RCONS_TRACE(trace::TraceEvent{trace::Kind::kRecover, victim, -1, -1, -1,
+                                  -1, 0, -1});
   };
 
   while (true) {
@@ -255,6 +306,8 @@ bool boundary_run(const exec::Protocol& protocol,
         if (!recorded[p]) {
           recorded[p] = true;
           decisions.push_back(action.decision);
+          RCONS_TRACE(trace::TraceEvent{trace::Kind::kDecide, pid, -1, -1, -1,
+                                        action.decision, 0, -1});
         }
         // Crash exactly at the output boundary.
         if (pid == victim && !crash_fired && victim_invokes == b) {
@@ -265,6 +318,12 @@ bool boundary_run(const exec::Protocol& protocol,
       LiveObject& obj = objects[static_cast<std::size_t>(action.object)];
       const spec::ResponseId response = obj.apply(action.op, action.durable);
       if (pid == victim && !action.durable) victim_dirty.push_back(&obj);
+      RCONS_TRACE(trace::TraceEvent{trace::Kind::kStep, pid, action.object,
+                                    action.op, response, -1, 0, -1});
+      if (action.durable) {
+        RCONS_TRACE(trace::TraceEvent{trace::Kind::kPersist, pid,
+                                      action.object, -1, -1, -1, 0, -1});
+      }
       locals[p] = protocol.advance(pid, locals[p], response);
       ++steps;
       if (pid != victim && gap_countdown > 0) --gap_countdown;

@@ -1,8 +1,26 @@
 #include "sched/adversary.hpp"
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::sched {
+
+namespace {
+
+/// One registry update per run (not per event): drive() sits under the
+/// adversary sweeps, so per-event mutex traffic would be measurable.
+void record_drive_metrics(const DrivenRunResult& result) {
+  auto& m = trace::metrics();
+  m.add("drive.runs", 1);
+  m.add("drive.events", result.events);
+  m.add("drive.steps", result.steps);
+  m.add("drive.crashes", result.crashes);
+  m.add("drive.crashes_denied", result.crashes_denied);
+  m.add("drive.dropped_stores", result.dropped_stores);
+}
+
+}  // namespace
 
 bool AdversaryView::active(exec::ProcessId pid) const {
   return protocol->poised(pid, config->local(pid)).kind !=
@@ -92,6 +110,7 @@ DrivenRunResult drive(const exec::Protocol& protocol,
   while (result.events < options.max_events) {
     if (all_settled()) {
       result.all_decided = true;
+      record_drive_metrics(result);
       return result;
     }
     AdversaryView view{&protocol, &result.config, &result.log, &accountant,
@@ -138,6 +157,9 @@ DrivenRunResult drive(const exec::Protocol& protocol,
           // matter who wrote it last.
           persisted[obj] = result.config.value(action.object);
           relaxed_writers[obj] = 0;
+          RCONS_TRACE(trace::TraceEvent{trace::Kind::kPersist, event->pid,
+                                        action.object, -1, -1, -1,
+                                        result.config.hash(), -1});
         } else if (result.config.value(action.object) != before) {
           relaxed_writers[obj] |= std::uint64_t{1} << event->pid;
         }
@@ -147,6 +169,10 @@ DrivenRunResult drive(const exec::Protocol& protocol,
     }
     exec::apply_event(protocol, result.config, *event, result.log);
     result.events += 1;
+    if (event->is_crash() && options.regime == CrashRegime::kBudgeted) {
+      RCONS_TRACE_ANNOTATE_BUDGET(
+          accountant.remaining_crash_budget(event->pid));
+    }
     if (options.strict_persistency && event->is_crash()) {
       // Drop the victim's unpersisted stores: every object whose dirty
       // value it contributed to reverts to its persisted value. Reverting
@@ -160,6 +186,9 @@ DrivenRunResult drive(const exec::Protocol& protocol,
                                   persisted[obj]);
           relaxed_writers[obj] = 0;
           result.dropped_stores += 1;
+          RCONS_TRACE(trace::TraceEvent{
+              trace::Kind::kDrop, event->pid, static_cast<std::int32_t>(obj),
+              -1, -1, -1, result.config.hash(), -1});
         }
       }
     }
@@ -167,6 +196,7 @@ DrivenRunResult drive(const exec::Protocol& protocol,
 
   result.all_decided = all_settled();
   result.hit_event_limit = result.events >= options.max_events;
+  record_drive_metrics(result);
   return result;
 }
 

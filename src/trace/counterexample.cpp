@@ -1,0 +1,196 @@
+#include "trace/counterexample.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace rcons::trace {
+
+namespace {
+
+/// Schedules, inputs, and notes are embedded one per line; a newline in a
+/// free-text field would corrupt the framing, so it is flattened.
+std::string one_line(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+bool parse_int(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  long long value = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    value = value * 10 + (s[i] - '0');
+    if (value > 1'000'000'000) return false;
+  }
+  *out = static_cast<int>(s[0] == '-' ? -value : value);
+  return true;
+}
+
+bool parse_schedule(const std::string& s, exec::Schedule* out) {
+  out->clear();
+  if (s == "<>") return true;
+  std::istringstream iss(s);
+  std::string token;
+  while (iss >> token) {
+    if (token.size() < 2 || (token[0] != 'p' && token[0] != 'c')) {
+      return false;
+    }
+    int pid = -1;
+    if (!parse_int(token.substr(1), &pid) || pid < 0) return false;
+    out->push_back(token[0] == 'p' ? exec::Event::step(pid)
+                                   : exec::Event::crash(pid));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* counterexample_kind_name(CounterexampleKind k) {
+  switch (k) {
+    case CounterexampleKind::kSafety: return "safety";
+    case CounterexampleKind::kLiveness: return "liveness";
+    case CounterexampleKind::kRcAudit: return "rc";
+  }
+  return "?";
+}
+
+std::string serialize_counterexample(const Counterexample& c) {
+  std::string out = "rcons-trace v1\n";
+  out += "kind: ";
+  out += counterexample_kind_name(c.kind);
+  out += "\n";
+  if (!c.protocol_spec.empty()) {
+    out += "protocol: " + one_line(c.protocol_spec) + "\n";
+  }
+  if (!c.inputs.empty()) {
+    out += "inputs:";
+    for (int v : c.inputs) out += " " + std::to_string(v);
+    out += "\n";
+  }
+  if (c.pid >= 0) out += "pid: " + std::to_string(c.pid) + "\n";
+  if (c.input >= 0) out += "input: " + std::to_string(c.input) + "\n";
+  if (c.kind == CounterexampleKind::kLiveness) {
+    out += "solo_bound: " + std::to_string(c.solo_bound) + "\n";
+  }
+  if (!c.rule.empty()) out += "rule: " + one_line(c.rule) + "\n";
+  if (!c.note.empty()) out += "note: " + one_line(c.note) + "\n";
+  out += "schedule: " + exec::schedule_to_string(c.schedule) + "\n";
+  out += "verdict: " + one_line(c.verdict) + "\n";
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, c.state_hash);
+  out += "state_hash: ";
+  out += hash;
+  out += "\n";
+  return out;
+}
+
+TraceParseResult parse_counterexample(const std::string& text) {
+  TraceParseResult result;
+  Counterexample c;
+  bool saw_kind = false, saw_schedule = false, saw_verdict = false,
+       saw_hash = false;
+
+  std::istringstream iss(text);
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    result.error = what;
+    result.error_line = line_no;
+    return result;
+  };
+
+  bool saw_header = false;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!saw_header) {
+      if (line != "rcons-trace v1") {
+        return fail("expected header 'rcons-trace v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(": ");
+    if (colon == std::string::npos) return fail("expected 'key: value'");
+    const std::string key = line.substr(0, colon);
+    const std::string value = line.substr(colon + 2);
+
+    if (key == "kind") {
+      saw_kind = true;
+      if (value == "safety") {
+        c.kind = CounterexampleKind::kSafety;
+      } else if (value == "liveness") {
+        c.kind = CounterexampleKind::kLiveness;
+      } else if (value == "rc") {
+        c.kind = CounterexampleKind::kRcAudit;
+      } else {
+        return fail("unknown kind '" + value + "'");
+      }
+    } else if (key == "protocol") {
+      c.protocol_spec = value;
+    } else if (key == "inputs") {
+      std::istringstream vs(value);
+      std::string token;
+      while (vs >> token) {
+        int v = -1;
+        if (!parse_int(token, &v)) return fail("bad input '" + token + "'");
+        c.inputs.push_back(v);
+      }
+    } else if (key == "pid") {
+      if (!parse_int(value, &c.pid)) return fail("bad pid");
+    } else if (key == "input") {
+      if (!parse_int(value, &c.input)) return fail("bad input");
+    } else if (key == "solo_bound") {
+      if (!parse_int(value, &c.solo_bound)) return fail("bad solo_bound");
+    } else if (key == "rule") {
+      c.rule = value;
+    } else if (key == "note") {
+      c.note = value;
+    } else if (key == "schedule") {
+      saw_schedule = true;
+      if (!parse_schedule(value, &c.schedule)) {
+        return fail("bad schedule '" + value + "'");
+      }
+    } else if (key == "verdict") {
+      saw_verdict = true;
+      c.verdict = value;
+    } else if (key == "state_hash") {
+      saw_hash = true;
+      if (value.size() != 16) return fail("state_hash wants 16 hex digits");
+      std::uint64_t h = 0;
+      for (char ch : value) {
+        int digit;
+        if (ch >= '0' && ch <= '9') {
+          digit = ch - '0';
+        } else if (ch >= 'a' && ch <= 'f') {
+          digit = ch - 'a' + 10;
+        } else {
+          return fail("state_hash wants lowercase hex");
+        }
+        h = (h << 4) | static_cast<std::uint64_t>(digit);
+      }
+      c.state_hash = h;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (line_no == 0) {
+    line_no = 1;
+    return fail("empty trace file");
+  }
+  if (!saw_kind) return fail("missing 'kind'");
+  if (!saw_schedule) return fail("missing 'schedule'");
+  if (!saw_verdict) return fail("missing 'verdict'");
+  if (!saw_hash) return fail("missing 'state_hash'");
+  result.trace = std::move(c);
+  return result;
+}
+
+}  // namespace rcons::trace

@@ -1,0 +1,79 @@
+// Counterexample capture and the `.trace` interchange format (DESIGN.md
+// §9).
+//
+// When a safety scan, a liveness scan, or the RC recovery audit finds a
+// violation, the exact witness schedule is packaged as a Counterexample
+// and written as a `.trace` file; `rcons_cli replay <file>` re-executes it
+// deterministically and checks the ROUND-TRIP GUARANTEE: the replay must
+// reproduce the identical verdict string and final state hash recorded at
+// capture time. Capture itself computes both fields by running the very
+// same replay routine (replay.hpp), so the guarantee is structural: a
+// mismatch on replay means the protocol, the file, or the engine changed.
+//
+// The format is deliberately line-oriented text — diffable, greppable,
+// byte-deterministic:
+//
+//   rcons-trace v1
+//   kind: safety | liveness | rc
+//   protocol: naive 2            # CLI spec tokens (omitted when unknown)
+//   inputs: 0 1                  # safety / liveness
+//   pid: 1                       # liveness stuck process / rc solo process
+//   input: 0                     # rc unit's input bit
+//   solo_bound: 1000             # liveness solo probe bound
+//   rule: RC004                  # rc: the rule that fired (informational)
+//   note: ...                    # free text (informational)
+//   schedule: p0 p1 c1 p0        # the witness schedule ("<>" = empty)
+//   verdict: VIOLATION agreement: distinct values 0 and 1 were output
+//   state_hash: 0123456789abcdef
+//
+// `verdict` and `state_hash` are the round-trip-checked fields; `rule` and
+// `note` are carried for humans and never re-verified.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/event.hpp"
+
+namespace rcons::trace {
+
+enum class CounterexampleKind { kSafety, kLiveness, kRcAudit };
+
+const char* counterexample_kind_name(CounterexampleKind k);
+
+struct Counterexample {
+  CounterexampleKind kind = CounterexampleKind::kSafety;
+  /// CLI protocol spec tokens ("recording cas3 2"); empty when captured
+  /// in-process (unit tests). Required for `rcons_cli replay`.
+  std::string protocol_spec;
+  std::vector<int> inputs;       // safety / liveness
+  exec::Schedule schedule;
+  int pid = -1;                  // liveness: stuck pid; rc: solo pid
+  int input = -1;                // rc: the unit's input bit
+  int solo_bound = 1000;         // liveness: solo probe step bound
+  std::string rule;              // rc: "RC002" ... (informational)
+  std::string note;              // human context (informational)
+
+  /// Round-trip-checked fields, filled at capture time by replaying.
+  std::string verdict;
+  std::uint64_t state_hash = 0;
+};
+
+/// Renders the `.trace` file contents (byte-deterministic).
+std::string serialize_counterexample(const Counterexample& c);
+
+struct TraceParseResult {
+  std::optional<Counterexample> trace;
+  std::string error;
+  int error_line = 0;
+
+  bool ok() const { return trace.has_value(); }
+};
+
+/// Parses `.trace` file contents; rejects unknown versions, unknown keys,
+/// malformed schedules, and missing round-trip fields.
+TraceParseResult parse_counterexample(const std::string& text);
+
+}  // namespace rcons::trace

@@ -1,0 +1,217 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rcons::trace {
+
+namespace {
+
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int bucket_of(std::int64_t value) {
+  if (value <= 1) return 0;
+  int b = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(value);
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// JSON string escaping for metric names (flat dotted identifiers in
+/// practice, but stay correct for arbitrary keys).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : epoch_us_(steady_us()) {}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::max_gauge(const std::string& name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.emplace(name, value);
+  if (!inserted && it->second < value) it->second = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  h.count += 1;
+  h.sum += value;
+  const int b = bucket_of(value);
+  if (h.buckets.size() <= static_cast<std::size_t>(b)) {
+    h.buckets.resize(static_cast<std::size_t>(b) + 1, 0);
+  }
+  h.buckets[static_cast<std::size_t>(b)] += 1;
+}
+
+void MetricsRegistry::record_span(const std::string& name,
+                                  std::int64_t start_us,
+                                  std::int64_t duration_us, int tid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(Span{name, start_us, duration_us, tid});
+}
+
+std::int64_t MetricsRegistry::now_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steady_us() - epoch_us_;
+}
+
+std::int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second;
+}
+
+std::vector<Span> MetricsRegistry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += "\"" + escape(name) + "\":" + buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += "\"" + escape(name) + "\":" + buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape(name) + "\":{";
+    std::snprintf(buf, sizeof(buf), "\"count\":%" PRIu64, h.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"sum\":%" PRId64, h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"min\":%" PRId64, h.min);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"max\":%" PRId64, h.max);
+    out += buf;
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i != 0) out += ",";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, h.buckets[i]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "},\"spans\":";
+  std::snprintf(buf, sizeof(buf), "%zu", spans_.size());
+  out += buf;
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::spans_to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[";
+  char buf[160];
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (i != 0) out += ",";
+    out += "\n{\"name\":\"" + escape(s.name) + "\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%" PRId64
+                  ",\"dur\":%" PRId64 "}",
+                  s.tid, s.start_us, s.duration_us);
+    out += buf;
+  }
+  out += "\n]";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  epoch_us_ = steady_us();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+ScopedSpan::ScopedSpan(std::string name, int tid)
+    : name_(std::move(name)), start_us_(metrics().now_us()), tid_(tid) {}
+
+ScopedSpan::~ScopedSpan() {
+  const std::int64_t duration = metrics().now_us() - start_us_;
+  metrics().record_span(name_, start_us_, duration, tid_);
+  metrics().add(name_ + ".wall_us", duration);
+}
+
+}  // namespace rcons::trace

@@ -1,0 +1,111 @@
+// rcons-trace: the metrics registry (DESIGN.md §9).
+//
+// Counters, gauges, and histograms that every engine reports into —
+// states visited, frontier depth, persist gaps, per-phase wall time — plus
+// phase spans that serialize to a chrome://tracing-compatible JSON array.
+// Unlike the event stream (trace.hpp) the registry IS allowed to carry
+// wall-clock data: metrics are observability, not part of the bit-identical
+// replay contract, and the JSON output documents that split.
+//
+// The registry is mutex-guarded; engines keep per-run tallies in locals
+// and report aggregates at phase boundaries, so the lock is never on a hot
+// path. Keys are flat dotted names ("safety.states_visited"); to_json()
+// renders them sorted, so two runs with the same aggregate values produce
+// identical documents modulo the timing fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rcons::trace {
+
+/// Aggregate of observed values; buckets are powers of two (bucket i
+/// counts observations in [2^i, 2^(i+1)), bucket 0 counts 0 and 1).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// One completed phase span (chrome://tracing "X" event).
+struct Span {
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  int tid = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  /// Adds `delta` to the named monotone counter.
+  void add(const std::string& name, std::int64_t delta);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void set_gauge(const std::string& name, std::int64_t value);
+
+  /// Raises the named gauge to `value` if larger (peak tracking).
+  void max_gauge(const std::string& name, std::int64_t value);
+
+  /// Records one observation into the named histogram.
+  void observe(const std::string& name, std::int64_t value);
+
+  /// Records a completed span (start is microseconds since the registry
+  /// was constructed or last reset).
+  void record_span(const std::string& name, std::int64_t start_us,
+                   std::int64_t duration_us, int tid);
+
+  /// Microseconds since construction / reset, for span bookkeeping.
+  std::int64_t now_us() const;
+
+  std::int64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+  HistogramSnapshot histogram(const std::string& name) const;
+  std::vector<Span> spans() const;
+
+  /// One JSON document:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  ///    "sum":..,"min":..,"max":..,"buckets":[..]}},"spans":N}
+  std::string to_json() const;
+
+  /// chrome://tracing "trace event format": a JSON array of complete
+  /// ("ph":"X") events. Load via chrome://tracing or Perfetto.
+  std::string spans_to_chrome_json() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+  std::vector<Span> spans_;
+  std::int64_t epoch_us_ = 0;  // steady-clock origin
+};
+
+/// The process-wide registry every engine reports into.
+MetricsRegistry& metrics();
+
+/// RAII phase timer: records a span (and a "<name>.wall_us" counter) on
+/// destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, int tid = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::int64_t start_us_;
+  int tid_;
+};
+
+}  // namespace rcons::trace

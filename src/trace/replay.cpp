@@ -1,0 +1,322 @@
+#include "trace/replay.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "exec/config.hpp"
+#include "exec/execute.hpp"
+#include "util/hashing.hpp"
+// Shared violation-message builders: replay re-derives verdict strings
+// through the exact formatting the serial and parallel engines use, so
+// the three can never drift apart textually.
+#include "valency/explore.hpp"
+
+namespace rcons::trace {
+
+namespace {
+
+/// Stable hash over an RC shadow configuration (volatile front values,
+/// persisted shadows, local state), mirroring the recovery audit's state
+/// key shape.
+std::uint64_t shadow_hash(const std::vector<spec::ValueId>& vol,
+                          const std::vector<spec::ValueId>& shadow,
+                          const exec::LocalState& local) {
+  std::uint64_t seed = 0;
+  for (spec::ValueId v : vol) hash_combine(seed, static_cast<std::uint64_t>(v));
+  hash_combine(seed, 0x5eed5eedULL);
+  for (spec::ValueId v : shadow) {
+    hash_combine(seed, static_cast<std::uint64_t>(v));
+  }
+  hash_combine(seed, 0x5eed5eedULL);
+  for (std::int64_t w : local.words) {
+    hash_combine(seed, static_cast<std::uint64_t>(w));
+  }
+  return seed;
+}
+
+ReplayResult replay_safety(const exec::Protocol& protocol,
+                           const Counterexample& c) {
+  ReplayResult result;
+  if (static_cast<int>(c.inputs.size()) != protocol.process_count()) {
+    result.verdict = "INVALID: inputs do not match the protocol";
+    return result;
+  }
+  unsigned valid_mask = 0;
+  for (int v : c.inputs) valid_mask |= 1u << v;
+
+  exec::Config config = exec::Config::initial(protocol, c.inputs);
+  exec::DecisionLog log(protocol.process_count());
+  unsigned mask = 0;
+  {
+    ScopedSink sink(&result.timeline);
+    for (const exec::Event& event : c.schedule) {
+      if (event.pid < 0 || event.pid >= protocol.process_count()) {
+        result.verdict = "INVALID: schedule names an unknown process";
+        return result;
+      }
+      const exec::EventOutcome out =
+          exec::apply_event(protocol, config, event, log);
+      if (out.decision.has_value() && result.verdict.empty()) {
+        const int v = *out.decision;
+        // The engines check validity before agreement; replay mirrors that
+        // order so the first violation (and thus the verdict) matches.
+        if (((valid_mask >> v) & 1u) == 0) {
+          result.verdict =
+              "VIOLATION " + valency::detail::validity_message(event.pid, v);
+        } else {
+          mask |= 1u << v;
+          if (std::popcount(mask) >= 2) {
+            result.verdict =
+                "VIOLATION " + valency::detail::agreement_message(mask);
+          }
+        }
+      } else if (out.decision.has_value()) {
+        mask |= 1u << *out.decision;
+      }
+    }
+  }
+  if (result.verdict.empty()) result.verdict = "NO-VIOLATION";
+  result.state_hash = config.hash();
+  return result;
+}
+
+ReplayResult replay_liveness(const exec::Protocol& protocol,
+                             const Counterexample& c) {
+  ReplayResult result;
+  if (static_cast<int>(c.inputs.size()) != protocol.process_count() ||
+      c.pid < 0 || c.pid >= protocol.process_count()) {
+    result.verdict = "INVALID: inputs/pid do not match the protocol";
+    return result;
+  }
+  exec::Config config = exec::Config::initial(protocol, c.inputs);
+  exec::DecisionLog log(protocol.process_count());
+  {
+    ScopedSink sink(&result.timeline);
+    for (const exec::Event& event : c.schedule) {
+      if (event.pid < 0 || event.pid >= protocol.process_count()) {
+        result.verdict = "INVALID: schedule names an unknown process";
+        return result;
+      }
+      exec::apply_event(protocol, config, event, log);
+    }
+  }
+  result.state_hash = config.hash();
+  // The probe is a pure function of the reached configuration; it is not
+  // part of the hashed state and (deliberately) not traced — a stuck
+  // process would otherwise flood the timeline with its loop.
+  const std::optional<int> decided = exec::solo_terminating_decision(
+      protocol, config, c.pid, c.solo_bound);
+  if (decided.has_value()) {
+    result.verdict = "WAIT-FREE p" + std::to_string(c.pid) + " decides " +
+                     std::to_string(*decided);
+  } else {
+    result.verdict = "NOT-WAIT-FREE p" + std::to_string(c.pid);
+  }
+  return result;
+}
+
+ReplayResult replay_rc(const exec::Protocol& protocol,
+                       const Counterexample& c) {
+  ReplayResult result;
+  const int pid = c.pid;
+  if (pid < 0 || pid >= protocol.process_count() || c.input < 0) {
+    result.verdict = "INVALID: pid/input do not match the protocol";
+    return result;
+  }
+  const int object_count = protocol.object_count();
+  std::vector<spec::ValueId> vol;
+  vol.reserve(static_cast<std::size_t>(object_count));
+  for (exec::ObjectId obj = 0; obj < object_count; ++obj) {
+    vol.push_back(protocol.initial_value(obj));
+  }
+  std::vector<spec::ValueId> shadow = vol;
+  exec::LocalState local = protocol.initial_state(pid, c.input);
+
+  std::vector<int> decisions;
+  ScopedSink sink(&result.timeline);
+  for (const exec::Event& event : c.schedule) {
+    if (event.pid != pid) {
+      result.verdict = "INVALID: rc schedules are solo (p" +
+                       std::to_string(pid) + " only)";
+      return result;
+    }
+    if (event.is_crash()) {
+      std::vector<exec::ObjectId> dropped;
+      for (exec::ObjectId obj = 0; obj < object_count; ++obj) {
+        if (vol[static_cast<std::size_t>(obj)] !=
+            shadow[static_cast<std::size_t>(obj)]) {
+          dropped.push_back(obj);
+        }
+      }
+      vol = shadow;
+      local = protocol.initial_state(pid, c.input);
+      const std::uint64_t h = shadow_hash(vol, shadow, local);
+      RCONS_TRACE(TraceEvent{Kind::kCrash, pid, -1, -1, -1, -1, h, -1});
+      for (exec::ObjectId obj : dropped) {
+        RCONS_TRACE(TraceEvent{Kind::kDrop, pid, obj, -1, -1, -1, h, -1});
+      }
+      RCONS_TRACE(TraceEvent{Kind::kRecover, pid, -1, -1, -1, -1, h, -1});
+      continue;
+    }
+    const exec::Action action = protocol.poised(pid, local);
+    if (action.kind == exec::Action::Kind::kDecided) {
+      // Steps in output states are no-ops, as in the model.
+      RCONS_TRACE(TraceEvent{Kind::kStep, pid, -1, -1, -1, -1,
+                             shadow_hash(vol, shadow, local), -1});
+      continue;
+    }
+    if (action.object < 0 || action.object >= object_count ||
+        action.op < 0 ||
+        action.op >= protocol.object_type(action.object).op_count()) {
+      result.verdict = "INVALID: protocol action out of range";
+      return result;
+    }
+    const std::size_t obj = static_cast<std::size_t>(action.object);
+    const spec::Effect& effect =
+        protocol.object_type(action.object).apply(vol[obj], action.op);
+    vol[obj] = effect.next_value;
+    if (action.durable) shadow[obj] = effect.next_value;
+    local = protocol.advance(pid, local, effect.response);
+    const std::uint64_t h = shadow_hash(vol, shadow, local);
+    RCONS_TRACE(TraceEvent{Kind::kStep, pid, action.object, action.op,
+                           effect.response, -1, h, -1});
+    if (action.durable) {
+      RCONS_TRACE(TraceEvent{Kind::kPersist, pid, action.object, -1, -1, -1,
+                             h, -1});
+    }
+    const exec::Action after = protocol.poised(pid, local);
+    if (after.kind == exec::Action::Kind::kDecided) {
+      decisions.push_back(after.decision);
+      RCONS_TRACE(TraceEvent{Kind::kDecide, pid, -1, -1, -1, after.decision,
+                             h, -1});
+    }
+  }
+  result.verdict = "RC decisions=";
+  if (decisions.empty()) {
+    result.verdict += "none";
+  } else {
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      if (i != 0) result.verdict += ",";
+      result.verdict += std::to_string(decisions[i]);
+    }
+  }
+  result.state_hash = shadow_hash(vol, shadow, local);
+  return result;
+}
+
+}  // namespace
+
+ReplayResult replay(const exec::Protocol& protocol, const Counterexample& c) {
+  switch (c.kind) {
+    case CounterexampleKind::kSafety: return replay_safety(protocol, c);
+    case CounterexampleKind::kLiveness: return replay_liveness(protocol, c);
+    case CounterexampleKind::kRcAudit: return replay_rc(protocol, c);
+  }
+  ReplayResult invalid;
+  invalid.verdict = "INVALID: unknown kind";
+  return invalid;
+}
+
+std::string render_timeline(const exec::Protocol& protocol,
+                            const TraceBuffer& timeline) {
+  std::string out;
+  char head[48];
+  for (std::size_t seq = 0; seq < timeline.events().size(); ++seq) {
+    const TraceEvent& e = timeline.events()[seq];
+    std::snprintf(head, sizeof(head), "%5zu  ", seq);
+    out += head;
+    switch (e.kind) {
+      case Kind::kStep:
+        if (e.object >= 0) {
+          const spec::ObjectType& type = protocol.object_type(e.object);
+          out += "p" + std::to_string(e.pid) + " applies " +
+                 type.op_name(e.op) + " on O" + std::to_string(e.object) +
+                 " -> " + type.response_name(e.response);
+        } else {
+          out += "p" + std::to_string(e.pid) +
+                 " steps (no-op: already in an output state)";
+        }
+        break;
+      case Kind::kCrash:
+        out += "c" + std::to_string(e.pid) + " (volatile state erased)";
+        break;
+      case Kind::kRecover:
+        out += "p" + std::to_string(e.pid) + " recovers to its initial state";
+        break;
+      case Kind::kPersist:
+        out += "p" + std::to_string(e.pid) + " persists O" +
+               std::to_string(e.object);
+        break;
+      case Kind::kDrop:
+        out += "p" + std::to_string(e.pid) + " loses unpersisted store to O" +
+               std::to_string(e.object);
+        break;
+      case Kind::kDecide:
+        out += "p" + std::to_string(e.pid) + " decides " +
+               std::to_string(e.decision);
+        break;
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "  hash=%016llx",
+                  static_cast<unsigned long long>(e.state_hash));
+    out += hash;
+    if (e.crash_budget >= 0) {
+      out += "  budget=" + std::to_string(e.crash_budget);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<Counterexample> capture_safety(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const valency::SafetyResult& result) {
+  if (!result.counterexample.has_value()) return std::nullopt;
+  Counterexample c;
+  c.kind = CounterexampleKind::kSafety;
+  c.inputs = inputs;
+  c.schedule = *result.counterexample;
+  c.note = result.violation;
+  const ReplayResult r = replay(protocol, c);
+  c.verdict = r.verdict;
+  c.state_hash = r.state_hash;
+  return c;
+}
+
+std::optional<Counterexample> capture_liveness(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const valency::LivenessResult& result, int solo_bound) {
+  if (result.wait_free || !result.reaching_schedule.has_value()) {
+    return std::nullopt;
+  }
+  Counterexample c;
+  c.kind = CounterexampleKind::kLiveness;
+  c.inputs = inputs;
+  c.schedule = *result.reaching_schedule;
+  c.pid = result.stuck_pid;
+  c.solo_bound = solo_bound;
+  c.note = "p" + std::to_string(result.stuck_pid) +
+           " cannot decide solo from the reached configuration";
+  const ReplayResult r = replay(protocol, c);
+  c.verdict = r.verdict;
+  c.state_hash = r.state_hash;
+  return c;
+}
+
+Counterexample capture_rc(const exec::Protocol& protocol, int pid, int input,
+                          exec::Schedule schedule, std::string rule,
+                          std::string note) {
+  Counterexample c;
+  c.kind = CounterexampleKind::kRcAudit;
+  c.pid = pid;
+  c.input = input;
+  c.schedule = std::move(schedule);
+  c.rule = std::move(rule);
+  c.note = std::move(note);
+  const ReplayResult r = replay(protocol, c);
+  c.verdict = r.verdict;
+  c.state_hash = r.state_hash;
+  return c;
+}
+
+}  // namespace rcons::trace

@@ -1,0 +1,75 @@
+// Deterministic counterexample replay (DESIGN.md §9).
+//
+// replay() re-executes a Counterexample's schedule against a protocol and
+// recomputes the two round-trip-checked fields — the verdict string and
+// the final state hash — plus the full structured event timeline:
+//
+//   * safety:   runs the schedule through exec::run_schedule semantics,
+//     accumulating the outputs-so-far mask exactly as the model checkers
+//     do; the verdict re-derives the violation message through the same
+//     shared builders (valency/explore.hpp), so engine and replay can
+//     never drift apart textually. Hash = Config::hash() after the
+//     schedule.
+//   * liveness: runs the reaching schedule, then probes the stuck process
+//     solo for `solo_bound` steps. Hash = Config::hash() of the reached
+//     configuration (the probe, a pure function of it, is not hashed).
+//   * rc:       replays the solo schedule under the recovery audit's
+//     shadow-persistency semantics (volatile front + persisted shadow per
+//     object, crash reverts to the shadow); the verdict is the canonical
+//     decision sequence across crash epochs. Hash = shadow-state hash
+//     (vol, shadow, local) after the schedule.
+//
+// Capture helpers build a Counterexample from an engine result and
+// immediately finalize it with this replay, which is what makes the
+// round-trip guarantee structural rather than aspirational.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exec/protocol.hpp"
+#include "trace/counterexample.hpp"
+#include "trace/trace.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::trace {
+
+struct ReplayResult {
+  /// Recomputed round-trip fields (compare against the Counterexample's).
+  std::string verdict;
+  std::uint64_t state_hash = 0;
+  /// The structured event stream of the replayed execution.
+  TraceBuffer timeline;
+
+  bool matches(const Counterexample& c) const {
+    return verdict == c.verdict && state_hash == c.state_hash;
+  }
+};
+
+/// Re-executes `c.schedule` against `protocol`. The protocol must be the
+/// one the counterexample was captured from (replay is deterministic, so
+/// any drift shows up as a verdict/hash mismatch, never UB).
+ReplayResult replay(const exec::Protocol& protocol, const Counterexample& c);
+
+/// Pretty-prints a replay timeline with op/response names resolved.
+std::string render_timeline(const exec::Protocol& protocol,
+                            const TraceBuffer& timeline);
+
+/// Builds + finalizes a Counterexample from a safety violation. Returns
+/// nullopt when `result` holds no counterexample schedule.
+std::optional<Counterexample> capture_safety(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const valency::SafetyResult& result);
+
+/// Builds + finalizes a Counterexample from a liveness violation.
+std::optional<Counterexample> capture_liveness(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const valency::LivenessResult& result, int solo_bound);
+
+/// Builds + finalizes an RC-audit Counterexample from a solo schedule
+/// (steps and crashes of `pid` only) under shadow persistency.
+Counterexample capture_rc(const exec::Protocol& protocol, int pid, int input,
+                          exec::Schedule schedule, std::string rule,
+                          std::string note);
+
+}  // namespace rcons::trace

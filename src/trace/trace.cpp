@@ -1,0 +1,56 @@
+#include "trace/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rcons::trace {
+
+namespace {
+thread_local TraceBuffer* t_sink = nullptr;
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kStep: return "step";
+    case Kind::kCrash: return "crash";
+    case Kind::kRecover: return "recover";
+    case Kind::kPersist: return "persist";
+    case Kind::kDrop: return "drop";
+    case Kind::kDecide: return "decide";
+  }
+  return "?";
+}
+
+TraceBuffer* thread_sink() { return t_sink; }
+
+void set_thread_sink(TraceBuffer* sink) { t_sink = sink; }
+
+std::string TraceBuffer::serialize() const {
+  std::string out;
+  out.reserve(events_.size() * 48);
+  char line[160];
+  for (std::size_t seq = 0; seq < events_.size(); ++seq) {
+    const TraceEvent& e = events_[seq];
+    int n = std::snprintf(line, sizeof(line), "%zu %s p%d", seq,
+                          kind_name(e.kind), e.pid);
+    if (e.object >= 0) {
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         " obj=%d op=%d resp=%d", e.object, e.op, e.response);
+    }
+    if (e.decision >= 0) {
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         " decision=%d", e.decision);
+    }
+    n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                       " hash=%016" PRIx64, e.state_hash);
+    if (e.crash_budget >= 0) {
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         " budget=%" PRId64, e.crash_budget);
+    }
+    out.append(line, static_cast<std::size_t>(n));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rcons::trace

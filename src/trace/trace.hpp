@@ -1,0 +1,153 @@
+// rcons-trace: the structured event stream (DESIGN.md §9).
+//
+// Every engine that executes protocol events — exec::apply_event,
+// sched::drive, the valency model checkers' counterexample replays, the
+// threaded runtime — can emit TraceEvents describing what happened at the
+// model's granularity: step / crash / recover / persist / drop / decide.
+// Emission goes through a THREAD-LOCAL sink pointer: when no sink is
+// installed (the default, and always the case inside the exhaustive
+// exploration loops), the RCONS_TRACE macro costs one thread-local load
+// and a predictable branch; when the build is configured with
+// -DRCONS_TRACE=OFF the macro compiles to nothing at all.
+//
+// Determinism contract: a TraceBuffer carries no wall-clock timestamps,
+// only a monotone per-buffer sequence number, so two runs that perform the
+// same events serialize to byte-identical text. Multi-threaded producers
+// (the live runtime, the unit-parallel recovery audit) write into
+// per-worker buffers that are merged in unit order — the same
+// deterministic-reduction discipline as the PR-2/PR-3 engines — so the
+// merged stream is bit-identical for every thread count. Wall-clock
+// observability lives in the metrics registry (metrics.hpp), never here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcons::trace {
+
+/// What one event records. The first five kinds mirror the model exactly;
+/// kPersist/kDrop exist only under the shadow-persistency semantics
+/// (strict mode), and kRecover is the post-crash reset made explicit (the
+/// model folds crash and recovery into one transition; traces keep both so
+/// a reader can see the reset state hash without replaying).
+enum class Kind : std::uint8_t {
+  kStep = 0,     // a process applied its poised operation (or no-op'd)
+  kCrash = 1,    // volatile local state erased
+  kRecover = 2,  // ... and reset to the initial state (hash = post-reset)
+  kPersist = 3,  // strict mode: a durable step flushed an object's shadow
+  kDrop = 4,     // strict mode: a crash reverted an unpersisted store
+  kDecide = 5,   // the step moved the process into an output state
+};
+
+const char* kind_name(Kind k);
+
+/// One structured event. Fields that do not apply to a kind stay at their
+/// -1 / 0 defaults and serialize as absent.
+struct TraceEvent {
+  Kind kind = Kind::kStep;
+  std::int32_t pid = -1;
+  std::int32_t object = -1;    // invoke steps, persists, drops
+  std::int32_t op = -1;        // invoke steps
+  std::int32_t response = -1;  // invoke steps
+  std::int32_t decision = -1;  // kDecide
+  /// Configuration (or shadow-state) hash AFTER the event applied.
+  std::uint64_t state_hash = 0;
+  /// Remaining crash budget of `pid` when an accountant is in scope
+  /// (sched::drive under CrashRegime::kBudgeted); -1 = no budget tracked.
+  std::int64_t crash_budget = -1;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// An append-only event buffer. Not thread-safe: one buffer per producing
+/// thread; merge in deterministic (unit) order afterwards.
+class TraceBuffer {
+ public:
+  void append(const TraceEvent& event) { events_.push_back(event); }
+
+  /// Patches the most recent kCrash event's budget annotation (the
+  /// accountant lives above the exec layer that emits the event, and the
+  /// crash is followed by its kRecover, so this scans back for it).
+  void annotate_last_crash_budget(std::int64_t remaining) {
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+      if (it->kind == Kind::kCrash) {
+        it->crash_budget = remaining;
+        return;
+      }
+    }
+  }
+
+  /// Appends all of `other`'s events (deterministic merge step).
+  void merge_from(const TraceBuffer& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// One line per event, deterministic:
+  ///   <seq> <kind> p<pid> [obj=N op=N resp=N] [decision=N]
+  ///   hash=<16 hex> [budget=N]
+  std::string serialize() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// The calling thread's active sink, or nullptr (emission disabled).
+TraceBuffer* thread_sink();
+void set_thread_sink(TraceBuffer* sink);
+
+/// RAII sink installer for a scope; restores the previous sink on exit, so
+/// nested tracing scopes compose.
+class ScopedSink {
+ public:
+  explicit ScopedSink(TraceBuffer* sink)
+      : previous_(thread_sink()) {
+    set_thread_sink(sink);
+  }
+  ~ScopedSink() { set_thread_sink(previous_); }
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  TraceBuffer* previous_;
+};
+
+}  // namespace rcons::trace
+
+// The emission macro. Arguments are evaluated ONLY when a sink is
+// installed, so expensive fields (Config::hash()) cost nothing on the
+// exhaustive checkers' hot paths. -DRCONS_TRACE=OFF removes the code
+// entirely (used by the bench baseline to prove zero overhead).
+#ifdef RCONS_TRACE_DISABLED
+// sizeof keeps trace-only locals "used" without evaluating anything, so
+// call sites stay -Werror-clean in both configurations.
+#define RCONS_TRACE(...)           \
+  do {                             \
+    (void)sizeof((__VA_ARGS__));   \
+  } while (false)
+#define RCONS_TRACE_ANNOTATE_BUDGET(...) \
+  do {                                   \
+    (void)sizeof((__VA_ARGS__));         \
+  } while (false)
+#else
+#define RCONS_TRACE(...)                                         \
+  do {                                                           \
+    if (::rcons::trace::TraceBuffer* rcons_trace_sink_ =         \
+            ::rcons::trace::thread_sink()) {                     \
+      rcons_trace_sink_->append(__VA_ARGS__);                    \
+    }                                                            \
+  } while (false)
+#define RCONS_TRACE_ANNOTATE_BUDGET(...)                              \
+  do {                                                                \
+    if (::rcons::trace::TraceBuffer* rcons_trace_sink_ =              \
+            ::rcons::trace::thread_sink()) {                          \
+      rcons_trace_sink_->annotate_last_crash_budget(__VA_ARGS__);     \
+    }                                                                 \
+  } while (false)
+#endif

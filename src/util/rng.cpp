@@ -10,7 +10,9 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Xoshiro256::Xoshiro256(std::uint64_t seed) {
+Xoshiro256::Xoshiro256(std::uint64_t seed) { expand(seed); }
+
+void Xoshiro256::expand(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& w : s_) {
     w = sm.next();
@@ -22,7 +24,14 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
   }
 }
 
+void Xoshiro256::reseed(std::uint64_t seed) {
+  RCONS_CHECK(fresh_ && "Xoshiro256::reseed after draws breaks single-seed "
+                        "reproducibility; construct a fresh generator");
+  expand(seed);
+}
+
 std::uint64_t Xoshiro256::next() {
+  fresh_ = false;
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

@@ -46,6 +46,19 @@ class Xoshiro256 {
 
   std::uint64_t next();
 
+  /// Re-expands the generator from `seed`, ONLY while the generator is
+  /// still fresh (no draw taken). Reseeding mid-run silently breaks
+  /// single-seed reproducibility — every consumer logs one seed per run,
+  /// and a mid-run reseed makes that log a lie — so it is a checked error.
+  void reseed(std::uint64_t seed);
+
+  /// True until the first draw; reseed() is only legal while fresh.
+  bool fresh() const { return fresh_; }
+
+  /// The expanded internal state (test hook: seed-expansion guarantees,
+  /// e.g. that seed 0 must not yield the invalid all-zero state).
+  const std::array<std::uint64_t, 4>& state() const { return s_; }
+
   /// Uniform draw from [0, bound). bound must be > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
   std::uint64_t below(std::uint64_t bound);
@@ -60,7 +73,10 @@ class Xoshiro256 {
   double uniform01();
 
  private:
+  void expand(std::uint64_t seed);
+
   std::array<std::uint64_t, 4> s_;
+  bool fresh_ = true;
 };
 
 }  // namespace rcons

@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "trace/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/hashing.hpp"
 #include "valency/explore.hpp"
@@ -32,6 +33,28 @@ exec::Schedule reconstruct(
   }
   return schedule;
 }
+
+/// Per-scan tallies reported to the registry once, at scope exit (the
+/// registry mutex must stay off the BFS hot path).
+struct ScanMetrics {
+  std::string prefix;
+  trace::ScopedSpan span;
+  std::size_t states = 0;
+  std::size_t configs = 0;
+  std::size_t max_frontier = 0;
+
+  explicit ScanMetrics(std::string p) : prefix(p), span(p + ".scan") {}
+  ~ScanMetrics() {
+    auto& m = trace::metrics();
+    m.add(prefix + ".scans", 1);
+    m.add(prefix + ".states_visited", static_cast<std::int64_t>(states));
+    m.add(prefix + ".configs_visited", static_cast<std::int64_t>(configs));
+    m.max_gauge(prefix + ".max_frontier",
+                static_cast<std::int64_t>(max_frontier));
+    m.observe(prefix + ".frontier_peak",
+              static_cast<std::int64_t>(max_frontier));
+  }
+};
 
 }  // namespace
 
@@ -104,7 +127,11 @@ SafetyResult check_safety(const exec::Protocol& protocol,
     result.violation = std::move(what);
   };
 
+  ScanMetrics scan("safety");
   while (!frontier.empty()) {
+    scan.states = visited.size();
+    scan.configs = seen_configs.size();
+    scan.max_frontier = std::max(scan.max_frontier, frontier.size());
     if (visited.size() > options.max_states) {
       result.states_visited = visited.size();
       result.configs_visited = seen_configs.size();
@@ -190,6 +217,8 @@ SafetyResult check_safety(const exec::Protocol& protocol,
   result.explored_fully = true;
   result.states_visited = visited.size();
   result.configs_visited = seen_configs.size();
+  scan.states = visited.size();
+  scan.configs = seen_configs.size();
   return result;
 }
 
@@ -232,7 +261,11 @@ LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
   std::deque<Node> frontier{root};
   visited.emplace(root, true);
 
+  ScanMetrics scan("liveness");
   while (!frontier.empty()) {
+    scan.states = visited.size();
+    scan.configs = probed_configs.size();
+    scan.max_frontier = std::max(scan.max_frontier, frontier.size());
     if (visited.size() > options.max_states) {
       result.explored_fully = false;
       return result;
@@ -280,6 +313,8 @@ LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
   }
 
   result.explored_fully = true;
+  scan.states = visited.size();
+  scan.configs = probed_configs.size();
   return result;
 }
 

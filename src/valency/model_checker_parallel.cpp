@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "exec/execute.hpp"
+#include "trace/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded_set.hpp"
@@ -100,6 +101,37 @@ struct Candidate {
 
 constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
 
+/// Level-synchronous scan tallies, reported once at scope exit. Workers
+/// never touch the registry: the coordinating thread records per-level
+/// frontier sizes, which is both cheap and thread-count-independent.
+struct ParallelScanMetrics {
+  std::string prefix;
+  trace::ScopedSpan span;
+  std::size_t states = 0;
+  std::size_t levels = 0;
+  std::size_t max_frontier = 0;
+
+  explicit ParallelScanMetrics(std::string p)
+      : prefix(p), span(p + ".scan") {}
+  ~ParallelScanMetrics() {
+    auto& m = trace::metrics();
+    m.add(prefix + ".scans", 1);
+    m.add(prefix + ".states_visited", static_cast<std::int64_t>(states));
+    m.max_gauge(prefix + ".max_frontier",
+                static_cast<std::int64_t>(max_frontier));
+    m.max_gauge(prefix + ".max_depth", static_cast<std::int64_t>(levels));
+    m.observe(prefix + ".frontier_peak",
+              static_cast<std::int64_t>(max_frontier));
+  }
+
+  void on_level(std::size_t frontier_size) {
+    levels += 1;
+    max_frontier = std::max(max_frontier, frontier_size);
+    trace::metrics().observe(prefix + ".frontier_level",
+                             static_cast<std::int64_t>(frontier_size));
+  }
+};
+
 /// Confirms which candidates still own their map entry (a later chunk may
 /// have found a smaller slot for the same node) and orders them by slot —
 /// the serial enqueue order of the next frontier.
@@ -164,11 +196,14 @@ SafetyResult safety_impl(const exec::Protocol& protocol,
     unsigned mask = 0;  // outputs mask at the violation (agreement message)
   };
 
+  ParallelScanMetrics scan("safety.parallel");
   for (std::uint32_t level = 0;; ++level) {
     if (levels[level].empty()) break;
     const std::vector<Stored>& frontier = levels[level];
     RCONS_CHECK(frontier.size() <=
                 std::numeric_limits<std::uint32_t>::max());
+    scan.on_level(frontier.size());
+    scan.states = stored_count;
 
     const std::size_t chunks = pool.chunk_count(frontier.size(), 1);
     std::vector<std::vector<Candidate>> chunk_candidates(chunks);
@@ -291,6 +326,7 @@ SafetyResult safety_impl(const exec::Protocol& protocol,
   result.explored_fully = true;
   result.states_visited = stored_count;
   result.configs_visited = seen_configs.size();
+  scan.states = stored_count;
   return result;
 }
 
@@ -312,11 +348,14 @@ LivenessResult liveness_impl(const exec::Protocol& protocol,
   std::unordered_set<std::uint64_t> probed_configs;
   std::size_t stored_count = 1;
 
+  ParallelScanMetrics scan("liveness.parallel");
   for (std::uint32_t level = 0;; ++level) {
     if (levels[level].empty()) break;
     const std::vector<Stored>& frontier = levels[level];
     RCONS_CHECK(frontier.size() <=
                 std::numeric_limits<std::uint32_t>::max());
+    scan.on_level(frontier.size());
+    scan.states = stored_count;
 
     // Probe jobs: the first node (in pop order) of each configuration not
     // yet probed — exactly the set the serial engine would probe while
@@ -414,6 +453,7 @@ LivenessResult liveness_impl(const exec::Protocol& protocol,
   }
 
   result.explored_fully = true;
+  scan.states = stored_count;
   return result;
 }
 

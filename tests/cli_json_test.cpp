@@ -10,6 +10,9 @@
 
 #include <cctype>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -183,6 +186,142 @@ TEST(CliJson, ProtocolTargetStdoutIsPureJsonDespiteProgress) {
   EXPECT_EQ(exit_code, 0) << out;
   EXPECT_TRUE(JsonParser(out).parse_document()) << out;
   EXPECT_NE(out.find("\"findings\""), std::string::npos) << out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A fresh per-test scratch directory under the test temp dir.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "rcons_cli_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CliJson, VerifyViolationIsPureJsonAndExitsOne) {
+  // verify --format=json must keep stdout one JSON document even with
+  // tracing, metrics, and span spilling all active (their chatter goes to
+  // stderr / files), and a violation must exit 1.
+  const std::string dir = scratch_dir("verify_json");
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " verify tas --format=json --threads=2 --trace-out=" + dir +
+          " --metrics-out=" + dir + "/metrics.json --spans-out=" + dir +
+          "/spans.json 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 1) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"verdict\":\"VIOLATION\""), std::string::npos) << out;
+  // The spilled metrics and span files are themselves one JSON document
+  // each.
+  const std::string metrics = slurp(dir + "/metrics.json");
+  EXPECT_TRUE(JsonParser(metrics).parse_document()) << metrics;
+  // Serial scans record "safety.*", parallel scans "safety.parallel.*";
+  // either way the scan aggregates must be present.
+  EXPECT_NE(metrics.find("states_visited"), std::string::npos) << metrics;
+  const std::string spans = slurp(dir + "/spans.json");
+  EXPECT_TRUE(JsonParser(spans).parse_document()) << spans;
+}
+
+TEST(CliJson, VerifySafeExitsZero) {
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " verify cas 2 --format=json --threads=2 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"verdict\":\"SAFE\""), std::string::npos) << out;
+}
+
+TEST(CliJson, VerifyTruncatedScanExitsThreeNotZero) {
+  // INCONCLUSIVE needs its own exit code: a scan truncated by
+  // --max-states proves nothing, and scripts must be able to tell that
+  // apart from SAFE (0) without parsing the output.
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " verify cas 2 --max-states=4 --format=json 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 3) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"verdict\":\"INCONCLUSIVE\""), std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("\"verdict\":\"SAFE\""), std::string::npos) << out;
+}
+
+TEST(CliReplay, CapturedSafetyViolationsRoundTrip) {
+  // Every violation written by verify --trace-out must replay to the
+  // identical verdict and state hash (exit 0, "round-trip: OK").
+  const std::string dir = scratch_dir("replay_safety");
+  int exit_code = -1;
+  capture_stdout(cli() + " verify tas --trace-out=" + dir + " 2>/dev/null",
+                 &exit_code);
+  EXPECT_EQ(exit_code, 1);
+  int traces = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".trace") continue;
+    ++traces;
+    int replay_exit = -1;
+    const std::string out = capture_stdout(
+        cli() + " replay " + entry.path().string() + " 2>/dev/null",
+        &replay_exit);
+    EXPECT_EQ(replay_exit, 0) << out;
+    EXPECT_NE(out.find("round-trip: OK"), std::string::npos) << out;
+  }
+  EXPECT_GE(traces, 1) << "verify tas must capture at least one violation";
+}
+
+TEST(CliReplay, RcAuditCounterexamplesRoundTrip) {
+  // The relaxed recording fixture trips RC004 in every audit unit; each
+  // captured trace must replay cleanly.
+  const std::string dir = scratch_dir("replay_rc");
+  int exit_code = -1;
+  capture_stdout(cli() + " lint protocol recording cas3 2 relaxed"
+                         " --trace-out=" + dir + " 2>/dev/null",
+                 &exit_code);
+  EXPECT_EQ(exit_code, 1);
+  int traces = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".trace") continue;
+    ++traces;
+    int replay_exit = -1;
+    const std::string out = capture_stdout(
+        cli() + " replay " + entry.path().string() + " 2>/dev/null",
+        &replay_exit);
+    EXPECT_EQ(replay_exit, 0) << out;
+    EXPECT_NE(out.find("round-trip: OK"), std::string::npos) << out;
+  }
+  EXPECT_GE(traces, 1);
+}
+
+TEST(CliReplay, TamperedTraceIsCaughtAsMismatch) {
+  // Flip the recorded hash: replay must report the mismatch and exit 1 —
+  // the round-trip check is a real check, not a formality.
+  const std::string dir = scratch_dir("replay_tamper");
+  int exit_code = -1;
+  capture_stdout(cli() + " verify tas --trace-out=" + dir + " 2>/dev/null",
+                 &exit_code);
+  std::string path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".trace") {
+      path = entry.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(path.empty());
+  std::string text = slurp(path);
+  const auto pos = text.find("state_hash: ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 12] = text[pos + 12] == '0' ? '1' : '0';
+  std::ofstream(path) << text;
+  int replay_exit = -1;
+  const std::string out = capture_stdout(
+      cli() + " replay " + path + " 2>/dev/null", &replay_exit);
+  EXPECT_EQ(replay_exit, 1) << out;
+  EXPECT_NE(out.find("round-trip: MISMATCH"), std::string::npos) << out;
 }
 
 TEST(CliJson, RulesCatalogListsTheRcFamily) {

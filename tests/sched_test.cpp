@@ -126,6 +126,65 @@ TEST(CrashBudget, AccountantBookkeeping) {
   EXPECT_EQ(acct.remaining_crash_budget(1), 5);
 }
 
+TEST(CrashBudget, BoundaryExactlyAtBudgetIsInclusive) {
+  // The paper says "AT MOST z*n times the steps": a schedule holding
+  // exactly crashes == z*n*steps is in both sets; one more crash leaves
+  // them. n = 2, z = 1, one step by p0 funds exactly 2 crashes of p1.
+  Schedule s = parse({"p0", "c1", "c1"});
+  EXPECT_TRUE(in_ez(s, 2, 1));
+  EXPECT_TRUE(in_ez_star(s, 2, 1));
+  s.push_back(Event::crash(1));
+  EXPECT_FALSE(in_ez(s, 2, 1));
+  EXPECT_FALSE(in_ez_star(s, 2, 1));
+}
+
+TEST(CrashBudget, AccountantAdmitsExactlyTheBudget) {
+  // crash_allowed must admit exactly z*n*steps_below crashes — no
+  // off-by-one in either direction at the boundary.
+  const int n = 2;
+  const int z = 3;
+  CrashAccountant acct(n, z);
+  acct.on_step(0);
+  const std::int64_t limit = static_cast<std::int64_t>(z) * n;  // 6
+  for (std::int64_t k = 0; k < limit; ++k) {
+    EXPECT_TRUE(acct.crash_allowed(1)) << "crash " << k << " of " << limit;
+    EXPECT_EQ(acct.remaining_crash_budget(1), limit - k);
+    acct.on_crash(1);
+  }
+  EXPECT_FALSE(acct.crash_allowed(1));
+  EXPECT_EQ(acct.remaining_crash_budget(1), 0);
+}
+
+TEST(CrashBudget, ZeroStepsBelowMeansZeroCrashes) {
+  // The z*n*0 = 0 boundary: with no funding steps no crash is admissible
+  // and the remaining budget is exactly 0 for every process.
+  CrashAccountant acct(4, 7);
+  for (int pid = 1; pid < 4; ++pid) {
+    EXPECT_FALSE(acct.crash_allowed(pid));
+    EXPECT_EQ(acct.remaining_crash_budget(pid), 0);
+  }
+  EXPECT_FALSE(in_ez(parse({"c1"}), 2, 1));
+  EXPECT_FALSE(in_ez_star(parse({"c1"}), 2, 1));
+}
+
+TEST(CrashBudget, LargeBudgetsStayExactInt64) {
+  // z*n*steps = 3 * 1025 * 2^20 = 3'224'371'200 overflows int32 and is
+  // not representable in a float (24-bit mantissa), so any float
+  // intermediate or narrowing in the budget arithmetic shows up here as
+  // an inexact remaining budget.
+  const int z = 1 << 20;
+  CrashAccountant acct(3, z);
+  for (int i = 0; i < 1025; ++i) acct.on_step(0);
+  const std::int64_t limit = 3LL * 1025LL * (1LL << 20);
+  EXPECT_EQ(acct.remaining_crash_budget(1), limit);
+  EXPECT_EQ(acct.remaining_crash_budget(2), limit);
+  EXPECT_TRUE(acct.crash_allowed(1));
+  acct.on_crash(1);
+  EXPECT_EQ(acct.remaining_crash_budget(1), limit - 1);
+  EXPECT_EQ(acct.remaining_crash_budget(2), limit)
+      << "p1's crashes must not drain p2's budget";
+}
+
 TEST(OneShot, CountMatchesEnumeration) {
   for (int k = 0; k <= 5; ++k) {
     std::vector<int> pids;

@@ -1,0 +1,419 @@
+// Unit tests for the rcons-trace layer (DESIGN.md §9): the structured
+// event buffer and sink, the `.trace` counterexample interchange format,
+// the metrics registry, and — the load-bearing property — the capture →
+// serialize → parse → replay ROUND TRIP: a captured counterexample must
+// replay to the identical verdict string and state hash for all three
+// counterexample kinds (safety, liveness, rc), and captured traces must be
+// bit-identical for every thread count.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/recording_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "analysis/recovery_audit.hpp"
+#include "exec/event.hpp"
+#include "exec/protocol.hpp"
+#include "spec/catalog.hpp"
+#include "trace/counterexample.hpp"
+#include "trace/metrics.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TraceBuffer and the emission sink
+
+TraceEvent make_event(Kind kind, int pid) {
+  TraceEvent e;
+  e.kind = kind;
+  e.pid = pid;
+  return e;
+}
+
+TEST(TraceBuffer, SerializeIsDeterministicAndFieldAware) {
+  TraceBuffer b;
+  TraceEvent step = make_event(Kind::kStep, 0);
+  step.object = 1;
+  step.op = 2;
+  step.response = 3;
+  step.state_hash = 0xabcULL;
+  b.append(step);
+  TraceEvent decide = make_event(Kind::kDecide, 1);
+  decide.decision = 1;
+  b.append(decide);
+  const std::string text = b.serialize();
+  EXPECT_EQ(text, b.serialize()) << "serialization must be deterministic";
+  EXPECT_NE(text.find("0 step p0 obj=1 op=2 resp=3 hash=0000000000000abc"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 decide p1 decision=1 hash=0000000000000000"),
+            std::string::npos)
+      << text;
+  // Unset fields (object, decision, budget) must not serialize at all.
+  EXPECT_EQ(text.find("obj=-1"), std::string::npos) << text;
+  EXPECT_EQ(text.find("budget"), std::string::npos) << text;
+}
+
+TEST(TraceBuffer, MergePreservesUnitOrder) {
+  TraceBuffer a;
+  TraceBuffer b;
+  a.append(make_event(Kind::kStep, 0));
+  b.append(make_event(Kind::kStep, 1));
+  TraceBuffer merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.events()[0].pid, 0);
+  EXPECT_EQ(merged.events()[1].pid, 1);
+}
+
+TEST(TraceBuffer, AnnotateBudgetPatchesTheCrashNotTheRecover) {
+  // exec::apply_event emits kCrash then kRecover for one crash event; the
+  // accountant annotation arrives after both and must land on the kCrash.
+  TraceBuffer b;
+  b.append(make_event(Kind::kStep, 1));
+  b.append(make_event(Kind::kCrash, 1));
+  b.append(make_event(Kind::kRecover, 1));
+  b.annotate_last_crash_budget(5);
+  EXPECT_EQ(b.events()[0].crash_budget, -1);
+  EXPECT_EQ(b.events()[1].crash_budget, 5);
+  EXPECT_EQ(b.events()[2].crash_budget, -1);
+}
+
+TEST(TraceSink, MacroEmitsOnlyWithSinkInstalledAndScopesCompose) {
+  TraceBuffer outer;
+  TraceBuffer inner;
+  RCONS_TRACE(make_event(Kind::kStep, 0));  // no sink: dropped
+  {
+    ScopedSink outer_scope(&outer);
+    RCONS_TRACE(make_event(Kind::kStep, 1));
+    {
+      ScopedSink inner_scope(&inner);
+      RCONS_TRACE(make_event(Kind::kStep, 2));
+    }
+    RCONS_TRACE(make_event(Kind::kStep, 3));
+  }
+  RCONS_TRACE(make_event(Kind::kStep, 4));  // sink restored to null
+#ifdef RCONS_TRACE_DISABLED
+  EXPECT_TRUE(outer.empty());
+  EXPECT_TRUE(inner.empty());
+#else
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_EQ(outer.events()[0].pid, 1);
+  EXPECT_EQ(outer.events()[1].pid, 3);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(inner.events()[0].pid, 2);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// The .trace interchange format
+
+TEST(TraceFormat, SerializeParseRoundTripPreservesEveryField) {
+  Counterexample c;
+  // kLiveness is the kind that serializes every optional field, including
+  // solo_bound (a liveness-only replay parameter).
+  c.kind = CounterexampleKind::kLiveness;
+  c.protocol_spec = "recording cas3 2 relaxed";
+  c.inputs = {0, 1};
+  c.schedule = {exec::Event::step(0), exec::Event::crash(0),
+                exec::Event::step(0)};
+  c.pid = 0;
+  c.input = 1;
+  c.solo_bound = 77;
+  c.rule = "RC004";
+  c.note = "step 0 leaves a store: unpersisted";
+  c.verdict = "RC decisions=none";
+  c.state_hash = 0x0123456789abcdefULL;
+  const std::string text = serialize_counterexample(c);
+  const TraceParseResult parsed = parse_counterexample(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Counterexample& d = *parsed.trace;
+  EXPECT_EQ(d.kind, c.kind);
+  EXPECT_EQ(d.protocol_spec, c.protocol_spec);
+  EXPECT_EQ(d.inputs, c.inputs);
+  EXPECT_EQ(d.schedule, c.schedule);
+  EXPECT_EQ(d.pid, c.pid);
+  EXPECT_EQ(d.input, c.input);
+  EXPECT_EQ(d.solo_bound, c.solo_bound);
+  EXPECT_EQ(d.rule, c.rule);
+  EXPECT_EQ(d.note, c.note);
+  EXPECT_EQ(d.verdict, c.verdict);
+  EXPECT_EQ(d.state_hash, c.state_hash);
+  // Reserializing the parse is byte-identical: the format is canonical.
+  EXPECT_EQ(serialize_counterexample(d), text);
+}
+
+TEST(TraceFormat, EmptyScheduleUsesTheSentinel) {
+  Counterexample c;
+  c.kind = CounterexampleKind::kLiveness;
+  c.pid = 1;
+  c.verdict = "NOT-WAIT-FREE p1";
+  c.state_hash = 1;
+  const std::string text = serialize_counterexample(c);
+  EXPECT_NE(text.find("schedule: <>"), std::string::npos) << text;
+  const TraceParseResult parsed = parse_counterexample(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_TRUE(parsed.trace->schedule.empty());
+}
+
+TEST(TraceFormat, ParserRejectsMalformedInput) {
+  // No header.
+  EXPECT_FALSE(parse_counterexample("kind: safety\n").ok());
+  // Wrong version.
+  EXPECT_FALSE(
+      parse_counterexample("rcons-trace v2\nkind: safety\n").ok());
+  // Missing round-trip fields.
+  EXPECT_FALSE(
+      parse_counterexample("rcons-trace v1\nkind: safety\nschedule: p0\n")
+          .ok());
+  // Unknown kind.
+  EXPECT_FALSE(parse_counterexample("rcons-trace v1\nkind: vibes\n"
+                                    "schedule: p0\nverdict: X\n"
+                                    "state_hash: 0000000000000001\n")
+                   .ok());
+  // Malformed schedule token.
+  EXPECT_FALSE(parse_counterexample("rcons-trace v1\nkind: safety\n"
+                                    "schedule: p0 q1\nverdict: X\n"
+                                    "state_hash: 0000000000000001\n")
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Capture → replay round trips, one per counterexample kind
+
+TEST(ReplayRoundTrip, SafetyViolation) {
+  algo::TasRacingConsensus protocol;
+  valency::SafetyOptions options;
+  options.crash_mode = valency::CrashMode::kIndividual;
+  std::optional<Counterexample> captured;
+  for (const auto& inputs :
+       valency::all_binary_inputs(protocol.process_count())) {
+    const valency::SafetyResult r =
+        valency::check_safety(protocol, inputs, options);
+    if (!r.ok()) {
+      captured = capture_safety(protocol, inputs, r);
+      break;
+    }
+  }
+  ASSERT_TRUE(captured.has_value()) << "tas under crashes must violate";
+  EXPECT_EQ(captured->kind, CounterexampleKind::kSafety);
+  EXPECT_NE(captured->verdict.find("VIOLATION"), std::string::npos);
+  const ReplayResult r = replay(protocol, *captured);
+  EXPECT_TRUE(r.matches(*captured))
+      << "replayed '" << r.verdict << "' vs captured '" << captured->verdict
+      << "'";
+#ifndef RCONS_TRACE_DISABLED
+  EXPECT_FALSE(r.timeline.empty());
+#endif
+  // The guarantee must survive the text format too.
+  const TraceParseResult reparsed =
+      parse_counterexample(serialize_counterexample(*captured));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_TRUE(replay(protocol, *reparsed.trace).matches(*captured));
+}
+
+/// Never decides: every process spins on a register read forever, so the
+/// liveness scan flags a stuck process at the initial configuration.
+class StuckProtocol : public exec::Protocol {
+ public:
+  StuckProtocol() : type_(spec::make_register(2)) {}
+
+  std::string name() const override { return "stuck"; }
+  int process_count() const override { return 2; }
+  int object_count() const override { return 1; }
+  const spec::ObjectType& object_type(exec::ObjectId) const override {
+    return type_;
+  }
+  spec::ValueId initial_value(exec::ObjectId) const override { return 0; }
+  exec::LocalState initial_state(exec::ProcessId,
+                                 int input) const override {
+    return {{input}};
+  }
+  exec::Action poised(exec::ProcessId,
+                      const exec::LocalState&) const override {
+    return exec::Action::invoke(0, 0);
+  }
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId) const override {
+    return state;
+  }
+
+ private:
+  spec::ObjectType type_;
+};
+
+TEST(ReplayRoundTrip, LivenessViolation) {
+  StuckProtocol protocol;
+  const std::vector<int> inputs = {0, 1};
+  valency::LivenessOptions options;
+  const valency::LivenessResult r =
+      valency::check_recoverable_wait_freedom(protocol, inputs, options);
+  ASSERT_EQ(valency::liveness_verdict(r),
+            valency::LivenessVerdict::kNotWaitFree);
+  const std::optional<Counterexample> captured =
+      capture_liveness(protocol, inputs, r, options.solo_step_bound);
+  ASSERT_TRUE(captured.has_value());
+  EXPECT_EQ(captured->kind, CounterexampleKind::kLiveness);
+  EXPECT_NE(captured->verdict.find("NOT-WAIT-FREE"), std::string::npos)
+      << captured->verdict;
+  const ReplayResult replayed = replay(protocol, *captured);
+  EXPECT_TRUE(replayed.matches(*captured))
+      << "replayed '" << replayed.verdict << "' vs captured '"
+      << captured->verdict << "'";
+  const TraceParseResult reparsed =
+      parse_counterexample(serialize_counterexample(*captured));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_TRUE(replay(protocol, *reparsed.trace).matches(*captured));
+}
+
+TEST(ReplayRoundTrip, RcAuditCounterexamples) {
+  // The relaxed recording fixture is the canonical RC004 violator: every
+  // (process, input) unit leaves its first proposal store unpersisted.
+  algo::RecordingConsensus protocol(spec::make_cas(3), 2,
+                                    /*relax_proposal_writes=*/true);
+  const analysis::RecoveryAuditResult result =
+      analysis::audit_recovery_traced(protocol);
+  ASSERT_FALSE(result.counterexamples.empty());
+  for (const Counterexample& c : result.counterexamples) {
+    EXPECT_EQ(c.kind, CounterexampleKind::kRcAudit);
+    EXPECT_FALSE(c.rule.empty());
+    const ReplayResult r = replay(protocol, c);
+    EXPECT_TRUE(r.matches(c))
+        << serialize_counterexample(c) << "replayed '" << r.verdict
+        << "' hash " << r.state_hash;
+#ifndef RCONS_TRACE_DISABLED
+    EXPECT_FALSE(r.timeline.empty());
+#endif
+    const TraceParseResult reparsed =
+        parse_counterexample(serialize_counterexample(c));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+    EXPECT_TRUE(replay(protocol, *reparsed.trace).matches(c));
+  }
+}
+
+TEST(ReplayRoundTrip, CleanProtocolAuditsWithoutCounterexamples) {
+  algo::RecordingConsensus protocol(spec::make_cas(3), 2);
+  const analysis::RecoveryAuditResult result =
+      analysis::audit_recovery_traced(protocol);
+  EXPECT_TRUE(result.counterexamples.empty())
+      << serialize_counterexample(result.counterexamples.front());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts
+
+TEST(TraceDeterminism, RcAuditCapturesBitIdenticalAcrossThreads) {
+  algo::RecordingConsensus protocol(spec::make_cas(3), 2,
+                                    /*relax_proposal_writes=*/true);
+  const auto run = [&protocol](int threads) {
+    analysis::RecoveryAuditOptions options;
+    options.threads = threads;
+    const analysis::RecoveryAuditResult result =
+        analysis::audit_recovery_traced(protocol, options);
+    std::string text;
+    for (const Counterexample& c : result.counterexamples) {
+      text += serialize_counterexample(c);
+      text += '\n';
+    }
+    return text;
+  };
+  const std::string serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST(TraceDeterminism, SafetyCaptureBitIdenticalAcrossThreads) {
+  algo::TasRacingConsensus protocol;
+  const auto run = [&protocol](int threads) {
+    valency::SafetyOptions options;
+    options.crash_mode = valency::CrashMode::kIndividual;
+    options.threads = threads;
+    for (const auto& inputs :
+         valency::all_binary_inputs(protocol.process_count())) {
+      const valency::SafetyResult r =
+          valency::check_safety(protocol, inputs, options);
+      if (!r.ok()) {
+        const std::optional<Counterexample> c =
+            capture_safety(protocol, inputs, r);
+        return c ? serialize_counterexample(*c) : std::string();
+      }
+    }
+    return std::string();
+  };
+  const std::string serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST(TraceDeterminism, ReplayTimelineIsStable) {
+  // Two replays of the same counterexample serialize to byte-identical
+  // event streams (no timestamps, no run-dependent state in the buffer).
+  algo::RecordingConsensus protocol(spec::make_cas(3), 2,
+                                    /*relax_proposal_writes=*/true);
+  const analysis::RecoveryAuditResult result =
+      analysis::audit_recovery_traced(protocol);
+  ASSERT_FALSE(result.counterexamples.empty());
+  const Counterexample& c = result.counterexamples.front();
+  EXPECT_EQ(replay(protocol, c).timeline.serialize(),
+            replay(protocol, c).timeline.serialize());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(Metrics, RegistryAggregatesAndSerializes) {
+  MetricsRegistry reg;
+  reg.add("scan.states", 3);
+  reg.add("scan.states", 4);
+  reg.set_gauge("frontier", 9);
+  reg.max_gauge("frontier", 5);   // lower: must not regress the gauge
+  reg.max_gauge("frontier", 12);  // higher: must raise it
+  reg.observe("depth", 1);
+  reg.observe("depth", 100);
+  EXPECT_EQ(reg.counter("scan.states"), 7);
+  EXPECT_EQ(reg.gauge("frontier"), 12);
+  const HistogramSnapshot h = reg.histogram("depth");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 101);
+  EXPECT_EQ(h.min, 1);
+  EXPECT_EQ(h.max, 100);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"scan.states\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"frontier\":12"), std::string::npos) << json;
+  reg.reset();
+  EXPECT_EQ(reg.counter("scan.states"), 0);
+}
+
+TEST(Metrics, ScopedSpanRecordsWallClock) {
+  MetricsRegistry& reg = metrics();
+  const std::size_t spans_before = reg.spans().size();
+  { ScopedSpan span("trace_test.span"); }
+  EXPECT_EQ(reg.spans().size(), spans_before + 1);
+  EXPECT_GE(reg.counter("trace_test.span.wall_us"), 0);
+  const std::string chrome = reg.spans_to_chrome_json();
+  EXPECT_NE(chrome.find("trace_test.span"), std::string::npos);
+}
+
+TEST(Metrics, EnginesReportScanAggregates) {
+  // A safety scan must leave its footprint in the global registry.
+  metrics().reset();
+  algo::TasRacingConsensus protocol;
+  valency::SafetyOptions options;
+  const valency::SafetyResult r =
+      valency::check_safety(protocol, {0, 1}, options);
+  EXPECT_EQ(metrics().counter("safety.states_visited"),
+            static_cast<std::int64_t>(r.states_visited));
+  EXPECT_EQ(metrics().counter("safety.scans"), 1);
+  EXPECT_GT(metrics().gauge("safety.max_frontier"), 0);
+}
+
+}  // namespace
+}  // namespace rcons::trace

@@ -174,6 +174,42 @@ TEST(Rng, Uniform01Bounds) {
   }
 }
 
+TEST(Rng, SeedZeroExpandsThroughSplitMix) {
+  // Seed 0 must not degenerate: the internal state is the SplitMix64
+  // expansion of the seed (nonzero), not the raw seed copied into the
+  // words — an all-zero state would make xoshiro emit zeros forever.
+  Xoshiro256 rng(0);
+  SplitMix64 sm(0);
+  const auto& s = rng.state();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], sm.next()) << "state word " << i;
+  }
+  EXPECT_FALSE(s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0);
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.next();
+  EXPECT_FALSE(a == 0 && b == 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, ReseedWhileFreshMatchesFreshConstruction) {
+  Xoshiro256 reseeded(1);
+  EXPECT_TRUE(reseeded.fresh());
+  reseeded.reseed(42);
+  Xoshiro256 fresh(42);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(reseeded.next(), fresh.next());
+  }
+  EXPECT_FALSE(reseeded.fresh());
+}
+
+TEST(RngDeathTest, ReseedAfterDrawIsRejected) {
+  // Mid-run reseeding silently breaks single-seed reproducibility (every
+  // consumer logs one seed per run), so it is a checked error.
+  Xoshiro256 rng(3);
+  (void)rng.next();
+  EXPECT_DEATH(rng.reseed(4), "reseed");
+}
+
 TEST(Hashing, VectorHashDistinguishesContentAndLength) {
   EXPECT_NE(hash_vector(std::vector<int>{1, 2, 3}),
             hash_vector(std::vector<int>{1, 2, 4}));

@@ -9,26 +9,50 @@
 //   rcons_cli verify   <protocol...>     exhaustively model-check a protocol
 //       protocols: cas <n> | tas | naive <n> | sticky <n>
 //                  | propose <m> <procs> | tnn <n> <n'> <procs>
-//                  | tnnwf <n> <n'> | recording <type> <n>
+//                  | tnnwf <n> <n'> | recording <type> <n> [relaxed]
+//       ("relaxed" is the fault-injection spelling: proposal-register
+//        writes become unpersisted invokes, the RC004 fixture)
 //   rcons_cli critical <protocol...>     valency trace (Figures 1-2 style)
 //   rcons_cli search   [restarts] [mutations] [seed]
-//   rcons_cli lint     [--format=text|json] [--threshold=error|warning|note]
+//   rcons_cli lint     [--threshold=error|warning|note]
 //                      <type>... | protocol <protocol...>
 //                                        static analysis (see DESIGN.md);
 //                                        protocol targets also run the RC
 //                                        crash-recovery audit;
 //                                        exits 1 on findings >= threshold
 //   rcons_cli lint --rules               print the rule catalog
+//   rcons_cli replay   <file.trace>      re-execute a captured
+//                                        counterexample deterministically,
+//                                        print its timeline, and check the
+//                                        round-trip guarantee (identical
+//                                        verdict + state hash; DESIGN.md §9)
 //
-// The global flag --threads=N (any position) selects exploration
-// parallelism for verify/profile/search. The default is the hardware
-// thread count; --threads=1 runs the original serial engines. Results are
-// bit-identical for every thread count (see DESIGN.md §7).
+// Global flags (any position):
+//   --threads=N      exploration parallelism for verify/profile/search/
+//                    lint-protocol. Default: the hardware thread count;
+//                    --threads=1 runs the original serial engines. Results
+//                    are bit-identical for every thread count (DESIGN.md §7).
+//   --format=json    machine-readable stdout for verify and lint (one JSON
+//                    document; all progress goes to stderr)
+//   --trace-out=DIR  write one replayable .trace file per safety/liveness/
+//                    RC-audit violation into DIR (created if missing)
+//   --metrics-out=F  after the command, write the metrics registry as one
+//                    JSON document to F
+//   --spans-out=F    after the command, write phase spans as a
+//                    chrome://tracing-compatible JSON array to F
+//   --max-states=N   exploration state bound for verify (per input vector;
+//                    a truncated scan reports INCONCLUSIVE, never SAFE)
+//
+// Exit codes: 0 = ok/SAFE, 1 = violation/findings/round-trip mismatch,
+// 2 = usage error, 3 = INCONCLUSIVE (verify only: the scan was truncated
+// by --max-states and proves nothing either way).
 //
 // <type> is either a catalog name (see `list`) or a path to a .type file.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -51,6 +75,9 @@
 #include "spec/catalog.hpp"
 #include "spec/paper_types.hpp"
 #include "spec/serialize.hpp"
+#include "trace/counterexample.hpp"
+#include "trace/metrics.hpp"
+#include "trace/replay.hpp"
 #include "util/parallel.hpp"
 #include "valency/critical.hpp"
 #include "valency/lemmas.hpp"
@@ -64,6 +91,13 @@ using rcons::spec::ObjectType;
 /// Exploration threads for verify/profile/search, from --threads=N.
 /// Initialized in main to the hardware thread count.
 int g_threads = 1;
+
+/// Global output flags (see the file header). Empty string = disabled.
+std::string g_trace_out;
+std::string g_metrics_out;
+std::string g_spans_out;
+std::size_t g_max_states = 0;  // 0 = engine defaults
+bool g_json = false;           // --format=json (verify and lint)
 
 const std::map<std::string, std::function<ObjectType()>>& catalog() {
   static const auto* kCatalog =
@@ -100,6 +134,61 @@ const std::map<std::string, std::function<ObjectType()>>& catalog() {
 int fail(const std::string& message) {
   std::fprintf(stderr, "rcons_cli: %s\n", message.c_str());
   return 2;
+}
+
+/// Writes `content` to `path`, creating parent directories. Reports (to
+/// stderr) and returns false on failure instead of aborting the run: output
+/// spilling is observability, never correctness.
+bool spill_file(const std::string& path, const std::string& content) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "rcons_cli: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Writes a finalized counterexample under --trace-out as `<stem>.trace`,
+/// stamping the CLI protocol spec so `rcons_cli replay` can rebuild the
+/// protocol. No-op when --trace-out is unset.
+void write_trace(rcons::trace::Counterexample c, const std::string& spec,
+                 const std::string& stem) {
+  if (g_trace_out.empty()) return;
+  c.protocol_spec = spec;
+  std::error_code ec;
+  std::filesystem::create_directories(g_trace_out, ec);
+  const std::string path = g_trace_out + "/" + stem + ".trace";
+  if (spill_file(path, rcons::trace::serialize_counterexample(c))) {
+    std::fprintf(stderr, "rcons_cli: wrote %s\n", path.c_str());
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
 }
 
 /// Resolves a catalog name or a .type file path.
@@ -169,10 +258,21 @@ std::unique_ptr<rcons::exec::Protocol> make_protocol(int argc, char** argv,
     ObjectType type;
     std::string type_error;
     if (argc < 2 || !resolve_type(argv[1], &type, &type_error)) {
-      *error = "recording <type> <n>: " + type_error;
+      *error = "recording <type> <n> [relaxed]: " + type_error;
       return nullptr;
     }
-    return std::make_unique<rcons::algo::RecordingConsensus>(type, arg(2, 2));
+    bool relaxed = false;
+    if (argc > 3) {
+      if (std::string(argv[3]) == "relaxed") {
+        relaxed = true;
+      } else {
+        *error = std::string("recording: unknown modifier '") + argv[3] +
+                 "' (the only modifier is 'relaxed')";
+        return nullptr;
+      }
+    }
+    return std::make_unique<rcons::algo::RecordingConsensus>(type, arg(2, 2),
+                                                             relaxed);
   }
   *error = "unknown protocol '" + kind + "'";
   return nullptr;
@@ -229,50 +329,155 @@ int cmd_witnesses(const ObjectType& type, int n, const std::string& kind_name,
   return 0;
 }
 
-int cmd_verify(rcons::exec::Protocol& protocol) {
-  std::printf("protocol %s: %d processes, %d objects\n",
-              protocol.name().c_str(), protocol.process_count(),
-              protocol.object_count());
-  for (const auto mode : {rcons::valency::CrashMode::kNone,
-                          rcons::valency::CrashMode::kIndividual,
-                          rcons::valency::CrashMode::kBoth}) {
-    rcons::valency::SafetyOptions options;
-    options.crash_mode = mode;
+/// verify: exhaustive safety (three crash modes) + recoverable
+/// wait-freedom, one line (or one JSON object) per check.
+///
+/// Exit code: 0 when every scan completed and found nothing, 1 on any
+/// violation, 3 when a scan was truncated by --max-states without finding
+/// one — INCONCLUSIVE is not SAFE and must not share its exit code.
+int cmd_verify(rcons::exec::Protocol& protocol, const std::string& spec) {
+  using rcons::valency::CrashMode;
+  using rcons::valency::LivenessVerdict;
+  using rcons::valency::SafetyVerdict;
+  namespace valency = rcons::valency;
+  if (g_json) {
+    std::fprintf(stderr, "rcons_cli: verifying protocol %s (%d threads)\n",
+                 protocol.name().c_str(), g_threads);
+  } else {
+    std::printf("protocol %s: %d processes, %d objects\n",
+                protocol.name().c_str(), protocol.process_count(),
+                protocol.object_count());
+  }
+  bool violation = false;
+  bool inconclusive = false;
+  std::string json_safety;
+  struct ModeRow {
+    CrashMode mode;
+    const char* label;  // aligned, for the text table
+    const char* token;  // filesystem/JSON-safe
+  };
+  static constexpr ModeRow kModes[] = {
+      {CrashMode::kNone, "crash-free ", "crash-free"},
+      {CrashMode::kIndividual, "individual ", "individual"},
+      {CrashMode::kBoth, "indiv+simul", "indiv-simul"},
+  };
+  for (const auto& row : kModes) {
+    valency::SafetyOptions options;
+    options.crash_mode = row.mode;
     options.threads = g_threads;
-    const auto r = rcons::valency::check_safety_all_inputs(protocol, options);
-    const char* mode_name =
-        mode == rcons::valency::CrashMode::kNone ? "crash-free " :
-        mode == rcons::valency::CrashMode::kIndividual ? "individual " :
-                                                         "indiv+simul";
-    // A truncated exploration proves nothing: INCONCLUSIVE, never "SAFE".
-    std::printf("  safety  [%s]: %s (%zu states)\n", mode_name,
-                std::string(rcons::valency::safety_verdict_name(r)).c_str(),
-                r.states_visited);
-    if (!r.ok()) {
-      std::printf("    %s\n    schedule: %s\n", r.violation.c_str(),
-                  rcons::exec::schedule_to_string(*r.counterexample).c_str());
+    if (g_max_states != 0) options.max_states = g_max_states;
+    // Restates check_safety_all_inputs's merge loop so the violating input
+    // VECTOR is in hand — counterexample capture needs it, and the merged
+    // result does not record it.
+    valency::SafetyResult merged;
+    merged.explored_fully = true;
+    std::vector<int> bad_inputs;
+    for (const auto& inputs :
+         valency::all_binary_inputs(protocol.process_count())) {
+      valency::SafetyResult r =
+          valency::check_safety(protocol, inputs, options);
+      merged.states_visited += r.states_visited;
+      merged.configs_visited += r.configs_visited;
+      merged.explored_fully = merged.explored_fully && r.explored_fully;
+      if (!r.ok()) {
+        merged.agreement_ok = r.agreement_ok;
+        merged.validity_ok = r.validity_ok;
+        merged.counterexample = std::move(r.counterexample);
+        merged.violation = std::move(r.violation);
+        bad_inputs = inputs;
+        break;
+      }
+    }
+    const SafetyVerdict verdict = valency::safety_verdict(merged);
+    violation = violation || verdict == SafetyVerdict::kViolation;
+    inconclusive = inconclusive || verdict == SafetyVerdict::kInconclusive;
+    const std::string verdict_name(valency::safety_verdict_name(merged));
+    if (g_json) {
+      if (!json_safety.empty()) json_safety += ',';
+      json_safety += "{\"mode\":\"" + std::string(row.token) +
+                     "\",\"verdict\":\"" + verdict_name +
+                     "\",\"states\":" + std::to_string(merged.states_visited);
+      if (!merged.ok()) {
+        json_safety +=
+            ",\"violation\":\"" + json_escape(merged.violation) +
+            "\",\"schedule\":\"" +
+            json_escape(
+                rcons::exec::schedule_to_string(*merged.counterexample)) +
+            "\"";
+      }
+      json_safety += '}';
+    } else {
+      // A truncated exploration proves nothing: INCONCLUSIVE, never "SAFE".
+      std::printf("  safety  [%s]: %s (%zu states)\n", row.label,
+                  verdict_name.c_str(), merged.states_visited);
+      if (!merged.ok()) {
+        std::printf("    %s\n    schedule: %s\n", merged.violation.c_str(),
+                    rcons::exec::schedule_to_string(*merged.counterexample)
+                        .c_str());
+      }
+    }
+    if (!merged.ok()) {
+      if (auto c = rcons::trace::capture_safety(protocol, bad_inputs,
+                                                merged)) {
+        write_trace(std::move(*c), spec,
+                    std::string("safety-") + row.token);
+      }
     }
   }
   bool stuck = false;
-  bool inconclusive = false;
+  bool live_inconclusive = false;
+  std::string json_liveness;
   for (const auto& inputs :
-       rcons::valency::all_binary_inputs(protocol.process_count())) {
-    rcons::valency::LivenessOptions options;
+       valency::all_binary_inputs(protocol.process_count())) {
+    valency::LivenessOptions options;
     options.threads = g_threads;
+    if (g_max_states != 0) options.max_states = g_max_states;
     const auto r =
-        rcons::valency::check_recoverable_wait_freedom(protocol, inputs,
-                                                       options);
-    switch (rcons::valency::liveness_verdict(r)) {
-      case rcons::valency::LivenessVerdict::kNotWaitFree: stuck = true; break;
-      case rcons::valency::LivenessVerdict::kInconclusive:
-        inconclusive = true;
+        valency::check_recoverable_wait_freedom(protocol, inputs, options);
+    switch (valency::liveness_verdict(r)) {
+      case LivenessVerdict::kNotWaitFree: {
+        stuck = true;
+        if (auto c = rcons::trace::capture_liveness(
+                protocol, inputs, r, options.solo_step_bound)) {
+          std::string bits;
+          for (const int b : inputs) bits += static_cast<char>('0' + b);
+          write_trace(std::move(*c), spec, "liveness-i" + bits);
+        }
         break;
-      case rcons::valency::LivenessVerdict::kWaitFree: break;
+      }
+      case LivenessVerdict::kInconclusive: live_inconclusive = true; break;
+      case LivenessVerdict::kWaitFree: break;
+    }
+    if (g_json) {
+      std::string bits;
+      for (const int b : inputs) bits += static_cast<char>('0' + b);
+      if (!json_liveness.empty()) json_liveness += ',';
+      json_liveness +=
+          "{\"inputs\":\"" + bits + "\",\"verdict\":\"" +
+          std::string(valency::liveness_verdict_name(r)) + "\"}";
     }
   }
-  std::printf("  recoverable wait-freedom: %s\n",
-              stuck ? "NO" : (inconclusive ? "INCONCLUSIVE" : "YES"));
-  return 0;
+  violation = violation || stuck;
+  inconclusive = inconclusive || live_inconclusive;
+  const char* wait_free =
+      stuck ? "NO" : (live_inconclusive ? "INCONCLUSIVE" : "YES");
+  const char* overall =
+      violation ? "VIOLATION" : (inconclusive ? "INCONCLUSIVE" : "SAFE");
+  const int code = violation ? 1 : (inconclusive ? 3 : 0);
+  if (g_json) {
+    std::printf("{\"protocol\":\"%s\",\"processes\":%d,\"objects\":%d,"
+                "\"safety\":[%s],\"liveness\":[%s],"
+                "\"recoverable_wait_freedom\":\"%s\",\"verdict\":\"%s\","
+                "\"exit_code\":%d}\n",
+                json_escape(protocol.name()).c_str(),
+                protocol.process_count(), protocol.object_count(),
+                json_safety.c_str(), json_liveness.c_str(), wait_free,
+                overall, code);
+  } else {
+    std::printf("  recoverable wait-freedom: %s\n", wait_free);
+    std::printf("  overall: %s\n", overall);
+  }
+  return code;
 }
 
 int cmd_critical(rcons::exec::Protocol& protocol) {
@@ -302,11 +507,55 @@ int cmd_chain(rcons::exec::Protocol& protocol) {
   return chain.reached_recording ? 0 : 1;
 }
 
+int cmd_replay(const char* file) {
+  std::ifstream in(file);
+  if (!in) return fail(std::string("cannot read '") + file + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = rcons::trace::parse_counterexample(buffer.str());
+  if (!parsed.ok()) {
+    return fail(std::string(file) + ":" +
+                std::to_string(parsed.error_line) + ": " + parsed.error);
+  }
+  const rcons::trace::Counterexample& c = *parsed.trace;
+  if (c.protocol_spec.empty()) {
+    return fail("trace carries no 'protocol:' line; replay cannot rebuild "
+                "the protocol");
+  }
+  std::vector<std::string> tokens;
+  std::istringstream spec_stream(c.protocol_spec);
+  for (std::string t; spec_stream >> t;) tokens.push_back(t);
+  std::vector<char*> spec_argv;
+  spec_argv.reserve(tokens.size());
+  for (auto& t : tokens) spec_argv.push_back(t.data());
+  std::string error;
+  auto protocol = make_protocol(static_cast<int>(spec_argv.size()),
+                                spec_argv.data(), &error);
+  if (!protocol) return fail(error);
+  const rcons::trace::ReplayResult r = rcons::trace::replay(*protocol, c);
+  std::printf("%s counterexample, protocol: %s\n",
+              rcons::trace::counterexample_kind_name(c.kind),
+              c.protocol_spec.c_str());
+  if (!c.rule.empty()) std::printf("  rule: %s\n", c.rule.c_str());
+  if (!c.note.empty()) std::printf("  note: %s\n", c.note.c_str());
+  std::printf("%s", rcons::trace::render_timeline(*protocol,
+                                                  r.timeline).c_str());
+  std::printf("captured verdict: %s\n", c.verdict.c_str());
+  std::printf("replayed verdict: %s\n", r.verdict.c_str());
+  std::printf("captured hash: %016llx\n",
+              static_cast<unsigned long long>(c.state_hash));
+  std::printf("replayed hash: %016llx\n",
+              static_cast<unsigned long long>(r.state_hash));
+  const bool ok = r.matches(c);
+  std::printf("round-trip: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
 int cmd_lint(int argc, char** argv) {
   using rcons::analysis::Report;
   using rcons::analysis::Severity;
 
-  bool json = false;
+  const bool json = g_json;
   Severity threshold = Severity::kError;
   std::vector<std::string> targets;
   for (int i = 0; i < argc; ++i) {
@@ -318,13 +567,7 @@ int cmd_lint(int argc, char** argv) {
       }
       return 0;
     }
-    if (arg == "--format=json") {
-      json = true;
-    } else if (arg == "--format=text") {
-      json = false;
-    } else if (arg.rfind("--format=", 0) == 0) {
-      return fail("unknown format '" + arg.substr(9) + "' (json|text)");
-    } else if (arg.rfind("--threshold=", 0) == 0) {
+    if (arg.rfind("--threshold=", 0) == 0) {
       const std::string level = arg.substr(12);
       if (level == "error") {
         threshold = Severity::kError;
@@ -343,8 +586,12 @@ int cmd_lint(int argc, char** argv) {
       std::string error;
       auto protocol = make_protocol(argc - i - 1, argv + i + 1, &error);
       if (!protocol) return fail(error);
+      std::string spec;
+      for (int j = i + 1; j < argc; ++j) {
+        if (j > i + 1) spec += ' ';
+        spec += argv[j];
+      }
       targets.clear();
-      targets.push_back("protocol");
       std::fprintf(stderr, "rcons_cli: linting protocol %s (PL rules)\n",
                    protocol->name().c_str());
       Report report = rcons::analysis::lint_protocol(*protocol);
@@ -353,8 +600,19 @@ int cmd_lint(int argc, char** argv) {
                    protocol->name().c_str(), g_threads);
       rcons::analysis::RecoveryAuditOptions audit_options;
       audit_options.threads = g_threads;
-      report.merge(
-          rcons::analysis::audit_recovery(*protocol, audit_options));
+      auto audited =
+          rcons::analysis::audit_recovery_traced(*protocol, audit_options);
+      report.merge(std::move(audited.report));
+      int seq = 0;
+      for (auto& c : audited.counterexamples) {
+        std::string rule = c.rule;
+        for (auto& ch : rule) {
+          ch = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(ch)));
+        }
+        write_trace(std::move(c), spec,
+                    "rc-" + std::to_string(seq++) + "-" + rule);
+      }
       std::printf("%s", json ? report.render_json().c_str()
                              : report.render_text().c_str());
       if (json) std::printf("\n");
@@ -412,40 +670,22 @@ int cmd_search(int restarts, int mutations, std::uint64_t seed) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // Extract the global --threads=N flag (any position) before dispatch.
-  g_threads = rcons::util::hardware_threads();
-  std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      const std::string value = arg.substr(10);
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
-        return fail("--threads wants a count >= 0");
-      }
-      const int threads = std::atoi(value.c_str());
-      g_threads = threads == 0 ? rcons::util::hardware_threads() : threads;
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  args.push_back(nullptr);
-  argc = static_cast<int>(args.size()) - 1;
-  argv = args.data();
+int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
                  "list|show|export|dot|profile|witnesses|verify|critical|"
-                 "search|lint ...\n(see the header of tools/rcons_cli.cpp)\n");
+                 "search|lint|replay ...\n"
+                 "(see the header of tools/rcons_cli.cpp)\n");
     return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
+  if (cmd == "replay") {
+    if (argc < 3) return fail("replay <file.trace>");
+    return cmd_replay(argv[2]);
+  }
   if (cmd == "search") {
     return cmd_search(argc > 2 ? std::atoi(argv[2]) : 10,
                       argc > 3 ? std::atoi(argv[3]) : 200,
@@ -456,7 +696,14 @@ int main(int argc, char** argv) {
     std::string error;
     auto protocol = make_protocol(argc - 2, argv + 2, &error);
     if (!protocol) return fail(error);
-    if (cmd == "verify") return cmd_verify(*protocol);
+    if (cmd == "verify") {
+      std::string spec;
+      for (int i = 2; i < argc; ++i) {
+        if (i > 2) spec += ' ';
+        spec += argv[i];
+      }
+      return cmd_verify(*protocol, spec);
+    }
     if (cmd == "chain") return cmd_chain(*protocol);
     return cmd_critical(*protocol);
   }
@@ -489,4 +736,80 @@ int main(int argc, char** argv) {
                                   : 8);
   }
   return fail("unknown command '" + cmd + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Extract the global flags (any position) before dispatch.
+  g_threads = rcons::util::hardware_threads();
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return fail("--threads wants a count >= 0");
+      }
+      const int threads = std::atoi(value.c_str());
+      g_threads = threads == 0 ? rcons::util::hardware_threads() : threads;
+      continue;
+    }
+    if (arg.rfind("--max-states=", 0) == 0) {
+      const std::string value = arg.substr(13);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return fail("--max-states wants a state count >= 1");
+      }
+      g_max_states = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+      if (g_max_states == 0) return fail("--max-states wants a count >= 1");
+      continue;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      g_trace_out = arg.substr(12);
+      if (g_trace_out.empty()) return fail("--trace-out wants a directory");
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      g_metrics_out = arg.substr(14);
+      if (g_metrics_out.empty()) return fail("--metrics-out wants a file");
+      continue;
+    }
+    if (arg.rfind("--spans-out=", 0) == 0) {
+      g_spans_out = arg.substr(12);
+      if (g_spans_out.empty()) return fail("--spans-out wants a file");
+      continue;
+    }
+    if (arg == "--format=json") {
+      g_json = true;
+      continue;
+    }
+    if (arg == "--format=text") {
+      g_json = false;
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      return fail("unknown format '" + arg.substr(9) + "' (json|text)");
+    }
+    args.push_back(argv[i]);
+  }
+  args.push_back(nullptr);
+  argc = static_cast<int>(args.size()) - 1;
+  argv = args.data();
+  const int code = dispatch(argc, argv);
+  // Metrics spill even on failure exits: the observability of a run that
+  // found a violation (or died inconclusive) is the interesting case.
+  if (!g_metrics_out.empty() &&
+      spill_file(g_metrics_out, rcons::trace::metrics().to_json() + "\n")) {
+    std::fprintf(stderr, "rcons_cli: wrote %s\n", g_metrics_out.c_str());
+  }
+  if (!g_spans_out.empty() &&
+      spill_file(g_spans_out,
+                 rcons::trace::metrics().spans_to_chrome_json())) {
+    std::fprintf(stderr, "rcons_cli: wrote %s\n", g_spans_out.c_str());
+  }
+  return code;
 }
