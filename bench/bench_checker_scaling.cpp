@@ -79,6 +79,19 @@ void BM_Recording(benchmark::State& state, const ObjectType& type,
 const ObjectType g_tas = rcons::spec::make_test_and_set();
 const ObjectType g_cas3 = rcons::spec::make_cas(3);
 const ObjectType g_x4 = rcons::spec::make_xn(4);
+const ObjectType g_cons3 = rcons::spec::make_consensus_object(3);
+
+// Ablation (3): the automorphism orbit filter on top of the canonical
+// enumeration. Only full (failing) scans show the pruning; the 3-consensus
+// object has a 6-element value-automorphism group, so its exhaustive n=6
+// scan halves (1664 -> 848 assignments).
+void BM_DiscerningMode(benchmark::State& state, const ObjectType& type,
+                       rcons::hierarchy::SymmetryMode mode) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::hierarchy::check_discerning(type, n, mode));
+  }
+}
 
 }  // namespace
 
@@ -99,6 +112,13 @@ BENCHMARK_CAPTURE(BM_Discerning, tas_sym_threads4, g_tas, true, 4)
 BENCHMARK_CAPTURE(BM_Recording, tas_sym_threads4, g_tas, true, 4)
     ->Arg(4)->Arg(5);
 BENCHMARK_CAPTURE(BM_Recording, x4_sym_threads4, g_x4, true, 4)->Arg(3)->Arg(4);
+
+BENCHMARK_CAPTURE(BM_DiscerningMode, cons3_canonical, g_cons3,
+                  rcons::hierarchy::SymmetryMode::kCanonical)
+    ->Arg(5)->Arg(6);
+BENCHMARK_CAPTURE(BM_DiscerningMode, cons3_automorphism, g_cons3,
+                  rcons::hierarchy::SymmetryMode::kAutomorphism)
+    ->Arg(5)->Arg(6);
 
 int main(int argc, char** argv) {
   print_scaling_table();

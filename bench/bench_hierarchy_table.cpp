@@ -10,11 +10,16 @@
 //   n' — non-readable divergence); X_n stand-in profiled by the search.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
+#include <vector>
 
 #include "hierarchy/consensus_number.hpp"
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
+#include "reduction/verdict_cache.hpp"
 #include "spec/catalog.hpp"
 #include "spec/paper_types.hpp"
 #include "util/table.hpp"
@@ -83,7 +88,55 @@ const ObjectType g_tas = rcons::spec::make_test_and_set();
 const ObjectType g_cas3 = rcons::spec::make_cas(3);
 const ObjectType g_tnn52 = rcons::spec::make_tnn(5, 2);
 
+// E1b — the repeated-sweep ablation. Re-profiling the whole table after an
+// unrelated change is the common workflow; the persistent verdict cache
+// turns the second sweep into pure lookups. The cold/warm pair below is
+// the headline number for the cache (warm must beat cold by >= 2x).
+// Exact-level types, so every profile pays for full (failing) scans one
+// level past the answer — the cells that dominate a real table run.
+std::vector<ObjectType> sweep_types() {
+  return {rcons::spec::make_consensus_object(2),
+          rcons::spec::make_consensus_object(3),
+          rcons::spec::make_tnn(4, 2),
+          rcons::spec::make_tnn(5, 2),
+          rcons::spec::make_xn(4),
+          rcons::spec::make_xn(5)};
+}
+
+void BM_HierarchySweep_Cold(benchmark::State& state) {
+  const std::vector<ObjectType> types = sweep_types();
+  for (auto _ : state) {
+    for (const ObjectType& type : types) {
+      benchmark::DoNotOptimize(compute_profile(type, 6));
+    }
+  }
+}
+
+void BM_HierarchySweep_WarmCache(benchmark::State& state) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("rcons-bench-cache-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  const rcons::reduction::VerdictCache cache(dir);
+  rcons::hierarchy::ProfileOptions options;
+  options.cache = &cache;
+  const std::vector<ObjectType> types = sweep_types();
+  for (const ObjectType& type : types) {
+    compute_profile(type, 6, options);  // populate
+  }
+  for (auto _ : state) {
+    for (const ObjectType& type : types) {
+      benchmark::DoNotOptimize(compute_profile(type, 6, options));
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
+
+BENCHMARK(BM_HierarchySweep_Cold)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HierarchySweep_WarmCache)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_CAPTURE(BM_DiscerningCheck, tas_n2, g_tas, 2);
 BENCHMARK_CAPTURE(BM_DiscerningCheck, tas_n3, g_tas, 3);

@@ -28,6 +28,7 @@ class NaiveProposeConsensus : public ProtocolBase {
                       const exec::LocalState& state) const override;
   exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
                            spec::ResponseId response) const override;
+  bool process_symmetric() const override { return true; }
 
  private:
   exec::ObjectId obj_;

@@ -36,6 +36,7 @@ class TnnWaitFreeConsensus : public ProtocolBase {
                       const exec::LocalState& state) const override;
   exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
                            spec::ResponseId response) const override;
+  bool process_symmetric() const override { return true; }
 
  private:
   int n_;
@@ -64,6 +65,7 @@ class TnnRecoverableConsensus : public ProtocolBase {
   int declared_crash_budget() const override {
     return process_count() <= nprime_ ? 2 : -1;
   }
+  bool process_symmetric() const override { return true; }
 
  private:
   int n_;

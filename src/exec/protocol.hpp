@@ -119,6 +119,15 @@ class Protocol {
   virtual std::string describe_state(ProcessId pid,
                                      const LocalState& state) const;
 
+  /// Whether the algorithm treats processes interchangeably: name(),
+  /// initial_state(), poised() and advance() must not depend on `pid` (two
+  /// processes with the same input and local state behave identically).
+  /// Declaring true lets the model checker quotient configurations by
+  /// input-preserving process permutations (see src/reduction/). The
+  /// declaration is audited semantically by
+  /// reduction::verify_process_symmetry. Default: false (no reduction).
+  virtual bool process_symmetric() const { return false; }
+
   /// Optional crash-budget annotation: the maximum number of crashes per
   /// process per execution this protocol claims to tolerate (the solo
   /// projection of the paper's E_z sets; see sched::CrashAccountant for

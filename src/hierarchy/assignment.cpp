@@ -1,7 +1,10 @@
 #include "hierarchy/assignment.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
+#include "reduction/type_canon.hpp"
 #include "util/assert.hpp"
 #include "util/combinatorics.hpp"
 
@@ -92,9 +95,9 @@ bool for_each_assignment_naive(
                          [&](const std::vector<int>& team_of) {
       if (found) return;
       a.team_of = team_of;
-      for_each_assignment(static_cast<unsigned>(type.op_count()),
-                          static_cast<unsigned>(n),
-                          [&](const std::vector<int>& ops) {
+      rcons::for_each_assignment(static_cast<unsigned>(type.op_count()),
+                                 static_cast<unsigned>(n),
+                                 [&](const std::vector<int>& ops) {
         if (found) return;
         for (int i = 0; i < n; ++i) {
           a.ops[static_cast<std::size_t>(i)] = ops[static_cast<std::size_t>(i)];
@@ -104,6 +107,114 @@ bool for_each_assignment_naive(
     });
   }
   return found;
+}
+
+namespace {
+
+// A canonical assignment as the enumerator's lexicographic key: the initial
+// value, then the two sorted op multisets in team order. Canonical
+// assignments and keys are in bijection, and the enumerator emits keys in
+// strictly increasing order.
+struct AssignmentKey {
+  spec::ValueId u;
+  std::vector<spec::OpId> ops0;
+  std::vector<spec::OpId> ops1;
+
+  friend bool operator<(const AssignmentKey& a, const AssignmentKey& b) {
+    return std::tie(a.u, a.ops0, a.ops1) < std::tie(b.u, b.ops0, b.ops1);
+  }
+};
+
+AssignmentKey key_of(const Assignment& a) {
+  AssignmentKey key;
+  key.u = a.initial_value;
+  const int size0 = a.team_size(0);
+  key.ops0.assign(a.ops.begin(), a.ops.begin() + size0);
+  key.ops1.assign(a.ops.begin() + size0, a.ops.end());
+  return key;
+}
+
+// The canonical assignment key of phi applied to `key`: relabel the value
+// and the ops, then re-normalize exactly as the enumerator would (sorted op
+// multisets; for equal team sizes the smaller multiset is team 0).
+AssignmentKey apply_automorphism(const reduction::TypeRelabeling& phi,
+                                 const AssignmentKey& key) {
+  AssignmentKey image;
+  image.u = phi.value_perm[static_cast<std::size_t>(key.u)];
+  image.ops0.reserve(key.ops0.size());
+  image.ops1.reserve(key.ops1.size());
+  for (spec::OpId o : key.ops0) {
+    image.ops0.push_back(phi.op_perm[static_cast<std::size_t>(o)]);
+  }
+  for (spec::OpId o : key.ops1) {
+    image.ops1.push_back(phi.op_perm[static_cast<std::size_t>(o)]);
+  }
+  std::sort(image.ops0.begin(), image.ops0.end());
+  std::sort(image.ops1.begin(), image.ops1.end());
+  if (image.ops0.size() == image.ops1.size() && image.ops1 < image.ops0) {
+    std::swap(image.ops0, image.ops1);
+  }
+  return image;
+}
+
+}  // namespace
+
+bool parse_symmetry_mode(const std::string& text, SymmetryMode* out) {
+  if (text == "naive") {
+    *out = SymmetryMode::kNaive;
+  } else if (text == "canonical") {
+    *out = SymmetryMode::kCanonical;
+  } else if (text == "automorphism") {
+    *out = SymmetryMode::kAutomorphism;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* symmetry_mode_name(SymmetryMode mode) {
+  switch (mode) {
+    case SymmetryMode::kNaive:
+      return "naive";
+    case SymmetryMode::kCanonical:
+      return "canonical";
+    case SymmetryMode::kAutomorphism:
+      return "automorphism";
+  }
+  return "?";
+}
+
+bool for_each_assignment(const spec::ObjectType& type, int n,
+                         SymmetryMode mode,
+                         const std::function<bool(const Assignment&)>& visit) {
+  switch (mode) {
+    case SymmetryMode::kNaive:
+      return for_each_assignment_naive(type, n, visit);
+    case SymmetryMode::kCanonical:
+      return for_each_canonical_assignment(type, n, visit);
+    case SymmetryMode::kAutomorphism:
+      break;
+  }
+  const std::vector<reduction::TypeRelabeling> autos =
+      reduction::type_automorphisms(type);
+  if (autos.size() <= 1) {
+    return for_each_canonical_assignment(type, n, visit);
+  }
+  // Visit only orbit minima: an assignment whose image under some
+  // automorphism is lexicographically smaller has already been covered (the
+  // smaller image is itself canonical and therefore enumerated earlier).
+  // Automorphisms act on canonical assignments — relabel-then-renormalize
+  // is a group action because renormalization only permutes process slots,
+  // which the key already quotients away — so each orbit keeps exactly its
+  // minimum.
+  return for_each_canonical_assignment(type, n, [&](const Assignment& a) {
+    const AssignmentKey key = key_of(a);
+    for (const reduction::TypeRelabeling& phi : autos) {
+      if (reduction::is_identity(phi)) continue;
+      if (apply_automorphism(phi, key) < key) return false;
+    }
+    return visit(a);
+  });
 }
 
 }  // namespace rcons::hierarchy

@@ -60,4 +60,33 @@ bool for_each_assignment_naive(
     const spec::ObjectType& type, int n,
     const std::function<bool(const Assignment&)>& visit);
 
+/// How much symmetry the assignment enumeration quotients away. Every mode
+/// yields the same holds/witness-existence verdict; stats and the concrete
+/// witness may differ between modes (and are bit-identical across thread
+/// counts within one mode).
+enum class SymmetryMode {
+  /// Every partition x op vector x value; cross-validation baseline.
+  kNaive,
+  /// Process-relabelling symmetry only (the historical default).
+  kCanonical,
+  /// kCanonical, further quotiented by the automorphism group of the
+  /// type's delta table (reduction::type_automorphisms): an assignment is
+  /// skipped when some automorphism maps it to a lexicographically
+  /// smaller canonical assignment. Sound because automorphisms commute
+  /// with apply(), so they preserve both the discerning and the recording
+  /// conditions.
+  kAutomorphism,
+};
+
+/// Parses "naive" / "canonical" / "automorphism"; returns false on anything
+/// else (leaving `out` untouched).
+bool parse_symmetry_mode(const std::string& text, SymmetryMode* out);
+
+const char* symmetry_mode_name(SymmetryMode mode);
+
+/// Unified enumeration entry point dispatching on `mode`.
+bool for_each_assignment(const spec::ObjectType& type, int n,
+                         SymmetryMode mode,
+                         const std::function<bool(const Assignment&)>& visit);
+
 }  // namespace rcons::hierarchy

@@ -1,5 +1,6 @@
 #include "hierarchy/consensus_number.hpp"
 
+#include "reduction/type_canon.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::hierarchy {
@@ -27,28 +28,89 @@ Level scan_level(int max_n, const Check& holds_at) {
   return level;
 }
 
+// Wraps one per-n verdict in a cache lookup/store when a cache is wired.
+// The key embeds the canonical type key (not the name), so a renamed or
+// relabeled-but-isomorphic type hits the same entry; the crash budget is
+// pinned to "inf" because both conditions quantify over all one-shot
+// schedules regardless of crashes.
+class CachedVerdicts {
+ public:
+  CachedVerdicts(const spec::ObjectType& type, const ProfileOptions& options)
+      : options_(options) {
+    if (options_.cache != nullptr && options_.cache->enabled()) {
+      spec_key_ = reduction::canonicalize_type(type).key;
+    }
+  }
+
+  template <typename Check>
+  bool holds(const char* kind, int n, const Check& check) const {
+    if (spec_key_.empty()) return check(n);
+    const std::string key = std::string(kind) + "|n=" + std::to_string(n) +
+                            "|z=inf|spec=" + spec_key_;
+    if (std::optional<std::string> payload = options_.cache->lookup(key)) {
+      if (*payload == "holds=1") return true;
+      if (*payload == "holds=0") return false;
+      // Unknown payload: treat as a miss and fall through to recompute.
+    }
+    const bool result = check(n);
+    options_.cache->store(key, result ? "holds=1" : "holds=0");
+    return result;
+  }
+
+ private:
+  const ProfileOptions& options_;
+  std::string spec_key_;
+};
+
 }  // namespace
 
-Level discerning_level(const spec::ObjectType& type, int max_n, int threads) {
+Level discerning_level(const spec::ObjectType& type, int max_n,
+                       const ProfileOptions& options) {
+  const CachedVerdicts cached(type, options);
   return scan_level(max_n, [&](int n) {
-    return check_discerning(type, n, /*use_symmetry=*/true, threads).holds;
+    return cached.holds("discerning", n, [&](int m) {
+      return check_discerning(type, m, options.mode, options.threads).holds;
+    });
   });
 }
 
-Level recording_level(const spec::ObjectType& type, int max_n, int threads) {
+Level recording_level(const spec::ObjectType& type, int max_n,
+                      const ProfileOptions& options) {
+  const CachedVerdicts cached(type, options);
   return scan_level(max_n, [&](int n) {
-    return check_recording(type, n, /*use_symmetry=*/true, threads).holds;
+    return cached.holds("recording", n, [&](int m) {
+      return check_recording(type, m, options.mode, options.threads).holds;
+    });
   });
+}
+
+Level discerning_level(const spec::ObjectType& type, int max_n, int threads) {
+  ProfileOptions options;
+  options.threads = threads;
+  return discerning_level(type, max_n, options);
+}
+
+Level recording_level(const spec::ObjectType& type, int max_n, int threads) {
+  ProfileOptions options;
+  options.threads = threads;
+  return recording_level(type, max_n, options);
+}
+
+TypeProfile compute_profile(const spec::ObjectType& type, int max_n,
+                            const ProfileOptions& options) {
+  TypeProfile profile;
+  profile.type_name = type.name();
+  profile.readable = type.is_readable();
+  profile.discerning = discerning_level(type, max_n, options);
+  profile.recording = recording_level(type, max_n, options);
+  return profile;
 }
 
 TypeProfile compute_profile(const spec::ObjectType& type, int max_n,
                             int threads) {
-  TypeProfile profile;
-  profile.type_name = type.name();
-  profile.readable = type.is_readable();
-  profile.discerning = discerning_level(type, max_n, threads);
-  profile.recording = recording_level(type, max_n, threads);
-  return profile;
+  ProfileOptions options;
+  options.threads = threads;
+  return compute_profile(type, max_n, options);
 }
 
 }  // namespace rcons::hierarchy

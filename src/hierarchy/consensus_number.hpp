@@ -20,6 +20,7 @@
 
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
+#include "reduction/verdict_cache.hpp"
 #include "spec/object_type.hpp"
 
 namespace rcons::hierarchy {
@@ -35,6 +36,21 @@ struct Level {
   friend bool operator==(const Level&, const Level&) = default;
 };
 
+/// Knobs shared by the level scans and compute_profile.
+struct ProfileOptions {
+  /// Follows the SafetyOptions contract (1 = serial, > 1 = parallel
+  /// bit-identical, 0 = hardware threads); applies to each per-n scan.
+  int threads = 1;
+  SymmetryMode mode = SymmetryMode::kCanonical;
+  /// Optional persistent verdict cache. When set and enabled, each per-n
+  /// verdict is looked up under
+  ///   <kind> "|n=" <n> "|z=inf|spec=" <canonical type key>
+  /// before running the checker and stored after. Cached hits carry no
+  /// witness or stats — only the holds bit, which is all the level scan
+  /// consumes — so levels are identical with a cold, warm, or absent cache.
+  const reduction::VerdictCache* cache = nullptr;
+};
+
 /// max { n in [2, max_n] : T is n-discerning }, else 1. `threads` follows
 /// the SafetyOptions contract (1 = serial, > 1 = parallel bit-identical,
 /// 0 = hardware threads) and applies to each per-n checker scan.
@@ -44,6 +60,12 @@ Level discerning_level(const spec::ObjectType& type, int max_n,
 /// max { n in [2, max_n] : T is n-recording }, else 1.
 Level recording_level(const spec::ObjectType& type, int max_n,
                       int threads = 1);
+
+Level discerning_level(const spec::ObjectType& type, int max_n,
+                       const ProfileOptions& options);
+
+Level recording_level(const spec::ObjectType& type, int max_n,
+                      const ProfileOptions& options);
 
 /// The full computed profile of one type.
 struct TypeProfile {
@@ -61,5 +83,8 @@ struct TypeProfile {
 
 TypeProfile compute_profile(const spec::ObjectType& type, int max_n,
                             int threads = 1);
+
+TypeProfile compute_profile(const spec::ObjectType& type, int max_n,
+                            const ProfileOptions& options);
 
 }  // namespace rcons::hierarchy

@@ -96,12 +96,12 @@ bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
 }
 
 DiscerningResult check_discerning(const spec::ObjectType& type, int n,
-                                  bool use_symmetry, int threads) {
+                                  SymmetryMode mode, int threads) {
   RCONS_CHECK_MSG(n >= 2, "n-discerning is defined for n >= 2");
   RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
   if (threads != 1) {
     detail::AssignmentScan scan = detail::scan_assignments_parallel(
-        type, n, use_symmetry, threads,
+        type, n, mode, threads,
         [&type](const Assignment& a, std::uint64_t* nodes) {
       return is_discerning_witness(type, a, nodes);
     });
@@ -112,7 +112,7 @@ DiscerningResult check_discerning(const spec::ObjectType& type, int n,
     return result;
   }
   DiscerningResult result;
-  const auto visit = [&](const Assignment& a) {
+  for_each_assignment(type, n, mode, [&](const Assignment& a) {
     result.stats.assignments_tried += 1;
     if (is_discerning_witness(type, a, &result.stats.schedule_nodes)) {
       result.holds = true;
@@ -120,13 +120,15 @@ DiscerningResult check_discerning(const spec::ObjectType& type, int n,
       return true;
     }
     return false;
-  };
-  if (use_symmetry) {
-    for_each_canonical_assignment(type, n, visit);
-  } else {
-    for_each_assignment_naive(type, n, visit);
-  }
+  });
   return result;
+}
+
+DiscerningResult check_discerning(const spec::ObjectType& type, int n,
+                                  bool use_symmetry, int threads) {
+  return check_discerning(
+      type, n, use_symmetry ? SymmetryMode::kCanonical : SymmetryMode::kNaive,
+      threads);
 }
 
 }  // namespace rcons::hierarchy

@@ -35,11 +35,15 @@ struct DiscerningResult {
 bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
                            std::uint64_t* nodes = nullptr);
 
-/// Decides whether `type` is n-discerning (n >= 2).
-/// `use_symmetry` selects the canonical (default) or naive enumeration —
-/// the latter exists for cross-validation and ablation. `threads` follows
-/// the SafetyOptions contract: 1 = serial scan, > 1 = batch-parallel scan
-/// with bit-identical witness and stats, 0 = hardware threads.
+/// Decides whether `type` is n-discerning (n >= 2) over the enumeration
+/// selected by `mode`. `threads` follows the SafetyOptions contract: 1 =
+/// serial scan, > 1 = batch-parallel scan with bit-identical witness and
+/// stats, 0 = hardware threads.
+DiscerningResult check_discerning(const spec::ObjectType& type, int n,
+                                  SymmetryMode mode, int threads = 1);
+
+/// Historical entry point: `use_symmetry` selects kCanonical (default) or
+/// kNaive.
 DiscerningResult check_discerning(const spec::ObjectType& type, int n,
                                   bool use_symmetry = true, int threads = 1);
 

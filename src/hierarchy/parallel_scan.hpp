@@ -29,11 +29,11 @@ struct AssignmentScan {
   EnumerationStats stats;
 };
 
-/// Runs `evaluate(assignment, &nodes)` over the canonical (or naive)
-/// enumeration using `threads` pool threads. Returns the first witness in
+/// Runs `evaluate(assignment, &nodes)` over the enumeration selected by
+/// `mode` using `threads` pool threads. Returns the first witness in
 /// enumeration order with statistics identical to the serial scan.
 inline AssignmentScan scan_assignments_parallel(
-    const spec::ObjectType& type, int n, bool use_symmetry, int threads,
+    const spec::ObjectType& type, int n, SymmetryMode mode, int threads,
     const std::function<bool(const Assignment&, std::uint64_t*)>& evaluate) {
   util::ThreadPool pool(threads);
   const std::size_t batch_cap =
@@ -85,11 +85,7 @@ inline AssignmentScan scan_assignments_parallel(
     if (batch.size() >= batch_cap) return flush();
     return false;
   };
-  if (use_symmetry) {
-    for_each_canonical_assignment(type, n, visit);
-  } else {
-    for_each_assignment_naive(type, n, visit);
-  }
+  for_each_assignment(type, n, mode, visit);
   if (!out.holds) flush();
   return out;
 }

@@ -86,13 +86,13 @@ class RecordingDfs {
 };
 
 RecordingResult check_impl(const spec::ObjectType& type, int n,
-                           bool use_symmetry, bool require_nonhiding,
+                           SymmetryMode mode, bool require_nonhiding,
                            int threads) {
   RCONS_CHECK_MSG(n >= 2, "n-recording is defined for n >= 2");
   RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
   if (threads != 1) {
     detail::AssignmentScan scan = detail::scan_assignments_parallel(
-        type, n, use_symmetry, threads,
+        type, n, mode, threads,
         [&type, require_nonhiding](const Assignment& a, std::uint64_t* nodes) {
       RecordingDfs dfs(type, a, require_nonhiding);
       return dfs.run(nodes);
@@ -104,7 +104,7 @@ RecordingResult check_impl(const spec::ObjectType& type, int n,
     return result;
   }
   RecordingResult result;
-  const auto visit = [&](const Assignment& a) {
+  for_each_assignment(type, n, mode, [&](const Assignment& a) {
     result.stats.assignments_tried += 1;
     RecordingDfs dfs(type, a, require_nonhiding);
     if (dfs.run(&result.stats.schedule_nodes)) {
@@ -113,12 +113,7 @@ RecordingResult check_impl(const spec::ObjectType& type, int n,
       return true;
     }
     return false;
-  };
-  if (use_symmetry) {
-    for_each_canonical_assignment(type, n, visit);
-  } else {
-    for_each_assignment_naive(type, n, visit);
-  }
+  });
   return result;
 }
 
@@ -142,15 +137,27 @@ bool is_nonhiding_recording_witness(const spec::ObjectType& type,
 }
 
 RecordingResult check_recording(const spec::ObjectType& type, int n,
+                                SymmetryMode mode, int threads) {
+  return check_impl(type, n, mode, /*require_nonhiding=*/false, threads);
+}
+
+RecordingResult check_recording(const spec::ObjectType& type, int n,
                                 bool use_symmetry, int threads) {
-  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/false,
-                    threads);
+  return check_recording(
+      type, n, use_symmetry ? SymmetryMode::kCanonical : SymmetryMode::kNaive,
+      threads);
+}
+
+RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
+                                          SymmetryMode mode, int threads) {
+  return check_impl(type, n, mode, /*require_nonhiding=*/true, threads);
 }
 
 RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
                                           bool use_symmetry, int threads) {
-  return check_impl(type, n, use_symmetry, /*require_nonhiding=*/true,
-                    threads);
+  return check_recording_nonhiding(
+      type, n, use_symmetry ? SymmetryMode::kCanonical : SymmetryMode::kNaive,
+      threads);
 }
 
 std::vector<int> compute_value_teams(const spec::ObjectType& type,

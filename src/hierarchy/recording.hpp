@@ -46,14 +46,23 @@ bool is_nonhiding_recording_witness(const spec::ObjectType& type,
                                     const Assignment& a,
                                     std::uint64_t* nodes = nullptr);
 
-/// Decides whether `type` is n-recording (n >= 2). `threads` follows the
-/// SafetyOptions contract: 1 = serial scan, > 1 = batch-parallel scan with
-/// bit-identical witness and stats, 0 = hardware threads.
+/// Decides whether `type` is n-recording (n >= 2) over the enumeration
+/// selected by `mode`. `threads` follows the SafetyOptions contract: 1 =
+/// serial scan, > 1 = batch-parallel scan with bit-identical witness and
+/// stats, 0 = hardware threads.
+RecordingResult check_recording(const spec::ObjectType& type, int n,
+                                SymmetryMode mode, int threads = 1);
+
+/// Historical entry point: `use_symmetry` selects kCanonical (default) or
+/// kNaive.
 RecordingResult check_recording(const spec::ObjectType& type, int n,
                                 bool use_symmetry = true, int threads = 1);
 
 /// Decides whether `type` has a NON-HIDING n-recording witness (a strictly
 /// stronger property than n-recording).
+RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
+                                          SymmetryMode mode, int threads = 1);
+
 RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
                                           bool use_symmetry = true,
                                           int threads = 1);

@@ -1,0 +1,228 @@
+#include "reduction/config_canon.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "exec/execute.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::reduction {
+namespace {
+
+bool local_less(const exec::LocalState& a, const exec::LocalState& b) {
+  return std::lexicographical_compare(a.words.begin(), a.words.end(),
+                                      b.words.begin(), b.words.end());
+}
+
+// s := tau applied to c, i.e. s.local(tau[i]) = c.local(i).
+exec::Config permute_config(const exec::Config& c, const PidPermutation& tau) {
+  exec::Config s = c;
+  for (int i = 0; i < c.process_count(); ++i) {
+    s.set_local(tau[static_cast<std::size_t>(i)], c.local(i));
+  }
+  return s;
+}
+
+}  // namespace
+
+ProcessSymmetryReducer::ProcessSymmetryReducer(const exec::Protocol& protocol,
+                                               const std::vector<int>& inputs,
+                                               bool enable)
+    : process_count_(protocol.process_count()) {
+  if (!enable) return;
+  RCONS_CHECK(static_cast<int>(inputs.size()) == process_count_);
+  std::map<int, std::vector<int>> by_input;
+  for (int pid = 0; pid < process_count_; ++pid) {
+    by_input[inputs[static_cast<std::size_t>(pid)]].push_back(pid);
+  }
+  for (auto& [input, pids] : by_input) {
+    if (pids.size() >= 2) groups_.push_back(std::move(pids));
+  }
+  active_ = !groups_.empty();
+}
+
+void ProcessSymmetryReducer::canonicalize(exec::Config* config) const {
+  if (!active_) return;
+  for (const auto& group : groups_) {
+    std::vector<exec::LocalState> locals;
+    locals.reserve(group.size());
+    for (int pid : group) locals.push_back(config->local(pid));
+    std::stable_sort(locals.begin(), locals.end(), local_less);
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      config->set_local(group[j], std::move(locals[j]));
+    }
+  }
+}
+
+PidPermutation ProcessSymmetryReducer::canonicalize_with_permutation(
+    exec::Config* config) const {
+  PidPermutation perm(static_cast<std::size_t>(process_count_));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (!active_) return perm;
+  for (const auto& group : groups_) {
+    std::vector<std::size_t> order(group.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return local_less(config->local(group[a]),
+                                         config->local(group[b]));
+                     });
+    std::vector<exec::LocalState> locals;
+    locals.reserve(group.size());
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      locals.push_back(config->local(group[order[j]]));
+    }
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      config->set_local(group[j], std::move(locals[j]));
+      perm[static_cast<std::size_t>(group[order[j]])] = group[j];
+    }
+  }
+  return perm;
+}
+
+int DerandomizedSchedule::real_pid(int canonical_pid) const {
+  for (std::size_t i = 0; i < final_perm.size(); ++i) {
+    if (final_perm[i] == canonical_pid) return static_cast<int>(i);
+  }
+  return canonical_pid;
+}
+
+DerandomizedSchedule derandomize_schedule(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const ProcessSymmetryReducer& reducer,
+    const std::vector<exec::Schedule>& canonical_segments) {
+  const int n = protocol.process_count();
+  DerandomizedSchedule out;
+  out.final_perm.resize(static_cast<std::size_t>(n));
+  std::iota(out.final_perm.begin(), out.final_perm.end(), 0);
+  if (!reducer.active()) {
+    for (const exec::Schedule& seg : canonical_segments) {
+      out.schedule.insert(out.schedule.end(), seg.begin(), seg.end());
+    }
+    return out;
+  }
+
+  // Invariant at every segment boundary: tau maps the true configuration c
+  // to the canonical frame the engine stored (canonical.local(tau[i]) ==
+  // c.local(i)). The root is its own representative — equal-input
+  // processes start in identical local states — so tau begins as the
+  // identity. Within a segment tau is FIXED: all of a segment's events are
+  // expressed in its source frame.
+  exec::Config c = exec::Config::initial(protocol, inputs);
+  PidPermutation tau = out.final_perm;
+  std::vector<int> inv_tau = tau;
+  exec::DecisionLog log(n);
+
+  for (const exec::Schedule& seg : canonical_segments) {
+    for (const exec::Event& e : seg) {
+      const int real = inv_tau[static_cast<std::size_t>(e.pid)];
+      const exec::Event real_event{e.kind, real};
+      out.schedule.push_back(real_event);
+      exec::apply_event(protocol, c, real_event, log);
+    }
+    exec::Config s = permute_config(c, tau);
+    const PidPermutation pi = reducer.canonicalize_with_permutation(&s);
+    for (int i = 0; i < n; ++i) {
+      tau[static_cast<std::size_t>(i)] =
+          pi[static_cast<std::size_t>(tau[static_cast<std::size_t>(i)])];
+    }
+    for (int i = 0; i < n; ++i) {
+      inv_tau[static_cast<std::size_t>(tau[static_cast<std::size_t>(i)])] = i;
+    }
+  }
+  out.final_perm = tau;
+  return out;
+}
+
+DerandomizedSchedule derandomize_schedule(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const ProcessSymmetryReducer& reducer,
+    const exec::Schedule& canonical_schedule) {
+  std::vector<exec::Schedule> segments;
+  segments.reserve(canonical_schedule.size());
+  for (const exec::Event& e : canonical_schedule) {
+    segments.push_back(exec::Schedule{e});
+  }
+  return derandomize_schedule(protocol, inputs, reducer, segments);
+}
+
+bool verify_process_symmetry(const exec::Protocol& protocol,
+                             const std::vector<int>& inputs,
+                             std::size_t max_configs) {
+  const int n = protocol.process_count();
+  RCONS_CHECK(static_cast<int>(inputs.size()) == n);
+
+  // Pairs of distinct processes with equal inputs; their transposition must
+  // commute with every event.
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (inputs[static_cast<std::size_t>(i)] ==
+          inputs[static_cast<std::size_t>(j)]) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  if (pairs.empty()) return true;
+
+  for (auto [i, j] : pairs) {
+    if (!(protocol.initial_state(i, inputs[static_cast<std::size_t>(i)]) ==
+          protocol.initial_state(j, inputs[static_cast<std::size_t>(j)]))) {
+      return false;
+    }
+  }
+
+  auto swap_locals = [](exec::Config config, int i, int j) {
+    exec::LocalState tmp = config.local(i);
+    config.set_local(i, config.local(j));
+    config.set_local(j, tmp);
+    return config;
+  };
+
+  std::unordered_set<exec::Config, exec::ConfigHash> visited;
+  std::deque<exec::Config> frontier;
+  frontier.push_back(exec::Config::initial(protocol, inputs));
+  visited.insert(frontier.back());
+
+  while (!frontier.empty() && visited.size() <= max_configs) {
+    exec::Config c = std::move(frontier.front());
+    frontier.pop_front();
+
+    for (auto [i, j] : pairs) {
+      const exec::Config swapped = swap_locals(c, i, j);
+      for (exec::Event::Kind kind :
+           {exec::Event::Kind::kStep, exec::Event::Kind::kCrash}) {
+        exec::Config a = c;
+        exec::DecisionLog la(n);
+        const exec::EventOutcome oa =
+            exec::apply_event(protocol, a, exec::Event{kind, i}, la);
+        exec::Config b = swapped;
+        exec::DecisionLog lb(n);
+        const exec::EventOutcome ob =
+            exec::apply_event(protocol, b, exec::Event{kind, j}, lb);
+        if (!(swap_locals(a, i, j) == b)) return false;
+        if (oa.decision != ob.decision) return false;
+      }
+    }
+
+    for (int pid = 0; pid < n; ++pid) {
+      for (exec::Event::Kind kind :
+           {exec::Event::Kind::kStep, exec::Event::Kind::kCrash}) {
+        exec::Config next = c;
+        exec::DecisionLog log(n);
+        exec::apply_event(protocol, next, exec::Event{kind, pid}, log);
+        if (visited.insert(next).second) frontier.push_back(std::move(next));
+      }
+    }
+  }
+  return true;
+}
+
+bool inputs_canonical(const std::vector<int>& inputs) {
+  return std::is_sorted(inputs.begin(), inputs.end());
+}
+
+}  // namespace rcons::reduction

@@ -1,0 +1,108 @@
+// Quotienting explored configurations by process symmetry.
+//
+// For a protocol that treats processes interchangeably (see
+// exec::Protocol::process_symmetric), any permutation pi of the process ids
+// that fixes the input vector maps executions to executions: permuting the
+// local states of a configuration (object values untouched) commutes with
+// steps and crashes, and preserves which values have been decided. Every
+// verdict the valency engines compute over E_z(C) is therefore invariant
+// under the stabilizer of the input vector — the Young subgroup of
+// permutations acting within groups of processes that share an input.
+//
+// ProcessSymmetryReducer maps each configuration to the canonical
+// representative of its orbit: within every equal-input group, local states
+// are stably sorted. Exploring only representatives shrinks the reachable
+// state space while preserving verdicts exactly.
+//
+// Counterexamples found in the quotient are schedules over canonical
+// frames; derandomize_schedule() rewrites one into a genuine schedule of
+// the original protocol by tracking the accumulated permutation event by
+// event (see DESIGN.md §10 for the algebra).
+#pragma once
+
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/event.hpp"
+#include "exec/protocol.hpp"
+
+namespace rcons::reduction {
+
+/// A permutation of process ids: `perm[old_pid] = new_pid`.
+using PidPermutation = std::vector<int>;
+
+class ProcessSymmetryReducer {
+ public:
+  /// Inactive reducer: canonicalize() is the identity.
+  ProcessSymmetryReducer() = default;
+
+  /// Reduces modulo the stabilizer of `inputs` when `enable` is true (the
+  /// caller has checked protocol.process_symmetric()).
+  ProcessSymmetryReducer(const exec::Protocol& protocol,
+                         const std::vector<int>& inputs, bool enable);
+
+  bool active() const { return active_; }
+
+  /// Rewrites `config` in place to its orbit representative: the local
+  /// states of each equal-input group in stable-sorted order.
+  void canonicalize(exec::Config* config) const;
+
+  /// As canonicalize(), also reporting the permutation applied: afterwards
+  /// canonical.local(perm[i]) == original.local(i) for every i.
+  PidPermutation canonicalize_with_permutation(exec::Config* config) const;
+
+ private:
+  // Equal-input pid groups (each ascending); singleton groups are dropped
+  // since they cannot move.
+  std::vector<std::vector<int>> groups_;
+  int process_count_ = 0;
+  bool active_ = false;
+};
+
+/// A canonical-frame schedule rewritten against the real protocol.
+struct DerandomizedSchedule {
+  exec::Schedule schedule;
+  /// Final frame map: canonical pid = final_perm[real pid].
+  PidPermutation final_perm;
+
+  /// The real pid behind `canonical_pid` in the final configuration.
+  int real_pid(int canonical_pid) const;
+};
+
+/// Replays a canonical-frame schedule (recorded over canonical
+/// representatives) against the real protocol, yielding a schedule whose
+/// execution from Config::initial(protocol, inputs) visits, frame by
+/// frame, the true configurations whose canonical forms the engine
+/// explored. Verdict evidence (violating pid, stuck pid) transfers through
+/// final_perm.
+///
+/// The schedule arrives as the engine's edge SEGMENTS: every event of one
+/// segment is expressed in the frame of the segment's source node (the
+/// engines canonicalize only between edges, so a multi-event segment — the
+/// simultaneous crash — must be translated under one fixed frame).
+DerandomizedSchedule derandomize_schedule(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const ProcessSymmetryReducer& reducer,
+    const std::vector<exec::Schedule>& canonical_segments);
+
+/// Convenience overload for schedules whose every event is its own edge
+/// (steps and individual crashes only).
+DerandomizedSchedule derandomize_schedule(
+    const exec::Protocol& protocol, const std::vector<int>& inputs,
+    const ProcessSymmetryReducer& reducer,
+    const exec::Schedule& canonical_schedule);
+
+/// Bounded semantic audit of a process_symmetric() declaration: explores up
+/// to `max_configs` configurations breadth-first and checks that swapping
+/// any two equal-input processes commutes with every event. Returns false
+/// (with the offending pair ignored) on the first asymmetry.
+bool verify_process_symmetry(const exec::Protocol& protocol,
+                             const std::vector<int>& inputs,
+                             std::size_t max_configs = 4096);
+
+/// True if `inputs` is the canonical representative of its orbit under
+/// full process permutation (non-decreasing). For process-symmetric
+/// protocols the all-inputs drivers only need canonical vectors.
+bool inputs_canonical(const std::vector<int>& inputs);
+
+}  // namespace rcons::reduction

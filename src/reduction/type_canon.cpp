@@ -1,0 +1,498 @@
+#include "reduction/type_canon.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <numeric>
+
+#include "spec/builder.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::reduction {
+namespace {
+
+// A structural signature: a flat integer vector, comparable. Signatures are
+// built from colors only (never raw ids), so they are relabeling-invariant.
+using Sig = std::vector<int>;
+
+// Dense ranks of `sigs` in sorted order: equal signatures share a rank.
+std::vector<int> rank_signatures(const std::vector<Sig>& sigs) {
+  std::map<Sig, int> rank;
+  for (const Sig& s : sigs) rank.emplace(s, 0);
+  int next = 0;
+  for (auto& [sig, r] : rank) r = next++;
+  std::vector<int> out;
+  out.reserve(sigs.size());
+  for (const Sig& s : sigs) out.push_back(rank.at(s));
+  return out;
+}
+
+struct Colors {
+  std::vector<int> value;
+  std::vector<int> op;
+  std::vector<int> response;
+
+  friend bool operator==(const Colors&, const Colors&) = default;
+};
+
+// Mutual partition refinement: each kind's color is refined by the colored
+// shape of the delta table until a fixed point. Terminates in at most
+// V + O + R rounds (color counts are monotone non-decreasing).
+Colors refine(const spec::ObjectType& t) {
+  const int V = t.value_count();
+  const int O = t.op_count();
+  const int R = t.response_count();
+  Colors c;
+  c.value.assign(static_cast<std::size_t>(V), 0);
+  c.op.assign(static_cast<std::size_t>(O), 0);
+  c.response.assign(static_cast<std::size_t>(R), 0);
+
+  for (int round = 0; round < V + O + R + 1; ++round) {
+    Colors next = c;
+
+    std::vector<Sig> vsigs(static_cast<std::size_t>(V));
+    for (int v = 0; v < V; ++v) {
+      Sig rows;
+      for (int op = 0; op < O; ++op) {
+        const spec::Effect& e = t.apply(v, op);
+        rows.push_back(c.op[static_cast<std::size_t>(op)]);
+        rows.push_back(c.response[static_cast<std::size_t>(e.response)]);
+        rows.push_back(c.value[static_cast<std::size_t>(e.next_value)]);
+      }
+      // Rows are already produced in op order; ops of equal color are
+      // interchangeable, so sort the per-op triples to get a multiset.
+      Sig sig{c.value[static_cast<std::size_t>(v)]};
+      std::vector<Sig> triples;
+      for (std::size_t i = 0; i < rows.size(); i += 3) {
+        triples.push_back({rows[i], rows[i + 1], rows[i + 2]});
+      }
+      std::sort(triples.begin(), triples.end());
+      for (const Sig& tr : triples) {
+        sig.insert(sig.end(), tr.begin(), tr.end());
+      }
+      vsigs[static_cast<std::size_t>(v)] = std::move(sig);
+    }
+    next.value = rank_signatures(vsigs);
+
+    std::vector<Sig> osigs(static_cast<std::size_t>(O));
+    for (int op = 0; op < O; ++op) {
+      std::vector<Sig> triples;
+      for (int v = 0; v < V; ++v) {
+        const spec::Effect& e = t.apply(v, op);
+        triples.push_back({c.value[static_cast<std::size_t>(v)],
+                           c.response[static_cast<std::size_t>(e.response)],
+                           c.value[static_cast<std::size_t>(e.next_value)]});
+      }
+      std::sort(triples.begin(), triples.end());
+      Sig sig{c.op[static_cast<std::size_t>(op)]};
+      for (const Sig& tr : triples) {
+        sig.insert(sig.end(), tr.begin(), tr.end());
+      }
+      osigs[static_cast<std::size_t>(op)] = std::move(sig);
+    }
+    next.op = rank_signatures(osigs);
+
+    std::vector<Sig> rsigs(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      rsigs[static_cast<std::size_t>(r)] = {
+          c.response[static_cast<std::size_t>(r)]};
+    }
+    for (int v = 0; v < V; ++v) {
+      for (int op = 0; op < O; ++op) {
+        const spec::Effect& e = t.apply(v, op);
+        Sig& sig = rsigs[static_cast<std::size_t>(e.response)];
+        sig.push_back(c.value[static_cast<std::size_t>(v)]);
+        sig.push_back(c.op[static_cast<std::size_t>(op)]);
+        sig.push_back(c.value[static_cast<std::size_t>(e.next_value)]);
+      }
+    }
+    // The (value, op) occurrences of a response form a multiset: sort the
+    // appended triples (keeping the leading own-color entry in place).
+    for (Sig& sig : rsigs) {
+      std::vector<Sig> triples;
+      for (std::size_t i = 1; i < sig.size(); i += 3) {
+        triples.push_back({sig[i], sig[i + 1], sig[i + 2]});
+      }
+      std::sort(triples.begin(), triples.end());
+      sig.resize(1);
+      for (const Sig& tr : triples) {
+        sig.insert(sig.end(), tr.begin(), tr.end());
+      }
+    }
+    next.response = rank_signatures(rsigs);
+
+    if (next == c) return c;
+    c = std::move(next);
+  }
+  return c;
+}
+
+// Ids grouped by color, classes in color order, members ascending.
+std::vector<std::vector<int>> color_classes(const std::vector<int>& colors) {
+  int max_color = -1;
+  for (int c : colors) max_color = std::max(max_color, c);
+  std::vector<std::vector<int>> classes(
+      static_cast<std::size_t>(max_color + 1));
+  for (std::size_t id = 0; id < colors.size(); ++id) {
+    classes[static_cast<std::size_t>(colors[id])].push_back(
+        static_cast<int>(id));
+  }
+  return classes;
+}
+
+// Number of class-respecting labelings (product of class factorials),
+// saturating at `cap + 1`.
+std::size_t count_labelings(const std::vector<std::vector<int>>& classes,
+                            std::size_t cap) {
+  std::size_t total = 1;
+  for (const auto& cls : classes) {
+    for (std::size_t k = 2; k <= cls.size(); ++k) {
+      total *= k;
+      if (total > cap) return cap + 1;
+    }
+  }
+  return total;
+}
+
+// All orders (old ids listed in new-id sequence) that respect the classes:
+// the concatenation, class by class, of every permutation of each class.
+std::vector<std::vector<int>> all_orders(
+    const std::vector<std::vector<int>>& classes) {
+  std::vector<std::vector<int>> orders{{}};
+  for (const auto& cls : classes) {
+    std::vector<int> perm = cls;  // ascending = first permutation
+    std::vector<std::vector<int>> grown;
+    do {
+      for (const auto& prefix : orders) {
+        std::vector<int> next = prefix;
+        next.insert(next.end(), perm.begin(), perm.end());
+        grown.push_back(std::move(next));
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    orders = std::move(grown);
+  }
+  return orders;
+}
+
+// All permutations that map every class ONTO ITSELF (perm[old] = new).
+// Unlike all_orders — whose candidates send classes to normalized id
+// blocks — these fix the original id positions of each class, which is
+// what an automorphism must do (colors are structural invariants).
+std::vector<std::vector<int>> class_preserving_perms(
+    const std::vector<std::vector<int>>& classes, std::size_t n) {
+  std::vector<int> identity(n);
+  std::iota(identity.begin(), identity.end(), 0);
+  std::vector<std::vector<int>> perms{identity};
+  for (const auto& cls : classes) {
+    if (cls.size() < 2) continue;
+    std::vector<int> target = cls;  // ascending = first permutation
+    std::vector<std::vector<int>> grown;
+    do {
+      for (const auto& base : perms) {
+        std::vector<int> next = base;
+        for (std::size_t j = 0; j < cls.size(); ++j) {
+          next[static_cast<std::size_t>(cls[j])] = target[j];
+        }
+        grown.push_back(std::move(next));
+      }
+    } while (std::next_permutation(target.begin(), target.end()));
+    perms = std::move(grown);
+  }
+  return perms;
+}
+
+std::vector<int> order_to_perm(const std::vector<int>& order) {
+  std::vector<int> perm(order.size());
+  for (std::size_t new_id = 0; new_id < order.size(); ++new_id) {
+    perm[static_cast<std::size_t>(order[new_id])] = static_cast<int>(new_id);
+  }
+  return perm;
+}
+
+// The refinement-only labeling: ids sorted by (color, id). Deterministic,
+// but not invariant beyond the coloring — used only past the budget.
+std::vector<int> fallback_perm(const std::vector<int>& colors) {
+  std::vector<int> order(colors.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return colors[static_cast<std::size_t>(a)] <
+           colors[static_cast<std::size_t>(b)];
+  });
+  return order_to_perm(order);
+}
+
+void append_int(std::string& out, int x) { out += std::to_string(x); }
+
+// Encodes the delta table under (value_perm, op_perm), choosing the
+// response labeling greedily: response classes occupy fixed id blocks (by
+// color rank), and within a block ids are handed out in order of first
+// appearance in the scan — the lexicographically minimal choice for this
+// (value_perm, op_perm). Fills `response_perm`.
+std::string encode(const spec::ObjectType& t, const Colors& colors,
+                   const std::vector<std::vector<int>>& rclasses,
+                   const std::vector<int>& value_perm,
+                   const std::vector<int>& op_perm,
+                   std::vector<int>& response_perm) {
+  const int V = t.value_count();
+  const int O = t.op_count();
+  const int R = t.response_count();
+
+  std::vector<int> vinv(static_cast<std::size_t>(V));
+  for (int v = 0; v < V; ++v) {
+    vinv[static_cast<std::size_t>(value_perm[static_cast<std::size_t>(v)])] =
+        v;
+  }
+  std::vector<int> oinv(static_cast<std::size_t>(O));
+  for (int op = 0; op < O; ++op) {
+    oinv[static_cast<std::size_t>(op_perm[static_cast<std::size_t>(op)])] = op;
+  }
+
+  std::vector<int> block_start(rclasses.size());
+  {
+    int start = 0;
+    for (std::size_t c = 0; c < rclasses.size(); ++c) {
+      block_start[c] = start;
+      start += static_cast<int>(rclasses[c].size());
+    }
+  }
+  std::vector<int> used(rclasses.size(), 0);
+  response_perm.assign(static_cast<std::size_t>(R), -1);
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(V * O) * 6 + 16);
+  out += 'v';
+  append_int(out, V);
+  out += 'o';
+  append_int(out, O);
+  out += 'r';
+  append_int(out, R);
+  out += ':';
+  for (int nv = 0; nv < V; ++nv) {
+    const int v = vinv[static_cast<std::size_t>(nv)];
+    for (int nop = 0; nop < O; ++nop) {
+      const int op = oinv[static_cast<std::size_t>(nop)];
+      const spec::Effect& e = t.apply(v, op);
+      int& nr = response_perm[static_cast<std::size_t>(e.response)];
+      if (nr < 0) {
+        const std::size_t cls = static_cast<std::size_t>(
+            colors.response[static_cast<std::size_t>(e.response)]);
+        nr = block_start[cls] + used[cls]++;
+      }
+      append_int(out, nr);
+      out += '.';
+      append_int(out, value_perm[static_cast<std::size_t>(e.next_value)]);
+      out += (nop + 1 == O) ? ';' : ',';
+    }
+  }
+  // Responses that never occur in the delta table get the leftover slots of
+  // their class, in ascending old-id order.
+  for (int r = 0; r < R; ++r) {
+    int& nr = response_perm[static_cast<std::size_t>(r)];
+    if (nr < 0) {
+      const std::size_t cls = static_cast<std::size_t>(
+          colors.response[static_cast<std::size_t>(r)]);
+      nr = block_start[cls] + used[cls]++;
+    }
+  }
+  return out;
+}
+
+// Stable 64-bit hash of the key bytes (FNV-1a + avalanche finalizer).
+std::uint64_t hash_key(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+TypeRelabeling identity_relabeling(const spec::ObjectType& type) {
+  TypeRelabeling id;
+  id.value_perm.resize(static_cast<std::size_t>(type.value_count()));
+  std::iota(id.value_perm.begin(), id.value_perm.end(), 0);
+  id.op_perm.resize(static_cast<std::size_t>(type.op_count()));
+  std::iota(id.op_perm.begin(), id.op_perm.end(), 0);
+  id.response_perm.resize(static_cast<std::size_t>(type.response_count()));
+  std::iota(id.response_perm.begin(), id.response_perm.end(), 0);
+  return id;
+}
+
+bool is_identity(const TypeRelabeling& relabeling) {
+  auto check = [](const std::vector<int>& perm) {
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      if (perm[i] != static_cast<int>(i)) return false;
+    }
+    return true;
+  };
+  return check(relabeling.value_perm) && check(relabeling.op_perm) &&
+         check(relabeling.response_perm);
+}
+
+spec::ObjectType relabel_type(const spec::ObjectType& type,
+                              const TypeRelabeling& relabeling,
+                              const std::string& new_name) {
+  RCONS_CHECK(static_cast<int>(relabeling.value_perm.size()) ==
+              type.value_count());
+  RCONS_CHECK(static_cast<int>(relabeling.op_perm.size()) == type.op_count());
+  RCONS_CHECK(static_cast<int>(relabeling.response_perm.size()) ==
+              type.response_count());
+  spec::TypeBuilder b(new_name.empty() ? type.name() : new_name);
+  // Declare in new-id order so the permuted ids land where they should;
+  // names travel with their ids.
+  std::vector<int> vinv(relabeling.value_perm.size());
+  for (std::size_t v = 0; v < vinv.size(); ++v) {
+    vinv[static_cast<std::size_t>(relabeling.value_perm[v])] =
+        static_cast<int>(v);
+  }
+  std::vector<int> oinv(relabeling.op_perm.size());
+  for (std::size_t op = 0; op < oinv.size(); ++op) {
+    oinv[static_cast<std::size_t>(relabeling.op_perm[op])] =
+        static_cast<int>(op);
+  }
+  std::vector<int> rinv(relabeling.response_perm.size());
+  for (std::size_t r = 0; r < rinv.size(); ++r) {
+    rinv[static_cast<std::size_t>(relabeling.response_perm[r])] =
+        static_cast<int>(r);
+  }
+  for (std::size_t nv = 0; nv < vinv.size(); ++nv) {
+    b.value(type.value_name(vinv[nv]));
+  }
+  for (std::size_t nop = 0; nop < oinv.size(); ++nop) {
+    b.op(type.op_name(oinv[nop]));
+  }
+  for (std::size_t nr = 0; nr < rinv.size(); ++nr) {
+    b.response(type.response_name(rinv[nr]));
+  }
+  for (int v = 0; v < type.value_count(); ++v) {
+    for (int op = 0; op < type.op_count(); ++op) {
+      const spec::Effect& e = type.apply(v, op);
+      b.on(type.value_name(v), type.op_name(op))
+          .then(type.value_name(e.next_value))
+          .returns(type.response_name(e.response));
+    }
+  }
+  return b.build();
+}
+
+CanonicalForm canonicalize_type(const spec::ObjectType& type,
+                                std::size_t max_candidates) {
+  const Colors colors = refine(type);
+  const auto vclasses = color_classes(colors.value);
+  const auto oclasses = color_classes(colors.op);
+  const auto rclasses = color_classes(colors.response);
+
+  CanonicalForm best;
+  const std::size_t vcount = count_labelings(vclasses, max_candidates);
+  const std::size_t ocount = count_labelings(oclasses, max_candidates);
+  if (vcount > max_candidates || ocount > max_candidates ||
+      vcount * ocount > max_candidates) {
+    best.complete = false;
+    best.labeling.value_perm = fallback_perm(colors.value);
+    best.labeling.op_perm = fallback_perm(colors.op);
+    best.key = encode(type, colors, rclasses, best.labeling.value_perm,
+                      best.labeling.op_perm, best.labeling.response_perm);
+    best.hash = hash_key(best.key);
+    return best;
+  }
+
+  const auto vorders = all_orders(vclasses);
+  const auto oorders = all_orders(oclasses);
+  for (const auto& vorder : vorders) {
+    const std::vector<int> vperm = order_to_perm(vorder);
+    for (const auto& oorder : oorders) {
+      const std::vector<int> operm = order_to_perm(oorder);
+      std::vector<int> rperm;
+      std::string key = encode(type, colors, rclasses, vperm, operm, rperm);
+      if (best.key.empty() || key < best.key) {
+        best.key = std::move(key);
+        best.labeling.value_perm = vperm;
+        best.labeling.op_perm = operm;
+        best.labeling.response_perm = std::move(rperm);
+      }
+    }
+  }
+  best.hash = hash_key(best.key);
+  best.complete = true;
+  return best;
+}
+
+std::uint64_t canonical_type_hash(const spec::ObjectType& type) {
+  return canonicalize_type(type).hash;
+}
+
+std::vector<TypeRelabeling> type_automorphisms(const spec::ObjectType& type,
+                                               std::size_t max_candidates) {
+  const Colors colors = refine(type);
+  const auto vclasses = color_classes(colors.value);
+  const auto oclasses = color_classes(colors.op);
+
+  std::vector<TypeRelabeling> autos;
+  const std::size_t vcount = count_labelings(vclasses, max_candidates);
+  const std::size_t ocount = count_labelings(oclasses, max_candidates);
+  if (vcount > max_candidates || ocount > max_candidates ||
+      vcount * ocount > max_candidates) {
+    autos.push_back(identity_relabeling(type));
+    return autos;
+  }
+
+  const int V = type.value_count();
+  const int O = type.op_count();
+  const int R = type.response_count();
+  const auto vperms =
+      class_preserving_perms(vclasses, static_cast<std::size_t>(V));
+  const auto operms =
+      class_preserving_perms(oclasses, static_cast<std::size_t>(O));
+  for (const auto& vperm : vperms) {
+    for (const auto& operm : operms) {
+      // phi = (vperm, operm) is an automorphism iff a response bijection
+      // making delta commute exists; that bijection is forced pointwise.
+      std::vector<int> rperm(static_cast<std::size_t>(R), -1);
+      bool ok = true;
+      for (int v = 0; v < V && ok; ++v) {
+        for (int op = 0; op < O && ok; ++op) {
+          const spec::Effect& e = type.apply(v, op);
+          const spec::Effect& img =
+              type.apply(vperm[static_cast<std::size_t>(v)],
+                         operm[static_cast<std::size_t>(op)]);
+          if (img.next_value !=
+              vperm[static_cast<std::size_t>(e.next_value)]) {
+            ok = false;
+            break;
+          }
+          int& mapped = rperm[static_cast<std::size_t>(e.response)];
+          if (mapped < 0) {
+            mapped = img.response;
+          } else if (mapped != img.response) {
+            ok = false;
+          }
+        }
+      }
+      if (!ok) continue;
+      // The forced part must be injective; unused responses fill the
+      // remaining slots in ascending order.
+      std::vector<bool> taken(static_cast<std::size_t>(R), false);
+      for (int r = 0; r < R && ok; ++r) {
+        const int m = rperm[static_cast<std::size_t>(r)];
+        if (m < 0) continue;
+        if (taken[static_cast<std::size_t>(m)]) ok = false;
+        taken[static_cast<std::size_t>(m)] = true;
+      }
+      if (!ok) continue;
+      int next_free = 0;
+      for (int r = 0; r < R; ++r) {
+        if (rperm[static_cast<std::size_t>(r)] >= 0) continue;
+        while (taken[static_cast<std::size_t>(next_free)]) ++next_free;
+        rperm[static_cast<std::size_t>(r)] = next_free;
+        taken[static_cast<std::size_t>(next_free)] = true;
+      }
+      autos.push_back(TypeRelabeling{vperm, operm, std::move(rperm)});
+    }
+  }
+  return autos;
+}
+
+}  // namespace rcons::reduction

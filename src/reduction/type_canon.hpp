@@ -1,0 +1,90 @@
+// Canonical forms of object types under relabeling.
+//
+// Two types that differ only in how their values, operations, and responses
+// are numbered (and named) implement the same sequential specification, so
+// every verdict this repo computes — n-discerning, n-recording, safety and
+// liveness of protocols parameterized by the type — is invariant under such
+// relabelings. This module computes a canonical representative of a type's
+// relabeling orbit:
+//
+//   * canonicalize_type() returns a complete structural encoding (the "key")
+//     of the type under a canonical labeling, plus a 64-bit hash of that
+//     key. Isomorphic types get identical keys; the hash is what the
+//     persistent verdict cache uses for file names, and the key itself is
+//     stored in cache entries so a hash collision can never produce a wrong
+//     verdict (it only costs a cache miss).
+//
+//   * type_automorphisms() returns the relabelings that map the type to
+//     itself. The hierarchy scans use them to skip operation assignments
+//     that are images of already-checked ones.
+//
+// The algorithm is partition refinement (values, ops, and responses are
+// colored by their structural signatures until stable) followed by a
+// backtracking-free enumeration of labelings within color classes, capped
+// by a candidate budget. If the budget is exceeded the refinement coloring
+// alone picks the labeling; the result is then marked incomplete — still a
+// valid encoding of the type (sound for caching, because cache lookups
+// compare full keys), just no longer guaranteed equal across every
+// relabeling of the orbit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::reduction {
+
+/// A relabeling of a type's ids: `value_perm[old] = new`, and likewise for
+/// operations and responses.
+struct TypeRelabeling {
+  std::vector<int> value_perm;
+  std::vector<int> op_perm;
+  std::vector<int> response_perm;
+
+  friend bool operator==(const TypeRelabeling&, const TypeRelabeling&) =
+      default;
+};
+
+/// The identity relabeling for `type`'s dimensions.
+TypeRelabeling identity_relabeling(const spec::ObjectType& type);
+
+bool is_identity(const TypeRelabeling& relabeling);
+
+/// Rebuilds `type` with every id permuted per `relabeling`. Names follow
+/// their ids, so the result is isomorphic to the input by construction.
+/// `new_name` overrides the type name when non-empty (the name never
+/// participates in canonicalization).
+spec::ObjectType relabel_type(const spec::ObjectType& type,
+                              const TypeRelabeling& relabeling,
+                              const std::string& new_name = "");
+
+struct CanonicalForm {
+  /// Complete encoding of the delta table under the canonical labeling.
+  std::string key;
+  /// 64-bit hash of `key` (stable across platforms and runs).
+  std::uint64_t hash = 0;
+  /// The labeling that produced `key`.
+  TypeRelabeling labeling;
+  /// False when the candidate budget was hit and only the refinement
+  /// coloring picked the labeling (see file comment).
+  bool complete = true;
+};
+
+inline constexpr std::size_t kDefaultCanonBudget = 20000;
+
+CanonicalForm canonicalize_type(const spec::ObjectType& type,
+                                std::size_t max_candidates =
+                                    kDefaultCanonBudget);
+
+/// Shorthand for canonicalize_type(type).hash.
+std::uint64_t canonical_type_hash(const spec::ObjectType& type);
+
+/// All relabelings that fix the type's delta table (always includes the
+/// identity). Returns just {identity} when the candidate budget is hit.
+std::vector<TypeRelabeling> type_automorphisms(const spec::ObjectType& type,
+                                               std::size_t max_candidates =
+                                                   kDefaultCanonBudget);
+
+}  // namespace rcons::reduction

@@ -1,0 +1,161 @@
+#include "reduction/verdict_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "trace/metrics.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::reduction {
+namespace {
+
+constexpr const char* kMagic = "rcons-cache v1";
+
+std::uint64_t key_hash(const std::string& salted_key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : salted_key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+std::string hex64(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+void warn(const std::string& path, const char* what) {
+  std::fprintf(stderr, "rcons: cache: skipping %s (%s); will recompute\n",
+               path.c_str(), what);
+}
+
+// Strips "name: " and returns the rest, or nullopt if the prefix is absent.
+std::optional<std::string> field(const std::string& line, const char* name) {
+  const std::string prefix = std::string(name) + ": ";
+  if (line.rfind(prefix, 0) != 0) return std::nullopt;
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+VerdictCache::VerdictCache(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string VerdictCache::default_directory() {
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && xdg[0] != '\0') {
+    return std::string(xdg) + "/rcons";
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0') {
+    return std::string(home) + "/.cache/rcons";
+  }
+  return {};
+}
+
+std::string VerdictCache::entry_path(const std::string& key) const {
+  const std::string salted = std::string(kEngineVersionSalt) + "|" + key;
+  return directory_ + "/" + hex64(key_hash(salted)) + ".vc";
+}
+
+std::optional<std::string> VerdictCache::lookup(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  auto& m = trace::metrics();
+  const std::string path = entry_path(key);
+  std::ifstream in(path);
+  if (!in) {
+    m.add("cache.misses", 1);
+    return std::nullopt;
+  }
+  std::string magic, salt_line, key_line, payload_line, end_line;
+  if (!std::getline(in, magic) || !std::getline(in, salt_line) ||
+      !std::getline(in, key_line) || !std::getline(in, payload_line) ||
+      !std::getline(in, end_line)) {
+    warn(path, "truncated entry");
+    m.add("cache.skipped_corrupt", 1);
+    m.add("cache.misses", 1);
+    return std::nullopt;
+  }
+  const auto salt = field(salt_line, "salt");
+  const auto stored_key = field(key_line, "key");
+  const auto payload = field(payload_line, "payload");
+  if (magic != kMagic || !salt || !stored_key || !payload ||
+      end_line != "end") {
+    warn(path, "malformed entry");
+    m.add("cache.skipped_corrupt", 1);
+    m.add("cache.misses", 1);
+    return std::nullopt;
+  }
+  if (*salt != kEngineVersionSalt) {
+    warn(path, "stale engine salt");
+    m.add("cache.skipped_stale", 1);
+    m.add("cache.misses", 1);
+    return std::nullopt;
+  }
+  if (*stored_key != key) {
+    // Hash collision or foreign entry: a miss, not an error.
+    m.add("cache.misses", 1);
+    return std::nullopt;
+  }
+  m.add("cache.hits", 1);
+  return payload;
+}
+
+void VerdictCache::store(const std::string& key,
+                         const std::string& payload) const {
+  if (!enabled()) return;
+  auto& m = trace::metrics();
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    m.add("cache.write_errors", 1);
+    return;
+  }
+  // Unique temp name per writer so concurrent stores never share a file;
+  // the final rename is atomic, so readers see old-or-new, never partial.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string path = entry_path(key);
+  const std::string tmp =
+      path + ".tmp." + hex64(key_hash(std::to_string(::getpid()))) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      m.add("cache.write_errors", 1);
+      return;
+    }
+    out << kMagic << "\n"
+        << "salt: " << kEngineVersionSalt << "\n"
+        << "key: " << key << "\n"
+        << "payload: " << payload << "\n"
+        << "end\n";
+    out.flush();
+    if (!out) {
+      m.add("cache.write_errors", 1);
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    m.add("cache.write_errors", 1);
+    fs::remove(tmp, ec);
+    return;
+  }
+  m.add("cache.stores", 1);
+}
+
+}  // namespace rcons::reduction

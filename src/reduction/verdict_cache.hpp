@@ -1,0 +1,66 @@
+// Persistent on-disk verdict cache.
+//
+// Hierarchy verdicts (is this type n-discerning? n-recording?) are pure
+// functions of the canonical type and the parameters, so they can be
+// remembered across runs. Entries are keyed by a semantic key string
+// assembled by the caller:
+//
+//   <kind> "|n=" <n> "|z=" <crash budget> "|spec=" <canonical type key>
+//
+// and the engine-version salt is prepended by the cache itself, so any
+// change to checker semantics (bump kEngineVersionSalt) invalidates every
+// old entry. The file name is a 64-bit hash of the salted key; the full
+// key is stored inside the entry and compared on load, so hash collisions
+// and incomplete type canonicalization can only cause misses, never wrong
+// verdicts.
+//
+// Robustness: writes go to a unique temp file in the cache directory and
+// are renamed into place (atomic on POSIX), so readers only ever see
+// complete entries. Loads tolerate truncated, garbage, or stale-salt files
+// by warning (once per file, to stderr) and reporting a miss; every
+// failure mode degrades to recomputation. Hit/miss/store counters are
+// exported through trace::MetricsRegistry as cache.hits, cache.misses,
+// cache.stores, cache.skipped_corrupt, cache.skipped_stale, and
+// cache.write_errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rcons::reduction {
+
+/// Bump when any change alters what a cached verdict means (checker
+/// semantics, key scheme, payload format).
+inline constexpr const char* kEngineVersionSalt = "rcons-verdict-v1";
+
+class VerdictCache {
+ public:
+  /// A disabled cache: lookups miss silently, stores are dropped.
+  VerdictCache() = default;
+
+  /// Caches under `directory` (created on first store if missing). An
+  /// empty directory string disables the cache.
+  explicit VerdictCache(std::string directory);
+
+  /// `$XDG_CACHE_HOME/rcons` or `$HOME/.cache/rcons`; empty (disabled)
+  /// when neither variable is set.
+  static std::string default_directory();
+
+  bool enabled() const { return !directory_.empty(); }
+  const std::string& directory() const { return directory_; }
+
+  /// The stored payload for `key`, or nullopt on any kind of miss.
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  /// Persists `payload` (single line, no '\n') under `key`. Failures are
+  /// counted and swallowed — caching is best-effort by design.
+  void store(const std::string& key, const std::string& payload) const;
+
+ private:
+  std::string entry_path(const std::string& key) const;
+
+  std::string directory_;
+};
+
+}  // namespace rcons::reduction

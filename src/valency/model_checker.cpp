@@ -1,9 +1,11 @@
 #include "valency/model_checker.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <deque>
 #include <unordered_map>
 
+#include "reduction/config_canon.hpp"
 #include "trace/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/hashing.hpp"
@@ -16,7 +18,7 @@ namespace {
 using detail::Node;
 using detail::NodeHash;
 
-exec::Schedule reconstruct(
+std::vector<exec::Schedule> reconstruct_segments(
     const std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash>&
         parents,
     Node node, const Node& root) {
@@ -27,9 +29,18 @@ exec::Schedule reconstruct(
     segments.push_back(it->second.second);
     node = it->second.first;
   }
+  std::reverse(segments.begin(), segments.end());
+  return segments;
+}
+
+exec::Schedule reconstruct(
+    const std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash>&
+        parents,
+    Node node, const Node& root) {
   exec::Schedule schedule;
-  for (auto seg = segments.rbegin(); seg != segments.rend(); ++seg) {
-    schedule.insert(schedule.end(), seg->begin(), seg->end());
+  for (const exec::Schedule& seg :
+       reconstruct_segments(parents, std::move(node), root)) {
+    schedule.insert(schedule.end(), seg.begin(), seg.end());
   }
   return schedule;
 }
@@ -114,7 +125,12 @@ SafetyResult check_safety(const exec::Protocol& protocol,
   unsigned valid_mask = 0;
   for (int v : inputs) valid_mask |= 1u << v;
 
+  const reduction::ProcessSymmetryReducer reducer(
+      protocol, inputs,
+      options.reduce_symmetry && protocol.process_symmetric());
+
   Node root{exec::Config::initial(protocol, inputs), 0};
+  reducer.canonicalize(&root.config);  // a no-op per the symmetry contract
   std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash> parents;
   std::deque<Node> frontier{root};
   std::unordered_map<std::uint64_t, bool> seen_configs;  // stats only
@@ -122,9 +138,25 @@ SafetyResult check_safety(const exec::Protocol& protocol,
   visited.emplace(root, true);
   seen_configs.emplace(root.config.hash(), true);
 
-  const auto fail = [&](const Node& at, std::string what) {
-    result.counterexample = reconstruct(parents, at, root);
-    result.violation = std::move(what);
+  // On a violation, the reconstructed schedule is expressed over canonical
+  // frames when reducing; derandomize it into a real execution and re-aim
+  // the validity message at the real deciding process (the schedule's last
+  // event) before reporting.
+  const auto fail = [&](const Node& at, bool is_validity, int pid, int value,
+                        unsigned mask) {
+    exec::Schedule schedule;
+    if (reducer.active()) {
+      schedule = reduction::derandomize_schedule(
+                     protocol, inputs, reducer,
+                     reconstruct_segments(parents, at, root))
+                     .schedule;
+      if (is_validity) pid = schedule.back().pid;
+    } else {
+      schedule = reconstruct(parents, at, root);
+    }
+    result.counterexample = std::move(schedule);
+    result.violation = is_validity ? detail::validity_message(pid, value)
+                                   : detail::agreement_message(mask);
   };
 
   ScanMetrics scan("safety");
@@ -156,7 +188,7 @@ SafetyResult check_safety(const exec::Protocol& protocol,
                 Node{next.config, next.mask | (1u << v)},
                 std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
             fail(Node{next.config, next.mask | (1u << v)},
-                 detail::validity_message(pid, v));
+                 /*is_validity=*/true, pid, v, 0);
             result.states_visited = visited.size();
             result.configs_visited = seen_configs.size();
             return result;
@@ -168,12 +200,13 @@ SafetyResult check_safety(const exec::Protocol& protocol,
           if (std::popcount(next.mask) >= 2) {
             result.agreement_ok = false;
             parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
-            fail(next, detail::agreement_message(next.mask));
+            fail(next, /*is_validity=*/false, pid, -1, next.mask);
             result.states_visited = visited.size();
             result.configs_visited = seen_configs.size();
             return result;
           }
         }
+        reducer.canonicalize(&next.config);
         if (visited.emplace(next, true).second) {
           seen_configs.emplace(next.config.hash(), true);
           parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
@@ -186,6 +219,7 @@ SafetyResult check_safety(const exec::Protocol& protocol,
         Node next = node;
         exec::DecisionLog log(n);
         exec::apply_event(protocol, next.config, exec::Event::crash(pid), log);
+        reducer.canonicalize(&next.config);
         if (visited.emplace(next, true).second) {
           seen_configs.emplace(next.config.hash(), true);
           parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::crash(pid)}));
@@ -206,6 +240,7 @@ SafetyResult check_safety(const exec::Protocol& protocol,
         all_crash.push_back(exec::Event::crash(pid));
         exec::apply_event(protocol, next.config, exec::Event::crash(pid), log);
       }
+      reducer.canonicalize(&next.config);
       if (visited.emplace(next, true).second) {
         seen_configs.emplace(next.config.hash(), true);
         parents.emplace(next, std::make_pair(node, std::move(all_crash)));
@@ -222,6 +257,17 @@ SafetyResult check_safety(const exec::Protocol& protocol,
   return result;
 }
 
+std::vector<std::vector<int>> driver_input_vectors(
+    const exec::Protocol& protocol, bool reduce_symmetry) {
+  std::vector<std::vector<int>> out;
+  const bool orbit_only = reduce_symmetry && protocol.process_symmetric();
+  for (auto& inputs : all_binary_inputs(protocol.process_count())) {
+    if (orbit_only && !reduction::inputs_canonical(inputs)) continue;
+    out.push_back(std::move(inputs));
+  }
+  return out;
+}
+
 SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
                                      const SafetyOptions& options) {
   if (options.threads != 1) {
@@ -229,7 +275,8 @@ SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
   }
   SafetyResult merged;
   merged.explored_fully = true;
-  for (const auto& inputs : all_binary_inputs(protocol.process_count())) {
+  for (const auto& inputs :
+       driver_input_vectors(protocol, options.reduce_symmetry)) {
     SafetyResult r = check_safety(protocol, inputs, options);
     merged.states_visited += r.states_visited;
     merged.configs_visited += r.configs_visited;
@@ -254,7 +301,12 @@ LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
   const int n = protocol.process_count();
   LivenessResult result;
 
+  const reduction::ProcessSymmetryReducer reducer(
+      protocol, inputs,
+      options.reduce_symmetry && protocol.process_symmetric());
+
   Node root{exec::Config::initial(protocol, inputs), 0};
+  reducer.canonicalize(&root.config);  // a no-op per the symmetry contract
   std::unordered_map<Node, std::pair<Node, exec::Schedule>, NodeHash> parents;
   std::unordered_map<std::uint64_t, bool> probed_configs;
   std::unordered_map<Node, bool, NodeHash> visited;
@@ -281,8 +333,18 @@ LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
             protocol, node.config, pid, options.solo_step_bound);
         if (!decided.has_value()) {
           result.wait_free = false;
-          result.stuck_pid = pid;
-          result.reaching_schedule = reconstruct(parents, node, root);
+          if (reducer.active()) {
+            // The stuck process was probed in the canonical frame; report
+            // the real process behind it in the derandomized execution.
+            auto fixed = reduction::derandomize_schedule(
+                protocol, inputs, reducer,
+                reconstruct_segments(parents, node, root));
+            result.stuck_pid = fixed.real_pid(pid);
+            result.reaching_schedule = std::move(fixed.schedule);
+          } else {
+            result.stuck_pid = pid;
+            result.reaching_schedule = reconstruct(parents, node, root);
+          }
           return result;
         }
       }
@@ -295,6 +357,7 @@ LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
         const exec::EventOutcome out = exec::apply_event(
             protocol, next.config, exec::Event::step(pid), log);
         if (out.decision.has_value()) next.mask |= 1u << *out.decision;
+        reducer.canonicalize(&next.config);
         if (visited.emplace(next, true).second) {
           parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::step(pid)}));
           frontier.push_back(std::move(next));
@@ -304,6 +367,7 @@ LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
         Node next = node;
         exec::DecisionLog log(n);
         exec::apply_event(protocol, next.config, exec::Event::crash(pid), log);
+        reducer.canonicalize(&next.config);
         if (visited.emplace(next, true).second) {
           parents.emplace(next, std::make_pair(node, exec::Schedule{exec::Event::crash(pid)}));
           frontier.push_back(std::move(next));

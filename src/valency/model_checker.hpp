@@ -60,6 +60,13 @@ struct SafetyOptions {
   /// engine's for any thread count (see DESIGN.md §7; pinned by
   /// tests/parallel_diff_test.cpp). 0 means util::hardware_threads().
   int threads = 1;
+  /// Quotient the exploration by process symmetry (DESIGN.md §10). Takes
+  /// effect only when the protocol declares process_symmetric(); verdicts
+  /// are unchanged, counterexample schedules are rewritten back into real
+  /// executions, and the serial/parallel bit-identity contract holds
+  /// within the reduced mode (state counts differ from the unreduced run
+  /// by construction — that is the point).
+  bool reduce_symmetry = false;
 
   CrashMode effective_mode() const {
     return allow_crashes ? crash_mode : CrashMode::kNone;
@@ -105,6 +112,8 @@ struct LivenessOptions {
   /// Same contract as SafetyOptions::threads: 1 = serial engine, > 1 =
   /// parallel engine with bit-identical results, 0 = hardware threads.
   int threads = 1;
+  /// Same contract as SafetyOptions::reduce_symmetry.
+  bool reduce_symmetry = false;
 };
 
 struct LivenessResult {
@@ -132,5 +141,14 @@ LivenessResult check_recoverable_wait_freedom(
 
 /// All input vectors in {0,1}^n for an n-process protocol.
 std::vector<std::vector<int>> all_binary_inputs(int n);
+
+/// The input vectors an all-inputs driver must cover: all of {0,1}^n, or —
+/// when `reduce_symmetry` is set and the protocol declares
+/// process_symmetric() — only the sorted orbit representatives under
+/// process permutation (a violation for any vector maps to a violation for
+/// its sorted form by relabeling the execution). Shared by the library
+/// drivers and the CLI's verify command so they skip identically.
+std::vector<std::vector<int>> driver_input_vectors(
+    const exec::Protocol& protocol, bool reduce_symmetry);
 
 }  // namespace rcons::valency

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "exec/execute.hpp"
+#include "reduction/config_canon.hpp"
 #include "trace/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
@@ -75,8 +76,9 @@ std::uint64_t slot_of(const Stored& s, int tpn) {
          s.transition;
 }
 
-exec::Schedule path_to(const std::vector<std::vector<Stored>>& levels,
-                       std::size_t level, std::size_t index, int n) {
+std::vector<exec::Schedule> path_segments(
+    const std::vector<std::vector<Stored>>& levels, std::size_t level,
+    std::size_t index, int n) {
   std::vector<exec::Schedule> segments;
   while (level > 0) {
     const Stored& s = levels[level][index];
@@ -84,9 +86,15 @@ exec::Schedule path_to(const std::vector<std::vector<Stored>>& levels,
     index = s.parent;
     --level;
   }
+  std::reverse(segments.begin(), segments.end());
+  return segments;
+}
+
+exec::Schedule path_to(const std::vector<std::vector<Stored>>& levels,
+                       std::size_t level, std::size_t index, int n) {
   exec::Schedule schedule;
-  for (auto seg = segments.rbegin(); seg != segments.rend(); ++seg) {
-    schedule.insert(schedule.end(), seg->begin(), seg->end());
+  for (const exec::Schedule& seg : path_segments(levels, level, index, n)) {
+    schedule.insert(schedule.end(), seg.begin(), seg.end());
   }
   return schedule;
 }
@@ -176,11 +184,16 @@ SafetyResult safety_impl(const exec::Protocol& protocol,
   unsigned valid_mask = 0;
   for (int v : inputs) valid_mask |= 1u << v;
 
+  const reduction::ProcessSymmetryReducer reducer(
+      protocol, inputs,
+      options.reduce_symmetry && protocol.process_symmetric());
+
   SafetyResult result;
 
   std::vector<std::vector<Stored>> levels;
   levels.push_back(
       {Stored{Node{exec::Config::initial(protocol, inputs), 0}, 0, 0}});
+  reducer.canonicalize(&levels[0][0].node.config);  // no-op per contract
 
   VisitedMap discovered(pool.thread_count());
   discovered.insert_min(levels[0][0].node, DiscoveryKey{0, 0});
@@ -253,6 +266,7 @@ SafetyResult safety_impl(const exec::Protocol& protocol,
                                 exec::Event::crash(pid), log);
             }
           }
+          reducer.canonicalize(&next.config);
           if (discovered.insert_min(next, DiscoveryKey{level + 1, slot})) {
             candidates.push_back(Candidate{std::move(next), slot});
           }
@@ -294,24 +308,37 @@ SafetyResult safety_impl(const exec::Protocol& protocol,
           violation->slot < (static_cast<std::uint64_t>(k) + 1) *
                                 static_cast<std::uint64_t>(tpn)) {
         merge_below(violation->slot);
-        if (violation->validity) {
-          result.validity_ok = false;
-          result.violation =
-              validity_message(violation->pid, violation->value);
-        } else {
-          result.agreement_ok = false;
-          result.violation = agreement_message(violation->mask);
-        }
-        exec::Schedule schedule = path_to(
+        std::vector<exec::Schedule> segments = path_segments(
             levels, level,
             static_cast<std::size_t>(violation->slot /
                                      static_cast<std::uint64_t>(tpn)),
             n);
-        const exec::Schedule segment = transition_segment(
+        segments.push_back(transition_segment(
             static_cast<int>(violation->slot %
                              static_cast<std::uint64_t>(tpn)),
-            n);
-        schedule.insert(schedule.end(), segment.begin(), segment.end());
+            n));
+        exec::Schedule schedule;
+        int violating_pid = violation->pid;
+        if (reducer.active()) {
+          schedule = reduction::derandomize_schedule(protocol, inputs,
+                                                     reducer, segments)
+                         .schedule;
+          // The deciding step is the schedule's last event; like the
+          // serial engine, report its real-frame process id.
+          if (violation->validity) violating_pid = schedule.back().pid;
+        } else {
+          for (const exec::Schedule& seg : segments) {
+            schedule.insert(schedule.end(), seg.begin(), seg.end());
+          }
+        }
+        if (violation->validity) {
+          result.validity_ok = false;
+          result.violation =
+              validity_message(violating_pid, violation->value);
+        } else {
+          result.agreement_ok = false;
+          result.violation = agreement_message(violation->mask);
+        }
         result.counterexample = std::move(schedule);
         result.states_visited = stored_count + wi;
         result.configs_visited = seen_configs.size();
@@ -337,11 +364,16 @@ LivenessResult liveness_impl(const exec::Protocol& protocol,
   const int n = protocol.process_count();
   const int tpn = 2 * n;  // step/crash interleaved; no simultaneous event
 
+  const reduction::ProcessSymmetryReducer reducer(
+      protocol, inputs,
+      options.reduce_symmetry && protocol.process_symmetric());
+
   LivenessResult result;
 
   std::vector<std::vector<Stored>> levels;
   levels.push_back(
       {Stored{Node{exec::Config::initial(protocol, inputs), 0}, 0, 0}});
+  reducer.canonicalize(&levels[0][0].node.config);  // no-op per contract
 
   VisitedMap discovered(pool.thread_count());
   discovered.insert_min(levels[0][0].node, DiscoveryKey{0, 0});
@@ -412,6 +444,7 @@ LivenessResult liveness_impl(const exec::Protocol& protocol,
             exec::apply_event(protocol, next.config, exec::Event::crash(pid),
                               log);
           }
+          reducer.canonicalize(&next.config);
           if (discovered.insert_min(next, DiscoveryKey{level + 1, slot})) {
             candidates.push_back(Candidate{std::move(next), slot});
           }
@@ -441,8 +474,15 @@ LivenessResult liveness_impl(const exec::Protocol& protocol,
         result.configs_probed += 1;
         if (probe_stuck[pi] >= 0) {
           result.wait_free = false;
-          result.stuck_pid = probe_stuck[pi];
-          result.reaching_schedule = path_to(levels, level, k, n);
+          if (reducer.active()) {
+            auto fixed = reduction::derandomize_schedule(
+                protocol, inputs, reducer, path_segments(levels, level, k, n));
+            result.stuck_pid = fixed.real_pid(probe_stuck[pi]);
+            result.reaching_schedule = std::move(fixed.schedule);
+          } else {
+            result.stuck_pid = probe_stuck[pi];
+            result.reaching_schedule = path_to(levels, level, k, n);
+          }
           return result;
         }
         ++pi;
@@ -475,7 +515,8 @@ SafetyResult check_safety_all_inputs_parallel(const exec::Protocol& protocol,
   util::ThreadPool pool(options.threads);
   SafetyResult merged;
   merged.explored_fully = true;
-  for (const auto& inputs : all_binary_inputs(protocol.process_count())) {
+  for (const auto& inputs :
+       driver_input_vectors(protocol, options.reduce_symmetry)) {
     SafetyResult r = safety_impl(protocol, inputs, options, pool);
     merged.states_visited += r.states_visited;
     merged.configs_visited += r.configs_visited;

@@ -1,0 +1,197 @@
+// Robustness of the persistent verdict cache: every corruption mode must
+// degrade to a counted miss and a recompute, never a wrong verdict or a
+// crash, and concurrent writers must be safe (this file runs under TSan in
+// CI).
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reduction/verdict_cache.hpp"
+#include "trace/metrics.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rcons::reduction::VerdictCache;
+
+std::int64_t counter(const char* name) {
+  return rcons::trace::metrics().counter(name);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("rcons-cache-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// The single .vc entry file in the cache directory.
+  std::string entry_file() const {
+    std::string found;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path().extension() == ".vc") {
+        EXPECT_TRUE(found.empty()) << "more than one entry";
+        found = e.path().string();
+      }
+    }
+    EXPECT_FALSE(found.empty()) << "no entry written";
+    return found;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CacheTest, RoundTripAndCounters) {
+  const VerdictCache cache(dir_);
+  ASSERT_TRUE(cache.enabled());
+  const std::int64_t misses = counter("cache.misses");
+  const std::int64_t hits = counter("cache.hits");
+  const std::int64_t stores = counter("cache.stores");
+
+  EXPECT_EQ(cache.lookup("discerning|n=3|z=inf|spec=k"), std::nullopt);
+  EXPECT_EQ(counter("cache.misses"), misses + 1);
+
+  cache.store("discerning|n=3|z=inf|spec=k", "holds=1");
+  EXPECT_EQ(counter("cache.stores"), stores + 1);
+  EXPECT_EQ(cache.lookup("discerning|n=3|z=inf|spec=k"),
+            std::optional<std::string>("holds=1"));
+  EXPECT_EQ(counter("cache.hits"), hits + 1);
+
+  // A different key is a clean miss, not a false hit.
+  EXPECT_EQ(cache.lookup("discerning|n=4|z=inf|spec=k"), std::nullopt);
+}
+
+TEST_F(CacheTest, DisabledCacheIsInert) {
+  const VerdictCache cache{std::string()};
+  EXPECT_FALSE(cache.enabled());
+  const std::int64_t misses = counter("cache.misses");
+  cache.store("k", "v");
+  EXPECT_EQ(cache.lookup("k"), std::nullopt);
+  // Disabled caches do not even count misses.
+  EXPECT_EQ(counter("cache.misses"), misses);
+}
+
+TEST_F(CacheTest, TruncatedEntryIsSkippedAndRewritable) {
+  const VerdictCache cache(dir_);
+  cache.store("k1", "holds=1");
+  const std::string path = entry_file();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "rcons-cache v1\nsalt: ";
+  }
+  const std::int64_t corrupt = counter("cache.skipped_corrupt");
+  EXPECT_EQ(cache.lookup("k1"), std::nullopt);
+  EXPECT_EQ(counter("cache.skipped_corrupt"), corrupt + 1);
+  // The recompute path stores over the bad entry and recovers.
+  cache.store("k1", "holds=1");
+  EXPECT_EQ(cache.lookup("k1"), std::optional<std::string>("holds=1"));
+}
+
+TEST_F(CacheTest, GarbageEntryIsSkipped) {
+  const VerdictCache cache(dir_);
+  cache.store("k1", "holds=0");
+  {
+    std::ofstream out(entry_file(), std::ios::trunc);
+    out << "\x7f\x45\x4c\x46 not a cache entry\nat\nall\nreally\nnope\n";
+  }
+  const std::int64_t corrupt = counter("cache.skipped_corrupt");
+  EXPECT_EQ(cache.lookup("k1"), std::nullopt);
+  EXPECT_EQ(counter("cache.skipped_corrupt"), corrupt + 1);
+}
+
+TEST_F(CacheTest, StaleSaltIsSkipped) {
+  const VerdictCache cache(dir_);
+  cache.store("k1", "holds=1");
+  const std::string path = entry_file();
+  // Rewrite the entry as a past engine version would have: same shape,
+  // older salt. The entry is well-formed, so it must count as stale, not
+  // corrupt.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "rcons-cache v1\n"
+        << "salt: rcons-verdict-v0\n"
+        << "key: k1\n"
+        << "payload: holds=1\n"
+        << "end\n";
+  }
+  const std::int64_t stale = counter("cache.skipped_stale");
+  const std::int64_t corrupt = counter("cache.skipped_corrupt");
+  EXPECT_EQ(cache.lookup("k1"), std::nullopt);
+  EXPECT_EQ(counter("cache.skipped_stale"), stale + 1);
+  EXPECT_EQ(counter("cache.skipped_corrupt"), corrupt);
+}
+
+TEST_F(CacheTest, ForeignKeyInEntryIsAMissNotAHit) {
+  const VerdictCache cache(dir_);
+  cache.store("k1", "holds=1");
+  // Simulate a 64-bit file-name hash collision: the file exists but stores
+  // a different full key. Correctness demands a miss.
+  {
+    std::ofstream out(entry_file(), std::ios::trunc);
+    out << "rcons-cache v1\n"
+        << "salt: " << rcons::reduction::kEngineVersionSalt << "\n"
+        << "key: some-other-key\n"
+        << "payload: holds=0\n"
+        << "end\n";
+  }
+  EXPECT_EQ(cache.lookup("k1"), std::nullopt);
+}
+
+TEST_F(CacheTest, UnwritableDirectoryCountsWriteErrors) {
+  // A path under a regular FILE cannot be created as a directory.
+  const std::string blocker = dir_;
+  { std::ofstream out(blocker); }
+  const VerdictCache cache(blocker + "/sub");
+  const std::int64_t errors = counter("cache.write_errors");
+  cache.store("k1", "holds=1");
+  EXPECT_EQ(counter("cache.write_errors"), errors + 1);
+  EXPECT_EQ(cache.lookup("k1"), std::nullopt);
+}
+
+TEST_F(CacheTest, ConcurrentWritersAndReadersConverge) {
+  const VerdictCache cache(dir_);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 5;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::string key = "k" + std::to_string((t + round) % kKeys);
+        const std::string payload = "holds=" + std::to_string((t + round) % 2);
+        cache.store(key, payload);
+        // Whatever a racing lookup sees must be a complete entry for the
+        // right key (atomic rename: old payload, new payload, or miss —
+        // never a torn read).
+        if (const auto seen = cache.lookup(key)) {
+          EXPECT_TRUE(*seen == "holds=0" || *seen == "holds=1") << *seen;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // After the dust settles every key resolves to some complete entry.
+  for (int k = 0; k < kKeys; ++k) {
+    const auto seen = cache.lookup("k" + std::to_string(k));
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_TRUE(*seen == "holds=0" || *seen == "holds=1") << *seen;
+  }
+  // No temp droppings left behind.
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(e.path().extension(), ".vc") << e.path();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Golden regression corpus: the discerning/recording levels of every type
+// in data/ are pinned in tests/fixtures/golden/<name>.json and must be
+// reproduced bit-for-bit by every engine configuration — serial, parallel,
+// automorphism-reduced, and cache-warm. A level change is either a checker
+// regression or a deliberate semantic change; in the latter case
+// regenerate the fixtures (see tests/fixtures/golden/README.md) and bump
+// reduction::kEngineVersionSalt.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/consensus_number.hpp"
+#include "reduction/verdict_cache.hpp"
+#include "spec/serialize.hpp"
+#include "trace/metrics.hpp"
+
+namespace {
+
+using rcons::hierarchy::Level;
+using rcons::hierarchy::ProfileOptions;
+using rcons::hierarchy::SymmetryMode;
+using rcons::hierarchy::TypeProfile;
+
+std::string source_dir() { return RCONS_SOURCE_DIR; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+rcons::spec::ObjectType load_type(const std::string& path) {
+  const rcons::spec::ParseResult parsed = rcons::spec::parse_type(slurp(path));
+  EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+  return *parsed.type;
+}
+
+/// One pinned expectation, parsed from a golden fixture.
+struct GoldenEntry {
+  std::string file;  // data/ file name, e.g. "cas3.type"
+  int max_n = 0;
+  bool readable = false;
+  Level discerning;
+  Level recording;
+};
+
+// Extracts `"key":<json scalar>` from the single-line fixture. The corpus
+// controls the format (flat, no nesting except the two level objects), so
+// a full JSON parser would be overkill.
+std::string json_field(const std::string& doc, const std::string& key,
+                       std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = doc.find(needle, from);
+  EXPECT_NE(at, std::string::npos) << "fixture lacks " << key << ": " << doc;
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (doc[begin] == '"') {
+    end = doc.find('"', begin + 1);
+    return doc.substr(begin + 1, end - begin - 1);
+  }
+  while (end < doc.size() && doc[end] != ',' && doc[end] != '}') ++end;
+  return doc.substr(begin, end - begin);
+}
+
+Level json_level(const std::string& doc, const std::string& key) {
+  const std::size_t at = doc.find("\"" + key + "\":");
+  EXPECT_NE(at, std::string::npos) << doc;
+  Level level;
+  level.value = std::stoi(json_field(doc, "value", at));
+  level.exact = json_field(doc, "exact", at) == "true";
+  return level;
+}
+
+GoldenEntry parse_fixture(const std::string& path) {
+  const std::string doc = slurp(path);
+  GoldenEntry e;
+  e.file = json_field(doc, "file");
+  e.max_n = std::stoi(json_field(doc, "max_n"));
+  e.readable = json_field(doc, "readable") == "true";
+  e.discerning = json_level(doc, "discerning");
+  e.recording = json_level(doc, "recording");
+  return e;
+}
+
+std::vector<std::string> fixture_paths() {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           source_dir() + "/tests/fixtures/golden")) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void expect_profile(const GoldenEntry& e, const TypeProfile& p,
+                    const std::string& config) {
+  EXPECT_EQ(p.readable, e.readable) << e.file << " [" << config << "]";
+  EXPECT_EQ(p.discerning, e.discerning)
+      << e.file << " [" << config << "] discerning "
+      << p.discerning.to_string() << " != pinned "
+      << e.discerning.to_string();
+  EXPECT_EQ(p.recording, e.recording)
+      << e.file << " [" << config << "] recording "
+      << p.recording.to_string() << " != pinned " << e.recording.to_string();
+}
+
+// Every engine configuration reproduces every pinned profile.
+TEST(GoldenCorpus, AllConfigurationsMatchPinnedLevels) {
+  const std::vector<std::string> fixtures = fixture_paths();
+  ASSERT_FALSE(fixtures.empty());
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() /
+       ("rcons-golden-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(cache_dir);
+  const rcons::reduction::VerdictCache cache(cache_dir);
+
+  for (const std::string& path : fixtures) {
+    const GoldenEntry e = parse_fixture(path);
+    const rcons::spec::ObjectType type =
+        load_type(source_dir() + "/data/" + e.file);
+
+    expect_profile(
+        e, rcons::hierarchy::compute_profile(type, e.max_n, /*threads=*/1),
+        "serial canonical");
+    expect_profile(
+        e, rcons::hierarchy::compute_profile(type, e.max_n, /*threads=*/4),
+        "parallel canonical");
+
+    ProfileOptions reduced;
+    reduced.mode = SymmetryMode::kAutomorphism;
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, reduced),
+                   "serial automorphism");
+    reduced.threads = 4;
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, reduced),
+                   "parallel automorphism");
+
+    ProfileOptions cached;
+    cached.mode = SymmetryMode::kAutomorphism;
+    cached.cache = &cache;
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, cached),
+                   "cache cold");
+    const std::int64_t hits_before =
+        rcons::trace::metrics().counter("cache.hits");
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, cached),
+                   "cache warm");
+    EXPECT_GT(rcons::trace::metrics().counter("cache.hits"), hits_before)
+        << e.file << ": warm profile did not hit the cache";
+  }
+  std::filesystem::remove_all(cache_dir);
+}
+
+// The corpus and data/ cover each other exactly: a new .type file must gain
+// a fixture, and a fixture must not outlive its type.
+TEST(GoldenCorpus, CorpusCoversDataDirectoryBothWays) {
+  std::set<std::string> pinned;
+  for (const std::string& path : fixture_paths()) {
+    const GoldenEntry e = parse_fixture(path);
+    EXPECT_TRUE(
+        std::filesystem::exists(source_dir() + "/data/" + e.file))
+        << path << " pins missing type " << e.file;
+    pinned.insert(e.file);
+  }
+  for (const auto& entry :
+       std::filesystem::directory_iterator(source_dir() + "/data")) {
+    if (entry.path().extension() != ".type") continue;
+    EXPECT_EQ(pinned.count(entry.path().filename().string()), 1u)
+        << entry.path() << " has no golden fixture";
+  }
+}
+
+}  // namespace

@@ -7,15 +7,25 @@
 //     disjoint final values make the (response, value) pairs disjoint);
 //   * non-hiding n-recording implies n-recording;
 //   * both conditions are monotone (downward closed) in n;
-//   * canonical and naive enumerations agree.
+//   * canonical and naive enumerations agree;
+//   * the canonical type key is a relabeling invariant (identical across
+//     random relabelings, distinct across non-isomorphic types).
+#include <algorithm>
+#include <random>
+
 #include <gtest/gtest.h>
 
 #include "algo/cas_consensus.hpp"
 #include "algo/sticky_consensus.hpp"
 #include "algo/tnn_protocols.hpp"
+#include "exec/execute.hpp"
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
 #include "hierarchy/search.hpp"
+#include "reduction/config_canon.hpp"
+#include "reduction/type_canon.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
 #include "valency/model_checker.hpp"
 #include "valency/theorem13.hpp"
 
@@ -81,9 +91,161 @@ TEST_P(RandomTypeSweep, WitnessesVerifyAndDecodeTablesAreSane) {
   }
 }
 
+/// A uniformly random relabeling of `t`'s value/op/response ids.
+reduction::TypeRelabeling random_relabeling(const spec::ObjectType& t,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  reduction::TypeRelabeling r = reduction::identity_relabeling(t);
+  std::shuffle(r.value_perm.begin(), r.value_perm.end(), rng);
+  std::shuffle(r.op_perm.begin(), r.op_perm.end(), rng);
+  std::shuffle(r.response_perm.begin(), r.response_perm.end(), rng);
+  return r;
+}
+
+TEST_P(RandomTypeSweep, CanonicalKeyIsARelabelingInvariant) {
+  const spec::ObjectType t = type();
+  const auto canon = reduction::canonicalize_type(t);
+  ASSERT_TRUE(canon.complete) << t.describe();
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const spec::ObjectType relabeled = reduction::relabel_type(
+        t, random_relabeling(t, GetParam() * 101 + round), "scrambled");
+    const auto canon2 = reduction::canonicalize_type(relabeled);
+    EXPECT_EQ(canon2.key, canon.key) << t.describe();
+    EXPECT_EQ(canon2.hash, canon.hash);
+  }
+}
+
+TEST_P(RandomTypeSweep, AutomorphismsFixTheDeltaTable) {
+  const spec::ObjectType t = type();
+  const auto autos = reduction::type_automorphisms(t);
+  ASSERT_GE(autos.size(), 1u);
+  bool saw_identity = false;
+  for (const auto& phi : autos) {
+    saw_identity = saw_identity || reduction::is_identity(phi);
+    // relabel_type by a true automorphism reproduces the delta table, so
+    // the canonical keys trivially match AND the raw tables agree entry by
+    // entry.
+    const spec::ObjectType image = reduction::relabel_type(t, phi);
+    for (int v = 0; v < t.value_count(); ++v) {
+      for (int op = 0; op < t.op_count(); ++op) {
+        const auto& orig = t.apply(v, op);
+        const auto& moved = image.apply(v, op);
+        EXPECT_EQ(orig.response, moved.response);
+        EXPECT_EQ(orig.next_value, moved.next_value);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_identity);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTypeSweep,
                          ::testing::Range<std::uint64_t>(1, 41),
                          ::testing::PrintToStringParamName());
+
+// ---------------------------------------------------------------------------
+// Type canonicalization across the curated catalog
+// ---------------------------------------------------------------------------
+
+// Pairwise-distinct types get pairwise-distinct canonical keys: the key is
+// a complete structural encoding, so only genuine isomorphism can collide.
+// (swap(2) is omitted: over a binary domain it genuinely IS cas(2) up to
+// relabeling — see the companion test below.)
+TEST(TypeCanon, NonIsomorphicCatalogTypesNeverCollide) {
+  const std::vector<spec::ObjectType> types = {
+      spec::make_register(2),     spec::make_test_and_set(),
+      spec::make_swap(3),         spec::make_fetch_and_add(4),
+      spec::make_cas(2),          spec::make_cas(3),
+      spec::make_sticky_bit(),    spec::make_consensus_object(2),
+      spec::make_queue(2),        spec::make_readable_queue(2),
+      spec::make_stack(2),        spec::make_tnn(5, 2),
+      spec::make_xn(4),           spec::make_xn(5),
+  };
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    for (std::size_t j = i + 1; j < types.size(); ++j) {
+      EXPECT_NE(reduction::canonicalize_type(types[i]).key,
+                reduction::canonicalize_type(types[j]).key)
+          << types[i].name() << " vs " << types[j].name();
+    }
+  }
+}
+
+// A structural surprise the canonicalizer uncovers: over a binary domain,
+// swap and cas are the same machine. Both offer a read, an op that forces
+// the value to 0, and an op that forces it to 1, with the response
+// revealing the old value (swap returns it outright; cas's success bit
+// determines it). The canonical key must therefore collide.
+TEST(TypeCanon, BinarySwapAndCasAreIsomorphic) {
+  EXPECT_EQ(reduction::canonicalize_type(spec::make_swap(2)).key,
+            reduction::canonicalize_type(spec::make_cas(2)).key);
+}
+
+// A relabeled catalog type is isomorphic to the original by construction
+// and must land on the same key even though ids and names all moved.
+TEST(TypeCanon, RelabeledCatalogTypesCollide) {
+  for (const spec::ObjectType& t :
+       {spec::make_cas(3), spec::make_queue(2), spec::make_tnn(5, 2)}) {
+    const auto canon = reduction::canonicalize_type(t);
+    std::mt19937_64 rng(7);
+    reduction::TypeRelabeling r = reduction::identity_relabeling(t);
+    std::shuffle(r.value_perm.begin(), r.value_perm.end(), rng);
+    std::shuffle(r.op_perm.begin(), r.op_perm.end(), rng);
+    std::shuffle(r.response_perm.begin(), r.response_perm.end(), rng);
+    const auto canon2 =
+        reduction::canonicalize_type(reduction::relabel_type(t, r, "moved"));
+    EXPECT_EQ(canon2.key, canon.key) << t.name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration canonicalization (process symmetry)
+// ---------------------------------------------------------------------------
+
+// Canonicalization is idempotent and constant on orbits: permuting the
+// locals of equal-input processes never changes the representative.
+TEST(ConfigCanon, RepresentativeIsOrbitInvariant) {
+  const algo::CasConsensus protocol(3);
+  const std::vector<int> inputs = {0, 1, 1};  // pids 1 and 2 interchangeable
+  const reduction::ProcessSymmetryReducer reducer(protocol, inputs, true);
+  ASSERT_TRUE(reducer.active());
+
+  std::mt19937_64 rng(11);
+  for (int round = 0; round < 50; ++round) {
+    // Random short execution to land on an arbitrary reachable config.
+    exec::Config config = exec::Config::initial(protocol, inputs);
+    exec::DecisionLog log(3);
+    const int steps = static_cast<int>(rng() % 6);
+    for (int s = 0; s < steps; ++s) {
+      const int pid = static_cast<int>(rng() % 3);
+      const auto kind = (rng() % 4 == 0) ? exec::Event::Kind::kCrash
+                                         : exec::Event::Kind::kStep;
+      exec::apply_event(protocol, config, exec::Event{kind, pid}, log);
+    }
+
+    exec::Config canonical = config;
+    reducer.canonicalize(&canonical);
+    exec::Config twice = canonical;
+    reducer.canonicalize(&twice);
+    EXPECT_TRUE(twice == canonical) << "not idempotent";
+
+    // Swap the interchangeable pair's locals: same orbit, same rep.
+    exec::Config swapped = config;
+    const exec::LocalState tmp = swapped.local(1);
+    swapped.set_local(1, swapped.local(2));
+    swapped.set_local(2, tmp);
+    reducer.canonicalize(&swapped);
+    EXPECT_TRUE(swapped == canonical) << "orbit not collapsed";
+  }
+}
+
+TEST(ConfigCanon, SingletonGroupsLeaveTheReducerInactive) {
+  const algo::CasConsensus protocol(2);
+  const reduction::ProcessSymmetryReducer distinct(protocol, {0, 1}, true);
+  EXPECT_FALSE(distinct.active());
+  const reduction::ProcessSymmetryReducer equal(protocol, {1, 1}, true);
+  EXPECT_TRUE(equal.active());
+  const reduction::ProcessSymmetryReducer disabled(protocol, {1, 1}, false);
+  EXPECT_FALSE(disabled.active());
+}
 
 // ---------------------------------------------------------------------------
 // Theorem 13 chain

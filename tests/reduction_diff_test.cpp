@@ -1,0 +1,268 @@
+// Differential tests for the symmetry-reduction layer (DESIGN.md §10).
+//
+// Ground truth is the unreduced engines: over a corpus of 200+ seeded
+// random types and every process-symmetric protocol in algo/, the reduced
+// configurations must reproduce the exact verdicts — and reduced
+// counterexamples, which live in canonical frames until derandomized, must
+// replay into genuine violations of the real protocol.
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "algo/cas_consensus.hpp"
+#include "analysis/type_lint.hpp"
+#include "algo/naive_register.hpp"
+#include "algo/propose_consensus.hpp"
+#include "algo/sticky_consensus.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "exec/execute.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/search.hpp"
+#include "reduction/config_canon.hpp"
+#include "reduction/type_canon.hpp"
+#include "reduction/verdict_cache.hpp"
+#include "valency/model_checker.hpp"
+
+namespace {
+
+using rcons::hierarchy::SymmetryMode;
+
+// --- Hierarchy: canonical vs automorphism-reduced scans -------------------
+
+// Every seeded type gets identical discerning/recording verdicts from the
+// canonical and the automorphism-pruned enumerations, serial and parallel.
+TEST(ReductionDiff, RandomTypesAgreeAcrossSymmetryModes) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const rcons::spec::ObjectType type =
+        rcons::hierarchy::random_readable_type(4, 2, 3, seed);
+    for (int n = 2; n <= 3; ++n) {
+      const auto canonical =
+          rcons::hierarchy::check_discerning(type, n, SymmetryMode::kCanonical);
+      const auto reduced = rcons::hierarchy::check_discerning(
+          type, n, SymmetryMode::kAutomorphism);
+      EXPECT_EQ(canonical.holds, reduced.holds)
+          << "discerning seed " << seed << " n " << n;
+
+      const auto rc =
+          rcons::hierarchy::check_recording(type, n, SymmetryMode::kCanonical);
+      const auto ra = rcons::hierarchy::check_recording(
+          type, n, SymmetryMode::kAutomorphism);
+      EXPECT_EQ(rc.holds, ra.holds) << "recording seed " << seed << " n " << n;
+
+      // The parallel automorphism scan replays the serial one bit-for-bit.
+      const auto reduced4 = rcons::hierarchy::check_discerning(
+          type, n, SymmetryMode::kAutomorphism, /*threads=*/4);
+      EXPECT_EQ(reduced4.holds, reduced.holds) << seed;
+      EXPECT_EQ(reduced4.witness, reduced.witness) << seed;
+      EXPECT_EQ(reduced4.stats.assignments_tried,
+                reduced.stats.assignments_tried)
+          << seed;
+      EXPECT_EQ(reduced4.stats.schedule_nodes, reduced.stats.schedule_nodes)
+          << seed;
+    }
+  }
+}
+
+// The same corpus through the linter: no crash on any generated type, and
+// the lint verdict is itself a relabeling invariant — an isomorphic copy
+// must draw exactly as many errors and warnings as the original.
+TEST(ReductionDiff, RandomTypesLintCleanlyAndInvariantly) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const rcons::spec::ObjectType type =
+        rcons::hierarchy::random_readable_type(4, 2, 3, seed);
+    rcons::analysis::TypeLintOptions options;
+    options.initial = rcons::spec::ValueId{0};
+    const auto report = rcons::analysis::lint_type(type, options);
+
+    auto phi = rcons::reduction::identity_relabeling(type);
+    std::mt19937_64 rng(seed * 7919 + 17);
+    std::shuffle(phi.value_perm.begin(), phi.value_perm.end(), rng);
+    std::shuffle(phi.op_perm.begin(), phi.op_perm.end(), rng);
+    // Reachability questions must start from the *image* of the original
+    // initial value, or the two lints would not be asking isomorphic
+    // questions.
+    rcons::analysis::TypeLintOptions relabeled_options;
+    relabeled_options.initial = rcons::spec::ValueId{phi.value_perm[0]};
+    const auto relabeled = rcons::analysis::lint_type(
+        rcons::reduction::relabel_type(type, phi), relabeled_options);
+    EXPECT_EQ(relabeled.error_count(), report.error_count()) << seed;
+    EXPECT_EQ(relabeled.warning_count(), report.warning_count()) << seed;
+    EXPECT_EQ(relabeled.note_count(), report.note_count()) << seed;
+  }
+}
+
+// Cached levels equal cold levels across the same corpus: the first pass
+// populates a fresh cache, the second consumes it, and a cold (uncached)
+// computation referees.
+TEST(ReductionDiff, RandomTypesCachedEqualsCold) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("rcons-diff-cache-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  const rcons::reduction::VerdictCache cache(dir);
+  rcons::hierarchy::ProfileOptions cached;
+  cached.cache = &cache;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const rcons::spec::ObjectType type =
+        rcons::hierarchy::random_readable_type(4, 2, 3, seed);
+    const auto cold = rcons::hierarchy::compute_profile(type, 3);
+    const auto first = rcons::hierarchy::compute_profile(type, 3, cached);
+    const auto warm = rcons::hierarchy::compute_profile(type, 3, cached);
+    EXPECT_EQ(first.discerning, cold.discerning) << seed;
+    EXPECT_EQ(first.recording, cold.recording) << seed;
+    EXPECT_EQ(warm.discerning, cold.discerning) << seed;
+    EXPECT_EQ(warm.recording, cold.recording) << seed;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- Valency: quotient exploration vs the unreduced engines ---------------
+
+struct ProtocolCase {
+  std::unique_ptr<rcons::exec::Protocol> protocol;
+  std::string label;
+};
+
+std::vector<ProtocolCase> symmetric_protocols() {
+  std::vector<ProtocolCase> cases;
+  for (int n = 2; n <= 3; ++n) {
+    cases.push_back({std::make_unique<rcons::algo::CasConsensus>(n),
+                     "cas" + std::to_string(n)});
+    cases.push_back({std::make_unique<rcons::algo::StickyConsensus>(n),
+                     "sticky" + std::to_string(n)});
+    cases.push_back({std::make_unique<rcons::algo::NaiveRegisterConsensus>(n),
+                     "naive" + std::to_string(n)});
+    cases.push_back({std::make_unique<rcons::algo::NaiveProposeConsensus>(2, n),
+                     "propose" + std::to_string(n)});
+    cases.push_back(
+        {std::make_unique<rcons::algo::TnnRecoverableConsensus>(3, 2, n),
+         "tnnrec" + std::to_string(n)});
+  }
+  return cases;
+}
+
+// The declared process_symmetric() contract holds semantically for every
+// protocol the reducer will quotient (bounded BFS audit).
+TEST(ReductionDiff, DeclaredSymmetryIsSemanticallyTrue) {
+  for (const auto& c : symmetric_protocols()) {
+    ASSERT_TRUE(c.protocol->process_symmetric()) << c.label;
+    const int n = c.protocol->process_count();
+    for (const auto& inputs : rcons::valency::all_binary_inputs(n)) {
+      EXPECT_TRUE(
+          rcons::reduction::verify_process_symmetry(*c.protocol, inputs))
+          << c.label;
+    }
+  }
+}
+
+TEST(ReductionDiff, SafetyVerdictsMatchUnreducedAndReplay) {
+  namespace valency = rcons::valency;
+  for (const auto& c : symmetric_protocols()) {
+    valency::SafetyOptions plain;
+    valency::SafetyOptions reduced = plain;
+    reduced.reduce_symmetry = true;
+    const auto off = valency::check_safety_all_inputs(*c.protocol, plain);
+    const auto on = valency::check_safety_all_inputs(*c.protocol, reduced);
+    EXPECT_EQ(valency::safety_verdict(off), valency::safety_verdict(on))
+        << c.label;
+    EXPECT_LE(on.states_visited, off.states_visited) << c.label;
+
+    // Parallel reduced equals serial reduced bit-for-bit.
+    valency::SafetyOptions reduced4 = reduced;
+    reduced4.threads = 4;
+    const auto on4 = valency::check_safety_all_inputs(*c.protocol, reduced4);
+    EXPECT_EQ(on4.states_visited, on.states_visited) << c.label;
+    EXPECT_EQ(on4.violation, on.violation) << c.label;
+    EXPECT_EQ(on4.counterexample, on.counterexample) << c.label;
+
+    // A reduced counterexample is already derandomized: replaying it on the
+    // REAL protocol from some canonical input vector reproduces a
+    // violation.
+    if (on.counterexample.has_value()) {
+      bool reproduced = false;
+      for (const auto& inputs :
+           valency::driver_input_vectors(*c.protocol, true)) {
+        const auto er = rcons::exec::run_schedule(
+            *c.protocol, rcons::exec::Config::initial(*c.protocol, inputs),
+            *on.counterexample);
+        unsigned valid_mask = 0;
+        for (const int v : inputs) valid_mask |= 1u << v;
+        const bool bad_validity =
+            (er.log.output_0 && ((valid_mask >> 0) & 1u) == 0) ||
+            (er.log.output_1 && ((valid_mask >> 1) & 1u) == 0);
+        if (er.log.agreement_violated() || bad_validity) reproduced = true;
+      }
+      EXPECT_TRUE(reproduced) << c.label << ": counterexample "
+                              << rcons::exec::schedule_to_string(
+                                     *on.counterexample)
+                              << " reproduces no violation";
+    }
+  }
+}
+
+TEST(ReductionDiff, LivenessVerdictsMatchUnreducedAndStuckPidsAreStuck) {
+  namespace valency = rcons::valency;
+  for (const auto& c : symmetric_protocols()) {
+    for (const auto& inputs :
+         valency::all_binary_inputs(c.protocol->process_count())) {
+      valency::LivenessOptions plain;
+      valency::LivenessOptions reduced = plain;
+      reduced.reduce_symmetry = true;
+      const auto off =
+          valency::check_recoverable_wait_freedom(*c.protocol, inputs, plain);
+      const auto on = valency::check_recoverable_wait_freedom(*c.protocol,
+                                                              inputs, reduced);
+      EXPECT_EQ(valency::liveness_verdict(off), valency::liveness_verdict(on))
+          << c.label;
+
+      valency::LivenessOptions reduced4 = reduced;
+      reduced4.threads = 4;
+      const auto on4 = valency::check_recoverable_wait_freedom(
+          *c.protocol, inputs, reduced4);
+      EXPECT_EQ(on4.stuck_pid, on.stuck_pid) << c.label;
+      EXPECT_EQ(on4.reaching_schedule, on.reaching_schedule) << c.label;
+
+      // The derandomized evidence is genuine: after the reaching schedule,
+      // the reported pid really cannot decide solo.
+      if (!on.wait_free && on.reaching_schedule.has_value()) {
+        const auto er = rcons::exec::run_schedule(
+            *c.protocol, rcons::exec::Config::initial(*c.protocol, inputs),
+            *on.reaching_schedule);
+        const auto decision = rcons::exec::solo_terminating_decision(
+            *c.protocol, er.config, on.stuck_pid, plain.solo_step_bound);
+        EXPECT_FALSE(decision.has_value())
+            << c.label << ": pid " << on.stuck_pid << " decides after all";
+      }
+    }
+  }
+}
+
+// Input-vector orbit reduction: the all-inputs driver skips non-canonical
+// vectors exactly when reducing a symmetric protocol, and never otherwise.
+TEST(ReductionDiff, DriverInputVectorsQuotientOnlyWhenSymmetric) {
+  const rcons::algo::CasConsensus cas(3);
+  const auto all = rcons::valency::driver_input_vectors(cas, false);
+  const auto orbits = rcons::valency::driver_input_vectors(cas, true);
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(orbits.size(), 4u);  // 000, 001, 011, 111
+  for (const auto& inputs : orbits) {
+    EXPECT_TRUE(rcons::reduction::inputs_canonical(inputs));
+  }
+
+  struct Asymmetric : rcons::algo::CasConsensus {
+    using CasConsensus::CasConsensus;
+    bool process_symmetric() const override { return false; }
+  };
+  const Asymmetric pinned(3);
+  EXPECT_EQ(rcons::valency::driver_input_vectors(pinned, true).size(), 8u);
+}
+
+}  // namespace

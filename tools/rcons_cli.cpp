@@ -42,6 +42,17 @@
 //                    chrome://tracing-compatible JSON array to F
 //   --max-states=N   exploration state bound for verify (per input vector;
 //                    a truncated scan reports INCONCLUSIVE, never SAFE)
+//   --reduce=M       symmetry reduction (DESIGN.md §10). M = symmetry
+//                    (default): verify quotients process-symmetric
+//                    protocols by the input-stabilizer and profile prunes
+//                    assignment orbits under the type's automorphism group;
+//                    M = none restores the unreduced engines. Verdicts are
+//                    identical either way; state/assignment counts differ.
+//   --cache=on|off   persistent verdict cache for profile (default: on).
+//   --cache-dir=DIR  cache location (default: $XDG_CACHE_HOME/rcons or
+//                    $HOME/.cache/rcons). Entries are keyed by the
+//                    canonical type, so isomorphic types share entries;
+//                    corrupt or stale files are skipped and recomputed.
 //
 // Exit codes: 0 = ok/SAFE, 1 = violation/findings/round-trip mismatch,
 // 2 = usage error, 3 = INCONCLUSIVE (verify only: the scan was truncated
@@ -72,6 +83,7 @@
 #include "hierarchy/consensus_number.hpp"
 #include "hierarchy/search.hpp"
 #include "hierarchy/witnesses.hpp"
+#include "reduction/verdict_cache.hpp"
 #include "spec/catalog.hpp"
 #include "spec/paper_types.hpp"
 #include "spec/serialize.hpp"
@@ -97,7 +109,10 @@ std::string g_trace_out;
 std::string g_metrics_out;
 std::string g_spans_out;
 std::size_t g_max_states = 0;  // 0 = engine defaults
-bool g_json = false;           // --format=json (verify and lint)
+bool g_json = false;           // --format=json (verify, profile, and lint)
+bool g_reduce = true;          // --reduce=symmetry|none
+bool g_cache_on = true;        // --cache=on|off (profile verdict cache)
+std::string g_cache_dir;       // --cache-dir=DIR; empty = default location
 
 const std::map<std::string, std::function<ObjectType()>>& catalog() {
   static const auto* kCatalog =
@@ -289,8 +304,28 @@ int cmd_list() {
 }
 
 int cmd_profile(const ObjectType& type, int max_n) {
+  const rcons::reduction::VerdictCache cache(
+      g_cache_on ? (g_cache_dir.empty()
+                        ? rcons::reduction::VerdictCache::default_directory()
+                        : g_cache_dir)
+                 : std::string());
+  rcons::hierarchy::ProfileOptions options;
+  options.threads = g_threads;
+  options.mode = g_reduce ? rcons::hierarchy::SymmetryMode::kAutomorphism
+                          : rcons::hierarchy::SymmetryMode::kCanonical;
+  options.cache = &cache;
   const rcons::hierarchy::TypeProfile p =
-      rcons::hierarchy::compute_profile(type, max_n, g_threads);
+      rcons::hierarchy::compute_profile(type, max_n, options);
+  if (g_json) {
+    std::printf(
+        "{\"type\":\"%s\",\"readable\":%s,\"max_n\":%d,"
+        "\"discerning\":{\"value\":%d,\"exact\":%s},"
+        "\"recording\":{\"value\":%d,\"exact\":%s}}\n",
+        json_escape(p.type_name).c_str(), p.readable ? "true" : "false",
+        max_n, p.discerning.value, p.discerning.exact ? "true" : "false",
+        p.recording.value, p.recording.exact ? "true" : "false");
+    return 0;
+  }
   std::printf("type %s (%s)\n", p.type_name.c_str(),
               p.readable ? "readable" : "NOT readable");
   std::printf("  discerning level: %s%s\n",
@@ -365,15 +400,17 @@ int cmd_verify(rcons::exec::Protocol& protocol, const std::string& spec) {
     valency::SafetyOptions options;
     options.crash_mode = row.mode;
     options.threads = g_threads;
+    options.reduce_symmetry = g_reduce;
     if (g_max_states != 0) options.max_states = g_max_states;
-    // Restates check_safety_all_inputs's merge loop so the violating input
-    // VECTOR is in hand — counterexample capture needs it, and the merged
-    // result does not record it.
+    // Restates check_safety_all_inputs's merge loop (including its orbit
+    // reduction of input vectors) so the violating input VECTOR is in hand
+    // — counterexample capture needs it, and the merged result does not
+    // record it.
     valency::SafetyResult merged;
     merged.explored_fully = true;
     std::vector<int> bad_inputs;
     for (const auto& inputs :
-         valency::all_binary_inputs(protocol.process_count())) {
+         valency::driver_input_vectors(protocol, g_reduce)) {
       valency::SafetyResult r =
           valency::check_safety(protocol, inputs, options);
       merged.states_visited += r.states_visited;
@@ -431,6 +468,7 @@ int cmd_verify(rcons::exec::Protocol& protocol, const std::string& spec) {
        valency::all_binary_inputs(protocol.process_count())) {
     valency::LivenessOptions options;
     options.threads = g_threads;
+    options.reduce_symmetry = g_reduce;
     if (g_max_states != 0) options.max_states = g_max_states;
     const auto r =
         valency::check_recoverable_wait_freedom(protocol, inputs, options);
@@ -781,6 +819,33 @@ int main(int argc, char** argv) {
     if (arg.rfind("--spans-out=", 0) == 0) {
       g_spans_out = arg.substr(12);
       if (g_spans_out.empty()) return fail("--spans-out wants a file");
+      continue;
+    }
+    if (arg.rfind("--reduce=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      if (value == "symmetry") {
+        g_reduce = true;
+      } else if (value == "none") {
+        g_reduce = false;
+      } else {
+        return fail("unknown reduction '" + value + "' (symmetry|none)");
+      }
+      continue;
+    }
+    if (arg.rfind("--cache=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      if (value == "on") {
+        g_cache_on = true;
+      } else if (value == "off") {
+        g_cache_on = false;
+      } else {
+        return fail("unknown cache mode '" + value + "' (on|off)");
+      }
+      continue;
+    }
+    if (arg.rfind("--cache-dir=", 0) == 0) {
+      g_cache_dir = arg.substr(12);
+      if (g_cache_dir.empty()) return fail("--cache-dir wants a directory");
       continue;
     }
     if (arg == "--format=json") {
