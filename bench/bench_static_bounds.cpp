@@ -1,0 +1,150 @@
+// Experiment: the static bounds pre-verdict engine (DESIGN.md §11).
+// Prints a per-type prune table on startup — bracket, fired rules, and
+// how many per-n decider runs the bracket obviated — then benchmarks
+// (a) the analyzer itself (must be negligible next to any decider run)
+// and (b) the headline pair: a full catalog profile sweep with bounds
+// off vs on. The on/off pair is the number the pre-pass is judged by;
+// results are recorded in BENCH_model_checker.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/static_bounds/static_bounds.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "trace/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using rcons::analysis::BoundsReport;
+using rcons::hierarchy::compute_profile;
+using rcons::hierarchy::ProfileOptions;
+using rcons::spec::ObjectType;
+
+// The shipped catalog, skewed the way real sweeps are: a few cheap
+// finite-level types and a few expensive unbounded ones (cas3, sticky)
+// whose full failing scans dominate an unpruned table run.
+std::vector<ObjectType> sweep_types() {
+  return {rcons::spec::make_register(2),
+          rcons::spec::make_test_and_set(),
+          rcons::spec::make_swap(2),
+          rcons::spec::make_fetch_and_add(3),
+          rcons::spec::make_cas(3),
+          rcons::spec::make_sticky_bit(),
+          rcons::spec::make_consensus_object(2),
+          rcons::spec::make_tnn(4, 2),
+          rcons::spec::make_xn(4)};
+}
+
+constexpr int kMaxN = 6;
+
+std::int64_t counter(const char* name) {
+  return rcons::trace::metrics().counter(name);
+}
+
+void print_prune_table() {
+  rcons::Table table({"type", "cons bracket", "rcons bracket", "rules",
+                      "pruned", "decider runs"});
+  std::int64_t total_pruned = 0;
+  std::int64_t total_runs = 0;
+  for (const ObjectType& type : sweep_types()) {
+    const BoundsReport bounds = rcons::analysis::analyze_static_bounds(type);
+    ProfileOptions options;
+    options.bounds = &bounds;
+    const std::int64_t pruned0 =
+        counter("bounds.pruned_lo") + counter("bounds.pruned_hi");
+    const std::int64_t runs0 = counter("bounds.decider_runs");
+    compute_profile(type, kMaxN, options);
+    const std::int64_t pruned =
+        counter("bounds.pruned_lo") + counter("bounds.pruned_hi") - pruned0;
+    const std::int64_t runs = counter("bounds.decider_runs") - runs0;
+    total_pruned += pruned;
+    total_runs += runs;
+    std::string rules;
+    for (const auto& d : bounds.findings.diagnostics()) {
+      if (rules.find(d.rule) != std::string::npos) continue;
+      if (!rules.empty()) rules += ' ';
+      rules += d.rule;
+    }
+    table.add_row({type.name(), bounds.discerning.to_string(),
+                   bounds.recording.to_string(),
+                   rules.empty() ? "-" : rules, std::to_string(pruned),
+                   std::to_string(runs)});
+  }
+  std::printf(
+      "static bounds prune table (profile to n=%d): %lld of %lld per-n "
+      "verdicts decided statically\n%s\n",
+      kMaxN, static_cast<long long>(total_pruned),
+      static_cast<long long>(total_pruned + total_runs),
+      table.render().c_str());
+}
+
+const ObjectType g_tas = rcons::spec::make_test_and_set();
+const ObjectType g_cas3 = rcons::spec::make_cas(3);
+const ObjectType g_tnn42 = rcons::spec::make_tnn(4, 2);
+
+void BM_AnalyzeStaticBounds(benchmark::State& state, const ObjectType& type) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::analysis::analyze_static_bounds(type));
+  }
+}
+
+// The baseline: pure exact deciders over the whole catalog.
+void BM_CatalogSweep_BoundsOff(benchmark::State& state) {
+  const std::vector<ObjectType> types = sweep_types();
+  for (auto _ : state) {
+    for (const ObjectType& type : types) {
+      benchmark::DoNotOptimize(compute_profile(type, kMaxN));
+    }
+  }
+}
+
+// The pre-pass path exactly as the CLI runs it: analyze, then profile
+// with the bracket installed. Analysis cost is deliberately inside the
+// timed region — the claim is that the pair (analyze + pruned profile)
+// beats the plain profile, not that pruning is free.
+void BM_CatalogSweep_BoundsOn(benchmark::State& state) {
+  const std::vector<ObjectType> types = sweep_types();
+  const std::int64_t pruned0 =
+      counter("bounds.pruned_lo") + counter("bounds.pruned_hi");
+  const std::int64_t runs0 = counter("bounds.decider_runs");
+  for (auto _ : state) {
+    for (const ObjectType& type : types) {
+      const BoundsReport bounds =
+          rcons::analysis::analyze_static_bounds(type);
+      ProfileOptions options;
+      options.bounds = &bounds;
+      benchmark::DoNotOptimize(compute_profile(type, kMaxN, options));
+    }
+  }
+  const double pruned = static_cast<double>(
+      counter("bounds.pruned_lo") + counter("bounds.pruned_hi") - pruned0);
+  const double runs =
+      static_cast<double>(counter("bounds.decider_runs") - runs0);
+  state.counters["pruned_verdicts"] =
+      benchmark::Counter(pruned, benchmark::Counter::kAvgIterations);
+  state.counters["decider_runs"] =
+      benchmark::Counter(runs, benchmark::Counter::kAvgIterations);
+  state.counters["prune_rate"] =
+      pruned + runs > 0 ? pruned / (pruned + runs) : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_AnalyzeStaticBounds, tas, g_tas);
+BENCHMARK_CAPTURE(BM_AnalyzeStaticBounds, cas3, g_cas3);
+BENCHMARK_CAPTURE(BM_AnalyzeStaticBounds, tnn42, g_tnn42);
+
+BENCHMARK(BM_CatalogSweep_BoundsOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CatalogSweep_BoundsOn)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_prune_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

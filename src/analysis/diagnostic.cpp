@@ -1,7 +1,9 @@
 #include "analysis/diagnostic.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <tuple>
 
 namespace rcons::analysis {
 
@@ -20,6 +22,16 @@ const char* severity_name(Severity s) {
 void Report::merge(const Report& other) {
   diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
                       other.diagnostics_.end());
+}
+
+void Report::canonicalize() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.rule, a.subject, a.location, a.severity,
+                                     a.message) <
+                            std::tie(b.rule, b.subject, b.location, b.severity,
+                                     b.message);
+                   });
 }
 
 int Report::count(Severity s) const {

@@ -46,6 +46,13 @@ class Report {
   /// Appends all of `other`'s findings (multi-target CLI runs).
   void merge(const Report& other);
 
+  /// Sorts findings into the canonical order (rule id, then subject,
+  /// location, severity, message). The sort is stable, so findings that
+  /// tie on every key keep their emission order. Renderings of a
+  /// canonicalized report are byte-identical across runs, thread counts,
+  /// and analyzer interleavings.
+  void canonicalize();
+
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   bool empty() const { return diagnostics_.empty(); }
 

@@ -11,81 +11,338 @@ const std::vector<RuleInfo>& all_rules() {
       {kRuleUnreachableValue, "unreachable-value", Severity::kError,
        "value unreachable from the designated initial value; the machine "
        "can never enter it, so its rows are dead spec (error only when the "
-       "file designates `initial`; note when the initial value is assumed)"},
+       "file designates `initial`; note when the initial value is assumed)",
+       "A .type file that designates an initial value promises that the "
+       "machine starts there, so a value no operation sequence can reach "
+       "is dead specification: its transition rows can never execute, and "
+       "their presence usually signals a typo in some row's next-value. "
+       "When no `initial` line is present the initial value is assumed and "
+       "the finding is only a note, because searched machines (such as the "
+       "X_n family) legitimately carry values that are reachable only when "
+       "chosen as the initial value of a witness assignment."},
       {kRuleDeadOp, "dead-op", Severity::kError,
        "op is a constant-response self-loop everywhere: it cannot change "
-       "or observe the value, so it adds schedules without adding power"},
+       "or observe the value, so it adds schedules without adding power",
+       "An operation whose every transition is a self-loop returning one "
+       "fixed response can neither change the object nor learn anything "
+       "about it. Invoking it is indistinguishable from doing nothing, so "
+       "it cannot contribute to any consensus protocol; it only inflates "
+       "the schedule space every exact scan must cover. Either the row "
+       "table has a typo or the op should be deleted. (The bounds engine "
+       "reports the same structure as SA001 and removes such ops from its "
+       "quotient automatically.)"},
       {kRuleAliasedResponse, "aliased-response", Severity::kError,
        "value-preserving op whose responses alias distinct values; it "
        "cannot serve as the Read the paper's readable-type "
-       "characterizations (n-discerning / n-recording exactness) require"},
+       "characterizations (n-discerning / n-recording exactness) require",
+       "The paper's exact characterizations (consensus number = maximal "
+       "discerning level, recoverable consensus number = maximal recording "
+       "level) hold for readable types, and readability is detected "
+       "structurally: some op must preserve the value and return a "
+       "response that identifies it uniquely. A value-preserving op whose "
+       "responses alias two distinct values looks like a Read but cannot "
+       "identify the value, so the type silently drops to the "
+       "upper-bound-only regime. Split the aliased responses if the op was "
+       "meant to be the Read."},
       {kRuleShadowedRead, "shadowed-read", Severity::kWarning,
        "op is a Read on every reachable value but aliased on unreachable "
        "ones, so ObjectType::op_is_read rejects it and the type silently "
-       "loses its readability-based exactness guarantees"},
+       "loses its readability-based exactness guarantees",
+       "Readability detection (ObjectType::op_is_read) demands response "
+       "injectivity on ALL values, because witness assignments may start "
+       "from any value. An op that is a perfect Read on the reachable "
+       "fragment but aliases two unreachable values therefore fails the "
+       "detector, and every downstream consumer treats the computed levels "
+       "as upper bounds instead of exact numbers. Either fix the aliased "
+       "rows or delete the unreachable values."},
       {kRuleUnusedResponse, "unused-response", Severity::kWarning,
-       "declared response never produced by any transition"},
+       "declared response never produced by any transition",
+       "A declared response no transition ever returns is harmless to the "
+       "semantics but usually indicates an incomplete edit: a row was "
+       "changed to return something else and the old response lingered. "
+       "It also pads the response alphabet that witness enumeration and "
+       "canonicalization iterate over. Delete the declaration or wire the "
+       "response into the row that was supposed to produce it."},
       {kRuleNondeterministicRow, "nondeterministic-row", Severity::kError,
        "transition row redefines an earlier (value, op) row; the textual "
        "spec is non-deterministic and the parser silently keeps the last "
-       "row, violating the model's determinism assumption"},
+       "row, violating the model's determinism assumption",
+       "The model restricts attention to deterministic types: one row per "
+       "(value, op) pair. When a file repeats a pair, the parser keeps the "
+       "last row and drops the first, so the file reads as "
+       "non-deterministic to a human while the tool checks only one of "
+       "the two behaviors. Every theorem downstream assumes determinism, "
+       "so the duplicate must be resolved by hand, not by parser order."},
       {kRuleOpClassification, "op-classification", Severity::kNote,
        "informational: classifies each op as read / accessor / idempotent "
-       "/ mutator with its self-loop count"},
+       "/ mutator with its self-loop count",
+       "A purely informational census of the operation alphabet: for each "
+       "op, whether it is a Read (value-preserving, response identifies "
+       "the value), an accessor (value-preserving but not a Read), an "
+       "idempotent mutator (applying it twice equals applying it once), "
+       "or a general mutator, plus how many of its transitions are "
+       "self-loops. Useful for eyeballing whether a hand-written type has "
+       "the structure its author intended."},
       {kRuleTotalityAudit, "totality-audit", Severity::kError,
        "transition table is not a total deterministic function "
-       "values x ops -> (response, value)"},
+       "values x ops -> (response, value)",
+       "Defense-in-depth audit of an already-built ObjectType: the "
+       "transition table must have exactly values x ops entries and every "
+       "next-value and response id must be in range. The builder and "
+       "parser enforce this on construction, so a firing means memory "
+       "corruption or a code path that bypassed validation; the finding "
+       "names the offending (value, op) cell."},
       {kRuleDeadObject, "dead-object", Severity::kWarning,
-       "shared object never used by any reachable poised action"},
+       "shared object never used by any reachable poised action",
+       "The protocol declares a shared object that no reachable state is "
+       "ever poised on. It cannot influence any execution, so either the "
+       "protocol was simplified and the declaration lingered, or a state "
+       "machine bug routes around the accesses the author intended. "
+       "Remove the object or fix the states that should use it."},
       {kRuleInvalidAction, "invalid-action", Severity::kError,
        "reachable state poised on an out-of-range object or op id; the "
-       "execution engine would abort"},
+       "execution engine would abort",
+       "Some reachable protocol state is poised on an object index or an "
+       "operation id that does not exist. The exhaustive executors "
+       "validate actions before applying them and would abort the run, so "
+       "this lint finding is the friendly version of a crash: it names "
+       "the state and the offending action so the state machine can be "
+       "fixed before any model checking is attempted."},
       {kRuleInvalidDecision, "invalid-decision", Severity::kError,
        "reachable output state decides a non-binary value; binary "
-       "consensus validity cannot hold"},
+       "consensus validity cannot hold",
+       "The safety checker verifies binary consensus: agreement and "
+       "validity over inputs {0, 1}. An output state that decides any "
+       "other value makes validity unsatisfiable, and usually indicates "
+       "an uninitialized decision field or a state-machine transition "
+       "into the wrong output state. The finding names the process, "
+       "input, and state so the decision wiring can be repaired."},
       {kRuleNoOutputState, "no-output-state", Severity::kError,
        "no output state reachable for some (process, input): the process "
-       "can never decide, so (recoverable) wait-freedom fails"},
+       "can never decide, so (recoverable) wait-freedom fails",
+       "For some process and input, the response-nondeterministic "
+       "over-approximation of the protocol's reachable states contains no "
+       "output state even though the exploration was exhaustive. The "
+       "process can never decide regardless of scheduling, so recoverable "
+       "wait-freedom is violated before any model checking begins. This "
+       "usually means a missing transition arm or an advance() that loops "
+       "on an unexpected response."},
       {kRuleStateBoundHit, "state-bound-hit", Severity::kNote,
        "informational: response-nondeterministic exploration truncated at "
-       "the state bound; path findings are best-effort"},
+       "the state bound; path findings are best-effort",
+       "The protocol lint explores the state machine with responses "
+       "treated as nondeterministic, which over-approximates every real "
+       "execution. When that exploration hits its state bound it stops "
+       "early, so path-sensitive findings (dead objects, unreachable "
+       "output states) for the affected process become best-effort: a "
+       "clean report no longer proves absence. Raise the bound via "
+       "--max-states to restore exhaustiveness."},
       {kRuleDecideBeforePersist, "decide-before-persist", Severity::kWarning,
        "some path decides without any observable durable write, so a crash "
        "at the output state erases every trace of the decision "
-       "(persist-before-decide invariant of the live runtime)"},
+       "(persist-before-decide invariant of the live runtime)",
+       "The live runtime documents the persist-before-decide discipline: "
+       "a process must make its decision re-derivable from durable state "
+       "before announcing it. A path that reaches an output state without "
+       "one observable durable write keeps the decision only in volatile "
+       "local state, so an individual crash at the output erases every "
+       "trace of it and recovery may decide differently — exactly the "
+       "divergence RC002 then observes dynamically."},
       {kRuleCrashDivergentDecision, "crash-divergent-decision",
        Severity::kWarning,
        "crash-recovery paths of one (process, input) output different "
        "decisions; recovery fails to re-derive the decision from durable "
-       "state"},
+       "state",
+       "Two crash-recovery paths of the same (process, input) pair reach "
+       "output states that decide differently. Recovery therefore does "
+       "not re-derive the pre-crash decision from durable shared state — "
+       "the exact failure mode that gives test&set recoverable consensus "
+       "number 1 despite consensus number 2. The finding is path-based "
+       "(static over-approximation); the RC002 audit reproduces it on "
+       "concrete schedules."},
       {kRuleRecoveryDeterminism, "recovery-determinism", Severity::kError,
        "poised()/advance() are not pure functions of the handed-in state; "
        "the post-crash step function depends on hidden state that is "
        "neither in NVM nor in the reset local state, so no replay-based "
-       "guarantee can hold"},
+       "guarantee can hold",
+       "The crash-recovery audit re-evaluates poised() and advance() on "
+       "identical (local state, NVM) snapshots and demands identical "
+       "results. A mismatch means the protocol consults hidden mutable "
+       "state — a call counter, global, or RNG — that survives neither in "
+       "NVM nor in the reset local state, so the post-crash step function "
+       "is not a function of what recovery actually has. Every replay- or "
+       "idempotence-based guarantee (RC002, RC003) is meaningless until "
+       "this is fixed."},
       {kRuleDecisionStability, "decision-stability", Severity::kWarning,
        "a crash at an output state leads recovery to a different decision "
        "or to none: the decided value is not re-derivable from shared "
        "objects alone (the failure mode that costs test&set its "
-       "recoverable consensus power)"},
+       "recoverable consensus power)",
+       "The audit crashes a process exactly at an output state, runs its "
+       "recovery solo, and compares decisions. A divergence (or a "
+       "recovery that never decides) shows the decided value is not "
+       "re-derivable from durable shared objects: the paper's model lets "
+       "a crash erase local state, so whatever the process knew only "
+       "locally is gone. This is the dynamic, schedule-concrete "
+       "counterpart of PL007 and the mechanism behind recoverable "
+       "consensus numbers dropping below consensus numbers."},
       {kRuleRecoveryIdempotence, "recovery-idempotence", Severity::kWarning,
        "re-executing the recovery prefix after a second crash reaches a "
        "different persisted NVM state; recovery mutates NVM on every "
-       "retry instead of being idempotent"},
+       "retry instead of being idempotent",
+       "Crashes can repeat: a process may crash again while recovering. "
+       "The audit re-runs a recovery prefix after a second crash and "
+       "compares the persisted NVM state against the first attempt; a "
+       "difference means recovery mutates NVM non-idempotently, so each "
+       "retry compounds the damage and guarantees established for "
+       "single-crash schedules need not survive E_z budgets with z > 1. "
+       "Recovery code should write NVM only via idempotent "
+       "read-check-write patterns."},
       {kRulePersistGap, "persist-gap", Severity::kError,
        "a value-changing store reaches a crash point before its persist "
        "barrier, so it can be observed by another process or by post-crash "
        "recovery and then silently dropped (reproducible at runtime under "
-       "RCONS_PMEM_STRICT)"},
+       "RCONS_PMEM_STRICT)",
+       "Between a value-changing store to a shared object and its persist "
+       "barrier there is a crash point: another process (or the crashed "
+       "process's own recovery) can observe the new value, after which "
+       "the crash drops the store from NVM — the observed value never "
+       "happened. The shadow-persistency audit flags the store and the "
+       "observation; setting RCONS_PMEM_STRICT=ON makes the live runtime "
+       "reproduce the same drop, so the lint finding and a runtime "
+       "failure point at one root cause."},
       {kRuleVolatileTaint, "volatile-taint", Severity::kError,
        "an operation response observed an unpersisted value and the "
        "resulting local state flows into a later shared-object write "
-       "without being re-read from NVM (subsumes RC004 for the same run)"},
+       "without being re-read from NVM (subsumes RC004 for the same run)",
+       "Tracks taint: an operation response that observed an unpersisted "
+       "value marks the observing process's local state, and the audit "
+       "fires when that taint flows into a later shared-object write "
+       "without an intervening re-read from NVM. The write launders a "
+       "value that a crash may retroactively erase into durable state, "
+       "corrupting objects other processes trust. Re-reading from NVM "
+       "after the persist barrier (or persisting before exposing) breaks "
+       "the flow; RC004 findings on the same run are the root cause."},
       {kRuleCrashBudget, "crash-budget", Severity::kError,
        "a protocol declaring an E_z crash budget loses decision stability "
        "on an explored schedule within that budget; the annotation "
        "overclaims (audited in the solo E_z projection, see "
-       "sched::CrashAccountant)"},
+       "sched::CrashAccountant)",
+       "Protocols may declare an E_z crash budget: a claim that decisions "
+       "stay stable as long as each process crashes at most z times. The "
+       "audit explores schedules within the declared budget (solo E_z "
+       "projection) and fires when decision stability fails inside it — "
+       "the annotation overclaims, which matters because budget "
+       "declarations feed the paper's budget-indexed hierarchy results. "
+       "Either lower z or fix the recovery path that loses the decision."},
+      {kRuleBoundsObliviousOp, "oblivious-op", Severity::kNote,
+       "bounds quotient: constant-response self-loop op removed; no "
+       "discerning or recording witness needs it (levels preserved "
+       "exactly)",
+       "Bounds-engine counterpart of TS002: an op whose every transition "
+       "is a self-loop with one constant response can neither change nor "
+       "observe the value. Soundness of removing it: in any would-be "
+       "witness that assigns it to process p, every schedule containing p "
+       "yields the same final value as the schedule with p moved to the "
+       "front (the op is a state no-op) and the same constant response, "
+       "so p's (response, value) pair appears under both leading teams "
+       "and the R-sets collide; recording U-sets are untouched by state "
+       "no-ops. Hence neither condition's verdict changes when the op is "
+       "dropped, and the exact deciders run on the smaller quotient."},
+      {kRuleBoundsDuplicateOp, "duplicate-op", Severity::kNote,
+       "bounds quotient: op with transition rows identical to an earlier "
+       "op removed; interchangeable inside any witness (levels preserved "
+       "exactly)",
+       "Two ops with identical transition rows are observationally equal: "
+       "substituting one for the other in any assignment changes no "
+       "schedule's values or responses, so every witness using the "
+       "duplicate maps to a witness using the original and vice versa. "
+       "Both levels are therefore preserved exactly when the duplicate is "
+       "dropped, and the exact deciders enumerate assignments over a "
+       "strictly smaller op alphabet."},
+      {kRuleBoundsReadOnlyType, "read-only-type", Severity::kNote,
+       "bounds: every op is value-preserving, so cons = rcons = 1 exactly",
+       "If every operation preserves every value, the object sits at its "
+       "initial value u forever. Recording: U0 = U1 = {u}, never "
+       "disjoint. Discerning: each process p's response is the fixed "
+       "r_p(u), and the pair (r_p(u), u) is recorded both in a schedule "
+       "led by p's own team and in one led by the other team (prepend any "
+       "opposing process), so R-sets collide for every assignment. "
+       "Neither condition holds at any n >= 2, pinning both levels to 1 "
+       "exactly — information that cannot leave the object cannot "
+       "coordinate processes."},
+      {kRuleBoundsCommutativeType, "commutative-type", Severity::kNote,
+       "bounds: every ordered op pair fully commutes (state and "
+       "responses), so the type is not 2-discerning and cons = 1",
+       "Full commutation means that for every value v and ops a, b, "
+       "applying ab or ba from v reaches the same value and gives each op "
+       "the same response either way (for a pair (a, a) this requires a's "
+       "response to be stable across its own application — test&set fails "
+       "exactly here). Take any assignment at any n and processes p_i, "
+       "p_j on opposite teams: the schedules (p_i p_j) and (p_j p_i) "
+       "record identical (response, value) pairs for p_i under both "
+       "leading teams, so the R-sets collide and no n >= 2 is discerning: "
+       "cons = 1. This is the classical Herlihy commute argument, "
+       "evaluated statically on the delta table."},
+      {kRuleBoundsInterferenceBounded, "interference-bounded",
+       Severity::kNote,
+       "bounds: every op pair commutes or overwrites at every value, so "
+       "rcons = 1 and cons <= 2",
+       "Commute-or-overwrite at value v means delta(v,ab) = delta(v,ba), "
+       "or delta(v,ab) = delta(v,b) (b overwrites a), or symmetrically a "
+       "overwrites b. Recording: for cross-team p_i (op a) and p_j (op "
+       "b), the commute case puts the common value of (p_i p_j) and "
+       "(p_j p_i) in both U-sets, and the overwrite case equates the "
+       "value of (p_i p_j) with that of (p_j) alone — again one value in "
+       "both U-sets. This works at every n, so rcons = 1. Discerning at "
+       "n >= 3: whatever state a third process p_k steps on after "
+       "(p_i p_j ...) is reproduced by a schedule led by the opposite "
+       "team — (p_j p_i p_k) under commute, (p_j p_k) under overwrite — "
+       "so p_k's (response, value) pair collides across teams and no "
+       "n >= 3 is discerning: cons <= 2. Registers and test&set land "
+       "here, which is why their recoverable consensus number is 1."},
+      {kRuleBoundsPairInterference, "pair-interference", Severity::kNote,
+       "bounds: exact static decision of both conditions at n = 2 (finds "
+       "a 2-discerning / 2-recording pair witness or proves none exists)",
+       "At n = 2 both teams are singletons, so a witness is just a triple "
+       "(initial value u, op a, op b) and the one-shot schedule tree has "
+       "four nodes: (a), (ab), (b), (ba). The rule evaluates the "
+       "discerning R-sets and recording U-sets of every triple directly "
+       "from the delta table — O(values x ops^2) work — and the "
+       "v-hiding condition (2) is vacuous because both opposing teams "
+       "have size 1. The scan is exact, not approximate: a hit certifies "
+       "level >= 2 (the finding names the witness), and a miss proves "
+       "level = 1, so the n = 2 runs of the exponential exact deciders "
+       "are never needed."},
+      {kRuleBoundsStickyPair, "sticky-pair", Severity::kNote,
+       "bounds: two ops drive a value to distinct values fixed by both "
+       "ops; a witness at every n, so both levels run to the cap",
+       "Suppose delta(u,a) = x and delta(u,b) = y with x != y, u not in "
+       "{x, y}, and both x and y fixed points of both a and b. Assign op "
+       "a to every team-0 process and b to every team-1 process, initial "
+       "value u: the first step moves to x or y according to the leading "
+       "team, and every later step stays there. So U0 = {x}, U1 = {y} "
+       "(disjoint), u is in neither (condition (2) vacuous), and every "
+       "recorded (response, value) pair carries x or y in its value "
+       "component — both conditions hold at EVERY n. This is the "
+       "compare-and-swap / sticky-bit structure: the first writer wins "
+       "and the outcome is frozen, which is exactly why those types sit "
+       "at the top of both hierarchies. The exact scans are skipped "
+       "wholesale; the levels report the cap with exact = false."},
+      {kRuleBoundsDivergentClosure, "divergent-closure", Severity::kNote,
+       "bounds: two ops drive a value into disjoint absorbing regions "
+       "(closure generalization of SA007); a witness at every n",
+       "Generalizes SA007 from absorbing values to absorbing regions: if "
+       "the {a, b}-closure A of delta(u,a) and the {a, b}-closure B of "
+       "delta(u,b) are disjoint and neither contains u, then with op a on "
+       "team 0 and op b on team 1 every schedule's value stays in the "
+       "region chosen by the leading team (each closure is closed under "
+       "both assigned ops). Hence U0 is a subset of A and U1 of B — "
+       "disjoint, u in neither, condition (2) vacuous — and R-set values "
+       "separate by region, so both conditions hold at every n. Types "
+       "whose first operation commits the object to one of two "
+       "non-communicating subspaces get their unbounded verdict without "
+       "a single decider run."},
   };
   return *kRules;
 }

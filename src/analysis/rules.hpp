@@ -21,6 +21,11 @@ struct RuleInfo {
   Severity severity;
   /// What the rule checks, and which precondition it guards.
   const char* summary;
+  /// One-paragraph explanation for `rcons_cli explain <id>` (and
+  /// `lint --explain=<id>`): the rule's reasoning, why a finding matters,
+  /// and — for the SA bounds rules — the soundness argument in brief.
+  /// Never empty (pinned by a registry test).
+  const char* explain;
 };
 
 // ---- Type-spec rules (over spec::ObjectType / .type files) ----
@@ -104,6 +109,36 @@ inline constexpr const char* kRuleVolatileTaint = "RC005";
 /// loses a decision-stability guarantee on an explored schedule within
 /// that budget: the annotation overclaims.
 inline constexpr const char* kRuleCrashBudget = "RC006";
+
+// ---- Static-bounds rules (analysis/static_bounds; DESIGN.md §11) ----
+// Informational: each fired SA rule contributes an edge of the sound
+// [lo, hi] brackets a BoundsReport carries for the discerning and
+// recording levels. None of them gate a lint run.
+
+/// Operation that is a constant-response self-loop everywhere: removed
+/// from the bounds quotient (no witness needs it; both levels preserved).
+inline constexpr const char* kRuleBoundsObliviousOp = "SA001";
+/// Operation whose transition rows duplicate an earlier op's: removed
+/// from the bounds quotient (interchangeable inside any witness).
+inline constexpr const char* kRuleBoundsDuplicateOp = "SA002";
+/// Every op is value-preserving: the object never leaves its initial
+/// value, so cons = rcons = 1 exactly.
+inline constexpr const char* kRuleBoundsReadOnlyType = "SA003";
+/// Every ordered op pair commutes in state and responses at every value:
+/// not 2-discerning, so cons = 1.
+inline constexpr const char* kRuleBoundsCommutativeType = "SA004";
+/// Every op pair commutes or overwrites at every value: rcons = 1 and
+/// cons <= 2.
+inline constexpr const char* kRuleBoundsInterferenceBounded = "SA005";
+/// Exact static evaluation of both conditions at n = 2 over the one-shot
+/// schedules of a pair witness; decides the level-2 verdicts either way.
+inline constexpr const char* kRuleBoundsPairInterference = "SA006";
+/// Two ops drive some value to distinct values fixed by both ops: a
+/// witness at every n, so both levels are unbounded below the cap.
+inline constexpr const char* kRuleBoundsStickyPair = "SA007";
+/// Two ops drive some value into disjoint absorbing regions (closure
+/// generalization of SA007): a witness at every n.
+inline constexpr const char* kRuleBoundsDivergentClosure = "SA008";
 
 /// All rules, in catalog order.
 const std::vector<RuleInfo>& all_rules();

@@ -1,0 +1,173 @@
+#include "analysis/static_bounds/pair_scans.hpp"
+
+#include <vector>
+
+namespace rcons::analysis::bounds_detail {
+
+namespace {
+
+spec::ValueId step(const spec::ObjectType& t, spec::ValueId v, spec::OpId o) {
+  return t.apply(v, o).next_value;
+}
+
+/// Values reachable from `from` (inclusive) using only ops `a` and `b`.
+std::vector<char> closure(const spec::ObjectType& t, spec::ValueId from,
+                          spec::OpId a, spec::OpId b) {
+  std::vector<char> in(static_cast<std::size_t>(t.value_count()), 0);
+  std::vector<spec::ValueId> frontier{from};
+  in[static_cast<std::size_t>(from)] = 1;
+  while (!frontier.empty()) {
+    const spec::ValueId v = frontier.back();
+    frontier.pop_back();
+    for (const spec::OpId o : {a, b}) {
+      const spec::ValueId next = step(t, v, o);
+      if (!in[static_cast<std::size_t>(next)]) {
+        in[static_cast<std::size_t>(next)] = 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+bool all_value_preserving(const spec::ObjectType& t) {
+  for (spec::ValueId v = 0; v < t.value_count(); ++v) {
+    for (spec::OpId o = 0; o < t.op_count(); ++o) {
+      if (step(t, v, o) != v) return false;
+    }
+  }
+  return true;
+}
+
+bool all_pairs_fully_commute(const spec::ObjectType& t) {
+  // The three equalities are symmetric under swapping (a, b), so scanning
+  // unordered pairs (including a == b) covers every ordered pair.
+  for (spec::OpId a = 0; a < t.op_count(); ++a) {
+    for (spec::OpId b = a; b < t.op_count(); ++b) {
+      for (spec::ValueId v = 0; v < t.value_count(); ++v) {
+        const spec::Effect ea = t.apply(v, a);
+        const spec::Effect eab = t.apply(ea.next_value, b);
+        const spec::Effect eb = t.apply(v, b);
+        const spec::Effect eba = t.apply(eb.next_value, a);
+        if (eab.next_value != eba.next_value) return false;
+        if (ea.response != eba.response) return false;
+        if (eb.response != eab.response) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool all_pairs_commute_or_overwrite(const spec::ObjectType& t) {
+  for (spec::OpId a = 0; a < t.op_count(); ++a) {
+    for (spec::OpId b = a; b < t.op_count(); ++b) {
+      for (spec::ValueId v = 0; v < t.value_count(); ++v) {
+        const spec::ValueId va = step(t, v, a);
+        const spec::ValueId vb = step(t, v, b);
+        const spec::ValueId vab = step(t, va, b);
+        const spec::ValueId vba = step(t, vb, a);
+        const bool commute = vab == vba;
+        const bool b_overwrites_a = vab == vb;
+        const bool a_overwrites_b = vba == va;
+        if (!commute && !b_overwrites_a && !a_overwrites_b) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<PairWitness> find_discerning_pair(const spec::ObjectType& t) {
+  // n = 2, process p0 running op a on team 0, p1 running b on team 1. The
+  // one-shot schedule tree is {(p0), (p0 p1), (p1), (p1 p0)}; the DFS
+  // records (response, value) pairs at every node, giving
+  //   R00 = {(ra, va), (ra, vab)}      R10 = {(resp(vb, a), vba)}
+  //   R01 = {(resp(va, b), vab)}       R11 = {(rb, vb), (rb, vba)}
+  // and the witness condition is R00 ^ R10 = R01 ^ R11 = empty.
+  for (spec::ValueId u = 0; u < t.value_count(); ++u) {
+    for (spec::OpId a = 0; a < t.op_count(); ++a) {
+      for (spec::OpId b = 0; b < t.op_count(); ++b) {
+        const spec::Effect ea = t.apply(u, a);
+        const spec::Effect eb = t.apply(u, b);
+        const spec::Effect eab = t.apply(ea.next_value, b);
+        const spec::Effect eba = t.apply(eb.next_value, a);
+        const spec::ValueId va = ea.next_value;
+        const spec::ValueId vb = eb.next_value;
+        const spec::ValueId vab = eab.next_value;
+        const spec::ValueId vba = eba.next_value;
+        const bool p0_collides =
+            eba.response == ea.response && (vba == va || vba == vab);
+        const bool p1_collides =
+            eab.response == eb.response && (vab == vb || vab == vba);
+        if (!p0_collides && !p1_collides) return PairWitness{u, a, b};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PairWitness> find_recording_pair(const spec::ObjectType& t) {
+  // Same schedule tree, values only: U0 = {va, vab}, U1 = {vb, vba}; the
+  // v-hiding condition (2) is vacuous at n = 2 (both teams are singletons).
+  for (spec::ValueId u = 0; u < t.value_count(); ++u) {
+    for (spec::OpId a = 0; a < t.op_count(); ++a) {
+      for (spec::OpId b = 0; b < t.op_count(); ++b) {
+        const spec::ValueId va = step(t, u, a);
+        const spec::ValueId vb = step(t, u, b);
+        const spec::ValueId vab = step(t, va, b);
+        const spec::ValueId vba = step(t, vb, a);
+        if (va != vb && va != vba && vab != vb && vab != vba) {
+          return PairWitness{u, a, b};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PairWitness> find_sticky_pair(const spec::ObjectType& t) {
+  for (spec::ValueId u = 0; u < t.value_count(); ++u) {
+    for (spec::OpId a = 0; a < t.op_count(); ++a) {
+      for (spec::OpId b = a + 1; b < t.op_count(); ++b) {
+        const spec::ValueId x = step(t, u, a);
+        const spec::ValueId y = step(t, u, b);
+        if (x == y || u == x || u == y) continue;
+        if (step(t, x, a) == x && step(t, x, b) == x &&
+            step(t, y, a) == y && step(t, y, b) == y) {
+          return PairWitness{u, a, b};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PairWitness> find_divergent_closure_pair(
+    const spec::ObjectType& t) {
+  for (spec::ValueId u = 0; u < t.value_count(); ++u) {
+    for (spec::OpId a = 0; a < t.op_count(); ++a) {
+      for (spec::OpId b = a + 1; b < t.op_count(); ++b) {
+        const spec::ValueId sa = step(t, u, a);
+        const spec::ValueId sb = step(t, u, b);
+        if (sa == sb) continue;
+        const std::vector<char> in_a = closure(t, sa, a, b);
+        if (in_a[static_cast<std::size_t>(u)] ||
+            in_a[static_cast<std::size_t>(sb)]) {
+          continue;
+        }
+        const std::vector<char> in_b = closure(t, sb, a, b);
+        if (in_b[static_cast<std::size_t>(u)]) continue;
+        bool disjoint = true;
+        for (spec::ValueId v = 0; v < t.value_count() && disjoint; ++v) {
+          disjoint = !(in_a[static_cast<std::size_t>(v)] &&
+                       in_b[static_cast<std::size_t>(v)]);
+        }
+        if (disjoint) return PairWitness{u, a, b};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rcons::analysis::bounds_detail

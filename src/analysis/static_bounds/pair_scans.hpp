@@ -1,0 +1,50 @@
+// Internal pair-structure scans backing SA003-SA008 (static_bounds.hpp).
+// Each scan is a pure function of the delta table; witnesses are returned
+// in (u, a, b) lexicographic order so reports are deterministic.
+#pragma once
+
+#include <optional>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::analysis::bounds_detail {
+
+/// A witness triple: initial value `u`, operations `a` and `b`.
+struct PairWitness {
+  spec::ValueId u = 0;
+  spec::OpId a = 0;
+  spec::OpId b = 0;
+};
+
+/// SA003: every operation preserves every value.
+bool all_value_preserving(const spec::ObjectType& t);
+
+/// SA004: every ordered operation pair commutes in state AND responses at
+/// every value (for (a, a) this requires a's response to be stable across
+/// its own application — test&set fails it, a blind counter passes).
+bool all_pairs_fully_commute(const spec::ObjectType& t);
+
+/// SA005: every unordered operation pair, at every value, commutes in
+/// state or one op overwrites the other (delta(v, ab) == delta(v, b)).
+bool all_pairs_commute_or_overwrite(const spec::ObjectType& t);
+
+/// SA006: first (u, a, b) that is a 2-discerning witness — both processes'
+/// R-sets over the four one-shot schedules are team-disjoint — or nullopt,
+/// which certifies the type is NOT 2-discerning (the scan is exact).
+std::optional<PairWitness> find_discerning_pair(const spec::ObjectType& t);
+
+/// SA006: first (u, a, b) that is a 2-recording witness — the values after
+/// a, ab vs b, ba are disjoint — or nullopt (exact: not 2-recording).
+std::optional<PairWitness> find_recording_pair(const spec::ObjectType& t);
+
+/// SA007: first (u, a, b) with x = delta(u,a) != y = delta(u,b), u not in
+/// {x, y}, and both x and y fixed points of both a and b.
+std::optional<PairWitness> find_sticky_pair(const spec::ObjectType& t);
+
+/// SA008: first (u, a, b) whose post-step closures under {a, b} are
+/// disjoint and exclude u (generalizes SA007 from absorbing values to
+/// absorbing regions).
+std::optional<PairWitness> find_divergent_closure_pair(
+    const spec::ObjectType& t);
+
+}  // namespace rcons::analysis::bounds_detail

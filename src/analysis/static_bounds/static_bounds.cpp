@@ -1,0 +1,316 @@
+#include "analysis/static_bounds/static_bounds.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "analysis/static_bounds/pair_scans.hpp"
+#include "spec/builder.hpp"
+#include "trace/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::analysis {
+
+namespace {
+
+using bounds_detail::PairWitness;
+
+std::string edge_to_string(int v) {
+  return v >= kLevelUnbounded ? "inf" : std::to_string(v);
+}
+
+/// Tightens a lower edge. First-writer-wins on ties keeps the provenance
+/// of the lowest-numbered rule, making reports deterministic.
+void raise_lo(LevelBracket& b, int lo, const char* rule) {
+  if (lo > b.lo) {
+    b.lo = lo;
+    b.lo_by = rule;
+  }
+  RCONS_CHECK(b.lo <= b.hi);  // a violation means an unsound rule
+}
+
+void lower_hi(LevelBracket& b, int hi, const char* rule) {
+  if (hi < b.hi) {
+    b.hi = hi;
+    b.hi_by = rule;
+  }
+  RCONS_CHECK(b.lo <= b.hi);
+}
+
+std::string witness_text(const spec::ObjectType& t, const PairWitness& w) {
+  return "u='" + t.value_name(w.u) + "', a='" + t.op_name(w.a) + "', b='" +
+         t.op_name(w.b) + "'";
+}
+
+}  // namespace
+
+std::string LevelBracket::to_string() const {
+  return "[" + edge_to_string(lo) + ", " + edge_to_string(hi) + "]";
+}
+
+std::string LevelBracket::render_json() const {
+  const auto edge = [](int v) {
+    return v >= kLevelUnbounded ? std::string("\"inf\"") : std::to_string(v);
+  };
+  return "{\"lo\":" + edge(lo) + ",\"hi\":" + edge(hi) + ",\"lo_by\":\"" +
+         json_escape(lo_by) + "\",\"hi_by\":\"" + json_escape(hi_by) + "\"}";
+}
+
+std::string BoundsReport::render_json() const {
+  std::set<std::string> rules;
+  for (const Diagnostic& d : findings.diagnostics()) rules.insert(d.rule);
+  std::string rule_list;
+  for (const std::string& r : rules) {
+    if (!rule_list.empty()) rule_list += ',';
+    rule_list += "\"" + r + "\"";
+  }
+  return "{\"cons\":" + discerning.render_json() +
+         ",\"rcons\":" + recording.render_json() + ",\"rules\":[" +
+         rule_list + "],\"ops_removed\":" + std::to_string(ops_removed) + "}";
+}
+
+std::string BoundsReport::describe() const {
+  const auto edge_by = [](const LevelBracket& b) {
+    std::string by;
+    if (!b.lo_by.empty()) by += " lo " + b.lo_by;
+    if (!b.hi_by.empty()) by += (by.empty() ? " " : ", ") + ("hi " + b.hi_by);
+    return by.empty() ? std::string() : " (" + by.substr(1) + ")";
+  };
+  std::set<std::string> rules;
+  for (const Diagnostic& d : findings.diagnostics()) rules.insert(d.rule);
+  std::string fired;
+  for (const std::string& r : rules) {
+    if (!fired.empty()) fired += ' ';
+    fired += r;
+  }
+  std::string out = "  static bounds:    cons in " + discerning.to_string() +
+                    edge_by(discerning) + ", rcons in " +
+                    recording.to_string() + edge_by(recording) + "\n";
+  out += "  bounds rules:     " + (fired.empty() ? "(none fired)" : fired);
+  if (ops_removed > 0) {
+    out += "; quotient removes " + std::to_string(ops_removed) + " op" +
+           (ops_removed == 1 ? "" : "s");
+  }
+  out += "\n";
+  return out;
+}
+
+BoundsReport analyze_static_bounds(const spec::ObjectType& type,
+                                   const std::string& subject) {
+  BoundsReport r;
+  r.type_name = type.name();
+  const std::string subj = subject.empty() ? type.name() : subject;
+  trace::metrics().add("bounds.analyses", 1);
+
+  // SA001: ops that can neither change nor observe the value. Dropping
+  // one preserves both levels exactly: in any witness, a schedule where
+  // the op ran is value- and response-indistinguishable from one where its
+  // process ran first, so its R/U entries collide across teams anyway.
+  const int op_count = type.op_count();
+  std::vector<char> drop(static_cast<std::size_t>(op_count), 0);
+  for (spec::OpId o = 0; o < op_count; ++o) {
+    bool dead = true;
+    const spec::ResponseId fixed = type.apply(0, o).response;
+    for (spec::ValueId v = 0; v < type.value_count() && dead; ++v) {
+      const spec::Effect e = type.apply(v, o);
+      dead = e.next_value == v && e.response == fixed;
+    }
+    if (dead) {
+      drop[static_cast<std::size_t>(o)] = 1;
+      r.findings.add(make_diagnostic(
+          kRuleBoundsObliviousOp, subj, "op '" + type.op_name(o) + "'",
+          "operation is a constant-response self-loop ('" +
+              type.response_name(fixed) +
+              "') everywhere: it can neither change nor observe the value, "
+              "so no discerning or recording witness needs it",
+          "the exact deciders run on the bounds quotient without this op"));
+    }
+  }
+
+  // SA002: ops with identical transition rows are interchangeable inside
+  // any witness; keeping one per row preserves both levels exactly.
+  for (spec::OpId a = 0; a < op_count; ++a) {
+    if (drop[static_cast<std::size_t>(a)]) continue;
+    for (spec::OpId b = a + 1; b < op_count; ++b) {
+      if (drop[static_cast<std::size_t>(b)]) continue;
+      bool same = true;
+      for (spec::ValueId v = 0; v < type.value_count() && same; ++v) {
+        same = type.apply(v, a) == type.apply(v, b);
+      }
+      if (same) {
+        drop[static_cast<std::size_t>(b)] = 1;
+        r.findings.add(make_diagnostic(
+            kRuleBoundsDuplicateOp, subj, "op '" + type.op_name(b) + "'",
+            "transition rows are identical to op '" + type.op_name(a) +
+                "': the two are interchangeable in any witness",
+            "the exact deciders run on the bounds quotient without this "
+            "op"));
+      }
+    }
+  }
+
+  const int removed = static_cast<int>(
+      std::count(drop.begin(), drop.end(), static_cast<char>(1)));
+  if (removed > 0 && removed < op_count) {
+    spec::TypeBuilder builder(type.name());
+    for (spec::ValueId v = 0; v < type.value_count(); ++v) {
+      builder.value(type.value_name(v));
+    }
+    for (spec::OpId o = 0; o < op_count; ++o) {
+      if (!drop[static_cast<std::size_t>(o)]) builder.op(type.op_name(o));
+    }
+    for (spec::ValueId v = 0; v < type.value_count(); ++v) {
+      for (spec::OpId o = 0; o < op_count; ++o) {
+        if (drop[static_cast<std::size_t>(o)]) continue;
+        const spec::Effect e = type.apply(v, o);
+        builder.on(type.value_name(v), type.op_name(o))
+            .then(type.value_name(e.next_value))
+            .returns(type.response_name(e.response));
+      }
+    }
+    r.quotient = builder.build();
+    r.quotient_reduced = true;
+    r.ops_removed = removed;
+    trace::metrics().add("bounds.quotient_ops_removed", removed);
+  } else {
+    // All ops oblivious (SA003 will bracket the type to [1, 1] anyway) or
+    // nothing to remove: analyze the original.
+    r.quotient = type;
+  }
+  const spec::ObjectType& q = r.quotient;
+
+  // SA003: a type whose every op preserves every value keeps the object
+  // at its initial value forever: U0 = U1 = {u} and each process's pair
+  // (fixed response, u) lands in both teams' R-sets, so neither condition
+  // holds at any n >= 2.
+  if (bounds_detail::all_value_preserving(q)) {
+    lower_hi(r.discerning, 1, kRuleBoundsReadOnlyType);
+    lower_hi(r.recording, 1, kRuleBoundsReadOnlyType);
+    r.findings.add(make_diagnostic(
+        kRuleBoundsReadOnlyType, subj, "type",
+        "every operation is value-preserving: the object never leaves its "
+        "initial value, so no team assignment can separate R- or U-sets; "
+        "cons = rcons = 1",
+        "a read-only type has consensus number 1 at every level"));
+  }
+
+  // SA004: full (state + response) commutation of every ordered pair makes
+  // the two orders of any cross-team pair indistinguishable in both the
+  // final value and each process's response, so no n >= 2 is discerning.
+  if (bounds_detail::all_pairs_fully_commute(q)) {
+    lower_hi(r.discerning, 1, kRuleBoundsCommutativeType);
+    r.findings.add(make_diagnostic(
+        kRuleBoundsCommutativeType, subj, "type",
+        "every ordered operation pair commutes in state and responses at "
+        "every value: swapping the first two cross-team steps of any "
+        "schedule changes nothing observable, so the type is not "
+        "2-discerning and cons = 1",
+        "Herlihy-style commutation argument, evaluated on the delta table"));
+  }
+
+  // SA005: commute-or-overwrite. For recording, the first two cross-team
+  // steps yield a common value in both U-sets at every n, so rcons = 1.
+  // For discerning with n >= 3, the state a third process observes is
+  // reproducible from a schedule led by the opposite team, so cons <= 2.
+  if (bounds_detail::all_pairs_commute_or_overwrite(q)) {
+    lower_hi(r.discerning, 2, kRuleBoundsInterferenceBounded);
+    lower_hi(r.recording, 1, kRuleBoundsInterferenceBounded);
+    r.findings.add(make_diagnostic(
+        kRuleBoundsInterferenceBounded, subj, "type",
+        "every operation pair commutes in state or overwrites at every "
+        "value: the first two cross-team steps always produce a value "
+        "common to both U-sets (rcons = 1), and any third process sees a "
+        "state reachable under the opposite leading team (cons <= 2)",
+        "commute-or-overwrite interference classification"));
+  }
+
+  // SA006: exact static evaluation of both conditions at n = 2 over the
+  // four one-shot schedules of a pair witness. A hit certifies lo = 2;
+  // a miss is a proof of failure at n = 2, so hi = 1 by monotonicity.
+  const auto disc_pair = bounds_detail::find_discerning_pair(q);
+  const auto rec_pair = bounds_detail::find_recording_pair(q);
+  if (disc_pair.has_value()) {
+    raise_lo(r.discerning, 2, kRuleBoundsPairInterference);
+  } else {
+    lower_hi(r.discerning, 1, kRuleBoundsPairInterference);
+  }
+  if (rec_pair.has_value()) {
+    raise_lo(r.recording, 2, kRuleBoundsPairInterference);
+  } else {
+    lower_hi(r.recording, 1, kRuleBoundsPairInterference);
+  }
+  if (disc_pair.has_value() || rec_pair.has_value()) {
+    std::string message = "interfering pair found:";
+    if (disc_pair.has_value()) {
+      message +=
+          " (" + witness_text(q, *disc_pair) + ") is a 2-discerning witness";
+    }
+    if (rec_pair.has_value()) {
+      message += std::string(disc_pair.has_value() ? ";" : "") + " (" +
+                 witness_text(q, *rec_pair) + ") is a 2-recording witness";
+    }
+    r.findings.add(make_diagnostic(
+        kRuleBoundsPairInterference, subj, "type", message,
+        "the level-2 verdicts are decided statically either way"));
+  }
+
+  // SA007: a pair driving u to two distinct values each fixed by both ops
+  // is a witness at EVERY n: all-a vs all-b teams pin U0 = {x}, U1 = {y}
+  // (disjoint, and u in neither, so v-hiding condition (2) is vacuous),
+  // and every R-pair carries x or y in its value component.
+  if (const auto w = bounds_detail::find_sticky_pair(q)) {
+    raise_lo(r.discerning, kLevelUnbounded, kRuleBoundsStickyPair);
+    raise_lo(r.recording, kLevelUnbounded, kRuleBoundsStickyPair);
+    r.findings.add(make_diagnostic(
+        kRuleBoundsStickyPair, subj, "value '" + q.value_name(w->u) + "'",
+        "sticky pair (" + witness_text(q, *w) + "): '" + q.op_name(w->a) +
+            "' and '" + q.op_name(w->b) +
+            "' reach distinct values that both ops then fix, so assigning "
+            "one op per team is an n-discerning and n-recording witness "
+            "for every n",
+        "the exact scans are skipped: both levels are cap-limited"));
+  }
+
+  // SA008: same argument with absorbing regions instead of absorbing
+  // values: if the {a, b}-closures of delta(u,a) and delta(u,b) are
+  // disjoint and exclude u, every schedule's value stays on its leading
+  // team's side, at every n.
+  if (const auto w = bounds_detail::find_divergent_closure_pair(q)) {
+    raise_lo(r.discerning, kLevelUnbounded, kRuleBoundsDivergentClosure);
+    raise_lo(r.recording, kLevelUnbounded, kRuleBoundsDivergentClosure);
+    r.findings.add(make_diagnostic(
+        kRuleBoundsDivergentClosure, subj,
+        "value '" + q.value_name(w->u) + "'",
+        "divergent closure pair (" + witness_text(q, *w) +
+            "): the {a, b}-closures of the two post-step values are "
+            "disjoint and exclude the initial value, so one-op-per-team "
+            "is an n-discerning and n-recording witness for every n",
+        "generalizes the sticky-pair argument to absorbing regions"));
+  }
+
+  // Dominance closure (DESIGN.md §11): a recording witness is a
+  // discerning witness for the same assignment (node values lie in the
+  // leading team's U-set, and the U-sets are disjoint), so the discerning
+  // floor inherits the recording floor and the recording ceiling inherits
+  // the discerning ceiling. With SA001-SA008 as defined this is already
+  // closed; kept so future rules cannot leave an unclosed report.
+  if (r.recording.lo > r.discerning.lo) {
+    r.discerning.lo = r.recording.lo;
+    r.discerning.lo_by = r.recording.lo_by;
+  }
+  if (r.discerning.hi < r.recording.hi) {
+    r.recording.hi = r.discerning.hi;
+    r.recording.hi_by = r.discerning.hi_by;
+  }
+  RCONS_CHECK(r.discerning.lo <= r.discerning.hi);
+  RCONS_CHECK(r.recording.lo <= r.recording.hi);
+
+  trace::metrics().add("bounds.rules_fired",
+                       static_cast<std::int64_t>(
+                           r.findings.diagnostics().size()));
+  r.findings.canonicalize();
+  return r;
+}
+
+}  // namespace rcons::analysis

@@ -1,0 +1,104 @@
+// Static pre-verdict bounds for the consensus hierarchy (DESIGN.md §11).
+//
+// The exact deciders (hierarchy/discerning, hierarchy/recording) quantify
+// over every one-shot schedule of every team assignment, so even a small
+// type pays an exponential scan per level. Most verdicts, however, are
+// structurally forced by the delta table alone: a type whose operations all
+// commute cannot separate two teams, a pair of operations that drive the
+// object into disjoint absorbing regions is a recording witness at every n,
+// and so on. This module evaluates eight such rules (SA001-SA008, registry
+// in analysis/rules.hpp) by direct dataflow over spec::ObjectType and emits
+// a BoundsReport: sound [lo, hi] brackets for the discerning and recording
+// levels plus a rule-tagged findings Report and a quotient type with
+// power-irrelevant operations removed.
+//
+// Soundness contract: for every type T and every n >= 2,
+//   n <= bracket.lo  =>  the exact condition holds at n, and
+//   n  > bracket.hi  =>  the exact condition fails at n,
+// where each certified lo extends downward by the scan monotonicity the
+// level scans already assume. The hierarchy layer may therefore skip any
+// exact run the bracket decides, and may hand the deciders the quotient
+// type instead of the original (SA001/SA002 preserve both levels exactly).
+// Every rule's argument is spelled out in DESIGN.md §11 and pinned by the
+// golden corpus plus the seeded differentials in
+// tests/static_bounds_test.cpp; an unsound rule fails CI, not the user.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::analysis {
+
+/// Sentinel for "no finite bound": a lo of kLevelUnbounded certifies the
+/// condition at every n the deciders accept; a hi of kLevelUnbounded means
+/// no upper bound was established.
+inline constexpr int kLevelUnbounded = 1 << 30;
+
+/// One sound bracket on a hierarchy level, with the rule id that certified
+/// each edge (empty = the trivial floor lo=1 / ceiling hi=unbounded).
+struct LevelBracket {
+  int lo = 1;
+  int hi = kLevelUnbounded;
+  std::string lo_by;
+  std::string hi_by;
+
+  /// True iff the bracket already decides the per-n verdict.
+  bool decides(int n) const { return n <= lo || n > hi; }
+  /// The decided verdict for an n with decides(n).
+  bool verdict(int n) const { return n <= lo; }
+  /// The rule that certifies the verdict for an n with decides(n).
+  const std::string& decided_by(int n) const {
+    return n <= lo ? lo_by : hi_by;
+  }
+
+  std::string to_string() const;
+  std::string render_json() const;
+};
+
+/// The result of the static pass over one type.
+struct BoundsReport {
+  std::string type_name;
+  /// Brackets the discerning level (== consensus number for readable
+  /// types) and the recording level (== recoverable consensus number).
+  LevelBracket discerning;
+  LevelBracket recording;
+  /// At most one finding per fired SA rule (plus one per eliminated op for
+  /// SA001/SA002), in canonical order (rule id, subject, location).
+  Report findings;
+  /// SA001/SA002 quotient: the type with dead and duplicate operations
+  /// removed. Equal to the analyzed type when quotient_reduced is false.
+  /// Both levels of the quotient equal those of the original exactly, so
+  /// exact deciders may run on it in place of the original.
+  spec::ObjectType quotient;
+  bool quotient_reduced = false;
+  int ops_removed = 0;
+
+  /// True iff every per-n verdict in [2, max_n] is decided for both kinds
+  /// (no exact decider run is needed to profile up to max_n).
+  bool decides_profile(int max_n) const {
+    const auto full = [max_n](const LevelBracket& b) {
+      return b.lo >= max_n || b.hi <= b.lo;
+    };
+    return full(discerning) && full(recording);
+  }
+
+  /// The `"bounds"` JSON object for `profile --format=json`:
+  ///   {"cons":{"lo":..,"hi":..,"lo_by":..,"hi_by":..},"rcons":{...},
+  ///    "rules":[...],"ops_removed":N}
+  /// Unbounded edges render as the string "inf".
+  std::string render_json() const;
+
+  /// Human-readable summary for `profile` text output.
+  std::string describe() const;
+};
+
+/// Runs SA001-SA008 over `type`. `subject` labels the findings (defaults
+/// to the type's name; the CLI passes the file path for file targets).
+/// Deterministic: equal inputs produce byte-identical reports. Cost is
+/// O(values^2 * ops^2), negligible next to any exact decider run.
+BoundsReport analyze_static_bounds(const spec::ObjectType& type,
+                                   const std::string& subject = "");
+
+}  // namespace rcons::analysis

@@ -1,6 +1,7 @@
 #include "hierarchy/consensus_number.hpp"
 
 #include "reduction/type_canon.hpp"
+#include "trace/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace rcons::hierarchy {
@@ -45,31 +46,87 @@ class CachedVerdicts {
   template <typename Check>
   bool holds(const char* kind, int n, const Check& check) const {
     if (spec_key_.empty()) return check(n);
-    const std::string key = std::string(kind) + "|n=" + std::to_string(n) +
-                            "|z=inf|spec=" + spec_key_;
-    if (std::optional<std::string> payload = options_.cache->lookup(key)) {
-      if (*payload == "holds=1") return true;
-      if (*payload == "holds=0") return false;
-      // Unknown payload: treat as a miss and fall through to recompute.
+    const std::string key = verdict_key(kind, n);
+    if (std::optional<bool> cached = parse(*options_.cache, key)) {
+      return *cached;
     }
     const bool result = check(n);
     options_.cache->store(key, result ? "holds=1" : "holds=0");
     return result;
   }
 
+  /// Records a verdict the static brackets decided without a decider run.
+  /// Lookup-then-store keeps warm runs at zero misses while still seeding
+  /// cold caches; the provenance suffix records which rule decided it (old
+  /// readers prefix-parse, so mixed-version caches stay compatible).
+  void record_bracket(const char* kind, int n, bool verdict,
+                      const std::string& rule) const {
+    if (spec_key_.empty()) return;
+    const std::string key = verdict_key(kind, n);
+    if (parse(*options_.cache, key).has_value()) return;
+    options_.cache->store(
+        key, std::string(verdict ? "holds=1" : "holds=0") + "|by=" + rule);
+  }
+
  private:
+  std::string verdict_key(const char* kind, int n) const {
+    return std::string(kind) + "|n=" + std::to_string(n) +
+           "|z=inf|spec=" + spec_key_;
+  }
+
+  /// Prefix-parses a cached payload: "holds=1" and "holds=1|by=SA007" both
+  /// read as true. Unknown payloads read as a miss (recompute).
+  static std::optional<bool> parse(const reduction::VerdictCache& cache,
+                                   const std::string& key) {
+    if (std::optional<std::string> payload = cache.lookup(key)) {
+      if (payload->rfind("holds=1", 0) == 0) return true;
+      if (payload->rfind("holds=0", 0) == 0) return false;
+    }
+    return std::nullopt;
+  }
+
   const ProfileOptions& options_;
   std::string spec_key_;
 };
+
+// Per-n verdict with the static bracket consulted first: decided ns skip
+// the exact decider (and seed the cache with rule provenance); undecided
+// ns run the decider on the bounds quotient, whose levels equal the
+// original's by SA001/SA002 soundness.
+template <typename Check>
+bool bounded_holds(const CachedVerdicts& cached, const ProfileOptions& options,
+                   const char* kind, const analysis::LevelBracket& bracket,
+                   int n, const Check& check) {
+  if (options.bounds != nullptr && bracket.decides(n)) {
+    const bool verdict = bracket.verdict(n);
+    trace::metrics().add(verdict ? "bounds.pruned_lo" : "bounds.pruned_hi", 1);
+    cached.record_bracket(kind, n, verdict, bracket.decided_by(n));
+    return verdict;
+  }
+  if (options.bounds != nullptr) trace::metrics().add("bounds.decider_runs", 1);
+  return cached.holds(kind, n, check);
+}
+
+const spec::ObjectType& decider_type(const spec::ObjectType& type,
+                                     const ProfileOptions& options) {
+  if (options.bounds != nullptr && options.bounds->quotient_reduced) {
+    return options.bounds->quotient;
+  }
+  return type;
+}
 
 }  // namespace
 
 Level discerning_level(const spec::ObjectType& type, int max_n,
                        const ProfileOptions& options) {
   const CachedVerdicts cached(type, options);
+  const spec::ObjectType& subject = decider_type(type, options);
+  const analysis::LevelBracket bracket =
+      options.bounds != nullptr ? options.bounds->discerning
+                                : analysis::LevelBracket{};
   return scan_level(max_n, [&](int n) {
-    return cached.holds("discerning", n, [&](int m) {
-      return check_discerning(type, m, options.mode, options.threads).holds;
+    return bounded_holds(cached, options, "discerning", bracket, n, [&](int m) {
+      return check_discerning(subject, m, options.mode, options.threads).holds;
     });
   });
 }
@@ -77,9 +134,13 @@ Level discerning_level(const spec::ObjectType& type, int max_n,
 Level recording_level(const spec::ObjectType& type, int max_n,
                       const ProfileOptions& options) {
   const CachedVerdicts cached(type, options);
+  const spec::ObjectType& subject = decider_type(type, options);
+  const analysis::LevelBracket bracket =
+      options.bounds != nullptr ? options.bounds->recording
+                                : analysis::LevelBracket{};
   return scan_level(max_n, [&](int n) {
-    return cached.holds("recording", n, [&](int m) {
-      return check_recording(type, m, options.mode, options.threads).holds;
+    return bounded_holds(cached, options, "recording", bracket, n, [&](int m) {
+      return check_recording(subject, m, options.mode, options.threads).holds;
     });
   });
 }

@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "analysis/static_bounds/static_bounds.hpp"
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
 #include "reduction/verdict_cache.hpp"
@@ -49,6 +50,14 @@ struct ProfileOptions {
   /// witness or stats — only the holds bit, which is all the level scan
   /// consumes — so levels are identical with a cold, warm, or absent cache.
   const reduction::VerdictCache* cache = nullptr;
+  /// Optional static pre-verdict bounds for the SAME type being profiled
+  /// (caller-owned; see analysis/static_bounds). When set, per-n verdicts
+  /// the brackets decide skip the exact decider entirely (stored into the
+  /// cache as "holds=X|by=SAxxx" so warm runs still hit), and undecided
+  /// verdicts run the deciders on the bounds quotient — which has the same
+  /// levels by construction — while the cache stays keyed on the original
+  /// type's canonical form.
+  const analysis::BoundsReport* bounds = nullptr;
 };
 
 /// max { n in [2, max_n] : T is n-discerning }, else 1. `threads` follows

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "analysis/static_bounds/static_bounds.hpp"
 #include "spec/builder.hpp"
+#include "trace/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -105,6 +107,42 @@ long fitness(const TypeProfile& p) {
   return gap * 1000L + p.discerning.value * 10L + p.recording.value;
 }
 
+TypeProfile floor_profile(const spec::ObjectType& type) {
+  TypeProfile profile;
+  profile.type_name = type.name();
+  profile.readable = true;
+  profile.discerning = Level{1, true};
+  profile.recording = Level{1, true};
+  return profile;
+}
+
+/// Profiles one candidate. With use_bounds the static brackets prune the
+/// per-n decider runs and the not-2-discerning discard happens without any
+/// decider at all (the SA006 pair scan is exact at n = 2); the returned
+/// profile is byte-identical either way, by the bounds soundness contract.
+/// `allow_floor` mirrors the legacy behavior: the mutation loop floors
+/// not-2-discerning candidates, the restart's initial genome does not.
+TypeProfile profile_candidate(const spec::ObjectType& type,
+                              const MachineSearchOptions& options,
+                              bool allow_floor) {
+  if (!options.use_bounds) {
+    // Cheap pre-filter: a machine that is not even 2-discerning cannot
+    // beat anything interesting; skip the full profile.
+    if (allow_floor && !check_discerning(type, 2).holds) {
+      return floor_profile(type);
+    }
+    return compute_profile(type, options.max_n);
+  }
+  const analysis::BoundsReport bounds = analysis::analyze_static_bounds(type);
+  if (allow_floor && bounds.discerning.hi <= 1) {
+    trace::metrics().add("bounds.search_floor_skips", 1);
+    return floor_profile(type);
+  }
+  ProfileOptions profile_options;
+  profile_options.bounds = &bounds;
+  return compute_profile(type, options.max_n, profile_options);
+}
+
 /// One hill-climbing restart, driven by its own RNG stream. The outcome is
 /// a pure function of (options, restart), independent of how restarts are
 /// scheduled across threads.
@@ -124,7 +162,8 @@ RestartOutcome run_restart(const MachineSearchOptions& options, int restart) {
   RestartOutcome out;
   Genome current = random_genome(options, rng);
   spec::ObjectType current_type = current.instantiate();
-  TypeProfile current_profile = compute_profile(current_type, options.max_n);
+  TypeProfile current_profile =
+      profile_candidate(current_type, options, /*allow_floor=*/false);
   out.machines_evaluated += 1;
   long current_fitness = fitness(current_profile);
 
@@ -133,17 +172,7 @@ RestartOutcome run_restart(const MachineSearchOptions& options, int restart) {
     mutate(candidate, rng);
     if (rng.chance(0.3)) mutate(candidate, rng);  // occasional double move
     spec::ObjectType type = candidate.instantiate();
-    // Cheap pre-filter: a machine that is not even 2-discerning cannot
-    // beat anything interesting; skip the full profile.
-    TypeProfile profile;
-    if (!check_discerning(type, 2).holds) {
-      profile.type_name = type.name();
-      profile.readable = true;
-      profile.discerning = Level{1, true};
-      profile.recording = Level{1, true};
-    } else {
-      profile = compute_profile(type, options.max_n);
-    }
+    TypeProfile profile = profile_candidate(type, options, /*allow_floor=*/true);
     out.machines_evaluated += 1;
     const long f = fitness(profile);
     if (f >= current_fitness) {  // plateau moves allowed

@@ -54,6 +54,13 @@ struct MachineSearchOptions {
   /// function of the options — identical for every thread count (and
   /// restarts may run in any order across the pool). 0 = hardware threads.
   int threads = 1;
+  /// Run the static bounds pass on every candidate and use its brackets to
+  /// skip decided per-n verdicts (and to discard not-2-discerning
+  /// candidates without any decider run — the SA006 scan is exact at
+  /// n = 2, so this subsumes the old check_discerning(type, 2) prefilter).
+  /// The search result is byte-identical with bounds on or off; only the
+  /// number of exact decider runs changes.
+  bool use_bounds = true;
 };
 
 struct MachineSearchResult {

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/static_bounds/static_bounds.hpp"
 #include "hierarchy/consensus_number.hpp"
 #include "reduction/verdict_cache.hpp"
 #include "spec/serialize.hpp"
@@ -147,6 +148,20 @@ TEST(GoldenCorpus, AllConfigurationsMatchPinnedLevels) {
     expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, reduced),
                    "parallel automorphism");
 
+    // Static bounds prune per-n decider runs but may never change a level
+    // (the bracket soundness contract); pinned profiles must survive the
+    // pruned configurations bit-for-bit too.
+    const rcons::analysis::BoundsReport bounds =
+        rcons::analysis::analyze_static_bounds(type);
+    ProfileOptions bounded;
+    bounded.bounds = &bounds;
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, bounded),
+                   "serial bounded");
+    bounded.threads = 4;
+    bounded.mode = SymmetryMode::kAutomorphism;
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, bounded),
+                   "parallel bounded automorphism");
+
     ProfileOptions cached;
     cached.mode = SymmetryMode::kAutomorphism;
     cached.cache = &cache;
@@ -158,6 +173,10 @@ TEST(GoldenCorpus, AllConfigurationsMatchPinnedLevels) {
                    "cache warm");
     EXPECT_GT(rcons::trace::metrics().counter("cache.hits"), hits_before)
         << e.file << ": warm profile did not hit the cache";
+
+    cached.bounds = &bounds;
+    expect_profile(e, rcons::hierarchy::compute_profile(type, e.max_n, cached),
+                   "cache warm bounded");
   }
   std::filesystem::remove_all(cache_dir);
 }

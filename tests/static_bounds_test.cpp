@@ -1,0 +1,407 @@
+// Tests for the static bounds engine (analysis/static_bounds, DESIGN.md
+// §11): the SA rule registry, the per-rule firing/near-miss fixtures in
+// data/broken/sa*, bracket soundness against the exact deciders across a
+// seeded random sweep, quotient level preservation, determinism of the
+// reports, and the CLI surface (`explain`, `lint --explain`, byte-stable
+// lint output).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/rules.hpp"
+#include "analysis/static_bounds/static_bounds.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/search.hpp"
+#include "reduction/verdict_cache.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+
+namespace {
+
+using rcons::analysis::BoundsReport;
+using rcons::analysis::Diagnostic;
+using rcons::analysis::kLevelUnbounded;
+using rcons::hierarchy::Level;
+using rcons::hierarchy::ProfileOptions;
+using rcons::hierarchy::TypeProfile;
+namespace spec = rcons::spec;
+
+std::string source_dir() { return RCONS_SOURCE_DIR; }
+
+spec::ObjectType load_broken(const std::string& name) {
+  const std::string path = source_dir() + "/data/broken/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const spec::ParseResult parsed = spec::parse_type(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+  return *parsed.type;
+}
+
+int count_rule(const BoundsReport& r, const char* rule) {
+  int n = 0;
+  for (const Diagnostic& d : r.findings.diagnostics()) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ---- Rule registry ----
+
+// Every rule — TS, PL, RC, and the new SA block — must carry a non-empty
+// one-paragraph explanation: `rcons_cli explain <id>` promises one.
+TEST(StaticBoundsRegistry, EveryRuleHasNonEmptyExplain) {
+  int sa_rules = 0;
+  for (const auto& r : rcons::analysis::all_rules()) {
+    ASSERT_NE(r.explain, nullptr) << r.id;
+    EXPECT_GT(std::string(r.explain).size(), 80u)
+        << r.id << ": explain should be a paragraph, not a stub";
+    EXPECT_NE(std::string(r.explain), std::string(r.summary)) << r.id;
+    if (std::string(r.id).rfind("SA", 0) == 0) ++sa_rules;
+  }
+  EXPECT_EQ(sa_rules, 8);
+}
+
+// ---- Known-type brackets ----
+
+TEST(StaticBounds, TestAndSetIsPinnedExactly) {
+  const BoundsReport r =
+      rcons::analysis::analyze_static_bounds(spec::make_test_and_set());
+  EXPECT_EQ(r.discerning.lo, 2);
+  EXPECT_EQ(r.discerning.hi, 2);
+  EXPECT_EQ(r.recording.lo, 1);
+  EXPECT_EQ(r.recording.hi, 1);
+  EXPECT_TRUE(r.decides_profile(6));
+}
+
+TEST(StaticBounds, RegisterIsPinnedToOne) {
+  const BoundsReport r =
+      rcons::analysis::analyze_static_bounds(spec::make_register(2));
+  EXPECT_EQ(r.discerning.hi, 1);
+  EXPECT_EQ(r.recording.hi, 1);
+  EXPECT_TRUE(r.decides_profile(6));
+}
+
+TEST(StaticBounds, CasAndStickyBitAreUnbounded) {
+  for (const spec::ObjectType& type :
+       {spec::make_cas(3), spec::make_sticky_bit()}) {
+    const BoundsReport r = rcons::analysis::analyze_static_bounds(type);
+    EXPECT_EQ(r.discerning.lo, kLevelUnbounded) << type.name();
+    EXPECT_EQ(r.recording.lo, kLevelUnbounded) << type.name();
+    EXPECT_TRUE(r.decides_profile(6)) << type.name();
+  }
+}
+
+// A decided bracket must agree with the deciders when they do run.
+TEST(StaticBounds, DecidedProfilesMatchExactProfiles) {
+  for (const spec::ObjectType& type :
+       {spec::make_test_and_set(), spec::make_register(2),
+        spec::make_cas(3)}) {
+    const BoundsReport bounds = rcons::analysis::analyze_static_bounds(type);
+    ProfileOptions with;
+    with.bounds = &bounds;
+    const TypeProfile exact = rcons::hierarchy::compute_profile(type, 4);
+    const TypeProfile pruned =
+        rcons::hierarchy::compute_profile(type, 4, with);
+    EXPECT_EQ(pruned.discerning, exact.discerning) << type.name();
+    EXPECT_EQ(pruned.recording, exact.recording) << type.name();
+  }
+}
+
+// ---- Per-rule fixtures: one firing machine and one near-miss each ----
+
+struct FixtureCase {
+  const char* rule;
+  const char* firing;
+  const char* near_miss;
+};
+
+class StaticBoundsFixtures : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(StaticBoundsFixtures, FiringMachineTripsTheRuleExactlyOnce) {
+  const FixtureCase c = GetParam();
+  const BoundsReport r =
+      rcons::analysis::analyze_static_bounds(load_broken(c.firing));
+  EXPECT_EQ(count_rule(r, c.rule), 1)
+      << c.firing << " must trip " << c.rule << " exactly once\n"
+      << r.findings.render_text();
+}
+
+TEST_P(StaticBoundsFixtures, NearMissStaysSilent) {
+  const FixtureCase c = GetParam();
+  const BoundsReport r =
+      rcons::analysis::analyze_static_bounds(load_broken(c.near_miss));
+  EXPECT_EQ(count_rule(r, c.rule), 0)
+      << c.near_miss << " must NOT trip " << c.rule << "\n"
+      << r.findings.render_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, StaticBoundsFixtures,
+    ::testing::Values(
+        FixtureCase{"SA001", "sa001_oblivious.type", "sa001_near_miss.type"},
+        FixtureCase{"SA002", "sa002_duplicate.type", "sa002_near_miss.type"},
+        FixtureCase{"SA003", "sa003_read_only.type", "sa003_near_miss.type"},
+        FixtureCase{"SA004", "sa004_commutative.type",
+                    "sa004_near_miss.type"},
+        FixtureCase{"SA005", "sa005_interference.type",
+                    "sa005_near_miss.type"},
+        FixtureCase{"SA006", "sa006_pair.type", "sa006_near_miss.type"},
+        FixtureCase{"SA007", "sa007_sticky.type", "sa007_near_miss.type"},
+        FixtureCase{"SA008", "sa008_divergent.type",
+                    "sa008_near_miss.type"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      return std::string(info.param.rule);
+    });
+
+// SA008's whole point is deciding machines SA007 cannot: its firing
+// fixture has no single value fixed by both ops.
+TEST(StaticBounds, DivergentClosureFixtureEludesStickyPair) {
+  const BoundsReport r =
+      rcons::analysis::analyze_static_bounds(load_broken("sa008_divergent.type"));
+  EXPECT_EQ(count_rule(r, "SA007"), 0);
+  EXPECT_EQ(r.discerning.lo, kLevelUnbounded);
+  EXPECT_EQ(r.recording.lo, kLevelUnbounded);
+}
+
+// ---- Quotient soundness: SA001/SA002 preserve both levels exactly ----
+
+TEST(StaticBoundsQuotient, QuotientLevelsEqualOriginalLevels) {
+  for (const char* name : {"sa001_oblivious.type", "sa002_duplicate.type"}) {
+    const spec::ObjectType type = load_broken(name);
+    const BoundsReport r = rcons::analysis::analyze_static_bounds(type);
+    ASSERT_TRUE(r.quotient_reduced) << name;
+    EXPECT_EQ(r.ops_removed, 1) << name;
+    EXPECT_EQ(r.quotient.op_count(), type.op_count() - 1) << name;
+    const TypeProfile original = rcons::hierarchy::compute_profile(type, 3);
+    const TypeProfile quotient =
+        rcons::hierarchy::compute_profile(r.quotient, 3);
+    EXPECT_EQ(quotient.discerning, original.discerning) << name;
+    EXPECT_EQ(quotient.recording, original.recording) << name;
+  }
+}
+
+// ---- Seeded differential: brackets never contradict the deciders ----
+
+// 300 random readable machines: every bracket edge must agree with the
+// exact per-n verdicts, and the pruned profile must equal the unpruned
+// one for serial, parallel, and cache-warm configurations.
+TEST(StaticBoundsDifferential, RandomSweepBracketsContainExactVerdicts) {
+  constexpr int kSeeds = 300;
+  constexpr int kMaxN = 3;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    const spec::ObjectType type = rcons::hierarchy::random_readable_type(
+        4, 2, 3, static_cast<std::uint64_t>(seed));
+    const BoundsReport bounds = rcons::analysis::analyze_static_bounds(type);
+    for (int n = 2; n <= kMaxN; ++n) {
+      if (n <= bounds.discerning.lo) {
+        EXPECT_TRUE(rcons::hierarchy::check_discerning(type, n).holds)
+            << "seed " << seed << " n " << n << ": lo claimed by "
+            << bounds.discerning.lo_by << "\n" << spec::serialize_type(type);
+      }
+      if (n > bounds.discerning.hi) {
+        EXPECT_FALSE(rcons::hierarchy::check_discerning(type, n).holds)
+            << "seed " << seed << " n " << n << ": hi claimed by "
+            << bounds.discerning.hi_by << "\n" << spec::serialize_type(type);
+      }
+      if (n <= bounds.recording.lo) {
+        EXPECT_TRUE(rcons::hierarchy::check_recording(type, n).holds)
+            << "seed " << seed << " n " << n << ": lo claimed by "
+            << bounds.recording.lo_by << "\n" << spec::serialize_type(type);
+      }
+      if (n > bounds.recording.hi) {
+        EXPECT_FALSE(rcons::hierarchy::check_recording(type, n).holds)
+            << "seed " << seed << " n " << n << ": hi claimed by "
+            << bounds.recording.hi_by << "\n" << spec::serialize_type(type);
+      }
+    }
+  }
+}
+
+TEST(StaticBoundsDifferential, PrunedProfilesMatchAcrossConfigurations) {
+  constexpr int kSeeds = 60;
+  constexpr int kMaxN = 3;
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() /
+       ("rcons-bounds-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(cache_dir);
+  const rcons::reduction::VerdictCache cache(cache_dir);
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    const spec::ObjectType type = rcons::hierarchy::random_readable_type(
+        4, 2, 3, static_cast<std::uint64_t>(seed));
+    const BoundsReport bounds = rcons::analysis::analyze_static_bounds(type);
+    const TypeProfile plain = rcons::hierarchy::compute_profile(type, kMaxN);
+
+    ProfileOptions serial;
+    serial.bounds = &bounds;
+    const TypeProfile pruned =
+        rcons::hierarchy::compute_profile(type, kMaxN, serial);
+    EXPECT_EQ(pruned.discerning, plain.discerning) << "seed " << seed;
+    EXPECT_EQ(pruned.recording, plain.recording) << "seed " << seed;
+
+    ProfileOptions parallel = serial;
+    parallel.threads = 4;
+    const TypeProfile par =
+        rcons::hierarchy::compute_profile(type, kMaxN, parallel);
+    EXPECT_EQ(par.discerning, plain.discerning) << "seed " << seed;
+    EXPECT_EQ(par.recording, plain.recording) << "seed " << seed;
+
+    ProfileOptions cached = serial;
+    cached.cache = &cache;
+    const TypeProfile cold =
+        rcons::hierarchy::compute_profile(type, kMaxN, cached);
+    const TypeProfile warm =
+        rcons::hierarchy::compute_profile(type, kMaxN, cached);
+    EXPECT_EQ(cold.discerning, plain.discerning) << "seed " << seed;
+    EXPECT_EQ(cold.recording, plain.recording) << "seed " << seed;
+    EXPECT_EQ(warm.discerning, plain.discerning) << "seed " << seed;
+    EXPECT_EQ(warm.recording, plain.recording) << "seed " << seed;
+  }
+  std::filesystem::remove_all(cache_dir);
+}
+
+// The search result is a pure function of the options, bounds on or off.
+TEST(StaticBoundsDifferential, SearchResultsIdenticalWithBoundsOnAndOff) {
+  rcons::hierarchy::MachineSearchOptions options;
+  options.value_count = 4;
+  options.op_count = 2;
+  options.response_count = 3;
+  options.max_n = 3;
+  options.restarts = 4;
+  options.mutations_per_restart = 30;
+  options.use_bounds = true;
+  const auto with = rcons::hierarchy::search_gap_machines(options);
+  options.use_bounds = false;
+  const auto without = rcons::hierarchy::search_gap_machines(options);
+  EXPECT_EQ(with.best_gap, without.best_gap);
+  EXPECT_EQ(with.machines_evaluated, without.machines_evaluated);
+  EXPECT_EQ(spec::serialize_type(with.best_type),
+            spec::serialize_type(without.best_type));
+  EXPECT_EQ(with.best_profile.discerning, without.best_profile.discerning);
+  EXPECT_EQ(with.best_profile.recording, without.best_profile.recording);
+}
+
+// ---- Determinism ----
+
+TEST(StaticBoundsDeterminism, RepeatedAnalysesRenderIdentically) {
+  for (const char* name :
+       {"sa001_oblivious.type", "sa007_sticky.type", "sa008_divergent.type"}) {
+    const spec::ObjectType type = load_broken(name);
+    const BoundsReport a = rcons::analysis::analyze_static_bounds(type);
+    const BoundsReport b = rcons::analysis::analyze_static_bounds(type);
+    EXPECT_EQ(a.render_json(), b.render_json()) << name;
+    EXPECT_EQ(a.findings.render_text(), b.findings.render_text()) << name;
+    EXPECT_EQ(a.describe(), b.describe()) << name;
+  }
+}
+
+// Findings come out canonicalized: sorted by (rule, subject, location).
+TEST(StaticBoundsDeterminism, FindingsAreInCanonicalOrder) {
+  const BoundsReport r =
+      rcons::analysis::analyze_static_bounds(load_broken("sa007_sticky.type"));
+  const auto& diags = r.findings.diagnostics();
+  ASSERT_GE(diags.size(), 2u);
+  for (std::size_t i = 1; i < diags.size(); ++i) {
+    EXPECT_LE(diags[i - 1].rule, diags[i].rule);
+  }
+}
+
+// ---- CLI surface ----
+
+std::string capture_stdout(const std::string& command, int* exit_code) {
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  if (pipe != nullptr) {
+    char buffer[4096];
+    std::size_t got;
+    while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      out.append(buffer, got);
+    }
+    const int status = pclose(pipe);
+    *exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  }
+  return out;
+}
+
+std::string cli() { return std::string(RCONS_CLI_BIN); }
+
+TEST(StaticBoundsCli, ExplainPrintsEveryRule) {
+  for (const auto& r : rcons::analysis::all_rules()) {
+    int code = -1;
+    const std::string out =
+        capture_stdout(cli() + " explain " + r.id + " 2>/dev/null", &code);
+    EXPECT_EQ(code, 0) << r.id;
+    EXPECT_NE(out.find(r.id), std::string::npos) << out;
+    EXPECT_NE(out.find(r.explain), std::string::npos)
+        << r.id << ": explain text missing from output";
+  }
+  int code = -1;
+  capture_stdout(cli() + " explain SA999 2>/dev/null", &code);
+  EXPECT_EQ(code, 2);
+}
+
+TEST(StaticBoundsCli, LintExplainFlagMatchesExplainCommand) {
+  int code_a = -1;
+  int code_b = -1;
+  const std::string a =
+      capture_stdout(cli() + " explain SA007 2>/dev/null", &code_a);
+  const std::string b = capture_stdout(
+      cli() + " lint --explain=SA007 2>/dev/null", &code_b);
+  EXPECT_EQ(code_a, 0);
+  EXPECT_EQ(code_b, 0);
+  EXPECT_EQ(a, b);
+}
+
+// Two runs over the same multi-target lint must be byte-identical: the
+// canonical finding order is part of the CLI contract (satellite of
+// DESIGN.md §11).
+TEST(StaticBoundsCli, LintOutputIsByteStableAcrossRuns) {
+  const std::string fixtures = source_dir() + "/data/broken";
+  // (sa001's oblivious op trips TS002 at error severity by design, so the
+  // byte-stability targets are fixtures that lint clean at the default
+  // threshold.)
+  const std::string command = cli() + " lint " + fixtures +
+                              "/sa007_sticky.type " + fixtures +
+                              "/sa003_read_only.type " + fixtures +
+                              "/sa008_divergent.type --format=json "
+                              "2>/dev/null";
+  int code_a = -1;
+  int code_b = -1;
+  const std::string a = capture_stdout(command, &code_a);
+  const std::string b = capture_stdout(command, &code_b);
+  EXPECT_EQ(code_a, 0);  // SA findings are notes; default threshold=error
+  EXPECT_EQ(code_b, 0);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("SA007"), std::string::npos);
+}
+
+TEST(StaticBoundsCli, ProfileJsonCarriesBoundsBlock) {
+  int code = -1;
+  const std::string out = capture_stdout(
+      cli() + " profile tas 4 --cache=off --format=json 2>/dev/null", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("\"bounds\":{\"cons\":{\"lo\":2,\"hi\":2"),
+            std::string::npos)
+      << out;
+  int code_off = -1;
+  const std::string off = capture_stdout(
+      cli() + " profile tas 4 --cache=off --format=json --bounds=off "
+              "2>/dev/null",
+      &code_off);
+  EXPECT_EQ(code_off, 0);
+  EXPECT_EQ(off.find("\"bounds\""), std::string::npos) << off;
+}
+
+}  // namespace

@@ -17,10 +17,16 @@
 //   rcons_cli lint     [--threshold=error|warning|note]
 //                      <type>... | protocol <protocol...>
 //                                        static analysis (see DESIGN.md);
-//                                        protocol targets also run the RC
-//                                        crash-recovery audit;
+//                                        type targets also run the SA
+//                                        bounds pass, protocol targets the
+//                                        RC crash-recovery audit; findings
+//                                        print in canonical order (rule,
+//                                        subject, location);
 //                                        exits 1 on findings >= threshold
 //   rcons_cli lint --rules               print the rule catalog
+//   rcons_cli lint --explain=RULE        same as `explain RULE`
+//   rcons_cli explain  <rule-id>         one-paragraph explanation of a
+//                                        lint/audit/bounds rule (TS/PL/RC/SA)
 //   rcons_cli replay   <file.trace>      re-execute a captured
 //                                        counterexample deterministically,
 //                                        print its timeline, and check the
@@ -49,6 +55,12 @@
 //                    M = none restores the unreduced engines. Verdicts are
 //                    identical either way; state/assignment counts differ.
 //   --cache=on|off   persistent verdict cache for profile (default: on).
+//   --bounds=on|off  static pre-verdict bounds for profile (default: on).
+//                    The SA pass (DESIGN.md §11) brackets both levels
+//                    before any exact decider runs; decided per-n verdicts
+//                    are skipped and the rest run on the bounds quotient.
+//                    Levels are identical either way — only the number of
+//                    decider runs (and the `"bounds"` JSON block) changes.
 //   --cache-dir=DIR  cache location (default: $XDG_CACHE_HOME/rcons or
 //                    $HOME/.cache/rcons). Entries are keyed by the
 //                    canonical type, so isomorphic types share entries;
@@ -74,6 +86,7 @@
 
 #include "algo/cas_consensus.hpp"
 #include "analysis/analysis.hpp"
+#include "analysis/static_bounds/static_bounds.hpp"
 #include "algo/naive_register.hpp"
 #include "algo/propose_consensus.hpp"
 #include "algo/recording_consensus.hpp"
@@ -112,6 +125,7 @@ std::size_t g_max_states = 0;  // 0 = engine defaults
 bool g_json = false;           // --format=json (verify, profile, and lint)
 bool g_reduce = true;          // --reduce=symmetry|none
 bool g_cache_on = true;        // --cache=on|off (profile verdict cache)
+bool g_bounds_on = true;       // --bounds=on|off (static pre-verdict pass)
 std::string g_cache_dir;       // --cache-dir=DIR; empty = default location
 
 const std::map<std::string, std::function<ObjectType()>>& catalog() {
@@ -314,16 +328,27 @@ int cmd_profile(const ObjectType& type, int max_n) {
   options.mode = g_reduce ? rcons::hierarchy::SymmetryMode::kAutomorphism
                           : rcons::hierarchy::SymmetryMode::kCanonical;
   options.cache = &cache;
+  rcons::analysis::BoundsReport bounds;
+  if (g_bounds_on) {
+    bounds = rcons::analysis::analyze_static_bounds(type);
+    options.bounds = &bounds;
+  }
   const rcons::hierarchy::TypeProfile p =
       rcons::hierarchy::compute_profile(type, max_n, options);
   if (g_json) {
+    // The "bounds" object comes after "discerning"/"recording" so their
+    // first occurrence in the document stays the level verdicts (the
+    // golden fixtures are parsed by first occurrence).
+    std::string bounds_json;
+    if (g_bounds_on) bounds_json = ",\"bounds\":" + bounds.render_json();
     std::printf(
         "{\"type\":\"%s\",\"readable\":%s,\"max_n\":%d,"
         "\"discerning\":{\"value\":%d,\"exact\":%s},"
-        "\"recording\":{\"value\":%d,\"exact\":%s}}\n",
+        "\"recording\":{\"value\":%d,\"exact\":%s}%s}\n",
         json_escape(p.type_name).c_str(), p.readable ? "true" : "false",
         max_n, p.discerning.value, p.discerning.exact ? "true" : "false",
-        p.recording.value, p.recording.exact ? "true" : "false");
+        p.recording.value, p.recording.exact ? "true" : "false",
+        bounds_json.c_str());
     return 0;
   }
   std::printf("type %s (%s)\n", p.type_name.c_str(),
@@ -336,7 +361,22 @@ int cmd_profile(const ObjectType& type, int max_n) {
               p.readable
                   ? "   == recoverable consensus number (DFFR + Ovens)"
                   : "   (upper bound on the recoverable consensus number)");
+  if (g_bounds_on) std::printf("%s", bounds.describe().c_str());
   return 0;
+}
+
+/// `explain <rule-id>`: the one-paragraph rationale from the registry.
+int cmd_explain(const std::string& id) {
+  for (const auto& r : rcons::analysis::all_rules()) {
+    if (id == r.id) {
+      std::printf("%s %s (%s)\n  %s\n\n%s\n", r.id, r.name,
+                  rcons::analysis::severity_name(r.severity), r.summary,
+                  r.explain);
+      return 0;
+    }
+  }
+  return fail("unknown rule id '" + id +
+              "' (see `rcons_cli lint --rules` for the catalog)");
 }
 
 int cmd_witnesses(const ObjectType& type, int n, const std::string& kind_name,
@@ -605,6 +645,9 @@ int cmd_lint(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg.rfind("--explain=", 0) == 0) {
+      return cmd_explain(arg.substr(10));
+    }
     if (arg.rfind("--threshold=", 0) == 0) {
       const std::string level = arg.substr(12);
       if (level == "error") {
@@ -651,6 +694,7 @@ int cmd_lint(int argc, char** argv) {
         write_trace(std::move(c), spec,
                     "rc-" + std::to_string(seq++) + "-" + rule);
       }
+      report.canonicalize();
       std::printf("%s", json ? report.render_json().c_str()
                              : report.render_text().c_str());
       if (json) std::printf("\n");
@@ -669,10 +713,15 @@ int cmd_lint(int argc, char** argv) {
   Report report;
   for (const std::string& target : targets) {
     // Files get the text front end (sees duplicate rows and `initial`);
-    // catalog names lint the built ObjectType directly.
+    // catalog names lint the built ObjectType directly. Both also run the
+    // SA bounds pass: its findings are structural facts about the type and
+    // belong in the same report (all kNote, so they never gate a run at
+    // the default threshold).
     if (catalog().count(target) != 0) {
-      report.merge(rcons::analysis::lint_type(catalog().at(target)(),
-                                              rcons::analysis::TypeLintOptions{}));
+      const ObjectType type = catalog().at(target)();
+      report.merge(rcons::analysis::lint_type(
+          type, rcons::analysis::TypeLintOptions{}));
+      report.merge(rcons::analysis::analyze_static_bounds(type).findings);
       continue;
     }
     std::ifstream in(target);
@@ -683,7 +732,15 @@ int cmd_lint(int argc, char** argv) {
     std::stringstream buffer;
     buffer << in.rdbuf();
     report.merge(rcons::analysis::lint_type_text(buffer.str(), target));
+    const rcons::spec::ParseResult parsed =
+        rcons::spec::parse_type(buffer.str());
+    if (parsed.ok()) {
+      report.merge(
+          rcons::analysis::analyze_static_bounds(*parsed.type, target)
+              .findings);
+    }
   }
+  report.canonicalize();
   std::printf("%s", json ? report.render_json().c_str()
                          : report.render_text().c_str());
   if (json) std::printf("\n");
@@ -696,6 +753,7 @@ int cmd_search(int restarts, int mutations, std::uint64_t seed) {
   options.mutations_per_restart = mutations;
   options.seed = seed;
   options.threads = g_threads;
+  options.use_bounds = g_bounds_on;
   const auto r = rcons::hierarchy::search_gap_machines(options);
   std::printf("evaluated %llu machines; best gap %d (discerning %s, "
               "recording %s)\n",
@@ -713,13 +771,17 @@ int dispatch(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
                  "list|show|export|dot|profile|witnesses|verify|critical|"
-                 "search|lint|replay ...\n"
+                 "search|lint|explain|replay ...\n"
                  "(see the header of tools/rcons_cli.cpp)\n");
     return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
+  if (cmd == "explain") {
+    if (argc < 3) return fail("explain <rule-id> (e.g. TS001, RC002, SA007)");
+    return cmd_explain(argv[2]);
+  }
   if (cmd == "replay") {
     if (argc < 3) return fail("replay <file.trace>");
     return cmd_replay(argv[2]);
@@ -840,6 +902,17 @@ int main(int argc, char** argv) {
         g_cache_on = false;
       } else {
         return fail("unknown cache mode '" + value + "' (on|off)");
+      }
+      continue;
+    }
+    if (arg.rfind("--bounds=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      if (value == "on") {
+        g_bounds_on = true;
+      } else if (value == "off") {
+        g_bounds_on = false;
+      } else {
+        return fail("unknown bounds mode '" + value + "' (on|off)");
       }
       continue;
     }
