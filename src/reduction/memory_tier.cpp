@@ -1,0 +1,64 @@
+#include "reduction/memory_tier.hpp"
+
+#include "trace/metrics.hpp"
+
+namespace rcons::reduction {
+namespace {
+
+const VerdictCache& disabled_cache() {
+  static const VerdictCache* kDisabled = new VerdictCache();
+  return *kDisabled;
+}
+
+}  // namespace
+
+MemoryTierCache::MemoryTierCache(const VerdictCache* backing,
+                                 std::size_t max_bytes)
+    : backing_(backing != nullptr ? backing : &disabled_cache()),
+      max_bytes_(max_bytes) {}
+
+std::optional<std::string> MemoryTierCache::lookup(
+    const std::string& key) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      trace::metrics().add("cache.mem_hits", 1);
+      return it->second;
+    }
+  }
+  trace::metrics().add("cache.mem_misses", 1);
+  if (std::optional<std::string> payload = backing_->lookup(key)) {
+    remember(key, *payload);
+    return payload;
+  }
+  return std::nullopt;
+}
+
+void MemoryTierCache::store(const std::string& key,
+                            const std::string& payload) const {
+  remember(key, payload);
+  backing_->store(key, payload);
+}
+
+std::size_t MemoryTierCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MemoryTierCache::remember(const std::string& key,
+                               const std::string& payload) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return;  // first write wins; verdicts are pure
+  const std::size_t cost = key.size() + payload.size();
+  if (bytes_ + cost > max_bytes_) {
+    trace::metrics().add("cache.mem_dropped", 1);
+    return;
+  }
+  entries_.emplace(key, payload);
+  bytes_ += cost;
+  trace::metrics().add("cache.mem_stores", 1);
+}
+
+}  // namespace rcons::reduction

@@ -1,0 +1,64 @@
+// In-memory verdict tier above the persistent VerdictCache.
+//
+// The serve daemon (DESIGN.md §12) answers thousands of profile requests
+// per process lifetime, and the persistent cache pays a file open per
+// per-n lookup. This tier keeps every verdict it has seen in a
+// mutex-guarded map:
+//
+//   lookup: memory map first (cache.mem_hits / cache.mem_misses); on a
+//           memory miss, fall through to the backing tier and promote any
+//           hit into the map, so a verdict is read from disk at most once
+//           per process.
+//   store:  write the map AND the backing tier (write-through, so the
+//           persistent tier stays warm for the next process).
+//
+// Keys are the same salted semantic keys the persistent cache uses —
+// canonical type form included — so isomorphic types share entries across
+// BOTH tiers. The map is unbounded by entry count but bounded by
+// max_bytes of payload+key data (default 256 MiB); at the cap, new
+// entries are dropped (never evicted: dropping is cheaper than LRU and a
+// full tier still write-throughs to disk, so nothing is lost but speed).
+// cache.mem_dropped counts the drops.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "reduction/verdict_cache.hpp"
+
+namespace rcons::reduction {
+
+class MemoryTierCache : public VerdictCache {
+ public:
+  /// Layers above `backing` (not owned; may be a disabled cache, in which
+  /// case this tier is purely in-memory). `max_bytes` caps the summed
+  /// key+payload size held in memory.
+  explicit MemoryTierCache(const VerdictCache* backing,
+                           std::size_t max_bytes = 256u << 20);
+
+  /// The memory tier is always usable, even over a disabled backing.
+  bool enabled() const override { return true; }
+
+  std::optional<std::string> lookup(const std::string& key) const override;
+  void store(const std::string& key,
+             const std::string& payload) const override;
+
+  /// Entries currently held in memory.
+  std::size_t entry_count() const;
+
+ private:
+  const VerdictCache* backing_;  // never null (points at a disabled cache
+                                 // instead)
+  std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, std::string> entries_;
+  mutable std::size_t bytes_ = 0;
+
+  /// Inserts under the byte cap; counts cache.mem_dropped past it.
+  void remember(const std::string& key, const std::string& payload) const;
+};
+
+}  // namespace rcons::reduction

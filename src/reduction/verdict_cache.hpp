@@ -34,6 +34,9 @@ namespace rcons::reduction {
 /// semantics, key scheme, payload format).
 inline constexpr const char* kEngineVersionSalt = "rcons-verdict-v1";
 
+/// The on-disk tier. lookup/store/enabled are virtual so a faster tier
+/// (the serve daemon's MemoryTierCache) can layer above this one behind
+/// the same `const VerdictCache*` the profile scans already take.
 class VerdictCache {
  public:
   /// A disabled cache: lookups miss silently, stores are dropped.
@@ -43,19 +46,24 @@ class VerdictCache {
   /// empty directory string disables the cache.
   explicit VerdictCache(std::string directory);
 
+  virtual ~VerdictCache() = default;
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
   /// `$XDG_CACHE_HOME/rcons` or `$HOME/.cache/rcons`; empty (disabled)
   /// when neither variable is set.
   static std::string default_directory();
 
-  bool enabled() const { return !directory_.empty(); }
+  virtual bool enabled() const { return !directory_.empty(); }
   const std::string& directory() const { return directory_; }
 
   /// The stored payload for `key`, or nullopt on any kind of miss.
-  std::optional<std::string> lookup(const std::string& key) const;
+  virtual std::optional<std::string> lookup(const std::string& key) const;
 
   /// Persists `payload` (single line, no '\n') under `key`. Failures are
   /// counted and swallowed — caching is best-effort by design.
-  void store(const std::string& key, const std::string& payload) const;
+  virtual void store(const std::string& key,
+                     const std::string& payload) const;
 
  private:
   std::string entry_path(const std::string& key) const;

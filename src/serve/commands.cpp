@@ -1,0 +1,471 @@
+#include "serve/commands.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/naive_register.hpp"
+#include "algo/propose_consensus.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/sticky_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "analysis/recovery_audit.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "spec/serialize.hpp"
+#include "trace/metrics.hpp"
+#include "trace/replay.hpp"
+#include "util/strings.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons::serve {
+namespace {
+
+using rcons::spec::ObjectType;
+
+/// printf-appends onto a std::string (the text renderings keep the CLI's
+/// printf formats verbatim, so the bytes cannot drift).
+void appendf(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string* out, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char stack_buf[512];
+  va_list copy;
+  va_copy(copy, args);
+  const int needed =
+      std::vsnprintf(stack_buf, sizeof(stack_buf), format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    out->append(stack_buf, static_cast<std::size_t>(needed));
+  } else {
+    std::vector<char> heap_buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(heap_buf.data(), heap_buf.size(), format, copy);
+    out->append(heap_buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(copy);
+}
+
+}  // namespace
+
+const std::map<std::string, std::function<ObjectType()>>& type_catalog() {
+  static const auto* kCatalog =
+      new std::map<std::string, std::function<ObjectType()>>{
+          {"register2", [] { return rcons::spec::make_register(2); }},
+          {"register3", [] { return rcons::spec::make_register(3); }},
+          {"tas", [] { return rcons::spec::make_test_and_set(); }},
+          {"swap2", [] { return rcons::spec::make_swap(2); }},
+          {"swap3", [] { return rcons::spec::make_swap(3); }},
+          {"faa4", [] { return rcons::spec::make_fetch_and_add(4); }},
+          {"fai3",
+           [] { return rcons::spec::make_fetch_and_increment_saturating(3); }},
+          {"cas2", [] { return rcons::spec::make_cas(2); }},
+          {"cas3", [] { return rcons::spec::make_cas(3); }},
+          {"sticky2", [] { return rcons::spec::make_sticky_bit(); }},
+          {"sticky3", [] { return rcons::spec::make_sticky(3); }},
+          {"consensus2", [] { return rcons::spec::make_consensus_object(2); }},
+          {"consensus3", [] { return rcons::spec::make_consensus_object(3); }},
+          {"queue2", [] { return rcons::spec::make_queue(2); }},
+          {"readable_queue2",
+           [] { return rcons::spec::make_readable_queue(2); }},
+          {"stack2", [] { return rcons::spec::make_stack(2); }},
+          {"peek_queue2", [] { return rcons::spec::make_peek_queue(2); }},
+          {"t31", [] { return rcons::spec::make_tnn(3, 1); }},
+          {"t42", [] { return rcons::spec::make_tnn(4, 2); }},
+          {"t52", [] { return rcons::spec::make_tnn(5, 2); }},
+          {"t64", [] { return rcons::spec::make_tnn(6, 4); }},
+          {"x4", [] { return rcons::spec::make_xn(4); }},
+          {"x5", [] { return rcons::spec::make_xn(5); }},
+      };
+  return *kCatalog;
+}
+
+bool resolve_type(const std::string& what, ObjectType* out,
+                  std::string* error) {
+  const auto it = type_catalog().find(what);
+  if (it != type_catalog().end()) {
+    *out = it->second();
+    return true;
+  }
+  std::ifstream in(what);
+  if (!in) {
+    *error = "unknown type '" + what + "' (not a catalog name; file not "
+             "readable). Try `rcons_cli list`.";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const rcons::spec::ParseResult parsed =
+      rcons::spec::parse_type(buffer.str());
+  if (!parsed.ok()) {
+    *error = what + ":" + std::to_string(parsed.error_line) + ": " +
+             parsed.error;
+    return false;
+  }
+  *out = *parsed.type;
+  return true;
+}
+
+std::unique_ptr<rcons::exec::Protocol> make_protocol(
+    const std::vector<std::string>& tokens, std::string* error) {
+  if (tokens.empty()) {
+    *error = "missing protocol";
+    return nullptr;
+  }
+  const std::string& kind = tokens[0];
+  const auto arg = [&](std::size_t i, int fallback) {
+    return tokens.size() > i ? std::atoi(tokens[i].c_str()) : fallback;
+  };
+  if (kind == "cas") {
+    return std::make_unique<rcons::algo::CasConsensus>(arg(1, 2));
+  }
+  if (kind == "tas") {
+    return std::make_unique<rcons::algo::TasRacingConsensus>();
+  }
+  if (kind == "naive") {
+    return std::make_unique<rcons::algo::NaiveRegisterConsensus>(arg(1, 2));
+  }
+  if (kind == "tnn") {
+    const int n = arg(1, 4);
+    const int np = arg(2, 2);
+    return std::make_unique<rcons::algo::TnnRecoverableConsensus>(
+        n, np, arg(3, np));
+  }
+  if (kind == "tnnwf") {
+    return std::make_unique<rcons::algo::TnnWaitFreeConsensus>(arg(1, 4),
+                                                               arg(2, 2));
+  }
+  if (kind == "propose") {
+    return std::make_unique<rcons::algo::NaiveProposeConsensus>(arg(1, 2),
+                                                                arg(2, 2));
+  }
+  if (kind == "sticky") {
+    return std::make_unique<rcons::algo::StickyConsensus>(arg(1, 2));
+  }
+  if (kind == "recording") {
+    ObjectType type;
+    std::string type_error;
+    if (tokens.size() < 2 || !resolve_type(tokens[1], &type, &type_error)) {
+      *error = "recording <type> <n> [relaxed]: " + type_error;
+      return nullptr;
+    }
+    bool relaxed = false;
+    if (tokens.size() > 3) {
+      if (tokens[3] == "relaxed") {
+        relaxed = true;
+      } else {
+        *error = "recording: unknown modifier '" + tokens[3] +
+                 "' (the only modifier is 'relaxed')";
+        return nullptr;
+      }
+    }
+    return std::make_unique<rcons::algo::RecordingConsensus>(type, arg(2, 2),
+                                                             relaxed);
+  }
+  *error = "unknown protocol '" + kind + "'";
+  return nullptr;
+}
+
+bool parse_severity(const std::string& level, analysis::Severity* out) {
+  if (level == "error") {
+    *out = analysis::Severity::kError;
+  } else if (level == "warning") {
+    *out = analysis::Severity::kWarning;
+  } else if (level == "note") {
+    *out = analysis::Severity::kNote;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string profile_json(const hierarchy::TypeProfile& p, int max_n,
+                         const analysis::BoundsReport* bounds) {
+  // The "bounds" object comes after "discerning"/"recording" so their
+  // first occurrence in the document stays the level verdicts (the
+  // golden fixtures are parsed by first occurrence).
+  std::string bounds_json;
+  if (bounds != nullptr) bounds_json = ",\"bounds\":" + bounds->render_json();
+  std::string out;
+  appendf(&out,
+          "{\"type\":\"%s\",\"readable\":%s,\"max_n\":%d,"
+          "\"discerning\":{\"value\":%d,\"exact\":%s},"
+          "\"recording\":{\"value\":%d,\"exact\":%s}%s}",
+          json_escape(p.type_name).c_str(), p.readable ? "true" : "false",
+          max_n, p.discerning.value, p.discerning.exact ? "true" : "false",
+          p.recording.value, p.recording.exact ? "true" : "false",
+          bounds_json.c_str());
+  return out;
+}
+
+std::string profile_text(const hierarchy::TypeProfile& p,
+                         const analysis::BoundsReport* bounds) {
+  std::string out;
+  appendf(&out, "type %s (%s)\n", p.type_name.c_str(),
+          p.readable ? "readable" : "NOT readable");
+  appendf(&out, "  discerning level: %s%s\n",
+          p.discerning.to_string().c_str(),
+          p.readable ? "   == consensus number (Ruppert)"
+                     : "   (upper bound on the consensus number)");
+  appendf(&out, "  recording level:  %s%s\n", p.recording.to_string().c_str(),
+          p.readable
+              ? "   == recoverable consensus number (DFFR + Ovens)"
+              : "   (upper bound on the recoverable consensus number)");
+  if (bounds != nullptr) out += bounds->describe();
+  return out;
+}
+
+CommandResult run_profile(const ObjectType& type, int max_n,
+                          const EngineOptions& options) {
+  hierarchy::ProfileOptions profile_options;
+  profile_options.threads = options.threads;
+  profile_options.mode = options.reduce
+                             ? hierarchy::SymmetryMode::kAutomorphism
+                             : hierarchy::SymmetryMode::kCanonical;
+  profile_options.cache = options.cache;
+  analysis::BoundsReport bounds;
+  if (options.bounds) {
+    bounds = analysis::analyze_static_bounds(type);
+    profile_options.bounds = &bounds;
+  }
+  const hierarchy::TypeProfile p =
+      hierarchy::compute_profile(type, max_n, profile_options);
+  CommandResult result;
+  result.json = profile_json(p, max_n, options.bounds ? &bounds : nullptr);
+  result.text = profile_text(p, options.bounds ? &bounds : nullptr);
+  return result;
+}
+
+/// verify: exhaustive safety (three crash modes) + recoverable
+/// wait-freedom, one line (or one JSON object) per check.
+///
+/// Exit code: 0 when every scan completed and found nothing, 1 on any
+/// violation, 3 when a scan was truncated by max_states without finding
+/// one — INCONCLUSIVE is not SAFE and must not share its exit code.
+CommandResult run_verify(exec::Protocol& protocol, const std::string& spec,
+                         const EngineOptions& options) {
+  using rcons::valency::CrashMode;
+  using rcons::valency::LivenessVerdict;
+  using rcons::valency::SafetyVerdict;
+  namespace valency = rcons::valency;
+  CommandResult result;
+  std::fprintf(stderr, "rcons: verifying protocol %s (%d threads)\n",
+               protocol.name().c_str(), options.threads);
+  appendf(&result.text, "protocol %s: %d processes, %d objects\n",
+          protocol.name().c_str(), protocol.process_count(),
+          protocol.object_count());
+  bool violation = false;
+  bool inconclusive = false;
+  std::string json_safety;
+  struct ModeRow {
+    CrashMode mode;
+    const char* label;  // aligned, for the text table
+    const char* token;  // filesystem/JSON-safe
+  };
+  static constexpr ModeRow kModes[] = {
+      {CrashMode::kNone, "crash-free ", "crash-free"},
+      {CrashMode::kIndividual, "individual ", "individual"},
+      {CrashMode::kBoth, "indiv+simul", "indiv-simul"},
+  };
+  for (const auto& row : kModes) {
+    valency::SafetyOptions safety_options;
+    safety_options.crash_mode = row.mode;
+    safety_options.threads = options.threads;
+    safety_options.reduce_symmetry = options.reduce;
+    if (options.max_states != 0) safety_options.max_states = options.max_states;
+    // Restates check_safety_all_inputs's merge loop (including its orbit
+    // reduction of input vectors) so the violating input VECTOR is in hand
+    // — counterexample capture needs it, and the merged result does not
+    // record it.
+    valency::SafetyResult merged;
+    merged.explored_fully = true;
+    std::vector<int> bad_inputs;
+    for (const auto& inputs :
+         valency::driver_input_vectors(protocol, options.reduce)) {
+      valency::SafetyResult r =
+          valency::check_safety(protocol, inputs, safety_options);
+      merged.states_visited += r.states_visited;
+      merged.configs_visited += r.configs_visited;
+      merged.explored_fully = merged.explored_fully && r.explored_fully;
+      if (!r.ok()) {
+        merged.agreement_ok = r.agreement_ok;
+        merged.validity_ok = r.validity_ok;
+        merged.counterexample = std::move(r.counterexample);
+        merged.violation = std::move(r.violation);
+        bad_inputs = inputs;
+        break;
+      }
+    }
+    const SafetyVerdict verdict = valency::safety_verdict(merged);
+    violation = violation || verdict == SafetyVerdict::kViolation;
+    inconclusive = inconclusive || verdict == SafetyVerdict::kInconclusive;
+    const std::string verdict_name(valency::safety_verdict_name(merged));
+    if (!json_safety.empty()) json_safety += ',';
+    json_safety += "{\"mode\":\"" + std::string(row.token) +
+                   "\",\"verdict\":\"" + verdict_name +
+                   "\",\"states\":" + std::to_string(merged.states_visited);
+    if (!merged.ok()) {
+      json_safety +=
+          ",\"violation\":\"" + json_escape(merged.violation) +
+          "\",\"schedule\":\"" +
+          json_escape(
+              rcons::exec::schedule_to_string(*merged.counterexample)) +
+          "\"";
+    }
+    json_safety += '}';
+    // A truncated exploration proves nothing: INCONCLUSIVE, never "SAFE".
+    appendf(&result.text, "  safety  [%s]: %s (%zu states)\n", row.label,
+            verdict_name.c_str(), merged.states_visited);
+    if (!merged.ok()) {
+      appendf(&result.text, "    %s\n    schedule: %s\n",
+              merged.violation.c_str(),
+              rcons::exec::schedule_to_string(*merged.counterexample)
+                  .c_str());
+      if (auto c = rcons::trace::capture_safety(protocol, bad_inputs,
+                                                merged)) {
+        c->protocol_spec = spec;
+        result.captures.push_back(
+            {std::move(*c), std::string("safety-") + row.token});
+      }
+    }
+  }
+  bool stuck = false;
+  bool live_inconclusive = false;
+  std::string json_liveness;
+  for (const auto& inputs :
+       valency::all_binary_inputs(protocol.process_count())) {
+    valency::LivenessOptions liveness_options;
+    liveness_options.threads = options.threads;
+    liveness_options.reduce_symmetry = options.reduce;
+    if (options.max_states != 0) {
+      liveness_options.max_states = options.max_states;
+    }
+    const auto r = valency::check_recoverable_wait_freedom(
+        protocol, inputs, liveness_options);
+    std::string bits;
+    for (const int b : inputs) bits += static_cast<char>('0' + b);
+    switch (valency::liveness_verdict(r)) {
+      case LivenessVerdict::kNotWaitFree: {
+        stuck = true;
+        if (auto c = rcons::trace::capture_liveness(
+                protocol, inputs, r, liveness_options.solo_step_bound)) {
+          c->protocol_spec = spec;
+          result.captures.push_back({std::move(*c), "liveness-i" + bits});
+        }
+        break;
+      }
+      case LivenessVerdict::kInconclusive: live_inconclusive = true; break;
+      case LivenessVerdict::kWaitFree: break;
+    }
+    if (!json_liveness.empty()) json_liveness += ',';
+    json_liveness +=
+        "{\"inputs\":\"" + bits + "\",\"verdict\":\"" +
+        std::string(valency::liveness_verdict_name(r)) + "\"}";
+  }
+  violation = violation || stuck;
+  inconclusive = inconclusive || live_inconclusive;
+  const char* wait_free =
+      stuck ? "NO" : (live_inconclusive ? "INCONCLUSIVE" : "YES");
+  const char* overall =
+      violation ? "VIOLATION" : (inconclusive ? "INCONCLUSIVE" : "SAFE");
+  const int code = violation ? 1 : (inconclusive ? 3 : 0);
+  appendf(&result.json,
+          "{\"protocol\":\"%s\",\"processes\":%d,\"objects\":%d,"
+          "\"safety\":[%s],\"liveness\":[%s],"
+          "\"recoverable_wait_freedom\":\"%s\",\"verdict\":\"%s\","
+          "\"exit_code\":%d}",
+          json_escape(protocol.name()).c_str(), protocol.process_count(),
+          protocol.object_count(), json_safety.c_str(),
+          json_liveness.c_str(), wait_free, overall, code);
+  appendf(&result.text, "  recoverable wait-freedom: %s\n", wait_free);
+  appendf(&result.text, "  overall: %s\n", overall);
+  result.exit_code = code;
+  return result;
+}
+
+CommandResult run_lint_types(const std::vector<std::string>& targets,
+                             analysis::Severity threshold,
+                             const EngineOptions& /*options*/) {
+  CommandResult result;
+  analysis::Report report;
+  for (const std::string& target : targets) {
+    // Files get the text front end (sees duplicate rows and `initial`);
+    // catalog names lint the built ObjectType directly. Both also run the
+    // SA bounds pass: its findings are structural facts about the type and
+    // belong in the same report (all kNote, so they never gate a run at
+    // the default threshold).
+    if (type_catalog().count(target) != 0) {
+      const ObjectType type = type_catalog().at(target)();
+      report.merge(rcons::analysis::lint_type(
+          type, rcons::analysis::TypeLintOptions{}));
+      report.merge(rcons::analysis::analyze_static_bounds(type).findings);
+      continue;
+    }
+    std::ifstream in(target);
+    if (!in) {
+      result.exit_code = 2;
+      result.error = "unknown type '" + target + "' (not a catalog name; "
+                     "file not readable)";
+      return result;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    report.merge(rcons::analysis::lint_type_text(buffer.str(), target));
+    const rcons::spec::ParseResult parsed =
+        rcons::spec::parse_type(buffer.str());
+    if (parsed.ok()) {
+      report.merge(
+          rcons::analysis::analyze_static_bounds(*parsed.type, target)
+              .findings);
+    }
+  }
+  report.canonicalize();
+  result.json = report.render_json();
+  result.text = report.render_text();
+  result.exit_code = report.has_findings_at_least(threshold) ? 1 : 0;
+  return result;
+}
+
+CommandResult run_lint_protocol(exec::Protocol& protocol,
+                                const std::string& spec,
+                                analysis::Severity threshold,
+                                const EngineOptions& options) {
+  CommandResult result;
+  std::fprintf(stderr, "rcons: linting protocol %s (PL rules)\n",
+               protocol.name().c_str());
+  analysis::Report report = rcons::analysis::lint_protocol(protocol);
+  std::fprintf(stderr,
+               "rcons: auditing protocol %s (RC rules, %d threads)\n",
+               protocol.name().c_str(), options.threads);
+  rcons::analysis::RecoveryAuditOptions audit_options;
+  audit_options.threads = options.threads;
+  auto audited =
+      rcons::analysis::audit_recovery_traced(protocol, audit_options);
+  report.merge(std::move(audited.report));
+  int seq = 0;
+  for (auto& c : audited.counterexamples) {
+    std::string rule = c.rule;
+    for (auto& ch : rule) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    c.protocol_spec = spec;
+    result.captures.push_back(
+        {std::move(c), "rc-" + std::to_string(seq++) + "-" + rule});
+  }
+  report.canonicalize();
+  result.json = report.render_json();
+  result.text = report.render_text();
+  result.exit_code = report.has_findings_at_least(threshold) ? 1 : 0;
+  return result;
+}
+
+}  // namespace rcons::serve

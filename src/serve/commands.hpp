@@ -1,0 +1,107 @@
+// Command cores shared by rcons_cli and the rcons-serve daemon.
+//
+// Everything here used to live inside tools/rcons_cli.cpp. The serve
+// daemon must answer profile/verify/lint requests with responses that are
+// BYTE-IDENTICAL to the CLI's --format=json stdout (the parity contract
+// the golden corpus pins), and the only way to keep two front ends
+// byte-identical forever is to make them call the same renderer. Each
+// run_* function returns both renderings (JSON and text) plus the CLI
+// exit code; the CLI prints one of them and spills captured
+// counterexamples under --trace-out, the daemon embeds the JSON into a
+// wire response and drops the captures.
+//
+// Progress chatter still goes to stderr from in here (exactly as the CLI
+// always did), so stdout purity under --format=json is preserved for
+// both front ends; in the daemon, stderr is the service log.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "analysis/static_bounds/static_bounds.hpp"
+#include "exec/protocol.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "reduction/verdict_cache.hpp"
+#include "spec/object_type.hpp"
+#include "trace/counterexample.hpp"
+
+namespace rcons::serve {
+
+/// The named-type catalog (`rcons_cli list`).
+const std::map<std::string, std::function<spec::ObjectType()>>&
+type_catalog();
+
+/// Resolves a catalog name or a .type file path.
+bool resolve_type(const std::string& what, spec::ObjectType* out,
+                  std::string* error);
+
+/// Builds a protocol from CLI-style tokens ("cas 2", "recording cas3 2
+/// relaxed", ...). Null with `*error` set on a usage error.
+std::unique_ptr<exec::Protocol> make_protocol(
+    const std::vector<std::string>& tokens, std::string* error);
+
+/// Parses "error" | "warning" | "note".
+bool parse_severity(const std::string& level, analysis::Severity* out);
+
+/// Engine knobs shared by every command core (the CLI's global flags).
+struct EngineOptions {
+  int threads = 1;
+  bool reduce = true;                              // --reduce=symmetry
+  bool bounds = true;                              // --bounds=on
+  std::size_t max_states = 0;                      // 0 = engine defaults
+  const reduction::VerdictCache* cache = nullptr;  // profile only
+};
+
+/// A counterexample captured during verify / lint-protocol, with the
+/// file stem --trace-out would use.
+struct CapturedTrace {
+  trace::Counterexample trace;
+  std::string stem;
+};
+
+struct CommandResult {
+  int exit_code = 0;
+  /// Usage error (exit 2): message for stderr / the wire "error" field;
+  /// json and text are empty.
+  std::string error;
+  /// Exactly the CLI's --format=json stdout, without the trailing '\n'.
+  std::string json;
+  /// Exactly the CLI's text-mode stdout.
+  std::string text;
+  std::vector<CapturedTrace> captures;
+};
+
+/// profile: levels + optional static-bounds block.
+CommandResult run_profile(const spec::ObjectType& type, int max_n,
+                          const EngineOptions& options);
+
+/// Renders a computed profile exactly as the CLI does; exposed separately
+/// so the serve layer can re-render a single-flighted verdict for each
+/// requester's own type name and bounds block.
+std::string profile_json(const hierarchy::TypeProfile& p, int max_n,
+                         const analysis::BoundsReport* bounds);
+std::string profile_text(const hierarchy::TypeProfile& p,
+                         const analysis::BoundsReport* bounds);
+
+/// verify: exhaustive safety (three crash modes) + recoverable
+/// wait-freedom. `spec` is the CLI protocol spelling, stamped into
+/// captured traces so replay can rebuild the protocol.
+CommandResult run_verify(exec::Protocol& protocol, const std::string& spec,
+                         const EngineOptions& options);
+
+/// lint over type targets (catalog names and .type files), TS + SA rules.
+CommandResult run_lint_types(const std::vector<std::string>& targets,
+                             analysis::Severity threshold,
+                             const EngineOptions& options);
+
+/// lint over one protocol: PL rules + the RC recovery audit.
+CommandResult run_lint_protocol(exec::Protocol& protocol,
+                                const std::string& spec,
+                                analysis::Severity threshold,
+                                const EngineOptions& options);
+
+}  // namespace rcons::serve

@@ -1,0 +1,215 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "trace/metrics.hpp"
+#include "util/socket.hpp"
+
+namespace rcons::serve {
+
+Server::Conn::~Conn() { util::shutdown_and_close(fd); }
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+bool Server::start(std::string* error) {
+  const bool want_unix = !options_.unix_path.empty();
+  const bool want_tcp = options_.tcp_port >= 0;
+  if (want_unix == want_tcp) {
+    *error = "serve wants exactly one transport: a unix socket path or a "
+             "TCP port";
+    return false;
+  }
+  const util::ListenResult listener =
+      want_unix ? util::listen_unix(options_.unix_path)
+                : util::listen_tcp(options_.tcp_port);
+  if (!listener.ok()) {
+    *error = listener.error;
+    return false;
+  }
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
+  // The acceptor multiplexes the listener against this pipe: stop()
+  // writes one byte and the poll loop exits. (shutdown() on a LISTENING
+  // unix socket does not portably unblock accept(), and close() would
+  // race fd reuse — tests run clients in the same process.)
+  if (::pipe(wake_pipe_) != 0) {
+    *error = "pipe: cannot create the acceptor wake pipe";
+    util::shutdown_and_close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+  started_ = true;
+  if (options_.workers < 1) options_.workers = 1;
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::accept_loop() {
+  while (true) {
+    struct pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                            {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop() woke us
+    if (fds[0].revents == 0) continue;
+    const int fd = util::accept_connection(listen_fd_);
+    if (fd < 0) {
+      // Non-blocking listener: the pending connection can vanish between
+      // poll and accept.
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;
+      }
+      return;
+    }
+    auto conn = std::make_shared<Conn>(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // conn closes via ~Conn on the way out
+    conns_.push_back(conn);
+    reader_threads_.emplace_back(
+        [this, conn = std::move(conn)] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Conn> conn) {
+  util::LineReader reader(conn->fd, options_.max_line_bytes);
+  std::string line;
+  while (true) {
+    const util::LineReader::Status status = reader.read_line(&line);
+    if (status == util::LineReader::Status::kOverflow) {
+      // Framing is lost past an overlong line; answer once and hang up.
+      trace::metrics().add("serve.requests.malformed", 1);
+      Response r;
+      r.exit_code = 2;
+      r.error = "request line exceeds " +
+                std::to_string(options_.max_line_bytes) + " bytes";
+      respond(*conn, "", r);
+      return;
+    }
+    if (status != util::LineReader::Status::kLine) return;  // EOF / error
+    // Blank lines are ignored rather than answered: they carry no id to
+    // correlate a response to, and tolerating them lets shell pipelines
+    // with trailing newlines talk to the daemon.
+    if (line.empty()) continue;
+    ParseOutcome parsed = parse_request(line, options_.max_line_bytes);
+    if (!parsed.ok) {
+      trace::metrics().add("serve.requests.malformed", 1);
+      Response r;
+      r.exit_code = 2;
+      r.error = parsed.error;
+      respond(*conn, parsed.request.id, r);
+      continue;
+    }
+    const Request& request = parsed.request;
+    // O(1) commands answer on the reader thread so observability stays
+    // available while every worker is busy (or the queue is full).
+    if (request.command == "ping" || request.command == "metrics" ||
+        request.command == "spans") {
+      respond(*conn, request.id, service_.handle(request));
+      continue;
+    }
+    bool shutting = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stopping_ && queue_.size() < options_.queue_depth) {
+        queue_.push_back(Job{conn, request});
+        queue_cv_.notify_one();
+        continue;
+      }
+      shutting = stopping_;
+    }
+    trace::metrics().add("serve.admission.rejected", 1);
+    Response r;
+    r.exit_code = 3;  // INCONCLUSIVE: overload is never silent stalling
+    r.error = shutting ? "server is shutting down"
+                       : "admission queue full (depth " +
+                             std::to_string(options_.queue_depth) + ")";
+    respond(*conn, request.id, r);
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const Response response = service_.handle(job.request);
+    respond(*job.conn, job.request.id, response);
+  }
+}
+
+void Server::respond(Conn& conn, const std::string& id, const Response& r) {
+  const std::string line =
+      render_response(id, service_.next_trace_id(), r);
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  util::write_all(conn.fd, line);
+}
+
+void Server::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock every reader parked in read(); fds stay open (closing here
+    // would race the owner) — ~Conn closes them.
+    for (const auto& weak : conns_) {
+      if (const auto conn = weak.lock()) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  const char wake = 'x';
+  (void)!::write(wake_pipe_[1], &wake, 1);  // ends the acceptor's poll loop
+}
+
+void Server::wait() {
+  if (!started_) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    util::shutdown_and_close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  // The acceptor is gone, so reader_threads_ can no longer grow.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers) t.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace rcons::serve

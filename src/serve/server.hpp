@@ -1,0 +1,109 @@
+// The rcons-serve daemon (DESIGN.md §12): sockets, connection readers,
+// and the admission queue in front of a Service.
+//
+// Thread shape:
+//
+//   acceptor ──► one reader thread per connection ──► admission queue
+//                                                        │
+//                                          worker pool ──┘ (N workers)
+//
+// Readers frame NDJSON lines, parse them, and answer protocol errors and
+// the O(1) commands (ping/metrics/spans) inline; compute commands
+// (profile/verify/lint) go through the bounded admission queue. A full
+// queue answers INCONCLUSIVE immediately (exit-contract status, counted
+// as serve.admission.rejected) — the daemon never stalls a client to
+// hide overload. Responses to one connection are serialized by a
+// per-connection write lock, but responses from concurrent requests may
+// come back in any order (clients match on "id").
+//
+// Connection lifetime is shared_ptr-managed: the fd closes when the last
+// holder (reader or an in-queue/in-flight job) drops it, so a worker can
+// never write into a recycled fd. stop() shuts sockets down (unblocking
+// any blocked read/accept) before joining threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace rcons::serve {
+
+struct ServerOptions {
+  /// Exactly one transport: a Unix socket path, or a 127.0.0.1 TCP port
+  /// (0 = ephemeral; read the chosen one back via Server::port()).
+  std::string unix_path;
+  int tcp_port = -1;  // -1 = TCP disabled
+  int workers = 4;
+  std::size_t queue_depth = 64;
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the acceptor + worker threads. False
+  /// with `*error` set on bind failure.
+  bool start(std::string* error);
+
+  /// The bound TCP port (after start(); resolves an ephemeral request).
+  int port() const { return port_; }
+
+  /// Stops accepting, unblocks every reader, drains nothing: queued jobs
+  /// still run to completion, then workers exit. Idempotent.
+  void stop();
+
+  /// Blocks until stop() has been called and all threads are joined.
+  void wait();
+
+ private:
+  /// One client connection. The fd is owned here and closed exactly once,
+  /// when the last shared_ptr holder lets go.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn();
+    int fd;
+    std::mutex write_mutex;  // one response line at a time
+  };
+
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    Request request;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void worker_loop();
+  void respond(Conn& conn, const std::string& id, const Response& r);
+
+  Service& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // written by stop() to end the acceptor
+  int port_ = 0;
+  bool started_ = false;
+
+  std::mutex mutex_;  // guards queue_, conns_, reader_threads_, stopping_
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::vector<std::thread> reader_threads_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rcons::serve

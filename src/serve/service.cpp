@@ -1,0 +1,268 @@
+#include "serve/service.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/static_bounds/static_bounds.hpp"
+#include "reduction/type_canon.hpp"
+#include "trace/metrics.hpp"
+
+namespace rcons::serve {
+namespace {
+
+std::vector<std::string> spec_tokens(const std::string& spec) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(spec);
+  for (std::string t; stream >> t;) tokens.push_back(std::move(t));
+  return tokens;
+}
+
+/// Fingerprints any token that names a readable file, so single-flight
+/// keys built from user-supplied paths go stale the moment the file's
+/// CONTENT changes — coalescing on the path alone would happily share a
+/// verdict computed from bytes that are no longer there. Non-files
+/// contribute nothing (catalog names are immutable).
+std::string file_fingerprints(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& token : tokens) {
+    if (type_catalog().count(token) != 0) continue;
+    std::ifstream in(token, std::ios::binary);
+    if (!in) continue;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "|fp=%016llx",
+                  static_cast<unsigned long long>(
+                      std::hash<std::string>{}(buffer.str())));
+    out += fp;
+  }
+  return out;
+}
+
+Response usage_error(std::string message) {
+  Response r;
+  r.exit_code = 2;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  // The disk tier is constructed even when disabled (empty directory):
+  // MemoryTierCache wants a backing object, and a disabled VerdictCache
+  // is the canonical "no persistence" backing.
+  disk_tier_ =
+      std::make_unique<reduction::VerdictCache>(options_.cache_dir);
+  cache_ = std::make_unique<reduction::MemoryTierCache>(disk_tier_.get());
+}
+
+std::string Service::next_trace_id() {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "r-%08llx",
+                static_cast<unsigned long long>(
+                    trace_serial_.fetch_add(1) + 1));
+  return buf;
+}
+
+int Service::request_threads(const Request& request) const {
+  const int threads =
+      request.threads > 0 ? request.threads : options_.default_threads;
+  return threads > options_.max_threads_cap ? options_.max_threads_cap
+                                            : threads;
+}
+
+std::size_t Service::request_budget(const Request& request) const {
+  if (options_.max_states_cap == 0) return request.max_states;
+  if (request.max_states == 0 ||
+      request.max_states > options_.max_states_cap) {
+    return options_.max_states_cap;
+  }
+  return request.max_states;
+}
+
+Response Service::handle(const Request& request) {
+  auto& m = trace::metrics();
+  m.add("serve.requests.total", 1);
+  const std::int64_t started_us = m.now_us();
+  Response response;
+  {
+    trace::ScopedSpan span("serve." + request.command);
+    if (request.command == "ping") {
+      response.body = "{\"pong\":true}";
+    } else if (request.command == "metrics") {
+      response.body = m.to_json();
+    } else if (request.command == "spans") {
+      // spans_to_chrome_json is pretty-printed; the wire is one line per
+      // response, so the newlines go (JSON semantics are unchanged).
+      std::string spans = m.spans_to_chrome_json();
+      std::erase(spans, '\n');
+      response.body = spans;
+    } else if (request.command == "profile") {
+      response = do_profile(request);
+    } else if (request.command == "verify") {
+      response = do_verify(request);
+    } else if (request.command == "lint") {
+      response = do_lint(request);
+    } else {
+      response = usage_error("unknown command '" + request.command +
+                             "' (profile|verify|lint|metrics|spans|ping)");
+    }
+  }
+  m.observe("serve.request_us", m.now_us() - started_us);
+  m.add(std::string("serve.responses.") + status_name(response.exit_code),
+        1);
+  return response;
+}
+
+Response Service::do_profile(const Request& request) {
+  if (request.target.empty()) {
+    return usage_error("profile wants a \"target\" (catalog name or .type "
+                       "path)");
+  }
+  spec::ObjectType type;
+  std::string error;
+  if (!resolve_type(request.target, &type, &error)) {
+    return usage_error(error);
+  }
+  int max_n = request.max_n > 0 ? request.max_n : options_.default_max_n;
+  if (max_n > options_.max_n_cap) max_n = options_.max_n_cap;
+
+  // The flight key is the CANONICAL form of the type — relabeling
+  // ("isomorphic") variants land on the same key, and the levels the
+  // flight memoizes are relabeling-invariant, so sharing is sound.
+  const reduction::CanonicalForm canon =
+      reduction::canonicalize_type(type);
+  const std::string key =
+      "profile|maxn=" + std::to_string(max_n) + "|" + canon.key;
+
+  const int threads = request_threads(request);
+  const auto outcome = profile_flights_.run(key, [&] {
+    if (options_.hooks.before_profile_compute) {
+      options_.hooks.before_profile_compute(key);
+    }
+    trace::metrics().add("serve.profile.explored", 1);
+    hierarchy::ProfileOptions profile_options;
+    profile_options.threads = threads;
+    profile_options.mode = options_.reduce
+                               ? hierarchy::SymmetryMode::kAutomorphism
+                               : hierarchy::SymmetryMode::kCanonical;
+    profile_options.cache = cache_.get();
+    analysis::BoundsReport bounds;
+    if (options_.bounds) {
+      bounds = analysis::analyze_static_bounds(type);
+      profile_options.bounds = &bounds;
+    }
+    const hierarchy::TypeProfile p =
+        hierarchy::compute_profile(type, max_n, profile_options);
+    return ProfileLevels{p.readable, p.discerning, p.recording};
+  });
+  trace::metrics().add(outcome.leader ? "serve.singleflight.leader"
+                                      : "serve.singleflight.joined",
+                       1);
+
+  // Re-render for THIS requester: its own type name and its own bounds
+  // block (bounds findings quote value/op names, which relabelings
+  // change), over the shared levels.
+  hierarchy::TypeProfile p;
+  p.type_name = type.name();
+  p.readable = outcome.value.readable;
+  p.discerning = outcome.value.discerning;
+  p.recording = outcome.value.recording;
+  analysis::BoundsReport bounds;
+  if (options_.bounds) bounds = analysis::analyze_static_bounds(type);
+  Response r;
+  r.body = profile_json(p, max_n, options_.bounds ? &bounds : nullptr);
+  return r;
+}
+
+Response Service::do_verify(const Request& request) {
+  if (request.spec.empty()) {
+    return usage_error("verify wants a \"spec\" (e.g. \"cas 2\")");
+  }
+  const std::vector<std::string> tokens = spec_tokens(request.spec);
+  std::string error;
+  auto protocol = make_protocol(tokens, &error);
+  if (!protocol) return usage_error(error);
+
+  EngineOptions engine;
+  engine.threads = request_threads(request);
+  engine.reduce = options_.reduce;
+  engine.bounds = options_.bounds;
+  engine.max_states = request_budget(request);
+  // Thread count is absent from the key on purpose: exploration results
+  // are bit-identical for every thread count (DESIGN.md §7), so flights
+  // differing only in threads may share.
+  const std::string key = "verify|" + request.spec +
+                          "|states=" + std::to_string(engine.max_states) +
+                          file_fingerprints(tokens);
+  const auto outcome = run_flights_.run(key, [&] {
+    return std::make_shared<const CommandResult>(
+        run_verify(*protocol, request.spec, engine));
+  });
+  trace::metrics().add(outcome.leader ? "serve.singleflight.leader"
+                                      : "serve.singleflight.joined",
+                       1);
+  Response r;
+  r.exit_code = outcome.value->exit_code;
+  r.body = outcome.value->json;
+  r.error = outcome.value->error;
+  return r;
+}
+
+Response Service::do_lint(const Request& request) {
+  analysis::Severity threshold = analysis::Severity::kError;
+  if (!request.threshold.empty() &&
+      !parse_severity(request.threshold, &threshold)) {
+    return usage_error("unknown threshold '" + request.threshold +
+                       "' (error|warning|note)");
+  }
+  const bool protocol_lint = !request.spec.empty();
+  if (!protocol_lint && request.target.empty()) {
+    return usage_error("lint wants a \"target\" (type) or \"spec\" "
+                       "(protocol)");
+  }
+
+  EngineOptions engine;
+  engine.threads = request_threads(request);
+  engine.reduce = options_.reduce;
+  std::string key;
+  std::function<std::shared_ptr<const CommandResult>()> fn;
+  if (protocol_lint) {
+    const std::vector<std::string> tokens = spec_tokens(request.spec);
+    std::string error;
+    auto protocol = make_protocol(tokens, &error);
+    if (!protocol) return usage_error(error);
+    key = "lintp|" + request.spec + "|th=" + request.threshold +
+          file_fingerprints(tokens);
+    auto shared = std::shared_ptr<exec::Protocol>(std::move(protocol));
+    fn = [this, shared, spec = request.spec, threshold, engine] {
+      return std::make_shared<const CommandResult>(
+          run_lint_protocol(*shared, spec, threshold, engine));
+    };
+  } else {
+    const std::vector<std::string> targets = {request.target};
+    key = "lintt|" + request.target + "|th=" + request.threshold +
+          file_fingerprints(targets);
+    fn = [targets, threshold, engine] {
+      return std::make_shared<const CommandResult>(
+          run_lint_types(targets, threshold, engine));
+    };
+  }
+  const auto outcome = run_flights_.run(key, fn);
+  trace::metrics().add(outcome.leader ? "serve.singleflight.leader"
+                                      : "serve.singleflight.joined",
+                       1);
+  Response r;
+  r.exit_code = outcome.value->exit_code;
+  r.body = outcome.value->json;
+  r.error = outcome.value->error;
+  return r;
+}
+
+std::size_t Service::profile_waiters(const std::string& key) const {
+  return profile_flights_.waiters(key);
+}
+
+}  // namespace rcons::serve

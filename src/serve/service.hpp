@@ -1,0 +1,107 @@
+// The rcons-serve request service (DESIGN.md §12): dispatches decoded
+// wire requests onto the shared command cores, with two layers of
+// stampede protection above them:
+//
+//   * a shared in-memory verdict tier (reduction::MemoryTierCache) over
+//     the persistent VerdictCache, so per-n profile verdicts are read
+//     from disk at most once per daemon lifetime and isomorphic types
+//     share entries, and
+//   * single-flight execution: concurrent requests whose answers must
+//     coincide (same canonical type form and max_n for profile; same
+//     spec, budget, and input-file fingerprints for verify/lint) share
+//     ONE exploration — the first caller leads, the rest block and join
+//     its result. Profile flights memoize only the relabeling-invariant
+//     levels; every requester re-renders with its own type name and
+//     bounds block, so responses stay byte-identical to the CLI's.
+//
+// The service is transport-free (the daemon in server.hpp owns sockets
+// and the admission queue) and thread-safe: handle() may be called from
+// any number of worker threads concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hierarchy/consensus_number.hpp"
+#include "reduction/memory_tier.hpp"
+#include "serve/commands.hpp"
+#include "serve/wire.hpp"
+#include "util/single_flight.hpp"
+
+namespace rcons::serve {
+
+/// Test seams. Production leaves them empty.
+struct ServiceHooks {
+  /// Called by a profile single-flight LEADER (with the flight key) just
+  /// before the exploration runs. The soak test uses this to hold the
+  /// leader until a known number of joiners are blocked on the key.
+  std::function<void(const std::string& key)> before_profile_compute;
+};
+
+struct ServiceOptions {
+  /// Engine defaults for requests that leave the knob unset.
+  int default_threads = 1;
+  int default_max_n = 5;
+  /// Hard cap on per-request max_n (profile cost is exponential in n).
+  int max_n_cap = 8;
+  /// Hard cap on per-request worker threads: the thread count is a
+  /// client-supplied integer, and spawning an unbounded number of threads
+  /// is a resource-exhaustion hang (the wire fuzz found exactly this).
+  int max_threads_cap = 64;
+  /// Per-request state budget cap; requests asking for more (or for
+  /// nothing) are clamped down to this. 0 = uncapped.
+  std::size_t max_states_cap = 0;
+  bool reduce = true;
+  bool bounds = true;
+  /// Persistent verdict tier directory; empty = memory tier only.
+  std::string cache_dir;
+  ServiceHooks hooks;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Answers one request. Never blocks on anything but its own
+  /// computation (admission control is the caller's job), never throws.
+  Response handle(const Request& request);
+
+  /// Fresh per-request trace id ("r-<hex>"), echoed in responses and
+  /// stamped on the request's metrics span.
+  std::string next_trace_id();
+
+  /// Callers currently blocked on the given profile flight key (the key a
+  /// ServiceHooks::before_profile_compute leader was handed). Test seam.
+  std::size_t profile_waiters(const std::string& key) const;
+
+  const reduction::MemoryTierCache& cache() const { return *cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// What a profile flight memoizes: exactly the relabeling-invariant
+  /// part of a TypeProfile (levels + readability), never the name.
+  struct ProfileLevels {
+    bool readable = false;
+    hierarchy::Level discerning;
+    hierarchy::Level recording;
+  };
+
+  Response do_profile(const Request& request);
+  Response do_verify(const Request& request);
+  Response do_lint(const Request& request);
+
+  int request_threads(const Request& request) const;
+  std::size_t request_budget(const Request& request) const;
+
+  ServiceOptions options_;
+  std::unique_ptr<reduction::VerdictCache> disk_tier_;
+  std::unique_ptr<reduction::MemoryTierCache> cache_;
+  util::SingleFlight<ProfileLevels> profile_flights_;
+  util::SingleFlight<std::shared_ptr<const CommandResult>> run_flights_;
+  std::atomic<std::uint64_t> trace_serial_{0};
+};
+
+}  // namespace rcons::serve

@@ -1,0 +1,230 @@
+#include "serve/wire.hpp"
+
+#include <cctype>
+#include <cstdint>
+
+#include "util/strings.hpp"
+
+namespace rcons::serve {
+namespace {
+
+/// Recursive-descent scanner for the flat request grammar. Every method
+/// leaves `error_` set on failure; the cursor never moves past size().
+class RequestParser {
+ public:
+  explicit RequestParser(const std::string& text) : text_(text) {}
+
+  ParseOutcome parse() {
+    ParseOutcome outcome;
+    skip_ws();
+    if (!consume('{')) {
+      return fail(outcome, "request must be one JSON object");
+    }
+    skip_ws();
+    if (!consume('}')) {
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return fail(outcome, "expected field name");
+        skip_ws();
+        if (!consume(':')) {
+          return fail(outcome, "expected ':' after \"" + key + "\"");
+        }
+        skip_ws();
+        if (!assign_field(key, outcome)) return fail(outcome, error_);
+        skip_ws();
+        if (consume('}')) break;
+        if (!consume(',')) {
+          return fail(outcome, "expected ',' or '}' after \"" + key + "\"");
+        }
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail(outcome, "trailing bytes after the request object");
+    }
+    if (outcome.request.command.empty()) {
+      return fail(outcome, "request lacks a \"command\" field");
+    }
+    outcome.ok = true;
+    return outcome;
+  }
+
+ private:
+  ParseOutcome fail(ParseOutcome& outcome, const std::string& why) {
+    outcome.ok = false;
+    outcome.error = why.empty() ? std::string("malformed request") : why;
+    return outcome;
+  }
+
+  bool assign_field(const std::string& key, ParseOutcome& outcome) {
+    Request& r = outcome.request;
+    if (key == "id" || key == "command" || key == "target" ||
+        key == "spec" || key == "threshold") {
+      std::string value;
+      if (!parse_string(&value)) {
+        error_ = "field \"" + key + "\" wants a string value";
+        return false;
+      }
+      if (key == "id") r.id = value;
+      else if (key == "command") r.command = value;
+      else if (key == "target") r.target = value;
+      else if (key == "spec") r.spec = value;
+      else r.threshold = value;
+      return true;
+    }
+    if (key == "max_n" || key == "threads" || key == "max_states") {
+      std::uint64_t value = 0;
+      if (!parse_integer(&value)) {
+        error_ = "field \"" + key + "\" wants a non-negative integer";
+        return false;
+      }
+      if (key == "max_states") {
+        r.max_states = static_cast<std::size_t>(value);
+      } else if (value > 1u << 20) {
+        error_ = "field \"" + key + "\" is out of range";
+        return false;
+      } else if (key == "max_n") {
+        r.max_n = static_cast<int>(value);
+      } else {
+        r.threads = static_cast<int>(value);
+      }
+      return true;
+    }
+    error_ = "unknown field \"" + key + "\"";
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= text_.size()) return false;
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // Requests are ASCII-flavoured (paths, catalog names, CLI
+            // tokens); non-ASCII escapes decode to '?' rather than
+            // growing a UTF-8 encoder nothing needs.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      *out += static_cast<char>(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_integer(std::uint64_t* out) {
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    *out = value;
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseOutcome parse_request(const std::string& line, std::size_t max_bytes) {
+  if (line.size() > max_bytes) {
+    ParseOutcome outcome;
+    outcome.error = "request exceeds " + std::to_string(max_bytes) +
+                    " bytes";
+    return outcome;
+  }
+  return RequestParser(line).parse();
+}
+
+const char* status_name(int exit_code) {
+  switch (exit_code) {
+    case 0: return "ok";
+    case 1: return "violation";
+    case 3: return "inconclusive";
+    default: return "error";
+  }
+}
+
+std::string render_response(const std::string& id,
+                            const std::string& trace_id, const Response& r) {
+  std::string out = "{\"id\":\"" + json_escape(id) + "\",\"trace_id\":\"" +
+                    json_escape(trace_id) + "\",\"status\":\"" +
+                    status_name(r.exit_code) +
+                    "\",\"exit_code\":" + std::to_string(r.exit_code);
+  if (!r.error.empty()) {
+    out += ",\"error\":\"" + json_escape(r.error) + "\"";
+  }
+  if (!r.body.empty()) {
+    // The body is embedded verbatim: it is the CLI's own single-line JSON
+    // document, and keeping its bytes untouched is the parity contract.
+    out += ",\"result\":" + r.body;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rcons::serve

@@ -1,0 +1,86 @@
+// rcons-serve wire protocol (DESIGN.md §12).
+//
+// Newline-delimited JSON over a stream socket. One request per line, one
+// response line per request, matched by the client-chosen "id" field (the
+// daemon may interleave responses from concurrent requests on the same
+// connection, so clients must not assume ordering). Blank lines are
+// keep-alives: ignored, never answered.
+//
+// Request — a FLAT JSON object; values are strings, non-negative
+// integers, or booleans. Nested objects/arrays are rejected: the request
+// grammar is deliberately small enough that a malformed byte can only
+// yield a structured error, never undefined parser behaviour (the
+// property tests fuzz exactly this entry point).
+//
+//   {"id":"r1","command":"profile","target":"data/cas3.type","max_n":6}
+//   {"id":"r2","command":"verify","spec":"cas 2","max_states":100000}
+//   {"id":"r3","command":"lint","target":"data/cas3.type"}
+//   {"id":"r4","command":"lint","spec":"recording cas3 2"}
+//   {"id":"r5","command":"metrics"}   {"command":"spans"}   {"command":"ping"}
+//
+// Fields: id (echoed back; optional), command (required), target (type:
+// catalog name or .type path), spec (protocol spec, space-separated CLI
+// tokens), max_n, max_states, threads, threshold (lint:
+// error|warning|note).
+//
+// Response — one line; "result" is always the LAST field and carries the
+// byte-identical document the CLI would print for the same query under
+// --format=json (the serve-parity tests pin this):
+//
+//   {"id":"r1","trace_id":"r-0000002a","status":"ok","exit_code":0,
+//    "result":{...}}
+//   {"id":"r9","trace_id":"...","status":"error","exit_code":2,
+//    "error":"unknown command 'profle'"}
+//
+// "status" follows the CLI exit-code contract (DESIGN.md §9): ok 0,
+// violation 1, error 2 (usage/malformed), inconclusive 3 (truncated by a
+// budget, or rejected by the admission queue — never silently stalled).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rcons::serve {
+
+/// One decoded request. String fields default to empty, integers to 0
+/// ("unset"; the service applies its configured defaults).
+struct Request {
+  std::string id;
+  std::string command;
+  std::string target;
+  std::string spec;
+  std::string threshold;
+  int max_n = 0;
+  int threads = 0;
+  std::size_t max_states = 0;
+};
+
+struct ParseOutcome {
+  bool ok = false;
+  Request request;
+  std::string error;  // set when !ok; always safe to echo into a response
+};
+
+/// Parses one request line. Never throws, never reads out of bounds, and
+/// rejects lines longer than `max_bytes` — every failure mode is a
+/// structured error. A request id is salvaged from the malformed line
+/// when the "id" field was parsed before the error, so error responses
+/// can still be correlated.
+ParseOutcome parse_request(const std::string& line,
+                           std::size_t max_bytes = 1 << 20);
+
+/// A response in exit-code-contract form; rendered by render_response.
+struct Response {
+  int exit_code = 0;
+  std::string body;   // the CLI-identical JSON document; empty on errors
+  std::string error;  // human-readable reason for error/inconclusive
+};
+
+/// "ok", "violation", "error", or "inconclusive".
+const char* status_name(int exit_code);
+
+/// Renders one response line (including the trailing '\n').
+std::string render_response(const std::string& id,
+                            const std::string& trace_id, const Response& r);
+
+}  // namespace rcons::serve

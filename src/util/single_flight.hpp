@@ -1,0 +1,97 @@
+// Single-flight execution: coalesces concurrent calls with the same key
+// into one execution of the underlying function (cache-stampede
+// protection, after Go's golang.org/x/sync/singleflight).
+//
+// The first caller for a key becomes the LEADER and runs the function;
+// callers that arrive while the leader is in flight block and receive a
+// copy of the leader's result. The flight is forgotten as soon as the
+// leader finishes, so single-flight is NOT a cache: a call that arrives
+// after completion starts a fresh flight. Layer a real cache (e.g. the
+// serve tier's MemoryTierCache) above or below it for memoization.
+//
+// Determinism note: which caller leads is a race by design, but every
+// result a waiter observes was produced by one complete execution, so
+// callers that only depend on the function's value (not on having run it
+// themselves) see no nondeterminism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace rcons::util {
+
+template <typename Result>
+class SingleFlight {
+ public:
+  struct Outcome {
+    Result value{};
+    /// True when this call ran the function itself.
+    bool leader = false;
+    /// Waiters this leader's execution served (leader only; 0 for joiners).
+    std::size_t joined = 0;
+  };
+
+  /// Runs `fn` once per concurrent group of callers sharing `key`. `fn`
+  /// must not re-enter run() with the same key (self-deadlock) and must
+  /// not throw (the checkers abort via RCONS_CHECK instead).
+  Outcome run(const std::string& key, const std::function<Result()>& fn) {
+    std::shared_ptr<Flight> flight;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto [it, inserted] = flights_.try_emplace(key, nullptr);
+      if (inserted) {
+        it->second = std::make_shared<Flight>();
+        flight = it->second;
+      } else {
+        flight = it->second;
+        ++flight->waiters;
+        flight->cv.wait(lock, [&] { return flight->done; });
+        return Outcome{flight->value, false, 0};
+      }
+    }
+    Result value = fn();
+    std::size_t joined = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      flight->value = value;
+      flight->done = true;
+      joined = flight->waiters;
+      flights_.erase(key);
+    }
+    flight->cv.notify_all();
+    return Outcome{std::move(value), true, joined};
+  }
+
+  /// Callers currently blocked on `key`'s in-flight execution. Racy by
+  /// nature; meant for tests that synchronize a leader against a known
+  /// number of joiners, and for gauge-style observability.
+  std::size_t waiters(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = flights_.find(key);
+    return it == flights_.end() ? 0 : it->second->waiters;
+  }
+
+  /// Keys with an execution currently in flight.
+  std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flights_.size();
+  }
+
+ private:
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    std::size_t waiters = 0;
+    Result value{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace rcons::util

@@ -1,0 +1,170 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rcons::util {
+namespace {
+
+ListenResult listen_error(int fd, const std::string& what) {
+  if (fd >= 0) ::close(fd);
+  ListenResult r;
+  r.error = what + ": " + std::strerror(errno);
+  return r;
+}
+
+}  // namespace
+
+ListenResult listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ListenResult r;
+    r.error = "socket path too long: " + path;
+    return r;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return listen_error(fd, "socket");
+  // A previous daemon's stale socket file would make bind fail; remove it.
+  // A *live* daemon still accepting on the path loses its file too, but
+  // the old process keeps serving existing connections — same contract as
+  // every daemon that owns a well-known socket path.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return listen_error(fd, "bind " + path);
+  }
+  if (::listen(fd, backlog) != 0) return listen_error(fd, "listen " + path);
+  ListenResult r;
+  r.fd = fd;
+  return r;
+}
+
+ListenResult listen_tcp(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return listen_error(fd, "socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return listen_error(fd, "bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) return listen_error(fd, "listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return listen_error(fd, "getsockname");
+  }
+  ListenResult r;
+  r.fd = fd;
+  r.port = ntohs(bound.sin_port);
+  return r;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int accept_connection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not kill the
+    // daemon with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::string& data) {
+  return write_all(fd, data.data(), data.size());
+}
+
+void shutdown_and_close(int fd) {
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+LineReader::Status LineReader::read_line(std::string* line) {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return Status::kLine;
+    }
+    if (buffer_.size() > max_line_bytes_) return Status::kOverflow;
+    if (eof_) {
+      if (buffer_.empty()) return Status::kEof;
+      *line = std::move(buffer_);
+      buffer_.clear();
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return Status::kLine;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rcons::util

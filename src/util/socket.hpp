@@ -1,0 +1,82 @@
+// Thin POSIX socket wrappers for the verdict service (DESIGN.md §12).
+//
+// Everything here is EINTR-safe and returns errors as values — the daemon
+// must never abort because a client misbehaved. Two transports:
+//
+//   * Unix-domain stream sockets (the default for local deployments and
+//     the test harness): listen_unix unlinks a stale socket file first,
+//     so a crashed daemon's leftover path does not block a restart.
+//   * TCP on 127.0.0.1 (never a wildcard bind: the service speaks an
+//     unauthenticated protocol, so it must not listen on public
+//     interfaces). Port 0 binds an ephemeral port; the chosen port is
+//     reported back for tests and scripts.
+//
+// LineReader frames newline-delimited protocols with a hard per-line byte
+// cap: an overlong line is reported as kOverflow instead of growing the
+// buffer without bound (the wire-protocol DoS guard).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rcons::util {
+
+/// A listening socket, or an error. `fd` is -1 on failure.
+struct ListenResult {
+  int fd = -1;
+  int port = 0;  // actual bound port (TCP only)
+  std::string error;
+
+  bool ok() const { return fd >= 0; }
+};
+
+/// Listens on a Unix-domain stream socket at `path` (unlinking any stale
+/// socket file first).
+ListenResult listen_unix(const std::string& path, int backlog = 64);
+
+/// Listens on 127.0.0.1:`port` (0 = ephemeral; see ListenResult::port).
+ListenResult listen_tcp(int port, int backlog = 64);
+
+/// Connects to a Unix-domain socket; -1 on failure.
+int connect_unix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`; -1 on failure.
+int connect_tcp(int port);
+
+/// accept() with EINTR retry; -1 on error or listener shutdown.
+int accept_connection(int listen_fd);
+
+/// Writes the whole buffer (EINTR-safe, SIGPIPE-suppressed). Returns
+/// false on any unrecoverable error (e.g. the peer vanished).
+bool write_all(int fd, const char* data, std::size_t size);
+bool write_all(int fd, const std::string& data);
+
+/// Unblocks any thread inside read()/accept() on `fd`, then closes it.
+void shutdown_and_close(int fd);
+
+/// Buffered newline framing over a socket with a per-line size cap.
+class LineReader {
+ public:
+  enum class Status {
+    kLine,      // one complete line delivered (without the '\n')
+    kEof,       // orderly shutdown with no buffered partial line
+    kOverflow,  // line exceeded max_line_bytes; connection unusable
+    kError,     // read error; connection unusable
+  };
+
+  LineReader(int fd, std::size_t max_line_bytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Blocks until a full line, EOF, overflow, or error. A trailing '\r'
+  /// (CRLF clients) is stripped. A final unterminated line at EOF is
+  /// delivered as a line.
+  Status read_line(std::string* line);
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace rcons::util

@@ -30,4 +30,9 @@ std::string pad_right(std::string_view text, std::size_t width);
 /// Repeats a string `count` times.
 std::string repeat(std::string_view text, std::size_t count);
 
+/// Escapes a string for embedding in a JSON string literal: quote,
+/// backslash, and control characters (newline and tab as their two-char
+/// escapes, the rest as \u00xx).
+std::string json_escape(std::string_view text);
+
 }  // namespace rcons

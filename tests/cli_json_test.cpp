@@ -335,4 +335,42 @@ TEST(CliJson, RulesCatalogListsTheRcFamily) {
   }
 }
 
+// `serve` usage errors follow the exit-code contract (usage -> 2), the
+// diagnostic goes to stderr, and stdout stays PURE even under
+// --format=json: a scripted caller that misconfigures the daemon must see
+// exit 2 and nothing to parse, never half a document.
+TEST(CliServe, UsageErrorsExitTwoWithPureStdout) {
+  const char* const bad_invocations[] = {
+      "serve",                                    // no transport
+      "serve --socket=/tmp/x.sock --port=0",      // both transports
+      "serve --port=70000",                       // port out of range
+      "serve --port=abc",                         // not a number
+      "serve --socket=",                          // empty path
+      "serve --port=0 --workers=0",               // worker count floor
+      "serve --port=0 --workers=9999",            // worker count ceiling
+      "serve --port=0 --queue-depth=0",           // queue depth floor
+      "serve --port=0 --no-such-flag",            // unknown serve flag
+  };
+  for (const char* invocation : bad_invocations) {
+    int exit_code = -1;
+    const std::string out = capture_stdout(
+        cli() + " " + invocation + " --format=json 2>/dev/null",
+        &exit_code);
+    EXPECT_EQ(exit_code, 2) << invocation;
+    EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
+  }
+}
+
+// The same invocations must explain themselves on stderr (the exit code
+// alone is not a diagnosis).
+TEST(CliServe, UsageErrorsExplainThemselvesOnStderr) {
+  int exit_code = -1;
+  const std::string err = capture_stdout(
+      cli() + " serve 2>&1 >/dev/null", &exit_code);
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_NE(err.find("exactly one of --socket=PATH or --port=N"),
+            std::string::npos)
+      << err;
+}
+
 }  // namespace

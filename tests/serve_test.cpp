@@ -1,0 +1,564 @@
+// End-to-end tests for the rcons-serve daemon (DESIGN.md §12), running
+// server + clients in ONE process so the suite can reach the service's
+// test hooks and the process-global metrics registry.
+//
+// The load-bearing assertions:
+//   * PARITY — the daemon's profile/verify/lint result payloads are
+//     byte-identical to what `rcons_cli --format=json` prints for the
+//     same query, pinned two ways: against the golden corpus fixtures
+//     (every data/*.type) and against the live CLI binary.
+//   * SINGLE-FLIGHT — 32 concurrent clients profiling isomorphic
+//     relabelings of one type cost exactly ONE exploration; the other 31
+//     join the flight (asserted via metrics deltas), yet every client
+//     still gets a response rendered for its OWN type name.
+//   * ADMISSION — a full queue answers INCONCLUSIVE immediately, a
+//     capped state budget turns verify SAFE into INCONCLUSIVE, and
+//     malformed or oversized requests get structured errors, never a
+//     hang or a crash.
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reduction/type_canon.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "spec/catalog.hpp"
+#include "spec/serialize.hpp"
+#include "trace/metrics.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using rcons::serve::Request;
+using rcons::serve::Server;
+using rcons::serve::ServerOptions;
+using rcons::serve::Service;
+using rcons::serve::ServiceOptions;
+
+std::string source_dir() { return RCONS_SOURCE_DIR; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string capture_stdout(const std::string& command, int* exit_code) {
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  if (pipe != nullptr) {
+    char buffer[4096];
+    std::size_t got;
+    while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      out.append(buffer, got);
+    }
+    const int status = pclose(pipe);
+    *exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  }
+  return out;
+}
+
+/// `"key":"value"` extraction from a response envelope (string fields).
+std::string string_field(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = doc.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  return doc.substr(start, doc.find('"', start) - start);
+}
+
+/// The "result" payload: render_response puts it LAST, so it spans from
+/// after `"result":` to the envelope's closing brace.
+std::string result_payload(const std::string& line) {
+  const std::string needle = "\"result\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos || line.empty() || line.back() != '}') {
+    return "";
+  }
+  const std::size_t start = at + needle.size();
+  return line.substr(start, line.size() - start - 1);
+}
+
+/// An in-process daemon on an ephemeral 127.0.0.1 port.
+struct TestDaemon {
+  explicit TestDaemon(ServiceOptions service_options = {},
+                      ServerOptions server_options = {})
+      : service(std::move(service_options)),
+        server(service, [&server_options] {
+          if (server_options.unix_path.empty() &&
+              server_options.tcp_port < 0) {
+            server_options.tcp_port = 0;  // default: ephemeral TCP
+          }
+          return server_options;
+        }()) {
+    std::string error;
+    EXPECT_TRUE(server.start(&error)) << error;
+  }
+
+  Service service;
+  Server server;
+};
+
+/// One NDJSON client connection. Responses may interleave, so reads are
+/// matched by id (unmatched lines are parked).
+class Client {
+ public:
+  explicit Client(int port)
+      : fd_(rcons::util::connect_tcp(port)), reader_(fd_, 4u << 20) {
+    EXPECT_GE(fd_, 0) << "cannot connect to 127.0.0.1:" << port;
+  }
+  explicit Client(const std::string& unix_path)
+      : fd_(rcons::util::connect_unix(unix_path)), reader_(fd_, 4u << 20) {
+    EXPECT_GE(fd_, 0) << "cannot connect to " << unix_path;
+  }
+  ~Client() {
+    if (fd_ >= 0) rcons::util::shutdown_and_close(fd_);
+  }
+
+  bool send(const std::string& line) {
+    return rcons::util::write_all(fd_, line + "\n");
+  }
+
+  /// Next response line regardless of id ("" on EOF/error).
+  std::string read_any() {
+    std::string line;
+    if (reader_.read_line(&line) != rcons::util::LineReader::Status::kLine) {
+      return "";
+    }
+    return line;
+  }
+
+  /// The response whose "id" field is `id` ("" on EOF/error first).
+  std::string read_for(const std::string& id) {
+    const auto parked = parked_.find(id);
+    if (parked != parked_.end()) {
+      std::string line = parked->second;
+      parked_.erase(parked);
+      return line;
+    }
+    while (true) {
+      const std::string line = read_any();
+      if (line.empty()) return "";
+      if (string_field(line, "id") == id) return line;
+      parked_[string_field(line, "id")] = line;
+    }
+  }
+
+  /// send + read_for in one step.
+  std::string call(const std::string& id, const std::string& request) {
+    EXPECT_TRUE(send(request));
+    return read_for(id);
+  }
+
+ private:
+  int fd_;
+  rcons::util::LineReader reader_;
+  std::map<std::string, std::string> parked_;
+};
+
+TEST(ServeTest, PingAndObservabilityCommands) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+
+  const std::string pong = client.call("p", "{\"id\":\"p\",\"command\":\"ping\"}");
+  EXPECT_EQ(string_field(pong, "status"), "ok") << pong;
+  EXPECT_EQ(result_payload(pong), "{\"pong\":true}") << pong;
+
+  const std::string metrics =
+      client.call("m", "{\"id\":\"m\",\"command\":\"metrics\"}");
+  const std::string metrics_doc = result_payload(metrics);
+  ASSERT_FALSE(metrics_doc.empty()) << metrics;
+  EXPECT_EQ(metrics_doc.front(), '{');
+  EXPECT_NE(metrics_doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics_doc.find("serve.requests.total"), std::string::npos);
+
+  const std::string spans =
+      client.call("s", "{\"id\":\"s\",\"command\":\"spans\"}");
+  const std::string spans_doc = result_payload(spans);
+  ASSERT_FALSE(spans_doc.empty()) << spans;
+  EXPECT_EQ(spans_doc.front(), '[');  // chrome://tracing event array
+  EXPECT_EQ(spans_doc.find('\n'), std::string::npos);
+}
+
+TEST(ServeTest, UnixSocketRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("rcons-serve-test-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerOptions server_options;
+  server_options.unix_path = path;
+  TestDaemon daemon({}, server_options);
+  Client client(path);
+  const std::string pong = client.call("p", "{\"id\":\"p\",\"command\":\"ping\"}");
+  EXPECT_EQ(result_payload(pong), "{\"pong\":true}") << pong;
+  std::filesystem::remove(path);
+}
+
+// The parity contract, pinned against the golden corpus: for every
+// data/*.type fixture, the daemon's profile payload is byte-identical to
+// (a) the fixture minus its corpus-only "file" field and (b) the live
+// CLI's --format=json stdout for the same query.
+TEST(ServeTest, ProfilePayloadsMatchGoldenCorpusAndCli) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+  std::vector<std::string> fixtures;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           source_dir() + "/tests/fixtures/golden")) {
+    if (entry.path().extension() == ".json") {
+      fixtures.push_back(entry.path().string());
+    }
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  ASSERT_FALSE(fixtures.empty());
+  int id = 0;
+  for (const std::string& fixture_path : fixtures) {
+    std::string fixture = slurp(fixture_path);
+    while (!fixture.empty() &&
+           (fixture.back() == '\n' || fixture.back() == ' ')) {
+      fixture.pop_back();
+    }
+    // Drop the corpus-only `"file":"...",` field; what remains IS the
+    // CLI's profile document for that type, by corpus construction.
+    const std::string file = string_field(fixture, "file");
+    ASSERT_FALSE(file.empty()) << fixture_path;
+    const std::string file_field = "\"file\":\"" + file + "\",";
+    const std::size_t at = fixture.find(file_field);
+    ASSERT_NE(at, std::string::npos) << fixture_path;
+    const std::string expected =
+        fixture.substr(0, at) + fixture.substr(at + file_field.size());
+
+    const std::string max_n = [&] {
+      const std::size_t n_at = fixture.find("\"max_n\":");
+      std::size_t end = n_at + 8;
+      while (end < fixture.size() && std::isdigit(
+                 static_cast<unsigned char>(fixture[end]))) {
+        ++end;
+      }
+      return fixture.substr(n_at + 8, end - (n_at + 8));
+    }();
+    const std::string target = source_dir() + "/data/" + file;
+    const std::string rid = "g" + std::to_string(id++);
+    const std::string response = client.call(
+        rid, "{\"id\":\"" + rid + "\",\"command\":\"profile\",\"target\":\"" +
+                 target + "\",\"max_n\":" + max_n + "}");
+    EXPECT_EQ(string_field(response, "status"), "ok") << response;
+    EXPECT_EQ(result_payload(response), expected) << file;
+
+    int cli_exit = -1;
+    const std::string cli_stdout = capture_stdout(
+        std::string(RCONS_CLI_BIN) + " profile " + target + " " + max_n +
+            " --format=json --cache=off 2>/dev/null",
+        &cli_exit);
+    EXPECT_EQ(cli_exit, 0) << file;
+    EXPECT_EQ(cli_stdout, result_payload(response) + "\n") << file;
+  }
+}
+
+// Verify and lint parity against the live CLI, including the exit-code
+// contract carried in the envelope.
+TEST(ServeTest, VerifyAndLintPayloadsMatchCli) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+  struct Case {
+    const char* id;
+    std::string request;   // daemon request line
+    std::string cli_args;  // CLI spelling of the same query
+  };
+  const std::string type_file = source_dir() + "/data/sticky2.type";
+  const std::vector<Case> cases = {
+      {"v1", "{\"id\":\"v1\",\"command\":\"verify\",\"spec\":\"cas 2\"}",
+       "verify cas 2"},
+      {"v2",
+       "{\"id\":\"v2\",\"command\":\"verify\",\"spec\":\"recording sticky2 "
+       "2\"}",
+       "verify recording sticky2 2"},
+      {"l1", "{\"id\":\"l1\",\"command\":\"lint\",\"target\":\"cas2\"}",
+       "lint cas2"},
+      {"l2",
+       "{\"id\":\"l2\",\"command\":\"lint\",\"target\":\"" + type_file +
+           "\"}",
+       "lint " + type_file},
+      {"l3", "{\"id\":\"l3\",\"command\":\"lint\",\"spec\":\"sticky 2\"}",
+       "lint protocol sticky 2"},
+  };
+  for (const Case& c : cases) {
+    const std::string response = client.call(c.id, c.request);
+    ASSERT_FALSE(response.empty()) << c.cli_args;
+    int cli_exit = -1;
+    const std::string cli_stdout = capture_stdout(
+        std::string(RCONS_CLI_BIN) + " " + c.cli_args +
+            " --format=json --threads=1 2>/dev/null",
+        &cli_exit);
+    EXPECT_EQ(cli_stdout, result_payload(response) + "\n") << c.cli_args;
+    const std::size_t code_at = response.find("\"exit_code\":");
+    ASSERT_NE(code_at, std::string::npos);
+    EXPECT_EQ(std::stoi(response.substr(code_at + 12)), cli_exit)
+        << c.cli_args << ": " << response;
+  }
+}
+
+// The concurrency soak (the tentpole's core guarantee): 32 clients ask
+// for isomorphic relabelings of one type at once; the canonical-form
+// flight key coalesces them into ONE exploration and 31 joins, and each
+// client's payload still names ITS type.
+TEST(ServeTest, ThirtyTwoIsomorphicClientsShareOneExploration) {
+  constexpr int kClients = 32;
+
+  // The leader holds its exploration until the other 31 clients are
+  // blocked on the same flight, so the coalescing is deterministic, not
+  // a lucky race.
+  struct SoakState {
+    std::atomic<Service*> service{nullptr};
+    std::atomic<bool> timed_out{false};
+  };
+  auto state = std::make_shared<SoakState>();
+  ServiceOptions service_options;
+  service_options.hooks.before_profile_compute =
+      [state](const std::string& key) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (state->service.load()->profile_waiters(key) <
+               kClients - 1) {
+          if (std::chrono::steady_clock::now() > deadline) {
+            state->timed_out = true;
+            return;
+          }
+          std::this_thread::yield();
+        }
+      };
+  ServerOptions server_options;
+  server_options.workers = kClients;  // all 32 requests in flight at once
+  TestDaemon daemon(service_options, server_options);
+  state->service = &daemon.service;
+
+  // 32 isomorphic variants of cas2 — distinct names, relabeled values /
+  // ops / responses — written to temp .type files.
+  const rcons::spec::ObjectType base = rcons::spec::make_cas(2);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("rcons-soak-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> files;
+  for (int i = 0; i < kClients; ++i) {
+    rcons::reduction::TypeRelabeling relabeling =
+        rcons::reduction::identity_relabeling(base);
+    // Rotate each id space by i (mod its size): valid permutations, and
+    // across 32 variants they exercise several distinct relabelings.
+    const auto rotate = [i](std::vector<int>& perm) {
+      const int size = static_cast<int>(perm.size());
+      for (int at = 0; at < size; ++at) perm[at] = (at + i) % size;
+    };
+    rotate(relabeling.value_perm);
+    rotate(relabeling.op_perm);
+    rotate(relabeling.response_perm);
+    const rcons::spec::ObjectType variant = rcons::reduction::relabel_type(
+        base, relabeling, "cas2_v" + std::to_string(i));
+    const std::string path =
+        (dir / ("v" + std::to_string(i) + ".type")).string();
+    std::ofstream out(path);
+    out << rcons::spec::serialize_type(variant);
+    files.push_back(path);
+  }
+
+  auto& m = rcons::trace::metrics();
+  const std::int64_t explored0 = m.counter("serve.profile.explored");
+  const std::int64_t leader0 = m.counter("serve.singleflight.leader");
+  const std::int64_t joined0 = m.counter("serve.singleflight.joined");
+
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> threads;
+  const int port = daemon.server.port();
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([i, port, &files, &responses] {
+      Client client(port);
+      responses[static_cast<std::size_t>(i)] = client.call(
+          "s" + std::to_string(i),
+          "{\"id\":\"s" + std::to_string(i) +
+              "\",\"command\":\"profile\",\"target\":\"" +
+              files[static_cast<std::size_t>(i)] + "\",\"max_n\":3}");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(state->timed_out)
+      << "leader never saw 31 joiners; coalescing is broken";
+
+  for (int i = 0; i < kClients; ++i) {
+    const std::string& response = responses[static_cast<std::size_t>(i)];
+    EXPECT_EQ(string_field(response, "status"), "ok") << response;
+    // Every client's payload is rendered for ITS type name, not the
+    // leader's.
+    EXPECT_EQ(string_field(result_payload(response), "type"),
+              "cas2_v" + std::to_string(i))
+        << response;
+  }
+  EXPECT_EQ(m.counter("serve.profile.explored") - explored0, 1);
+  EXPECT_EQ(m.counter("serve.singleflight.leader") - leader0, 1);
+  EXPECT_EQ(m.counter("serve.singleflight.joined") - joined0, kClients - 1);
+  std::filesystem::remove_all(dir);
+}
+
+// A full admission queue answers INCONCLUSIVE immediately — the daemon
+// never stalls a client to hide overload.
+TEST(ServeTest, FullAdmissionQueueRejectsWithInconclusive) {
+  struct GateState {
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+  };
+  auto gate = std::make_shared<GateState>();
+  ServiceOptions service_options;
+  service_options.hooks.before_profile_compute =
+      [gate](const std::string&) {
+        if (gate->started.exchange(true)) return;  // only the first flight
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (!gate->release &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::yield();
+        }
+      };
+  ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.queue_depth = 1;
+  TestDaemon daemon(service_options, server_options);
+  Client client(daemon.server.port());
+
+  // r1 occupies the only worker (held by the gate)...
+  ASSERT_TRUE(client.send(
+      "{\"id\":\"r1\",\"command\":\"profile\",\"target\":\"register2\"}"));
+  while (!gate->started) std::this_thread::yield();
+  // ...r2 fills the depth-1 queue...
+  ASSERT_TRUE(client.send(
+      "{\"id\":\"r2\",\"command\":\"profile\",\"target\":\"register3\"}"));
+  // ...so r3 must bounce, immediately, while r1 is still running.
+  const std::string rejected = client.call(
+      "r3", "{\"id\":\"r3\",\"command\":\"profile\",\"target\":\"tas\"}");
+  EXPECT_EQ(string_field(rejected, "status"), "inconclusive") << rejected;
+  EXPECT_NE(rejected.find("\"exit_code\":3"), std::string::npos) << rejected;
+  EXPECT_NE(string_field(rejected, "error").find("admission queue full"),
+            std::string::npos)
+      << rejected;
+
+  gate->release = true;
+  EXPECT_EQ(string_field(client.read_for("r1"), "status"), "ok");
+  EXPECT_EQ(string_field(client.read_for("r2"), "status"), "ok");
+}
+
+// The per-request state budget: a capped exploration reports
+// INCONCLUSIVE (exit 3), never SAFE, and a request cannot buy more
+// budget than the daemon's cap.
+TEST(ServeTest, StateBudgetCapTurnsVerifyInconclusive) {
+  ServiceOptions service_options;
+  service_options.max_states_cap = 5;
+  TestDaemon daemon(service_options);
+  Client client(daemon.server.port());
+
+  const std::string capped = client.call(
+      "b1", "{\"id\":\"b1\",\"command\":\"verify\",\"spec\":\"cas 2\"}");
+  EXPECT_EQ(string_field(capped, "status"), "inconclusive") << capped;
+  EXPECT_NE(capped.find("\"exit_code\":3"), std::string::npos) << capped;
+  EXPECT_NE(result_payload(capped).find("\"verdict\":\"INCONCLUSIVE\""),
+            std::string::npos)
+      << capped;
+
+  // Asking for a bigger budget than the cap is clamped, not honored.
+  const std::string greedy = client.call(
+      "b2",
+      "{\"id\":\"b2\",\"command\":\"verify\",\"spec\":\"cas 2\","
+      "\"max_states\":1000000}");
+  EXPECT_EQ(string_field(greedy, "status"), "inconclusive") << greedy;
+}
+
+// Malformed requests: structured error responses with the salvaged id,
+// and the connection keeps serving afterwards.
+TEST(ServeTest, MalformedRequestsGetStructuredErrors) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"e1", "{\"id\":\"e1\",\"command\":\"profile\",\"max_n\":-3}"},
+      {"e2", "{\"id\":\"e2\",\"command\":\"profile\",\"bogus\":1}"},
+      {"e3", "{\"id\":\"e3\",\"command\":\"ping\"} trailing"},
+      {"e4", "{\"id\":\"e4\",\"command\":{\"nested\":true}}"},
+      {"e5", "{\"id\":\"e5\",\"command\":\"ping\",\"max_n\":"
+             "99999999999999999999999999}"},
+      {"e6", "{\"id\":\"e6\"}"},
+      {"e7", "{\"id\":\"e7\",\"command\":\"profile\","
+             "\"target\":\"no-such-type-anywhere\"}"},
+  };
+  for (const auto& [id, request] : cases) {
+    const std::string response = client.call(id, request);
+    ASSERT_FALSE(response.empty()) << request;
+    EXPECT_EQ(string_field(response, "id"), id) << response;
+    EXPECT_EQ(string_field(response, "status"), "error") << response;
+    EXPECT_NE(response.find("\"exit_code\":2"), std::string::npos)
+        << response;
+    EXPECT_FALSE(string_field(response, "error").empty()) << response;
+  }
+  // Lines that cannot carry an id still answer (with an empty id).
+  ASSERT_TRUE(client.send("this is not json"));
+  const std::string anonymous = client.read_any();
+  EXPECT_EQ(string_field(anonymous, "status"), "error") << anonymous;
+  // The connection is still healthy.
+  const std::string pong = client.call("p", "{\"id\":\"p\",\"command\":\"ping\"}");
+  EXPECT_EQ(string_field(pong, "status"), "ok") << pong;
+}
+
+// An oversized line gets one structured error and a hangup (framing is
+// unrecoverable past it) — never an unbounded buffer or a stall.
+TEST(ServeTest, OversizedLineAnswersErrorThenCloses) {
+  ServerOptions server_options;
+  server_options.max_line_bytes = 512;
+  TestDaemon daemon({}, server_options);
+  Client client(daemon.server.port());
+  const std::string huge =
+      "{\"id\":\"big\",\"command\":\"" + std::string(4096, 'x') + "\"}";
+  ASSERT_TRUE(client.send(huge));
+  const std::string response = client.read_any();
+  EXPECT_EQ(string_field(response, "status"), "error") << response;
+  EXPECT_NE(string_field(response, "error").find("exceeds"),
+            std::string::npos)
+      << response;
+  EXPECT_EQ(client.read_any(), "");  // daemon hung up
+}
+
+// The memory verdict tier: a repeat profile of the same type is answered
+// from memory (no new disk or decider work), visible as cache.mem_hits
+// growth and a stable exploration count.
+TEST(ServeTest, MemoryTierServesRepeatProfiles) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+  auto& m = rcons::trace::metrics();
+  const std::string request =
+      "{\"id\":\"c1\",\"command\":\"profile\",\"target\":\"sticky2\","
+      "\"max_n\":3}";
+  const std::string first = client.call("c1", request);
+  EXPECT_EQ(string_field(first, "status"), "ok") << first;
+  EXPECT_GT(daemon.service.cache().entry_count(), 0u);
+
+  const std::int64_t hits0 = m.counter("cache.mem_hits");
+  const std::string second = client.call(
+      "c2",
+      "{\"id\":\"c2\",\"command\":\"profile\",\"target\":\"sticky2\","
+      "\"max_n\":3}");
+  EXPECT_EQ(result_payload(second), result_payload(first));
+  EXPECT_GT(m.counter("cache.mem_hits"), hits0)
+      << "repeat profile did not hit the memory tier";
+}
+
+}  // namespace

@@ -32,6 +32,20 @@
 //                                        print its timeline, and check the
 //                                        round-trip guarantee (identical
 //                                        verdict + state hash; DESIGN.md §9)
+//   rcons_cli serve    (--socket=PATH | --port=N) [--workers=N]
+//                      [--queue-depth=N]
+//                                        long-running verdict daemon
+//                                        (DESIGN.md §12): newline-delimited
+//                                        JSON requests over a Unix or
+//                                        127.0.0.1 TCP socket, answering
+//                                        profile/verify/lint with the same
+//                                        documents --format=json prints.
+//                                        --port=0 binds an ephemeral port
+//                                        (reported on stderr). Runs until
+//                                        SIGINT/SIGTERM. The global flags
+//                                        below set the daemon's engine
+//                                        defaults (--max-states becomes the
+//                                        per-request budget cap).
 //
 // Global flags (any position):
 //   --threads=N      exploration parallelism for verify/profile/search/
@@ -71,34 +85,28 @@
 // by --max-states and proves nothing either way).
 //
 // <type> is either a catalog name (see `list`) or a path to a .type file.
-#include <cctype>
+//
+// The profile/verify/lint COMMAND CORES live in src/serve/commands.* and
+// are shared with the rcons-serve daemon, so the daemon's responses stay
+// byte-identical to this CLI's --format=json output by construction. This
+// file owns argv parsing, stdout/stderr, --trace-out spilling, and exits.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <functional>
-#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "algo/cas_consensus.hpp"
 #include "analysis/analysis.hpp"
-#include "analysis/static_bounds/static_bounds.hpp"
-#include "algo/naive_register.hpp"
-#include "algo/propose_consensus.hpp"
-#include "algo/recording_consensus.hpp"
-#include "algo/sticky_consensus.hpp"
-#include "algo/tas_racing.hpp"
-#include "algo/tnn_protocols.hpp"
-#include "hierarchy/consensus_number.hpp"
 #include "hierarchy/search.hpp"
 #include "hierarchy/witnesses.hpp"
 #include "reduction/verdict_cache.hpp"
-#include "spec/catalog.hpp"
-#include "spec/paper_types.hpp"
+#include "serve/commands.hpp"
+#include "serve/server.hpp"
 #include "spec/serialize.hpp"
 #include "trace/counterexample.hpp"
 #include "trace/metrics.hpp"
@@ -106,7 +114,6 @@
 #include "util/parallel.hpp"
 #include "valency/critical.hpp"
 #include "valency/lemmas.hpp"
-#include "valency/model_checker.hpp"
 #include "valency/theorem13.hpp"
 
 namespace {
@@ -128,41 +135,19 @@ bool g_cache_on = true;        // --cache=on|off (profile verdict cache)
 bool g_bounds_on = true;       // --bounds=on|off (static pre-verdict pass)
 std::string g_cache_dir;       // --cache-dir=DIR; empty = default location
 
-const std::map<std::string, std::function<ObjectType()>>& catalog() {
-  static const auto* kCatalog =
-      new std::map<std::string, std::function<ObjectType()>>{
-          {"register2", [] { return rcons::spec::make_register(2); }},
-          {"register3", [] { return rcons::spec::make_register(3); }},
-          {"tas", [] { return rcons::spec::make_test_and_set(); }},
-          {"swap2", [] { return rcons::spec::make_swap(2); }},
-          {"swap3", [] { return rcons::spec::make_swap(3); }},
-          {"faa4", [] { return rcons::spec::make_fetch_and_add(4); }},
-          {"fai3",
-           [] { return rcons::spec::make_fetch_and_increment_saturating(3); }},
-          {"cas2", [] { return rcons::spec::make_cas(2); }},
-          {"cas3", [] { return rcons::spec::make_cas(3); }},
-          {"sticky2", [] { return rcons::spec::make_sticky_bit(); }},
-          {"sticky3", [] { return rcons::spec::make_sticky(3); }},
-          {"consensus2", [] { return rcons::spec::make_consensus_object(2); }},
-          {"consensus3", [] { return rcons::spec::make_consensus_object(3); }},
-          {"queue2", [] { return rcons::spec::make_queue(2); }},
-          {"readable_queue2",
-           [] { return rcons::spec::make_readable_queue(2); }},
-          {"stack2", [] { return rcons::spec::make_stack(2); }},
-          {"peek_queue2", [] { return rcons::spec::make_peek_queue(2); }},
-          {"t31", [] { return rcons::spec::make_tnn(3, 1); }},
-          {"t42", [] { return rcons::spec::make_tnn(4, 2); }},
-          {"t52", [] { return rcons::spec::make_tnn(5, 2); }},
-          {"t64", [] { return rcons::spec::make_tnn(6, 4); }},
-          {"x4", [] { return rcons::spec::make_xn(4); }},
-          {"x5", [] { return rcons::spec::make_xn(5); }},
-      };
-  return *kCatalog;
-}
-
 int fail(const std::string& message) {
   std::fprintf(stderr, "rcons_cli: %s\n", message.c_str());
   return 2;
+}
+
+/// The engine knobs every command core takes, from the global flags.
+rcons::serve::EngineOptions engine_options() {
+  rcons::serve::EngineOptions options;
+  options.threads = g_threads;
+  options.reduce = g_reduce;
+  options.bounds = g_bounds_on;
+  options.max_states = g_max_states;
+  return options;
 }
 
 /// Writes `content` to `path`, creating parent directories. Reports (to
@@ -183,132 +168,43 @@ bool spill_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-/// Writes a finalized counterexample under --trace-out as `<stem>.trace`,
-/// stamping the CLI protocol spec so `rcons_cli replay` can rebuild the
-/// protocol. No-op when --trace-out is unset.
-void write_trace(rcons::trace::Counterexample c, const std::string& spec,
-                 const std::string& stem) {
+/// Writes the command's captured counterexamples under --trace-out as
+/// `<stem>.trace` (the cores stamp the protocol spec, so `rcons_cli
+/// replay` can rebuild the protocol). No-op when --trace-out is unset.
+void write_traces(const std::vector<rcons::serve::CapturedTrace>& captures) {
   if (g_trace_out.empty()) return;
-  c.protocol_spec = spec;
   std::error_code ec;
   std::filesystem::create_directories(g_trace_out, ec);
-  const std::string path = g_trace_out + "/" + stem + ".trace";
-  if (spill_file(path, rcons::trace::serialize_counterexample(c))) {
-    std::fprintf(stderr, "rcons_cli: wrote %s\n", path.c_str());
-  }
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
+  for (const auto& c : captures) {
+    const std::string path = g_trace_out + "/" + c.stem + ".trace";
+    if (spill_file(path, rcons::trace::serialize_counterexample(c.trace))) {
+      std::fprintf(stderr, "rcons_cli: wrote %s\n", path.c_str());
     }
   }
-  return out;
 }
 
-/// Resolves a catalog name or a .type file path.
-bool resolve_type(const std::string& what, ObjectType* out,
-                  std::string* error) {
-  const auto it = catalog().find(what);
-  if (it != catalog().end()) {
-    *out = it->second();
-    return true;
+/// Prints a command core's result per --format and spills its captures.
+int emit(const rcons::serve::CommandResult& result) {
+  if (result.exit_code == 2) return fail(result.error);
+  if (g_json) {
+    std::printf("%s\n", result.json.c_str());
+  } else {
+    std::printf("%s", result.text.c_str());
   }
-  std::ifstream in(what);
-  if (!in) {
-    *error = "unknown type '" + what + "' (not a catalog name; file not "
-             "readable). Try `rcons_cli list`.";
-    return false;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const rcons::spec::ParseResult parsed =
-      rcons::spec::parse_type(buffer.str());
-  if (!parsed.ok()) {
-    *error = what + ":" + std::to_string(parsed.error_line) + ": " +
-             parsed.error;
-    return false;
-  }
-  *out = *parsed.type;
-  return true;
+  write_traces(result.captures);
+  return result.exit_code;
 }
 
 std::unique_ptr<rcons::exec::Protocol> make_protocol(int argc, char** argv,
                                                      std::string* error) {
-  if (argc < 1) {
-    *error = "missing protocol";
-    return nullptr;
-  }
-  const std::string kind = argv[0];
-  const auto arg = [&](int i, int fallback) {
-    return argc > i ? std::atoi(argv[i]) : fallback;
-  };
-  if (kind == "cas") {
-    return std::make_unique<rcons::algo::CasConsensus>(arg(1, 2));
-  }
-  if (kind == "tas") {
-    return std::make_unique<rcons::algo::TasRacingConsensus>();
-  }
-  if (kind == "naive") {
-    return std::make_unique<rcons::algo::NaiveRegisterConsensus>(arg(1, 2));
-  }
-  if (kind == "tnn") {
-    const int n = arg(1, 4);
-    const int np = arg(2, 2);
-    return std::make_unique<rcons::algo::TnnRecoverableConsensus>(
-        n, np, arg(3, np));
-  }
-  if (kind == "tnnwf") {
-    return std::make_unique<rcons::algo::TnnWaitFreeConsensus>(arg(1, 4),
-                                                               arg(2, 2));
-  }
-  if (kind == "propose") {
-    return std::make_unique<rcons::algo::NaiveProposeConsensus>(arg(1, 2),
-                                                                arg(2, 2));
-  }
-  if (kind == "sticky") {
-    return std::make_unique<rcons::algo::StickyConsensus>(arg(1, 2));
-  }
-  if (kind == "recording") {
-    ObjectType type;
-    std::string type_error;
-    if (argc < 2 || !resolve_type(argv[1], &type, &type_error)) {
-      *error = "recording <type> <n> [relaxed]: " + type_error;
-      return nullptr;
-    }
-    bool relaxed = false;
-    if (argc > 3) {
-      if (std::string(argv[3]) == "relaxed") {
-        relaxed = true;
-      } else {
-        *error = std::string("recording: unknown modifier '") + argv[3] +
-                 "' (the only modifier is 'relaxed')";
-        return nullptr;
-      }
-    }
-    return std::make_unique<rcons::algo::RecordingConsensus>(type, arg(2, 2),
-                                                             relaxed);
-  }
-  *error = "unknown protocol '" + kind + "'";
-  return nullptr;
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return rcons::serve::make_protocol(tokens, error);
 }
 
 int cmd_list() {
-  for (const auto& [name, make] : catalog()) {
+  for (const auto& [name, make] : rcons::serve::type_catalog()) {
     const ObjectType t = make();
     std::printf("%-16s %2d values, %d ops%s\n", name.c_str(),
                 t.value_count(), t.op_count(),
@@ -323,46 +219,9 @@ int cmd_profile(const ObjectType& type, int max_n) {
                         ? rcons::reduction::VerdictCache::default_directory()
                         : g_cache_dir)
                  : std::string());
-  rcons::hierarchy::ProfileOptions options;
-  options.threads = g_threads;
-  options.mode = g_reduce ? rcons::hierarchy::SymmetryMode::kAutomorphism
-                          : rcons::hierarchy::SymmetryMode::kCanonical;
+  rcons::serve::EngineOptions options = engine_options();
   options.cache = &cache;
-  rcons::analysis::BoundsReport bounds;
-  if (g_bounds_on) {
-    bounds = rcons::analysis::analyze_static_bounds(type);
-    options.bounds = &bounds;
-  }
-  const rcons::hierarchy::TypeProfile p =
-      rcons::hierarchy::compute_profile(type, max_n, options);
-  if (g_json) {
-    // The "bounds" object comes after "discerning"/"recording" so their
-    // first occurrence in the document stays the level verdicts (the
-    // golden fixtures are parsed by first occurrence).
-    std::string bounds_json;
-    if (g_bounds_on) bounds_json = ",\"bounds\":" + bounds.render_json();
-    std::printf(
-        "{\"type\":\"%s\",\"readable\":%s,\"max_n\":%d,"
-        "\"discerning\":{\"value\":%d,\"exact\":%s},"
-        "\"recording\":{\"value\":%d,\"exact\":%s}%s}\n",
-        json_escape(p.type_name).c_str(), p.readable ? "true" : "false",
-        max_n, p.discerning.value, p.discerning.exact ? "true" : "false",
-        p.recording.value, p.recording.exact ? "true" : "false",
-        bounds_json.c_str());
-    return 0;
-  }
-  std::printf("type %s (%s)\n", p.type_name.c_str(),
-              p.readable ? "readable" : "NOT readable");
-  std::printf("  discerning level: %s%s\n",
-              p.discerning.to_string().c_str(),
-              p.readable ? "   == consensus number (Ruppert)"
-                         : "   (upper bound on the consensus number)");
-  std::printf("  recording level:  %s%s\n", p.recording.to_string().c_str(),
-              p.readable
-                  ? "   == recoverable consensus number (DFFR + Ovens)"
-                  : "   (upper bound on the recoverable consensus number)");
-  if (g_bounds_on) std::printf("%s", bounds.describe().c_str());
-  return 0;
+  return emit(rcons::serve::run_profile(type, max_n, options));
 }
 
 /// `explain <rule-id>`: the one-paragraph rationale from the registry.
@@ -402,160 +261,6 @@ int cmd_witnesses(const ObjectType& type, int n, const std::string& kind_name,
     std::printf("  %s\n", w.describe(type).c_str());
   }
   return 0;
-}
-
-/// verify: exhaustive safety (three crash modes) + recoverable
-/// wait-freedom, one line (or one JSON object) per check.
-///
-/// Exit code: 0 when every scan completed and found nothing, 1 on any
-/// violation, 3 when a scan was truncated by --max-states without finding
-/// one — INCONCLUSIVE is not SAFE and must not share its exit code.
-int cmd_verify(rcons::exec::Protocol& protocol, const std::string& spec) {
-  using rcons::valency::CrashMode;
-  using rcons::valency::LivenessVerdict;
-  using rcons::valency::SafetyVerdict;
-  namespace valency = rcons::valency;
-  if (g_json) {
-    std::fprintf(stderr, "rcons_cli: verifying protocol %s (%d threads)\n",
-                 protocol.name().c_str(), g_threads);
-  } else {
-    std::printf("protocol %s: %d processes, %d objects\n",
-                protocol.name().c_str(), protocol.process_count(),
-                protocol.object_count());
-  }
-  bool violation = false;
-  bool inconclusive = false;
-  std::string json_safety;
-  struct ModeRow {
-    CrashMode mode;
-    const char* label;  // aligned, for the text table
-    const char* token;  // filesystem/JSON-safe
-  };
-  static constexpr ModeRow kModes[] = {
-      {CrashMode::kNone, "crash-free ", "crash-free"},
-      {CrashMode::kIndividual, "individual ", "individual"},
-      {CrashMode::kBoth, "indiv+simul", "indiv-simul"},
-  };
-  for (const auto& row : kModes) {
-    valency::SafetyOptions options;
-    options.crash_mode = row.mode;
-    options.threads = g_threads;
-    options.reduce_symmetry = g_reduce;
-    if (g_max_states != 0) options.max_states = g_max_states;
-    // Restates check_safety_all_inputs's merge loop (including its orbit
-    // reduction of input vectors) so the violating input VECTOR is in hand
-    // — counterexample capture needs it, and the merged result does not
-    // record it.
-    valency::SafetyResult merged;
-    merged.explored_fully = true;
-    std::vector<int> bad_inputs;
-    for (const auto& inputs :
-         valency::driver_input_vectors(protocol, g_reduce)) {
-      valency::SafetyResult r =
-          valency::check_safety(protocol, inputs, options);
-      merged.states_visited += r.states_visited;
-      merged.configs_visited += r.configs_visited;
-      merged.explored_fully = merged.explored_fully && r.explored_fully;
-      if (!r.ok()) {
-        merged.agreement_ok = r.agreement_ok;
-        merged.validity_ok = r.validity_ok;
-        merged.counterexample = std::move(r.counterexample);
-        merged.violation = std::move(r.violation);
-        bad_inputs = inputs;
-        break;
-      }
-    }
-    const SafetyVerdict verdict = valency::safety_verdict(merged);
-    violation = violation || verdict == SafetyVerdict::kViolation;
-    inconclusive = inconclusive || verdict == SafetyVerdict::kInconclusive;
-    const std::string verdict_name(valency::safety_verdict_name(merged));
-    if (g_json) {
-      if (!json_safety.empty()) json_safety += ',';
-      json_safety += "{\"mode\":\"" + std::string(row.token) +
-                     "\",\"verdict\":\"" + verdict_name +
-                     "\",\"states\":" + std::to_string(merged.states_visited);
-      if (!merged.ok()) {
-        json_safety +=
-            ",\"violation\":\"" + json_escape(merged.violation) +
-            "\",\"schedule\":\"" +
-            json_escape(
-                rcons::exec::schedule_to_string(*merged.counterexample)) +
-            "\"";
-      }
-      json_safety += '}';
-    } else {
-      // A truncated exploration proves nothing: INCONCLUSIVE, never "SAFE".
-      std::printf("  safety  [%s]: %s (%zu states)\n", row.label,
-                  verdict_name.c_str(), merged.states_visited);
-      if (!merged.ok()) {
-        std::printf("    %s\n    schedule: %s\n", merged.violation.c_str(),
-                    rcons::exec::schedule_to_string(*merged.counterexample)
-                        .c_str());
-      }
-    }
-    if (!merged.ok()) {
-      if (auto c = rcons::trace::capture_safety(protocol, bad_inputs,
-                                                merged)) {
-        write_trace(std::move(*c), spec,
-                    std::string("safety-") + row.token);
-      }
-    }
-  }
-  bool stuck = false;
-  bool live_inconclusive = false;
-  std::string json_liveness;
-  for (const auto& inputs :
-       valency::all_binary_inputs(protocol.process_count())) {
-    valency::LivenessOptions options;
-    options.threads = g_threads;
-    options.reduce_symmetry = g_reduce;
-    if (g_max_states != 0) options.max_states = g_max_states;
-    const auto r =
-        valency::check_recoverable_wait_freedom(protocol, inputs, options);
-    switch (valency::liveness_verdict(r)) {
-      case LivenessVerdict::kNotWaitFree: {
-        stuck = true;
-        if (auto c = rcons::trace::capture_liveness(
-                protocol, inputs, r, options.solo_step_bound)) {
-          std::string bits;
-          for (const int b : inputs) bits += static_cast<char>('0' + b);
-          write_trace(std::move(*c), spec, "liveness-i" + bits);
-        }
-        break;
-      }
-      case LivenessVerdict::kInconclusive: live_inconclusive = true; break;
-      case LivenessVerdict::kWaitFree: break;
-    }
-    if (g_json) {
-      std::string bits;
-      for (const int b : inputs) bits += static_cast<char>('0' + b);
-      if (!json_liveness.empty()) json_liveness += ',';
-      json_liveness +=
-          "{\"inputs\":\"" + bits + "\",\"verdict\":\"" +
-          std::string(valency::liveness_verdict_name(r)) + "\"}";
-    }
-  }
-  violation = violation || stuck;
-  inconclusive = inconclusive || live_inconclusive;
-  const char* wait_free =
-      stuck ? "NO" : (live_inconclusive ? "INCONCLUSIVE" : "YES");
-  const char* overall =
-      violation ? "VIOLATION" : (inconclusive ? "INCONCLUSIVE" : "SAFE");
-  const int code = violation ? 1 : (inconclusive ? 3 : 0);
-  if (g_json) {
-    std::printf("{\"protocol\":\"%s\",\"processes\":%d,\"objects\":%d,"
-                "\"safety\":[%s],\"liveness\":[%s],"
-                "\"recoverable_wait_freedom\":\"%s\",\"verdict\":\"%s\","
-                "\"exit_code\":%d}\n",
-                json_escape(protocol.name()).c_str(),
-                protocol.process_count(), protocol.object_count(),
-                json_safety.c_str(), json_liveness.c_str(), wait_free,
-                overall, code);
-  } else {
-    std::printf("  recoverable wait-freedom: %s\n", wait_free);
-    std::printf("  overall: %s\n", overall);
-  }
-  return code;
 }
 
 int cmd_critical(rcons::exec::Protocol& protocol) {
@@ -603,12 +308,8 @@ int cmd_replay(const char* file) {
   std::vector<std::string> tokens;
   std::istringstream spec_stream(c.protocol_spec);
   for (std::string t; spec_stream >> t;) tokens.push_back(t);
-  std::vector<char*> spec_argv;
-  spec_argv.reserve(tokens.size());
-  for (auto& t : tokens) spec_argv.push_back(t.data());
   std::string error;
-  auto protocol = make_protocol(static_cast<int>(spec_argv.size()),
-                                spec_argv.data(), &error);
+  auto protocol = rcons::serve::make_protocol(tokens, &error);
   if (!protocol) return fail(error);
   const rcons::trace::ReplayResult r = rcons::trace::replay(*protocol, c);
   std::printf("%s counterexample, protocol: %s\n",
@@ -630,10 +331,8 @@ int cmd_replay(const char* file) {
 }
 
 int cmd_lint(int argc, char** argv) {
-  using rcons::analysis::Report;
   using rcons::analysis::Severity;
 
-  const bool json = g_json;
   Severity threshold = Severity::kError;
   std::vector<std::string> targets;
   for (int i = 0; i < argc; ++i) {
@@ -649,21 +348,11 @@ int cmd_lint(int argc, char** argv) {
       return cmd_explain(arg.substr(10));
     }
     if (arg.rfind("--threshold=", 0) == 0) {
-      const std::string level = arg.substr(12);
-      if (level == "error") {
-        threshold = Severity::kError;
-      } else if (level == "warning") {
-        threshold = Severity::kWarning;
-      } else if (level == "note") {
-        threshold = Severity::kNote;
-      } else {
-        return fail("unknown threshold '" + level + "'");
+      if (!rcons::serve::parse_severity(arg.substr(12), &threshold)) {
+        return fail("unknown threshold '" + arg.substr(12) + "'");
       }
     } else if (arg == "protocol") {
-      // The rest of the argv names one protocol; lint it and stop. The
-      // protocol front end runs both the PL lint and the RC recovery
-      // audit (DESIGN.md §8). All progress goes to stderr so
-      // --format=json keeps stdout machine-parseable.
+      // The rest of the argv names one protocol; lint it and stop.
       std::string error;
       auto protocol = make_protocol(argc - i - 1, argv + i + 1, &error);
       if (!protocol) return fail(error);
@@ -672,33 +361,9 @@ int cmd_lint(int argc, char** argv) {
         if (j > i + 1) spec += ' ';
         spec += argv[j];
       }
-      targets.clear();
-      std::fprintf(stderr, "rcons_cli: linting protocol %s (PL rules)\n",
-                   protocol->name().c_str());
-      Report report = rcons::analysis::lint_protocol(*protocol);
-      std::fprintf(stderr,
-                   "rcons_cli: auditing protocol %s (RC rules, %d threads)\n",
-                   protocol->name().c_str(), g_threads);
-      rcons::analysis::RecoveryAuditOptions audit_options;
-      audit_options.threads = g_threads;
-      auto audited =
-          rcons::analysis::audit_recovery_traced(*protocol, audit_options);
-      report.merge(std::move(audited.report));
-      int seq = 0;
-      for (auto& c : audited.counterexamples) {
-        std::string rule = c.rule;
-        for (auto& ch : rule) {
-          ch = static_cast<char>(
-              std::tolower(static_cast<unsigned char>(ch)));
-        }
-        write_trace(std::move(c), spec,
-                    "rc-" + std::to_string(seq++) + "-" + rule);
-      }
-      report.canonicalize();
-      std::printf("%s", json ? report.render_json().c_str()
-                             : report.render_text().c_str());
-      if (json) std::printf("\n");
-      return report.has_findings_at_least(threshold) ? 1 : 0;
+      return emit(rcons::serve::run_lint_protocol(*protocol, spec,
+                                                  threshold,
+                                                  engine_options()));
     } else if (arg.rfind("--", 0) == 0) {
       return fail("unknown lint flag '" + arg + "'");
     } else {
@@ -709,42 +374,8 @@ int cmd_lint(int argc, char** argv) {
     return fail("lint needs at least one <type>, .type file, or "
                 "'protocol <spec...>'");
   }
-
-  Report report;
-  for (const std::string& target : targets) {
-    // Files get the text front end (sees duplicate rows and `initial`);
-    // catalog names lint the built ObjectType directly. Both also run the
-    // SA bounds pass: its findings are structural facts about the type and
-    // belong in the same report (all kNote, so they never gate a run at
-    // the default threshold).
-    if (catalog().count(target) != 0) {
-      const ObjectType type = catalog().at(target)();
-      report.merge(rcons::analysis::lint_type(
-          type, rcons::analysis::TypeLintOptions{}));
-      report.merge(rcons::analysis::analyze_static_bounds(type).findings);
-      continue;
-    }
-    std::ifstream in(target);
-    if (!in) {
-      return fail("unknown type '" + target + "' (not a catalog name; file "
-                  "not readable)");
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    report.merge(rcons::analysis::lint_type_text(buffer.str(), target));
-    const rcons::spec::ParseResult parsed =
-        rcons::spec::parse_type(buffer.str());
-    if (parsed.ok()) {
-      report.merge(
-          rcons::analysis::analyze_static_bounds(*parsed.type, target)
-              .findings);
-    }
-  }
-  report.canonicalize();
-  std::printf("%s", json ? report.render_json().c_str()
-                         : report.render_text().c_str());
-  if (json) std::printf("\n");
-  return report.has_findings_at_least(threshold) ? 1 : 0;
+  return emit(rcons::serve::run_lint_types(targets, threshold,
+                                           engine_options()));
 }
 
 int cmd_search(int restarts, int mutations, std::uint64_t seed) {
@@ -766,18 +397,126 @@ int cmd_search(int restarts, int mutations, std::uint64_t seed) {
   return 0;
 }
 
+/// `serve`: the long-running verdict daemon (DESIGN.md §12). Runs until
+/// SIGINT/SIGTERM; everything it says goes to stderr, so stdout stays
+/// pure under --format=json (it simply stays empty).
+int cmd_serve(int argc, char** argv) {
+  std::string socket_path;
+  int port = -1;
+  int workers = 4;
+  std::size_t queue_depth = 64;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto uint_value = [&](std::size_t prefix_len,
+                                long long* out) {
+      const std::string value = arg.substr(prefix_len);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+      }
+      *out = std::atoll(value.c_str());
+      return true;
+    };
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+      if (socket_path.empty()) return fail("--socket wants a path");
+      continue;
+    }
+    if (arg.rfind("--port=", 0) == 0) {
+      long long value = 0;
+      if (!uint_value(7, &value) || value > 65535) {
+        return fail("--port wants a port number (0 = ephemeral)");
+      }
+      port = static_cast<int>(value);
+      continue;
+    }
+    if (arg.rfind("--workers=", 0) == 0) {
+      long long value = 0;
+      if (!uint_value(10, &value) || value < 1 || value > 1024) {
+        return fail("--workers wants a count in [1, 1024]");
+      }
+      workers = static_cast<int>(value);
+      continue;
+    }
+    if (arg.rfind("--queue-depth=", 0) == 0) {
+      long long value = 0;
+      if (!uint_value(14, &value) || value < 1) {
+        return fail("--queue-depth wants a count >= 1");
+      }
+      queue_depth = static_cast<std::size_t>(value);
+      continue;
+    }
+    return fail("unknown serve flag '" + arg + "'");
+  }
+  if (socket_path.empty() == (port < 0)) {
+    return fail("serve wants exactly one of --socket=PATH or --port=N");
+  }
+
+  rcons::serve::ServiceOptions service_options;
+  service_options.default_threads = g_threads;
+  service_options.reduce = g_reduce;
+  service_options.bounds = g_bounds_on;
+  service_options.max_states_cap = g_max_states;
+  if (g_cache_on) {
+    service_options.cache_dir =
+        g_cache_dir.empty()
+            ? rcons::reduction::VerdictCache::default_directory()
+            : g_cache_dir;
+  }
+  rcons::serve::Service service(std::move(service_options));
+
+  rcons::serve::ServerOptions server_options;
+  server_options.unix_path = socket_path;
+  server_options.tcp_port = port;
+  server_options.workers = workers;
+  server_options.queue_depth = queue_depth;
+
+  // Shutdown signals are handled synchronously via sigwait; the mask is
+  // set before the server spawns threads so they all inherit it. SIGPIPE
+  // is ignored: a client hanging up mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  rcons::serve::Server server(service, server_options);
+  std::string error;
+  if (!server.start(&error)) return fail(error);
+  if (socket_path.empty()) {
+    std::fprintf(stderr,
+                 "rcons_cli: serving on 127.0.0.1:%d (workers=%d, "
+                 "queue-depth=%zu)\n",
+                 server.port(), workers, queue_depth);
+  } else {
+    std::fprintf(stderr,
+                 "rcons_cli: serving on unix:%s (workers=%d, "
+                 "queue-depth=%zu)\n",
+                 socket_path.c_str(), workers, queue_depth);
+  }
+  int signal_number = 0;
+  sigwait(&mask, &signal_number);
+  std::fprintf(stderr, "rcons_cli: signal %d, shutting down\n",
+               signal_number);
+  server.stop();
+  server.wait();
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
                  "list|show|export|dot|profile|witnesses|verify|critical|"
-                 "search|lint|explain|replay ...\n"
+                 "search|lint|explain|replay|serve ...\n"
                  "(see the header of tools/rcons_cli.cpp)\n");
     return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
+  if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
   if (cmd == "explain") {
     if (argc < 3) return fail("explain <rule-id> (e.g. TS001, RC002, SA007)");
     return cmd_explain(argv[2]);
@@ -802,7 +541,8 @@ int dispatch(int argc, char** argv) {
         if (i > 2) spec += ' ';
         spec += argv[i];
       }
-      return cmd_verify(*protocol, spec);
+      return emit(rcons::serve::run_verify(*protocol, spec,
+                                           engine_options()));
     }
     if (cmd == "chain") return cmd_chain(*protocol);
     return cmd_critical(*protocol);
@@ -811,7 +551,9 @@ int dispatch(int argc, char** argv) {
   if (argc < 3) return fail("command '" + cmd + "' needs a type argument");
   ObjectType type;
   std::string error;
-  if (!resolve_type(argv[2], &type, &error)) return fail(error);
+  if (!rcons::serve::resolve_type(argv[2], &type, &error)) {
+    return fail(error);
+  }
 
   if (cmd == "show") {
     std::printf("%s", type.describe().c_str());

@@ -1,0 +1,283 @@
+// rcons_loadgen — closed-loop load generator for the rcons-serve daemon
+// (DESIGN.md §12).
+//
+//   rcons_loadgen (--socket=PATH | --port=N)
+//                 [--clients=N] [--requests=N]
+//                 [--command=ping|profile|verify|lint]
+//                 [--target=TYPE] [--spec="cas 2"] [--max-n=N]
+//                 [--metrics-out=F] [--spans-out=F]
+//
+// Spawns N clients, each with its own connection, each sending
+// `--requests` requests back-to-back (one outstanding per connection) and
+// timing every round trip. Prints one JSON summary line to stdout:
+// throughput (requests/s), latency percentiles (p50/p90/p99/max in
+// microseconds), and a per-status response census. After the run it asks
+// the daemon for its metrics and spans documents and writes them to the
+// --*-out files (the CI serve-roundtrip job validates both and gates on
+// zero admission rejections).
+//
+// Exit code: 0 when every request got a response and none came back with
+// status "error"; 1 otherwise. "violation"/"inconclusive" statuses are
+// legitimate verdicts, not load-generator failures.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.hpp"
+#include "util/socket.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+struct Options {
+  std::string socket_path;
+  int port = -1;
+  int clients = 8;
+  int requests = 50;
+  std::string command = "ping";
+  std::string target;
+  std::string spec;
+  int max_n = 0;
+  std::string metrics_out;
+  std::string spans_out;
+};
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "rcons_loadgen: %s\n", message.c_str());
+  return 2;
+}
+
+int connect(const Options& options) {
+  return options.socket_path.empty()
+             ? rcons::util::connect_tcp(options.port)
+             : rcons::util::connect_unix(options.socket_path);
+}
+
+/// Builds the request line (without the newline) for client `client`,
+/// request `seq`. Ids are unique per request so responses correlate.
+std::string build_request(const Options& options, int client, int seq) {
+  std::string line = "{\"id\":\"c" + std::to_string(client) + "-" +
+                     std::to_string(seq) + "\",\"command\":\"" +
+                     rcons::json_escape(options.command) + "\"";
+  if (!options.target.empty()) {
+    line += ",\"target\":\"" + rcons::json_escape(options.target) + "\"";
+  }
+  if (!options.spec.empty()) {
+    line += ",\"spec\":\"" + rcons::json_escape(options.spec) + "\"";
+  }
+  if (options.max_n > 0) {
+    line += ",\"max_n\":" + std::to_string(options.max_n);
+  }
+  return line + "}";
+}
+
+/// Pulls `"status":"<value>"` out of a response line ("" if absent).
+std::string response_status(const std::string& line) {
+  const std::string needle = "\"status\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+struct ClientTally {
+  std::vector<std::int64_t> latencies_us;
+  std::size_t ok = 0, violation = 0, error = 0, inconclusive = 0;
+  std::size_t transport_errors = 0;
+};
+
+void run_client(const Options& options, int client, ClientTally* tally) {
+  const int fd = connect(options);
+  if (fd < 0) {
+    tally->transport_errors += static_cast<std::size_t>(options.requests);
+    return;
+  }
+  rcons::util::LineReader reader(fd, 1 << 20);
+  for (int seq = 0; seq < options.requests; ++seq) {
+    const std::string request = build_request(options, client, seq) + "\n";
+    const auto sent = std::chrono::steady_clock::now();
+    if (!rcons::util::write_all(fd, request)) {
+      tally->transport_errors +=
+          static_cast<std::size_t>(options.requests - seq);
+      break;
+    }
+    std::string line;
+    if (reader.read_line(&line) != rcons::util::LineReader::Status::kLine) {
+      tally->transport_errors +=
+          static_cast<std::size_t>(options.requests - seq);
+      break;
+    }
+    const auto received = std::chrono::steady_clock::now();
+    tally->latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(received -
+                                                              sent)
+            .count());
+    const std::string status = response_status(line);
+    if (status == "ok") ++tally->ok;
+    else if (status == "violation") ++tally->violation;
+    else if (status == "inconclusive") ++tally->inconclusive;
+    else ++tally->error;
+  }
+  rcons::util::shutdown_and_close(fd);
+}
+
+/// One observability request over a fresh connection; returns the
+/// response's "result" payload (which render_response puts last, so the
+/// payload is everything after the first `"result":` up to the line's
+/// closing brace).
+bool fetch_document(const Options& options, const std::string& command,
+                    std::string* out) {
+  const int fd = connect(options);
+  if (fd < 0) return false;
+  const std::string request = "{\"command\":\"" + command + "\"}\n";
+  if (!rcons::util::write_all(fd, request)) {
+    rcons::util::shutdown_and_close(fd);
+    return false;
+  }
+  rcons::util::LineReader reader(fd, 64u << 20);
+  std::string line;
+  const auto status = reader.read_line(&line);
+  rcons::util::shutdown_and_close(fd);
+  if (status != rcons::util::LineReader::Status::kLine) return false;
+  const std::string needle = "\"result\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos || line.empty() || line.back() != '}') {
+    return false;
+  }
+  *out = line.substr(at + needle.size(),
+                     line.size() - (at + needle.size()) - 1);
+  return true;
+}
+
+bool spill(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content << '\n';
+  return true;
+}
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::size_t prefix) {
+      return arg.substr(prefix);
+    };
+    if (arg.rfind("--socket=", 0) == 0) options.socket_path = value(9);
+    else if (arg.rfind("--port=", 0) == 0) {
+      options.port = std::atoi(value(7).c_str());
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      options.clients = std::atoi(value(10).c_str());
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      options.requests = std::atoi(value(11).c_str());
+    } else if (arg.rfind("--command=", 0) == 0) {
+      options.command = value(10);
+    } else if (arg.rfind("--target=", 0) == 0) {
+      options.target = value(9);
+    } else if (arg.rfind("--spec=", 0) == 0) {
+      options.spec = value(7);
+    } else if (arg.rfind("--max-n=", 0) == 0) {
+      options.max_n = std::atoi(value(8).c_str());
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = value(14);
+    } else if (arg.rfind("--spans-out=", 0) == 0) {
+      options.spans_out = value(12);
+    } else {
+      return fail("unknown flag '" + arg + "'");
+    }
+  }
+  if (options.socket_path.empty() == (options.port < 0)) {
+    return fail("wants exactly one of --socket=PATH or --port=N");
+  }
+  if (options.clients < 1 || options.requests < 1) {
+    return fail("--clients and --requests want counts >= 1");
+  }
+
+  std::vector<ClientTally> tallies(
+      static_cast<std::size_t>(options.clients));
+  std::vector<std::thread> threads;
+  const auto started = std::chrono::steady_clock::now();
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back(run_client, options, c,
+                         &tallies[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  const auto finished = std::chrono::steady_clock::now();
+  const std::int64_t wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(finished -
+                                                            started)
+          .count();
+
+  ClientTally total;
+  for (const auto& t : tallies) {
+    total.latencies_us.insert(total.latencies_us.end(),
+                              t.latencies_us.begin(),
+                              t.latencies_us.end());
+    total.ok += t.ok;
+    total.violation += t.violation;
+    total.error += t.error;
+    total.inconclusive += t.inconclusive;
+    total.transport_errors += t.transport_errors;
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const double rps =
+      wall_us > 0 ? static_cast<double>(total.latencies_us.size()) * 1e6 /
+                        static_cast<double>(wall_us)
+                  : 0.0;
+  std::printf(
+      "{\"command\":\"%s\",\"clients\":%d,\"requests_per_client\":%d,"
+      "\"responses\":%zu,\"wall_us\":%lld,\"rps\":%.1f,"
+      "\"latency_us\":{\"p50\":%lld,\"p90\":%lld,\"p99\":%lld,"
+      "\"max\":%lld},\"status\":{\"ok\":%zu,\"violation\":%zu,"
+      "\"inconclusive\":%zu,\"error\":%zu},\"transport_errors\":%zu}\n",
+      rcons::json_escape(options.command).c_str(), options.clients,
+      options.requests, total.latencies_us.size(),
+      static_cast<long long>(wall_us), rps,
+      static_cast<long long>(percentile(total.latencies_us, 0.50)),
+      static_cast<long long>(percentile(total.latencies_us, 0.90)),
+      static_cast<long long>(percentile(total.latencies_us, 0.99)),
+      total.latencies_us.empty() ? 0LL
+                                 : static_cast<long long>(
+                                       total.latencies_us.back()),
+      total.ok, total.violation, total.inconclusive, total.error,
+      total.transport_errors);
+
+  bool spill_failed = false;
+  if (!options.metrics_out.empty()) {
+    std::string doc;
+    if (!fetch_document(options, "metrics", &doc) ||
+        !spill(options.metrics_out, doc)) {
+      std::fprintf(stderr, "rcons_loadgen: cannot fetch/write metrics\n");
+      spill_failed = true;
+    }
+  }
+  if (!options.spans_out.empty()) {
+    std::string doc;
+    if (!fetch_document(options, "spans", &doc) ||
+        !spill(options.spans_out, doc)) {
+      std::fprintf(stderr, "rcons_loadgen: cannot fetch/write spans\n");
+      spill_failed = true;
+    }
+  }
+  return (total.error > 0 || total.transport_errors > 0 || spill_failed)
+             ? 1
+             : 0;
+}
