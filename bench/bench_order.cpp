@@ -1,0 +1,165 @@
+// Experiment: the implements-lattice (DESIGN.md §13). Prints the certified
+// dominance edges over a catalog sweep on startup, then benchmarks (a) the
+// pair analysis itself and (b) the headline pair: a catalog profile sweep
+// with lattice pruning off vs on. The sweep deliberately contains a
+// relabeled duplicate of the most expensive type (cas3) and an embedded
+// sibling pair (register2 within register3), because collapsing relabeled
+// orbits and flowing verdicts along embeddings is exactly what the lattice
+// buys. Bounds are off in both configs so the measured delta is the
+// lattice's alone. Results are recorded in BENCH_model_checker.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/order/lattice.hpp"
+#include "analysis/order/simulation.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "reduction/type_canon.hpp"
+#include "spec/catalog.hpp"
+#include "spec/paper_types.hpp"
+#include "trace/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using rcons::analysis::order::OrderLattice;
+using rcons::hierarchy::compute_profile;
+using rcons::hierarchy::ProfileOptions;
+using rcons::spec::ObjectType;
+
+constexpr int kMaxN = 6;
+
+/// cas3 under a nontrivial relabeling: isomorphic, so the lattice should
+/// decide its entire profile from the original's exploration.
+ObjectType make_cas3_relabeled() {
+  const ObjectType cas3 = rcons::spec::make_cas(3);
+  rcons::reduction::TypeRelabeling perm =
+      rcons::reduction::identity_relabeling(cas3);
+  for (std::size_t i = 0; i < perm.value_perm.size(); ++i) {
+    perm.value_perm[i] =
+        static_cast<int>(perm.value_perm.size() - 1 - i);
+  }
+  return rcons::reduction::relabel_type(cas3, perm, "cas3_relabeled");
+}
+
+std::vector<ObjectType> sweep_types() {
+  return {rcons::spec::make_cas(3),
+          make_cas3_relabeled(),
+          rcons::spec::make_register(3),
+          rcons::spec::make_register(2),
+          rcons::spec::make_test_and_set(),
+          rcons::spec::make_sticky_bit(),
+          rcons::spec::make_consensus_object(2),
+          rcons::spec::make_fetch_and_add(3)};
+}
+
+std::int64_t counter(const char* name) {
+  return rcons::trace::metrics().counter(name);
+}
+
+/// The lattice-on sweep exactly as `order --all` runs it: relate every
+/// pair, then profile in sequence, consulting the implied brackets and
+/// feeding each computed profile back in.
+void lattice_sweep(const std::vector<ObjectType>& types, bool pruning) {
+  OrderLattice lattice;
+  for (const ObjectType& type : types) lattice.add_type(type);
+  if (pruning) lattice.relate_all();
+  for (int i = 0; i < lattice.size(); ++i) {
+    ProfileOptions options;
+    rcons::analysis::LevelBracket discerning;
+    rcons::analysis::LevelBracket recording;
+    if (pruning) {
+      discerning = lattice.implied(i, "discerning");
+      recording = lattice.implied(i, "recording");
+      options.order_discerning = &discerning;
+      options.order_recording = &recording;
+    }
+    const auto profile = compute_profile(lattice.type(i), kMaxN, options);
+    lattice.note_profile(i, profile, kMaxN);
+  }
+}
+
+void print_dominance_table() {
+  const std::vector<ObjectType> types = sweep_types();
+  OrderLattice lattice;
+  for (const ObjectType& type : types) lattice.add_type(type);
+  const int edges = lattice.relate_all();
+  rcons::Table table({"high", "low", "rule", "kind"});
+  for (const auto& e : lattice.edges()) {
+    table.add_row({lattice.name(e.high), lattice.name(e.low), e.cert.rule,
+                   rcons::analysis::order::cert_kind_name(e.cert.kind)});
+  }
+  const std::int64_t pruned0 =
+      counter("order.pruned_lo") + counter("order.pruned_hi");
+  const std::int64_t runs0 = counter("bounds.decider_runs");
+  lattice_sweep(types, true);
+  const std::int64_t pruned =
+      counter("order.pruned_lo") + counter("order.pruned_hi") - pruned0;
+  const std::int64_t runs = counter("bounds.decider_runs") - runs0;
+  std::printf(
+      "order lattice: %d certified edges over %d types; sweep to n=%d "
+      "decided %lld of %lld per-n verdicts from the lattice\n%s\n",
+      edges, lattice.size(), kMaxN, static_cast<long long>(pruned),
+      static_cast<long long>(pruned + runs), table.render().c_str());
+}
+
+const ObjectType g_cas3 = rcons::spec::make_cas(3);
+const ObjectType g_cas3_relabeled = make_cas3_relabeled();
+const ObjectType g_register3 = rcons::spec::make_register(3);
+const ObjectType g_register2 = rcons::spec::make_register(2);
+
+void BM_AnalyzeOrder(benchmark::State& state, const ObjectType& a,
+                     const ObjectType& b) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcons::analysis::order::analyze_order(a, b));
+  }
+}
+
+void BM_CatalogSweep_LatticeOff(benchmark::State& state) {
+  const std::vector<ObjectType> types = sweep_types();
+  for (auto _ : state) {
+    lattice_sweep(types, false);
+  }
+}
+
+// Pair analysis and closure cost are inside the timed region: the claim is
+// that (relate + pruned profiles) beats the plain profiles, not that the
+// lattice is free.
+void BM_CatalogSweep_LatticeOn(benchmark::State& state) {
+  const std::vector<ObjectType> types = sweep_types();
+  const std::int64_t pruned0 =
+      counter("order.pruned_lo") + counter("order.pruned_hi");
+  const std::int64_t runs0 = counter("bounds.decider_runs");
+  for (auto _ : state) {
+    lattice_sweep(types, true);
+  }
+  const double pruned = static_cast<double>(
+      counter("order.pruned_lo") + counter("order.pruned_hi") - pruned0);
+  const double runs =
+      static_cast<double>(counter("bounds.decider_runs") - runs0);
+  state.counters["pruned_verdicts"] =
+      benchmark::Counter(pruned, benchmark::Counter::kAvgIterations);
+  state.counters["decider_runs"] =
+      benchmark::Counter(runs, benchmark::Counter::kAvgIterations);
+  state.counters["prune_rate"] =
+      pruned + runs > 0 ? pruned / (pruned + runs) : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_AnalyzeOrder, cas3_vs_relabeled, g_cas3,
+                  g_cas3_relabeled);
+BENCHMARK_CAPTURE(BM_AnalyzeOrder, register2_vs_register3, g_register2,
+                  g_register3);
+
+BENCHMARK(BM_CatalogSweep_LatticeOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CatalogSweep_LatticeOn)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_dominance_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

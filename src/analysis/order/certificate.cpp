@@ -1,0 +1,272 @@
+#include "analysis/order/certificate.hpp"
+
+#include <cstddef>
+
+#include "analysis/diagnostic.hpp"
+
+namespace rcons::analysis::order {
+
+namespace {
+
+bool reject(std::string* why, const std::string& reason) {
+  if (why != nullptr) {
+    if (!why->empty()) why->append("; ");
+    why->append(reason);
+  }
+  return false;
+}
+
+bool in_range(int id, int count) { return id >= 0 && id < count; }
+
+/// SA001 justification, re-derived: `op` is a constant-response self-loop
+/// at every value of `low`.
+bool is_oblivious(const spec::ObjectType& low, spec::OpId op) {
+  const spec::ResponseId fixed = low.apply(0, op).response;
+  for (spec::ValueId v = 0; v < low.value_count(); ++v) {
+    const spec::Effect& e = low.apply(v, op);
+    if (e.next_value != v || e.response != fixed) return false;
+  }
+  return true;
+}
+
+/// SA002 justification, re-derived: `op` and `twin` have identical
+/// transition rows at every value of `low`.
+bool is_duplicate(const spec::ObjectType& low, spec::OpId op,
+                  spec::OpId twin) {
+  for (spec::ValueId v = 0; v < low.value_count(); ++v) {
+    if (!(low.apply(v, op) == low.apply(v, twin))) return false;
+  }
+  return true;
+}
+
+/// Validates `cert.removed` against low's delta table and fills
+/// `removed_flag`. Each removal must carry a justification that holds: the
+/// SA001/SA002 quotient rules preserve both levels exactly (DESIGN.md §11),
+/// so a low witness restricted to kept ops is still a witness.
+bool check_removals(const spec::ObjectType& low,
+                    const SimulationCertificate& cert,
+                    std::vector<char>& removed_flag, std::string* why) {
+  removed_flag.assign(static_cast<std::size_t>(low.op_count()), 0);
+  for (const OpRemoval& r : cert.removed) {
+    if (!in_range(r.op, low.op_count())) {
+      return reject(why, "removed op id out of range");
+    }
+    if (removed_flag[static_cast<std::size_t>(r.op)] != 0) {
+      return reject(why, "op removed twice");
+    }
+    if (r.duplicate_of == -1) {
+      if (!is_oblivious(low, r.op)) {
+        return reject(why, "removal of '" + low.op_name(r.op) +
+                               "' not justified: op is not oblivious");
+      }
+    } else {
+      if (!in_range(r.duplicate_of, low.op_count()) ||
+          r.duplicate_of == r.op) {
+        return reject(why, "duplicate_of id invalid");
+      }
+      if (!is_duplicate(low, r.op, r.duplicate_of)) {
+        return reject(why, "removal of '" + low.op_name(r.op) +
+                               "' not justified: rows differ from '" +
+                               low.op_name(r.duplicate_of) + "'");
+      }
+    }
+    removed_flag[static_cast<std::size_t>(r.op)] = 1;
+  }
+  // A duplicate's twin must survive the quotient, or the witness rewrite
+  // (replace the removed op by its twin) has nothing to point at.
+  for (const OpRemoval& r : cert.removed) {
+    if (r.duplicate_of >= 0 &&
+        removed_flag[static_cast<std::size_t>(r.duplicate_of)] != 0) {
+      return reject(why, "duplicate_of points at a removed op");
+    }
+  }
+  return true;
+}
+
+/// Shared shape checks for op_map / response_map: kept low ops map into
+/// high's op range (removed ones to -1), response entries are -1 or in
+/// range and the non-(-1) entries are injective (distinct low responses
+/// must stay distinct in high, or response sets that were disjoint in a
+/// low witness could collide in the mapped one).
+bool check_op_and_response_maps(const spec::ObjectType& high,
+                                const spec::ObjectType& low,
+                                const SimulationCertificate& cert,
+                                const std::vector<char>& removed_flag,
+                                std::string* why) {
+  if (static_cast<int>(cert.op_map.size()) != low.op_count()) {
+    return reject(why, "op_map size mismatch");
+  }
+  if (static_cast<int>(cert.response_map.size()) != low.response_count()) {
+    return reject(why, "response_map size mismatch");
+  }
+  for (spec::OpId o = 0; o < low.op_count(); ++o) {
+    const int image = cert.op_map[static_cast<std::size_t>(o)];
+    if (removed_flag[static_cast<std::size_t>(o)] != 0) {
+      if (image != -1) return reject(why, "removed op has an image");
+    } else if (!in_range(image, high.op_count())) {
+      return reject(why, "op_map image out of range for '" + low.op_name(o) +
+                             "'");
+    }
+  }
+  std::vector<char> used(static_cast<std::size_t>(high.response_count()), 0);
+  for (spec::ResponseId r = 0; r < low.response_count(); ++r) {
+    const int image = cert.response_map[static_cast<std::size_t>(r)];
+    if (image == -1) continue;
+    if (!in_range(image, high.response_count())) {
+      return reject(why, "response_map image out of range");
+    }
+    if (used[static_cast<std::size_t>(image)] != 0) {
+      return reject(why, "response_map not injective");
+    }
+    used[static_cast<std::size_t>(image)] = 1;
+  }
+  return true;
+}
+
+bool check_embedding(const spec::ObjectType& high, const spec::ObjectType& low,
+                     const SimulationCertificate& cert,
+                     const std::vector<char>& removed_flag, std::string* why) {
+  if (static_cast<int>(cert.value_map.size()) != low.value_count()) {
+    return reject(why, "value_map size mismatch");
+  }
+  std::vector<char> used(static_cast<std::size_t>(high.value_count()), 0);
+  for (spec::ValueId v = 0; v < low.value_count(); ++v) {
+    const int image = cert.value_map[static_cast<std::size_t>(v)];
+    if (!in_range(image, high.value_count())) {
+      return reject(why, "value_map image out of range");
+    }
+    if (used[static_cast<std::size_t>(image)] != 0) {
+      return reject(why, "value_map not injective");
+    }
+    used[static_cast<std::size_t>(image)] = 1;
+  }
+  for (spec::ValueId v = 0; v < low.value_count(); ++v) {
+    for (spec::OpId o = 0; o < low.op_count(); ++o) {
+      if (removed_flag[static_cast<std::size_t>(o)] != 0) continue;
+      const spec::Effect& e = low.apply(v, o);
+      const int rho = cert.response_map[static_cast<std::size_t>(e.response)];
+      if (rho == -1) {
+        return reject(why, "produced response '" +
+                               low.response_name(e.response) +
+                               "' has no image");
+      }
+      const spec::Effect& eh =
+          high.apply(cert.value_map[static_cast<std::size_t>(v)],
+                     cert.op_map[static_cast<std::size_t>(o)]);
+      if (eh.response != rho ||
+          eh.next_value != cert.value_map[static_cast<std::size_t>(
+                               e.next_value)]) {
+        return reject(why, "delta not preserved at (" + low.value_name(v) +
+                               ", " + low.op_name(o) + ")");
+      }
+    }
+  }
+  return true;
+}
+
+bool check_projection(const spec::ObjectType& high, const spec::ObjectType& low,
+                      const SimulationCertificate& cert,
+                      const std::vector<char>& removed_flag,
+                      std::string* why) {
+  if (static_cast<int>(cert.value_map.size()) != high.value_count()) {
+    return reject(why, "value_map size mismatch");
+  }
+  std::vector<char> hit(static_cast<std::size_t>(low.value_count()), 0);
+  for (spec::ValueId v = 0; v < high.value_count(); ++v) {
+    const int image = cert.value_map[static_cast<std::size_t>(v)];
+    if (!in_range(image, low.value_count())) {
+      return reject(why, "value_map image out of range");
+    }
+    hit[static_cast<std::size_t>(image)] = 1;
+  }
+  for (spec::ValueId v = 0; v < low.value_count(); ++v) {
+    if (hit[static_cast<std::size_t>(v)] == 0) {
+      return reject(why, "value_map not surjective: '" + low.value_name(v) +
+                             "' has no fiber");
+    }
+  }
+  for (spec::ValueId v = 0; v < high.value_count(); ++v) {
+    for (spec::OpId o = 0; o < low.op_count(); ++o) {
+      if (removed_flag[static_cast<std::size_t>(o)] != 0) continue;
+      const spec::Effect& el =
+          low.apply(cert.value_map[static_cast<std::size_t>(v)], o);
+      const int rho = cert.response_map[static_cast<std::size_t>(el.response)];
+      if (rho == -1) {
+        return reject(why, "produced response '" +
+                               low.response_name(el.response) +
+                               "' has no image");
+      }
+      const spec::Effect& eh =
+          high.apply(v, cert.op_map[static_cast<std::size_t>(o)]);
+      if (eh.response != rho ||
+          cert.value_map[static_cast<std::size_t>(eh.next_value)] !=
+              el.next_value) {
+        return reject(why, "delta not preserved at (" + high.value_name(v) +
+                               ", " + low.op_name(o) + ")");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* cert_kind_name(CertKind kind) {
+  return kind == CertKind::kEmbedding ? "embedding" : "projection";
+}
+
+bool verify_certificate(const spec::ObjectType& high,
+                        const spec::ObjectType& low,
+                        const SimulationCertificate& cert, std::string* why) {
+  if (low.value_count() == 0 || high.value_count() == 0) {
+    return reject(why, "empty type");
+  }
+  std::vector<char> removed_flag;
+  if (!check_removals(low, cert, removed_flag, why)) return false;
+  // At least one kept op must remain or the mapped witness has no
+  // operations to assign.
+  if (static_cast<int>(cert.removed.size()) >= low.op_count()) {
+    return reject(why, "no kept ops remain");
+  }
+  if (!check_op_and_response_maps(high, low, cert, removed_flag, why)) {
+    return false;
+  }
+  switch (cert.kind) {
+    case CertKind::kEmbedding:
+      return check_embedding(high, low, cert, removed_flag, why);
+    case CertKind::kProjection:
+      return check_projection(high, low, cert, removed_flag, why);
+  }
+  return reject(why, "unknown certificate kind");
+}
+
+std::string certificate_json(const SimulationCertificate& cert) {
+  std::string out = "{\"rule\":\"" + json_escape(cert.rule) +
+                    "\",\"kind\":\"" + cert_kind_name(cert.kind) +
+                    "\",\"removed\":[";
+  for (std::size_t i = 0; i < cert.removed.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"op\":" + std::to_string(cert.removed[i].op) +
+           ",\"duplicate_of\":" + std::to_string(cert.removed[i].duplicate_of) +
+           "}";
+  }
+  out += "],";
+  const auto append_map = [&out](const char* label,
+                                 const std::vector<int>& map) {
+    out += std::string("\"") + label + "\":[";
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(map[i]);
+    }
+    out += "]";
+  };
+  append_map("value_map", cert.value_map);
+  out += ",";
+  append_map("op_map", cert.op_map);
+  out += ",";
+  append_map("response_map", cert.response_map);
+  out += "}";
+  return out;
+}
+
+}  // namespace rcons::analysis::order

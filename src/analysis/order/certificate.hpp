@@ -1,0 +1,105 @@
+// Machine-checkable certificates for cross-type simulation facts
+// (DESIGN.md §13).
+//
+// Every ordering fact the order analysis derives — "high simulates low,
+// hence cons(high) >= cons(low) and rcons(high) >= rcons(low)" — is backed
+// by an explicit witness map between the two delta tables. The search
+// (simulation.cpp) finds the maps; verify_certificate() here re-validates
+// them from scratch against the raw spec::ObjectType tables, deliberately
+// sharing no code with the search, so an unsound search bug cannot smuggle
+// a wrong fact into the lattice, the verdict cache, or the profile scans.
+// This is the same independence discipline PR 2 (serial vs parallel), PR 5
+// (reduced vs naive), and PR 6 (brackets vs deciders) established.
+//
+// Two certificate kinds cover all four SA009-SA012 rules:
+//
+//   * kEmbedding — an injective value map iota: V_low -> V_high, an op map
+//     sigma: kept Ops_low -> Ops_high (NOT required injective: witness
+//     assignments may hand the same operation to several processes), and a
+//     response map rho injective on the responses low actually produces,
+//     with delta preservation
+//         delta_high(iota(v), sigma(o)) = (rho(r), iota(v'))
+//         where (r, v') = delta_low(v, o)
+//     for every low value v and kept op o. Any n-discerning / n-recording
+//     witness of low then maps verbatim to one of high.
+//
+//   * kProjection — a surjective value map pi: V_high -> V_low with
+//     sigma: kept Ops_low -> Ops_high and response map rho such that for
+//     every HIGH value v and kept low op o
+//         pi(delta_high(v, sigma(o)).next) = delta_low(pi(v), o).next and
+//         delta_high(v, sigma(o)).response = rho(delta_low(pi(v), o).resp).
+//     A low witness lifts through any fiber of pi (e.g. high = low x C
+//     restricted to a component: drop the extra coordinate).
+//
+// `removed` lists low-side operations dropped before mapping, each justified
+// by PR 6's level-preserving quotient rules: SA001 (oblivious: constant-
+// response self-loop everywhere) or SA002 (duplicate of an earlier kept
+// op). Removals are only ever needed on the low side — a removed op needs
+// no image — and the checker re-derives each justification from low's
+// delta table rather than trusting the search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::analysis::order {
+
+/// One low-side operation dropped before mapping, with its SA001/SA002
+/// justification: duplicate_of == -1 means oblivious (SA001), otherwise
+/// the earlier kept op whose transition rows it duplicates (SA002).
+struct OpRemoval {
+  spec::OpId op = 0;
+  spec::OpId duplicate_of = -1;
+
+  friend bool operator==(const OpRemoval&, const OpRemoval&) = default;
+};
+
+enum class CertKind {
+  kEmbedding,
+  kProjection,
+};
+
+const char* cert_kind_name(CertKind kind);
+
+/// The full witness for one directed fact "high >= low". `rule` is the
+/// SA009-SA012 registry id that produced it (certificates are checked
+/// identically regardless of rule; the id records provenance).
+struct SimulationCertificate {
+  std::string rule;
+  CertKind kind = CertKind::kEmbedding;
+  /// Low-side quotient removals applied before mapping (empty for SA009,
+  /// SA010, and SA012; non-empty exactly for SA011).
+  std::vector<OpRemoval> removed;
+  /// kEmbedding: value_map[v_low] = v_high (injective).
+  /// kProjection: value_map[v_high] = v_low (surjective).
+  std::vector<int> value_map;
+  /// op_map[o_low] = o_high for kept low ops; -1 for removed ones.
+  std::vector<int> op_map;
+  /// response_map[r_low] = r_high for responses low's kept ops produce
+  /// (injective on those); -1 for responses never produced.
+  std::vector<int> response_map;
+
+  friend bool operator==(const SimulationCertificate&,
+                         const SimulationCertificate&) = default;
+};
+
+/// Re-validates `cert` as a witness for "high >= low" from the two delta
+/// tables alone. Shares no code with the search in simulation.cpp (see
+/// file comment). On failure returns false and, when `why` is non-null,
+/// appends a one-line reason. Never aborts on malformed certificates —
+/// out-of-range ids are rejections, not programming errors, so corrupted
+/// or adversarial certificates degrade to "fact unusable".
+bool verify_certificate(const spec::ObjectType& high,
+                        const spec::ObjectType& low,
+                        const SimulationCertificate& cert,
+                        std::string* why = nullptr);
+
+/// JSON rendering of one certificate:
+///   {"rule":"SA009","kind":"embedding","removed":[{"op":N,
+///    "duplicate_of":N|-1},...],"value_map":[...],"op_map":[...],
+///    "response_map":[...]}
+std::string certificate_json(const SimulationCertificate& cert);
+
+}  // namespace rcons::analysis::order

@@ -1,0 +1,234 @@
+#include "analysis/order/lattice.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+
+#include "analysis/diagnostic.hpp"
+#include "reduction/type_canon.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::analysis::order {
+
+int OrderLattice::add_type(const spec::ObjectType& type,
+                           const std::string& name) {
+  Node node;
+  node.type = type;
+  node.name = name.empty() ? type.name() : name;
+  const reduction::CanonicalForm canon = reduction::canonicalize_type(type);
+  node.key = canon.key;
+  node.key_hash = canon.hash;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int OrderLattice::relate_all(const OrderSearchOptions& options) {
+  int installed = 0;
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      const OrderAnalysis analysis =
+          analyze_order(nodes_[i].type, nodes_[j].type, options,
+                        nodes_[i].name, nodes_[j].name);
+      budget_exhausted_ = budget_exhausted_ || analysis.budget_exhausted;
+      for (const OrderRelation& r : analysis.relations) {
+        const int high = r.high == 0 ? i : j;
+        const int low = r.low == 0 ? i : j;
+        if (add_relation(high, low, r.cert)) ++installed;
+      }
+      findings_.merge(analysis.findings);
+    }
+  }
+  findings_.canonicalize();
+  return installed;
+}
+
+bool OrderLattice::add_relation(int high, int low,
+                                const SimulationCertificate& cert) {
+  RCONS_CHECK(high >= 0 && high < size() && low >= 0 && low < size() &&
+              high != low);
+  for (const LatticeEdge& e : edges_) {
+    if (e.high == high && e.low == low) return false;  // one hop suffices
+  }
+  // Independence gate: only checker-validated certificates become edges,
+  // regardless of where the caller got them.
+  if (!verify_certificate(nodes_[high].type, nodes_[low].type, cert)) {
+    return false;
+  }
+  edges_.push_back({high, low, cert});
+  return true;
+}
+
+std::vector<std::string> OrderLattice::reach(int start, bool down) const {
+  std::vector<std::string> tag(static_cast<std::size_t>(size()));
+  tag[static_cast<std::size_t>(start)] = "=";
+  std::deque<int> queue{start};
+  while (!queue.empty()) {
+    const int current = queue.front();
+    queue.pop_front();
+    for (const LatticeEdge& e : edges_) {
+      const int from = down ? e.high : e.low;
+      const int to = down ? e.low : e.high;
+      if (from != current || !tag[static_cast<std::size_t>(to)].empty()) {
+        continue;
+      }
+      // The tag records the rule of the edge adjacent to `start` on the
+      // BFS shortest path — the provenance a seeded verdict reports.
+      tag[static_cast<std::size_t>(to)] =
+          current == start ? e.cert.rule
+                           : tag[static_cast<std::size_t>(current)];
+      queue.push_back(to);
+    }
+  }
+  tag[static_cast<std::size_t>(start)].clear();  // exclude self
+  return tag;
+}
+
+bool OrderLattice::dominates(int high, int low) const {
+  if (high == low) return true;
+  return !reach(high, true)[static_cast<std::size_t>(low)].empty();
+}
+
+const std::vector<int>& OrderLattice::noted(const Node& node,
+                                            const char* kind) const {
+  return std::strcmp(kind, "recording") == 0 ? node.noted_recording
+                                             : node.noted_discerning;
+}
+
+std::vector<int>& OrderLattice::noted(Node& node, const char* kind) {
+  return std::strcmp(kind, "recording") == 0 ? node.noted_recording
+                                             : node.noted_discerning;
+}
+
+void OrderLattice::note_verdict(int node, const char* kind, int n,
+                                bool holds) {
+  RCONS_CHECK(node >= 0 && node < size() && n >= 2);
+  std::vector<int>& verdicts = noted(nodes_[static_cast<std::size_t>(node)],
+                                     kind);
+  if (static_cast<int>(verdicts.size()) <= n) {
+    verdicts.resize(static_cast<std::size_t>(n) + 1, -1);
+  }
+  verdicts[static_cast<std::size_t>(n)] = holds ? 1 : 0;
+}
+
+void OrderLattice::note_profile(int node,
+                                const hierarchy::TypeProfile& profile,
+                                int max_n) {
+  const auto note_level = [&](const char* kind,
+                              const hierarchy::Level& level) {
+    for (int n = 2; n <= level.value && n <= max_n; ++n) {
+      note_verdict(node, kind, n, true);
+    }
+    if (level.exact) {
+      for (int n = level.value + 1; n <= max_n; ++n) {
+        note_verdict(node, kind, n, false);
+      }
+    }
+  };
+  note_level("discerning", profile.discerning);
+  note_level("recording", profile.recording);
+}
+
+analysis::LevelBracket OrderLattice::implied(int node,
+                                             const char* kind) const {
+  analysis::LevelBracket bracket;
+  // holds = 1 flows upward from dominated nodes; holds = 0 flows downward
+  // from dominators. Monotonicity (a witness at n restricts to any m < n)
+  // makes the max-1 / min-0 fold sound.
+  const std::vector<std::string> below = reach(node, true);
+  const std::vector<std::string> above = reach(node, false);
+  for (int other = 0; other < size(); ++other) {
+    const Node& source = nodes_[static_cast<std::size_t>(other)];
+    const std::vector<int>& verdicts = noted(source, kind);
+    if (!below[static_cast<std::size_t>(other)].empty()) {
+      for (int n = static_cast<int>(verdicts.size()) - 1; n >= 2; --n) {
+        if (verdicts[static_cast<std::size_t>(n)] == 1 && n > bracket.lo) {
+          bracket.lo = n;
+          bracket.lo_by = below[static_cast<std::size_t>(other)];
+          break;
+        }
+      }
+    }
+    if (!above[static_cast<std::size_t>(other)].empty()) {
+      for (int n = 2; n < static_cast<int>(verdicts.size()); ++n) {
+        if (verdicts[static_cast<std::size_t>(n)] == 0 &&
+            n - 1 < bracket.hi) {
+          bracket.hi = n - 1;
+          bracket.hi_by = above[static_cast<std::size_t>(other)];
+          break;
+        }
+      }
+    }
+  }
+  // lo > hi would mean a certified chain contradicts an explored verdict —
+  // unsoundness somewhere. The golden-corpus consistency test exists to
+  // keep this check untrippable.
+  RCONS_CHECK(bracket.lo <= bracket.hi);
+  return bracket;
+}
+
+int OrderLattice::propagate(const reduction::VerdictCache& cache,
+                            int max_n) const {
+  if (!cache.enabled()) return 0;
+  int written = 0;
+  for (int node = 0; node < size(); ++node) {
+    for (const char* kind : {"discerning", "recording"}) {
+      const analysis::LevelBracket bracket = implied(node, kind);
+      for (int n = 2; n <= max_n; ++n) {
+        if (!bracket.decides(n)) continue;
+        const std::string key =
+            hierarchy::verdict_cache_key(kind, n, canon_key(node));
+        if (cache.lookup(key).has_value()) continue;  // lookup-then-store
+        cache.store(key,
+                    std::string(bracket.verdict(n) ? "holds=1" : "holds=0") +
+                        "|by=" + bracket.decided_by(n));
+        ++written;
+      }
+    }
+  }
+  return written;
+}
+
+std::string OrderLattice::dominance_json() const {
+  std::string out = "{\"nodes\":[";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) out += ",";
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      nodes_[static_cast<std::size_t>(i)].key_hash));
+    out += "{\"name\":\"" + json_escape(name(i)) + "\",\"key_hash\":\"" +
+           hash + "\"}";
+  }
+  out += "],\"edges\":[";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"high\":" + std::to_string(edges_[i].high) +
+           ",\"low\":" + std::to_string(edges_[i].low) + ",\"rule\":\"" +
+           edges_[i].cert.rule + "\",\"kind\":\"" +
+           cert_kind_name(edges_[i].cert.kind) + "\"}";
+  }
+  int closure = 0;
+  for (int i = 0; i < size(); ++i) {
+    const std::vector<std::string> below = reach(i, true);
+    for (int j = 0; j < size(); ++j) {
+      if (!below[static_cast<std::size_t>(j)].empty()) ++closure;
+    }
+  }
+  out += "],\"closure_pairs\":" + std::to_string(closure) + "}";
+  return out;
+}
+
+std::string OrderLattice::dominance_dot() const {
+  std::string out = "digraph order {\n  rankdir=BT;\n";
+  for (int i = 0; i < size(); ++i) {
+    out += "  \"" + name(i) + "\";\n";
+  }
+  for (const LatticeEdge& e : edges_) {
+    out += "  \"" + name(e.high) + "\" -> \"" + name(e.low) +
+           "\" [label=\"" + e.cert.rule + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rcons::analysis::order

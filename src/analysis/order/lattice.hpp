@@ -1,0 +1,132 @@
+// The implements-lattice: certified simulation facts over a set of types,
+// with transitive verdict propagation (DESIGN.md §13).
+//
+// Nodes are types; a directed edge high -> low is one certificate-backed
+// fact "high simulates low" (SA009-SA012), re-validated through the
+// independent verify_certificate() checker on intake — an edge that fails
+// validation is refused, so everything downstream (reachability, implied
+// brackets, cache seeding) rests only on checked certificates. Facts
+// compose transitively: a certified path high -> ... -> low carries
+// cons(high) >= cons(low) and rcons(high) >= rcons(low) because each hop
+// does.
+//
+// Explored per-n verdicts feed the lattice via note_verdict/note_profile,
+// and flow along the closure in the sound directions only:
+//
+//   holds(low, n) = 1   =>  holds(high, n) = 1  for every dominator high,
+//   holds(high, n) = 0  =>  holds(low, n) = 0   for every dominated low.
+//
+// implied() folds the propagated facts into the same analysis::LevelBracket
+// the static-bounds pass produces, so the hierarchy scans consume lattice
+// facts through the identical skip-plus-provenance path as `--bounds`
+// (ProfileOptions::order_discerning / order_recording), and propagate()
+// seeds the persistent VerdictCache with "holds=X|by=SA0xx" entries under
+// the exact keys the profile scans read back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/order/simulation.hpp"
+#include "analysis/static_bounds/static_bounds.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "reduction/verdict_cache.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::analysis::order {
+
+/// One certified direct edge: node `high` simulates node `low`.
+struct LatticeEdge {
+  int high = 0;
+  int low = 0;
+  SimulationCertificate cert;
+};
+
+class OrderLattice {
+ public:
+  /// Adds a node and returns its id. `name` overrides type.name() for
+  /// reports (the CLI passes file paths for file targets).
+  int add_type(const spec::ObjectType& type, const std::string& name = "");
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const std::string& name(int node) const { return nodes_[node].name; }
+  const spec::ObjectType& type(int node) const { return nodes_[node].type; }
+  /// The node's canonical type key — also the verdict-cache spec key.
+  const std::string& canon_key(int node) const { return nodes_[node].key; }
+
+  /// Runs analyze_order over every unordered node pair and installs each
+  /// certified relation. Returns the number of direct edges installed.
+  /// The merged findings of all pair analyses land in `findings()`.
+  int relate_all(const OrderSearchOptions& options = {});
+
+  /// Installs one fact "high simulates low" after re-validating `cert`
+  /// through the independent checker; returns false (installing nothing)
+  /// when validation fails. Parallel edges between the same pair are
+  /// dropped (the first certificate wins; one certified hop suffices).
+  bool add_relation(int high, int low, const SimulationCertificate& cert);
+
+  const std::vector<LatticeEdge>& edges() const { return edges_; }
+  const Report& findings() const { return findings_; }
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+  /// True iff a certified path high -> low exists (including high == low).
+  bool dominates(int high, int low) const;
+
+  /// Records an explored per-n verdict for `node`. `kind` is "discerning"
+  /// or "recording".
+  void note_verdict(int node, const char* kind, int n, bool holds);
+
+  /// Records every per-n fact a computed profile implies up to `max_n`:
+  /// holds = 1 for n in [2, level], and — when the level is exact —
+  /// holds = 0 for n in (level, max_n].
+  void note_profile(int node, const hierarchy::TypeProfile& profile,
+                    int max_n);
+
+  /// The bracket the noted verdicts of OTHER nodes imply for `node`
+  /// through the closure (a node's own verdicts are excluded: implied()
+  /// exists to prune the node's own exploration, which must not consume
+  /// its own output). lo_by/hi_by carry the rule of the edge adjacent to
+  /// `node` on a shortest certified path to the deciding node.
+  analysis::LevelBracket implied(int node, const char* kind) const;
+
+  /// Seeds `cache` with "holds=X|by=SA0xx" entries (lookup-then-store,
+  /// like the bounds seeding) for every (node, kind, n <= max_n) the
+  /// closure decides. Returns the number of entries written.
+  int propagate(const reduction::VerdictCache& cache, int max_n) const;
+
+  /// The dominance graph as JSON:
+  ///   {"nodes":[{"name":..,"key_hash":".."},..],
+  ///    "edges":[{"high":..,"low":..,"rule":..,"kind":..},..],
+  ///    "closure_pairs":N}
+  std::string dominance_json() const;
+
+  /// The dominance graph as Graphviz dot (edges labelled by rule).
+  std::string dominance_dot() const;
+
+ private:
+  struct Node {
+    spec::ObjectType type;
+    std::string name;
+    std::string key;
+    std::uint64_t key_hash = 0;
+    /// noted[kind][n] for n <= noted cap: -1 unknown, 0/1 verdict.
+    std::vector<int> noted_discerning;
+    std::vector<int> noted_recording;
+  };
+
+  const std::vector<int>& noted(const Node& node, const char* kind) const;
+  std::vector<int>& noted(Node& node, const char* kind);
+
+  /// BFS over direct edges from `start`, following edges high -> low when
+  /// `down` is true (dominated nodes) and low -> high otherwise
+  /// (dominators). Returns, per node, the rule of the edge adjacent to
+  /// `start` on a shortest path (empty = unreachable; "=" for start).
+  std::vector<std::string> reach(int start, bool down) const;
+
+  std::vector<Node> nodes_;
+  std::vector<LatticeEdge> edges_;
+  Report findings_;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace rcons::analysis::order

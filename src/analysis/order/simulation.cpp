@@ -1,0 +1,481 @@
+#include "analysis/order/simulation.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "analysis/rules.hpp"
+#include "reduction/type_canon.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::analysis::order {
+
+namespace {
+
+using spec::Effect;
+using spec::ObjectType;
+using spec::OpId;
+using spec::ResponseId;
+using spec::ValueId;
+
+// ---- shared search bookkeeping ------------------------------------------
+
+/// Node budget shared across every search of one analyze_order call.
+/// Exceeding it aborts the current search tree; the caller reports fewer
+/// relations and sets budget_exhausted (incomplete, never unsound).
+struct Budget {
+  std::uint64_t limit = 0;
+  std::uint64_t nodes = 0;
+  bool exhausted = false;
+
+  bool spend() {
+    if (++nodes > limit) {
+      exhausted = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+int distinct_responses(const ObjectType& t, OpId o) {
+  std::vector<char> seen(static_cast<std::size_t>(t.response_count()), 0);
+  int count = 0;
+  for (ValueId v = 0; v < t.value_count(); ++v) {
+    const ResponseId r = t.apply(v, o).response;
+    if (seen[static_cast<std::size_t>(r)] == 0) {
+      seen[static_cast<std::size_t>(r)] = 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// The SA001/SA002 level-preserving quotient removals of `t`, re-deriving
+/// PR 6's criteria (static_bounds): oblivious ops, then ops whose rows
+/// duplicate an earlier kept op. verify_certificate() re-justifies every
+/// removal independently, so agreement with static_bounds is a convenience,
+/// not a soundness dependency.
+std::vector<OpRemoval> quotient_removals(const ObjectType& t) {
+  std::vector<OpRemoval> out;
+  std::vector<char> removed(static_cast<std::size_t>(t.op_count()), 0);
+  for (OpId o = 0; o < t.op_count(); ++o) {
+    bool oblivious = true;
+    const ResponseId fixed = t.apply(0, o).response;
+    for (ValueId v = 0; v < t.value_count() && oblivious; ++v) {
+      const Effect& e = t.apply(v, o);
+      oblivious = e.next_value == v && e.response == fixed;
+    }
+    if (oblivious) {
+      out.push_back({o, -1});
+      removed[static_cast<std::size_t>(o)] = 1;
+      continue;
+    }
+    for (OpId p = 0; p < o; ++p) {
+      if (removed[static_cast<std::size_t>(p)] != 0) continue;
+      bool same = true;
+      for (ValueId v = 0; v < t.value_count() && same; ++v) {
+        same = t.apply(v, o) == t.apply(v, p);
+      }
+      if (same) {
+        out.push_back({o, p});
+        removed[static_cast<std::size_t>(o)] = 1;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---- embedding search (SA009 / SA011) -----------------------------------
+
+/// Backtracking search for an injective strong homomorphism of low's kept
+/// ops into high. Outer recursion assigns op images (filtered: an op that
+/// mutates some value needs a mutating image, and its image must produce at
+/// least as many distinct responses); inner recursion assigns value images
+/// in id order with a full consistency recheck per node — the tables are
+/// tiny, so O(V*K) per node beats incremental bookkeeping for clarity.
+class EmbeddingSearch {
+ public:
+  EmbeddingSearch(const ObjectType& high, const ObjectType& low,
+                  const std::vector<OpRemoval>& removed, Budget& budget)
+      : high_(high), low_(low), budget_(budget) {
+    op_map_.assign(static_cast<std::size_t>(low.op_count()), -1);
+    std::vector<char> gone(static_cast<std::size_t>(low.op_count()), 0);
+    for (const OpRemoval& r : removed) {
+      gone[static_cast<std::size_t>(r.op)] = 1;
+    }
+    for (OpId o = 0; o < low.op_count(); ++o) {
+      if (gone[static_cast<std::size_t>(o)] == 0) kept_.push_back(o);
+    }
+    low_mutates_.reserve(kept_.size());
+    low_distinct_.reserve(kept_.size());
+    for (const OpId o : kept_) {
+      low_mutates_.push_back(!low.op_is_value_preserving(o));
+      low_distinct_.push_back(distinct_responses(low, o));
+    }
+    for (OpId m = 0; m < high.op_count(); ++m) {
+      high_mutates_.push_back(!high.op_is_value_preserving(m));
+      high_distinct_.push_back(distinct_responses(high, m));
+    }
+  }
+
+  /// On success fills value_map / op_map / response_map of `cert`.
+  bool run(SimulationCertificate& cert) {
+    if (kept_.empty()) return false;
+    value_map_.assign(static_cast<std::size_t>(low_.value_count()), -1);
+    rev_value_.assign(static_cast<std::size_t>(high_.value_count()), -1);
+    if (!assign_op(0)) return false;
+    cert.value_map = value_map_;
+    cert.op_map = op_map_;
+    cert.response_map = response_map_;
+    return true;
+  }
+
+ private:
+  bool assign_op(std::size_t idx) {
+    if (idx == kept_.size()) return assign_value(0);
+    const OpId o = kept_[idx];
+    for (OpId m = 0; m < high_.op_count(); ++m) {
+      if (low_mutates_[idx] && !high_mutates_[static_cast<std::size_t>(m)]) {
+        continue;
+      }
+      if (low_distinct_[idx] > high_distinct_[static_cast<std::size_t>(m)]) {
+        continue;
+      }
+      if (!budget_.spend()) return false;
+      op_map_[static_cast<std::size_t>(o)] = m;
+      if (assign_op(idx + 1)) return true;
+      if (budget_.exhausted) break;
+    }
+    op_map_[static_cast<std::size_t>(o)] = -1;
+    return false;
+  }
+
+  bool assign_value(ValueId v) {
+    if (v == low_.value_count()) return check_partial();
+    for (ValueId h = 0; h < high_.value_count(); ++h) {
+      if (rev_value_[static_cast<std::size_t>(h)] != -1) continue;
+      if (!budget_.spend()) return false;
+      value_map_[static_cast<std::size_t>(v)] = h;
+      rev_value_[static_cast<std::size_t>(h)] = v;
+      if (check_partial() && assign_value(v + 1)) return true;
+      value_map_[static_cast<std::size_t>(v)] = -1;
+      rev_value_[static_cast<std::size_t>(h)] = -1;
+      if (budget_.exhausted) break;
+    }
+    return false;
+  }
+
+  /// Full consistency recheck of the current partial value assignment,
+  /// rebuilding the response map from scratch. When every value is
+  /// assigned this doubles as the acceptance check and leaves the final
+  /// response map in response_map_.
+  bool check_partial() {
+    response_map_.assign(static_cast<std::size_t>(low_.response_count()), -1);
+    rev_response_.assign(static_cast<std::size_t>(high_.response_count()), -1);
+    for (ValueId v = 0; v < low_.value_count(); ++v) {
+      const int image = value_map_[static_cast<std::size_t>(v)];
+      if (image == -1) continue;
+      for (std::size_t k = 0; k < kept_.size(); ++k) {
+        const OpId o = kept_[k];
+        const Effect& e = low_.apply(v, o);
+        const Effect& eh =
+            high_.apply(image, op_map_[static_cast<std::size_t>(o)]);
+        const int next = value_map_[static_cast<std::size_t>(e.next_value)];
+        if (next != -1) {
+          if (eh.next_value != next) return false;
+        } else if (rev_value_[static_cast<std::size_t>(eh.next_value)] != -1) {
+          // eh.next_value is already the image of a DIFFERENT low value, so
+          // e.next_value (still unassigned) can never map onto it.
+          return false;
+        }
+        int& rho = response_map_[static_cast<std::size_t>(e.response)];
+        int& rev = rev_response_[static_cast<std::size_t>(eh.response)];
+        if (rho == -1) {
+          if (rev != -1 && rev != e.response) return false;
+          rho = eh.response;
+          rev = e.response;
+        } else if (rho != eh.response) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const ObjectType& high_;
+  const ObjectType& low_;
+  Budget& budget_;
+  std::vector<OpId> kept_;
+  std::vector<char> low_mutates_;
+  std::vector<char> high_mutates_;
+  std::vector<int> low_distinct_;
+  std::vector<int> high_distinct_;
+  std::vector<int> op_map_;
+  std::vector<int> value_map_;
+  std::vector<int> rev_value_;
+  std::vector<int> response_map_;
+  std::vector<int> rev_response_;
+};
+
+// ---- projection search (SA012) ------------------------------------------
+
+/// Backtracking search for a surjective strong projection of high onto
+/// low's kept ops: assigns a low image to every HIGH value. Same op-image
+/// filters as the embedding search (they are implied by the projection
+/// equations plus surjectivity).
+class ProjectionSearch {
+ public:
+  ProjectionSearch(const ObjectType& high, const ObjectType& low,
+                   Budget& budget)
+      : high_(high), low_(low), budget_(budget) {
+    op_map_.assign(static_cast<std::size_t>(low.op_count()), -1);
+    for (OpId o = 0; o < low.op_count(); ++o) kept_.push_back(o);
+    for (const OpId o : kept_) {
+      low_mutates_.push_back(!low.op_is_value_preserving(o));
+      low_distinct_.push_back(distinct_responses(low, o));
+    }
+    for (OpId m = 0; m < high.op_count(); ++m) {
+      high_mutates_.push_back(!high.op_is_value_preserving(m));
+      high_distinct_.push_back(distinct_responses(high, m));
+    }
+  }
+
+  bool run(SimulationCertificate& cert) {
+    if (kept_.empty() || high_.value_count() < low_.value_count()) {
+      return false;
+    }
+    value_map_.assign(static_cast<std::size_t>(high_.value_count()), -1);
+    fiber_size_.assign(static_cast<std::size_t>(low_.value_count()), 0);
+    if (!assign_op(0)) return false;
+    cert.value_map = value_map_;
+    cert.op_map = op_map_;
+    cert.response_map = response_map_;
+    return true;
+  }
+
+ private:
+  bool assign_op(std::size_t idx) {
+    if (idx == kept_.size()) return assign_value(0);
+    const OpId o = kept_[idx];
+    for (OpId m = 0; m < high_.op_count(); ++m) {
+      if (low_mutates_[idx] && !high_mutates_[static_cast<std::size_t>(m)]) {
+        continue;
+      }
+      if (low_distinct_[idx] > high_distinct_[static_cast<std::size_t>(m)]) {
+        continue;
+      }
+      if (!budget_.spend()) return false;
+      op_map_[static_cast<std::size_t>(o)] = m;
+      if (assign_op(idx + 1)) return true;
+      if (budget_.exhausted) break;
+    }
+    op_map_[static_cast<std::size_t>(o)] = -1;
+    return false;
+  }
+
+  bool assign_value(ValueId v) {
+    if (v == high_.value_count()) {
+      for (const int size : fiber_size_) {
+        if (size == 0) return false;  // not surjective
+      }
+      return check_partial();
+    }
+    // Surjectivity pruning: the remaining unassigned high values must
+    // still be able to hit every empty fiber.
+    int empty = 0;
+    for (const int size : fiber_size_) empty += size == 0 ? 1 : 0;
+    if (empty > high_.value_count() - v) return false;
+    for (ValueId x = 0; x < low_.value_count(); ++x) {
+      if (!budget_.spend()) return false;
+      value_map_[static_cast<std::size_t>(v)] = x;
+      ++fiber_size_[static_cast<std::size_t>(x)];
+      if (check_partial() && assign_value(v + 1)) return true;
+      value_map_[static_cast<std::size_t>(v)] = -1;
+      --fiber_size_[static_cast<std::size_t>(x)];
+      if (budget_.exhausted) break;
+    }
+    return false;
+  }
+
+  bool check_partial() {
+    response_map_.assign(static_cast<std::size_t>(low_.response_count()), -1);
+    rev_response_.assign(static_cast<std::size_t>(high_.response_count()), -1);
+    for (ValueId v = 0; v < high_.value_count(); ++v) {
+      const int image = value_map_[static_cast<std::size_t>(v)];
+      if (image == -1) continue;
+      for (std::size_t k = 0; k < kept_.size(); ++k) {
+        const OpId o = kept_[k];
+        const Effect& el = low_.apply(image, o);
+        const Effect& eh =
+            high_.apply(v, op_map_[static_cast<std::size_t>(o)]);
+        const int next = value_map_[static_cast<std::size_t>(eh.next_value)];
+        if (next != -1 && next != el.next_value) return false;
+        int& rho = response_map_[static_cast<std::size_t>(el.response)];
+        int& rev = rev_response_[static_cast<std::size_t>(eh.response)];
+        if (rho == -1) {
+          if (rev != -1 && rev != el.response) return false;
+          rho = eh.response;
+          rev = el.response;
+        } else if (rho != eh.response) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const ObjectType& high_;
+  const ObjectType& low_;
+  Budget& budget_;
+  std::vector<OpId> kept_;
+  std::vector<char> low_mutates_;
+  std::vector<char> high_mutates_;
+  std::vector<int> low_distinct_;
+  std::vector<int> high_distinct_;
+  std::vector<int> op_map_;
+  std::vector<int> value_map_;
+  std::vector<int> fiber_size_;
+  std::vector<int> response_map_;
+  std::vector<int> rev_response_;
+};
+
+// ---- isomorphism via canonical forms (SA010) ----------------------------
+
+std::vector<int> invert_perm(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+/// perm_to⁻¹ ∘ perm_from: maps `from` ids to `to` ids through the shared
+/// canonical labeling.
+std::vector<int> compose_through_canon(const std::vector<int>& perm_from,
+                                       const std::vector<int>& perm_to) {
+  const std::vector<int> inv = invert_perm(perm_to);
+  std::vector<int> map(perm_from.size(), -1);
+  for (std::size_t i = 0; i < perm_from.size(); ++i) {
+    map[i] = inv[static_cast<std::size_t>(perm_from[i])];
+  }
+  return map;
+}
+
+/// Builds the a->b isomorphism certificate when the canonical forms agree
+/// and are complete; its inverse is derived by the caller.
+std::optional<SimulationCertificate> find_isomorphism(const ObjectType& a,
+                                                      const ObjectType& b) {
+  const reduction::CanonicalForm ca = reduction::canonicalize_type(a);
+  const reduction::CanonicalForm cb = reduction::canonicalize_type(b);
+  if (!ca.complete || !cb.complete || ca.key != cb.key) return std::nullopt;
+  SimulationCertificate cert;
+  cert.rule = kRuleOrderIsomorphism;
+  cert.kind = CertKind::kEmbedding;
+  cert.value_map =
+      compose_through_canon(ca.labeling.value_perm, cb.labeling.value_perm);
+  cert.op_map = compose_through_canon(ca.labeling.op_perm, cb.labeling.op_perm);
+  cert.response_map = compose_through_canon(ca.labeling.response_perm,
+                                            cb.labeling.response_perm);
+  return cert;
+}
+
+SimulationCertificate invert_isomorphism(const SimulationCertificate& cert) {
+  SimulationCertificate inv;
+  inv.rule = cert.rule;
+  inv.kind = CertKind::kEmbedding;
+  inv.value_map = invert_perm(cert.value_map);
+  inv.op_map = invert_perm(cert.op_map);
+  inv.response_map = invert_perm(cert.response_map);
+  return inv;
+}
+
+// ---- orchestration -------------------------------------------------------
+
+std::string relation_message(const ObjectType& high, const ObjectType& low,
+                             const SimulationCertificate& cert) {
+  std::string how;
+  if (cert.rule == kRuleOrderIsomorphism) {
+    how = "isomorphic relabeling";
+  } else if (cert.kind == CertKind::kProjection) {
+    how = "surjective projection onto it";
+  } else if (!cert.removed.empty()) {
+    how = "embedding of its SA001/SA002 quotient (" +
+          std::to_string(cert.removed.size()) + " op(s) removed)";
+  } else {
+    how = "embedding of its full behavior";
+  }
+  return "simulates '" + low.name() + "' via a certified " + how +
+         ": cons(" + high.name() + ") >= cons(" + low.name() + ") and rcons(" +
+         high.name() + ") >= rcons(" + low.name() + ")";
+}
+
+}  // namespace
+
+OrderAnalysis analyze_order(const ObjectType& a, const ObjectType& b,
+                            const OrderSearchOptions& options,
+                            const std::string& subject_a,
+                            const std::string& subject_b) {
+  OrderAnalysis out;
+  const ObjectType* types[2] = {&a, &b};
+  const std::string subjects[2] = {subject_a.empty() ? a.name() : subject_a,
+                                   subject_b.empty() ? b.name() : subject_b};
+  Budget budget{options.node_budget, 0, false};
+
+  if (std::optional<SimulationCertificate> iso = find_isomorphism(a, b)) {
+    out.relations.push_back({0, 1, invert_isomorphism(*iso)});
+    out.relations.push_back({1, 0, *iso});
+  } else {
+    for (int high = 0; high < 2; ++high) {
+      const int low = 1 - high;
+      SimulationCertificate cert;
+      EmbeddingSearch direct(*types[high], *types[low], {}, budget);
+      if (direct.run(cert)) {
+        cert.rule = kRuleOrderEmbedding;
+        cert.kind = CertKind::kEmbedding;
+        out.relations.push_back({high, low, cert});
+        continue;
+      }
+      const std::vector<OpRemoval> removals = quotient_removals(*types[low]);
+      if (!removals.empty()) {
+        EmbeddingSearch quotient(*types[high], *types[low], removals, budget);
+        if (quotient.run(cert)) {
+          cert.rule = kRuleOrderQuotient;
+          cert.kind = CertKind::kEmbedding;
+          cert.removed = removals;
+          out.relations.push_back({high, low, cert});
+          continue;
+        }
+      }
+      ProjectionSearch projection(*types[high], *types[low], budget);
+      if (projection.run(cert)) {
+        cert.rule = kRuleOrderProjection;
+        cert.kind = CertKind::kProjection;
+        cert.removed.clear();
+        out.relations.push_back({high, low, cert});
+      }
+    }
+  }
+
+  // Soundness gate: every relation must survive the independent checker
+  // before anyone sees it. A failure here is a search bug, not an input
+  // problem, hence the hard abort.
+  for (const OrderRelation& r : out.relations) {
+    std::string why;
+    RCONS_CHECK_MSG(
+        verify_certificate(*types[r.high], *types[r.low], r.cert, &why),
+        "order search emitted an invalid certificate: ", why);
+    out.findings.add(make_diagnostic(
+        r.cert.rule.c_str(), subjects[r.high], "vs '" + subjects[r.low] + "'",
+        relation_message(*types[r.high], *types[r.low], r.cert),
+        "certificate re-validated by the independent checker "
+        "(analysis/order/certificate.cpp); see `rcons_cli explain " +
+            r.cert.rule + "`"));
+  }
+  out.findings.canonicalize();
+  out.nodes_explored = budget.nodes;
+  out.budget_exhausted = budget.exhausted;
+  return out;
+}
+
+}  // namespace rcons::analysis::order

@@ -1,0 +1,82 @@
+// Certified cross-type simulation search (rules SA009-SA012, DESIGN.md §13).
+//
+// Given two types A and B, this module searches their delta tables for
+// certificate-backed relations "high >= low", meaning high simulates low
+// and therefore cons(high) >= cons(low) and rcons(high) >= rcons(low):
+//
+//   * SA010 simulates-isomorphism — the canonical forms (reduction/
+//     type_canon) are equal and complete; the composed labelings are an
+//     isomorphism, emitted as two directed embedding facts.
+//   * SA009 simulates-embedding — an injective strong homomorphism of low
+//     into high (low is a sub-behavior of high).
+//   * SA011 simulates-quotient — an embedding that exists only after
+//     dropping low-side operations justified by PR 6's level-preserving
+//     SA001/SA002 quotient rules (oblivious / duplicate ops).
+//   * SA012 simulates-projection — a surjective strong projection of high
+//     onto low (high decomposes as low x rest; drop the rest). Genuinely
+//     weaker than embedding: a projection can exist when no fiber section
+//     is closed under the operations.
+//
+// Every relation carries a SimulationCertificate that the search validated
+// through the independent verify_certificate() checker before returning it
+// (an unverifiable witness is a programming error and aborts). The search
+// is budgeted: exceeding the node budget sets budget_exhausted and simply
+// finds fewer relations — incompleteness is the only failure mode, never
+// unsoundness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/order/certificate.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::analysis::order {
+
+/// One certified directed fact between the analyzed pair. `high` / `low`
+/// are 0 for the first argument of analyze_order and 1 for the second.
+struct OrderRelation {
+  int high = 0;
+  int low = 1;
+  SimulationCertificate cert;
+};
+
+struct OrderSearchOptions {
+  /// Backtracking-node budget shared by all searches of one analyze_order
+  /// call. The catalog's types sit far below it; adversarially large pairs
+  /// degrade to "no relation found" with budget_exhausted set.
+  std::uint64_t node_budget = 200000;
+};
+
+/// The result of analyzing one (a, b) pair.
+struct OrderAnalysis {
+  /// Certified relations, at most one per (direction, rule): isomorphism
+  /// short-circuits everything else; a direct embedding suppresses the
+  /// quotient route for its direction (SA011 would be redundant).
+  std::vector<OrderRelation> relations;
+  /// One finding per relation, SA-rule-tagged, in canonical order.
+  Report findings;
+  std::uint64_t nodes_explored = 0;
+  bool budget_exhausted = false;
+
+  bool related(int high, int low) const {
+    for (const OrderRelation& r : relations) {
+      if (r.high == high && r.low == low) return true;
+    }
+    return false;
+  }
+};
+
+/// Searches for certified relations between `a` and `b` in both directions.
+/// Deterministic: equal inputs produce identical relations and byte-
+/// identical reports. `subject_a` / `subject_b` label the findings
+/// (default: the type names; the CLI passes file paths for file targets).
+OrderAnalysis analyze_order(const spec::ObjectType& a,
+                            const spec::ObjectType& b,
+                            const OrderSearchOptions& options = {},
+                            const std::string& subject_a = "",
+                            const std::string& subject_b = "");
+
+}  // namespace rcons::analysis::order

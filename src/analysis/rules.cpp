@@ -1,5 +1,6 @@
 #include "analysis/rules.hpp"
 
+#include <cstdio>
 #include <cstring>
 
 #include "util/assert.hpp"
@@ -343,6 +344,72 @@ const std::vector<RuleInfo>& all_rules() {
        "whose first operation commits the object to one of two "
        "non-communicating subspaces get their unbounded verdict without "
        "a single decider run."},
+      {kRuleOrderEmbedding, "simulates-embedding", Severity::kNote,
+       "order: injective strong homomorphism of the low type into the high "
+       "one; cons and rcons of the high type dominate the low type's",
+       "An embedding is an injective value map, an op map (not required "
+       "injective — witness assignments may hand one op to several "
+       "processes), and a response map injective on produced responses, "
+       "preserving the delta table cell by cell: "
+       "delta_high(iota(v), sigma(o)) = (rho(r), iota(v')) whenever "
+       "delta_low(v, o) = (r, v'). Soundness: any n-discerning or "
+       "n-recording witness of the low type — initial value, team "
+       "partition, one op per process — maps through (iota, sigma, rho) to "
+       "a witness of the high type at the same n: schedules correspond "
+       "step by step, resulting values stay distinct under iota, and "
+       "response sets stay disjoint under rho. Hence holds(low, n) implies "
+       "holds(high, n) for both conditions, i.e. cons(high) >= cons(low) "
+       "and rcons(high) >= rcons(low). The certificate records the three "
+       "maps and is re-validated by the independent checker before the "
+       "fact enters the lattice."},
+      {kRuleOrderIsomorphism, "simulates-isomorphism", Severity::kNote,
+       "order: canonical forms equal and complete; the composed labelings "
+       "are an isomorphism, so both directed dominance facts hold",
+       "When canonicalize_type() returns complete forms with identical "
+       "keys for both types, composing one labeling with the inverse of "
+       "the other yields a bijective relabeling that maps one delta table "
+       "exactly onto the other — the strongest possible simulation, in "
+       "both directions at once. Both directed facts are emitted with "
+       "explicit permutation certificates (each a special case of an "
+       "embedding), so the checker validates them like any other map "
+       "rather than trusting the canonicalization code. This is how the "
+       "order lattice collapses relabeled duplicates: profiling one "
+       "representative decides every per-n verdict of its whole orbit, "
+       "the same equivalence PR 5's verdict cache exploits via canonical "
+       "keys."},
+      {kRuleOrderQuotient, "simulates-quotient", Severity::kNote,
+       "order: the low type embeds only after SA001/SA002 level-preserving "
+       "quotient removals (oblivious / duplicate ops dropped first)",
+       "Some low types carry operations that provably add no consensus "
+       "power: constant-response self-loops (SA001) and ops whose rows "
+       "duplicate an earlier kept op (SA002). PR 6 establishes that "
+       "removing them preserves both levels exactly, so an embedding of "
+       "the quotient into the high type certifies the same dominance as a "
+       "full embedding: holds(low, n) = holds(quotient, n) implies "
+       "holds(high, n). The certificate lists each removal with its "
+       "justification (oblivious, or the kept twin's id), and the "
+       "independent checker re-derives both the justifications and the "
+       "embedding from the delta tables — removals are never taken on the "
+       "search's word. Removals are only ever needed on the low side: a "
+       "removed op needs no image, while extra high-side ops are simply "
+       "unused."},
+      {kRuleOrderProjection, "simulates-projection", Severity::kNote,
+       "order: surjective strong projection of the high type onto the low "
+       "one (product/restriction decomposition); dominance flows the same "
+       "way as for embeddings",
+       "A projection maps every HIGH value onto a low value (surjectively) "
+       "such that applying a mapped op in the high type tracks the low "
+       "type's transition on images: pi(delta_high(v, sigma(o)).next) = "
+       "delta_low(pi(v), o).next with responses rho(low response) exactly. "
+       "Soundness: lift a low witness by picking any preimage of its "
+       "initial value — every schedule of the lifted assignment then "
+       "mirrors the low schedule, resulting values project into the low "
+       "U-sets (so disjointness lifts through disjoint fibers) and "
+       "responses correspond under the injective rho, so both conditions "
+       "transfer at every n. This captures product structure (high = low "
+       "x rest: drop the rest coordinate) and is genuinely weaker than "
+       "SA009 — a projection can exist when no fiber section is closed "
+       "under the ops, so no embedding exists."},
   };
   return *kRules;
 }
@@ -353,6 +420,49 @@ const RuleInfo& rule(const char* id) {
   }
   RCONS_CHECK(false && "unknown lint rule id");
   return all_rules().front();  // unreachable
+}
+
+const RuleInfo* find_rule(const char* id) {
+  for (const RuleInfo& r : all_rules()) {
+    if (std::strcmp(r.id, id) == 0) return &r;
+  }
+  return nullptr;
+}
+
+std::string render_rule_table() {
+  std::string out;
+  char line[512];
+  for (const RuleInfo& r : all_rules()) {
+    std::snprintf(line, sizeof(line), "%-6s %-26s %-8s %s\n", r.id, r.name,
+                  severity_name(r.severity), r.summary);
+    out += line;
+  }
+  return out;
+}
+
+std::string render_rule_explain(const RuleInfo& info) {
+  return std::string(info.id) + " " + info.name + " (" +
+         severity_name(info.severity) + ")\n  " + info.summary + "\n\n" +
+         info.explain + "\n";
+}
+
+std::string render_rule_json(const RuleInfo& info) {
+  return std::string("{\"rule\":\"") + info.id + "\",\"name\":\"" +
+         info.name + "\",\"severity\":\"" + severity_name(info.severity) +
+         "\",\"summary\":\"" + json_escape(info.summary) +
+         "\",\"explain\":\"" + json_escape(info.explain) + "\"}";
+}
+
+std::string render_rules_json() {
+  std::string out = "{\"rules\":[";
+  bool first = true;
+  for (const RuleInfo& r : all_rules()) {
+    if (!first) out += ",";
+    first = false;
+    out += render_rule_json(r);
+  }
+  out += "]}";
+  return out;
 }
 
 Diagnostic make_diagnostic(const char* id, std::string subject,

@@ -140,11 +140,54 @@ inline constexpr const char* kRuleBoundsStickyPair = "SA007";
 /// generalization of SA007): a witness at every n.
 inline constexpr const char* kRuleBoundsDivergentClosure = "SA008";
 
+// ---- Cross-type order rules (analysis/order; DESIGN.md §13) ----
+// Informational: each fired rule certifies one directed simulation fact
+// "high >= low" (cons and rcons of high dominate low's), backed by an
+// explicit map certificate that the independent checker re-validates
+// before the fact is used anywhere.
+
+/// Injective strong homomorphism of low into high: low is a sub-behavior
+/// of high, so every low witness maps verbatim to a high witness.
+inline constexpr const char* kRuleOrderEmbedding = "SA009";
+/// Canonical forms equal and complete: the composed labelings are an
+/// isomorphism; both directed facts are emitted.
+inline constexpr const char* kRuleOrderIsomorphism = "SA010";
+/// Embedding that exists only after SA001/SA002 level-preserving quotient
+/// removals on the low side (oblivious / duplicate ops need no image).
+inline constexpr const char* kRuleOrderQuotient = "SA011";
+/// Surjective strong projection of high onto low (product/restriction
+/// decomposition): a low witness lifts through any fiber.
+inline constexpr const char* kRuleOrderProjection = "SA012";
+
 /// All rules, in catalog order.
 const std::vector<RuleInfo>& all_rules();
 
 /// Lookup by ID; aborts on unknown IDs (programming error).
 const RuleInfo& rule(const char* id);
+
+/// Lookup by ID; nullptr on unknown IDs. This is the user-input path
+/// (`explain <id>`, serve "explain") where an unknown id is a usage error,
+/// not a programming error.
+const RuleInfo* find_rule(const char* id);
+
+// Catalog rendering: the single source of truth consumed by
+// `rcons_cli lint --rules`, `rcons_cli explain`, the serve "explain" verb,
+// and the DESIGN.md rule catalog, so the table can never drift from the
+// registry (pinned by tests/analysis_test.cpp).
+
+/// The `lint --rules` table: one "ID name severity summary" line per rule.
+std::string render_rule_table();
+
+/// The `explain <id>` block: header line, indented summary, blank line,
+/// explain paragraph.
+std::string render_rule_explain(const RuleInfo& info);
+
+/// One rule as JSON:
+///   {"rule":..,"name":..,"severity":..,"summary":..,"explain":..}
+std::string render_rule_json(const RuleInfo& info);
+
+/// The whole catalog as JSON: {"rules":[...]}.
+std::string render_rules_json();
 
 /// Convenience: a Diagnostic pre-filled from the registry entry for `id`
 /// (severity can still be overridden by the caller afterwards).

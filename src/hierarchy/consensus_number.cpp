@@ -10,6 +10,12 @@ std::string Level::to_string() const {
   return (exact ? "" : ">= ") + std::to_string(value);
 }
 
+std::string verdict_cache_key(const char* kind, int n,
+                              const std::string& spec_key) {
+  return std::string(kind) + "|n=" + std::to_string(n) +
+         "|z=inf|spec=" + spec_key;
+}
+
 namespace {
 
 template <typename Check>
@@ -70,8 +76,7 @@ class CachedVerdicts {
 
  private:
   std::string verdict_key(const char* kind, int n) const {
-    return std::string(kind) + "|n=" + std::to_string(n) +
-           "|z=inf|spec=" + spec_key_;
+    return verdict_cache_key(kind, n, spec_key_);
   }
 
   /// Prefix-parses a cached payload: "holds=1" and "holds=1|by=SA007" both
@@ -91,19 +96,29 @@ class CachedVerdicts {
 
 // Per-n verdict with the static bracket consulted first: decided ns skip
 // the exact decider (and seed the cache with rule provenance); undecided
-// ns run the decider on the bounds quotient, whose levels equal the
-// original's by SA001/SA002 soundness.
+// ns consult the order-lattice bracket next (same skip-plus-provenance
+// pattern, SA009-SA012 rules) and only then run the decider on the bounds
+// quotient, whose levels equal the original's by SA001/SA002 soundness.
 template <typename Check>
 bool bounded_holds(const CachedVerdicts& cached, const ProfileOptions& options,
                    const char* kind, const analysis::LevelBracket& bracket,
-                   int n, const Check& check) {
+                   const analysis::LevelBracket* order, int n,
+                   const Check& check) {
   if (options.bounds != nullptr && bracket.decides(n)) {
     const bool verdict = bracket.verdict(n);
     trace::metrics().add(verdict ? "bounds.pruned_lo" : "bounds.pruned_hi", 1);
     cached.record_bracket(kind, n, verdict, bracket.decided_by(n));
     return verdict;
   }
-  if (options.bounds != nullptr) trace::metrics().add("bounds.decider_runs", 1);
+  if (order != nullptr && order->decides(n)) {
+    const bool verdict = order->verdict(n);
+    trace::metrics().add(verdict ? "order.pruned_lo" : "order.pruned_hi", 1);
+    cached.record_bracket(kind, n, verdict, order->decided_by(n));
+    return verdict;
+  }
+  if (options.bounds != nullptr || order != nullptr) {
+    trace::metrics().add("bounds.decider_runs", 1);
+  }
   return cached.holds(kind, n, check);
 }
 
@@ -125,7 +140,8 @@ Level discerning_level(const spec::ObjectType& type, int max_n,
       options.bounds != nullptr ? options.bounds->discerning
                                 : analysis::LevelBracket{};
   return scan_level(max_n, [&](int n) {
-    return bounded_holds(cached, options, "discerning", bracket, n, [&](int m) {
+    return bounded_holds(cached, options, "discerning", bracket,
+                         options.order_discerning, n, [&](int m) {
       return check_discerning(subject, m, options.mode, options.threads).holds;
     });
   });
@@ -139,7 +155,8 @@ Level recording_level(const spec::ObjectType& type, int max_n,
       options.bounds != nullptr ? options.bounds->recording
                                 : analysis::LevelBracket{};
   return scan_level(max_n, [&](int n) {
-    return bounded_holds(cached, options, "recording", bracket, n, [&](int m) {
+    return bounded_holds(cached, options, "recording", bracket,
+                         options.order_recording, n, [&](int m) {
       return check_recording(subject, m, options.mode, options.threads).holds;
     });
   });

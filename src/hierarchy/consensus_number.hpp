@@ -58,7 +58,25 @@ struct ProfileOptions {
   /// levels by construction — while the cache stays keyed on the original
   /// type's canonical form.
   const analysis::BoundsReport* bounds = nullptr;
+  /// Optional order-lattice implied brackets for the SAME type being
+  /// profiled (caller-owned; see analysis/order/lattice.hpp). Consulted
+  /// with the identical skip-plus-provenance pattern as `bounds`: per-n
+  /// verdicts a bracket decides skip the exact decider and are seeded into
+  /// the cache as "holds=X|by=SA009..SA012". Soundness rests on the
+  /// certified simulation facts the lattice re-validated on intake plus
+  /// the explored verdicts of related types; the 300-seed differential in
+  /// tests/order_test.cpp pins containment.
+  const analysis::LevelBracket* order_discerning = nullptr;
+  const analysis::LevelBracket* order_recording = nullptr;
 };
+
+/// The persistent verdict-cache key for one per-n verdict: `kind` is
+/// "discerning" or "recording", `spec_key` the canonical type key
+/// (reduction::canonicalize_type(type).key). Exposed so cache seeders —
+/// the order-lattice propagator, tests — write entries under exactly the
+/// key the profile scans read back.
+std::string verdict_cache_key(const char* kind, int n,
+                              const std::string& spec_key);
 
 /// max { n in [2, max_n] : T is n-discerning }, else 1. `threads` follows
 /// the SafetyOptions contract (1 = serial, > 1 = parallel bit-identical,

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "algo/cas_consensus.hpp"
+#include "analysis/order/lattice.hpp"
+#include "analysis/rules.hpp"
 #include "algo/naive_register.hpp"
 #include "algo/propose_consensus.hpp"
 #include "algo/recording_consensus.hpp"
@@ -465,6 +467,157 @@ CommandResult run_lint_protocol(exec::Protocol& protocol,
   result.json = report.render_json();
   result.text = report.render_text();
   result.exit_code = report.has_findings_at_least(threshold) ? 1 : 0;
+  return result;
+}
+
+CommandResult run_explain(const std::string& rule_id) {
+  CommandResult result;
+  const analysis::RuleInfo* info = analysis::find_rule(rule_id.c_str());
+  if (info == nullptr) {
+    result.exit_code = 2;
+    result.error = "unknown rule id '" + rule_id +
+                   "' (see `rcons_cli lint --rules` for the catalog)";
+    return result;
+  }
+  result.json = analysis::render_rule_json(*info);
+  result.text = analysis::render_rule_explain(*info);
+  return result;
+}
+
+CommandResult run_order(const ObjectType& a, const ObjectType& b,
+                        const std::string& name_a,
+                        const std::string& name_b) {
+  namespace order = rcons::analysis::order;
+  const order::OrderAnalysis analysis =
+      order::analyze_order(a, b, order::OrderSearchOptions{}, name_a, name_b);
+  const std::string* names[2] = {&name_a, &name_b};
+  CommandResult result;
+  std::string relations;
+  for (const auto& r : analysis.relations) {
+    if (!relations.empty()) relations += ',';
+    relations += "{\"high\":\"" + json_escape(*names[r.high]) +
+                 "\",\"low\":\"" + json_escape(*names[r.low]) +
+                 "\",\"rule\":\"" + r.cert.rule + "\",\"kind\":\"" +
+                 order::cert_kind_name(r.cert.kind) + "\",\"certificate\":" +
+                 order::certificate_json(r.cert) + "}";
+  }
+  appendf(&result.json,
+          "{\"a\":\"%s\",\"b\":\"%s\",\"relations\":[%s],"
+          "\"nodes_explored\":%llu,\"budget_exhausted\":%s}",
+          json_escape(name_a).c_str(), json_escape(name_b).c_str(),
+          relations.c_str(),
+          static_cast<unsigned long long>(analysis.nodes_explored),
+          analysis.budget_exhausted ? "true" : "false");
+  appendf(&result.text, "order: '%s' vs '%s'\n", name_a.c_str(),
+          name_b.c_str());
+  if (analysis.relations.empty()) {
+    // A completed search proves nothing either way; an exhausted one is
+    // merely silent. Say which — and exit 0 in both cases: "no certified
+    // relation" is a finding about the pair, not a failure of the run.
+    appendf(&result.text,
+            "  no certified relation found (%llu nodes explored%s)\n",
+            static_cast<unsigned long long>(analysis.nodes_explored),
+            analysis.budget_exhausted ? "; search budget exhausted" : "");
+  } else {
+    for (const auto& r : analysis.relations) {
+      appendf(&result.text, "  %s >= %s  [%s %s]\n", names[r.high]->c_str(),
+              names[r.low]->c_str(), r.cert.rule.c_str(),
+              order::cert_kind_name(r.cert.kind));
+    }
+    result.text += analysis.findings.render_text();
+  }
+  return result;
+}
+
+CommandResult run_order_catalog(const std::vector<ObjectType>& types,
+                                const std::vector<std::string>& names,
+                                int max_n, const EngineOptions& options) {
+  namespace order = rcons::analysis::order;
+  CommandResult result;
+  order::OrderLattice lattice;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    lattice.add_type(types[i], i < names.size() ? names[i] : std::string());
+  }
+  std::fprintf(stderr, "rcons: relating %d types pairwise\n",
+               lattice.size());
+  const int edge_count = lattice.relate_all();
+  const auto counter = [](const char* name) {
+    return rcons::trace::metrics().counter(name);
+  };
+  const std::int64_t pruned0 =
+      counter("order.pruned_lo") + counter("order.pruned_hi");
+  const std::int64_t runs0 = counter("bounds.decider_runs");
+  std::string profiles_json;
+  std::string profile_lines;
+  for (int i = 0; i < lattice.size(); ++i) {
+    hierarchy::ProfileOptions profile_options;
+    profile_options.threads = options.threads;
+    profile_options.mode = options.reduce
+                               ? hierarchy::SymmetryMode::kAutomorphism
+                               : hierarchy::SymmetryMode::kCanonical;
+    profile_options.cache = options.cache;
+    analysis::BoundsReport bounds;
+    if (options.bounds) {
+      bounds = analysis::analyze_static_bounds(lattice.type(i));
+      profile_options.bounds = &bounds;
+    }
+    const analysis::LevelBracket discerning = lattice.implied(i, "discerning");
+    const analysis::LevelBracket recording = lattice.implied(i, "recording");
+    profile_options.order_discerning = &discerning;
+    profile_options.order_recording = &recording;
+    std::fprintf(stderr, "rcons: profiling %s (n <= %d)\n",
+                 lattice.name(i).c_str(), max_n);
+    const hierarchy::TypeProfile p =
+        hierarchy::compute_profile(lattice.type(i), max_n, profile_options);
+    lattice.note_profile(i, p, max_n);
+    if (!profiles_json.empty()) profiles_json += ',';
+    appendf(&profiles_json,
+            "{\"name\":\"%s\",\"discerning\":{\"value\":%d,\"exact\":%s},"
+            "\"recording\":{\"value\":%d,\"exact\":%s}}",
+            json_escape(lattice.name(i)).c_str(), p.discerning.value,
+            p.discerning.exact ? "true" : "false", p.recording.value,
+            p.recording.exact ? "true" : "false");
+    appendf(&profile_lines, "  %s: discerning %s, recording %s\n",
+            lattice.name(i).c_str(), p.discerning.to_string().c_str(),
+            p.recording.to_string().c_str());
+  }
+  const std::int64_t pruned =
+      counter("order.pruned_lo") + counter("order.pruned_hi") - pruned0;
+  const std::int64_t runs = counter("bounds.decider_runs") - runs0;
+  int seeded = 0;
+  if (options.cache != nullptr && options.cache->enabled()) {
+    seeded = lattice.propagate(*options.cache, max_n);
+  }
+  int closure_pairs = 0;
+  for (int i = 0; i < lattice.size(); ++i) {
+    for (int j = 0; j < lattice.size(); ++j) {
+      if (i != j && lattice.dominates(i, j)) ++closure_pairs;
+    }
+  }
+  appendf(&result.json,
+          "{\"max_n\":%d,\"graph\":%s,\"profiles\":[%s],"
+          "\"order_pruned\":%lld,\"decider_runs\":%lld,\"cache_seeded\":%d,"
+          "\"budget_exhausted\":%s}",
+          max_n, lattice.dominance_json().c_str(), profiles_json.c_str(),
+          static_cast<long long>(pruned), static_cast<long long>(runs),
+          seeded, lattice.budget_exhausted() ? "true" : "false");
+  appendf(&result.text,
+          "order catalog: %d types, %d certified edges, %d dominated "
+          "pairs\n",
+          lattice.size(), edge_count, closure_pairs);
+  for (const auto& e : lattice.edges()) {
+    appendf(&result.text, "  %s >= %s  [%s %s]\n",
+            lattice.name(e.high).c_str(), lattice.name(e.low).c_str(),
+            e.cert.rule.c_str(), order::cert_kind_name(e.cert.kind));
+  }
+  result.text += profile_lines;
+  appendf(&result.text,
+          "lattice decided %lld of %lld per-n verdicts; seeded %d cache "
+          "entr%s\n",
+          static_cast<long long>(pruned),
+          static_cast<long long>(pruned + runs), seeded,
+          seeded == 1 ? "y" : "ies");
+  result.dot = lattice.dominance_dot();
   return result;
 }
 

@@ -72,6 +72,9 @@ struct CommandResult {
   std::string json;
   /// Exactly the CLI's text-mode stdout.
   std::string text;
+  /// Graphviz artifact (order catalog mode only): spilled by the CLI
+  /// under --dot-out without re-running the analysis; empty otherwise.
+  std::string dot;
   std::vector<CapturedTrace> captures;
 };
 
@@ -103,5 +106,26 @@ CommandResult run_lint_protocol(exec::Protocol& protocol,
                                 const std::string& spec,
                                 analysis::Severity threshold,
                                 const EngineOptions& options);
+
+/// explain: the registry block for one TS/PL/RC/SA rule id (text exactly
+/// as `rcons_cli explain` always printed it; JSON is the registry entry).
+/// Unknown ids are usage errors (exit 2).
+CommandResult run_explain(const std::string& rule_id);
+
+/// order <a> <b>: certified simulation analysis of one pair (DESIGN.md
+/// §13). Exit 0 whether or not a relation exists — absence of a certified
+/// relation is data, not a violation. `name_a` / `name_b` label the two
+/// types in the output (the CLI passes its target arguments).
+CommandResult run_order(const spec::ObjectType& a, const spec::ObjectType& b,
+                        const std::string& name_a, const std::string& name_b);
+
+/// order --all: catalog mode. Builds the implements-lattice over `types`,
+/// profiles every node with lattice pruning (and bounds/cache per
+/// `options`), feeds each profile back into the lattice, and seeds the
+/// verdict cache with the implied brackets. The dominance graph lands in
+/// CommandResult::json (plus ::dot for --dot-out).
+CommandResult run_order_catalog(const std::vector<spec::ObjectType>& types,
+                                const std::vector<std::string>& names,
+                                int max_n, const EngineOptions& options);
 
 }  // namespace rcons::serve

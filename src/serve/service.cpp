@@ -105,9 +105,18 @@ Response Service::handle(const Request& request) {
       response = do_verify(request);
     } else if (request.command == "lint") {
       response = do_lint(request);
+    } else if (request.command == "order") {
+      response = do_order(request);
+    } else if (request.command == "explain") {
+      // Pure registry lookup — no exploration, so no flight to share.
+      const CommandResult result = run_explain(request.target);
+      response.exit_code = result.exit_code;
+      response.body = result.json;
+      response.error = result.error;
     } else {
-      response = usage_error("unknown command '" + request.command +
-                             "' (profile|verify|lint|metrics|spans|ping)");
+      response = usage_error(
+          "unknown command '" + request.command +
+          "' (profile|verify|lint|order|explain|metrics|spans|ping)");
     }
   }
   m.observe("serve.request_us", m.now_us() - started_us);
@@ -251,6 +260,37 @@ Response Service::do_lint(const Request& request) {
     };
   }
   const auto outcome = run_flights_.run(key, fn);
+  trace::metrics().add(outcome.leader ? "serve.singleflight.leader"
+                                      : "serve.singleflight.joined",
+                       1);
+  Response r;
+  r.exit_code = outcome.value->exit_code;
+  r.body = outcome.value->json;
+  r.error = outcome.value->error;
+  return r;
+}
+
+Response Service::do_order(const Request& request) {
+  if (request.target.empty() || request.target_b.empty()) {
+    return usage_error("order wants \"target\" and \"target_b\" (catalog "
+                       "names or .type paths)");
+  }
+  spec::ObjectType a;
+  spec::ObjectType b;
+  std::string error;
+  if (!resolve_type(request.target, &a, &error)) return usage_error(error);
+  if (!resolve_type(request.target_b, &b, &error)) return usage_error(error);
+  // The key carries the requester-visible names (they are embedded in the
+  // rendered document, so flights may only share between requests naming
+  // the SAME targets) plus content fingerprints for file targets.
+  const std::vector<std::string> targets = {request.target,
+                                            request.target_b};
+  const std::string key = "order|" + request.target + "|" +
+                          request.target_b + file_fingerprints(targets);
+  const auto outcome = run_flights_.run(key, [&] {
+    return std::make_shared<const CommandResult>(
+        run_order(a, b, request.target, request.target_b));
+  });
   trace::metrics().add(outcome.leader ? "serve.singleflight.leader"
                                       : "serve.singleflight.joined",
                        1);

@@ -92,6 +92,7 @@ class Service {
   Response do_profile(const Request& request);
   Response do_verify(const Request& request);
   Response do_lint(const Request& request);
+  Response do_order(const Request& request);
 
   int request_threads(const Request& request) const;
   std::size_t request_budget(const Request& request) const;

@@ -60,7 +60,7 @@ class RequestParser {
   bool assign_field(const std::string& key, ParseOutcome& outcome) {
     Request& r = outcome.request;
     if (key == "id" || key == "command" || key == "target" ||
-        key == "spec" || key == "threshold") {
+        key == "target_b" || key == "spec" || key == "threshold") {
       std::string value;
       if (!parse_string(&value)) {
         error_ = "field \"" + key + "\" wants a string value";
@@ -69,6 +69,7 @@ class RequestParser {
       if (key == "id") r.id = value;
       else if (key == "command") r.command = value;
       else if (key == "target") r.target = value;
+      else if (key == "target_b") r.target_b = value;
       else if (key == "spec") r.spec = value;
       else r.threshold = value;
       return true;

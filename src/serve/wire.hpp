@@ -16,12 +16,14 @@
 //   {"id":"r2","command":"verify","spec":"cas 2","max_states":100000}
 //   {"id":"r3","command":"lint","target":"data/cas3.type"}
 //   {"id":"r4","command":"lint","spec":"recording cas3 2"}
-//   {"id":"r5","command":"metrics"}   {"command":"spans"}   {"command":"ping"}
+//   {"id":"r5","command":"order","target":"cas3","target_b":"data/x5.type"}
+//   {"id":"r6","command":"explain","target":"SA009"}
+//   {"id":"r7","command":"metrics"}   {"command":"spans"}   {"command":"ping"}
 //
 // Fields: id (echoed back; optional), command (required), target (type:
-// catalog name or .type path), spec (protocol spec, space-separated CLI
-// tokens), max_n, max_states, threads, threshold (lint:
-// error|warning|note).
+// catalog name or .type path; for explain: a rule id), target_b (order:
+// the second type), spec (protocol spec, space-separated CLI tokens),
+// max_n, max_states, threads, threshold (lint: error|warning|note).
 //
 // Response — one line; "result" is always the LAST field and carries the
 // byte-identical document the CLI would print for the same query under
@@ -48,6 +50,7 @@ struct Request {
   std::string id;
   std::string command;
   std::string target;
+  std::string target_b;
   std::string spec;
   std::string threshold;
   int max_n = 0;

@@ -335,6 +335,93 @@ TEST(CliJson, RulesCatalogListsTheRcFamily) {
   }
 }
 
+TEST(CliJson, RulesCatalogJsonIsPureJson) {
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " lint --rules --format=json 2>/dev/null", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  for (const char* id : {"TS001", "PL001", "RC001", "SA001", "SA009",
+                         "SA012"}) {
+    EXPECT_NE(out.find(id), std::string::npos) << "missing " << id;
+  }
+}
+
+TEST(CliJson, ExplainJsonIsPureJsonAndFollowsExitContract) {
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " explain SA011 --format=json 2>/dev/null", &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"rule\":\"SA011\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"explain\":"), std::string::npos) << out;
+  // Unknown rule: usage error (2), diagnostic on stderr, stdout PURE —
+  // nothing half-rendered for a scripted caller to choke on.
+  int bad_code = -1;
+  const std::string bad = capture_stdout(
+      cli() + " explain SA999 --format=json 2>/dev/null", &bad_code);
+  EXPECT_EQ(bad_code, 2);
+  EXPECT_TRUE(bad.empty()) << bad;
+}
+
+TEST(CliJson, OrderPairStdoutIsPureJsonAndExitsZeroEitherWay) {
+  // A certified relation exists for (register2, register3)...
+  int exit_code = -1;
+  const std::string related = capture_stdout(
+      cli() + " order register2 register3 --format=json 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << related;
+  EXPECT_TRUE(JsonParser(related).parse_document()) << related;
+  EXPECT_NE(related.find("\"rule\":\"SA009\""), std::string::npos) << related;
+  EXPECT_NE(related.find("\"certificate\":"), std::string::npos) << related;
+  // ...and none for (register2, consensus2); absence is data, still exit 0.
+  int unrelated_code = -1;
+  const std::string unrelated = capture_stdout(
+      cli() + " order register2 consensus2 --format=json 2>/dev/null",
+      &unrelated_code);
+  EXPECT_EQ(unrelated_code, 0) << unrelated;
+  EXPECT_TRUE(JsonParser(unrelated).parse_document()) << unrelated;
+  EXPECT_NE(unrelated.find("\"relations\":[]"), std::string::npos)
+      << unrelated;
+}
+
+TEST(CliJson, OrderUsageErrorsExitTwoWithPureStdout) {
+  const char* const bad_invocations[] = {
+      "order register2",                       // one target
+      "order register2 register3 cas2",        // three targets, no --all
+      "order register2 register3 --dot-out=x", // --dot-out without --all
+      "order --all register2",                 // catalog of one
+      "order register2 register3 --no-such",   // unknown flag
+      "order --all register2 register3 --max-n=1",  // level floor
+  };
+  for (const char* invocation : bad_invocations) {
+    int exit_code = -1;
+    const std::string out = capture_stdout(
+        cli() + " " + invocation + " --format=json 2>/dev/null", &exit_code);
+    EXPECT_EQ(exit_code, 2) << invocation;
+    EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
+  }
+}
+
+TEST(CliJson, OrderCatalogStdoutIsPureJsonAndSpillsDot) {
+  const std::string dir = scratch_dir("order_catalog");
+  std::filesystem::create_directories(dir);
+  const std::string dot_path = dir + "/order.dot";
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " order --all register2 register3 cas2 --max-n=3 --cache=off"
+              " --format=json --dot-out=" + dot_path + " 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"graph\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"profiles\":"), std::string::npos) << out;
+  const std::string dot = slurp(dot_path);
+  EXPECT_NE(dot.find("digraph order"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"register3\" -> \"register2\""), std::string::npos)
+      << dot;
+}
+
 // `serve` usage errors follow the exit-code contract (usage -> 2), the
 // diagnostic goes to stderr, and stdout stays PURE even under
 // --format=json: a scripted caller that misconfigures the daemon must see

@@ -62,9 +62,17 @@ TEST(DataFiles, X4MatchesCatalogAndKeepsItsProfile) {
   EXPECT_EQ(hierarchy::recording_level(x4, 3), (hierarchy::Level{2, true}));
 }
 
+TEST(DataFiles, X5MatchesCatalog) {
+  // The headline X5 profile (cons 5, rcons 3) is pinned by the golden
+  // corpus; here it is enough that the shipped file IS the catalog machine
+  // cell for cell (recomputing the profile would repeat a long scan).
+  expect_same_machine(load("x5"), make_xn(5));
+}
+
 TEST(DataFiles, AllShippedFilesParse) {
   for (const char* name :
-       {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "queue2"}) {
+       {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "x5",
+        "queue2"}) {
     const ObjectType t = load(name);
     EXPECT_GT(t.value_count(), 0) << name;
   }
@@ -76,7 +84,8 @@ TEST(DataFiles, AllShippedFilesLintClean) {
   // x4/x5-style machines legitimately keep values that are only reachable
   // when chosen as an object's initial value.
   for (const char* name :
-       {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "queue2"}) {
+       {"tas", "cas3", "sticky2", "consensus3", "t52", "x4", "x5",
+        "queue2"}) {
     std::ifstream in(data_dir() + "/" + name + ".type");
     ASSERT_TRUE(in.good()) << "missing data file " << name;
     std::stringstream buffer;

@@ -314,6 +314,50 @@ TEST(ServeTest, VerifyAndLintPayloadsMatchCli) {
   }
 }
 
+// The order and explain verbs ride the same shared command cores, so
+// their payloads must match the CLI byte for byte too — including the
+// usage-error path for unknown inputs.
+TEST(ServeTest, OrderAndExplainPayloadsMatchCli) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+  struct Case {
+    const char* id;
+    std::string request;
+    std::string cli_args;
+  };
+  const std::vector<Case> cases = {
+      {"o1",
+       "{\"id\":\"o1\",\"command\":\"order\",\"target\":\"register2\","
+       "\"target_b\":\"register3\"}",
+       "order register2 register3"},
+      {"o2",
+       "{\"id\":\"o2\",\"command\":\"order\",\"target\":\"cas2\","
+       "\"target_b\":\"consensus2\"}",
+       "order cas2 consensus2"},
+      {"e1", "{\"id\":\"e1\",\"command\":\"explain\",\"target\":\"SA010\"}",
+       "explain SA010"},
+  };
+  for (const Case& c : cases) {
+    const std::string response = client.call(c.id, c.request);
+    ASSERT_FALSE(response.empty()) << c.cli_args;
+    EXPECT_EQ(string_field(response, "status"), "ok") << response;
+    int cli_exit = -1;
+    const std::string cli_stdout = capture_stdout(
+        std::string(RCONS_CLI_BIN) + " " + c.cli_args +
+            " --format=json 2>/dev/null",
+        &cli_exit);
+    EXPECT_EQ(cli_exit, 0) << c.cli_args;
+    EXPECT_EQ(cli_stdout, result_payload(response) + "\n") << c.cli_args;
+  }
+  // Usage errors: unknown rule id / missing second target -> error (2).
+  const std::string bad_rule = client.call(
+      "e9", "{\"id\":\"e9\",\"command\":\"explain\",\"target\":\"SA999\"}");
+  EXPECT_EQ(string_field(bad_rule, "status"), "error") << bad_rule;
+  const std::string half_pair = client.call(
+      "o9", "{\"id\":\"o9\",\"command\":\"order\",\"target\":\"cas2\"}");
+  EXPECT_EQ(string_field(half_pair, "status"), "error") << half_pair;
+}
+
 // The concurrency soak (the tentpole's core guarantee): 32 clients ask
 // for isomorphic relabelings of one type at once; the canonical-form
 // flight key coalesces them into ONE exploration and 31 joins, and each

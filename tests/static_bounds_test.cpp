@@ -68,7 +68,7 @@ TEST(StaticBoundsRegistry, EveryRuleHasNonEmptyExplain) {
     EXPECT_NE(std::string(r.explain), std::string(r.summary)) << r.id;
     if (std::string(r.id).rfind("SA", 0) == 0) ++sa_rules;
   }
-  EXPECT_EQ(sa_rules, 8);
+  EXPECT_EQ(sa_rules, 12);
 }
 
 // ---- Known-type brackets ----

@@ -27,6 +27,21 @@
 //   rcons_cli lint --explain=RULE        same as `explain RULE`
 //   rcons_cli explain  <rule-id>         one-paragraph explanation of a
 //                                        lint/audit/bounds rule (TS/PL/RC/SA)
+//   rcons_cli order    <a> <b>           certified simulation analysis of a
+//                                        type pair (SA009-SA012, DESIGN.md
+//                                        §13): each reported relation
+//                                        carries a machine-checked
+//                                        certificate; exits 0 whether or
+//                                        not a relation exists
+//   rcons_cli order --all <targets...> [--max-n=N] [--dot-out=FILE]
+//                                        catalog mode: builds the
+//                                        implements-lattice over every
+//                                        target (directories expand to
+//                                        their *.type files), profiles each
+//                                        node with lattice pruning, seeds
+//                                        the verdict cache with the implied
+//                                        brackets, and prints the dominance
+//                                        graph (--dot-out spills Graphviz)
 //   rcons_cli replay   <file.trace>      re-execute a captured
 //                                        counterexample deterministically,
 //                                        print its timeline, and check the
@@ -52,8 +67,9 @@
 //                    lint-protocol. Default: the hardware thread count;
 //                    --threads=1 runs the original serial engines. Results
 //                    are bit-identical for every thread count (DESIGN.md §7).
-//   --format=json    machine-readable stdout for verify and lint (one JSON
-//                    document; all progress goes to stderr)
+//   --format=json    machine-readable stdout for verify, profile, lint,
+//                    order, and explain (one JSON document; all progress
+//                    goes to stderr)
 //   --trace-out=DIR  write one replayable .trace file per safety/liveness/
 //                    RC-audit violation into DIR (created if missing)
 //   --metrics-out=F  after the command, write the metrics registry as one
@@ -90,6 +106,7 @@
 // are shared with the rcons-serve daemon, so the daemon's responses stay
 // byte-identical to this CLI's --format=json output by construction. This
 // file owns argv parsing, stdout/stderr, --trace-out spilling, and exits.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -226,16 +243,7 @@ int cmd_profile(const ObjectType& type, int max_n) {
 
 /// `explain <rule-id>`: the one-paragraph rationale from the registry.
 int cmd_explain(const std::string& id) {
-  for (const auto& r : rcons::analysis::all_rules()) {
-    if (id == r.id) {
-      std::printf("%s %s (%s)\n  %s\n\n%s\n", r.id, r.name,
-                  rcons::analysis::severity_name(r.severity), r.summary,
-                  r.explain);
-      return 0;
-    }
-  }
-  return fail("unknown rule id '" + id +
-              "' (see `rcons_cli lint --rules` for the catalog)");
+  return emit(rcons::serve::run_explain(id));
 }
 
 int cmd_witnesses(const ObjectType& type, int n, const std::string& kind_name,
@@ -338,9 +346,10 @@ int cmd_lint(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--rules") {
-      for (const auto& r : rcons::analysis::all_rules()) {
-        std::printf("%-6s %-26s %-8s %s\n", r.id, r.name,
-                    rcons::analysis::severity_name(r.severity), r.summary);
+      if (g_json) {
+        std::printf("%s\n", rcons::analysis::render_rules_json().c_str());
+      } else {
+        std::printf("%s", rcons::analysis::render_rule_table().c_str());
       }
       return 0;
     }
@@ -376,6 +385,96 @@ int cmd_lint(int argc, char** argv) {
   }
   return emit(rcons::serve::run_lint_types(targets, threshold,
                                            engine_options()));
+}
+
+/// `order <a> <b>` / `order --all <targets...>`: certified simulation
+/// analysis over a pair or a whole catalog (DESIGN.md §13).
+int cmd_order(int argc, char** argv) {
+  int max_n = 5;
+  std::string dot_out;
+  bool all = false;
+  std::vector<std::string> targets;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      all = true;
+      continue;
+    }
+    if (arg.rfind("--max-n=", 0) == 0) {
+      max_n = std::atoi(arg.substr(8).c_str());
+      if (max_n < 2) return fail("--max-n wants a level >= 2");
+      continue;
+    }
+    if (arg.rfind("--dot-out=", 0) == 0) {
+      dot_out = arg.substr(10);
+      if (dot_out.empty()) return fail("--dot-out wants a file");
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      return fail("unknown order flag '" + arg + "'");
+    }
+    targets.push_back(arg);
+  }
+  if (!all) {
+    if (targets.size() != 2 || !dot_out.empty()) {
+      return fail("order <a> <b>, or order --all <targets...> "
+                  "[--max-n=N] [--dot-out=FILE]");
+    }
+    ObjectType a;
+    ObjectType b;
+    std::string error;
+    if (!rcons::serve::resolve_type(targets[0], &a, &error)) {
+      return fail(error);
+    }
+    if (!rcons::serve::resolve_type(targets[1], &b, &error)) {
+      return fail(error);
+    }
+    return emit(rcons::serve::run_order(a, b, targets[0], targets[1]));
+  }
+  // Catalog mode: directory targets expand to their *.type files, sorted
+  // so the node order (and thus the rendered document) is deterministic.
+  std::vector<std::string> expanded;
+  for (const std::string& target : targets) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(target, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(target, ec)) {
+        if (entry.path().extension() == ".type") {
+          files.push_back(entry.path().string());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      expanded.insert(expanded.end(), files.begin(), files.end());
+    } else {
+      expanded.push_back(target);
+    }
+  }
+  if (expanded.size() < 2) {
+    return fail("order --all wants at least two types (directories expand "
+                "to their *.type files)");
+  }
+  std::vector<ObjectType> types(expanded.size());
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    std::string error;
+    if (!rcons::serve::resolve_type(expanded[i], &types[i], &error)) {
+      return fail(error);
+    }
+  }
+  const rcons::reduction::VerdictCache cache(
+      g_cache_on ? (g_cache_dir.empty()
+                        ? rcons::reduction::VerdictCache::default_directory()
+                        : g_cache_dir)
+                 : std::string());
+  rcons::serve::EngineOptions options = engine_options();
+  options.cache = &cache;
+  const rcons::serve::CommandResult result =
+      rcons::serve::run_order_catalog(types, expanded, max_n, options);
+  if (result.exit_code != 2 && !dot_out.empty() &&
+      spill_file(dot_out, result.dot)) {
+    std::fprintf(stderr, "rcons_cli: wrote %s\n", dot_out.c_str());
+  }
+  return emit(result);
 }
 
 int cmd_search(int restarts, int mutations, std::uint64_t seed) {
@@ -509,13 +608,14 @@ int dispatch(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
                  "list|show|export|dot|profile|witnesses|verify|critical|"
-                 "search|lint|explain|replay|serve ...\n"
+                 "search|lint|explain|order|replay|serve ...\n"
                  "(see the header of tools/rcons_cli.cpp)\n");
     return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
+  if (cmd == "order") return cmd_order(argc - 2, argv + 2);
   if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
   if (cmd == "explain") {
     if (argc < 3) return fail("explain <rule-id> (e.g. TS001, RC002, SA007)");
@@ -568,7 +668,12 @@ int dispatch(int argc, char** argv) {
     return 0;
   }
   if (cmd == "profile") {
-    return cmd_profile(type, argc > 3 ? std::atoi(argv[3]) : 5);
+    int max_n = 5;
+    if (argc > 3) {
+      max_n = std::atoi(argv[3]);
+      if (max_n < 1) return fail("profile <type> [max_n >= 1]");
+    }
+    return cmd_profile(type, max_n);
   }
   if (cmd == "witnesses") {
     if (argc < 4) return fail("witnesses <type> <n> [kind] [max]");
