@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "codegen/registry.hpp"
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
 #include "sched/one_shot.hpp"
@@ -57,23 +58,35 @@ void print_scaling_table() {
 }
 
 void BM_Discerning(benchmark::State& state, const ObjectType& type,
-                   bool use_symmetry, int threads) {
+                   bool use_symmetry, int threads, bool aot = false) {
   const int n = static_cast<int>(state.range(0));
+  std::unique_ptr<rcons::spec::PackedDelta> storage;
+  const rcons::spec::PackedDelta* packed =
+      aot ? rcons::codegen::packed_for(type, &storage) : nullptr;
+  const auto mode = use_symmetry ? rcons::hierarchy::SymmetryMode::kCanonical
+                                 : rcons::hierarchy::SymmetryMode::kNaive;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rcons::hierarchy::check_discerning(type, n, use_symmetry, threads));
+        rcons::hierarchy::check_discerning(type, n, mode, threads, packed));
   }
   state.counters["threads"] = threads;
+  state.counters["aot"] = aot ? 1 : 0;
 }
 
 void BM_Recording(benchmark::State& state, const ObjectType& type,
-                  bool use_symmetry, int threads) {
+                  bool use_symmetry, int threads, bool aot = false) {
   const int n = static_cast<int>(state.range(0));
+  std::unique_ptr<rcons::spec::PackedDelta> storage;
+  const rcons::spec::PackedDelta* packed =
+      aot ? rcons::codegen::packed_for(type, &storage) : nullptr;
+  const auto mode = use_symmetry ? rcons::hierarchy::SymmetryMode::kCanonical
+                                 : rcons::hierarchy::SymmetryMode::kNaive;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rcons::hierarchy::check_recording(type, n, use_symmetry, threads));
+        rcons::hierarchy::check_recording(type, n, mode, threads, packed));
   }
   state.counters["threads"] = threads;
+  state.counters["aot"] = aot ? 1 : 0;
 }
 
 const ObjectType g_tas = rcons::spec::make_test_and_set();
@@ -112,6 +125,17 @@ BENCHMARK_CAPTURE(BM_Discerning, tas_sym_threads4, g_tas, true, 4)
 BENCHMARK_CAPTURE(BM_Recording, tas_sym_threads4, g_tas, true, 4)
     ->Arg(4)->Arg(5);
 BENCHMARK_CAPTURE(BM_Recording, x4_sym_threads4, g_x4, true, 4)->Arg(3)->Arg(4);
+
+// AOT-stepper counterparts of the exhaustive serial scans (identical
+// witnesses and stats; tests/codegen_test.cpp pins profile-level parity).
+BENCHMARK_CAPTURE(BM_Discerning, tas_sym_aot, g_tas, true, 1, true)
+    ->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Discerning, x4_sym_aot, g_x4, true, 1, true)
+    ->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, tas_sym_aot, g_tas, true, 1, true)
+    ->Arg(4)->Arg(5);
+BENCHMARK_CAPTURE(BM_Recording, x4_sym_aot, g_x4, true, 1, true)
+    ->Arg(3)->Arg(4);
 
 BENCHMARK_CAPTURE(BM_DiscerningMode, cons3_canonical, g_cons3,
                   rcons::hierarchy::SymmetryMode::kCanonical)

@@ -11,12 +11,14 @@
 #include "algo/recording_consensus.hpp"
 #include "algo/tas_racing.hpp"
 #include "algo/tnn_protocols.hpp"
+#include "exec/backend.hpp"
 #include "spec/catalog.hpp"
 #include "util/table.hpp"
 #include "valency/model_checker.hpp"
 
 namespace {
 
+using rcons::exec::Backend;
 using rcons::valency::check_safety_all_inputs;
 using rcons::valency::CrashMode;
 using rcons::valency::SafetyOptions;
@@ -73,11 +75,13 @@ void print_state_space_table() {
 void BM_SafetyCheck(benchmark::State& state,
                     const std::function<std::unique_ptr<rcons::exec::Protocol>()>&
                         make,
-                    CrashMode mode, int threads) {
+                    CrashMode mode, int threads,
+                    Backend backend = Backend::kInterp) {
   const auto protocol = make();
   SafetyOptions options;
   options.crash_mode = mode;
   options.threads = threads;
+  options.backend = backend;
   std::size_t states = 0;
   for (auto _ : state) {
     const auto r = check_safety_all_inputs(*protocol, options);
@@ -86,6 +90,7 @@ void BM_SafetyCheck(benchmark::State& state,
   }
   state.counters["states"] = static_cast<double>(states);
   state.counters["threads"] = threads;
+  state.counters["aot"] = backend == Backend::kAot ? 1 : 0;
 }
 
 /// One mixed-input exploration — the parallel frontier engine's target
@@ -94,7 +99,7 @@ void BM_SafetyCheck(benchmark::State& state,
 void BM_SingleInputSafety(
     benchmark::State& state,
     const std::function<std::unique_ptr<rcons::exec::Protocol>()>& make,
-    CrashMode mode, int threads) {
+    CrashMode mode, int threads, Backend backend = Backend::kInterp) {
   const auto protocol = make();
   std::vector<int> inputs(
       static_cast<std::size_t>(protocol->process_count()), 1);
@@ -102,6 +107,7 @@ void BM_SingleInputSafety(
   SafetyOptions options;
   options.crash_mode = mode;
   options.threads = threads;
+  options.backend = backend;
   std::size_t states = 0;
   for (auto _ : state) {
     const auto r = rcons::valency::check_safety(*protocol, inputs, options);
@@ -110,6 +116,7 @@ void BM_SingleInputSafety(
   }
   state.counters["states"] = static_cast<double>(states);
   state.counters["threads"] = threads;
+  state.counters["aot"] = backend == Backend::kAot ? 1 : 0;
 }
 
 }  // namespace
@@ -160,6 +167,37 @@ BENCHMARK_CAPTURE(
     [] { return std::make_unique<rcons::algo::TasRacingConsensus>(); },
     CrashMode::kIndividual, 4);
 
+// AOT-backend counterparts (bit-identical results; tests/codegen_test.cpp)
+// — the serial cells are the interp-vs-aot speedup the PackedEngine exists
+// for; BENCH_model_checker.json records both sides.
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, cas3_individual_aot,
+    [] { return std::make_unique<rcons::algo::CasConsensus>(3); },
+    CrashMode::kIndividual, 1, Backend::kAot);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tnn42_individual_aot,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(4, 2, 2);
+    },
+    CrashMode::kIndividual, 1, Backend::kAot);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, recording_cas3x2_individual_aot,
+    [] {
+      return std::make_unique<rcons::algo::RecordingConsensus>(
+          rcons::spec::make_cas(3), 2);
+    },
+    CrashMode::kIndividual, 1, Backend::kAot);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tas_racing_individual_aot,
+    [] { return std::make_unique<rcons::algo::TasRacingConsensus>(); },
+    CrashMode::kIndividual, 1, Backend::kAot);
+BENCHMARK_CAPTURE(
+    BM_SafetyCheck, tnn42_individual_threads4_aot,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(4, 2, 2);
+    },
+    CrashMode::kIndividual, 4, Backend::kAot);
+
 // The largest single exploration: one mixed-input BFS of tnn_rec(6,3)x3
 // under individual crashes — the speedup target for the parallel frontier.
 BENCHMARK_CAPTURE(
@@ -174,6 +212,18 @@ BENCHMARK_CAPTURE(
       return std::make_unique<rcons::algo::TnnRecoverableConsensus>(6, 3, 3);
     },
     CrashMode::kIndividual, 4);
+BENCHMARK_CAPTURE(
+    BM_SingleInputSafety, tnn63_individual_aot,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(6, 3, 3);
+    },
+    CrashMode::kIndividual, 1, Backend::kAot);
+BENCHMARK_CAPTURE(
+    BM_SingleInputSafety, tnn63_individual_threads4_aot,
+    [] {
+      return std::make_unique<rcons::algo::TnnRecoverableConsensus>(6, 3, 3);
+    },
+    CrashMode::kIndividual, 4, Backend::kAot);
 
 int main(int argc, char** argv) {
   print_state_space_table();

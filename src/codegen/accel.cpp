@@ -1,0 +1,18 @@
+#include "codegen/accel.hpp"
+
+#include "codegen/registry.hpp"
+
+namespace rcons::codegen {
+
+AcceleratedProtocol::AcceleratedProtocol(const exec::Protocol& inner)
+    : inner_(inner) {
+  const int objects = inner_.object_count();
+  storage_.resize(static_cast<std::size_t>(objects));
+  tables_.resize(static_cast<std::size_t>(objects));
+  for (int obj = 0; obj < objects; ++obj) {
+    const auto i = static_cast<std::size_t>(obj);
+    tables_[i] = packed_for(inner_.object_type(obj), &storage_[i]);
+  }
+}
+
+}  // namespace rcons::codegen

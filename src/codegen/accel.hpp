@@ -1,0 +1,69 @@
+// AcceleratedProtocol: the AOT backend's protocol adapter (DESIGN.md §14).
+//
+// Wraps any Protocol and overrides only packed_delta(), serving each
+// object a verified packed table (compiled-in when the registry hits,
+// rebuilt at runtime otherwise). Everything else forwards unchanged —
+// local-state representation, advance semantics, symmetry declaration —
+// so every engine that runs the wrapper produces bit-identical results
+// to running the inner protocol on the interpreter path; the only
+// difference is how an object's (value, op) pair is stepped.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/protocol.hpp"
+
+namespace rcons::codegen {
+
+class AcceleratedProtocol final : public exec::Protocol {
+ public:
+  /// `inner` must outlive the wrapper. Builds (or finds compiled) packed
+  /// tables for every object up front, so packed_delta() is a plain
+  /// vector load on the hot path.
+  explicit AcceleratedProtocol(const exec::Protocol& inner);
+
+  std::string name() const override { return inner_.name(); }
+  int process_count() const override { return inner_.process_count(); }
+  int object_count() const override { return inner_.object_count(); }
+  const spec::ObjectType& object_type(exec::ObjectId obj) const override {
+    return inner_.object_type(obj);
+  }
+  spec::ValueId initial_value(exec::ObjectId obj) const override {
+    return inner_.initial_value(obj);
+  }
+  exec::LocalState initial_state(exec::ProcessId pid, int input) const override {
+    return inner_.initial_state(pid, input);
+  }
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override {
+    return inner_.poised(pid, state);
+  }
+  exec::LocalState advance(exec::ProcessId pid, const exec::LocalState& state,
+                           spec::ResponseId response) const override {
+    return inner_.advance(pid, state, response);
+  }
+  std::string describe_state(exec::ProcessId pid,
+                             const exec::LocalState& state) const override {
+    return inner_.describe_state(pid, state);
+  }
+  bool process_symmetric() const override { return inner_.process_symmetric(); }
+  int declared_crash_budget() const override {
+    return inner_.declared_crash_budget();
+  }
+
+  const spec::PackedDelta* packed_delta(exec::ObjectId obj) const override {
+    return tables_[static_cast<std::size_t>(obj)];
+  }
+
+  const exec::Protocol& inner() const { return inner_; }
+
+ private:
+  const exec::Protocol& inner_;
+  /// Owned storage for tables built at runtime (registry misses);
+  /// registry hits point into the process-lifetime compiled cache.
+  std::vector<std::unique_ptr<spec::PackedDelta>> storage_;
+  std::vector<const spec::PackedDelta*> tables_;
+};
+
+}  // namespace rcons::codegen

@@ -1,0 +1,175 @@
+#include "codegen/emit.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "analysis/type_lint.hpp"
+#include "spec/packed_delta.hpp"
+
+namespace rcons::codegen {
+
+namespace {
+
+// The fingerprint suffix keeps identifiers unique when one name covers
+// two distinct spellings of a machine (data/cas3.type and the catalog's
+// cas3 permute ids, so both tables are emitted under the name "cas3").
+std::string table_identifier(const std::string& name,
+                             std::uint64_t fingerprint) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), 't');
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "_%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return out + buf;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+constexpr char kBanner[] =
+    "// GENERATED FILE — emitted by rcons_codegen; do not edit.\n"
+    "//\n"
+    "// Regenerate (from the repository root):\n"
+    "//   rcons_codegen --out=src/codegen/generated --builtin data\n"
+    "// The codegen tests pin these files byte-for-byte against a fresh\n"
+    "// emission, so hand edits and stale regenerations both fail CI.\n";
+
+}  // namespace
+
+analysis::Report lint_input(const EmitInput& input) {
+  if (!input.text.empty()) {
+    return analysis::lint_type_text(input.text, input.name);
+  }
+  return analysis::lint_type(input.type, analysis::TypeLintOptions{});
+}
+
+EmitResult emit_steppers(const std::vector<EmitInput>& inputs) {
+  EmitResult result;
+
+  // Gate every file-backed input before emitting anything: a partial
+  // emission that silently dropped a rejected spec would read as coverage
+  // it does not have. Built-in catalog shapes surface their findings but
+  // never gate — the catalog deliberately ships regime-demonstrating
+  // machines (peek_queue2 fails TS003 by design), and table soundness is
+  // established by packed_matches_type, not by readability.
+  std::vector<std::string> rejected;
+  for (const EmitInput& input : inputs) {
+    analysis::Report report = lint_input(input);
+    if (report.error_count() > 0 && !input.text.empty()) {
+      rejected.push_back(input.name);
+    }
+    result.findings.merge(report);
+  }
+  result.findings.canonicalize();
+  if (!rejected.empty()) {
+    result.error = "lint rejected ";
+    for (std::size_t i = 0; i < rejected.size(); ++i) {
+      if (i != 0) result.error += ", ";
+      result.error += "'" + rejected[i] + "'";
+    }
+    result.error += ": " + std::to_string(result.findings.error_count()) +
+                    " error(s); no code emitted";
+    return result;
+  }
+
+  // Dedupe by structural identity, keep name order deterministic.
+  std::vector<const EmitInput*> ordered;
+  ordered.reserve(inputs.size());
+  for (const EmitInput& input : inputs) ordered.push_back(&input);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const EmitInput* a, const EmitInput* b) {
+                     return a->name < b->name;
+                   });
+  std::set<std::pair<std::uint64_t, std::string>> seen;
+  std::vector<std::pair<const EmitInput*, spec::PackedDelta>> emitted;
+  for (const EmitInput* input : ordered) {
+    const std::uint64_t fingerprint = spec::delta_fingerprint(input->type);
+    const std::string shape = std::to_string(input->type.value_count()) + "/" +
+                              std::to_string(input->type.op_count()) + "/" +
+                              std::to_string(input->type.response_count());
+    if (!seen.emplace(fingerprint, shape).second) continue;
+    emitted.emplace_back(input, spec::build_packed_delta(input->type));
+    result.emitted.push_back(input->name);
+  }
+
+  result.header = std::string(kBanner) +
+                  "#pragma once\n"
+                  "\n"
+                  "#include \"codegen/registry.hpp\"\n";
+
+  std::string& src = result.source;
+  src = std::string(kBanner) +
+        "#include \"codegen/generated/steppers_gen.hpp\"\n"
+        "\n"
+        "namespace rcons::codegen::generated {\n";
+  if (!emitted.empty()) {
+    src += "namespace {\n";
+    for (const auto& [input, packed] : emitted) {
+      const std::string ident =
+          table_identifier(input->name, spec::delta_fingerprint(input->type));
+      src += "\n// " + input->name + ": " +
+             std::to_string(packed.value_count) + " values, " +
+             std::to_string(packed.op_count) + " ops, " +
+             std::to_string(packed.response_count) +
+             " responses (fingerprint " +
+             hex64(spec::delta_fingerprint(input->type)) + ")\n";
+      src += "constexpr std::uint32_t kTable_" + ident + "[] = {\n";
+      for (std::size_t i = 0; i < packed.table.size(); ++i) {
+        if (i % 8 == 0) src += "    ";
+        src += hex32(packed.table[i]) + "u,";
+        src += (i % 8 == 7 || i + 1 == packed.table.size()) ? "\n" : " ";
+      }
+      src += "};\n";
+    }
+    src += "\nconstexpr GeneratedStepper kSteppers[] = {\n";
+    for (const auto& [input, packed] : emitted) {
+      const std::string ident =
+          table_identifier(input->name, spec::delta_fingerprint(input->type));
+      src += "    {\"" + input->name + "\", " +
+             hex64(spec::delta_fingerprint(input->type)) + "ULL, " +
+             std::to_string(packed.value_count) + ", " +
+             std::to_string(packed.op_count) + ", " +
+             std::to_string(packed.response_count) + ", " +
+             std::to_string(packed.op_bits) + ", " +
+             std::to_string(packed.value_bits) + ", kTable_" + ident + ", " +
+             std::to_string(packed.table.size()) + "},\n";
+    }
+    src += "};\n\n}  // namespace\n\n";
+    src +=
+        "const GeneratedStepper* steppers(std::size_t* count) {\n"
+        "  *count = sizeof(kSteppers) / sizeof(kSteppers[0]);\n"
+        "  return kSteppers;\n"
+        "}\n";
+  } else {
+    src +=
+        "\nconst GeneratedStepper* steppers(std::size_t* count) {\n"
+        "  *count = 0;\n"
+        "  return nullptr;\n"
+        "}\n";
+  }
+  src += "\n}  // namespace rcons::codegen::generated\n";
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace rcons::codegen

@@ -1,0 +1,58 @@
+// The rcons_codegen emitter: .type specs -> compiled-in stepper tables.
+//
+// Emission is gated on the TS001-TS008 type lint: a FILE-BACKED spec the
+// linter rejects at error severity produces a structured EmitResult error
+// (the findings, in canonical order) and NO generated code — never
+// generated-but-wrong output. Built-in catalog shapes surface their
+// findings without gating: the catalog deliberately ships
+// regime-demonstrating machines (peek_queue2 fails TS003 by design), and
+// stepper soundness rests on packed_matches_type, not readability.
+// Accepted inputs are deduplicated by structural fingerprint
+// (data/cas3.type and the catalog's cas3 are the same machine) and
+// emitted in name order, so the output is a deterministic function of the
+// input set; the codegen tests pin the checked-in generated files
+// byte-for-byte against a fresh emission, which is the CI drift gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::codegen {
+
+struct EmitInput {
+  /// The spelling the stepper is generated from (catalog name or file
+  /// path stem); becomes the GeneratedStepper::name.
+  std::string name;
+  spec::ObjectType type;
+  /// The raw .type text when the input came from a file; lets the lint
+  /// gate see text-level facts (duplicate rows, the initial directive).
+  /// Empty for built-in catalog inputs, which lint structurally.
+  std::string text;
+};
+
+struct EmitResult {
+  bool ok = false;
+  /// One-line summary when !ok ("lint rejected 'x': 2 error(s)").
+  std::string error;
+  /// Every lint finding across the inputs, canonicalized. On rejection
+  /// this is the structured evidence; on success it carries only
+  /// warnings/notes.
+  analysis::Report findings;
+  /// Generated file contents (steppers_gen.hpp / steppers_gen.cpp).
+  std::string header;
+  std::string source;
+  /// Names emitted, in output order (post-dedupe).
+  std::vector<std::string> emitted;
+};
+
+/// Lints one input through the TS rules (text-level when `text` is
+/// present, structural otherwise).
+analysis::Report lint_input(const EmitInput& input);
+
+/// Gates, dedupes, and emits the stepper translation unit for `inputs`.
+EmitResult emit_steppers(const std::vector<EmitInput>& inputs);
+
+}  // namespace rcons::codegen

@@ -1,0 +1,9 @@
+// GENERATED FILE — emitted by rcons_codegen; do not edit.
+//
+// Regenerate (from the repository root):
+//   rcons_codegen --out=src/codegen/generated --builtin data
+// The codegen tests pin these files byte-for-byte against a fresh
+// emission, so hand edits and stale regenerations both fail CI.
+#pragma once
+
+#include "codegen/registry.hpp"

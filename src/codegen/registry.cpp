@@ -1,0 +1,79 @@
+#include "codegen/registry.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "trace/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::codegen {
+
+namespace {
+
+/// Wraps one generated stepper as a PackedDelta (copies the constant table
+/// into the vector the engines expect). Cached per generated index behind
+/// a mutex; the tables are tiny, so the one-time copy is noise.
+const spec::PackedDelta* cached_packed(std::size_t index,
+                                       const GeneratedStepper& stepper) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t,
+                            std::unique_ptr<spec::PackedDelta>>* cache =
+      new std::unordered_map<std::size_t,
+                             std::unique_ptr<spec::PackedDelta>>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache->find(index);
+  if (it == cache->end()) {
+    auto packed = std::make_unique<spec::PackedDelta>();
+    packed->value_count = stepper.value_count;
+    packed->op_count = stepper.op_count;
+    packed->response_count = stepper.response_count;
+    packed->op_bits = stepper.op_bits;
+    packed->value_bits = stepper.value_bits;
+    packed->table.assign(stepper.table, stepper.table + stepper.table_len);
+    it = cache->emplace(index, std::move(packed)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+std::size_t compiled_count() {
+  std::size_t count = 0;
+  generated::steppers(&count);
+  return count;
+}
+
+const spec::PackedDelta* find_compiled(const spec::ObjectType& type) {
+  std::size_t count = 0;
+  const GeneratedStepper* steppers = generated::steppers(&count);
+  const std::uint64_t fingerprint = spec::delta_fingerprint(type);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GeneratedStepper& s = steppers[i];
+    if (s.fingerprint != fingerprint || s.value_count != type.value_count() ||
+        s.op_count != type.op_count() ||
+        s.response_count != type.response_count()) {
+      continue;
+    }
+    const spec::PackedDelta* packed = cached_packed(i, s);
+    // Entry-for-entry verification: equality here is what the engines'
+    // soundness rests on, so a drifted generated file must read as a
+    // miss, never as a near-match.
+    if (spec::packed_matches_type(*packed, type)) return packed;
+  }
+  return nullptr;
+}
+
+const spec::PackedDelta* packed_for(
+    const spec::ObjectType& type,
+    std::unique_ptr<spec::PackedDelta>* storage) {
+  if (const spec::PackedDelta* compiled = find_compiled(type)) {
+    trace::metrics().add("codegen.aot_hits", 1);
+    return compiled;
+  }
+  trace::metrics().add("codegen.aot_misses", 1);
+  *storage = std::make_unique<spec::PackedDelta>(build_packed_delta(type));
+  RCONS_CHECK(spec::packed_matches_type(**storage, type));
+  return storage->get();
+}
+
+}  // namespace rcons::codegen

@@ -1,0 +1,62 @@
+// Registry of ahead-of-time compiled type steppers (DESIGN.md §14).
+//
+// rcons_codegen emits every .type spec under data/ (plus the built-in
+// catalog shapes) as constant packed delta tables, checked in under
+// src/codegen/generated/ and compiled into the library. At runtime the
+// registry matches an ObjectType back to its compiled table by structural
+// fingerprint (names do not matter — a relabeled isomorphic SPELLING of
+// the same machine, i.e. identical delta entries under different names,
+// still hits) and VERIFIES the match entry-for-entry before serving it:
+// a stale or corrupted generated file can therefore cause a registry miss
+// (the caller rebuilds the table at runtime, codegen.aot_misses) but
+// never a wrong step. That verification is the soundness argument for the
+// whole AOT backend — the engines only ever see tables proven equal to
+// ObjectType::apply.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "spec/packed_delta.hpp"
+
+namespace rcons::codegen {
+
+/// One compiled stepper, as emitted by rcons_codegen into
+/// generated/steppers_gen.cpp. Plain pointers/constants so the generated
+/// translation unit is pure data with no static constructors.
+struct GeneratedStepper {
+  const char* name;  // the spelling it was generated from (docs only)
+  std::uint64_t fingerprint;
+  int value_count;
+  int op_count;
+  int response_count;
+  int op_bits;
+  int value_bits;
+  const std::uint32_t* table;
+  std::size_t table_len;
+};
+
+/// The compiled stepper for `type`, or nullptr when no generated table
+/// matches (fingerprint filter + entry-for-entry verification). The
+/// returned PackedDelta lives in a process-lifetime cache; safe to call
+/// concurrently.
+const spec::PackedDelta* find_compiled(const spec::ObjectType& type);
+
+/// Number of steppers compiled into this binary.
+std::size_t compiled_count();
+
+/// The packed table for `type`: the compiled stepper when one matches
+/// (codegen.aot_hits), else a runtime re-encoding stored into *storage
+/// (codegen.aot_misses). Never fails; the result always satisfies
+/// spec::packed_matches_type.
+const spec::PackedDelta* packed_for(const spec::ObjectType& type,
+                                    std::unique_ptr<spec::PackedDelta>* storage);
+
+}  // namespace rcons::codegen
+
+namespace rcons::codegen::generated {
+
+/// Defined in generated/steppers_gen.cpp (emitted by rcons_codegen).
+const GeneratedStepper* steppers(std::size_t* count);
+
+}  // namespace rcons::codegen::generated

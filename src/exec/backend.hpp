@@ -1,0 +1,40 @@
+// Execution backend selection (DESIGN.md §14).
+//
+// kInterp is the original interpreter: every engine steps object types
+// through ObjectType::apply and explores heap-allocated Configs. kAot
+// routes the same engines through the ahead-of-time stepper layer
+// (spec/packed_delta.hpp + src/codegen/): branch-free packed delta tables
+// — compiled in by rcons_codegen when the type was seen at build time,
+// re-encoded at runtime otherwise — and, for the serial valency engines, a
+// packed-tuple state representation. The two backends are BIT-IDENTICAL
+// in every result field; only throughput differs. Interp stays the
+// default everywhere.
+#pragma once
+
+#include <string_view>
+
+namespace rcons::exec {
+
+enum class Backend {
+  kInterp,
+  kAot,
+};
+
+inline const char* backend_name(Backend backend) {
+  return backend == Backend::kAot ? "aot" : "interp";
+}
+
+/// Parses "aot" | "interp" (the --backend= spellings).
+inline bool parse_backend(std::string_view text, Backend* out) {
+  if (text == "aot") {
+    *out = Backend::kAot;
+    return true;
+  }
+  if (text == "interp") {
+    *out = Backend::kInterp;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rcons::exec

@@ -37,9 +37,15 @@ EventOutcome apply_event(const Protocol& protocol, Config& config,
   out.was_invoke = true;
   out.object = action.object;
   out.op = action.op;
-  const spec::ObjectType& type = protocol.object_type(action.object);
-  const spec::Effect& effect = type.apply(config.value(action.object),
-                                          action.op);
+  // AOT backend hook: a protocol that carries packed tables steps through
+  // them; the tables are entry-identical to ObjectType::apply, so the two
+  // paths cannot diverge (DESIGN.md §14).
+  const spec::PackedDelta* packed = protocol.packed_delta(action.object);
+  const spec::Effect effect =
+      packed != nullptr
+          ? packed->effect(config.value(action.object), action.op)
+          : protocol.object_type(action.object)
+                .apply(config.value(action.object), action.op);
   out.response = effect.response;
   config.set_value(action.object, effect.next_value);
   LocalState next = protocol.advance(pid, config.local(pid), effect.response);

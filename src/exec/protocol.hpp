@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "spec/object_type.hpp"
+#include "spec/packed_delta.hpp"
 #include "util/hashing.hpp"
 
 namespace rcons::exec {
@@ -127,6 +128,17 @@ class Protocol {
   /// declaration is audited semantically by
   /// reduction::verify_process_symmetry. Default: false (no reduction).
   virtual bool process_symmetric() const { return false; }
+
+  /// Optional branch-free delta table for object `obj` (the AOT backend,
+  /// DESIGN.md §14). When non-null, apply_event steps the object through
+  /// the packed table instead of ObjectType::apply; the table must agree
+  /// with object_type(obj) entry for entry (codegen::AcceleratedProtocol
+  /// verifies this before serving one). The returned pointer must stay
+  /// valid for the protocol's lifetime. Default: nullptr (the
+  /// interpreter path — behaviour is identical either way).
+  virtual const spec::PackedDelta* packed_delta(ObjectId) const {
+    return nullptr;
+  }
 
   /// Optional crash-budget annotation: the maximum number of crashes per
   /// process per execution this protocol claims to tolerate (the solo

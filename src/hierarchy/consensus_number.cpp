@@ -1,5 +1,8 @@
 #include "hierarchy/consensus_number.hpp"
 
+#include <memory>
+
+#include "codegen/registry.hpp"
 #include "reduction/type_canon.hpp"
 #include "trace/metrics.hpp"
 #include "util/assert.hpp"
@@ -130,6 +133,17 @@ const spec::ObjectType& decider_type(const spec::ObjectType& type,
   return type;
 }
 
+/// The packed stepper for the decider subject when the AOT backend is
+/// selected, else nullptr (the interpreter path). Compiled-in steppers hit
+/// by structural fingerprint; misses rebuild into *storage — either way
+/// the table is verified entry-for-entry against `subject`.
+const spec::PackedDelta* packed_for_backend(
+    const spec::ObjectType& subject, const ProfileOptions& options,
+    std::unique_ptr<spec::PackedDelta>* storage) {
+  if (options.backend != exec::Backend::kAot) return nullptr;
+  return codegen::packed_for(subject, storage);
+}
+
 }  // namespace
 
 Level discerning_level(const spec::ObjectType& type, int max_n,
@@ -139,10 +153,15 @@ Level discerning_level(const spec::ObjectType& type, int max_n,
   const analysis::LevelBracket bracket =
       options.bounds != nullptr ? options.bounds->discerning
                                 : analysis::LevelBracket{};
+  std::unique_ptr<spec::PackedDelta> packed_storage;
+  const spec::PackedDelta* packed =
+      packed_for_backend(subject, options, &packed_storage);
   return scan_level(max_n, [&](int n) {
     return bounded_holds(cached, options, "discerning", bracket,
                          options.order_discerning, n, [&](int m) {
-      return check_discerning(subject, m, options.mode, options.threads).holds;
+      return check_discerning(subject, m, options.mode, options.threads,
+                              packed)
+          .holds;
     });
   });
 }
@@ -154,10 +173,14 @@ Level recording_level(const spec::ObjectType& type, int max_n,
   const analysis::LevelBracket bracket =
       options.bounds != nullptr ? options.bounds->recording
                                 : analysis::LevelBracket{};
+  std::unique_ptr<spec::PackedDelta> packed_storage;
+  const spec::PackedDelta* packed =
+      packed_for_backend(subject, options, &packed_storage);
   return scan_level(max_n, [&](int n) {
     return bounded_holds(cached, options, "recording", bracket,
                          options.order_recording, n, [&](int m) {
-      return check_recording(subject, m, options.mode, options.threads).holds;
+      return check_recording(subject, m, options.mode, options.threads, packed)
+          .holds;
     });
   });
 }

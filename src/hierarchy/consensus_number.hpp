@@ -19,6 +19,7 @@
 #include <string>
 
 #include "analysis/static_bounds/static_bounds.hpp"
+#include "exec/backend.hpp"
 #include "hierarchy/discerning.hpp"
 #include "hierarchy/recording.hpp"
 #include "reduction/verdict_cache.hpp"
@@ -68,6 +69,12 @@ struct ProfileOptions {
   /// tests/order_test.cpp pins containment.
   const analysis::LevelBracket* order_discerning = nullptr;
   const analysis::LevelBracket* order_recording = nullptr;
+  /// Which exec backend the per-n deciders step the schedule tree with
+  /// (DESIGN.md §14): kInterp (default) is ObjectType::apply; kAot looks
+  /// up — or rebuilds and verifies — the packed stepper for the decider
+  /// subject (the bounds quotient when one is wired) and runs the DFS over
+  /// it. Levels, witnesses, and stats are bit-identical across backends.
+  exec::Backend backend = exec::Backend::kInterp;
 };
 
 /// The persistent verdict-cache key for one per-n verdict: `kind` is

@@ -17,8 +17,10 @@ namespace {
 /// Returns false as soon as a pair lands in both teams' sets for some i.
 class DiscerningDfs {
  public:
-  DiscerningDfs(const spec::ObjectType& type, const Assignment& a)
+  DiscerningDfs(const spec::ObjectType& type, const Assignment& a,
+                const spec::PackedDelta* packed)
       : type_(type),
+        packed_(packed),
         a_(a),
         n_(a.process_count()),
         pair_bits_(static_cast<std::size_t>(type.response_count()) *
@@ -61,8 +63,10 @@ class DiscerningDfs {
     }
     for (int j = 0; j < n_; ++j) {
       if (used_mask & (1u << j)) continue;
-      const spec::Effect& e =
-          type_.apply(value, a_.ops[static_cast<std::size_t>(j)]);
+      const spec::Effect e =
+          packed_ != nullptr
+              ? packed_->effect(value, a_.ops[static_cast<std::size_t>(j)])
+              : type_.apply(value, a_.ops[static_cast<std::size_t>(j)]);
       responses_[static_cast<std::size_t>(j)] = e.response;
       applied_.push_back(j);
       const int team =
@@ -75,6 +79,7 @@ class DiscerningDfs {
   }
 
   const spec::ObjectType& type_;
+  const spec::PackedDelta* packed_;
   const Assignment& a_;
   int n_;
   std::size_t pair_bits_;
@@ -88,22 +93,24 @@ class DiscerningDfs {
 }  // namespace
 
 bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
-                           std::uint64_t* nodes) {
+                           std::uint64_t* nodes,
+                           const spec::PackedDelta* packed) {
   RCONS_CHECK(a.process_count() >= 2);
   RCONS_CHECK(a.team_size(0) >= 1 && a.team_size(1) >= 1);
-  DiscerningDfs dfs(type, a);
+  DiscerningDfs dfs(type, a, packed);
   return dfs.run(nodes);
 }
 
 DiscerningResult check_discerning(const spec::ObjectType& type, int n,
-                                  SymmetryMode mode, int threads) {
+                                  SymmetryMode mode, int threads,
+                                  const spec::PackedDelta* packed) {
   RCONS_CHECK_MSG(n >= 2, "n-discerning is defined for n >= 2");
   RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
   if (threads != 1) {
     detail::AssignmentScan scan = detail::scan_assignments_parallel(
         type, n, mode, threads,
-        [&type](const Assignment& a, std::uint64_t* nodes) {
-      return is_discerning_witness(type, a, nodes);
+        [&type, packed](const Assignment& a, std::uint64_t* nodes) {
+      return is_discerning_witness(type, a, nodes, packed);
     });
     DiscerningResult result;
     result.holds = scan.holds;
@@ -114,7 +121,7 @@ DiscerningResult check_discerning(const spec::ObjectType& type, int n,
   DiscerningResult result;
   for_each_assignment(type, n, mode, [&](const Assignment& a) {
     result.stats.assignments_tried += 1;
-    if (is_discerning_witness(type, a, &result.stats.schedule_nodes)) {
+    if (is_discerning_witness(type, a, &result.stats.schedule_nodes, packed)) {
       result.holds = true;
       result.witness = a;
       return true;

@@ -19,6 +19,7 @@
 
 #include "hierarchy/assignment.hpp"
 #include "spec/object_type.hpp"
+#include "spec/packed_delta.hpp"
 
 namespace rcons::hierarchy {
 
@@ -31,16 +32,23 @@ struct DiscerningResult {
 
 /// Evaluates one candidate assignment: true iff every process's R_{0,j}
 /// and R_{1,j} are disjoint. `nodes` (if provided) accumulates the number
-/// of schedule-tree nodes visited.
+/// of schedule-tree nodes visited. A non-null `packed` (the AOT backend)
+/// steps the schedule tree through the branch-free table instead of
+/// ObjectType::apply; it must agree with `type` entry for entry
+/// (codegen::packed_for guarantees this), so the verdict, witness, and
+/// stats are identical either way.
 bool is_discerning_witness(const spec::ObjectType& type, const Assignment& a,
-                           std::uint64_t* nodes = nullptr);
+                           std::uint64_t* nodes = nullptr,
+                           const spec::PackedDelta* packed = nullptr);
 
 /// Decides whether `type` is n-discerning (n >= 2) over the enumeration
 /// selected by `mode`. `threads` follows the SafetyOptions contract: 1 =
 /// serial scan, > 1 = batch-parallel scan with bit-identical witness and
-/// stats, 0 = hardware threads.
+/// stats, 0 = hardware threads. `packed` follows the
+/// is_discerning_witness contract (shared read-only across scan threads).
 DiscerningResult check_discerning(const spec::ObjectType& type, int n,
-                                  SymmetryMode mode, int threads = 1);
+                                  SymmetryMode mode, int threads = 1,
+                                  const spec::PackedDelta* packed = nullptr);
 
 /// Historical entry point: `use_symmetry` selects kCanonical (default) or
 /// kNaive.

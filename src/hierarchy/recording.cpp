@@ -11,8 +11,10 @@ namespace {
 class RecordingDfs {
  public:
   RecordingDfs(const spec::ObjectType& type, const Assignment& a,
-               bool require_nonhiding)
+               bool require_nonhiding,
+               const spec::PackedDelta* packed = nullptr)
       : type_(type),
+        packed_(packed),
         a_(a),
         n_(a.process_count()),
         require_nonhiding_(require_nonhiding) {
@@ -68,8 +70,10 @@ class RecordingDfs {
     }
     for (int j = 0; j < n_; ++j) {
       if (used_mask & (1u << j)) continue;
-      const spec::Effect& e =
-          type_.apply(value, a_.ops[static_cast<std::size_t>(j)]);
+      const spec::Effect e =
+          packed_ != nullptr
+              ? packed_->effect(value, a_.ops[static_cast<std::size_t>(j)])
+              : type_.apply(value, a_.ops[static_cast<std::size_t>(j)]);
       const int team =
           first_team >= 0 ? first_team : a_.team_of[static_cast<std::size_t>(j)];
       if (!visit(used_mask | (1u << j), e.next_value, team)) return false;
@@ -78,6 +82,7 @@ class RecordingDfs {
   }
 
   const spec::ObjectType& type_;
+  const spec::PackedDelta* packed_;
   const Assignment& a_;
   int n_;
   bool require_nonhiding_;
@@ -87,14 +92,15 @@ class RecordingDfs {
 
 RecordingResult check_impl(const spec::ObjectType& type, int n,
                            SymmetryMode mode, bool require_nonhiding,
-                           int threads) {
+                           int threads, const spec::PackedDelta* packed) {
   RCONS_CHECK_MSG(n >= 2, "n-recording is defined for n >= 2");
   RCONS_CHECK_MSG(n <= 12, "schedule tree too large beyond n = 12");
   if (threads != 1) {
     detail::AssignmentScan scan = detail::scan_assignments_parallel(
         type, n, mode, threads,
-        [&type, require_nonhiding](const Assignment& a, std::uint64_t* nodes) {
-      RecordingDfs dfs(type, a, require_nonhiding);
+        [&type, require_nonhiding, packed](const Assignment& a,
+                                           std::uint64_t* nodes) {
+      RecordingDfs dfs(type, a, require_nonhiding, packed);
       return dfs.run(nodes);
     });
     RecordingResult result;
@@ -106,7 +112,7 @@ RecordingResult check_impl(const spec::ObjectType& type, int n,
   RecordingResult result;
   for_each_assignment(type, n, mode, [&](const Assignment& a) {
     result.stats.assignments_tried += 1;
-    RecordingDfs dfs(type, a, require_nonhiding);
+    RecordingDfs dfs(type, a, require_nonhiding, packed);
     if (dfs.run(&result.stats.schedule_nodes)) {
       result.holds = true;
       result.witness = a;
@@ -137,8 +143,10 @@ bool is_nonhiding_recording_witness(const spec::ObjectType& type,
 }
 
 RecordingResult check_recording(const spec::ObjectType& type, int n,
-                                SymmetryMode mode, int threads) {
-  return check_impl(type, n, mode, /*require_nonhiding=*/false, threads);
+                                SymmetryMode mode, int threads,
+                                const spec::PackedDelta* packed) {
+  return check_impl(type, n, mode, /*require_nonhiding=*/false, threads,
+                    packed);
 }
 
 RecordingResult check_recording(const spec::ObjectType& type, int n,
@@ -149,8 +157,10 @@ RecordingResult check_recording(const spec::ObjectType& type, int n,
 }
 
 RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
-                                          SymmetryMode mode, int threads) {
-  return check_impl(type, n, mode, /*require_nonhiding=*/true, threads);
+                                          SymmetryMode mode, int threads,
+                                          const spec::PackedDelta* packed) {
+  return check_impl(type, n, mode, /*require_nonhiding=*/true, threads,
+                    packed);
 }
 
 RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,

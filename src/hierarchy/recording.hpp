@@ -22,6 +22,7 @@
 
 #include "hierarchy/assignment.hpp"
 #include "spec/object_type.hpp"
+#include "spec/packed_delta.hpp"
 
 namespace rcons::hierarchy {
 
@@ -49,9 +50,13 @@ bool is_nonhiding_recording_witness(const spec::ObjectType& type,
 /// Decides whether `type` is n-recording (n >= 2) over the enumeration
 /// selected by `mode`. `threads` follows the SafetyOptions contract: 1 =
 /// serial scan, > 1 = batch-parallel scan with bit-identical witness and
-/// stats, 0 = hardware threads.
+/// stats, 0 = hardware threads. A non-null `packed` (the AOT backend)
+/// steps the schedule tree through the branch-free table instead of
+/// ObjectType::apply — it must agree with `type` entry for entry, so
+/// verdict, witness, and stats are identical either way.
 RecordingResult check_recording(const spec::ObjectType& type, int n,
-                                SymmetryMode mode, int threads = 1);
+                                SymmetryMode mode, int threads = 1,
+                                const spec::PackedDelta* packed = nullptr);
 
 /// Historical entry point: `use_symmetry` selects kCanonical (default) or
 /// kNaive.
@@ -59,9 +64,11 @@ RecordingResult check_recording(const spec::ObjectType& type, int n,
                                 bool use_symmetry = true, int threads = 1);
 
 /// Decides whether `type` has a NON-HIDING n-recording witness (a strictly
-/// stronger property than n-recording).
-RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
-                                          SymmetryMode mode, int threads = 1);
+/// stronger property than n-recording). `packed` follows the
+/// check_recording contract.
+RecordingResult check_recording_nonhiding(
+    const spec::ObjectType& type, int n, SymmetryMode mode, int threads = 1,
+    const spec::PackedDelta* packed = nullptr);
 
 RecordingResult check_recording_nonhiding(const spec::ObjectType& type, int n,
                                           bool use_symmetry = true,

@@ -234,6 +234,7 @@ CommandResult run_profile(const ObjectType& type, int max_n,
                              ? hierarchy::SymmetryMode::kAutomorphism
                              : hierarchy::SymmetryMode::kCanonical;
   profile_options.cache = options.cache;
+  profile_options.backend = options.backend;
   analysis::BoundsReport bounds;
   if (options.bounds) {
     bounds = analysis::analyze_static_bounds(type);
@@ -283,6 +284,7 @@ CommandResult run_verify(exec::Protocol& protocol, const std::string& spec,
     safety_options.crash_mode = row.mode;
     safety_options.threads = options.threads;
     safety_options.reduce_symmetry = options.reduce;
+    safety_options.backend = options.backend;
     if (options.max_states != 0) safety_options.max_states = options.max_states;
     // Restates check_safety_all_inputs's merge loop (including its orbit
     // reduction of input vectors) so the violating input VECTOR is in hand
@@ -348,6 +350,7 @@ CommandResult run_verify(exec::Protocol& protocol, const std::string& spec,
     valency::LivenessOptions liveness_options;
     liveness_options.threads = options.threads;
     liveness_options.reduce_symmetry = options.reduce;
+    liveness_options.backend = options.backend;
     if (options.max_states != 0) {
       liveness_options.max_states = options.max_states;
     }

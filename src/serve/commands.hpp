@@ -23,6 +23,7 @@
 
 #include "analysis/analysis.hpp"
 #include "analysis/static_bounds/static_bounds.hpp"
+#include "exec/backend.hpp"
 #include "exec/protocol.hpp"
 #include "hierarchy/consensus_number.hpp"
 #include "reduction/verdict_cache.hpp"
@@ -54,6 +55,9 @@ struct EngineOptions {
   bool bounds = true;                              // --bounds=on
   std::size_t max_states = 0;                      // 0 = engine defaults
   const reduction::VerdictCache* cache = nullptr;  // profile only
+  /// --backend=interp|aot: which exec stepper the engines run (DESIGN.md
+  /// §14). Verdicts, witnesses, and stats are bit-identical either way.
+  exec::Backend backend = exec::Backend::kInterp;
 };
 
 /// A counterexample captured during verify / lint-protocol, with the

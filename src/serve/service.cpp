@@ -158,6 +158,7 @@ Response Service::do_profile(const Request& request) {
                                ? hierarchy::SymmetryMode::kAutomorphism
                                : hierarchy::SymmetryMode::kCanonical;
     profile_options.cache = cache_.get();
+    profile_options.backend = options_.backend;
     analysis::BoundsReport bounds;
     if (options_.bounds) {
       bounds = analysis::analyze_static_bounds(type);
@@ -199,6 +200,7 @@ Response Service::do_verify(const Request& request) {
   engine.threads = request_threads(request);
   engine.reduce = options_.reduce;
   engine.bounds = options_.bounds;
+  engine.backend = options_.backend;
   engine.max_states = request_budget(request);
   // Thread count is absent from the key on purpose: exploration results
   // are bit-identical for every thread count (DESIGN.md §7), so flights
@@ -236,6 +238,7 @@ Response Service::do_lint(const Request& request) {
   EngineOptions engine;
   engine.threads = request_threads(request);
   engine.reduce = options_.reduce;
+  engine.backend = options_.backend;
   std::string key;
   std::function<std::shared_ptr<const CommandResult>()> fn;
   if (protocol_lint) {

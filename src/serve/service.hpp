@@ -56,6 +56,9 @@ struct ServiceOptions {
   std::size_t max_states_cap = 0;
   bool reduce = true;
   bool bounds = true;
+  /// Daemon-wide exec backend (the CLI's --backend flag). Verdicts are
+  /// bit-identical across backends, so single-flight keys ignore it.
+  exec::Backend backend = exec::Backend::kInterp;
   /// Persistent verdict tier directory; empty = memory tier only.
   std::string cache_dir;
   ServiceHooks hooks;

@@ -1,0 +1,83 @@
+#include "spec/packed_delta.hpp"
+
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace rcons::spec {
+
+namespace {
+
+/// ceil(log2 n) with a floor of 1 so shifts stay well-defined for
+/// single-value / single-op machines.
+int bits_for(int n) {
+  int bits = 1;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+PackedDelta build_packed_delta(const ObjectType& type) {
+  RCONS_CHECK_MSG(type.value_count() >= 1 && type.op_count() >= 1 &&
+                      type.response_count() >= 1,
+                  "cannot pack an empty type");
+  PackedDelta packed;
+  packed.value_count = type.value_count();
+  packed.op_count = type.op_count();
+  packed.response_count = type.response_count();
+  packed.op_bits = bits_for(type.op_count());
+  packed.value_bits = bits_for(type.value_count());
+  // Entries must round-trip through the packed word: responses use the
+  // bits above value_bits. Types are tiny (the paper's machines have a
+  // handful of values), so 32 bits is generous; check anyway.
+  RCONS_CHECK_MSG(packed.value_bits + bits_for(type.response_count()) <= 32,
+                  "type too large to pack: ", type.name());
+  packed.table.assign(static_cast<std::size_t>(type.value_count())
+                          << packed.op_bits,
+                      0u);
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    for (OpId op = 0; op < type.op_count(); ++op) {
+      const Effect& e = type.apply(v, op);
+      packed.table[(static_cast<std::size_t>(v) << packed.op_bits) |
+                   static_cast<std::size_t>(op)] =
+          (static_cast<std::uint32_t>(e.response) << packed.value_bits) |
+          static_cast<std::uint32_t>(e.next_value);
+    }
+  }
+  return packed;
+}
+
+std::uint64_t delta_fingerprint(const ObjectType& type) {
+  std::uint64_t seed = 0;
+  hash_combine(seed, static_cast<std::uint64_t>(type.value_count()));
+  hash_combine(seed, static_cast<std::uint64_t>(type.op_count()));
+  hash_combine(seed, static_cast<std::uint64_t>(type.response_count()));
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    for (OpId op = 0; op < type.op_count(); ++op) {
+      const Effect& e = type.apply(v, op);
+      hash_combine(seed, static_cast<std::uint64_t>(e.response));
+      hash_combine(seed, static_cast<std::uint64_t>(e.next_value));
+    }
+  }
+  return seed;
+}
+
+bool packed_matches_type(const PackedDelta& packed, const ObjectType& type) {
+  if (packed.value_count != type.value_count() ||
+      packed.op_count != type.op_count() ||
+      packed.response_count != type.response_count()) {
+    return false;
+  }
+  if (packed.table.size() != (static_cast<std::size_t>(packed.value_count)
+                              << packed.op_bits)) {
+    return false;
+  }
+  for (ValueId v = 0; v < type.value_count(); ++v) {
+    for (OpId op = 0; op < type.op_count(); ++op) {
+      if (!(packed.effect(v, op) == type.apply(v, op))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rcons::spec

@@ -1,0 +1,74 @@
+// Bit-packed, branch-free re-encodings of ObjectType delta tables.
+//
+// ObjectType::apply is the single hottest call in every exhaustive engine:
+// it bounds-checks both indices, multiplies by op_count, and indirects
+// through a vector of two-int Effects. A PackedDelta is the same total
+// function delta(v, op) laid out for the hot path instead: the key is the
+// dense perfect hash (v << op_bits) | op — op_bits = ceil(log2 op_count),
+// so every valid (value, op) pair maps to a distinct slot and the lookup
+// is one shift, one OR, and one load — and the entry packs the Effect as
+// (response << value_bits) | next_value in one 32-bit word.
+//
+// build_packed_delta re-encodes a type at runtime; the rcons_codegen tool
+// emits the same tables as compiled-in constants (src/codegen/), matched
+// back to runtime types by delta_fingerprint. Both sources are definition-
+// ally entry-for-entry equal to ObjectType::apply — the codegen tests pin
+// this exhaustively — which is what makes the AOT exec backend's
+// bit-identity to the interpreter a structural property (DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/object_type.hpp"
+
+namespace rcons::spec {
+
+struct PackedDelta {
+  int value_count = 0;
+  int op_count = 0;
+  int response_count = 0;
+  /// Key layout: slot = (v << op_bits) | op; op_bits = ceil(log2 op_count)
+  /// (min 1). Slots with op >= op_count are padding and never read.
+  int op_bits = 0;
+  /// Entry layout: (response << value_bits) | next_value; value_bits =
+  /// ceil(log2 value_count) (min 1).
+  int value_bits = 0;
+  std::vector<std::uint32_t> table;  // value_count << op_bits entries
+
+  std::uint32_t raw(ValueId v, OpId op) const {
+    return table[(static_cast<std::size_t>(v) << op_bits) |
+                 static_cast<std::size_t>(op)];
+  }
+  ResponseId response_of(std::uint32_t entry) const {
+    return static_cast<ResponseId>(entry >> value_bits);
+  }
+  ValueId next_value_of(std::uint32_t entry) const {
+    return static_cast<ValueId>(entry &
+                                ((std::uint32_t{1} << value_bits) - 1u));
+  }
+  Effect effect(ValueId v, OpId op) const {
+    const std::uint32_t entry = raw(v, op);
+    return Effect{response_of(entry), next_value_of(entry)};
+  }
+};
+
+/// Re-encodes `type`'s delta table. The result satisfies
+/// effect(v, op) == type.apply(v, op) for every in-range pair.
+PackedDelta build_packed_delta(const ObjectType& type);
+
+/// Structural fingerprint of a type's sequential specification: the
+/// value/op/response counts and every delta entry in row-major order.
+/// Names do NOT contribute, so a renamed-but-identical machine (or one
+/// parsed from a .type file) matches the stepper compiled from the catalog
+/// original. Fingerprint equality is a 64-bit filter, not a proof —
+/// consumers (codegen::find_compiled) re-verify entry-for-entry.
+std::uint64_t delta_fingerprint(const ObjectType& type);
+
+/// True iff `packed` agrees with type.apply on every (value, op) pair and
+/// carries exactly the type's counts. The registry runs this before
+/// handing out a compiled table, so a stale generated file can cause a
+/// miss (runtime rebuild) but never a wrong step.
+bool packed_matches_type(const PackedDelta& packed, const ObjectType& type);
+
+}  // namespace rcons::spec

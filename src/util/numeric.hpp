@@ -1,0 +1,70 @@
+// Strict numeric parsing for command-line arguments.
+//
+// The CLI tools used to funnel argv numbers through std::atoi, which
+// silently turns garbage into 0 ("--threads=banana"), accepts trailing
+// junk ("--max-n=3x" reads as 3), and wraps on overflow. Every numeric
+// flag now goes through these helpers instead: the whole token must be a
+// decimal number (an optional leading '-' only; no '+', no whitespace, no
+// trailing characters), it must fit the target type, and it must land in
+// the caller's [min, max] contract — anything else is a usage error the
+// tools report with exit code 2.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+
+namespace rcons::util {
+
+/// Parses `text` as a decimal int64 in [min_value, max_value]. Returns
+/// false (leaving *out untouched) on empty input, non-digit characters,
+/// trailing garbage, overflow, or an out-of-range value.
+inline bool parse_int64_arg(std::string_view text, std::int64_t min_value,
+                            std::int64_t max_value, std::int64_t* out) {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto result = std::from_chars(first, last, value);
+  if (result.ec != std::errc() || result.ptr != last) return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+/// As parse_int64_arg, for int-typed flags.
+inline bool parse_int_arg(std::string_view text, int min_value, int max_value,
+                          int* out) {
+  std::int64_t value = 0;
+  if (!parse_int64_arg(text, min_value, max_value, &value)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+/// As parse_int64_arg, for size_t-typed flags (no negative values).
+inline bool parse_size_arg(std::string_view text, std::size_t min_value,
+                           std::size_t max_value, std::size_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto result = std::from_chars(first, last, value);
+  if (result.ec != std::errc() || result.ptr != last) return false;
+  if (value < min_value || value > max_value) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+/// As parse_int64_arg, for uint64-typed flags (seeds).
+inline bool parse_uint64_arg(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto result = std::from_chars(first, last, value);
+  if (result.ec != std::errc() || result.ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace rcons::util

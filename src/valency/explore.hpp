@@ -33,6 +33,16 @@ LivenessResult check_liveness_parallel(const exec::Protocol& protocol,
                                        const std::vector<int>& inputs,
                                        const LivenessOptions& options);
 
+/// The AOT backend's engines (model_checker_aot.cpp). Reached through the
+/// same entry points when options.backend == exec::Backend::kAot; results
+/// are bit-identical to the interpreter engines' by construction.
+SafetyResult check_safety_aot(const exec::Protocol& protocol,
+                              const std::vector<int>& inputs,
+                              const SafetyOptions& options);
+LivenessResult check_liveness_aot(const exec::Protocol& protocol,
+                                  const std::vector<int>& inputs,
+                                  const LivenessOptions& options);
+
 /// Exploration node: a configuration plus the monotone mask of values
 /// output so far (bit v = some process output v in this execution).
 struct Node {

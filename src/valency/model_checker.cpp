@@ -5,6 +5,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "codegen/accel.hpp"
 #include "reduction/config_canon.hpp"
 #include "trace/metrics.hpp"
 #include "util/assert.hpp"
@@ -116,6 +117,9 @@ std::vector<std::vector<int>> all_binary_inputs(int n) {
 SafetyResult check_safety(const exec::Protocol& protocol,
                           const std::vector<int>& inputs,
                           const SafetyOptions& options) {
+  if (options.backend == exec::Backend::kAot) {
+    return detail::check_safety_aot(protocol, inputs, options);
+  }
   if (options.threads != 1) {
     return detail::check_safety_parallel(protocol, inputs, options);
   }
@@ -271,6 +275,15 @@ std::vector<std::vector<int>> driver_input_vectors(
 SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
                                      const SafetyOptions& options) {
   if (options.threads != 1) {
+    // Under the AOT backend the parallel all-inputs driver runs over the
+    // accelerating wrapper; the serial driver below needs no special case
+    // because each per-input check_safety call dispatches on its own.
+    if (options.backend == exec::Backend::kAot) {
+      const codegen::AcceleratedProtocol accel(protocol);
+      SafetyOptions inner = options;
+      inner.backend = exec::Backend::kInterp;
+      return detail::check_safety_all_inputs_parallel(accel, inner);
+    }
     return detail::check_safety_all_inputs_parallel(protocol, options);
   }
   SafetyResult merged;
@@ -295,6 +308,9 @@ SafetyResult check_safety_all_inputs(const exec::Protocol& protocol,
 LivenessResult check_recoverable_wait_freedom(const exec::Protocol& protocol,
                                               const std::vector<int>& inputs,
                                               const LivenessOptions& options) {
+  if (options.backend == exec::Backend::kAot) {
+    return detail::check_liveness_aot(protocol, inputs, options);
+  }
   if (options.threads != 1) {
     return detail::check_liveness_parallel(protocol, inputs, options);
   }

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/backend.hpp"
 #include "exec/config.hpp"
 #include "exec/event.hpp"
 #include "exec/execute.hpp"
@@ -67,6 +68,12 @@ struct SafetyOptions {
   /// within the reduced mode (state counts differ from the unreduced run
   /// by construction — that is the point).
   bool reduce_symmetry = false;
+  /// Which exec backend steps objects (DESIGN.md §14). kInterp (default)
+  /// is ObjectType::apply; kAot runs the packed-table engines over
+  /// compiled-in steppers (model_checker_aot.cpp). EVERY result field is
+  /// bit-identical across backends for any thread count — the AOT path is
+  /// purely a performance choice (pinned by tests/codegen_test.cpp).
+  exec::Backend backend = exec::Backend::kInterp;
 
   CrashMode effective_mode() const {
     return allow_crashes ? crash_mode : CrashMode::kNone;
@@ -114,6 +121,8 @@ struct LivenessOptions {
   int threads = 1;
   /// Same contract as SafetyOptions::reduce_symmetry.
   bool reduce_symmetry = false;
+  /// Same contract as SafetyOptions::backend.
+  exec::Backend backend = exec::Backend::kInterp;
 };
 
 struct LivenessResult {

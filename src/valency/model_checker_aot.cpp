@@ -1,0 +1,654 @@
+// The AOT exec backend's serial exploration engine (DESIGN.md §14).
+//
+// The interpreter engine in model_checker.cpp spends most of its time
+// copying Config objects (three vectors, plus one heap vector per local
+// state) and re-hashing them for the visited set. This engine explores the
+// SAME search graph over a packed representation: a configuration is a
+// flat array of 16-bit lanes — one lane per object value, one interned
+// local-state id per process — stepped through the branch-free PackedDelta
+// tables and a per-(pid, state) transition cache, so expanding a node is a
+// few loads and one small memcpy instead of a Config deep copy.
+//
+// Bit-identity contract: every result field — verdict, violation string,
+// counterexample schedule, states_visited, configs_visited, explored_fully
+// — is identical to the serial interpreter's, because the engine mirrors
+// its expansion order (FIFO, pid-ascending, step before crash, then the
+// simultaneous crash), its node identity (interning is injective, so
+// lane equality == Config equality), its canonicalization (per-group
+// stable sort under the same lexicographic comparator), and even its
+// configs_visited statistic (Config::hash is replicated exactly from
+// cached per-state word hashes, collisions included). Pinned by
+// tests/codegen_test.cpp and the golden corpus.
+//
+// Local-state machines are discovered LAZILY: poised/advance are only
+// invoked on (state, response) pairs produced by reachable executions, so
+// protocols whose advance() asserts on impossible pairs behave exactly as
+// they do under the interpreter.
+//
+// Fallbacks (results still bit-identical, only slower): a trace sink
+// installed on this thread routes to the interpreter loop over an
+// AcceleratedProtocol so step-level trace hooks keep firing; exceeding the
+// 16-bit lane caps (65536 distinct local states or object values) rolls
+// over to the same path.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "codegen/accel.hpp"
+#include "reduction/config_canon.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+#include "valency/explore.hpp"
+
+namespace rcons::valency::detail {
+
+namespace {
+
+/// Thrown when the packed representation's 16-bit lane caps are exceeded;
+/// the dispatcher catches it and re-runs on the interpreter path.
+struct LaneOverflow {};
+
+/// Mirror of the interpreter engines' scan tallies (same metric names, so
+/// dashboards do not care which backend ran).
+struct ScanMetrics {
+  std::string prefix;
+  trace::ScopedSpan span;
+  std::size_t states = 0;
+  std::size_t configs = 0;
+  std::size_t max_frontier = 0;
+
+  explicit ScanMetrics(std::string p) : prefix(p), span(p + ".scan") {}
+  ~ScanMetrics() {
+    auto& m = trace::metrics();
+    m.add(prefix + ".scans", 1);
+    m.add(prefix + ".states_visited", static_cast<std::int64_t>(states));
+    m.add(prefix + ".configs_visited", static_cast<std::int64_t>(configs));
+    m.max_gauge(prefix + ".max_frontier",
+                static_cast<std::int64_t>(max_frontier));
+    m.observe(prefix + ".frontier_peak",
+              static_cast<std::int64_t>(max_frontier));
+  }
+};
+
+using Lane = std::uint16_t;
+constexpr std::size_t kMaxLane = 65536;
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+exec::Schedule concat_segments(const std::vector<exec::Schedule>& segments) {
+  exec::Schedule schedule;
+  for (const exec::Schedule& seg : segments) {
+    schedule.insert(schedule.end(), seg.begin(), seg.end());
+  }
+  return schedule;
+}
+
+class PackedEngine {
+ public:
+  PackedEngine(const exec::Protocol& protocol,
+               const codegen::AcceleratedProtocol& accel,
+               const std::vector<int>& inputs, bool reduce)
+      : protocol_(protocol),
+        inputs_(inputs),
+        n_(protocol.process_count()),
+        m_(protocol.object_count()),
+        width_(m_ + n_) {
+    tables_.resize(static_cast<std::size_t>(m_));
+    for (int obj = 0; obj < m_; ++obj) {
+      const spec::ObjectType& type = protocol.object_type(obj);
+      if (static_cast<std::size_t>(type.value_count()) > kMaxLane) {
+        throw LaneOverflow{};
+      }
+      tables_[static_cast<std::size_t>(obj)] = accel.packed_delta(obj);
+    }
+    step_.resize(static_cast<std::size_t>(n_));
+    init_sid_.resize(static_cast<std::size_t>(n_));
+    for (int pid = 0; pid < n_; ++pid) {
+      init_sid_[static_cast<std::size_t>(pid)] = intern(protocol.initial_state(
+          pid, inputs[static_cast<std::size_t>(pid)]));
+    }
+    if (reduce) {
+      // Same grouping as reduction::ProcessSymmetryReducer: equal-input
+      // pids in ascending order, singleton groups dropped.
+      std::map<int, std::vector<int>> by_input;
+      for (int pid = 0; pid < n_; ++pid) {
+        by_input[inputs[static_cast<std::size_t>(pid)]].push_back(pid);
+      }
+      for (auto& [input, pids] : by_input) {
+        (void)input;
+        if (pids.size() >= 2) groups_.push_back(std::move(pids));
+      }
+    }
+  }
+
+  PackedEngine(const PackedEngine&) = delete;
+  PackedEngine& operator=(const PackedEngine&) = delete;
+
+  SafetyResult run_safety(const SafetyOptions& options);
+  LivenessResult run_liveness(const LivenessOptions& options);
+
+ private:
+  /// One (pid, interned state) transition-cache slot.
+  struct StepCache {
+    bool known = false;
+    bool decided = false;
+    int decision = -1;
+    int object = 0;
+    int op = 0;
+    std::vector<std::int32_t> succ;  // response -> interned state, -1 unset
+  };
+
+  Lane intern(exec::LocalState state) {
+    const auto it = ids_.find(state);
+    if (it != ids_.end()) return it->second;
+    if (states_.size() >= kMaxLane) throw LaneOverflow{};
+    const Lane id = static_cast<Lane>(states_.size());
+    word_hashes_.push_back(hash_vector(state.words));
+    states_.push_back(state);
+    ids_.emplace(std::move(state), id);
+    return id;
+  }
+
+  StepCache& slot(int pid, Lane sid) {
+    auto& row = step_[static_cast<std::size_t>(pid)];
+    if (row.size() <= sid) row.resize(static_cast<std::size_t>(sid) + 1);
+    StepCache& cache = row[sid];
+    if (!cache.known) {
+      const exec::Action action = protocol_.poised(pid, states_[sid]);
+      cache.known = true;
+      if (action.kind == exec::Action::Kind::kDecided) {
+        cache.decided = true;
+        cache.decision = action.decision;
+      } else {
+        cache.object = action.object;
+        cache.op = action.op;
+        cache.succ.assign(static_cast<std::size_t>(
+                              protocol_.object_type(action.object)
+                                  .response_count()),
+                          -1);
+      }
+    }
+    return cache;
+  }
+
+  Lane successor(int pid, Lane sid, int response) {
+    const std::int32_t cached =
+        step_[static_cast<std::size_t>(pid)][sid]
+            .succ[static_cast<std::size_t>(response)];
+    if (cached >= 0) return static_cast<Lane>(cached);
+    const Lane nsid = intern(protocol_.advance(pid, states_[sid], response));
+    step_[static_cast<std::size_t>(pid)][sid]
+        .succ[static_cast<std::size_t>(response)] = nsid;
+    return nsid;
+  }
+
+  /// Identical arrangement to ProcessSymmetryReducer::canonicalize: the
+  /// comparator reads the interned words, and interning is injective, so
+  /// the stable sort produces exactly the lanes of the canonical Config.
+  void canonicalize(Lane* lanes) {
+    for (const auto& group : groups_) {
+      sort_buf_.clear();
+      for (const int pid : group) {
+        sort_buf_.push_back(lanes[m_ + pid]);
+      }
+      std::stable_sort(sort_buf_.begin(), sort_buf_.end(),
+                       [this](Lane a, Lane b) {
+                         return std::lexicographical_compare(
+                             states_[a].words.begin(), states_[a].words.end(),
+                             states_[b].words.begin(), states_[b].words.end());
+                       });
+      for (std::size_t j = 0; j < group.size(); ++j) {
+        lanes[static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(group[j])] = sort_buf_[j];
+      }
+    }
+  }
+
+  /// Exact replica of Config::hash() for the configuration these lanes
+  /// encode (object values then per-local word hashes), so the
+  /// configs_visited statistic — which counts distinct HASH VALUES —
+  /// matches the interpreter collision for collision.
+  std::uint64_t config_hash(const Lane* lanes) const {
+    std::uint64_t seed = 0;
+    hash_combine(seed, static_cast<std::uint64_t>(m_));
+    for (int obj = 0; obj < m_; ++obj) {
+      hash_combine(seed, static_cast<std::uint64_t>(lanes[obj]));
+    }
+    for (int pid = 0; pid < n_; ++pid) {
+      hash_combine(seed, word_hashes_[lanes[m_ + pid]]);
+    }
+    return seed;
+  }
+
+  const Lane* lanes_of(std::uint32_t id) const {
+    return arena_.data() + static_cast<std::size_t>(id) * width_;
+  }
+
+  std::uint32_t push_node(const Lane* lanes, unsigned mask,
+                          std::uint32_t parent, std::uint16_t via) {
+    const auto id = static_cast<std::uint32_t>(parent_.size());
+    arena_.insert(arena_.end(), lanes, lanes + width_);
+    parent_.push_back(parent);
+    via_.push_back(via);
+    mask_.push_back(mask);
+    return id;
+  }
+
+  void pop_node() {
+    arena_.resize(arena_.size() - static_cast<std::size_t>(width_));
+    parent_.pop_back();
+    via_.pop_back();
+    mask_.pop_back();
+  }
+
+  struct NodeHasher {
+    const PackedEngine* e;
+    std::size_t operator()(std::uint32_t id) const {
+      const Lane* lanes = e->lanes_of(id);
+      std::uint64_t seed = hash_range(lanes, lanes + e->width_);
+      hash_combine(seed, e->mask_[id]);
+      return static_cast<std::size_t>(seed);
+    }
+  };
+  struct NodeEq {
+    const PackedEngine* e;
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      if (e->mask_[a] != e->mask_[b]) return false;
+      const Lane* la = e->lanes_of(a);
+      return std::equal(la, la + e->width_, e->lanes_of(b));
+    }
+  };
+
+  /// The engine's edge segments from the root to `at`, one per via
+  /// transition — the same shape reconstruct_segments produces in the
+  /// interpreter engine.
+  std::vector<exec::Schedule> segments_to(std::uint32_t at) const {
+    std::vector<exec::Schedule> segments;
+    for (std::uint32_t cur = at; parent_[cur] != kNoParent;
+         cur = parent_[cur]) {
+      segments.push_back(transition_segment(via_[cur], n_));
+    }
+    std::reverse(segments.begin(), segments.end());
+    return segments;
+  }
+
+  const exec::Protocol& protocol_;
+  const std::vector<int>& inputs_;
+  const int n_;
+  const int m_;
+  const int width_;
+  std::vector<const spec::PackedDelta*> tables_;
+
+  // Local-state interner (shared across pids; the transition cache is
+  // per-pid so asymmetric protocols stay correct).
+  std::vector<exec::LocalState> states_;
+  std::vector<std::uint64_t> word_hashes_;
+  std::unordered_map<exec::LocalState, Lane, exec::LocalStateHash> ids_;
+  std::vector<std::vector<StepCache>> step_;
+  std::vector<Lane> init_sid_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<Lane> sort_buf_;
+
+  // Node arena: lanes, parent edge, transition index, outputs mask.
+  std::vector<Lane> arena_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint16_t> via_;
+  std::vector<unsigned> mask_;
+};
+
+SafetyResult PackedEngine::run_safety(const SafetyOptions& options) {
+  SafetyResult result;
+  unsigned valid_mask = 0;
+  for (const int v : inputs_) valid_mask |= 1u << v;
+
+  const CrashMode mode = options.effective_mode();
+  const bool individual =
+      mode == CrashMode::kIndividual || mode == CrashMode::kBoth;
+  const bool simultaneous =
+      mode == CrashMode::kSimultaneous || mode == CrashMode::kBoth;
+
+  const reduction::ProcessSymmetryReducer reducer(
+      protocol_, inputs_,
+      options.reduce_symmetry && protocol_.process_symmetric());
+
+  std::unordered_set<std::uint32_t, NodeHasher, NodeEq> visited(
+      16, NodeHasher{this}, NodeEq{this});
+  std::unordered_set<std::uint64_t> seen_configs;
+
+  // Root node.
+  std::vector<Lane> node(static_cast<std::size_t>(width_));
+  for (int obj = 0; obj < m_; ++obj) {
+    node[static_cast<std::size_t>(obj)] =
+        static_cast<Lane>(protocol_.initial_value(obj));
+  }
+  for (int pid = 0; pid < n_; ++pid) {
+    node[static_cast<std::size_t>(m_ + pid)] =
+        init_sid_[static_cast<std::size_t>(pid)];
+  }
+  canonicalize(node.data());  // a no-op per the symmetry contract
+  push_node(node.data(), 0, kNoParent, 0);
+  visited.insert(0);
+  seen_configs.insert(config_hash(node.data()));
+
+  std::vector<std::uint32_t> queue{0};
+  std::size_t head = 0;
+  std::vector<Lane> cand(static_cast<std::size_t>(width_));
+
+  const auto fail = [&](std::uint32_t at, bool is_validity, int pid, int value,
+                        unsigned mask) {
+    exec::Schedule schedule;
+    if (reducer.active()) {
+      schedule = reduction::derandomize_schedule(protocol_, inputs_, reducer,
+                                                 segments_to(at))
+                     .schedule;
+      if (is_validity) pid = schedule.back().pid;
+    } else {
+      schedule = concat_segments(segments_to(at));
+    }
+    result.counterexample = std::move(schedule);
+    result.violation = is_validity ? validity_message(pid, value)
+                                   : agreement_message(mask);
+  };
+
+  // Append-then-dedup: push the candidate into the arena, try the visited
+  // set, retract on a duplicate. The set's size therefore always equals
+  // the interpreter's visited.size().
+  const auto try_insert = [&](unsigned mask, std::uint32_t parent,
+                              std::uint16_t via) {
+    const std::uint32_t id = push_node(cand.data(), mask, parent, via);
+    if (visited.insert(id).second) {
+      seen_configs.insert(config_hash(cand.data()));
+      queue.push_back(id);
+    } else {
+      pop_node();
+    }
+  };
+
+  ScanMetrics scan("safety");
+  while (head < queue.size()) {
+    scan.states = visited.size();
+    scan.configs = seen_configs.size();
+    scan.max_frontier = std::max(scan.max_frontier, queue.size() - head);
+    if (visited.size() > options.max_states) {
+      result.states_visited = visited.size();
+      result.configs_visited = seen_configs.size();
+      result.explored_fully = false;
+      return result;
+    }
+    const std::uint32_t id = queue[head++];
+    node.assign(lanes_of(id), lanes_of(id) + width_);
+    const unsigned mask = mask_[id];
+
+    for (int pid = 0; pid < n_; ++pid) {
+      // Step transition. A step of a decided process is a no-op (config
+      // and mask unchanged — the popped node, already visited), so only
+      // invoke states expand.
+      const Lane sid = node[static_cast<std::size_t>(m_ + pid)];
+      const StepCache& info = slot(pid, sid);
+      if (!info.decided) {
+        const int object = info.object;
+        const int op = info.op;
+        const spec::PackedDelta& table =
+            *tables_[static_cast<std::size_t>(object)];
+        std::copy(node.begin(), node.end(), cand.begin());
+        const std::uint32_t entry =
+            table.raw(cand[static_cast<std::size_t>(object)], op);
+        cand[static_cast<std::size_t>(object)] =
+            static_cast<Lane>(table.next_value_of(entry));
+        const Lane nsid = successor(pid, sid, table.response_of(entry));
+        cand[static_cast<std::size_t>(m_ + pid)] = nsid;
+        unsigned next_mask = mask;
+        const StepCache& after = slot(pid, nsid);
+        if (after.decided) {
+          const int v = after.decision;
+          if (((valid_mask >> v) & 1u) == 0) {
+            result.validity_ok = false;
+            const std::uint32_t bad =
+                push_node(cand.data(), mask | (1u << v), id,
+                          static_cast<std::uint16_t>(2 * pid));
+            fail(bad, /*is_validity=*/true, pid, v, 0);
+            result.states_visited = visited.size();
+            result.configs_visited = seen_configs.size();
+            return result;
+          }
+          next_mask |= 1u << v;
+          if (std::popcount(next_mask) >= 2) {
+            result.agreement_ok = false;
+            const std::uint32_t bad =
+                push_node(cand.data(), next_mask, id,
+                          static_cast<std::uint16_t>(2 * pid));
+            fail(bad, /*is_validity=*/false, pid, -1, next_mask);
+            result.states_visited = visited.size();
+            result.configs_visited = seen_configs.size();
+            return result;
+          }
+        }
+        canonicalize(cand.data());
+        try_insert(next_mask, id, static_cast<std::uint16_t>(2 * pid));
+      }
+      // Individual crash transition.
+      if (individual) {
+        std::copy(node.begin(), node.end(), cand.begin());
+        cand[static_cast<std::size_t>(m_ + pid)] =
+            init_sid_[static_cast<std::size_t>(pid)];
+        canonicalize(cand.data());
+        try_insert(mask, id, static_cast<std::uint16_t>(2 * pid + 1));
+      }
+    }
+
+    // Simultaneous crash transition.
+    if (simultaneous) {
+      std::copy(node.begin(), node.end(), cand.begin());
+      for (int pid = 0; pid < n_; ++pid) {
+        cand[static_cast<std::size_t>(m_ + pid)] =
+            init_sid_[static_cast<std::size_t>(pid)];
+      }
+      canonicalize(cand.data());
+      try_insert(mask, id, static_cast<std::uint16_t>(2 * n_));
+    }
+  }
+
+  result.explored_fully = true;
+  result.states_visited = visited.size();
+  result.configs_visited = seen_configs.size();
+  scan.states = visited.size();
+  scan.configs = seen_configs.size();
+  return result;
+}
+
+LivenessResult PackedEngine::run_liveness(const LivenessOptions& options) {
+  LivenessResult result;
+
+  const reduction::ProcessSymmetryReducer reducer(
+      protocol_, inputs_,
+      options.reduce_symmetry && protocol_.process_symmetric());
+
+  std::unordered_set<std::uint32_t, NodeHasher, NodeEq> visited(
+      16, NodeHasher{this}, NodeEq{this});
+  std::unordered_set<std::uint64_t> probed_configs;
+
+  std::vector<Lane> node(static_cast<std::size_t>(width_));
+  for (int obj = 0; obj < m_; ++obj) {
+    node[static_cast<std::size_t>(obj)] =
+        static_cast<Lane>(protocol_.initial_value(obj));
+  }
+  for (int pid = 0; pid < n_; ++pid) {
+    node[static_cast<std::size_t>(m_ + pid)] =
+        init_sid_[static_cast<std::size_t>(pid)];
+  }
+  canonicalize(node.data());
+  push_node(node.data(), 0, kNoParent, 0);
+  visited.insert(0);
+
+  std::vector<std::uint32_t> queue{0};
+  std::size_t head = 0;
+  std::vector<Lane> cand(static_cast<std::size_t>(width_));
+  std::vector<Lane> solo_values(static_cast<std::size_t>(m_));
+
+  // The packed replica of exec::solo_terminating_decision: decided at the
+  // start -> that decision; otherwise run solo crash-free steps until one
+  // moves the process into an output state or the bound runs out.
+  const auto solo_decision = [&](const Lane* lanes,
+                                 int pid) -> std::optional<int> {
+    Lane sid = lanes[m_ + pid];
+    {
+      const StepCache& info = slot(pid, sid);
+      if (info.decided) return info.decision;
+    }
+    std::copy(lanes, lanes + m_, solo_values.begin());
+    for (int i = 0; i < options.solo_step_bound; ++i) {
+      const StepCache& info = slot(pid, sid);
+      const spec::PackedDelta& table =
+          *tables_[static_cast<std::size_t>(info.object)];
+      const std::uint32_t entry =
+          table.raw(solo_values[static_cast<std::size_t>(info.object)],
+                    info.op);
+      solo_values[static_cast<std::size_t>(info.object)] =
+          static_cast<Lane>(table.next_value_of(entry));
+      sid = successor(pid, sid, table.response_of(entry));
+      const StepCache& after = slot(pid, sid);
+      if (after.decided) return after.decision;
+    }
+    return std::nullopt;
+  };
+
+  const auto try_insert = [&](unsigned mask, std::uint32_t parent,
+                              std::uint16_t via) {
+    const std::uint32_t id = push_node(cand.data(), mask, parent, via);
+    if (visited.insert(id).second) {
+      queue.push_back(id);
+    } else {
+      pop_node();
+    }
+  };
+
+  ScanMetrics scan("liveness");
+  while (head < queue.size()) {
+    scan.states = visited.size();
+    scan.configs = probed_configs.size();
+    scan.max_frontier = std::max(scan.max_frontier, queue.size() - head);
+    if (visited.size() > options.max_states) {
+      result.explored_fully = false;
+      return result;
+    }
+    const std::uint32_t id = queue[head++];
+    node.assign(lanes_of(id), lanes_of(id) + width_);
+    const unsigned mask = mask_[id];
+
+    // Probe solo termination once per distinct configuration.
+    if (probed_configs.insert(config_hash(node.data())).second) {
+      result.configs_probed += 1;
+      for (int pid = 0; pid < n_; ++pid) {
+        const std::optional<int> decided = solo_decision(node.data(), pid);
+        if (!decided.has_value()) {
+          result.wait_free = false;
+          if (reducer.active()) {
+            auto fixed = reduction::derandomize_schedule(
+                protocol_, inputs_, reducer, segments_to(id));
+            result.stuck_pid = fixed.real_pid(pid);
+            result.reaching_schedule = std::move(fixed.schedule);
+          } else {
+            result.stuck_pid = pid;
+            result.reaching_schedule = concat_segments(segments_to(id));
+          }
+          return result;
+        }
+      }
+    }
+
+    for (int pid = 0; pid < n_; ++pid) {
+      const Lane sid = node[static_cast<std::size_t>(m_ + pid)];
+      const StepCache& info = slot(pid, sid);
+      if (!info.decided) {
+        const int object = info.object;
+        const int op = info.op;
+        const spec::PackedDelta& table =
+            *tables_[static_cast<std::size_t>(object)];
+        std::copy(node.begin(), node.end(), cand.begin());
+        const std::uint32_t entry =
+            table.raw(cand[static_cast<std::size_t>(object)], op);
+        cand[static_cast<std::size_t>(object)] =
+            static_cast<Lane>(table.next_value_of(entry));
+        const Lane nsid = successor(pid, sid, table.response_of(entry));
+        cand[static_cast<std::size_t>(m_ + pid)] = nsid;
+        unsigned next_mask = mask;
+        const StepCache& after = slot(pid, nsid);
+        if (after.decided) next_mask |= 1u << after.decision;
+        canonicalize(cand.data());
+        try_insert(next_mask, id, static_cast<std::uint16_t>(2 * pid));
+      }
+      if (options.allow_crashes) {
+        std::copy(node.begin(), node.end(), cand.begin());
+        cand[static_cast<std::size_t>(m_ + pid)] =
+            init_sid_[static_cast<std::size_t>(pid)];
+        canonicalize(cand.data());
+        try_insert(mask, id, static_cast<std::uint16_t>(2 * pid + 1));
+      }
+    }
+  }
+
+  result.explored_fully = true;
+  scan.states = visited.size();
+  scan.configs = probed_configs.size();
+  return result;
+}
+
+}  // namespace
+
+SafetyResult check_safety_aot(const exec::Protocol& protocol,
+                              const std::vector<int>& inputs,
+                              const SafetyOptions& options) {
+  const codegen::AcceleratedProtocol accel(protocol);
+  SafetyOptions inner = options;
+  inner.backend = exec::Backend::kInterp;
+  if (options.threads != 1) {
+    // The parallel engines step through apply_event, which consults the
+    // wrapper's packed tables; nothing else changes, so their
+    // deterministic-reduction contract carries over unchanged.
+    return check_safety_parallel(accel, inputs, inner);
+  }
+  if (trace::thread_sink() != nullptr) {
+    // Keep step-level trace hooks firing: route through the interpreter
+    // loop (still table-accelerated via the wrapper).
+    return check_safety(accel, inputs, inner);
+  }
+  try {
+    PackedEngine engine(protocol, accel, inputs,
+                        options.reduce_symmetry &&
+                            protocol.process_symmetric());
+    return engine.run_safety(options);
+  } catch (const LaneOverflow&) {
+    return check_safety(accel, inputs, inner);
+  }
+}
+
+LivenessResult check_liveness_aot(const exec::Protocol& protocol,
+                                  const std::vector<int>& inputs,
+                                  const LivenessOptions& options) {
+  const codegen::AcceleratedProtocol accel(protocol);
+  LivenessOptions inner = options;
+  inner.backend = exec::Backend::kInterp;
+  if (options.threads != 1) {
+    return check_liveness_parallel(accel, inputs, inner);
+  }
+  if (trace::thread_sink() != nullptr) {
+    return check_recoverable_wait_freedom(accel, inputs, inner);
+  }
+  try {
+    PackedEngine engine(protocol, accel, inputs,
+                        options.reduce_symmetry &&
+                            protocol.process_symmetric());
+    return engine.run_liveness(options);
+  } catch (const LaneOverflow&) {
+    return check_recoverable_wait_freedom(accel, inputs, inner);
+  }
+}
+
+}  // namespace rcons::valency::detail

@@ -460,4 +460,184 @@ TEST(CliServe, UsageErrorsExplainThemselvesOnStderr) {
       << err;
 }
 
+std::string loadgen() { return std::string(RCONS_LOADGEN_BIN); }
+std::string codegen_bin() { return std::string(RCONS_CODEGEN_BIN); }
+
+// Every numeric CLI argument goes through the strict util::parse_* helpers:
+// non-numeric text, trailing garbage, '+' signs, out-of-range values, and
+// overflow all exit 2 with NOTHING on stdout. Before the sweep some of
+// these (e.g. "--threads=2x", "profile cas3 3x") were silently accepted by
+// atoi as 2 and 3.
+TEST(CliNumeric, BadNumericArgumentsExitTwoWithPureStdout) {
+  const char* const bad_invocations[] = {
+      "verify cas 2 --threads=banana",
+      "verify cas 2 --threads=-1",
+      "verify cas 2 --threads=2x",             // trailing garbage
+      "verify cas 2 --threads=+4",             // '+' is not a digit
+      "verify cas 2 --threads=",
+      "verify cas 2 --max-states=0",
+      "verify cas 2 --max-states=abc",
+      "verify cas 2 --max-states=-5",
+      "verify cas 2 --backend=jit",
+      "profile cas3 0",
+      "profile cas3 3x",
+      "profile cas3 99999999999999999999",     // int overflow
+      "witnesses tas 1",                       // below the n floor
+      "witnesses tas 13",                      // above the n ceiling
+      "witnesses tas 2x",
+      "search -5",
+      "search 0",
+      "search 2 0",
+      "search 2 10 -1",                        // seed is unsigned
+      "order --all register2 register3 --max-n=2x",
+  };
+  for (const char* invocation : bad_invocations) {
+    int exit_code = -1;
+    const std::string out = capture_stdout(
+        cli() + " " + invocation + " --format=json 2>/dev/null", &exit_code);
+    EXPECT_EQ(exit_code, 2) << invocation;
+    EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
+  }
+}
+
+TEST(CliNumeric, BadNumericArgumentsExplainThemselvesOnStderr) {
+  const struct {
+    const char* invocation;
+    const char* message;
+  } cases[] = {
+      {"verify cas 2 --threads=banana", "--threads wants a count >= 0"},
+      {"verify cas 2 --max-states=0",
+       "--max-states wants a state count >= 1"},
+      {"verify cas 2 --backend=jit", "unknown backend 'jit' (interp|aot)"},
+      {"profile cas3 3x", "profile <type> [max_n >= 1]"},
+      {"witnesses tas 1", "witnesses wants an n in [2, 12]"},
+  };
+  for (const auto& c : cases) {
+    int exit_code = -1;
+    const std::string err = capture_stdout(
+        cli() + " " + std::string(c.invocation) + " 2>&1 >/dev/null",
+        &exit_code);
+    EXPECT_EQ(exit_code, 2) << c.invocation;
+    EXPECT_NE(err.find(c.message), std::string::npos)
+        << c.invocation << " said: " << err;
+  }
+}
+
+// --threads=0 spells "use the hardware thread count" — the contract shared
+// by rcons_cli, serve, and rcons_loadgen (anything below 0 is a usage
+// error, covered above).
+TEST(CliNumeric, ThreadsZeroMeansHardwareConcurrency) {
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      cli() + " verify cas 2 --threads=0 --format=json 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+}
+
+// rcons_loadgen shares the strict-parse helpers and the exit-2 contract;
+// flag validation happens before any connection is attempted.
+TEST(CliLoadgen, BadNumericFlagsExitTwoBeforeConnecting) {
+  const char* const bad_invocations[] = {
+      "--port=abc",  "--port=-1",        "--port=70000",
+      "--clients=0", "--clients=x",      "--requests=banana",
+      "--requests=-3", "--max-n=0",      "--max-n=2x",
+  };
+  for (const char* invocation : bad_invocations) {
+    int exit_code = -1;
+    const std::string out = capture_stdout(
+        loadgen() + " " + invocation + " 2>/dev/null", &exit_code);
+    EXPECT_EQ(exit_code, 2) << invocation;
+    EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
+  }
+}
+
+// The --backend flag must be invisible in the output: the same command
+// under interp and aot produces byte-identical JSON documents (stats,
+// witnesses, and schedules included). This is the CLI-level face of the
+// bit-identity contract pinned engine-by-engine in codegen_test.cpp.
+TEST(CliBackend, VerifyOutputIsByteIdenticalAcrossBackends) {
+  int code_interp = -1;
+  int code_aot = -1;
+  const std::string interp = capture_stdout(
+      cli() + " verify recording cas3 2 --format=json --backend=interp"
+              " 2>/dev/null",
+      &code_interp);
+  const std::string aot = capture_stdout(
+      cli() + " verify recording cas3 2 --format=json --backend=aot"
+              " 2>/dev/null",
+      &code_aot);
+  EXPECT_EQ(code_interp, 0);
+  EXPECT_EQ(code_aot, 0);
+  ASSERT_FALSE(interp.empty());
+  EXPECT_TRUE(JsonParser(interp).parse_document()) << interp;
+  EXPECT_EQ(interp, aot);
+}
+
+TEST(CliBackend, ProfileOutputIsByteIdenticalAcrossBackends) {
+  int code_interp = -1;
+  int code_aot = -1;
+  const std::string interp = capture_stdout(
+      cli() + " profile cas3 3 --cache=off --format=json --backend=interp"
+              " 2>/dev/null",
+      &code_interp);
+  const std::string aot = capture_stdout(
+      cli() + " profile cas3 3 --cache=off --format=json --backend=aot"
+              " 2>/dev/null",
+      &code_aot);
+  EXPECT_EQ(code_interp, 0);
+  EXPECT_EQ(code_aot, 0);
+  ASSERT_FALSE(interp.empty());
+  EXPECT_EQ(interp, aot);
+}
+
+// The rcons_codegen tool: --check over the checked-in generated files must
+// report no drift (the same gate CI runs), a lint-rejected spec exits 1
+// with one structured JSON findings document on stdout and writes NO
+// files, and usage errors exit 2.
+TEST(CliCodegen, CheckModeFindsNoDriftOnTheCheckedInFiles) {
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      codegen_bin() + " --out=" RCONS_SOURCE_DIR "/src/codegen/generated"
+                      " --builtin " RCONS_SOURCE_DIR "/data --check"
+                      " 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0)
+      << "generated steppers drifted — regenerate with "
+         "rcons_codegen --out=src/codegen/generated --builtin data";
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST(CliCodegen, RejectionEmitsOneJsonFindingsDocumentAndWritesNothing) {
+  const std::string dir = scratch_dir("codegen_reject");
+  int exit_code = -1;
+  const std::string out = capture_stdout(
+      codegen_bin() + " --out=" + dir +
+          " --format=json"
+          " " RCONS_SOURCE_DIR "/data/broken/ts006_duplicate_row.type"
+          " 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"TS006\""), std::string::npos) << out;
+  EXPECT_FALSE(std::filesystem::exists(dir + "/steppers_gen.cpp"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/steppers_gen.hpp"));
+}
+
+TEST(CliCodegen, UsageErrorsExitTwo) {
+  const char* const bad_invocations[] = {
+      "",                                   // no --out, no inputs
+      "--out=/tmp/x",                       // no inputs, no --builtin
+      "--out=/tmp/x --no-such-flag",        // unknown flag
+      "--out=/tmp/x /no/such/file.type",    // missing input
+  };
+  for (const char* invocation : bad_invocations) {
+    int exit_code = -1;
+    const std::string out = capture_stdout(
+        codegen_bin() + " " + invocation + " 2>/dev/null", &exit_code);
+    EXPECT_EQ(exit_code, 2) << invocation;
+    EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
+  }
+}
+
 }  // namespace

@@ -1,0 +1,578 @@
+// The AOT stepper soundness suite (DESIGN.md §14).
+//
+// Three layers, matching the backend's soundness argument:
+//   1. Registry: every golden-corpus type (catalog + data/*.type) resolves
+//      to a compiled stepper that packed_matches_type proves equal to
+//      ObjectType::apply, and matching is structural (names don't matter).
+//   2. Emitter: emission is a deterministic function of the input set, the
+//      checked-in generated files byte-match a fresh emission (the same
+//      gate CI runs via rcons_codegen --check), and lint-rejected file
+//      specs produce a structured error instead of generated-but-wrong
+//      code.
+//   3. Engines: --backend=aot reproduces the interpreter field-for-field —
+//      golden protocols across crash modes, truncated runs, the parallel
+//      engine, profile scans, and a 200-seed random-protocol differential
+//      (a data-race hunt under the TSan CI configuration).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/cas_consensus.hpp"
+#include "algo/protocol_base.hpp"
+#include "algo/recording_consensus.hpp"
+#include "algo/tas_racing.hpp"
+#include "algo/tnn_protocols.hpp"
+#include "analysis/rules.hpp"
+#include "codegen/emit.hpp"
+#include "codegen/registry.hpp"
+#include "exec/backend.hpp"
+#include "exec/event.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "hierarchy/search.hpp"
+#include "reduction/verdict_cache.hpp"
+#include "serve/commands.hpp"
+#include "spec/builder.hpp"
+#include "spec/catalog.hpp"
+#include "spec/packed_delta.hpp"
+#include "spec/serialize.hpp"
+#include "util/rng.hpp"
+#include "valency/model_checker.hpp"
+
+namespace rcons {
+namespace {
+
+std::string source_path(const std::string& relative) {
+  return std::string(RCONS_SOURCE_DIR) + "/" + relative;
+}
+
+std::string read_file_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// data/*.type, immediate children only (data/broken/ must stay out of the
+/// golden corpus — the tool's directory expansion has the same contract),
+/// sorted by path like the tool sorts them.
+std::vector<std::string> golden_type_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(source_path("data"))) {
+    if (entry.path().extension() == ".type") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_FALSE(files.empty());
+  return files;
+}
+
+spec::ObjectType parse_file_or_die(const std::string& path) {
+  const spec::ParseResult parsed = spec::parse_type(read_file_or_die(path));
+  EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+  return *parsed.type;
+}
+
+/// The same machine under fresh names: values/ops/responses re-declared in
+/// id order (so ids — and therefore delta entries and the fingerprint —
+/// are untouched) but every label replaced.
+spec::ObjectType relabel(const spec::ObjectType& type) {
+  spec::TypeBuilder b(type.name() + "_relabeled");
+  for (spec::ValueId v = 0; v < type.value_count(); ++v) {
+    b.value("v" + std::to_string(v));
+  }
+  for (spec::OpId op = 0; op < type.op_count(); ++op) {
+    b.op("o" + std::to_string(op));
+  }
+  for (spec::ResponseId r = 0; r < type.response_count(); ++r) {
+    b.response("r" + std::to_string(r));
+  }
+  for (spec::ValueId v = 0; v < type.value_count(); ++v) {
+    for (spec::OpId op = 0; op < type.op_count(); ++op) {
+      const spec::Effect& e = type.apply(v, op);
+      b.on("v" + std::to_string(v), "o" + std::to_string(op))
+          .then("v" + std::to_string(e.next_value))
+          .returns("r" + std::to_string(e.response));
+    }
+  }
+  return b.build();
+}
+
+/// The exact input set `rcons_codegen --out=src/codegen/generated
+/// --builtin data` emits from: catalog shapes (no text), then data/*.type
+/// (stem name, raw text).
+std::vector<codegen::EmitInput> golden_emit_inputs() {
+  std::vector<codegen::EmitInput> inputs;
+  for (const auto& [name, make] : serve::type_catalog()) {
+    codegen::EmitInput input;
+    input.name = name;
+    input.type = make();
+    inputs.push_back(std::move(input));
+  }
+  for (const std::string& path : golden_type_files()) {
+    codegen::EmitInput input;
+    input.name = std::filesystem::path(path).stem().string();
+    input.text = read_file_or_die(path);
+    const spec::ParseResult parsed = spec::parse_type(input.text);
+    EXPECT_TRUE(parsed.ok()) << path;
+    if (parsed.ok()) input.type = *parsed.type;
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: the registry.
+
+TEST(CodegenRegistry, EveryCatalogTypeHasAVerifiedCompiledStepper) {
+  EXPECT_GE(codegen::compiled_count(), 20u);
+  for (const auto& [name, make] : serve::type_catalog()) {
+    SCOPED_TRACE(name);
+    const spec::ObjectType type = make();
+    const spec::PackedDelta* packed = codegen::find_compiled(type);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_TRUE(spec::packed_matches_type(*packed, type));
+  }
+}
+
+TEST(CodegenRegistry, EveryGoldenTypeFileHasAVerifiedCompiledStepper) {
+  for (const std::string& path : golden_type_files()) {
+    SCOPED_TRACE(path);
+    const spec::ObjectType type = parse_file_or_die(path);
+    const spec::PackedDelta* packed = codegen::find_compiled(type);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_TRUE(spec::packed_matches_type(*packed, type));
+  }
+}
+
+// Matching is structural: a renamed-but-identical machine carries the same
+// fingerprint and still hits the table compiled from the original names.
+TEST(CodegenRegistry, LookupIgnoresNames) {
+  for (const auto& [name, make] : serve::type_catalog()) {
+    SCOPED_TRACE(name);
+    const spec::ObjectType original = make();
+    const spec::ObjectType renamed = relabel(original);
+    EXPECT_EQ(spec::delta_fingerprint(original),
+              spec::delta_fingerprint(renamed));
+    const spec::PackedDelta* packed = codegen::find_compiled(renamed);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_TRUE(spec::packed_matches_type(*packed, renamed));
+  }
+}
+
+// A machine outside the compiled corpus misses the registry but packed_for
+// still serves a verified runtime re-encoding.
+TEST(CodegenRegistry, MissRebuildsAVerifiedTableAtRuntime) {
+  spec::TypeBuilder b("not_in_corpus");
+  for (int v = 0; v < 6; ++v) b.value("q" + std::to_string(v));
+  b.op("bump");
+  for (int r = 0; r < 6; ++r) b.response("b" + std::to_string(r));
+  for (int v = 0; v < 6; ++v) {
+    // An irregular permutation no catalog machine uses.
+    const int next = (v * v + 1) % 6;
+    b.on("q" + std::to_string(v), "bump")
+        .then("q" + std::to_string(next))
+        .returns("b" + std::to_string(v));
+  }
+  b.make_read_op("peek");
+  const spec::ObjectType type = b.build();
+
+  EXPECT_EQ(codegen::find_compiled(type), nullptr);
+  std::unique_ptr<spec::PackedDelta> storage;
+  const spec::PackedDelta* packed = codegen::packed_for(type, &storage);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_NE(storage, nullptr);  // runtime rebuild, not a compiled hit
+  EXPECT_TRUE(spec::packed_matches_type(*packed, type));
+}
+
+TEST(CodegenRegistry, CompiledHitsSkipTheRuntimeRebuild) {
+  std::unique_ptr<spec::PackedDelta> storage;
+  const spec::PackedDelta* packed =
+      codegen::packed_for(spec::make_cas(3), &storage);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(storage, nullptr);  // served from the compiled corpus
+  EXPECT_TRUE(spec::packed_matches_type(*packed, spec::make_cas(3)));
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: the emitter.
+
+TEST(CodegenEmit, EmissionIsDeterministic) {
+  const std::vector<codegen::EmitInput> inputs = golden_emit_inputs();
+  const codegen::EmitResult first = codegen::emit_steppers(inputs);
+  const codegen::EmitResult second = codegen::emit_steppers(inputs);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.header, second.header);
+  EXPECT_EQ(first.source, second.source);
+  EXPECT_EQ(first.emitted, second.emitted);
+}
+
+// The in-tree drift gate: the checked-in generated files must byte-match a
+// fresh emission of the golden corpus. CI runs the same comparison via
+// `rcons_codegen --out=src/codegen/generated --builtin data --check`.
+TEST(CodegenEmit, CheckedInGeneratedFilesMatchAFreshEmission) {
+  const codegen::EmitResult fresh =
+      codegen::emit_steppers(golden_emit_inputs());
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_GE(fresh.emitted.size(), 20u);
+  EXPECT_EQ(fresh.header,
+            read_file_or_die(source_path(
+                "src/codegen/generated/steppers_gen.hpp")))
+      << "stale generated header — regenerate with "
+         "rcons_codegen --out=src/codegen/generated --builtin data";
+  EXPECT_EQ(fresh.source,
+            read_file_or_die(source_path(
+                "src/codegen/generated/steppers_gen.cpp")))
+      << "stale generated source — regenerate with "
+         "rcons_codegen --out=src/codegen/generated --builtin data";
+}
+
+// A lint-rejected file spec fails the whole emission with the findings as
+// structured evidence — never generated-but-wrong code.
+TEST(CodegenEmit, RejectsLintFailingFileSpecWithStructuredFindings) {
+  codegen::EmitInput input;
+  input.name = "ts006_duplicate_row";
+  input.text =
+      read_file_or_die(source_path("data/broken/ts006_duplicate_row.type"));
+  const spec::ParseResult parsed = spec::parse_type(input.text);
+  ASSERT_TRUE(parsed.ok());  // the parser keeps the last row; the lint sees it
+  input.type = *parsed.type;
+
+  const codegen::EmitResult result = codegen::emit_steppers({input});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("lint rejected 'ts006_duplicate_row'"),
+            std::string::npos)
+      << result.error;
+  EXPECT_TRUE(result.header.empty());
+  EXPECT_TRUE(result.source.empty());
+  EXPECT_TRUE(result.emitted.empty());
+  bool saw_ts006 = false;
+  for (const analysis::Diagnostic& d : result.findings.diagnostics()) {
+    if (d.rule == analysis::kRuleNondeterministicRow &&
+        d.severity == analysis::Severity::kError) {
+      saw_ts006 = true;
+    }
+  }
+  EXPECT_TRUE(saw_ts006) << result.findings.render_text();
+}
+
+// Built-in catalog shapes surface findings without gating: the catalog
+// deliberately ships regime-demonstrating machines (peek_queue2 fails
+// TS003 by design) and their steppers are still sound by
+// packed_matches_type.
+TEST(CodegenEmit, BuiltinFindingsSurfaceButDoNotGate) {
+  codegen::EmitInput input;
+  input.name = "peek_queue2";
+  input.type = spec::make_peek_queue(2);
+  const codegen::EmitResult result = codegen::emit_steppers({input});
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.findings.error_count(), 0);
+  ASSERT_EQ(result.emitted.size(), 1u);
+  EXPECT_EQ(result.emitted[0], "peek_queue2");
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: the engines. Same comparators as the parallel differentials —
+// every result field, including counterexample schedules, must match.
+
+void ExpectSameSafety(const valency::SafetyResult& interp,
+                      const valency::SafetyResult& aot) {
+  ASSERT_EQ(interp.explored_fully, aot.explored_fully);
+  ASSERT_EQ(interp.agreement_ok, aot.agreement_ok);
+  ASSERT_EQ(interp.validity_ok, aot.validity_ok);
+  ASSERT_EQ(interp.states_visited, aot.states_visited);
+  ASSERT_EQ(interp.configs_visited, aot.configs_visited);
+  ASSERT_EQ(interp.violation, aot.violation);
+  ASSERT_EQ(interp.counterexample.has_value(), aot.counterexample.has_value());
+  if (interp.counterexample.has_value()) {
+    ASSERT_EQ(exec::schedule_to_string(*interp.counterexample),
+              exec::schedule_to_string(*aot.counterexample));
+  }
+}
+
+void ExpectSameLiveness(const valency::LivenessResult& interp,
+                        const valency::LivenessResult& aot) {
+  ASSERT_EQ(interp.explored_fully, aot.explored_fully);
+  ASSERT_EQ(interp.wait_free, aot.wait_free);
+  ASSERT_EQ(interp.configs_probed, aot.configs_probed);
+  ASSERT_EQ(interp.stuck_pid, aot.stuck_pid);
+  ASSERT_EQ(interp.reaching_schedule.has_value(),
+            aot.reaching_schedule.has_value());
+  if (interp.reaching_schedule.has_value()) {
+    ASSERT_EQ(exec::schedule_to_string(*interp.reaching_schedule),
+              exec::schedule_to_string(*aot.reaching_schedule));
+  }
+}
+
+void ExpectBackendsAgree(const exec::Protocol& protocol,
+                         const std::vector<int>& inputs,
+                         valency::SafetyOptions safety) {
+  safety.backend = exec::Backend::kInterp;
+  const valency::SafetyResult interp =
+      valency::check_safety(protocol, inputs, safety);
+  safety.backend = exec::Backend::kAot;
+  ExpectSameSafety(interp, valency::check_safety(protocol, inputs, safety));
+}
+
+TEST(AotBackend, GoldenProtocolsMatchInterpAcrossCrashModes) {
+  const algo::CasConsensus cas2(2);
+  const algo::CasConsensus cas3(3);
+  const algo::TasRacingConsensus tas;
+  const algo::RecordingConsensus recording(spec::make_cas(3), 2);
+  const std::vector<const exec::Protocol*> protocols = {&cas2, &cas3, &tas,
+                                                        &recording};
+  for (const exec::Protocol* protocol : protocols) {
+    SCOPED_TRACE(protocol->name());
+    for (const std::vector<int>& inputs :
+         valency::all_binary_inputs(protocol->process_count())) {
+      for (int mode = 0; mode < 4; ++mode) {
+        valency::SafetyOptions safety;
+        safety.crash_mode = static_cast<valency::CrashMode>(mode);
+        ExpectBackendsAgree(*protocol, inputs, safety);
+      }
+      valency::LivenessOptions liveness;
+      liveness.solo_step_bound = 64;
+      liveness.backend = exec::Backend::kInterp;
+      const valency::LivenessResult interp =
+          valency::check_recoverable_wait_freedom(*protocol, inputs, liveness);
+      liveness.backend = exec::Backend::kAot;
+      ExpectSameLiveness(interp, valency::check_recoverable_wait_freedom(
+                                     *protocol, inputs, liveness));
+    }
+  }
+}
+
+TEST(AotBackend, SymmetryReductionMatchesInterp) {
+  const algo::CasConsensus cas3(3);
+  for (const std::vector<int>& inputs : valency::all_binary_inputs(3)) {
+    valency::SafetyOptions safety;
+    safety.crash_mode = valency::CrashMode::kBoth;
+    safety.reduce_symmetry = true;
+    ExpectBackendsAgree(cas3, inputs, safety);
+  }
+}
+
+// Truncated runs must truncate identically: same explored_fully flag, same
+// partial state counts.
+TEST(AotBackend, TruncationParity) {
+  const algo::CasConsensus cas3(3);
+  for (const std::size_t max_states : {std::size_t{1}, std::size_t{40},
+                                       std::size_t{400}}) {
+    SCOPED_TRACE(max_states);
+    valency::SafetyOptions safety;
+    safety.crash_mode = valency::CrashMode::kBoth;
+    safety.max_states = max_states;
+    ExpectBackendsAgree(cas3, {0, 1, 1}, safety);
+  }
+}
+
+TEST(AotBackend, ParallelAotMatchesSerialInterp) {
+  const algo::TnnRecoverableConsensus protocol(3, 2, 2);
+  valency::SafetyOptions interp_options;
+  interp_options.crash_mode = valency::CrashMode::kBoth;
+  const valency::SafetyResult interp =
+      valency::check_safety(protocol, {0, 1}, interp_options);
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    valency::SafetyOptions aot_options = interp_options;
+    aot_options.backend = exec::Backend::kAot;
+    aot_options.threads = threads;
+    ExpectSameSafety(interp,
+                     valency::check_safety(protocol, {0, 1}, aot_options));
+  }
+}
+
+// Profile scans (what `rcons_cli profile --backend=aot` runs) produce the
+// same levels.
+TEST(AotBackend, ProfileLevelsMatchInterp) {
+  const struct {
+    spec::ObjectType type;
+    int max_n;
+  } cases[] = {
+      {spec::make_test_and_set(), 4},
+      {spec::make_cas(3), 3},
+      {spec::make_sticky_bit(), 3},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.type.name());
+    hierarchy::ProfileOptions options;
+    options.backend = exec::Backend::kInterp;
+    const hierarchy::TypeProfile interp =
+        hierarchy::compute_profile(c.type, c.max_n, options);
+    options.backend = exec::Backend::kAot;
+    const hierarchy::TypeProfile aot =
+        hierarchy::compute_profile(c.type, c.max_n, options);
+    EXPECT_EQ(interp.readable, aot.readable);
+    EXPECT_EQ(interp.discerning, aot.discerning);
+    EXPECT_EQ(interp.recording, aot.recording);
+  }
+}
+
+// The cache-warm leg: an interp run populates the verdict cache, an aot
+// run reads it back (and vice versa) — backends share cache entries
+// because verdicts are bit-identical, so warm levels must equal cold ones
+// regardless of which backend warmed the cache.
+TEST(AotBackend, WarmVerdictCacheIsBackendAgnostic) {
+  const std::string dir = testing::TempDir() + "rcons_codegen_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const reduction::VerdictCache cache(dir);
+  const spec::ObjectType type = spec::make_cas(3);
+
+  hierarchy::ProfileOptions cold;
+  cold.cache = &cache;
+  cold.backend = exec::Backend::kInterp;
+  const hierarchy::TypeProfile interp_cold =
+      hierarchy::compute_profile(type, 3, cold);
+
+  hierarchy::ProfileOptions warm;
+  warm.cache = &cache;
+  warm.backend = exec::Backend::kAot;
+  const hierarchy::TypeProfile aot_warm =
+      hierarchy::compute_profile(type, 3, warm);
+  EXPECT_EQ(interp_cold.discerning, aot_warm.discerning);
+  EXPECT_EQ(interp_cold.recording, aot_warm.recording);
+
+  // And cold-aot equals both (nothing about the levels depends on which
+  // backend computed or cached them).
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const hierarchy::TypeProfile aot_cold =
+      hierarchy::compute_profile(type, 3, warm);
+  EXPECT_EQ(interp_cold.discerning, aot_cold.discerning);
+  EXPECT_EQ(interp_cold.recording, aot_cold.recording);
+}
+
+/// Same random-protocol genome as the parallel stress sweep: random
+/// readable machines, random per-process programs, optional spin loops and
+/// out-of-range decisions — safe runs, violations of each kind, and
+/// liveness failures alike.
+class RandomProtocol : public algo::ProtocolBase {
+ public:
+  explicit RandomProtocol(std::uint64_t seed)
+      : RandomProtocol(Params::draw(seed)) {}
+
+  exec::Action poised(exec::ProcessId pid,
+                      const exec::LocalState& state) const override {
+    if (is_decided(state)) return exec::Action::decided(decision_of(state));
+    const auto pc = state.words[0];
+    if (pc >= params_.steps) {
+      const std::int64_t last_response =
+          state.words.size() > 2 ? state.words[2] : 0;
+      const int decision = static_cast<int>(
+          (last_response * params_.decide_mul + state.words[1] +
+           params_.decide_add) %
+          params_.decide_mod);
+      return exec::Action::decided(decision);
+    }
+    return exec::Action::invoke(
+        obj_, params_.op_at[static_cast<std::size_t>(
+                  pid * params_.steps + static_cast<int>(pc))]);
+  }
+
+  exec::LocalState advance(exec::ProcessId, const exec::LocalState& state,
+                           spec::ResponseId response) const override {
+    exec::LocalState next = state;
+    if (params_.spin_pc >= 0 && state.words[0] == params_.spin_pc &&
+        response == params_.spin_response) {
+      return next;  // spin: stay at this pc forever
+    }
+    next.words[0] += 1;
+    next.words.resize(3, 0);
+    next.words[2] = response;
+    return next;
+  }
+
+ private:
+  struct Params {
+    int n = 2;
+    int steps = 2;
+    spec::ObjectType type;
+    std::vector<spec::OpId> op_at;  // [pid * steps + pc]
+    std::int64_t decide_mul = 1;
+    std::int64_t decide_add = 0;
+    std::int64_t decide_mod = 2;
+    int spin_pc = -1;  // -1: no spin loop
+    spec::ResponseId spin_response = 0;
+
+    static Params draw(std::uint64_t seed) {
+      Xoshiro256 rng(seed);
+      Params p;
+      p.n = 2 + static_cast<int>(rng.below(2));      // 2..3
+      p.steps = 1 + static_cast<int>(rng.below(3));  // 1..3
+      const int value_count = 3 + static_cast<int>(rng.below(2));
+      p.type = hierarchy::random_readable_type(value_count, /*op_count=*/2,
+                                               /*response_count=*/3,
+                                               rng.next());
+      p.op_at.resize(static_cast<std::size_t>(p.n * p.steps));
+      for (auto& op : p.op_at) {
+        op = static_cast<spec::OpId>(
+            rng.below(static_cast<std::uint64_t>(p.type.op_count())));
+      }
+      p.decide_mul = static_cast<std::int64_t>(1 + rng.below(3));
+      p.decide_add = static_cast<std::int64_t>(rng.below(3));
+      p.decide_mod = static_cast<std::int64_t>(2 + rng.below(2));  // 2..3
+      if (rng.chance(0.3)) {
+        p.spin_pc =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(p.steps)));
+        p.spin_response = static_cast<spec::ResponseId>(rng.below(
+            static_cast<std::uint64_t>(p.type.response_count())));
+      }
+      return p;
+    }
+  };
+
+  explicit RandomProtocol(Params params)
+      : ProtocolBase("random_protocol", params.n), params_(std::move(params)) {
+    obj_ = add_object(params_.type, params_.type.value_name(0));
+  }
+
+  Params params_;
+  exec::ObjectId obj_ = 0;
+};
+
+// Every random machine is OUTSIDE the compiled corpus, so this sweep
+// exercises the miss-and-rebuild path end to end; the parallel legs double
+// as a data-race hunt under the TSan CI configuration.
+TEST(AotBackend, TwoHundredRandomProtocolsMatchInterp) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RandomProtocol protocol(seed);
+    std::vector<int> inputs(
+        static_cast<std::size_t>(protocol.process_count()), 1);
+    inputs[0] = 0;
+
+    valency::SafetyOptions safety;
+    safety.crash_mode = static_cast<valency::CrashMode>(seed % 4);
+    safety.max_states = (seed % 5 == 0) ? 40 : 50'000;  // truncate some runs
+    const valency::SafetyResult safety_interp =
+        valency::check_safety(protocol, inputs, safety);
+    safety.backend = exec::Backend::kAot;
+    ExpectSameSafety(safety_interp,
+                     valency::check_safety(protocol, inputs, safety));
+    safety.threads = 2 + static_cast<int>(seed % 7);  // parallel + AOT
+    ExpectSameSafety(safety_interp,
+                     valency::check_safety(protocol, inputs, safety));
+
+    valency::LivenessOptions liveness;
+    liveness.solo_step_bound = 64;
+    liveness.max_states = (seed % 7 == 0) ? 25 : 50'000;
+    const valency::LivenessResult liveness_interp =
+        valency::check_recoverable_wait_freedom(protocol, inputs, liveness);
+    liveness.backend = exec::Backend::kAot;
+    ExpectSameLiveness(liveness_interp, valency::check_recoverable_wait_freedom(
+                                            protocol, inputs, liveness));
+  }
+}
+
+}  // namespace
+}  // namespace rcons

@@ -65,8 +65,18 @@
 // Global flags (any position):
 //   --threads=N      exploration parallelism for verify/profile/search/
 //                    lint-protocol. Default: the hardware thread count;
-//                    --threads=1 runs the original serial engines. Results
-//                    are bit-identical for every thread count (DESIGN.md §7).
+//                    --threads=1 runs the original serial engines;
+//                    --threads=0 spells "hardware thread count" explicitly;
+//                    negative or non-numeric counts are usage errors
+//                    (exit 2). Results are bit-identical for every thread
+//                    count (DESIGN.md §7).
+//   --backend=B      exec stepper for verify/profile/serve (DESIGN.md
+//                    §14). B = interp (default): ObjectType::apply; B =
+//                    aot: the compiled branch-free delta tables from
+//                    rcons_codegen (types without a compiled stepper get
+//                    one built and verified at startup). Verdicts,
+//                    witnesses, counterexamples, and stats are
+//                    bit-identical across backends — only speed changes.
 //   --format=json    machine-readable stdout for verify, profile, lint,
 //                    order, and explain (one JSON document; all progress
 //                    goes to stderr)
@@ -113,12 +123,14 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "exec/backend.hpp"
 #include "hierarchy/search.hpp"
 #include "hierarchy/witnesses.hpp"
 #include "reduction/verdict_cache.hpp"
@@ -128,6 +140,7 @@
 #include "trace/counterexample.hpp"
 #include "trace/metrics.hpp"
 #include "trace/replay.hpp"
+#include "util/numeric.hpp"
 #include "util/parallel.hpp"
 #include "valency/critical.hpp"
 #include "valency/lemmas.hpp"
@@ -151,6 +164,8 @@ bool g_reduce = true;          // --reduce=symmetry|none
 bool g_cache_on = true;        // --cache=on|off (profile verdict cache)
 bool g_bounds_on = true;       // --bounds=on|off (static pre-verdict pass)
 std::string g_cache_dir;       // --cache-dir=DIR; empty = default location
+rcons::exec::Backend g_backend =
+    rcons::exec::Backend::kInterp;  // --backend=interp|aot
 
 int fail(const std::string& message) {
   std::fprintf(stderr, "rcons_cli: %s\n", message.c_str());
@@ -164,6 +179,7 @@ rcons::serve::EngineOptions engine_options() {
   options.reduce = g_reduce;
   options.bounds = g_bounds_on;
   options.max_states = g_max_states;
+  options.backend = g_backend;
   return options;
 }
 
@@ -401,8 +417,11 @@ int cmd_order(int argc, char** argv) {
       continue;
     }
     if (arg.rfind("--max-n=", 0) == 0) {
-      max_n = std::atoi(arg.substr(8).c_str());
-      if (max_n < 2) return fail("--max-n wants a level >= 2");
+      if (!rcons::util::parse_int_arg(arg.substr(8), 2,
+                                      std::numeric_limits<int>::max(),
+                                      &max_n)) {
+        return fail("--max-n wants a level >= 2");
+      }
       continue;
     }
     if (arg.rfind("--dot-out=", 0) == 0) {
@@ -506,43 +525,29 @@ int cmd_serve(int argc, char** argv) {
   std::size_t queue_depth = 64;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    const auto uint_value = [&](std::size_t prefix_len,
-                                long long* out) {
-      const std::string value = arg.substr(prefix_len);
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
-        return false;
-      }
-      *out = std::atoll(value.c_str());
-      return true;
-    };
     if (arg.rfind("--socket=", 0) == 0) {
       socket_path = arg.substr(9);
       if (socket_path.empty()) return fail("--socket wants a path");
       continue;
     }
     if (arg.rfind("--port=", 0) == 0) {
-      long long value = 0;
-      if (!uint_value(7, &value) || value > 65535) {
+      if (!rcons::util::parse_int_arg(arg.substr(7), 0, 65535, &port)) {
         return fail("--port wants a port number (0 = ephemeral)");
       }
-      port = static_cast<int>(value);
       continue;
     }
     if (arg.rfind("--workers=", 0) == 0) {
-      long long value = 0;
-      if (!uint_value(10, &value) || value < 1 || value > 1024) {
+      if (!rcons::util::parse_int_arg(arg.substr(10), 1, 1024, &workers)) {
         return fail("--workers wants a count in [1, 1024]");
       }
-      workers = static_cast<int>(value);
       continue;
     }
     if (arg.rfind("--queue-depth=", 0) == 0) {
-      long long value = 0;
-      if (!uint_value(14, &value) || value < 1) {
+      if (!rcons::util::parse_size_arg(
+              arg.substr(14), 1, std::numeric_limits<std::size_t>::max(),
+              &queue_depth)) {
         return fail("--queue-depth wants a count >= 1");
       }
-      queue_depth = static_cast<std::size_t>(value);
       continue;
     }
     return fail("unknown serve flag '" + arg + "'");
@@ -555,6 +560,7 @@ int cmd_serve(int argc, char** argv) {
   service_options.default_threads = g_threads;
   service_options.reduce = g_reduce;
   service_options.bounds = g_bounds_on;
+  service_options.backend = g_backend;
   service_options.max_states_cap = g_max_states;
   if (g_cache_on) {
     service_options.cache_dir =
@@ -626,10 +632,25 @@ int dispatch(int argc, char** argv) {
     return cmd_replay(argv[2]);
   }
   if (cmd == "search") {
-    return cmd_search(argc > 2 ? std::atoi(argv[2]) : 10,
-                      argc > 3 ? std::atoi(argv[3]) : 200,
-                      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4]))
-                               : 1);
+    int restarts = 10;
+    int mutations = 200;
+    std::uint64_t seed = 1;
+    if (argc > 2 &&
+        !rcons::util::parse_int_arg(argv[2], 1,
+                                    std::numeric_limits<int>::max(),
+                                    &restarts)) {
+      return fail("search [restarts >= 1] [mutations >= 1] [seed]");
+    }
+    if (argc > 3 &&
+        !rcons::util::parse_int_arg(argv[3], 1,
+                                    std::numeric_limits<int>::max(),
+                                    &mutations)) {
+      return fail("search [restarts >= 1] [mutations >= 1] [seed]");
+    }
+    if (argc > 4 && !rcons::util::parse_uint64_arg(argv[4], &seed)) {
+      return fail("search seed wants an unsigned 64-bit number");
+    }
+    return cmd_search(restarts, mutations, seed);
   }
   if (cmd == "verify" || cmd == "critical" || cmd == "chain") {
     std::string error;
@@ -669,18 +690,29 @@ int dispatch(int argc, char** argv) {
   }
   if (cmd == "profile") {
     int max_n = 5;
-    if (argc > 3) {
-      max_n = std::atoi(argv[3]);
-      if (max_n < 1) return fail("profile <type> [max_n >= 1]");
+    if (argc > 3 &&
+        !rcons::util::parse_int_arg(argv[3], 1,
+                                    std::numeric_limits<int>::max(),
+                                    &max_n)) {
+      return fail("profile <type> [max_n >= 1]");
     }
     return cmd_profile(type, max_n);
   }
   if (cmd == "witnesses") {
     if (argc < 4) return fail("witnesses <type> <n> [kind] [max]");
-    return cmd_witnesses(type, std::atoi(argv[3]),
-                         argc > 4 ? argv[4] : "discerning",
-                         argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5]))
-                                  : 8);
+    int n = 0;
+    if (!rcons::util::parse_int_arg(argv[3], 2, 12, &n)) {
+      return fail("witnesses wants an n in [2, 12]");
+    }
+    std::size_t max_count = 8;
+    if (argc > 5 &&
+        !rcons::util::parse_size_arg(
+            argv[5], 1, std::numeric_limits<std::size_t>::max(),
+            &max_count)) {
+      return fail("witnesses max wants a count >= 1");
+    }
+    return cmd_witnesses(type, n, argc > 4 ? argv[4] : "discerning",
+                         max_count);
   }
   return fail("unknown command '" + cmd + "'");
 }
@@ -695,24 +727,24 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      const std::string value = arg.substr(10);
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
+      // The shared contract (rcons_cli, serve, rcons_loadgen): 0 spells
+      // "hardware thread count"; negative counts and non-numbers are
+      // usage errors. Pinned by tests/cli_json_test.cpp.
+      int threads = 0;
+      if (!rcons::util::parse_int_arg(arg.substr(10), 0,
+                                      std::numeric_limits<int>::max(),
+                                      &threads)) {
         return fail("--threads wants a count >= 0");
       }
-      const int threads = std::atoi(value.c_str());
       g_threads = threads == 0 ? rcons::util::hardware_threads() : threads;
       continue;
     }
     if (arg.rfind("--max-states=", 0) == 0) {
-      const std::string value = arg.substr(13);
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
+      if (!rcons::util::parse_size_arg(
+              arg.substr(13), 1, std::numeric_limits<std::size_t>::max(),
+              &g_max_states)) {
         return fail("--max-states wants a state count >= 1");
       }
-      g_max_states = static_cast<std::size_t>(
-          std::strtoull(value.c_str(), nullptr, 10));
-      if (g_max_states == 0) return fail("--max-states wants a count >= 1");
       continue;
     }
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -766,6 +798,13 @@ int main(int argc, char** argv) {
     if (arg.rfind("--cache-dir=", 0) == 0) {
       g_cache_dir = arg.substr(12);
       if (g_cache_dir.empty()) return fail("--cache-dir wants a directory");
+      continue;
+    }
+    if (arg.rfind("--backend=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      if (!rcons::exec::parse_backend(value, &g_backend)) {
+        return fail("unknown backend '" + value + "' (interp|aot)");
+      }
       continue;
     }
     if (arg == "--format=json") {

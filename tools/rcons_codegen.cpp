@@ -1,0 +1,207 @@
+// rcons_codegen — ahead-of-time stepper emitter (DESIGN.md §14).
+//
+//   rcons_codegen --out=DIR [--builtin] [--check] [--format=json]
+//                 [<file.type>|<dir>...]
+//
+// Reads .type specs (directory targets expand to their *.type files,
+// sorted; data/broken is NOT picked up unless named explicitly) plus —
+// with --builtin — every built-in catalog shape, and emits the
+// steppers_gen.hpp / steppers_gen.cpp translation unit of branch-free
+// packed delta tables that src/codegen/registry.cpp serves to the
+// engines under --backend=aot.
+//
+// Emission is gated on the TS001-TS008 type lint: any input the linter
+// rejects at error severity makes the whole run fail with the findings
+// as a structured report (text, or one JSON document under
+// --format=json) and NO files written — never generated-but-wrong code.
+//
+// --check regenerates and byte-compares against the files already in
+// --out instead of writing: any drift (stale tables, hand edits, a new
+// .type file not yet regenerated) exits 1 naming the drifted file. CI
+// runs this over --builtin data as the codegen-parity gate.
+//
+// Exit codes: 0 = emitted (or --check found no drift), 1 = lint
+// rejection or --check drift, 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/emit.hpp"
+#include "serve/commands.hpp"
+#include "spec/serialize.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "rcons_codegen: %s\n", message.c_str());
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Expands a target into .type file paths (a directory contributes its
+/// immediate *.type files, sorted; data/broken stays out unless named).
+bool expand_target(const std::string& target, std::vector<std::string>* files,
+                   std::string* error) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(target, ec)) {
+    std::vector<std::string> found;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(target, ec)) {
+      if (entry.path().extension() == ".type") {
+        found.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      *error = "cannot read directory '" + target + "'";
+      return false;
+    }
+    std::sort(found.begin(), found.end());
+    files->insert(files->end(), found.begin(), found.end());
+    return true;
+  }
+  if (!std::filesystem::exists(target, ec)) {
+    *error = "no such file or directory: '" + target + "'";
+    return false;
+  }
+  files->push_back(target);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  bool builtin = false;
+  bool check = false;
+  bool json = false;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_dir = arg.substr(6);
+      if (out_dir.empty()) return fail("--out wants a directory");
+    } else if (arg == "--builtin") {
+      builtin = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail("unknown flag '" + arg + "'");
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (out_dir.empty()) {
+    return fail("usage: rcons_codegen --out=DIR [--builtin] [--check] "
+                "[--format=json] [<file.type>|<dir>...]");
+  }
+  if (!builtin && targets.empty()) {
+    return fail("no inputs: name .type files/directories or pass --builtin");
+  }
+
+  std::vector<rcons::codegen::EmitInput> inputs;
+  if (builtin) {
+    for (const auto& [name, make] : rcons::serve::type_catalog()) {
+      rcons::codegen::EmitInput input;
+      input.name = name;
+      input.type = make();
+      inputs.push_back(std::move(input));
+    }
+  }
+  std::vector<std::string> files;
+  for (const std::string& target : targets) {
+    std::string error;
+    if (!expand_target(target, &files, &error)) return fail(error);
+  }
+  for (const std::string& path : files) {
+    rcons::codegen::EmitInput input;
+    input.name = std::filesystem::path(path).stem().string();
+    if (!read_file(path, &input.text)) {
+      return fail("cannot read '" + path + "'");
+    }
+    // A parse failure leaves the default type in place; the lint gate
+    // sees the raw text, reports TS008, and rejects before emission ever
+    // touches it.
+    const rcons::spec::ParseResult parsed =
+        rcons::spec::parse_type(input.text);
+    if (parsed.ok()) input.type = *parsed.type;
+    inputs.push_back(std::move(input));
+  }
+
+  const rcons::codegen::EmitResult result =
+      rcons::codegen::emit_steppers(inputs);
+  if (!result.ok) {
+    std::fprintf(stderr, "rcons_codegen: %s\n", result.error.c_str());
+    if (json) {
+      std::printf("%s\n", result.findings.render_json().c_str());
+    } else {
+      std::printf("%s", result.findings.render_text().c_str());
+    }
+    return 1;
+  }
+  // Non-gating findings (warnings/notes) still surface, on stderr so
+  // stdout stays reserved for the structured rejection document.
+  if (!result.findings.diagnostics().empty() && !check) {
+    std::fprintf(stderr, "%s", result.findings.render_text(false).c_str());
+  }
+
+  const std::string header_path = out_dir + "/steppers_gen.hpp";
+  const std::string source_path = out_dir + "/steppers_gen.cpp";
+  if (check) {
+    int drifted = 0;
+    const auto compare = [&](const std::string& path,
+                             const std::string& fresh) {
+      std::string current;
+      if (!read_file(path, &current)) {
+        std::fprintf(stderr, "rcons_codegen: drift: cannot read '%s'\n",
+                     path.c_str());
+        ++drifted;
+      } else if (current != fresh) {
+        std::fprintf(stderr,
+                     "rcons_codegen: drift: '%s' differs from a fresh "
+                     "emission (regenerate with --out=%s)\n",
+                     path.c_str(), out_dir.c_str());
+        ++drifted;
+      }
+    };
+    compare(header_path, result.header);
+    compare(source_path, result.source);
+    if (drifted != 0) return 1;
+    std::fprintf(stderr, "rcons_codegen: no drift (%zu steppers)\n",
+                 result.emitted.size());
+    return 0;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const auto write = [&](const std::string& path,
+                         const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << content;
+    return out.good();
+  };
+  if (!write(header_path, result.header) ||
+      !write(source_path, result.source)) {
+    return fail("cannot write into '" + out_dir + "'");
+  }
+  std::fprintf(stderr, "rcons_codegen: wrote %s and %s (%zu steppers)\n",
+               header_path.c_str(), source_path.c_str(),
+               result.emitted.size());
+  return 0;
+}

@@ -25,12 +25,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/wire.hpp"
+#include "util/numeric.hpp"
 #include "util/socket.hpp"
 #include "util/strings.hpp"
 
@@ -183,11 +185,21 @@ int main(int argc, char** argv) {
     };
     if (arg.rfind("--socket=", 0) == 0) options.socket_path = value(9);
     else if (arg.rfind("--port=", 0) == 0) {
-      options.port = std::atoi(value(7).c_str());
+      if (!rcons::util::parse_int_arg(value(7), 0, 65535, &options.port)) {
+        return fail("--port wants a port number in [0, 65535]");
+      }
     } else if (arg.rfind("--clients=", 0) == 0) {
-      options.clients = std::atoi(value(10).c_str());
+      if (!rcons::util::parse_int_arg(value(10), 1,
+                                      std::numeric_limits<int>::max(),
+                                      &options.clients)) {
+        return fail("--clients wants a count >= 1");
+      }
     } else if (arg.rfind("--requests=", 0) == 0) {
-      options.requests = std::atoi(value(11).c_str());
+      if (!rcons::util::parse_int_arg(value(11), 1,
+                                      std::numeric_limits<int>::max(),
+                                      &options.requests)) {
+        return fail("--requests wants a count >= 1");
+      }
     } else if (arg.rfind("--command=", 0) == 0) {
       options.command = value(10);
     } else if (arg.rfind("--target=", 0) == 0) {
@@ -195,7 +207,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--spec=", 0) == 0) {
       options.spec = value(7);
     } else if (arg.rfind("--max-n=", 0) == 0) {
-      options.max_n = std::atoi(value(8).c_str());
+      if (!rcons::util::parse_int_arg(value(8), 1,
+                                      std::numeric_limits<int>::max(),
+                                      &options.max_n)) {
+        return fail("--max-n wants a level >= 1");
+      }
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       options.metrics_out = value(14);
     } else if (arg.rfind("--spans-out=", 0) == 0) {
