@@ -1,0 +1,102 @@
+// The rcons-hunt campaign as a measured workload: candidates walked (and
+// canonicalized) per second by the box enumerator, the shard-filter +
+// dedupe overhead on top of it, and the checkpoint serialize/parse
+// round-trip that every snapshot pays. The profile step itself is
+// measured by bench_hierarchy_table; this file isolates the campaign
+// machinery wrapped around it.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/enumerate.hpp"
+
+namespace {
+
+using rcons::campaign::Box;
+using rcons::campaign::Candidate;
+using rcons::campaign::ProfileRecord;
+using rcons::campaign::ShardCheckpoint;
+
+/// Walk + canonicalize only — the per-candidate floor every shard pays
+/// whether or not the candidate is its own.
+void BM_WalkBox(benchmark::State& state) {
+  Box box;
+  box.max_values = static_cast<int>(state.range(0));
+  box.max_ops = 1;
+  box.max_responses = 2;
+  std::uint64_t visited = 0;
+  for (auto _ : state) {
+    rcons::campaign::walk_box(box, 0, [&](const Candidate& c) {
+      benchmark::DoNotOptimize(c.canon.hash);
+      visited += 1;
+      return true;
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(visited));
+}
+BENCHMARK(BM_WalkBox)->Arg(2)->Arg(3);
+
+/// Checkpoint snapshot cost as the record table grows: serialize, then
+/// parse-and-verify the result (the resume path), per round.
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  ShardCheckpoint checkpoint;
+  checkpoint.box = Box{3, 2, 2};
+  checkpoint.max_n = 3;
+  const auto records = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < records; ++i) {
+    ProfileRecord r;
+    r.id = {3, 2, 2, i};
+    r.canonical_hash = 0x9e3779b97f4a7c15ULL * (i + 1);
+    r.canonical_key = "v3o3r2:" + std::to_string(i) + ".0,1.1;";
+    r.readable = true;
+    r.discerning = {2, true};
+    r.recording = {1, true};
+    checkpoint.records.push_back(std::move(r));
+  }
+  checkpoint.cursor = records;
+  for (auto _ : state) {
+    const std::string bytes =
+        rcons::campaign::serialize_checkpoint(checkpoint);
+    benchmark::DoNotOptimize(bytes.size());
+    ProfileRecord parsed;
+    // Parse every record line back (load_checkpoint needs a file; the
+    // record grammar is where the time goes).
+    for (const ProfileRecord& r : checkpoint.records) {
+      benchmark::DoNotOptimize(
+          rcons::campaign::parse_record(rcons::campaign::render_record(r),
+                                        &parsed));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointRoundTrip)->Arg(64)->Arg(1024);
+
+/// One full mini-shard through the real driver (profiling included), the
+/// end-to-end number EXPERIMENTS.md E12 quotes per-candidate costs from.
+void BM_MiniCampaign(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "rcons_bench_campaign";
+  for (auto _ : state) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    rcons::campaign::CampaignOptions options;
+    options.box = Box{2, 1, 2};
+    options.max_n = 2;
+    options.checkpoint_dir = dir.string();
+    const rcons::campaign::CampaignResult r =
+        rcons::campaign::run_campaign(options);
+    benchmark::DoNotOptimize(r.profiled);
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+BENCHMARK(BM_MiniCampaign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// rcons-hunt: the checkpointable, sharded landscape campaign
+// (DESIGN.md §15, EXPERIMENTS.md E12).
+//
+// ROADMAP: generalize the one-off X_4 hunt into a campaign that maps the
+// (discerning, recording) landscape of small readable types. One
+// invocation runs ONE shard of the box walk (enumerate.hpp): candidates
+// whose canonical form hashes into the shard are deduplicated against
+// the shard's already-profiled canonical forms and driven through the
+// standard profile path — static bounds pre-verdict, verdict cache,
+// symmetry reduction, interp or AOT backend — exactly the stack the CLI
+// `profile` command runs, so every record is reproducible one-off.
+// Progress persists as an atomic-rename checkpoint (checkpoint.hpp)
+// every checkpoint_interval candidates, which a kill -9 can interrupt at
+// any instant; --resume picks up from the snapshot and the final shard
+// database comes out byte-identical to an uninterrupted run's.
+//
+// The shard databases from any partitioning fold into one deduplicated
+// landscape table with tools/rcons_hunt_merge (merge.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/enumerate.hpp"
+#include "exec/backend.hpp"
+#include "reduction/verdict_cache.hpp"
+
+namespace rcons::campaign {
+
+struct CampaignOptions {
+  Box box;
+  int max_n = 3;
+  int shards = 1;
+  int shard_index = 0;
+  /// Where the shard checkpoint/database lives. Required.
+  std::string checkpoint_dir;
+  /// Load the shard's checkpoint and continue from its cursor. Without
+  /// this the campaign starts from position 0 (and overwrites any
+  /// existing checkpoint at the first snapshot).
+  bool resume = false;
+  /// Stop (status "running", exit-3 semantics) after profiling this many
+  /// candidates in THIS invocation; 0 = run the shard to completion.
+  /// Lets long campaigns run in bounded slices.
+  std::uint64_t budget = 0;
+  /// Candidates visited between checkpoint snapshots. A final snapshot is
+  /// always written, so a smaller interval only bounds re-done work after
+  /// a crash, never correctness.
+  std::uint64_t checkpoint_interval = 64;
+  /// Engine knobs, with the same semantics as the CLI profile path.
+  int threads = 1;
+  bool reduce = true;
+  bool use_bounds = true;
+  exec::Backend backend = exec::Backend::kInterp;
+  const reduction::VerdictCache* cache = nullptr;
+  /// Test seam: called after every visited candidate with the number of
+  /// candidates visited so far in this invocation (1-based). The crash
+  /// battery's SIGKILL injection hangs off this hook.
+  std::function<void(std::uint64_t visited)> after_candidate;
+};
+
+struct CampaignResult {
+  /// False on a configuration error (error says why; nothing ran).
+  bool ok = false;
+  std::string error;
+  /// True when the shard's walk reached the end of the box.
+  bool complete = false;
+  /// True when this invocation loaded a checkpoint and continued it.
+  bool resumed = false;
+  /// Why a checkpoint was NOT resumed (missing, corrupt, stale,
+  /// mismatched); the campaign re-explored from scratch. Empty when the
+  /// resume succeeded or was not requested.
+  std::string resume_note;
+  /// This invocation's walk counters (not lifetime totals).
+  std::uint64_t visited = 0;
+  std::uint64_t profiled = 0;
+  std::uint64_t shard_skipped = 0;
+  std::uint64_t isomorph_skipped = 0;
+  /// The shard checkpoint file (also the shard database).
+  std::string db_path;
+  /// Final state, records in first-enumeration order.
+  ShardCheckpoint checkpoint;
+};
+
+/// Runs one shard of the campaign. Deterministic: for a fixed
+/// configuration the final checkpoint bytes are identical whatever the
+/// interruption history, thread count, cache state, or backend.
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace rcons::campaign

@@ -1,0 +1,356 @@
+#include "campaign/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "reduction/verdict_cache.hpp"
+#include "util/hashing.hpp"
+#include "util/numeric.hpp"
+#include "util/strings.hpp"
+
+namespace rcons::campaign {
+namespace {
+
+constexpr const char* kMagic = "rcons-hunt v1";
+
+std::string salt_line() {
+  return std::string(kCampaignSalt) + "|" + reduction::kEngineVersionSalt;
+}
+
+std::string hex64(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// FNV-1a over the serialized body, finalized with mix64 — the same
+/// construction the verdict cache uses for file names. Not cryptographic:
+/// the threat model is torn writes and media rot, not an adversary.
+std::uint64_t body_checksum(const std::string& body) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : body) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+/// Strips "name: " and returns the rest, or nullopt on a prefix mismatch.
+std::optional<std::string> field(const std::string& line, const char* name) {
+  const std::string prefix = std::string(name) + ": ";
+  if (line.rfind(prefix, 0) != 0) return std::nullopt;
+  return line.substr(prefix.size());
+}
+
+std::string level_token(const hierarchy::Level& level) {
+  return std::to_string(level.value) + "." + (level.exact ? "1" : "0");
+}
+
+bool parse_level_token(const std::string& token, hierarchy::Level* out) {
+  const auto dot = token.find('.');
+  if (dot == std::string::npos) return false;
+  int value = 0;
+  if (!util::parse_int_arg(token.substr(0, dot), 1, 1 << 20, &value)) {
+    return false;
+  }
+  const std::string exact = token.substr(dot + 1);
+  if (exact != "0" && exact != "1") return false;
+  out->value = value;
+  out->exact = exact == "1";
+  return true;
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& directory, int shard_index,
+                            int shards) {
+  return directory + "/shard-" + std::to_string(shard_index) + "-of-" +
+         std::to_string(shards) + ".hunt";
+}
+
+std::string render_record(const ProfileRecord& r) {
+  return "r " + std::to_string(r.id.values) + " " +
+         std::to_string(r.id.ops) + " " + std::to_string(r.id.responses) +
+         " " + std::to_string(r.id.index) + " " + hex64(r.canonical_hash) +
+         " " + level_token(r.discerning) + " " + level_token(r.recording) +
+         " " + (r.readable ? "1" : "0") + " " + r.canonical_key;
+}
+
+bool parse_record(const std::string& line, ProfileRecord* out) {
+  std::istringstream stream(line);
+  std::string tag, hash_token, disc_token, rec_token, readable_token;
+  long long values = 0, ops = 0, responses = 0;
+  unsigned long long index = 0;
+  if (!(stream >> tag >> values >> ops >> responses >> index >>
+        hash_token >> disc_token >> rec_token >> readable_token)) {
+    return false;
+  }
+  if (tag != "r" || values < 1 || ops < 1 || responses < 1) return false;
+  std::string key;
+  if (!(stream >> key) || key.empty()) return false;
+  std::string extra;
+  if (stream >> extra) return false;  // trailing junk is corruption
+  std::uint64_t hash = 0;
+  if (hash_token.size() != 16 ||
+      !util::parse_hex64_arg(hash_token, &hash)) {
+    return false;
+  }
+  out->id.values = static_cast<int>(values);
+  out->id.ops = static_cast<int>(ops);
+  out->id.responses = static_cast<int>(responses);
+  out->id.index = index;
+  out->canonical_hash = hash;
+  out->canonical_key = key;
+  if (!parse_level_token(disc_token, &out->discerning)) return false;
+  if (!parse_level_token(rec_token, &out->recording)) return false;
+  if (readable_token != "0" && readable_token != "1") return false;
+  out->readable = readable_token == "1";
+  return true;
+}
+
+std::string serialize_checkpoint(const ShardCheckpoint& c) {
+  std::string body;
+  body.reserve(128 + c.records.size() * 96);
+  body += kMagic;
+  body += "\nsalt: " + salt_line();
+  body += "\nbox: values=" + std::to_string(c.box.max_values) +
+          " ops=" + std::to_string(c.box.max_ops) +
+          " responses=" + std::to_string(c.box.max_responses);
+  body += "\nmax_n: " + std::to_string(c.max_n);
+  body += "\nshards: " + std::to_string(c.shards);
+  body += "\nshard: " + std::to_string(c.shard_index);
+  body += std::string("\nstatus: ") + (c.complete ? "complete" : "running");
+  body += "\ncursor: " + std::to_string(c.cursor);
+  body += "\nrecords: " + std::to_string(c.records.size());
+  body += "\n";
+  for (const ProfileRecord& r : c.records) {
+    body += render_record(r);
+    body += "\n";
+  }
+  return body + "checksum: " + hex64(body_checksum(body)) + "\nend\n";
+}
+
+bool write_checkpoint(const std::string& path, const ShardCheckpoint& c,
+                      std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path(), ec);
+  // Unique temp per writer (pid + serial), exactly like the verdict
+  // cache: concurrent shards never share a temp, and readers only ever
+  // see a complete snapshot.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      *error = "cannot open temp file '" + tmp + "'";
+      return false;
+    }
+    out << serialize_checkpoint(c);
+    out.flush();
+    if (!out) {
+      *error = "short write to '" + tmp + "'";
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    *error = "rename to '" + path + "' failed: " + ec.message();
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+CheckpointLoad read_checkpoint(const std::string& path) {
+  CheckpointLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    load.reason = "no checkpoint at '" + path + "'";
+    return load;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // The checksum covers everything before its own line, so split there
+  // first: a truncated tail (including a missing "end") fails here. The
+  // final newline is part of the format — without this check a
+  // one-byte-short file would still parse, and "every proper prefix is
+  // rejected" is the contract the truncation sweep pins.
+  const auto tail = text.rfind("\nchecksum: ");
+  if (tail == std::string::npos || text.back() != '\n') {
+    load.reason = "truncated checkpoint (no checksum line)";
+    return load;
+  }
+  const std::string body = text.substr(0, tail + 1);
+  std::istringstream tail_stream(text.substr(tail + 1));
+  std::string checksum_line, end_line, past_end;
+  std::getline(tail_stream, checksum_line);
+  std::getline(tail_stream, end_line);
+  const auto checksum = field(checksum_line, "checksum");
+  std::uint64_t stored = 0;
+  if (!checksum || !util::parse_hex64_arg(*checksum, &stored) ||
+      end_line != "end" || std::getline(tail_stream, past_end)) {
+    load.reason = "malformed checkpoint trailer";
+    return load;
+  }
+  if (stored != body_checksum(body)) {
+    load.reason = "checksum mismatch (truncated or corrupted)";
+    return load;
+  }
+
+  std::istringstream lines(body);
+  std::string line;
+  auto next = [&](const char* what, std::string* out) {
+    if (!std::getline(lines, line)) {
+      load.reason = std::string("truncated checkpoint (missing ") + what +
+                    ")";
+      return false;
+    }
+    *out = line;
+    return true;
+  };
+  std::string magic;
+  if (!next("magic", &magic)) return load;
+  if (magic != kMagic) {
+    load.reason = "bad magic '" + magic + "'";
+    return load;
+  }
+  std::string salt, box_line, max_n_line, shards_line, shard_line,
+      status_line, cursor_line, records_line;
+  if (!next("salt", &salt) || !next("box", &box_line) ||
+      !next("max_n", &max_n_line) || !next("shards", &shards_line) ||
+      !next("shard", &shard_line) || !next("status", &status_line) ||
+      !next("cursor", &cursor_line) || !next("records", &records_line)) {
+    return load;
+  }
+  const auto salt_value = field(salt, "salt");
+  if (!salt_value) {
+    load.reason = "malformed salt line";
+    return load;
+  }
+  if (*salt_value != salt_line()) {
+    load.reason = "stale salt '" + *salt_value + "' (want '" + salt_line() +
+                  "')";
+    return load;
+  }
+
+  ShardCheckpoint& c = load.checkpoint;
+  const auto box_value = field(box_line, "box");
+  const auto max_n_value = field(max_n_line, "max_n");
+  const auto shards_value = field(shards_line, "shards");
+  const auto shard_value = field(shard_line, "shard");
+  const auto status_value = field(status_line, "status");
+  const auto cursor_value = field(cursor_line, "cursor");
+  const auto records_value = field(records_line, "records");
+  if (!box_value || !max_n_value || !shards_value || !shard_value ||
+      !status_value || !cursor_value || !records_value) {
+    load.reason = "malformed header line";
+    return load;
+  }
+  {
+    std::istringstream box_stream(*box_value);
+    std::string v_tok, o_tok, r_tok, extra;
+    if (!(box_stream >> v_tok >> o_tok >> r_tok) ||
+        (box_stream >> extra) || v_tok.rfind("values=", 0) != 0 ||
+        o_tok.rfind("ops=", 0) != 0 || r_tok.rfind("responses=", 0) != 0 ||
+        !util::parse_int_arg(v_tok.substr(7), 1, 64, &c.box.max_values) ||
+        !util::parse_int_arg(o_tok.substr(4), 1, 64, &c.box.max_ops) ||
+        !util::parse_int_arg(r_tok.substr(10), 1, 64,
+                             &c.box.max_responses)) {
+      load.reason = "malformed box line";
+      return load;
+    }
+  }
+  std::uint64_t cursor = 0;
+  if (!util::parse_int_arg(*max_n_value, 1, 1 << 20, &c.max_n) ||
+      !util::parse_int_arg(*shards_value, 1, 1 << 20, &c.shards) ||
+      !util::parse_int_arg(*shard_value, 0, 1 << 20, &c.shard_index) ||
+      !util::parse_uint64_arg(*cursor_value, &cursor)) {
+    load.reason = "malformed header value";
+    return load;
+  }
+  c.cursor = cursor;
+  if (*status_value == "complete") {
+    c.complete = true;
+  } else if (*status_value == "running") {
+    c.complete = false;
+  } else {
+    load.reason = "unknown status '" + *status_value + "'";
+    return load;
+  }
+
+  std::uint64_t record_count = 0;
+  if (!util::parse_uint64_arg(*records_value, &record_count) ||
+      record_count > (1u << 26)) {
+    load.reason = "malformed record count";
+    return load;
+  }
+  c.records.reserve(static_cast<std::size_t>(record_count));
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    if (!std::getline(lines, line)) {
+      load.reason = "truncated checkpoint (missing record " +
+                    std::to_string(i) + ")";
+      return load;
+    }
+    ProfileRecord record;
+    if (!parse_record(line, &record)) {
+      load.reason = "malformed record " + std::to_string(i);
+      return load;
+    }
+    c.records.push_back(std::move(record));
+  }
+  if (std::getline(lines, line)) {
+    load.reason = "trailing bytes after the records";
+    return load;
+  }
+  load.ok = true;
+  return load;
+}
+
+CheckpointLoad load_checkpoint(const std::string& path,
+                               const ShardCheckpoint& expected) {
+  CheckpointLoad load = read_checkpoint(path);
+  if (!load.ok) return load;
+  const ShardCheckpoint& c = load.checkpoint;
+
+  // Configuration must MATCH, not merely parse: a checkpoint written for
+  // a different partitioning or box walks a different cursor space, so
+  // trusting its cursor would skip or duplicate candidates.
+  if (c.box != expected.box) {
+    load.ok = false;
+    load.reason = "box mismatch (checkpoint was written for a different "
+                  "parameter box)";
+    return load;
+  }
+  if (c.max_n != expected.max_n) {
+    load.ok = false;
+    load.reason = "max_n mismatch (checkpoint: " + std::to_string(c.max_n) +
+                  ", campaign: " + std::to_string(expected.max_n) + ")";
+    return load;
+  }
+  if (c.shards != expected.shards || c.shard_index != expected.shard_index) {
+    load.ok = false;
+    load.reason = "shard mismatch (checkpoint: shard " +
+                  std::to_string(c.shard_index) + " of " +
+                  std::to_string(c.shards) + ", campaign: shard " +
+                  std::to_string(expected.shard_index) + " of " +
+                  std::to_string(expected.shards) + ")";
+    return load;
+  }
+  return load;
+}
+
+}  // namespace rcons::campaign

@@ -1,0 +1,125 @@
+// Checkpoint files for the rcons-hunt campaign (DESIGN.md §15).
+//
+// A shard's entire state — walk cursor, accumulated profile records, and
+// completion status — lives in ONE file, rewritten as a whole through a
+// unique temp file and an atomic rename (the VerdictCache discipline), so
+// a kill -9 at any instant leaves either the previous snapshot or the new
+// one on disk, never a torn mixture. Resume therefore re-processes at
+// most checkpoint_interval - 1 candidates, and because every record is a
+// pure function of the genome (profiles are deterministic), the final
+// database is byte-identical to an uninterrupted run — the property the
+// crash/resume battery in tests/campaign_test.cpp SIGKILLs its way
+// through 50+ seeds to prove.
+//
+// Loads are STRICT where the verdict cache's are tolerant: a verdict
+// cache entry can shrug off corruption as a miss, but silently dropping a
+// checkpoint record would resurface its candidate in another run with no
+// record of the first — so the whole file carries an FNV checksum, and
+// any defect (truncation, bit flips, a stale engine salt, a header that
+// disagrees with the campaign's configuration) rejects the WHOLE file
+// with a reason. The campaign then re-explores from scratch: corrupt
+// state is never trusted, only discarded loudly (campaign.checkpoint_
+// rejected counts it, CampaignResult::resume_note says why).
+//
+// Format (line-oriented, one record per line):
+//
+//   rcons-hunt v1
+//   salt: rcons-hunt-v1|<engine salt>
+//   box: values=3 ops=1 responses=2
+//   max_n: 2
+//   shards: 4
+//   shard: 2
+//   status: running | complete
+//   cursor: 123
+//   records: 2
+//   r 2 1 2 5 a1b2c3d4e5f60718 2.1 1.1 1 v2o2r3:...
+//   ...                      (V O R index hash disc.exact rec.exact
+//                             readable canonical-key)
+//   checksum: <hex64 over every preceding byte>
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/enumerate.hpp"
+#include "hierarchy/consensus_number.hpp"
+
+namespace rcons::campaign {
+
+/// Bump when the walk order, record format, or profile semantics change;
+/// the engine salt from the verdict cache is appended automatically, so
+/// checker-semantics bumps invalidate checkpoints too.
+inline constexpr const char* kCampaignSalt = "rcons-hunt-v1";
+
+/// One profiled candidate: the globally-first genome spelling of its
+/// canonical form, plus the computed profile. Because every shard walks
+/// the full box and a canonical form belongs to exactly one shard, the
+/// recorded GenomeId is layout-invariant — the same no matter how many
+/// shards the campaign was split into.
+struct ProfileRecord {
+  GenomeId id;
+  std::uint64_t canonical_hash = 0;
+  std::string canonical_key;
+  bool readable = false;
+  hierarchy::Level discerning;
+  hierarchy::Level recording;
+
+  friend bool operator==(const ProfileRecord&, const ProfileRecord&) =
+      default;
+};
+
+/// Everything a checkpoint file carries.
+struct ShardCheckpoint {
+  Box box;
+  int max_n = 0;
+  int shards = 1;
+  int shard_index = 0;
+  bool complete = false;
+  /// Next walk position to process (everything before it is done).
+  std::uint64_t cursor = 0;
+  std::vector<ProfileRecord> records;
+};
+
+/// The checkpoint path for one shard: <dir>/shard-<I>-of-<K>.hunt.
+std::string checkpoint_path(const std::string& directory, int shard_index,
+                            int shards);
+
+/// Serializes the checkpoint in the format above (including checksum).
+std::string serialize_checkpoint(const ShardCheckpoint& checkpoint);
+
+/// Atomically replaces `path` with the serialized checkpoint (unique temp
+/// file + rename). Returns false (with *error set) on I/O failure.
+bool write_checkpoint(const std::string& path,
+                      const ShardCheckpoint& checkpoint, std::string* error);
+
+struct CheckpointLoad {
+  bool ok = false;
+  /// Why the file was rejected (missing, truncated, checksum mismatch,
+  /// stale salt, configuration mismatch, ...); empty when ok.
+  std::string reason;
+  ShardCheckpoint checkpoint;
+};
+
+/// Parses and integrity-checks one checkpoint file (checksum, salt,
+/// grammar) without matching it against a campaign configuration. The
+/// merge tool uses this form: it folds shards from ANY partitioning, so
+/// the shard header is data there, not a contract.
+CheckpointLoad read_checkpoint(const std::string& path);
+
+/// As read_checkpoint, then validates against the campaign's own
+/// configuration: a header that disagrees on box, max_n, shards, or
+/// shard index is a rejection (resuming a shard under a different
+/// partitioning would silently skip or duplicate candidates).
+CheckpointLoad load_checkpoint(const std::string& path,
+                               const ShardCheckpoint& expected);
+
+/// Parses one serialized record line body (after the "r " tag); exposed
+/// for the merge tool, which shares the record grammar.
+bool parse_record(const std::string& line, ProfileRecord* out);
+
+/// The record line for one profile (no trailing newline).
+std::string render_record(const ProfileRecord& record);
+
+}  // namespace rcons::campaign

@@ -1,0 +1,103 @@
+#include "campaign/enumerate.hpp"
+
+#include "spec/builder.hpp"
+#include "util/assert.hpp"
+
+namespace rcons::campaign {
+
+std::uint64_t cell_size(int values, int ops, int responses) {
+  RCONS_CHECK(values >= 1 && ops >= 1 && responses >= 1);
+  const std::uint64_t radix = static_cast<std::uint64_t>(responses) *
+                              static_cast<std::uint64_t>(values);
+  const int slots = values * ops;
+  std::uint64_t size = 1;
+  for (int s = 0; s < slots; ++s) {
+    if (size > UINT64_MAX / radix) return 0;  // overflow: box too large
+    size *= radix;
+  }
+  return size;
+}
+
+std::uint64_t box_size(const Box& box) {
+  std::uint64_t total = 0;
+  for (int v = 1; v <= box.max_values; ++v) {
+    for (int o = 1; o <= box.max_ops; ++o) {
+      for (int r = 1; r <= box.max_responses; ++r) {
+        const std::uint64_t cell = cell_size(v, o, r);
+        if (cell == 0 || total > UINT64_MAX - cell) return 0;
+        total += cell;
+      }
+    }
+  }
+  return total;
+}
+
+spec::ObjectType instantiate_genome(const GenomeId& id) {
+  RCONS_CHECK(id.index < cell_size(id.values, id.ops, id.responses) ||
+              cell_size(id.values, id.ops, id.responses) == 0);
+  spec::TypeBuilder b("hunt_v" + std::to_string(id.values) + "o" +
+                      std::to_string(id.ops) + "r" +
+                      std::to_string(id.responses) + "_i" +
+                      std::to_string(id.index));
+  for (int v = 0; v < id.values; ++v) b.value("v" + std::to_string(v));
+  for (int o = 0; o < id.ops; ++o) b.op("o" + std::to_string(o));
+  const std::uint64_t radix = static_cast<std::uint64_t>(id.responses) *
+                              static_cast<std::uint64_t>(id.values);
+  std::uint64_t rest = id.index;
+  // Slot order is value-major ((v, o) with o fastest), digit 0 first, so
+  // the cursor space is stable; this layout is part of the checkpoint
+  // contract (see the header comment).
+  for (int v = 0; v < id.values; ++v) {
+    for (int o = 0; o < id.ops; ++o) {
+      const std::uint64_t digit = rest % radix;
+      rest /= radix;
+      const int resp = static_cast<int>(digit %
+                                        static_cast<std::uint64_t>(id.responses));
+      const int next = static_cast<int>(digit /
+                                        static_cast<std::uint64_t>(id.responses));
+      b.on("v" + std::to_string(v), "o" + std::to_string(o))
+          .then("v" + std::to_string(next))
+          .returns("x" + std::to_string(resp));
+    }
+  }
+  b.make_read_op("read");
+  return b.build();
+}
+
+int shard_of(std::uint64_t canonical_hash, int shards) {
+  RCONS_CHECK(shards >= 1);
+  return static_cast<int>(canonical_hash %
+                          static_cast<std::uint64_t>(shards));
+}
+
+void walk_box(const Box& box, std::uint64_t from_position,
+              const std::function<bool(const Candidate&)>& fn) {
+  RCONS_CHECK(box_size(box) != 0);
+  std::uint64_t position = 0;
+  for (int v = 1; v <= box.max_values; ++v) {
+    for (int o = 1; o <= box.max_ops; ++o) {
+      for (int r = 1; r <= box.max_responses; ++r) {
+        const std::uint64_t cell = cell_size(v, o, r);
+        if (position + cell <= from_position) {
+          position += cell;  // whole cell behind the cursor
+          continue;
+        }
+        std::uint64_t index = 0;
+        if (from_position > position) {
+          index = from_position - position;
+          position = from_position;
+        }
+        for (; index < cell; ++index, ++position) {
+          Candidate c;
+          c.id = GenomeId{v, o, r, index};
+          c.position = position;
+          c.type = instantiate_genome(c.id);
+          c.canon = reduction::canonicalize_type(c.type);
+          if (!fn(c)) return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rcons::campaign

@@ -1,0 +1,92 @@
+// Deterministic enumeration of small readable-type space (rcons-hunt).
+//
+// The campaign's candidate universe is the same genome space the X_4
+// search draws from (hierarchy/search): deterministic machines over V
+// values and O team operations with R possible responses, plus an
+// appended Read — readable by construction. Unlike the randomized
+// search, the campaign walks the space EXHAUSTIVELY: a parameter box
+// (values <= maxV, ops <= maxO, responses <= maxR) splits into cells,
+// one per exact (V, O, R) triple, and the (R*V)^(V*O) delta tables of a
+// cell are indexed by a mixed-radix integer. The walk order — cells
+// lexicographic by (V, O, R), genomes by index — is part of the
+// checkpoint contract: a cursor is a position in this walk, so the walk
+// may never be reordered without bumping the campaign salt.
+//
+// Sharding is BY CANONICAL FORM, not by position: a candidate belongs to
+// shard canonical_hash % shards. Isomorphic genomes (including the same
+// structure surfacing again in a later cell with more declared responses)
+// therefore always land in the same shard, which makes per-shard
+// deduplication globally exhaustive: every canonical form is profiled by
+// exactly one shard, exactly once. The exhaustiveness differential in
+// tests/campaign_test.cpp pins the union over shards against a
+// brute-force generator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "reduction/type_canon.hpp"
+#include "spec/object_type.hpp"
+
+namespace rcons::campaign {
+
+/// One candidate machine, named by its cell and mixed-radix index.
+struct GenomeId {
+  int values = 1;
+  int ops = 1;
+  int responses = 1;
+  std::uint64_t index = 0;
+
+  friend bool operator==(const GenomeId&, const GenomeId&) = default;
+};
+
+/// The enumeration box: every cell (V, O, R) with 1 <= V <= max_values,
+/// 1 <= O <= max_ops, 1 <= R <= max_responses.
+struct Box {
+  int max_values = 2;
+  int max_ops = 2;
+  int max_responses = 2;
+
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// (R*V)^(V*O): the number of genomes in one cell. Returns 0 when the
+/// count would overflow 64 bits (the caller must reject such boxes; the
+/// CLI caps the box well below this).
+std::uint64_t cell_size(int values, int ops, int responses);
+
+/// Total genomes in the box (sum of cell sizes); 0 on overflow.
+std::uint64_t box_size(const Box& box);
+
+/// Decodes the genome and builds its ObjectType: values v0..v(V-1), team
+/// ops o0..o(O-1), responses drawn from x0..x(R-1), plus a Read op
+/// "read". Digit s of `index` (least significant first, one digit per
+/// (value, op) slot in value-major order) encodes the slot's transition
+/// as digit = next * R + response. The type is named
+/// "hunt_v<V>o<O>r<R>_i<index>".
+spec::ObjectType instantiate_genome(const GenomeId& id);
+
+/// The shard a canonical form belongs to (stable across platforms: the
+/// canonical hash is fixed-width integer arithmetic all the way down).
+int shard_of(std::uint64_t canonical_hash, int shards);
+
+/// One visited candidate, in walk order.
+struct Candidate {
+  GenomeId id;
+  /// 0-based position in the box walk (the checkpoint cursor space).
+  std::uint64_t position = 0;
+  spec::ObjectType type;
+  reduction::CanonicalForm canon;
+};
+
+/// Walks every genome in the box from `from_position` onward in the
+/// canonical order described above, instantiating and canonicalizing
+/// each, and calls `fn`; `fn` returns false to stop early. Positions
+/// before `from_position` are skipped arithmetically (no instantiation),
+/// which is what makes checkpoint resume O(resume point) cheap.
+void walk_box(const Box& box, std::uint64_t from_position,
+              const std::function<bool(const Candidate&)>& fn);
+
+}  // namespace rcons::campaign

@@ -1,0 +1,251 @@
+#include "campaign/merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace rcons::campaign {
+namespace {
+
+std::string level_json(const hierarchy::Level& level) {
+  return "{\"value\":" + std::to_string(level.value) +
+         ",\"exact\":" + (level.exact ? "true" : "false") + "}";
+}
+
+std::string record_json(const ProfileRecord& r) {
+  return "{\"genome\":{\"values\":" + std::to_string(r.id.values) +
+         ",\"ops\":" + std::to_string(r.id.ops) +
+         ",\"responses\":" + std::to_string(r.id.responses) +
+         ",\"index\":" + std::to_string(r.id.index) +
+         "},\"canonical_key\":\"" + json_escape(r.canonical_key) +
+         "\",\"readable\":" + (r.readable ? "true" : "false") +
+         ",\"discerning\":" + level_json(r.discerning) +
+         ",\"recording\":" + level_json(r.recording) + "}";
+}
+
+/// (discerning, recording) pairs keyed for sorted iteration; only exact
+/// verdicts are binned — an inexact ">=k" level is a lower bound, not a
+/// point in the landscape.
+using ProfileKey = std::pair<int, int>;
+
+struct ProfileBin {
+  std::size_t count = 0;
+  /// The lexicographically-least canonical key in the bin — a stable,
+  /// partitioning-invariant exemplar.
+  std::string exemplar;
+};
+
+std::map<ProfileKey, ProfileBin> bin_profiles(
+    const std::vector<ProfileRecord>& records, std::size_t* inexact) {
+  std::map<ProfileKey, ProfileBin> bins;
+  for (const ProfileRecord& r : records) {
+    if (!r.discerning.exact || !r.recording.exact) {
+      *inexact += 1;
+      continue;
+    }
+    ProfileBin& bin = bins[{r.discerning.value, r.recording.value}];
+    bin.count += 1;
+    if (bin.exemplar.empty() || r.canonical_key < bin.exemplar) {
+      bin.exemplar = r.canonical_key;
+    }
+  }
+  return bins;
+}
+
+/// A profile is on the frontier when no other observed profile dominates
+/// it (>= in both coordinates, > in one): these are the extreme
+/// (cons, rcons) combinations the box realizes.
+std::vector<ProfileKey> frontier_of(const std::map<ProfileKey, ProfileBin>& bins) {
+  std::vector<ProfileKey> frontier;
+  for (const auto& [key, bin] : bins) {
+    bool dominated = false;
+    for (const auto& [other, other_bin] : bins) {
+      if (other != key && other.first >= key.first &&
+          other.second >= key.second) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(key);
+  }
+  return frontier;
+}
+
+}  // namespace
+
+MergeOutcome merge_databases(const std::vector<std::string>& paths) {
+  MergeOutcome merged;
+  if (paths.empty()) {
+    merged.error = "merge wants at least one shard database";
+    return merged;
+  }
+  // canonical key -> (record, provenance of its first appearance).
+  std::unordered_map<std::string, std::pair<ProfileRecord, std::string>> table;
+  bool first = true;
+  for (const std::string& path : paths) {
+    const CheckpointLoad load = read_checkpoint(path);
+    if (!load.ok) {
+      merged.error = "cannot merge '" + path + "': " + load.reason;
+      return merged;
+    }
+    const ShardCheckpoint& shard = load.checkpoint;
+    if (first) {
+      merged.box = shard.box;
+      merged.max_n = shard.max_n;
+      merged.all_complete = true;
+      first = false;
+    } else if (shard.box != merged.box || shard.max_n != merged.max_n) {
+      merged.error =
+          "campaign mismatch: '" + path + "' was written for box values=" +
+          std::to_string(shard.box.max_values) +
+          " ops=" + std::to_string(shard.box.max_ops) +
+          " responses=" + std::to_string(shard.box.max_responses) +
+          " max_n=" + std::to_string(shard.max_n) +
+          ", earlier inputs for box values=" +
+          std::to_string(merged.box.max_values) +
+          " ops=" + std::to_string(merged.box.max_ops) +
+          " responses=" + std::to_string(merged.box.max_responses) +
+          " max_n=" + std::to_string(merged.max_n);
+      return merged;
+    }
+    merged.inputs += 1;
+    merged.input_records += shard.records.size();
+    if (!shard.complete) merged.all_complete = false;
+    for (const ProfileRecord& record : shard.records) {
+      auto [it, inserted] =
+          table.try_emplace(record.canonical_key, record, path);
+      if (inserted) continue;
+      if (it->second.first == record) continue;  // agreeing duplicate
+      merged.error = "verdict conflict for canonical form " +
+                     record.canonical_key + ":\n  " + it->second.second +
+                     ": " + render_record(it->second.first) + "\n  " + path +
+                     ": " + render_record(record);
+      return merged;
+    }
+  }
+  merged.records.reserve(table.size());
+  for (auto& [key, entry] : table) {
+    merged.records.push_back(std::move(entry.first));
+  }
+  std::sort(merged.records.begin(), merged.records.end(),
+            [](const ProfileRecord& a, const ProfileRecord& b) {
+              return a.canonical_key < b.canonical_key;
+            });
+  merged.ok = true;
+  return merged;
+}
+
+std::string serialize_merged(const MergeOutcome& merged) {
+  // Reuses the checkpoint record grammar under a merged-table magic; the
+  // sorted order makes the bytes partitioning-invariant.
+  std::string out = "rcons-hunt-merged v1";
+  out += "\nbox: values=" + std::to_string(merged.box.max_values) +
+         " ops=" + std::to_string(merged.box.max_ops) +
+         " responses=" + std::to_string(merged.box.max_responses);
+  out += "\nmax_n: " + std::to_string(merged.max_n);
+  out += std::string("\nstatus: ") +
+         (merged.all_complete ? "complete" : "partial");
+  out += "\nrecords: " + std::to_string(merged.records.size());
+  out += "\n";
+  for (const ProfileRecord& r : merged.records) {
+    out += render_record(r);
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string render_merged_text(const MergeOutcome& merged) {
+  std::ostringstream out;
+  out << "merged " << merged.inputs << " shard database"
+      << (merged.inputs == 1 ? "" : "s") << " (" << merged.input_records
+      << " records, " << merged.records.size() << " distinct forms, "
+      << (merged.all_complete ? "complete" : "PARTIAL — some shards "
+                                             "unfinished")
+      << ")\n";
+  out << "box: values<=" << merged.box.max_values
+      << " ops<=" << merged.box.max_ops
+      << " responses<=" << merged.box.max_responses
+      << "  max_n=" << merged.max_n << "\n";
+
+  std::size_t inexact = 0;
+  const auto bins = bin_profiles(merged.records, &inexact);
+  out << "\n(cons, rcons) landscape:\n";
+  for (const auto& [key, bin] : bins) {
+    out << "  cons=" << key.first << " rcons=" << key.second << "  x"
+        << bin.count;
+    if (key.first != key.second) {
+      out << "  (gap " << key.first - key.second << ")";
+    }
+    out << "  e.g. " << bin.exemplar << "\n";
+  }
+  if (inexact != 0) {
+    out << "  (+" << inexact
+        << " record(s) with only bounds at this max_n — not binned)\n";
+  }
+
+  std::map<int, std::size_t> gaps;
+  for (const auto& [key, bin] : bins) {
+    gaps[key.first - key.second] += bin.count;
+  }
+  out << "\ngap census (cons - rcons):\n";
+  for (const auto& [gap, count] : gaps) {
+    out << "  gap " << gap << ": " << count << " form"
+        << (count == 1 ? "" : "s") << "\n";
+  }
+
+  out << "\nfrontier (undominated profiles):\n";
+  for (const ProfileKey& key : frontier_of(bins)) {
+    out << "  cons=" << key.first << " rcons=" << key.second << "\n";
+  }
+  return out.str();
+}
+
+std::string render_merged_json(const MergeOutcome& merged) {
+  std::size_t inexact = 0;
+  const auto bins = bin_profiles(merged.records, &inexact);
+  std::string out = "{\"box\":{\"values\":" +
+                    std::to_string(merged.box.max_values) +
+                    ",\"ops\":" + std::to_string(merged.box.max_ops) +
+                    ",\"responses\":" +
+                    std::to_string(merged.box.max_responses) + "}";
+  out += ",\"max_n\":" + std::to_string(merged.max_n);
+  out += std::string(",\"complete\":") +
+         (merged.all_complete ? "true" : "false");
+  out += ",\"inputs\":" + std::to_string(merged.inputs);
+  out += ",\"input_records\":" + std::to_string(merged.input_records);
+  out += ",\"distinct_forms\":" + std::to_string(merged.records.size());
+  out += ",\"inexact\":" + std::to_string(inexact);
+  out += ",\"landscape\":[";
+  bool comma = false;
+  for (const auto& [key, bin] : bins) {
+    if (comma) out += ",";
+    comma = true;
+    out += "{\"cons\":" + std::to_string(key.first) +
+           ",\"rcons\":" + std::to_string(key.second) +
+           ",\"count\":" + std::to_string(bin.count) + ",\"exemplar\":\"" +
+           json_escape(bin.exemplar) + "\"}";
+  }
+  out += "],\"frontier\":[";
+  comma = false;
+  for (const ProfileKey& key : frontier_of(bins)) {
+    if (comma) out += ",";
+    comma = true;
+    out += "{\"cons\":" + std::to_string(key.first) +
+           ",\"rcons\":" + std::to_string(key.second) + "}";
+  }
+  out += "],\"records\":[";
+  comma = false;
+  for (const ProfileRecord& r : merged.records) {
+    if (comma) out += ",";
+    comma = true;
+    out += record_json(r);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rcons::campaign

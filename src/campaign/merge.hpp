@@ -1,0 +1,57 @@
+// Folding shard databases into one landscape table (tools/rcons_hunt_merge).
+//
+// Inputs are checkpoint files from any partitioning of the SAME campaign
+// (identical box, max_n, and salt — a table of profiles is meaningless
+// across different checker semantics or candidate spaces). Records
+// deduplicate by canonical key; because the recorded genome id is the
+// globally-first spelling of its form (see checkpoint.hpp), agreeing
+// duplicates are bit-identical and merging the same shard twice is a
+// no-op. DISAGREEING duplicates are a hard failure that prints both
+// provenances (file + record): a conflict means two runs computed
+// different verdicts for the same machine, and picking a winner silently
+// would launder exactly the kind of bug this campaign exists to surface.
+//
+// The merged table is sorted by canonical key, so any partitioning of
+// the same box merges to byte-identical output — the equality the
+// campaign-resume CI job gates on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+
+namespace rcons::campaign {
+
+struct MergeOutcome {
+  /// False on unreadable/corrupt inputs, configuration mismatches, or
+  /// verdict conflicts; `error` carries the reason (with both
+  /// provenances, for conflicts).
+  bool ok = false;
+  std::string error;
+  Box box;
+  int max_n = 0;
+  /// True only when every input shard had walked its whole box.
+  bool all_complete = false;
+  std::size_t inputs = 0;
+  std::size_t input_records = 0;
+  /// Deduplicated, sorted by canonical key.
+  std::vector<ProfileRecord> records;
+};
+
+/// Loads and folds the given shard databases.
+MergeOutcome merge_databases(const std::vector<std::string>& paths);
+
+/// The merged database in checkpoint-record format (magic
+/// "rcons-hunt-merged v1"; no cursor/shard lines — a merged table is not
+/// resumable). Byte-identical across partitionings of the same campaign.
+std::string serialize_merged(const MergeOutcome& merged);
+
+/// Human summary: the (cons, rcons) histogram, gap census, and frontier
+/// notes EXPERIMENTS.md E12 quotes.
+std::string render_merged_text(const MergeOutcome& merged);
+
+/// One JSON document with the same content plus the full record table.
+std::string render_merged_json(const MergeOutcome& merged);
+
+}  // namespace rcons::campaign

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "analysis/static_bounds/static_bounds.hpp"
+#include "reduction/type_canon.hpp"
 #include "spec/builder.hpp"
 #include "trace/metrics.hpp"
+#include "util/hashing.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -151,17 +153,40 @@ struct RestartOutcome {
   spec::ObjectType best_type;
   TypeProfile best_profile;
   std::uint64_t machines_evaluated = 0;
+  /// False when the restart's initial machine belongs to another shard
+  /// (nothing was profiled).
+  bool ran = false;
 };
 
 RestartOutcome run_restart(const MachineSearchOptions& options, int restart) {
+  // The restart index only picks WHICH machine the climb starts from.
   SplitMix64 mix(options.seed ^
                  (0x9e3779b97f4a7c15ULL *
                   static_cast<std::uint64_t>(restart + 1)));
-  Xoshiro256 rng(mix.next());
+  Xoshiro256 init_rng(mix.next());
 
   RestartOutcome out;
-  Genome current = random_genome(options, rng);
+  Genome current = random_genome(options, init_rng);
   spec::ObjectType current_type = current.instantiate();
+
+  // Everything after the start machine keys off its canonical fingerprint,
+  // which is stable across platforms and relabelings: shard membership is
+  // a property of the machine itself (isomorphic starts land together and
+  // the K-way partition is disjoint by construction), and the mutation
+  // stream replays identically wherever the restart is scheduled — the
+  // old restart-order seeding made the climb depend on the restart's
+  // position, so any resequencing rewrote every trajectory.
+  const std::uint64_t fingerprint =
+      reduction::canonical_type_hash(current_type);
+  if (options.shards > 1 &&
+      fingerprint % static_cast<std::uint64_t>(options.shards) !=
+          static_cast<std::uint64_t>(options.shard_index)) {
+    return out;
+  }
+  out.ran = true;
+  SplitMix64 climb_mix(options.seed ^ mix64(fingerprint));
+  Xoshiro256 rng(climb_mix.next());
+
   TypeProfile current_profile =
       profile_candidate(current_type, options, /*allow_floor=*/false);
   out.machines_evaluated += 1;
@@ -213,13 +238,18 @@ MachineSearchResult search_gap_machines(const MachineSearchOptions& options) {
   }
 
   // Reduce in restart order with a strict improvement rule: the winner is
-  // the earliest restart achieving the maximal gap, for any thread count.
+  // the earliest restart achieving the maximal gap, for any thread count
+  // (and, since shard membership is per-machine, for any shard layout
+  // covering that restart).
   MachineSearchResult result;
   result.best_gap = -1;
-  for (RestartOutcome& out : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    RestartOutcome& out = outcomes[i];
     result.machines_evaluated += out.machines_evaluated;
-    if (out.best_gap > result.best_gap) {
+    if (out.ran) result.restarts_run += 1;
+    if (out.ran && out.best_gap > result.best_gap) {
       result.best_gap = out.best_gap;
+      result.best_restart = static_cast<int>(i);
       result.best_type = std::move(out.best_type);
       result.best_profile = std::move(out.best_profile);
     }

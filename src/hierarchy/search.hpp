@@ -61,13 +61,27 @@ struct MachineSearchOptions {
   /// The search result is byte-identical with bounds on or off; only the
   /// number of exact decider runs changes.
   bool use_bounds = true;
+  /// Partition the restarts across `shards` cooperating invocations; this
+  /// one climbs only the restarts whose INITIAL machine's canonical
+  /// fingerprint hashes to `shard_index`. The membership test and the
+  /// climb itself both key off that platform-stable fingerprint (not the
+  /// restart's position in the sequence), so the partition is disjoint,
+  /// exhaustive, and identical on every platform; isomorphic starting
+  /// points always land in the same shard.
+  int shards = 1;
+  int shard_index = 0;
 };
 
 struct MachineSearchResult {
   spec::ObjectType best_type;
   TypeProfile best_profile;
   int best_gap = 0;  // discerning.value - recording.value
+  /// The earliest restart index achieving best_gap; -1 when no restart
+  /// ran (every restart filtered to another shard).
+  int best_restart = -1;
   std::uint64_t machines_evaluated = 0;
+  /// Restarts this invocation actually climbed (its shard's share).
+  std::uint64_t restarts_run = 0;
 };
 
 MachineSearchResult search_gap_machines(const MachineSearchOptions& options);

@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "analysis/static_bounds/static_bounds.hpp"
+#include "campaign/enumerate.hpp"
 #include "reduction/type_canon.hpp"
 #include "trace/metrics.hpp"
+#include "util/numeric.hpp"
 
 namespace rcons::serve {
 namespace {
@@ -101,6 +103,8 @@ Response Service::handle(const Request& request) {
       response.body = spans;
     } else if (request.command == "profile") {
       response = do_profile(request);
+    } else if (request.command == "hunt") {
+      response = do_hunt(request);
     } else if (request.command == "verify") {
       response = do_verify(request);
     } else if (request.command == "lint") {
@@ -116,7 +120,7 @@ Response Service::handle(const Request& request) {
     } else {
       response = usage_error(
           "unknown command '" + request.command +
-          "' (profile|verify|lint|order|explain|metrics|spans|ping)");
+          "' (profile|hunt|verify|lint|order|explain|metrics|spans|ping)");
     }
   }
   m.observe("serve.request_us", m.now_us() - started_us);
@@ -143,10 +147,29 @@ Response Service::do_profile(const Request& request) {
   // flight memoizes are relabeling-invariant, so sharing is sound.
   const reduction::CanonicalForm canon =
       reduction::canonicalize_type(type);
+  const ProfileLevels levels = profile_levels_flight(
+      type, canon, max_n, request_threads(request));
+
+  // Re-render for THIS requester: its own type name and its own bounds
+  // block (bounds findings quote value/op names, which relabelings
+  // change), over the shared levels.
+  hierarchy::TypeProfile p;
+  p.type_name = type.name();
+  p.readable = levels.readable;
+  p.discerning = levels.discerning;
+  p.recording = levels.recording;
+  analysis::BoundsReport bounds;
+  if (options_.bounds) bounds = analysis::analyze_static_bounds(type);
+  Response r;
+  r.body = profile_json(p, max_n, options_.bounds ? &bounds : nullptr);
+  return r;
+}
+
+Service::ProfileLevels Service::profile_levels_flight(
+    const spec::ObjectType& type, const reduction::CanonicalForm& canon,
+    int max_n, int threads) {
   const std::string key =
       "profile|maxn=" + std::to_string(max_n) + "|" + canon.key;
-
-  const int threads = request_threads(request);
   const auto outcome = profile_flights_.run(key, [&] {
     if (options_.hooks.before_profile_compute) {
       options_.hooks.before_profile_compute(key);
@@ -171,19 +194,64 @@ Response Service::do_profile(const Request& request) {
   trace::metrics().add(outcome.leader ? "serve.singleflight.leader"
                                       : "serve.singleflight.joined",
                        1);
+  return outcome.value;
+}
 
-  // Re-render for THIS requester: its own type name and its own bounds
-  // block (bounds findings quote value/op names, which relabelings
-  // change), over the shared levels.
-  hierarchy::TypeProfile p;
-  p.type_name = type.name();
-  p.readable = outcome.value.readable;
-  p.discerning = outcome.value.discerning;
-  p.recording = outcome.value.recording;
-  analysis::BoundsReport bounds;
-  if (options_.bounds) bounds = analysis::analyze_static_bounds(type);
+/// hunt: profile ONE campaign candidate named by its genome coordinates
+/// ("values ops responses index" in "spec"), so shards farm exploration
+/// to a shared daemon. The flight key is the candidate's canonical form —
+/// the same keyspace do_profile uses, so a hunt shard and a profile
+/// client asking about isomorphic machines share one exploration.
+Response Service::do_hunt(const Request& request) {
+  if (request.spec.empty()) {
+    return usage_error("hunt wants a \"spec\" of genome coordinates "
+                       "\"values ops responses index\"");
+  }
+  const std::vector<std::string> tokens = spec_tokens(request.spec);
+  campaign::GenomeId id;
+  if (tokens.size() != 4 ||
+      !util::parse_int_arg(tokens[0], 1, 64, &id.values) ||
+      !util::parse_int_arg(tokens[1], 1, 64, &id.ops) ||
+      !util::parse_int_arg(tokens[2], 1, 64, &id.responses) ||
+      !util::parse_uint64_arg(tokens[3], &id.index)) {
+    return usage_error("hunt spec wants \"values ops responses index\" "
+                       "(values/ops/responses in [1, 64])");
+  }
+  const std::uint64_t cell =
+      campaign::cell_size(id.values, id.ops, id.responses);
+  if (cell == 0 || id.index >= cell) {
+    return usage_error("hunt genome index " + std::to_string(id.index) +
+                       " is outside its cell (" + std::to_string(cell) +
+                       " machines)");
+  }
+  int max_n = request.max_n > 0 ? request.max_n : options_.default_max_n;
+  if (max_n > options_.max_n_cap) max_n = options_.max_n_cap;
+
+  const spec::ObjectType type = campaign::instantiate_genome(id);
+  const reduction::CanonicalForm canon =
+      reduction::canonicalize_type(type);
+  const ProfileLevels levels = profile_levels_flight(
+      type, canon, max_n, request_threads(request));
+
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(canon.hash));
   Response r;
-  r.body = profile_json(p, max_n, options_.bounds ? &bounds : nullptr);
+  r.body = "{\"command\":\"hunt\",\"genome\":{\"values\":" +
+           std::to_string(id.values) +
+           ",\"ops\":" + std::to_string(id.ops) +
+           ",\"responses\":" + std::to_string(id.responses) +
+           ",\"index\":" + std::to_string(id.index) +
+           "},\"canonical_hash\":\"" + hash_hex +
+           "\",\"max_n\":" + std::to_string(max_n) +
+           ",\"readable\":" + (levels.readable ? "true" : "false") +
+           ",\"discerning\":{\"value\":" +
+           std::to_string(levels.discerning.value) +
+           ",\"exact\":" + (levels.discerning.exact ? "true" : "false") +
+           "},\"recording\":{\"value\":" +
+           std::to_string(levels.recording.value) +
+           ",\"exact\":" + (levels.recording.exact ? "true" : "false") +
+           "}}";
   return r;
 }
 

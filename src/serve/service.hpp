@@ -27,6 +27,7 @@
 
 #include "hierarchy/consensus_number.hpp"
 #include "reduction/memory_tier.hpp"
+#include "reduction/type_canon.hpp"
 #include "serve/commands.hpp"
 #include "serve/wire.hpp"
 #include "util/single_flight.hpp"
@@ -93,7 +94,16 @@ class Service {
   };
 
   Response do_profile(const Request& request);
+  Response do_hunt(const Request& request);
   Response do_verify(const Request& request);
+
+  /// The single-flight profile exploration both do_profile and do_hunt
+  /// share: one key per (canonical form, max_n), so a hunt shard asking
+  /// about a machine and a client profiling an isomorphic type join the
+  /// same exploration.
+  ProfileLevels profile_levels_flight(const spec::ObjectType& type,
+                                      const reduction::CanonicalForm& canon,
+                                      int max_n, int threads);
   Response do_lint(const Request& request);
   Response do_order(const Request& request);
 

@@ -55,6 +55,27 @@ inline bool parse_size_arg(std::string_view text, std::size_t min_value,
   return true;
 }
 
+/// Strict lowercase-hex uint64 (no "0x" prefix, no uppercase, no
+/// trailing garbage). Used by the campaign checkpoint loader, where a
+/// half-written hash field must read as corruption, not as a number.
+inline bool parse_hex64_arg(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
 /// As parse_int64_arg, for uint64-typed flags (seeds).
 inline bool parse_uint64_arg(std::string_view text, std::uint64_t* out) {
   if (text.empty()) return false;

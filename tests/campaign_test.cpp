@@ -1,0 +1,805 @@
+// The rcons-hunt battery (DESIGN.md §15): exhaustiveness of the sharded
+// enumeration against brute force, kill -9 crash/resume byte-identity
+// through the real CLI binary, checkpoint corruption rejection in the
+// VerdictCache discipline (reject loudly, re-explore, never trust), merge
+// conflict provenance, and the fingerprint-seeded search sharding. The
+// campaign's whole value is "interruption is free"; this file is the
+// proof.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/enumerate.hpp"
+#include "campaign/merge.hpp"
+#include "hierarchy/search.hpp"
+#include "spec/serialize.hpp"
+#include "util/hashing.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rcons::campaign::Box;
+using rcons::campaign::CampaignOptions;
+using rcons::campaign::CampaignResult;
+using rcons::campaign::Candidate;
+using rcons::campaign::CheckpointLoad;
+using rcons::campaign::GenomeId;
+using rcons::campaign::MergeOutcome;
+using rcons::campaign::ProfileRecord;
+using rcons::campaign::ShardCheckpoint;
+
+/// Runs a command line, captures stdout, and returns the exit code via
+/// `exit_code` (-1 when the process died on a signal — the kill battery's
+/// expected outcome).
+std::string capture_stdout(const std::string& command, int* exit_code) {
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string out;
+  *exit_code = -1;
+  if (pipe != nullptr) {
+    char buffer[4096];
+    std::size_t got;
+    while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      out.append(buffer, got);
+    }
+    const int status = pclose(pipe);
+    *exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+/// The checkpoint trailer's checksum, recomputed from the documented
+/// format (FNV-1a + the splitmix64 finalizer) so corruption tests can
+/// forge internally-consistent files that differ only in the field under
+/// test (e.g. a stale salt with a VALID checksum).
+std::string forge_trailer(const std::string& body) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : body) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(rcons::mix64(h)));
+  return body + "checksum: " + hex + "\nend\n";
+}
+
+/// Splits a checkpoint file into body and trailer, applies `edit` to the
+/// body, and re-forges the trailer so only the edit is wrong.
+std::string with_edited_body(
+    const std::string& text,
+    const std::function<void(std::string*)>& edit) {
+  const auto tail = text.rfind("\nchecksum: ");
+  EXPECT_NE(tail, std::string::npos);
+  std::string body = text.substr(0, tail + 1);
+  edit(&body);
+  return forge_trailer(body);
+}
+
+/// Every canonical form in the box, by brute force: instantiate and
+/// canonicalize ALL genomes directly from the cell arithmetic, no walk,
+/// no sharding, no dedupe shortcuts.
+std::set<std::string> brute_force_forms(const Box& box) {
+  std::set<std::string> forms;
+  for (int v = 1; v <= box.max_values; ++v) {
+    for (int o = 1; o <= box.max_ops; ++o) {
+      for (int r = 1; r <= box.max_responses; ++r) {
+        const std::uint64_t cell = rcons::campaign::cell_size(v, o, r);
+        EXPECT_NE(cell, 0u);
+        for (std::uint64_t i = 0; i < cell; ++i) {
+          forms.insert(rcons::reduction::canonicalize_type(
+                           rcons::campaign::instantiate_genome(
+                               GenomeId{v, o, r, i}))
+                           .key);
+        }
+      }
+    }
+  }
+  return forms;
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("rcons-campaign-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// In-process campaign with the test defaults (tiny box, serial, no
+  /// cache — determinism comes from the walk, not the environment).
+  CampaignOptions options(int shards = 1, int shard_index = 0) const {
+    CampaignOptions o;
+    o.box = Box{2, 2, 2};
+    o.max_n = 2;
+    o.shards = shards;
+    o.shard_index = shard_index;
+    o.checkpoint_dir = dir_;
+    return o;
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------
+// Enumeration
+// ---------------------------------------------------------------------
+
+TEST(CampaignEnumeration, CellAndBoxArithmetic) {
+  // (R*V)^(V*O): 1 value, 1 op, 1 response: one machine.
+  EXPECT_EQ(rcons::campaign::cell_size(1, 1, 1), 1u);
+  EXPECT_EQ(rcons::campaign::cell_size(2, 1, 2), 16u);   // 4^2
+  EXPECT_EQ(rcons::campaign::cell_size(3, 2, 2), 46656u);  // 6^6
+  // A box sums its cells: {V<=2, O=1, R<=2} = 1 + 2 + 4 + 16.
+  EXPECT_EQ(rcons::campaign::box_size(Box{2, 1, 2}), 23u);
+  // Far past 64 bits: (64*64)^(64*64) — reported as overflow, not junk.
+  EXPECT_EQ(rcons::campaign::cell_size(64, 64, 64), 0u);
+  EXPECT_EQ(rcons::campaign::box_size(Box{64, 64, 64}), 0u);
+}
+
+TEST(CampaignEnumeration, InstantiateBuildsReadableMachines) {
+  const GenomeId id{2, 2, 2, 37};
+  const auto type = rcons::campaign::instantiate_genome(id);
+  EXPECT_EQ(type.value_count(), 2);
+  EXPECT_EQ(type.op_count(), 3);  // o0, o1, and the appended Read
+  EXPECT_TRUE(type.is_readable());
+  EXPECT_EQ(type.name(), "hunt_v2o2r2_i37");
+  // Distinct indices decode to distinct delta tables within a cell.
+  const auto other =
+      rcons::campaign::instantiate_genome(GenomeId{2, 2, 2, 38});
+  EXPECT_NE(rcons::spec::serialize_type(type),
+            rcons::spec::serialize_type(other));
+}
+
+TEST(CampaignEnumeration, WalkVisitsEveryPositionInOrder) {
+  const Box box{2, 2, 2};
+  const std::uint64_t total = rcons::campaign::box_size(box);
+  std::uint64_t expected = 0;
+  rcons::campaign::walk_box(box, 0, [&](const Candidate& c) {
+    EXPECT_EQ(c.position, expected);
+    expected += 1;
+    return true;
+  });
+  EXPECT_EQ(expected, total);
+}
+
+TEST(CampaignEnumeration, WalkResumesMidCellArithmetically) {
+  const Box box{2, 2, 2};
+  std::vector<GenomeId> all;
+  rcons::campaign::walk_box(box, 0, [&](const Candidate& c) {
+    all.push_back(c.id);
+    return true;
+  });
+  // Resume from a position inside the last cell: the suffix must line up
+  // exactly with the full walk (the checkpoint-cursor contract).
+  const std::uint64_t from = rcons::campaign::box_size(box) - 7;
+  std::size_t i = static_cast<std::size_t>(from);
+  rcons::campaign::walk_box(box, from, [&](const Candidate& c) {
+    EXPECT_EQ(c.position, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(c.id, all[i]);
+    i += 1;
+    return true;
+  });
+  EXPECT_EQ(i, all.size());
+}
+
+// The tentpole differential: for every shard count, the union of the
+// per-shard profiled forms equals the brute-force canonical universe —
+// no form skipped, none claimed by two shards.
+TEST(CampaignEnumeration, ShardedUnionEqualsBruteForce) {
+  const Box box{3, 2, 2};
+  std::set<std::string> brute;
+  brute_force_forms(box).swap(brute);
+  ASSERT_FALSE(brute.empty());
+  for (const int shards : {1, 3, 5}) {
+    std::vector<std::set<std::string>> claimed(
+        static_cast<std::size_t>(shards));
+    rcons::campaign::walk_box(box, 0, [&](const Candidate& c) {
+      // What run_campaign would profile: first occurrence of the form in
+      // its owning shard.
+      claimed[static_cast<std::size_t>(
+                  rcons::campaign::shard_of(c.canon.hash, shards))]
+          .insert(c.canon.key);
+      return true;
+    });
+    std::set<std::string> unioned;
+    std::size_t sum = 0;
+    for (const auto& s : claimed) {
+      sum += s.size();
+      unioned.insert(s.begin(), s.end());
+    }
+    EXPECT_EQ(sum, unioned.size()) << "a form claimed by two shards, K="
+                                   << shards;
+    EXPECT_EQ(unioned, brute) << "union != brute force, K=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------
+
+TEST_F(CampaignTest, ProfiledRecordsPartitionTheBruteForceUniverse) {
+  std::set<std::string> brute;
+  brute_force_forms(Box{2, 2, 2}).swap(brute);
+  std::set<std::string> unioned;
+  std::size_t sum = 0;
+  for (int shard = 0; shard < 3; ++shard) {
+    const CampaignResult r = run_campaign(options(3, shard));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.complete);
+    for (const ProfileRecord& record : r.checkpoint.records) {
+      EXPECT_TRUE(record.readable);
+      EXPECT_TRUE(unioned.insert(record.canonical_key).second)
+          << "form profiled twice: " << record.canonical_key;
+      sum += 1;
+    }
+  }
+  EXPECT_EQ(sum, brute.size());
+  EXPECT_EQ(unioned, brute);
+}
+
+TEST_F(CampaignTest, BudgetSlicesResumeToIdenticalBytes) {
+  // Reference: one uninterrupted run.
+  const CampaignResult whole = run_campaign(options());
+  ASSERT_TRUE(whole.ok) << whole.error;
+  ASSERT_TRUE(whole.complete);
+  const std::string reference = read_file(whole.db_path);
+  fs::remove(whole.db_path);
+
+  // Sliced: profile at most 2 forms per invocation, resuming each time.
+  // Every stopping point the budget can produce is exercised.
+  CampaignOptions sliced = options();
+  sliced.budget = 2;
+  sliced.checkpoint_interval = 5;
+  int invocations = 0;
+  for (;; ++invocations) {
+    ASSERT_LT(invocations, 200) << "budget loop does not converge";
+    const CampaignResult r = run_campaign(sliced);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_LE(r.profiled, sliced.budget);
+    sliced.resume = true;
+    if (r.complete) break;
+  }
+  EXPECT_GT(invocations, 2);
+  EXPECT_EQ(read_file(whole.db_path), reference);
+}
+
+TEST_F(CampaignTest, ResumeOfCompleteShardIsANoOp) {
+  const CampaignResult first = run_campaign(options());
+  ASSERT_TRUE(first.ok) << first.error;
+  CampaignOptions again = options();
+  again.resume = true;
+  const CampaignResult second = run_campaign(again);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.resumed);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.visited, 0u);
+  EXPECT_EQ(second.profiled, 0u);
+}
+
+TEST_F(CampaignTest, AfterCandidateHookSeesEveryVisit) {
+  CampaignOptions o = options();
+  std::uint64_t calls = 0;
+  o.after_candidate = [&](std::uint64_t visited) {
+    calls += 1;
+    EXPECT_EQ(visited, calls);
+  };
+  const CampaignResult r = run_campaign(o);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(calls, r.visited);
+}
+
+TEST_F(CampaignTest, ConfigErrorsDoNotTouchDisk) {
+  CampaignOptions o = options();
+  o.shard_index = 7;  // >= shards
+  const CampaignResult r = run_campaign(o);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("shard"), std::string::npos);
+  CampaignOptions no_dir = options();
+  no_dir.checkpoint_dir.clear();
+  EXPECT_FALSE(run_campaign(no_dir).ok);
+  EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint format
+// ---------------------------------------------------------------------
+
+TEST_F(CampaignTest, CheckpointRoundTrips) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  const CheckpointLoad load =
+      rcons::campaign::load_checkpoint(r.db_path, r.checkpoint);
+  ASSERT_TRUE(load.ok) << load.reason;
+  EXPECT_EQ(load.checkpoint.records, r.checkpoint.records);
+  EXPECT_EQ(load.checkpoint.cursor, r.checkpoint.cursor);
+  EXPECT_TRUE(load.checkpoint.complete);
+}
+
+TEST_F(CampaignTest, EveryTruncationIsRejected) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  const std::string full = read_file(r.db_path);
+  const std::string path = dir_ + "/truncated.hunt";
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    write_file(path, full.substr(0, keep));
+    const CheckpointLoad load =
+        rcons::campaign::load_checkpoint(path, r.checkpoint);
+    EXPECT_FALSE(load.ok) << "accepted a " << keep << "-byte truncation";
+    EXPECT_FALSE(load.reason.empty());
+  }
+}
+
+TEST_F(CampaignTest, BitFlipsAreRejected) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  const std::string full = read_file(r.db_path);
+  const std::string path = dir_ + "/flipped.hunt";
+  for (const std::size_t at :
+       {std::size_t{0}, full.size() / 3, full.size() / 2,
+        full.size() - 2}) {
+    std::string bytes = full;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x20);
+    write_file(path, bytes);
+    EXPECT_FALSE(
+        rcons::campaign::load_checkpoint(path, r.checkpoint).ok)
+        << "accepted a bit flip at byte " << at;
+  }
+}
+
+TEST_F(CampaignTest, StaleSaltIsRejectedEvenWithValidChecksum) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  const std::string forged =
+      with_edited_body(read_file(r.db_path), [](std::string* body) {
+        const auto at = body->find("rcons-hunt-v1|");
+        ASSERT_NE(at, std::string::npos);
+        (*body)[at + 12] = '0';  // v1 -> v0
+      });
+  const std::string path = dir_ + "/stale.hunt";
+  write_file(path, forged);
+  const CheckpointLoad load =
+      rcons::campaign::load_checkpoint(path, r.checkpoint);
+  EXPECT_FALSE(load.ok);
+  EXPECT_NE(load.reason.find("stale salt"), std::string::npos)
+      << load.reason;
+}
+
+TEST_F(CampaignTest, ConfigMismatchesAreRejectedWithDistinctReasons) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  ShardCheckpoint expected = r.checkpoint;
+  expected.max_n = 3;
+  EXPECT_NE(rcons::campaign::load_checkpoint(r.db_path, expected)
+                .reason.find("max_n mismatch"),
+            std::string::npos);
+  expected = r.checkpoint;
+  expected.shards = 4;
+  EXPECT_NE(rcons::campaign::load_checkpoint(r.db_path, expected)
+                .reason.find("shard mismatch"),
+            std::string::npos);
+  expected = r.checkpoint;
+  expected.box.max_values = 3;
+  EXPECT_NE(rcons::campaign::load_checkpoint(r.db_path, expected)
+                .reason.find("box mismatch"),
+            std::string::npos);
+  EXPECT_NE(rcons::campaign::load_checkpoint(dir_ + "/absent.hunt",
+                                             r.checkpoint)
+                .reason.find("no checkpoint"),
+            std::string::npos);
+}
+
+TEST_F(CampaignTest, CorruptCheckpointIsReexploredToCleanResult) {
+  const CampaignResult clean = run_campaign(options());
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const std::string reference = read_file(clean.db_path);
+  // Corrupt the snapshot, then resume: the file is rejected with a
+  // reason, the shard re-explores from scratch, and the final database
+  // is byte-identical to the clean run.
+  std::string bytes = reference;
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  write_file(clean.db_path, bytes);
+  CampaignOptions o = options();
+  o.resume = true;
+  const CampaignResult again = run_campaign(o);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_FALSE(again.resumed);
+  EXPECT_NE(again.resume_note.find("checksum"), std::string::npos)
+      << again.resume_note;
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(read_file(clean.db_path), reference);
+}
+
+TEST(CampaignRecord, ParserIsStrict) {
+  ProfileRecord r;
+  r.id = GenomeId{2, 1, 2, 5};
+  r.canonical_hash = 0xa1b2c3d4e5f60718ULL;
+  r.canonical_key = "v2o2r2:0.0,1.1;1.0,0.1;";
+  r.readable = true;
+  r.discerning = {2, true};
+  r.recording = {1, false};
+  const std::string line = rcons::campaign::render_record(r);
+  ProfileRecord parsed;
+  ASSERT_TRUE(rcons::campaign::parse_record(line, &parsed)) << line;
+  EXPECT_EQ(parsed, r);
+  // Strictness: trailing junk, a short hash, uppercase hex, and a
+  // malformed level token all read as corruption.
+  EXPECT_FALSE(rcons::campaign::parse_record(line + " junk", &parsed));
+  EXPECT_FALSE(rcons::campaign::parse_record("r 2 1 2 5 a1b2 2.1 1.0 1 k",
+                                             &parsed));
+  std::string upper = line;
+  upper[upper.find("a1b2")] = 'A';
+  EXPECT_FALSE(rcons::campaign::parse_record(upper, &parsed));
+  EXPECT_FALSE(rcons::campaign::parse_record(
+      "r 2 1 2 5 a1b2c3d4e5f60718 2.x 1.0 1 k", &parsed));
+  EXPECT_FALSE(rcons::campaign::parse_record("", &parsed));
+}
+
+// ---------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------
+
+class MergeTest : public CampaignTest {
+ protected:
+  /// Runs a K-sharded campaign and returns the shard database paths.
+  std::vector<std::string> run_shards(int shards) {
+    std::vector<std::string> paths;
+    for (int shard = 0; shard < shards; ++shard) {
+      const CampaignResult r = run_campaign(options(shards, shard));
+      EXPECT_TRUE(r.ok) << r.error;
+      paths.push_back(r.db_path);
+    }
+    return paths;
+  }
+};
+
+TEST_F(MergeTest, PartitioningInvariantMergedBytes) {
+  const std::vector<std::string> one = run_shards(1);
+  const MergeOutcome merged_one = rcons::campaign::merge_databases(one);
+  ASSERT_TRUE(merged_one.ok) << merged_one.error;
+  EXPECT_TRUE(merged_one.all_complete);
+
+  const std::vector<std::string> four = run_shards(4);
+  const MergeOutcome merged_four = rcons::campaign::merge_databases(four);
+  ASSERT_TRUE(merged_four.ok) << merged_four.error;
+  EXPECT_EQ(rcons::campaign::serialize_merged(merged_one),
+            rcons::campaign::serialize_merged(merged_four));
+  EXPECT_EQ(merged_four.inputs, 4u);
+  EXPECT_EQ(merged_four.records.size(), merged_one.records.size());
+  // Sorted by canonical key, so the table itself is deterministic.
+  EXPECT_TRUE(std::is_sorted(
+      merged_four.records.begin(), merged_four.records.end(),
+      [](const ProfileRecord& a, const ProfileRecord& b) {
+        return a.canonical_key < b.canonical_key;
+      }));
+
+  // The rendered summaries are partitioning-invariant past their input
+  // tallies (the "merged N databases" header / "inputs" field), and
+  // carry the landscape/gap/frontier sections E12 quotes.
+  const std::string text = rcons::campaign::render_merged_text(merged_four);
+  const std::string text_one =
+      rcons::campaign::render_merged_text(merged_one);
+  ASSERT_NE(text.find("box:"), std::string::npos);
+  EXPECT_EQ(text.substr(text.find("box:")),
+            text_one.substr(text_one.find("box:")));
+  EXPECT_NE(text.find("(cons, rcons) landscape:"), std::string::npos);
+  EXPECT_NE(text.find("gap census"), std::string::npos);
+  EXPECT_NE(text.find("frontier"), std::string::npos);
+  const std::string json = rcons::campaign::render_merged_json(merged_four);
+  const std::string json_one =
+      rcons::campaign::render_merged_json(merged_one);
+  ASSERT_NE(json.find("\"input_records\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.find("\"input_records\"")),
+            json_one.substr(json_one.find("\"input_records\"")));
+  EXPECT_NE(json.find("\"distinct_forms\":" +
+                      std::to_string(merged_four.records.size())),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"landscape\":["), std::string::npos);
+  EXPECT_NE(json.find("\"frontier\":["), std::string::npos);
+}
+
+TEST_F(MergeTest, OverlappingInputsDedupe) {
+  const std::vector<std::string> shards = run_shards(2);
+  // The same shard database listed twice, plus the other shard: agreeing
+  // duplicates fold away.
+  const MergeOutcome merged = rcons::campaign::merge_databases(
+      {shards[0], shards[1], shards[0]});
+  ASSERT_TRUE(merged.ok) << merged.error;
+  const MergeOutcome plain = rcons::campaign::merge_databases(shards);
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_EQ(rcons::campaign::serialize_merged(merged),
+            rcons::campaign::serialize_merged(plain));
+  EXPECT_EQ(merged.input_records,
+            plain.input_records + rcons::campaign::read_checkpoint(shards[0])
+                                      .checkpoint.records.size());
+}
+
+TEST_F(MergeTest, ConflictHardFailsWithBothProvenances) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_FALSE(r.checkpoint.records.empty());
+  // Forge a second shard database that disagrees on one verdict.
+  ShardCheckpoint lying = r.checkpoint;
+  lying.records.front().recording.value += 1;
+  const std::string liar_path = dir_ + "/liar.hunt";
+  std::string error;
+  ASSERT_TRUE(rcons::campaign::write_checkpoint(liar_path, lying, &error))
+      << error;
+  const MergeOutcome merged =
+      rcons::campaign::merge_databases({r.db_path, liar_path});
+  EXPECT_FALSE(merged.ok);
+  // Both provenances — file paths AND full record lines — are printed;
+  // last-writer-wins would be a silent wrong answer.
+  EXPECT_NE(merged.error.find("conflict"), std::string::npos);
+  EXPECT_NE(merged.error.find(r.db_path), std::string::npos);
+  EXPECT_NE(merged.error.find(liar_path), std::string::npos);
+  EXPECT_NE(merged.error.find(rcons::campaign::render_record(
+                r.checkpoint.records.front())),
+            std::string::npos);
+  EXPECT_NE(merged.error.find(rcons::campaign::render_record(
+                lying.records.front())),
+            std::string::npos);
+}
+
+TEST_F(MergeTest, EmptyShardAndPartialShardEdgeCases) {
+  // An empty shard (no records, not complete) merges fine but marks the
+  // outcome partial.
+  ShardCheckpoint empty;
+  empty.box = Box{2, 2, 2};
+  empty.max_n = 2;
+  empty.shards = 2;
+  empty.shard_index = 1;
+  empty.cursor = 3;
+  const std::string empty_path = dir_ + "/empty.hunt";
+  std::string error;
+  ASSERT_TRUE(rcons::campaign::write_checkpoint(empty_path, empty, &error));
+  const CampaignResult r = run_campaign(options(2, 0));
+  ASSERT_TRUE(r.ok) << r.error;
+  const MergeOutcome merged =
+      rcons::campaign::merge_databases({r.db_path, empty_path});
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_FALSE(merged.all_complete);
+  EXPECT_EQ(merged.records.size(), r.checkpoint.records.size());
+  // The text summary flags the partial view.
+  EXPECT_NE(rcons::campaign::render_merged_text(merged).find("PARTIAL"),
+            std::string::npos);
+}
+
+TEST_F(MergeTest, CampaignMismatchAndCorruptInputsFail) {
+  const CampaignResult r = run_campaign(options());
+  ASSERT_TRUE(r.ok) << r.error;
+  // A database from a different campaign (other max_n).
+  CampaignOptions other = options();
+  other.max_n = 3;
+  other.checkpoint_dir = dir_ + "/other";
+  const CampaignResult r3 = run_campaign(other);
+  ASSERT_TRUE(r3.ok) << r3.error;
+  const MergeOutcome mismatch =
+      rcons::campaign::merge_databases({r.db_path, r3.db_path});
+  EXPECT_FALSE(mismatch.ok);
+  EXPECT_NE(mismatch.error.find("campaign mismatch"), std::string::npos);
+  // Corrupt input: hard error naming the file, not a silent skip.
+  const std::string bad_path = dir_ + "/bad.hunt";
+  write_file(bad_path, "rcons-hunt v1\ngarbage\n");
+  const MergeOutcome corrupt =
+      rcons::campaign::merge_databases({bad_path});
+  EXPECT_FALSE(corrupt.ok);
+  EXPECT_NE(corrupt.error.find(bad_path), std::string::npos);
+  EXPECT_FALSE(rcons::campaign::merge_databases({}).ok);
+}
+
+// ---------------------------------------------------------------------
+// Search sharding (the hierarchy/search seeding fix)
+// ---------------------------------------------------------------------
+
+TEST(SearchSharding, TwoRunsAreByteStable) {
+  rcons::hierarchy::MachineSearchOptions o;
+  o.value_count = 3;
+  o.op_count = 1;
+  o.response_count = 2;
+  o.max_n = 2;
+  o.restarts = 6;
+  o.mutations_per_restart = 25;
+  o.seed = 11;
+  o.shards = 3;
+  o.shard_index = 1;
+  const auto a = rcons::hierarchy::search_gap_machines(o);
+  const auto b = rcons::hierarchy::search_gap_machines(o);
+  EXPECT_EQ(a.best_gap, b.best_gap);
+  EXPECT_EQ(a.best_restart, b.best_restart);
+  EXPECT_EQ(a.machines_evaluated, b.machines_evaluated);
+  EXPECT_EQ(a.restarts_run, b.restarts_run);
+  if (a.best_restart >= 0) {
+    EXPECT_EQ(rcons::spec::serialize_type(a.best_type),
+              rcons::spec::serialize_type(b.best_type));
+  }
+}
+
+TEST(SearchSharding, ShardsPartitionTheRestartsExactly) {
+  rcons::hierarchy::MachineSearchOptions o;
+  o.value_count = 3;
+  o.op_count = 1;
+  o.response_count = 2;
+  o.max_n = 2;
+  o.restarts = 12;
+  o.mutations_per_restart = 20;
+  o.seed = 5;
+  const auto whole = rcons::hierarchy::search_gap_machines(o);
+  EXPECT_EQ(whole.restarts_run, 12u);
+
+  const int kShards = 3;
+  std::uint64_t restarts_covered = 0;
+  std::uint64_t machines_covered = 0;
+  int best_gap = -1;
+  int best_restart = -1;
+  std::string best_serialized;
+  for (int shard = 0; shard < kShards; ++shard) {
+    auto sharded = o;
+    sharded.shards = kShards;
+    sharded.shard_index = shard;
+    const auto r = rcons::hierarchy::search_gap_machines(sharded);
+    restarts_covered += r.restarts_run;
+    machines_covered += r.machines_evaluated;
+    if (r.best_restart >= 0 &&
+        (r.best_gap > best_gap ||
+         (r.best_gap == best_gap && r.best_restart < best_restart))) {
+      best_gap = r.best_gap;
+      best_restart = r.best_restart;
+      best_serialized = rcons::spec::serialize_type(r.best_type);
+    }
+  }
+  // Disjoint and exhaustive: every restart ran in exactly one shard, and
+  // folding the shard winners by (gap desc, restart asc) reproduces the
+  // unsharded result machine-for-machine.
+  EXPECT_EQ(restarts_covered, 12u);
+  EXPECT_EQ(machines_covered, whole.machines_evaluated);
+  EXPECT_EQ(best_gap, whole.best_gap);
+  EXPECT_EQ(best_restart, whole.best_restart);
+  EXPECT_EQ(best_serialized,
+            rcons::spec::serialize_type(whole.best_type));
+}
+
+// ---------------------------------------------------------------------
+// The kill -9 battery (through the real binary)
+// ---------------------------------------------------------------------
+
+class HuntCliTest : public CampaignTest {
+ protected:
+  /// The hunt invocation all battery runs share: 266 candidates
+  /// (V<=3, O=1, R<=2), serial, no cache, a checkpoint interval that
+  /// does not divide the walk length.
+  std::string hunt_command(const std::string& checkpoint_dir,
+                           const std::string& extra) const {
+    return std::string(RCONS_CLI_BIN) +
+           " hunt --checkpoint-dir=" + checkpoint_dir +
+           " --max-values=3 --max-ops=1 --max-responses=2 --max-n=2" +
+           " --threads=1 --cache=off --checkpoint-interval=7 " + extra +
+           " 2>/dev/null";
+  }
+};
+
+TEST_F(HuntCliTest, FiftySeededKillsResumeByteIdentical) {
+  // Reference: one uninterrupted run.
+  const std::string ref_dir = dir_ + "/ref";
+  int exit_code = -1;
+  capture_stdout(hunt_command(ref_dir, ""), &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  const std::string reference =
+      read_file(ref_dir + "/shard-0-of-1.hunt");
+  const std::uint64_t total = rcons::campaign::box_size(Box{3, 1, 2});
+  ASSERT_EQ(total, 266u);
+
+  int kills_observed = 0;
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    // Seeded kill point: splitmix-mixed trial index over the walk.
+    const std::uint64_t kill_after =
+        1 + rcons::mix64(0x9e3779b97f4a7c15ULL * (trial + 1)) % total;
+    const std::string trial_dir =
+        dir_ + "/trial" + std::to_string(trial);
+    capture_stdout("RCONS_HUNT_KILL_AFTER=" +
+                       std::to_string(kill_after) + " " +
+                       hunt_command(trial_dir, ""),
+                   &exit_code);
+    // The shell reports a SIGKILLed child as 128 + 9; a popen quirk can
+    // also surface it as a raw signal status (-1 here).
+    if (exit_code == 137 || exit_code == -1) kills_observed += 1;
+    // Resume (no kill env). One resume always suffices: the injected
+    // kill fires only in the first process.
+    capture_stdout(hunt_command(trial_dir, "--resume"), &exit_code);
+    ASSERT_EQ(exit_code, 0) << "trial " << trial;
+    EXPECT_EQ(read_file(trial_dir + "/shard-0-of-1.hunt"), reference)
+        << "trial " << trial << " (killed after " << kill_after << ")";
+    fs::remove_all(trial_dir);
+  }
+  // The battery only proves something if the kills actually landed: the
+  // hook fires on the last visited candidate at the latest, BEFORE the
+  // final snapshot, so every trial must have died mid-flight.
+  EXPECT_EQ(kills_observed, 50);
+}
+
+TEST_F(HuntCliTest, BudgetStopsWithExitThree) {
+  int exit_code = -1;
+  const std::string out =
+      capture_stdout(hunt_command(dir_ + "/b", "--budget=3"), &exit_code);
+  EXPECT_EQ(exit_code, 3);
+  EXPECT_NE(out.find("stopped (resumable)"), std::string::npos) << out;
+  // Resume to completion, still byte-identical to an uninterrupted run.
+  capture_stdout(hunt_command(dir_ + "/b", "--resume"), &exit_code);
+  EXPECT_EQ(exit_code, 0);
+}
+
+TEST_F(HuntCliTest, ShardedCliMergeMatchesSingleShardReference) {
+  int exit_code = -1;
+  capture_stdout(hunt_command(dir_ + "/one", ""), &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  for (int shard = 0; shard < 3; ++shard) {
+    capture_stdout(hunt_command(dir_ + "/three",
+                                "--shards=3 --shard=" +
+                                    std::to_string(shard)),
+                   &exit_code);
+    ASSERT_EQ(exit_code, 0) << "shard " << shard;
+  }
+  const std::string merge_bin = RCONS_HUNT_MERGE_BIN;
+  capture_stdout(merge_bin + " --out=" + dir_ + "/one.db " + dir_ +
+                     "/one/shard-0-of-1.hunt 2>/dev/null",
+                 &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  capture_stdout(merge_bin + " --out=" + dir_ + "/three.db " + dir_ +
+                     "/three/shard-0-of-3.hunt " + dir_ +
+                     "/three/shard-1-of-3.hunt " + dir_ +
+                     "/three/shard-2-of-3.hunt 2>/dev/null",
+                 &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  EXPECT_EQ(read_file(dir_ + "/one.db"), read_file(dir_ + "/three.db"));
+}
+
+TEST_F(HuntCliTest, UsageErrorsExitTwo) {
+  int exit_code = -1;
+  capture_stdout(std::string(RCONS_CLI_BIN) + " hunt 2>/dev/null",
+                 &exit_code);
+  EXPECT_EQ(exit_code, 2);  // no --checkpoint-dir
+  capture_stdout(std::string(RCONS_CLI_BIN) +
+                     " hunt --checkpoint-dir=/tmp/x --shards=2 --shard=2"
+                     " 2>/dev/null",
+                 &exit_code);
+  EXPECT_EQ(exit_code, 2);  // shard out of range
+  capture_stdout(std::string(RCONS_CLI_BIN) +
+                     " hunt --checkpoint-dir=/tmp/x --budget=banana"
+                     " 2>/dev/null",
+                 &exit_code);
+  EXPECT_EQ(exit_code, 2);  // strict numeric parsing
+}
+
+}  // namespace

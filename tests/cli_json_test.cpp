@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cctype>
 #include <cstdio>
@@ -635,6 +636,52 @@ TEST(CliCodegen, UsageErrorsExitTwo) {
     int exit_code = -1;
     const std::string out = capture_stdout(
         codegen_bin() + " " + invocation + " 2>/dev/null", &exit_code);
+    EXPECT_EQ(exit_code, 2) << invocation;
+    EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
+  }
+}
+
+// hunt follows the shared exit contract (0 complete / 3 budget-stopped /
+// 2 usage) and --format=json stdout is one parseable document.
+TEST(CliHunt, JsonOutputIsPureAndFollowsExitContract) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("rcons-cli-hunt-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  const std::string base =
+      cli() + " hunt --checkpoint-dir=" + dir +
+      " --max-values=2 --max-ops=1 --max-responses=2 --max-n=2"
+      " --threads=1 --cache=off --format=json";
+
+  // Budget stop: a resumable partial shard, exit 3.
+  int exit_code = -1;
+  std::string out =
+      capture_stdout(base + " --budget=2 2>/dev/null", &exit_code);
+  EXPECT_EQ(exit_code, 3);
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"command\":\"hunt\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"complete\":false"), std::string::npos) << out;
+
+  // Resume to completion: exit 0, complete:true, resumed:true.
+  out = capture_stdout(base + " --resume 2>/dev/null", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_TRUE(JsonParser(out).parse_document()) << out;
+  EXPECT_NE(out.find("\"complete\":true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"resumed\":true"), std::string::npos) << out;
+  std::filesystem::remove_all(dir);
+
+  // Usage errors: exit 2, nothing on stdout.
+  const char* const bad_invocations[] = {
+      "hunt",                                        // no --checkpoint-dir
+      "hunt --checkpoint-dir=/tmp/x --shards=2 --shard=2",
+      "hunt --checkpoint-dir=/tmp/x --budget=banana",
+      "hunt --checkpoint-dir=/tmp/x --max-values=0",
+      "hunt --checkpoint-dir=/tmp/x --no-such-flag",
+  };
+  for (const char* invocation : bad_invocations) {
+    out = capture_stdout(cli() + " " + invocation + " 2>/dev/null",
+                         &exit_code);
     EXPECT_EQ(exit_code, 2) << invocation;
     EXPECT_TRUE(out.empty()) << invocation << " leaked stdout: " << out;
   }

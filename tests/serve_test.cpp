@@ -33,6 +33,8 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/enumerate.hpp"
+#include "hierarchy/consensus_number.hpp"
 #include "reduction/type_canon.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -603,6 +605,78 @@ TEST(ServeTest, MemoryTierServesRepeatProfiles) {
   EXPECT_EQ(result_payload(second), result_payload(first));
   EXPECT_GT(m.counter("cache.mem_hits"), hits0)
       << "repeat profile did not hit the memory tier";
+}
+
+// The hunt verb profiles a genome by its campaign coordinates, through
+// the SAME flight keyspace as profile — so its levels must match an
+// in-process profile of the instantiated machine exactly.
+TEST(ServeTest, HuntVerbProfilesGenomesByCoordinate) {
+  TestDaemon daemon;
+  Client client(daemon.server.port());
+
+  const rcons::campaign::GenomeId id{2, 1, 2, 5};
+  const std::string response = client.call(
+      "h1",
+      "{\"id\":\"h1\",\"command\":\"hunt\",\"spec\":\"2 1 2 5\","
+      "\"max_n\":2}");
+  EXPECT_EQ(string_field(response, "status"), "ok") << response;
+  const std::string doc = result_payload(response);
+  EXPECT_NE(doc.find("\"command\":\"hunt\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"genome\":{\"values\":2,\"ops\":1,\"responses\":2,"
+                     "\"index\":5}"),
+            std::string::npos)
+      << doc;
+
+  // The reported canonical hash and levels match what the libraries
+  // compute for the same coordinates in-process.
+  const rcons::spec::ObjectType type =
+      rcons::campaign::instantiate_genome(id);
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(
+                    rcons::reduction::canonicalize_type(type).hash));
+  EXPECT_NE(doc.find("\"canonical_hash\":\"" + std::string(hash_hex) +
+                     "\""),
+            std::string::npos)
+      << doc;
+  const rcons::hierarchy::Level discerning =
+      rcons::hierarchy::discerning_level(type, 2);
+  const rcons::hierarchy::Level recording =
+      rcons::hierarchy::recording_level(type, 2);
+  const auto level_json = [](const char* name,
+                             const rcons::hierarchy::Level& level) {
+    return std::string("\"") + name +
+           "\":{\"value\":" + std::to_string(level.value) +
+           ",\"exact\":" + (level.exact ? "true" : "false") + "}";
+  };
+  EXPECT_NE(doc.find(level_json("discerning", discerning)),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find(level_json("recording", recording)),
+            std::string::npos)
+      << doc;
+
+  // Repeat requests are byte-identical.
+  const std::string repeat = client.call(
+      "h2",
+      "{\"id\":\"h2\",\"command\":\"hunt\",\"spec\":\"2 1 2 5\","
+      "\"max_n\":2}");
+  EXPECT_EQ(result_payload(repeat), doc);
+
+  // Usage errors: a short spec, and an index outside its cell (cell
+  // (1, 1, 1) holds exactly one machine).
+  for (const auto& [id_str, bad] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"b1",
+            "{\"id\":\"b1\",\"command\":\"hunt\",\"spec\":\"2 1\"}"},
+           {"b2",
+            "{\"id\":\"b2\",\"command\":\"hunt\",\"spec\":\"1 1 1 5\"}"},
+           {"b3", "{\"id\":\"b3\",\"command\":\"hunt\"}"}}) {
+    const std::string error = client.call(id_str, bad);
+    EXPECT_EQ(string_field(error, "status"), "error") << error;
+    EXPECT_NE(error.find("\"exit_code\":2"), std::string::npos) << error;
+    EXPECT_FALSE(string_field(error, "error").empty()) << error;
+  }
 }
 
 }  // namespace

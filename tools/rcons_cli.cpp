@@ -14,6 +14,13 @@
 //        writes become unpersisted invokes, the RC004 fixture)
 //   rcons_cli critical <protocol...>     valency trace (Figures 1-2 style)
 //   rcons_cli search   [restarts] [mutations] [seed]
+//                      [--shards=K --shard=I]
+//                                        randomized gap search; with
+//                                        --shards, this invocation climbs
+//                                        only the restarts whose initial
+//                                        machine fingerprints to shard I
+//                                        (disjoint across shards, stable
+//                                        across platforms and runs)
 //   rcons_cli lint     [--threshold=error|warning|note]
 //                      <type>... | protocol <protocol...>
 //                                        static analysis (see DESIGN.md);
@@ -47,6 +54,28 @@
 //                                        print its timeline, and check the
 //                                        round-trip guarantee (identical
 //                                        verdict + state hash; DESIGN.md §9)
+//   rcons_cli hunt     --checkpoint-dir=DIR [--shards=K --shard=I]
+//                      [--resume] [--max-values=V] [--max-ops=O]
+//                      [--max-responses=R] [--max-n=N] [--budget=B]
+//                      [--checkpoint-interval=C]
+//                                        one shard of the landscape
+//                                        campaign (DESIGN.md §15): walk
+//                                        every deterministic readable
+//                                        machine in the parameter box,
+//                                        profile each canonical form whose
+//                                        fingerprint hashes to this shard,
+//                                        and checkpoint progress to
+//                                        DIR/shard-I-of-K.hunt (atomic
+//                                        rename; kill -9 safe). --resume
+//                                        continues from the checkpoint;
+//                                        --budget=B stops after profiling
+//                                        B new forms (exit 3, resumable).
+//                                        Merge shard databases with
+//                                        tools/rcons_hunt_merge. The env
+//                                        var RCONS_HUNT_KILL_AFTER=N
+//                                        SIGKILLs the process after the
+//                                        Nth visited candidate (the crash
+//                                        battery's injection point).
 //   rcons_cli serve    (--socket=PATH | --port=N) [--workers=N]
 //                      [--queue-depth=N]
 //                                        long-running verdict daemon
@@ -130,6 +159,7 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "campaign/campaign.hpp"
 #include "exec/backend.hpp"
 #include "hierarchy/search.hpp"
 #include "hierarchy/witnesses.hpp"
@@ -142,6 +172,7 @@
 #include "trace/replay.hpp"
 #include "util/numeric.hpp"
 #include "util/parallel.hpp"
+#include "util/strings.hpp"
 #include "valency/critical.hpp"
 #include "valency/lemmas.hpp"
 #include "valency/theorem13.hpp"
@@ -496,23 +527,166 @@ int cmd_order(int argc, char** argv) {
   return emit(result);
 }
 
-int cmd_search(int restarts, int mutations, std::uint64_t seed) {
+int cmd_search(int restarts, int mutations, std::uint64_t seed, int shards,
+               int shard_index) {
   rcons::hierarchy::MachineSearchOptions options;
   options.restarts = restarts;
   options.mutations_per_restart = mutations;
   options.seed = seed;
   options.threads = g_threads;
   options.use_bounds = g_bounds_on;
+  options.shards = shards;
+  options.shard_index = shard_index;
   const auto r = rcons::hierarchy::search_gap_machines(options);
-  std::printf("evaluated %llu machines; best gap %d (discerning %s, "
-              "recording %s)\n",
+  if (shards > 1) {
+    std::printf("shard %d of %d: climbed %llu of %d restarts\n", shard_index,
+                shards, static_cast<unsigned long long>(r.restarts_run),
+                restarts);
+  }
+  if (r.best_restart < 0) {
+    std::printf("evaluated %llu machines; no restart in this shard\n",
+                static_cast<unsigned long long>(r.machines_evaluated));
+    return 0;
+  }
+  std::printf("evaluated %llu machines; best gap %d from restart %d "
+              "(discerning %s, recording %s)\n",
               static_cast<unsigned long long>(r.machines_evaluated),
-              r.best_gap, r.best_profile.discerning.to_string().c_str(),
+              r.best_gap, r.best_restart,
+              r.best_profile.discerning.to_string().c_str(),
               r.best_profile.recording.to_string().c_str());
   if (r.best_gap >= 1) {
     std::printf("%s", rcons::spec::serialize_type(r.best_type).c_str());
   }
   return 0;
+}
+
+/// `hunt`: one shard of the checkpointable landscape campaign
+/// (src/campaign, DESIGN.md §15).
+int cmd_hunt(int argc, char** argv) {
+  rcons::campaign::CampaignOptions options;
+  int shards = 1;
+  int shard_index = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      options.checkpoint_dir = arg.substr(17);
+      if (options.checkpoint_dir.empty()) {
+        return fail("--checkpoint-dir wants a directory");
+      }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (!rcons::util::parse_int_arg(arg.substr(9), 1, 1 << 20, &shards)) {
+        return fail("--shards wants a count >= 1");
+      }
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      if (!rcons::util::parse_int_arg(arg.substr(8), 0, (1 << 20) - 1,
+                                      &shard_index)) {
+        return fail("--shard wants an index >= 0");
+      }
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg.rfind("--max-values=", 0) == 0) {
+      if (!rcons::util::parse_int_arg(arg.substr(13), 1, 64,
+                                      &options.box.max_values)) {
+        return fail("--max-values wants a count in [1, 64]");
+      }
+    } else if (arg.rfind("--max-ops=", 0) == 0) {
+      if (!rcons::util::parse_int_arg(arg.substr(10), 1, 64,
+                                      &options.box.max_ops)) {
+        return fail("--max-ops wants a count in [1, 64]");
+      }
+    } else if (arg.rfind("--max-responses=", 0) == 0) {
+      if (!rcons::util::parse_int_arg(arg.substr(16), 1, 64,
+                                      &options.box.max_responses)) {
+        return fail("--max-responses wants a count in [1, 64]");
+      }
+    } else if (arg.rfind("--max-n=", 0) == 0) {
+      if (!rcons::util::parse_int_arg(arg.substr(8), 1, 1 << 20,
+                                      &options.max_n)) {
+        return fail("--max-n wants a level >= 1");
+      }
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      if (!rcons::util::parse_uint64_arg(arg.substr(9), &options.budget)) {
+        return fail("--budget wants a count (0 = unbounded)");
+      }
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      if (!rcons::util::parse_uint64_arg(arg.substr(22),
+                                         &options.checkpoint_interval) ||
+          options.checkpoint_interval == 0) {
+        return fail("--checkpoint-interval wants a count >= 1");
+      }
+    } else {
+      return fail("unknown hunt flag '" + arg + "'");
+    }
+  }
+  if (options.checkpoint_dir.empty()) {
+    return fail("hunt wants --checkpoint-dir=DIR");
+  }
+  if (shard_index >= shards) {
+    return fail("hunt wants --shard < --shards");
+  }
+  options.shards = shards;
+  options.shard_index = shard_index;
+  options.threads = g_threads;
+  options.reduce = g_reduce;
+  options.use_bounds = g_bounds_on;
+  options.backend = g_backend;
+  const rcons::reduction::VerdictCache cache(
+      g_cache_on ? (g_cache_dir.empty()
+                        ? rcons::reduction::VerdictCache::default_directory()
+                        : g_cache_dir)
+                 : std::string());
+  options.cache = &cache;
+
+  // Deterministic crash injection for the kill/resume battery: SIGKILL —
+  // not exit() — after the Nth visited candidate, so the process dies with
+  // no destructors, flushes, or atexit handlers, exactly like a power cut.
+  if (const char* kill_after = std::getenv("RCONS_HUNT_KILL_AFTER")) {
+    std::uint64_t kill_at = 0;
+    if (!rcons::util::parse_uint64_arg(kill_after, &kill_at) ||
+        kill_at == 0) {
+      return fail("RCONS_HUNT_KILL_AFTER wants a candidate count >= 1");
+    }
+    options.after_candidate = [kill_at](std::uint64_t visited) {
+      if (visited >= kill_at) std::raise(SIGKILL);
+    };
+  }
+
+  const rcons::campaign::CampaignResult r =
+      rcons::campaign::run_campaign(options);
+  if (!r.ok) return fail(r.error);
+  if (g_json) {
+    std::string out = "{\"command\":\"hunt\",\"shard\":" +
+                      std::to_string(shard_index) +
+                      ",\"shards\":" + std::to_string(shards);
+    out += std::string(",\"complete\":") + (r.complete ? "true" : "false");
+    out += std::string(",\"resumed\":") + (r.resumed ? "true" : "false");
+    if (!r.resume_note.empty()) {
+      out += ",\"resume_note\":\"" + rcons::json_escape(r.resume_note) + "\"";
+    }
+    out += ",\"visited\":" + std::to_string(r.visited);
+    out += ",\"profiled\":" + std::to_string(r.profiled);
+    out += ",\"shard_skipped\":" + std::to_string(r.shard_skipped);
+    out += ",\"isomorph_skipped\":" + std::to_string(r.isomorph_skipped);
+    out += ",\"records\":" + std::to_string(r.checkpoint.records.size());
+    out += ",\"db\":\"" + rcons::json_escape(r.db_path) + "\"}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    if (!r.resume_note.empty()) {
+      std::printf("resume: %s\n", r.resume_note.c_str());
+    }
+    std::printf("shard %d of %d: %s; visited %llu, profiled %llu "
+                "(%llu other-shard, %llu isomorph), %zu records in %s\n",
+                shard_index, shards,
+                r.complete ? "complete" : "stopped (resumable)",
+                static_cast<unsigned long long>(r.visited),
+                static_cast<unsigned long long>(r.profiled),
+                static_cast<unsigned long long>(r.shard_skipped),
+                static_cast<unsigned long long>(r.isomorph_skipped),
+                r.checkpoint.records.size(), r.db_path.c_str());
+  }
+  // An incomplete shard proves nothing about the box either way — the
+  // INCONCLUSIVE exit, like a --max-states-truncated verify.
+  return r.complete ? 0 : 3;
 }
 
 /// `serve`: the long-running verdict daemon (DESIGN.md §12). Runs until
@@ -614,7 +788,7 @@ int dispatch(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: rcons_cli "
                  "list|show|export|dot|profile|witnesses|verify|critical|"
-                 "search|lint|explain|order|replay|serve ...\n"
+                 "search|hunt|lint|explain|order|replay|serve ...\n"
                  "(see the header of tools/rcons_cli.cpp)\n");
     return 2;
   }
@@ -631,26 +805,50 @@ int dispatch(int argc, char** argv) {
     if (argc < 3) return fail("replay <file.trace>");
     return cmd_replay(argv[2]);
   }
+  if (cmd == "hunt") return cmd_hunt(argc - 2, argv + 2);
   if (cmd == "search") {
     int restarts = 10;
     int mutations = 200;
     std::uint64_t seed = 1;
-    if (argc > 2 &&
-        !rcons::util::parse_int_arg(argv[2], 1,
+    int shards = 1;
+    int shard_index = 0;
+    std::vector<const char*> positional;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--shards=", 0) == 0) {
+        if (!rcons::util::parse_int_arg(arg.substr(9), 1, 1 << 20,
+                                        &shards)) {
+          return fail("--shards wants a count >= 1");
+        }
+      } else if (arg.rfind("--shard=", 0) == 0) {
+        if (!rcons::util::parse_int_arg(arg.substr(8), 0, (1 << 20) - 1,
+                                        &shard_index)) {
+          return fail("--shard wants an index >= 0");
+        }
+      } else if (arg.rfind("--", 0) == 0) {
+        return fail("unknown search flag '" + arg + "'");
+      } else {
+        positional.push_back(argv[i]);
+      }
+    }
+    if (shard_index >= shards) return fail("search wants --shard < --shards");
+    if (positional.size() > 0 &&
+        !rcons::util::parse_int_arg(positional[0], 1,
                                     std::numeric_limits<int>::max(),
                                     &restarts)) {
       return fail("search [restarts >= 1] [mutations >= 1] [seed]");
     }
-    if (argc > 3 &&
-        !rcons::util::parse_int_arg(argv[3], 1,
+    if (positional.size() > 1 &&
+        !rcons::util::parse_int_arg(positional[1], 1,
                                     std::numeric_limits<int>::max(),
                                     &mutations)) {
       return fail("search [restarts >= 1] [mutations >= 1] [seed]");
     }
-    if (argc > 4 && !rcons::util::parse_uint64_arg(argv[4], &seed)) {
+    if (positional.size() > 2 &&
+        !rcons::util::parse_uint64_arg(positional[2], &seed)) {
       return fail("search seed wants an unsigned 64-bit number");
     }
-    return cmd_search(restarts, mutations, seed);
+    return cmd_search(restarts, mutations, seed, shards, shard_index);
   }
   if (cmd == "verify" || cmd == "critical" || cmd == "chain") {
     std::string error;

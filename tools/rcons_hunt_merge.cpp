@@ -1,0 +1,87 @@
+// rcons_hunt_merge — fold rcons-hunt shard databases into one landscape
+// table (DESIGN.md §15, EXPERIMENTS.md E12).
+//
+//   rcons_hunt_merge [--format=text|json] [--out=FILE] <shard.hunt>...
+//
+// Inputs are checkpoint files from ANY partitioning of the same campaign
+// (same box, max_n, and engine salt; the shard count may differ between
+// inputs). Records deduplicate by canonical form; disagreeing duplicates
+// are a hard failure that prints both provenances — never
+// last-writer-wins. --out writes the merged database (the serialized,
+// key-sorted record table, byte-identical for every partitioning of the
+// same campaign); stdout gets the landscape/gap/frontier summary in the
+// chosen format.
+//
+// Exit codes: 0 = merged (all shards complete), 1 = conflict or corrupt
+// input, 2 = usage error, 3 = merged but some shard was incomplete (the
+// table is a valid partial view, not the whole box).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/merge.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "rcons_hunt_merge: %s\n", message.c_str());
+  return 2;
+}
+
+/// Writes `content` to `path`; merge output is the deliverable, so unlike
+/// the CLI's observability spills a failure here is a real error.
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), out) == content.size();
+  return std::fclose(out) == 0 && wrote;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      if (out_path.empty()) return fail("--out wants a file");
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail("unknown flag '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    return fail("usage: rcons_hunt_merge [--format=text|json] [--out=FILE] "
+                "<shard.hunt>...");
+  }
+
+  const rcons::campaign::MergeOutcome merged =
+      rcons::campaign::merge_databases(paths);
+  if (!merged.ok) {
+    std::fprintf(stderr, "rcons_hunt_merge: %s\n", merged.error.c_str());
+    return 1;
+  }
+  if (!out_path.empty()) {
+    if (!write_file(out_path, rcons::campaign::serialize_merged(merged))) {
+      std::fprintf(stderr, "rcons_hunt_merge: cannot write '%s'\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rcons_hunt_merge: wrote %s\n", out_path.c_str());
+  }
+  if (json) {
+    std::printf("%s\n", rcons::campaign::render_merged_json(merged).c_str());
+  } else {
+    std::printf("%s", rcons::campaign::render_merged_text(merged).c_str());
+  }
+  return merged.all_complete ? 0 : 3;
+}
